@@ -1,0 +1,89 @@
+//! Markov blankets (the classical special case that Markov quilts
+//! generalise).
+
+use std::collections::BTreeSet;
+
+use crate::{BayesNetError, Dag, Result};
+
+/// The Markov blanket of `node`: its parents, its children, and the other
+/// parents of its children.
+///
+/// Conditioned on its blanket, a node is independent of every other variable
+/// in the network — the starting point the paper generalises into the Markov
+/// quilt (Definition 4.2), which allows *many* separating sets of different
+/// sizes and influences.
+///
+/// # Errors
+/// [`BayesNetError::NodeOutOfRange`] for an invalid node index.
+pub fn markov_blanket(dag: &Dag, node: usize) -> Result<Vec<usize>> {
+    if node >= dag.num_nodes() {
+        return Err(BayesNetError::NodeOutOfRange {
+            node,
+            num_nodes: dag.num_nodes(),
+        });
+    }
+    let mut blanket: BTreeSet<usize> = BTreeSet::new();
+    for &parent in dag.parents(node) {
+        blanket.insert(parent);
+    }
+    for &child in dag.children(node) {
+        blanket.insert(child);
+        for &co_parent in dag.parents(child) {
+            if co_parent != node {
+                blanket.insert(co_parent);
+            }
+        }
+    }
+    Ok(blanket.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::d_separated;
+
+    #[test]
+    fn blanket_in_a_chain_is_the_two_neighbours() {
+        // Figure 3(a) of the paper: in a chain, the Markov blanket of X_i is
+        // {X_{i-1}, X_{i+1}}.
+        let dag = Dag::chain(5);
+        assert_eq!(markov_blanket(&dag, 2).unwrap(), vec![1, 3]);
+        assert_eq!(markov_blanket(&dag, 0).unwrap(), vec![1]);
+        assert_eq!(markov_blanket(&dag, 4).unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn blanket_includes_co_parents() {
+        // X0 -> X2 <- X1, X2 -> X3 <- X4: blanket of X2 is {0, 1, 3, 4}.
+        let mut dag = Dag::new(5);
+        dag.add_edge(0, 2).unwrap();
+        dag.add_edge(1, 2).unwrap();
+        dag.add_edge(2, 3).unwrap();
+        dag.add_edge(4, 3).unwrap();
+        assert_eq!(markov_blanket(&dag, 2).unwrap(), vec![0, 1, 3, 4]);
+        // The blanket of a leaf collider is its parents only.
+        assert_eq!(markov_blanket(&dag, 3).unwrap(), vec![2, 4]);
+    }
+
+    #[test]
+    fn blanket_d_separates_the_rest() {
+        let mut dag = Dag::new(6);
+        dag.add_edge(0, 2).unwrap();
+        dag.add_edge(1, 2).unwrap();
+        dag.add_edge(2, 3).unwrap();
+        dag.add_edge(4, 3).unwrap();
+        dag.add_edge(3, 5).unwrap();
+        let blanket = markov_blanket(&dag, 2).unwrap();
+        let rest: Vec<usize> = (0..6)
+            .filter(|i| *i != 2 && !blanket.contains(i))
+            .collect();
+        assert!(d_separated(&dag, 2, &rest, &blanket).unwrap());
+    }
+
+    #[test]
+    fn isolated_node_has_empty_blanket() {
+        let dag = Dag::new(3);
+        assert!(markov_blanket(&dag, 1).unwrap().is_empty());
+        assert!(markov_blanket(&dag, 9).is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! Directed acyclic graphs over node indices `0..n`.
+
+use crate::{BayesNetError, Result};
+
+/// A directed acyclic graph whose vertices are the variables of a Bayesian
+/// network, identified by indices `0..num_nodes`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dag {
+    parents: Vec<Vec<usize>>,
+    children: Vec<Vec<usize>>,
+}
+
+impl Dag {
+    /// Creates a DAG with `num_nodes` vertices and no edges.
+    pub fn new(num_nodes: usize) -> Self {
+        Dag {
+            parents: vec![Vec::new(); num_nodes],
+            children: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    /// Builds the chain DAG `X_0 -> X_1 -> … -> X_{n-1}`, the structure used
+    /// by all the paper's time-series instantiations.
+    pub fn chain(num_nodes: usize) -> Self {
+        let mut dag = Dag::new(num_nodes);
+        for i in 1..num_nodes {
+            dag.add_edge(i - 1, i).expect("chain edges cannot cycle");
+        }
+        dag
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Adds the directed edge `from -> to`.
+    ///
+    /// # Errors
+    /// * [`BayesNetError::NodeOutOfRange`] for invalid endpoints.
+    /// * [`BayesNetError::DuplicateEdge`] when the edge already exists.
+    /// * [`BayesNetError::CycleDetected`] when the edge would close a cycle
+    ///   (including self-loops).
+    pub fn add_edge(&mut self, from: usize, to: usize) -> Result<()> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if from == to {
+            return Err(BayesNetError::CycleDetected { from, to });
+        }
+        if self.children[from].contains(&to) {
+            return Err(BayesNetError::DuplicateEdge { from, to });
+        }
+        if self.is_reachable(to, from) {
+            return Err(BayesNetError::CycleDetected { from, to });
+        }
+        self.children[from].push(to);
+        self.parents[to].push(from);
+        self.children[from].sort_unstable();
+        self.parents[to].sort_unstable();
+        Ok(())
+    }
+
+    /// Parents of `node`, sorted ascending.
+    pub fn parents(&self, node: usize) -> &[usize] {
+        &self.parents[node]
+    }
+
+    /// Children of `node`, sorted ascending.
+    pub fn children(&self, node: usize) -> &[usize] {
+        &self.children[node]
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.children.iter().map(Vec::len).sum()
+    }
+
+    /// `true` if a directed path from `from` to `to` exists (including the
+    /// trivial path when `from == to`).
+    pub fn is_reachable(&self, from: usize, to: usize) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut visited = vec![false; self.num_nodes()];
+        let mut stack = vec![from];
+        visited[from] = true;
+        while let Some(node) = stack.pop() {
+            for &child in &self.children[node] {
+                if child == to {
+                    return true;
+                }
+                if !visited[child] {
+                    visited[child] = true;
+                    stack.push(child);
+                }
+            }
+        }
+        false
+    }
+
+    /// A topological order of the vertices (parents before children).
+    pub fn topological_order(&self) -> Vec<usize> {
+        let n = self.num_nodes();
+        let mut in_degree: Vec<usize> = (0..n).map(|i| self.parents[i].len()).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| in_degree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(node) = queue.pop() {
+            order.push(node);
+            for &child in &self.children[node] {
+                in_degree[child] -= 1;
+                if in_degree[child] == 0 {
+                    queue.push(child);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "DAG invariant violated");
+        order
+    }
+
+    /// All ancestors of the given nodes (including the nodes themselves).
+    pub fn ancestral_set(&self, nodes: &[usize]) -> Vec<bool> {
+        let mut in_set = vec![false; self.num_nodes()];
+        let mut stack: Vec<usize> = nodes.to_vec();
+        for &node in nodes {
+            in_set[node] = true;
+        }
+        while let Some(node) = stack.pop() {
+            for &parent in &self.parents[node] {
+                if !in_set[parent] {
+                    in_set[parent] = true;
+                    stack.push(parent);
+                }
+            }
+        }
+        in_set
+    }
+
+    fn check_node(&self, node: usize) -> Result<()> {
+        if node >= self.num_nodes() {
+            Err(BayesNetError::NodeOutOfRange {
+                node,
+                num_nodes: self.num_nodes(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_structure() {
+        let dag = Dag::chain(5);
+        assert_eq!(dag.num_nodes(), 5);
+        assert_eq!(dag.num_edges(), 4);
+        assert_eq!(dag.parents(0), &[] as &[usize]);
+        assert_eq!(dag.parents(3), &[2]);
+        assert_eq!(dag.children(3), &[4]);
+        assert!(dag.is_reachable(0, 4));
+        assert!(!dag.is_reachable(4, 0));
+    }
+
+    #[test]
+    fn figure_2_network_structure() {
+        let mut dag = Dag::new(4);
+        dag.add_edge(0, 1).unwrap();
+        dag.add_edge(0, 2).unwrap();
+        dag.add_edge(1, 3).unwrap();
+        dag.add_edge(2, 3).unwrap();
+        assert_eq!(dag.parents(3), &[1, 2]);
+        assert_eq!(dag.children(0), &[1, 2]);
+        let order = dag.topological_order();
+        let pos = |x: usize| order.iter().position(|&n| n == x).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn edge_validation() {
+        let mut dag = Dag::new(3);
+        assert!(matches!(
+            dag.add_edge(0, 5),
+            Err(BayesNetError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            dag.add_edge(5, 0),
+            Err(BayesNetError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            dag.add_edge(1, 1),
+            Err(BayesNetError::CycleDetected { .. })
+        ));
+        dag.add_edge(0, 1).unwrap();
+        assert!(matches!(
+            dag.add_edge(0, 1),
+            Err(BayesNetError::DuplicateEdge { .. })
+        ));
+        dag.add_edge(1, 2).unwrap();
+        assert!(matches!(
+            dag.add_edge(2, 0),
+            Err(BayesNetError::CycleDetected { .. })
+        ));
+    }
+
+    #[test]
+    fn ancestral_set() {
+        let mut dag = Dag::new(5);
+        dag.add_edge(0, 2).unwrap();
+        dag.add_edge(1, 2).unwrap();
+        dag.add_edge(2, 3).unwrap();
+        // node 4 is isolated
+        let set = dag.ancestral_set(&[3]);
+        assert_eq!(set, vec![true, true, true, true, false]);
+        let set = dag.ancestral_set(&[4]);
+        assert_eq!(set, vec![false, false, false, false, true]);
+    }
+
+    #[test]
+    fn topological_order_of_empty_and_isolated_graphs() {
+        let dag = Dag::new(0);
+        assert!(dag.topological_order().is_empty());
+        let dag = Dag::new(3);
+        let order = dag.topological_order();
+        assert_eq!(order.len(), 3);
+    }
+}

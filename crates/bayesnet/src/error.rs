@@ -1,0 +1,123 @@
+//! Error type for the Bayesian network substrate.
+
+use std::fmt;
+
+/// Errors produced by Bayesian network construction, inference and quilt
+/// manipulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BayesNetError {
+    /// A node index was out of range.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the network.
+        num_nodes: usize,
+    },
+    /// Adding an edge would create a cycle.
+    CycleDetected {
+        /// Edge source.
+        from: usize,
+        /// Edge target.
+        to: usize,
+    },
+    /// A duplicate edge was added.
+    DuplicateEdge {
+        /// Edge source.
+        from: usize,
+        /// Edge target.
+        to: usize,
+    },
+    /// A network was declared with zero nodes or a zero cardinality.
+    InvalidStructure(String),
+    /// A conditional probability table had the wrong shape or invalid entries.
+    InvalidCpd {
+        /// Node whose CPD is invalid.
+        node: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// An operation required every CPD to be set but some were missing.
+    MissingCpd {
+        /// First node found without a CPD.
+        node: usize,
+    },
+    /// An assignment had the wrong length or an out-of-range value.
+    InvalidAssignment(String),
+    /// A conditional probability was requested for a zero-probability event.
+    ZeroProbabilityEvidence,
+    /// A quilt definition was inconsistent (overlapping sets, missing node,
+    /// or remote nodes not actually independent of the protected node).
+    InvalidQuilt(String),
+}
+
+impl fmt::Display for BayesNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BayesNetError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for a network with {num_nodes} nodes")
+            }
+            BayesNetError::CycleDetected { from, to } => {
+                write!(f, "adding edge {from} -> {to} would create a cycle")
+            }
+            BayesNetError::DuplicateEdge { from, to } => {
+                write!(f, "edge {from} -> {to} already exists")
+            }
+            BayesNetError::InvalidStructure(msg) => write!(f, "invalid structure: {msg}"),
+            BayesNetError::InvalidCpd { node, reason } => {
+                write!(f, "invalid CPD for node {node}: {reason}")
+            }
+            BayesNetError::MissingCpd { node } => write!(f, "node {node} has no CPD"),
+            BayesNetError::InvalidAssignment(msg) => write!(f, "invalid assignment: {msg}"),
+            BayesNetError::ZeroProbabilityEvidence => {
+                write!(f, "conditioning event has probability zero")
+            }
+            BayesNetError::InvalidQuilt(msg) => write!(f, "invalid Markov quilt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BayesNetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let cases: Vec<(BayesNetError, &str)> = vec![
+            (
+                BayesNetError::NodeOutOfRange {
+                    node: 7,
+                    num_nodes: 3,
+                },
+                "7",
+            ),
+            (BayesNetError::CycleDetected { from: 1, to: 2 }, "cycle"),
+            (BayesNetError::DuplicateEdge { from: 1, to: 2 }, "already"),
+            (
+                BayesNetError::InvalidStructure("no nodes".into()),
+                "no nodes",
+            ),
+            (
+                BayesNetError::InvalidCpd {
+                    node: 0,
+                    reason: "bad shape".into(),
+                },
+                "bad shape",
+            ),
+            (BayesNetError::MissingCpd { node: 4 }, "4"),
+            (
+                BayesNetError::InvalidAssignment("too short".into()),
+                "too short",
+            ),
+            (BayesNetError::ZeroProbabilityEvidence, "zero"),
+            (BayesNetError::InvalidQuilt("overlap".into()), "overlap"),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should contain {needle}"
+            );
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! Discrete Bayesian networks: structure + conditional probability tables,
+//! with exact inference by enumeration and ancestral sampling.
+
+use rand::Rng;
+
+use crate::{BayesNetError, Dag, Result};
+
+/// Tolerance used when checking that CPD rows sum to one.
+const CPD_TOLERANCE: f64 = 1e-9;
+
+/// A Bayesian network over discrete variables.
+///
+/// Node `i` takes values in `0..cardinality(i)`. Its conditional probability
+/// table (CPD) is a matrix with one row per joint assignment of its parents
+/// (mixed-radix order, parents sorted ascending, first parent most
+/// significant) and one column per value of the node.
+///
+/// Inference is by exhaustive enumeration of joint assignments, which is
+/// exact and adequate for the small networks the general Markov Quilt
+/// Mechanism is run on; the Markov-chain specialisations in `pufferfish-core`
+/// bypass this engine entirely.
+#[derive(Debug, Clone)]
+pub struct DiscreteBayesianNetwork {
+    dag: Dag,
+    cardinalities: Vec<usize>,
+    cpds: Vec<Option<Vec<Vec<f64>>>>,
+}
+
+impl DiscreteBayesianNetwork {
+    /// Creates a network with the given structure and per-node cardinalities.
+    ///
+    /// # Errors
+    /// [`BayesNetError::InvalidStructure`] when there are no nodes, the
+    /// cardinality vector has the wrong length, or any cardinality is zero.
+    pub fn new(dag: Dag, cardinalities: Vec<usize>) -> Result<Self> {
+        if dag.num_nodes() == 0 {
+            return Err(BayesNetError::InvalidStructure(
+                "network must have at least one node".to_string(),
+            ));
+        }
+        if cardinalities.len() != dag.num_nodes() {
+            return Err(BayesNetError::InvalidStructure(format!(
+                "expected {} cardinalities, got {}",
+                dag.num_nodes(),
+                cardinalities.len()
+            )));
+        }
+        if cardinalities.iter().any(|&c| c == 0) {
+            return Err(BayesNetError::InvalidStructure(
+                "cardinalities must be positive".to_string(),
+            ));
+        }
+        let n = dag.num_nodes();
+        Ok(DiscreteBayesianNetwork {
+            dag,
+            cardinalities,
+            cpds: vec![None; n],
+        })
+    }
+
+    /// The underlying DAG.
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// Number of variables.
+    pub fn num_nodes(&self) -> usize {
+        self.dag.num_nodes()
+    }
+
+    /// Cardinality (number of values) of `node`.
+    pub fn cardinality(&self, node: usize) -> usize {
+        self.cardinalities[node]
+    }
+
+    /// Sets the CPD of `node`.
+    ///
+    /// `table[r][v] = P(node = v | parents = r-th assignment)`, where parent
+    /// assignments are enumerated in mixed-radix order with the *first*
+    /// (lowest-index) parent most significant.
+    ///
+    /// # Errors
+    /// * [`BayesNetError::NodeOutOfRange`] for an invalid node.
+    /// * [`BayesNetError::InvalidCpd`] when the table shape is wrong or a row
+    ///   is not a probability distribution.
+    pub fn set_cpd(&mut self, node: usize, table: Vec<Vec<f64>>) -> Result<()> {
+        if node >= self.num_nodes() {
+            return Err(BayesNetError::NodeOutOfRange {
+                node,
+                num_nodes: self.num_nodes(),
+            });
+        }
+        let expected_rows: usize = self
+            .dag
+            .parents(node)
+            .iter()
+            .map(|&p| self.cardinalities[p])
+            .product();
+        if table.len() != expected_rows {
+            return Err(BayesNetError::InvalidCpd {
+                node,
+                reason: format!("expected {expected_rows} rows, got {}", table.len()),
+            });
+        }
+        for (r, row) in table.iter().enumerate() {
+            if row.len() != self.cardinalities[node] {
+                return Err(BayesNetError::InvalidCpd {
+                    node,
+                    reason: format!(
+                        "row {r} has {} entries, expected {}",
+                        row.len(),
+                        self.cardinalities[node]
+                    ),
+                });
+            }
+            let mut sum = 0.0;
+            for &p in row {
+                if !p.is_finite() || p < -CPD_TOLERANCE {
+                    return Err(BayesNetError::InvalidCpd {
+                        node,
+                        reason: format!("row {r} contains invalid probability {p}"),
+                    });
+                }
+                sum += p;
+            }
+            if (sum - 1.0).abs() > CPD_TOLERANCE {
+                return Err(BayesNetError::InvalidCpd {
+                    node,
+                    reason: format!("row {r} sums to {sum}"),
+                });
+            }
+        }
+        self.cpds[node] = Some(table);
+        Ok(())
+    }
+
+    /// `true` once every node has a CPD.
+    pub fn is_fully_specified(&self) -> bool {
+        self.cpds.iter().all(Option::is_some)
+    }
+
+    fn require_cpds(&self) -> Result<()> {
+        match self.cpds.iter().position(Option::is_none) {
+            Some(node) => Err(BayesNetError::MissingCpd { node }),
+            None => Ok(()),
+        }
+    }
+
+    fn check_assignment(&self, assignment: &[usize]) -> Result<()> {
+        if assignment.len() != self.num_nodes() {
+            return Err(BayesNetError::InvalidAssignment(format!(
+                "assignment has {} entries, expected {}",
+                assignment.len(),
+                self.num_nodes()
+            )));
+        }
+        for (node, &value) in assignment.iter().enumerate() {
+            if value >= self.cardinalities[node] {
+                return Err(BayesNetError::InvalidAssignment(format!(
+                    "value {value} out of range for node {node} (cardinality {})",
+                    self.cardinalities[node]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Index of a parent assignment in the CPD row order.
+    fn parent_row_index(&self, node: usize, assignment: &[usize]) -> usize {
+        let mut index = 0;
+        for &parent in self.dag.parents(node) {
+            index = index * self.cardinalities[parent] + assignment[parent];
+        }
+        index
+    }
+
+    /// Joint probability `P(X = assignment)`.
+    ///
+    /// # Errors
+    /// [`BayesNetError::MissingCpd`] / [`BayesNetError::InvalidAssignment`].
+    pub fn joint_probability(&self, assignment: &[usize]) -> Result<f64> {
+        self.require_cpds()?;
+        self.check_assignment(assignment)?;
+        let mut probability = 1.0;
+        for node in 0..self.num_nodes() {
+            let table = self.cpds[node].as_ref().expect("checked above");
+            let row = self.parent_row_index(node, assignment);
+            probability *= table[row][assignment[node]];
+            if probability == 0.0 {
+                return Ok(0.0);
+            }
+        }
+        Ok(probability)
+    }
+
+    /// Total number of joint assignments (product of cardinalities).
+    pub fn num_assignments(&self) -> usize {
+        self.cardinalities.iter().product()
+    }
+
+    /// Iterates over every joint assignment in mixed-radix order.
+    pub fn assignments(&self) -> AssignmentIter<'_> {
+        AssignmentIter {
+            cardinalities: &self.cardinalities,
+            current: vec![0; self.num_nodes()],
+            done: self.num_nodes() == 0,
+        }
+    }
+
+    /// Probability of the event described by `evidence` (a partial
+    /// assignment given as `(node, value)` pairs).
+    ///
+    /// # Errors
+    /// CPD and assignment validation errors as above.
+    pub fn event_probability(&self, evidence: &[(usize, usize)]) -> Result<f64> {
+        self.require_cpds()?;
+        self.validate_evidence(evidence)?;
+        let mut total = 0.0;
+        for assignment in self.assignments() {
+            if Self::consistent(&assignment, evidence) {
+                total += self.joint_probability(&assignment)?;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Conditional probability `P(target | given)` for partial assignments.
+    ///
+    /// # Errors
+    /// * [`BayesNetError::ZeroProbabilityEvidence`] when `P(given) = 0`.
+    /// * CPD and assignment validation errors as above.
+    pub fn conditional_probability(
+        &self,
+        target: &[(usize, usize)],
+        given: &[(usize, usize)],
+    ) -> Result<f64> {
+        let denominator = self.event_probability(given)?;
+        if denominator <= 0.0 {
+            return Err(BayesNetError::ZeroProbabilityEvidence);
+        }
+        let mut joint_evidence = target.to_vec();
+        joint_evidence.extend_from_slice(given);
+        let numerator = self.event_probability(&joint_evidence)?;
+        Ok(numerator / denominator)
+    }
+
+    /// The conditional joint distribution of the nodes in `targets` given the
+    /// evidence, returned as a vector indexed in mixed-radix order over the
+    /// target cardinalities.
+    ///
+    /// # Errors
+    /// Same as [`DiscreteBayesianNetwork::conditional_probability`].
+    pub fn conditional_joint_distribution(
+        &self,
+        targets: &[usize],
+        given: &[(usize, usize)],
+    ) -> Result<Vec<f64>> {
+        self.require_cpds()?;
+        for &t in targets {
+            if t >= self.num_nodes() {
+                return Err(BayesNetError::NodeOutOfRange {
+                    node: t,
+                    num_nodes: self.num_nodes(),
+                });
+            }
+        }
+        let denominator = self.event_probability(given)?;
+        if denominator <= 0.0 {
+            return Err(BayesNetError::ZeroProbabilityEvidence);
+        }
+        let size: usize = targets.iter().map(|&t| self.cardinalities[t]).product();
+        let mut distribution = vec![0.0; size];
+        for assignment in self.assignments() {
+            if !Self::consistent(&assignment, given) {
+                continue;
+            }
+            let p = self.joint_probability(&assignment)?;
+            if p == 0.0 {
+                continue;
+            }
+            let mut index = 0;
+            for &t in targets {
+                index = index * self.cardinalities[t] + assignment[t];
+            }
+            distribution[index] += p;
+        }
+        for value in &mut distribution {
+            *value /= denominator;
+        }
+        Ok(distribution)
+    }
+
+    /// Marginal distribution of a single node.
+    ///
+    /// # Errors
+    /// CPD validation errors as above.
+    pub fn marginal(&self, node: usize) -> Result<Vec<f64>> {
+        self.conditional_joint_distribution(&[node], &[])
+    }
+
+    /// Draws a sample of all variables by ancestral sampling.
+    ///
+    /// # Errors
+    /// [`BayesNetError::MissingCpd`] when CPDs are missing.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Vec<usize>> {
+        self.require_cpds()?;
+        let mut assignment = vec![0usize; self.num_nodes()];
+        for &node in &self.dag.topological_order() {
+            let table = self.cpds[node].as_ref().expect("checked above");
+            let row = &table[self.parent_row_index(node, &assignment)];
+            let u: f64 = rng.gen();
+            let mut acc = 0.0;
+            let mut chosen = row.len() - 1;
+            for (value, &p) in row.iter().enumerate() {
+                acc += p;
+                if u < acc {
+                    chosen = value;
+                    break;
+                }
+            }
+            assignment[node] = chosen;
+        }
+        Ok(assignment)
+    }
+
+    fn validate_evidence(&self, evidence: &[(usize, usize)]) -> Result<()> {
+        for &(node, value) in evidence {
+            if node >= self.num_nodes() {
+                return Err(BayesNetError::NodeOutOfRange {
+                    node,
+                    num_nodes: self.num_nodes(),
+                });
+            }
+            if value >= self.cardinalities[node] {
+                return Err(BayesNetError::InvalidAssignment(format!(
+                    "value {value} out of range for node {node}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn consistent(assignment: &[usize], evidence: &[(usize, usize)]) -> bool {
+        evidence
+            .iter()
+            .all(|&(node, value)| assignment[node] == value)
+    }
+}
+
+/// Iterator over all joint assignments of a network in mixed-radix order.
+#[derive(Debug)]
+pub struct AssignmentIter<'a> {
+    cardinalities: &'a [usize],
+    current: Vec<usize>,
+    done: bool,
+}
+
+impl Iterator for AssignmentIter<'_> {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let result = self.current.clone();
+        // Increment the mixed-radix counter (last node least significant).
+        let mut position = self.cardinalities.len();
+        loop {
+            if position == 0 {
+                self.done = true;
+                break;
+            }
+            position -= 1;
+            self.current[position] += 1;
+            if self.current[position] < self.cardinalities[position] {
+                break;
+            }
+            self.current[position] = 0;
+        }
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    /// The Figure 2 network with arbitrary but fixed parameters.
+    pub(crate) fn figure2_network() -> DiscreteBayesianNetwork {
+        let mut dag = Dag::new(4);
+        dag.add_edge(0, 1).unwrap();
+        dag.add_edge(0, 2).unwrap();
+        dag.add_edge(1, 3).unwrap();
+        dag.add_edge(2, 3).unwrap();
+        let mut net = DiscreteBayesianNetwork::new(dag, vec![2, 2, 2, 2]).unwrap();
+        net.set_cpd(0, vec![vec![0.6, 0.4]]).unwrap();
+        net.set_cpd(1, vec![vec![0.7, 0.3], vec![0.2, 0.8]]).unwrap();
+        net.set_cpd(2, vec![vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap();
+        net.set_cpd(
+            3,
+            vec![
+                vec![0.99, 0.01],
+                vec![0.7, 0.3],
+                vec![0.6, 0.4],
+                vec![0.1, 0.9],
+            ],
+        )
+        .unwrap();
+        net
+    }
+
+    /// A 3-node binary chain X0 -> X1 -> X2 with the running example's θ₁
+    /// transition matrix.
+    pub(crate) fn chain3_network() -> DiscreteBayesianNetwork {
+        let dag = Dag::chain(3);
+        let mut net = DiscreteBayesianNetwork::new(dag, vec![2, 2, 2]).unwrap();
+        net.set_cpd(0, vec![vec![0.8, 0.2]]).unwrap();
+        let transition = vec![vec![0.9, 0.1], vec![0.4, 0.6]];
+        net.set_cpd(1, transition.clone()).unwrap();
+        net.set_cpd(2, transition).unwrap();
+        net
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(DiscreteBayesianNetwork::new(Dag::new(0), vec![]).is_err());
+        assert!(DiscreteBayesianNetwork::new(Dag::new(2), vec![2]).is_err());
+        assert!(DiscreteBayesianNetwork::new(Dag::new(2), vec![2, 0]).is_err());
+        let net = DiscreteBayesianNetwork::new(Dag::new(2), vec![2, 3]).unwrap();
+        assert_eq!(net.num_nodes(), 2);
+        assert_eq!(net.cardinality(1), 3);
+        assert_eq!(net.num_assignments(), 6);
+        assert!(!net.is_fully_specified());
+    }
+
+    #[test]
+    fn cpd_validation() {
+        let mut net = DiscreteBayesianNetwork::new(Dag::chain(2), vec![2, 2]).unwrap();
+        assert!(matches!(
+            net.set_cpd(5, vec![]),
+            Err(BayesNetError::NodeOutOfRange { .. })
+        ));
+        // Root node needs exactly one row.
+        assert!(net.set_cpd(0, vec![vec![0.5, 0.5], vec![0.5, 0.5]]).is_err());
+        // Row of the wrong width.
+        assert!(net.set_cpd(0, vec![vec![1.0]]).is_err());
+        // Row that does not sum to one.
+        assert!(net.set_cpd(0, vec![vec![0.5, 0.6]]).is_err());
+        // Negative probability.
+        assert!(net.set_cpd(0, vec![vec![-0.5, 1.5]]).is_err());
+        // Child node needs one row per parent value.
+        assert!(net.set_cpd(1, vec![vec![0.5, 0.5]]).is_err());
+        net.set_cpd(0, vec![vec![0.5, 0.5]]).unwrap();
+        net.set_cpd(1, vec![vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap();
+        assert!(net.is_fully_specified());
+    }
+
+    #[test]
+    fn joint_probability_matches_factorisation() {
+        let net = figure2_network();
+        // P(X1=0, X2=1, X3=0, X4=1) = P(X1=0) P(X2=1|X1=0) P(X3=0|X1=0) P(X4=1|X2=1,X3=0)
+        // with CPD row (X2=1, X3=0) giving P(X4=1|..) = 0.4.
+        let p = net.joint_probability(&[0, 1, 0, 1]).unwrap();
+        assert!(close(p, 0.6 * 0.3 * 0.9 * 0.4));
+        // All assignments sum to one.
+        let total: f64 = net
+            .assignments()
+            .map(|a| net.joint_probability(&a).unwrap())
+            .sum();
+        assert!(close(total, 1.0));
+        assert_eq!(net.assignments().count(), 16);
+
+        assert!(net.joint_probability(&[0, 1, 0]).is_err());
+        assert!(net.joint_probability(&[0, 1, 0, 5]).is_err());
+        let incomplete = DiscreteBayesianNetwork::new(Dag::new(1), vec![2]).unwrap();
+        assert!(matches!(
+            incomplete.joint_probability(&[0]),
+            Err(BayesNetError::MissingCpd { .. })
+        ));
+    }
+
+    #[test]
+    fn marginals_and_conditionals_on_a_chain() {
+        let net = chain3_network();
+        // Marginal of X0 is the initial distribution.
+        let m0 = net.marginal(0).unwrap();
+        assert!(close(m0[0], 0.8));
+        // Marginal of X1 = q^T P = [0.8*0.9 + 0.2*0.4, ...] = [0.8, 0.2]
+        // (the initial distribution is stationary for this chain).
+        let m1 = net.marginal(1).unwrap();
+        assert!(close(m1[0], 0.8));
+        let m2 = net.marginal(2).unwrap();
+        assert!(close(m2[0], 0.8));
+
+        // P(X2=0 | X1=0) should equal the one-step transition 0.9 by the
+        // Markov property.
+        let p = net.conditional_probability(&[(2, 0)], &[(1, 0)]).unwrap();
+        assert!(close(p, 0.9));
+        // Conditioning on X1 makes X2 independent of X0.
+        let p_with_x0 = net
+            .conditional_probability(&[(2, 0)], &[(1, 0), (0, 1)])
+            .unwrap();
+        assert!(close(p_with_x0, 0.9));
+
+        // Zero-probability evidence is rejected.
+        let mut degenerate = DiscreteBayesianNetwork::new(Dag::new(1), vec![2]).unwrap();
+        degenerate.set_cpd(0, vec![vec![1.0, 0.0]]).unwrap();
+        assert!(matches!(
+            degenerate.conditional_probability(&[(0, 0)], &[(0, 1)]),
+            Err(BayesNetError::ZeroProbabilityEvidence)
+        ));
+    }
+
+    #[test]
+    fn conditional_joint_distribution_shape_and_mass() {
+        let net = figure2_network();
+        let dist = net.conditional_joint_distribution(&[1, 2], &[(0, 0)]).unwrap();
+        assert_eq!(dist.len(), 4);
+        assert!(close(dist.iter().sum::<f64>(), 1.0));
+        // X2 and X3 are conditionally independent given X1, so the joint is
+        // the product of the conditionals.
+        assert!(close(dist[0], 0.7 * 0.9));
+        assert!(close(dist[3], 0.3 * 0.1));
+        assert!(net
+            .conditional_joint_distribution(&[9], &[])
+            .is_err());
+    }
+
+    #[test]
+    fn evidence_validation() {
+        let net = figure2_network();
+        assert!(net.event_probability(&[(9, 0)]).is_err());
+        assert!(net.event_probability(&[(0, 9)]).is_err());
+        let p = net.event_probability(&[]).unwrap();
+        assert!(close(p, 1.0));
+    }
+
+    #[test]
+    fn sampling_matches_marginals() {
+        let net = figure2_network();
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples = 60_000;
+        let mut count_x4 = 0usize;
+        for _ in 0..samples {
+            let a = net.sample(&mut rng).unwrap();
+            assert!(a.iter().enumerate().all(|(n, &v)| v < net.cardinality(n)));
+            if a[3] == 1 {
+                count_x4 += 1;
+            }
+        }
+        let empirical = count_x4 as f64 / samples as f64;
+        let exact = net.marginal(3).unwrap()[1];
+        assert!(
+            (empirical - exact).abs() < 0.01,
+            "empirical {empirical} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn assignment_iterator_orders_mixed_radix() {
+        let net = DiscreteBayesianNetwork::new(Dag::new(2), vec![2, 3]).unwrap();
+        let all: Vec<Vec<usize>> = net.assignments().collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], vec![0, 0]);
+        assert_eq!(all[1], vec![0, 1]);
+        assert_eq!(all[2], vec![0, 2]);
+        assert_eq!(all[3], vec![1, 0]);
+        assert_eq!(all[5], vec![1, 2]);
+    }
+}

@@ -1,0 +1,429 @@
+//! Markov quilts (Definition 4.2 of the paper).
+
+use std::collections::BTreeSet;
+
+use crate::{d_separated, BayesNetError, Dag, Result};
+
+/// A Markov quilt `(X_N, X_Q, X_R)` for a protected node `X_i`.
+///
+/// * `quilt` (`X_Q`) — the separating set;
+/// * `nearby` (`X_N`) — the nodes still correlated with `X_i` once `X_Q` is
+///   fixed; always contains `X_i` itself. The Laplace scale of the Markov
+///   Quilt Mechanism is proportional to `card(X_N)`;
+/// * `remote` (`X_R`) — the nodes conditionally independent of `X_i` given
+///   `X_Q`.
+///
+/// Unlike the Markov blanket, a node has *many* quilts: the mechanism scores
+/// each candidate and picks the cheapest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkovQuilt {
+    node: usize,
+    quilt: Vec<usize>,
+    nearby: Vec<usize>,
+    remote: Vec<usize>,
+}
+
+impl MarkovQuilt {
+    /// Builds the quilt for `node` induced by the separating set `quilt` in
+    /// the given DAG: the remote set is the *maximal* set of nodes
+    /// d-separated from `node` given `quilt`, and the nearby set is
+    /// everything else (including `node`).
+    ///
+    /// Choosing the maximal remote set minimises `card(X_N)` and therefore
+    /// the noise, so this is the quilt the mechanism actually wants for a
+    /// given separating set.
+    ///
+    /// # Errors
+    /// * [`BayesNetError::NodeOutOfRange`] for invalid indices.
+    /// * [`BayesNetError::InvalidQuilt`] when `node` appears in `quilt`.
+    pub fn for_node(dag: &Dag, node: usize, quilt: Vec<usize>) -> Result<Self> {
+        let n = dag.num_nodes();
+        if node >= n {
+            return Err(BayesNetError::NodeOutOfRange {
+                node,
+                num_nodes: n,
+            });
+        }
+        let quilt_set: BTreeSet<usize> = quilt.iter().copied().collect();
+        if quilt_set.contains(&node) {
+            return Err(BayesNetError::InvalidQuilt(format!(
+                "protected node {node} cannot belong to its own quilt"
+            )));
+        }
+        for &q in &quilt_set {
+            if q >= n {
+                return Err(BayesNetError::NodeOutOfRange {
+                    node: q,
+                    num_nodes: n,
+                });
+            }
+        }
+        let quilt_vec: Vec<usize> = quilt_set.iter().copied().collect();
+        let mut nearby = vec![node];
+        let mut remote = Vec::new();
+        for other in 0..n {
+            if other == node || quilt_set.contains(&other) {
+                continue;
+            }
+            if d_separated(dag, node, &[other], &quilt_vec)? {
+                remote.push(other);
+            } else {
+                nearby.push(other);
+            }
+        }
+        nearby.sort_unstable();
+        Ok(MarkovQuilt {
+            node,
+            quilt: quilt_vec,
+            nearby,
+            remote,
+        })
+    }
+
+    /// The trivial quilt `X_Q = ∅`, `X_N = X`, `X_R = ∅`, which every quilt
+    /// set must contain for the privacy proof (Theorem 4.3) to go through.
+    ///
+    /// # Errors
+    /// [`BayesNetError::NodeOutOfRange`] for an invalid node.
+    pub fn trivial(num_nodes: usize, node: usize) -> Result<Self> {
+        if node >= num_nodes {
+            return Err(BayesNetError::NodeOutOfRange {
+                node,
+                num_nodes,
+            });
+        }
+        Ok(MarkovQuilt {
+            node,
+            quilt: Vec::new(),
+            nearby: (0..num_nodes).collect(),
+            remote: Vec::new(),
+        })
+    }
+
+    /// Builds a quilt from an explicit partition without consulting a DAG.
+    ///
+    /// Used by the Markov-chain fast paths where the partition is known in
+    /// closed form. The partition is validated for disjointness and coverage,
+    /// but conditional independence is the caller's responsibility (it holds
+    /// by construction for contiguous chain segments).
+    ///
+    /// # Errors
+    /// [`BayesNetError::InvalidQuilt`] if the three sets do not partition
+    /// `0..num_nodes` or `node` is not in `nearby`.
+    pub fn from_partition(
+        num_nodes: usize,
+        node: usize,
+        quilt: Vec<usize>,
+        nearby: Vec<usize>,
+        remote: Vec<usize>,
+    ) -> Result<Self> {
+        let mut seen = vec![false; num_nodes];
+        let mut mark = |set: &[usize]| -> Result<()> {
+            for &x in set {
+                if x >= num_nodes {
+                    return Err(BayesNetError::NodeOutOfRange {
+                        node: x,
+                        num_nodes,
+                    });
+                }
+                if seen[x] {
+                    return Err(BayesNetError::InvalidQuilt(format!(
+                        "node {x} appears in more than one part"
+                    )));
+                }
+                seen[x] = true;
+            }
+            Ok(())
+        };
+        mark(&quilt)?;
+        mark(&nearby)?;
+        mark(&remote)?;
+        if !seen.iter().all(|&s| s) {
+            return Err(BayesNetError::InvalidQuilt(
+                "partition does not cover every node".to_string(),
+            ));
+        }
+        if !nearby.contains(&node) {
+            return Err(BayesNetError::InvalidQuilt(format!(
+                "protected node {node} must belong to the nearby set"
+            )));
+        }
+        let mut quilt = quilt;
+        let mut nearby = nearby;
+        let mut remote = remote;
+        quilt.sort_unstable();
+        nearby.sort_unstable();
+        remote.sort_unstable();
+        Ok(MarkovQuilt {
+            node,
+            quilt,
+            nearby,
+            remote,
+        })
+    }
+
+    /// The protected node `X_i`.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// The separating set `X_Q` (sorted).
+    pub fn quilt(&self) -> &[usize] {
+        &self.quilt
+    }
+
+    /// The nearby set `X_N` (sorted, contains the protected node).
+    pub fn nearby(&self) -> &[usize] {
+        &self.nearby
+    }
+
+    /// The remote set `X_R` (sorted).
+    pub fn remote(&self) -> &[usize] {
+        &self.remote
+    }
+
+    /// `card(X_N)`, the quantity multiplying the Laplace scale.
+    pub fn card_nearby(&self) -> usize {
+        self.nearby.len()
+    }
+
+    /// `true` for the trivial quilt (`X_Q = ∅`).
+    pub fn is_trivial(&self) -> bool {
+        self.quilt.is_empty()
+    }
+
+    /// Re-verifies both conditions of Definition 4.2 against a DAG: the three
+    /// sets partition the nodes, the protected node is in `X_N`, and `X_R` is
+    /// d-separated from the node given `X_Q`.
+    ///
+    /// # Errors
+    /// Propagates d-separation errors for malformed indices.
+    pub fn verify(&self, dag: &Dag) -> Result<bool> {
+        let n = dag.num_nodes();
+        let mut seen = vec![false; n];
+        for &x in self.quilt.iter().chain(&self.nearby).chain(&self.remote) {
+            if x >= n || seen[x] {
+                return Ok(false);
+            }
+            seen[x] = true;
+        }
+        if !seen.iter().all(|&s| s) || !self.nearby.contains(&self.node) {
+            return Ok(false);
+        }
+        if self.remote.is_empty() {
+            return Ok(true);
+        }
+        d_separated(dag, self.node, &self.remote, &self.quilt)
+    }
+}
+
+/// Enumerates the canonical Markov quilt candidates for node `node` (0-based)
+/// of a chain `X_0 → X_1 → … → X_{T-1}` — the set `S_{Q,i}` of Lemma 4.6,
+/// restricted (as in Algorithms 3 and 4) to quilts whose nearby set has at
+/// most `max_nearby` nodes, plus the trivial quilt.
+///
+/// The three shapes are:
+/// * two-sided `{X_{i-a}, X_{i+b}}` with `X_N = {X_{i-a+1}, …, X_{i+b-1}}`;
+/// * left-only `{X_{i-a}}` with `X_N = {X_{i-a+1}, …, X_{T-1}}` (no right
+///   quilt node, so everything to the right stays nearby);
+/// * right-only `{X_{i+b}}` with `X_N = {X_0, …, X_{i+b-1}}`.
+///
+/// # Errors
+/// [`BayesNetError::NodeOutOfRange`] when `node >= num_nodes` or the chain is
+/// empty.
+pub fn chain_quilts(
+    num_nodes: usize,
+    node: usize,
+    max_nearby: usize,
+) -> Result<Vec<MarkovQuilt>> {
+    if node >= num_nodes {
+        return Err(BayesNetError::NodeOutOfRange {
+            node,
+            num_nodes,
+        });
+    }
+    let mut quilts = Vec::new();
+    quilts.push(MarkovQuilt::trivial(num_nodes, node)?);
+
+    let build = |left: Option<usize>, right: Option<usize>| -> MarkovQuilt {
+        // left = i - a (index of the left quilt node), right = i + b.
+        let lower = left.map_or(0, |l| l + 1);
+        let upper = right.map_or(num_nodes - 1, |r| r - 1);
+        let mut quilt = Vec::new();
+        if let Some(l) = left {
+            quilt.push(l);
+        }
+        if let Some(r) = right {
+            quilt.push(r);
+        }
+        let nearby: Vec<usize> = (lower..=upper).collect();
+        let mut remote = Vec::new();
+        if let Some(l) = left {
+            remote.extend(0..l);
+        }
+        if let Some(r) = right {
+            remote.extend((r + 1)..num_nodes);
+        }
+        MarkovQuilt {
+            node,
+            quilt,
+            nearby,
+            remote,
+        }
+    };
+
+    // Two-sided quilts.
+    for left in 0..node {
+        for right in (node + 1)..num_nodes {
+            let nearby_size = right - left - 1;
+            if nearby_size <= max_nearby {
+                quilts.push(build(Some(left), Some(right)));
+            }
+        }
+    }
+    // Left-only quilts (everything right of the node stays nearby).
+    for left in 0..node {
+        let nearby_size = num_nodes - left - 1;
+        if nearby_size <= max_nearby {
+            quilts.push(build(Some(left), None));
+        }
+    }
+    // Right-only quilts (everything left of the node stays nearby).
+    for right in (node + 1)..num_nodes {
+        let nearby_size = right;
+        if nearby_size <= max_nearby {
+            quilts.push(build(None, Some(right)));
+        }
+    }
+    Ok(quilts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quilt_from_dsep_in_a_chain_matches_figure_3b() {
+        // Figure 3(b): for a chain, the quilt {X_{i-2}, X_{i+2}} of X_i has
+        // nearby {X_{i-1}, X_i, X_{i+1}} and the rest remote.
+        let dag = Dag::chain(9);
+        let quilt = MarkovQuilt::for_node(&dag, 4, vec![2, 6]).unwrap();
+        assert_eq!(quilt.quilt(), &[2, 6]);
+        assert_eq!(quilt.nearby(), &[3, 4, 5]);
+        assert_eq!(quilt.remote(), &[0, 1, 7, 8]);
+        assert_eq!(quilt.card_nearby(), 3);
+        assert!(!quilt.is_trivial());
+        assert!(quilt.verify(&dag).unwrap());
+        assert_eq!(quilt.node(), 4);
+    }
+
+    #[test]
+    fn trivial_quilt() {
+        let quilt = MarkovQuilt::trivial(5, 2).unwrap();
+        assert!(quilt.is_trivial());
+        assert_eq!(quilt.card_nearby(), 5);
+        assert!(quilt.remote().is_empty());
+        assert!(quilt.verify(&Dag::chain(5)).unwrap());
+        assert!(MarkovQuilt::trivial(5, 9).is_err());
+    }
+
+    #[test]
+    fn for_node_validation() {
+        let dag = Dag::chain(4);
+        assert!(MarkovQuilt::for_node(&dag, 9, vec![]).is_err());
+        assert!(MarkovQuilt::for_node(&dag, 1, vec![1]).is_err());
+        assert!(MarkovQuilt::for_node(&dag, 1, vec![9]).is_err());
+    }
+
+    #[test]
+    fn from_partition_validation() {
+        // Valid partition.
+        let q = MarkovQuilt::from_partition(5, 2, vec![1, 3], vec![2], vec![0, 4]).unwrap();
+        assert_eq!(q.card_nearby(), 1);
+        assert!(q.verify(&Dag::chain(5)).unwrap());
+
+        // Overlapping sets.
+        assert!(MarkovQuilt::from_partition(5, 2, vec![1, 3], vec![2, 3], vec![0, 4]).is_err());
+        // Missing a node.
+        assert!(MarkovQuilt::from_partition(5, 2, vec![1, 3], vec![2], vec![0]).is_err());
+        // Node not in nearby.
+        assert!(MarkovQuilt::from_partition(5, 2, vec![1, 2, 3], vec![0], vec![4]).is_err());
+        // Out of range.
+        assert!(MarkovQuilt::from_partition(5, 2, vec![7], vec![2], vec![0, 1, 3, 4]).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_bogus_quilts() {
+        let dag = Dag::chain(5);
+        // Claim that {X_1} separates X_2 from X_3 — it does not.
+        let bogus = MarkovQuilt {
+            node: 2,
+            quilt: vec![1],
+            nearby: vec![0, 2],
+            remote: vec![3, 4],
+        };
+        assert!(!bogus.verify(&dag).unwrap());
+        // Not a partition.
+        let not_partition = MarkovQuilt {
+            node: 2,
+            quilt: vec![1],
+            nearby: vec![2],
+            remote: vec![3, 4],
+        };
+        assert!(!not_partition.verify(&dag).unwrap());
+    }
+
+    #[test]
+    fn chain_quilts_enumeration_counts() {
+        // For T = 5, node 2 (middle), unrestricted width: two-sided quilts are
+        // 2 * 2 = 4, left-only 2, right-only 2, plus the trivial quilt = 9.
+        let quilts = chain_quilts(5, 2, usize::MAX).unwrap();
+        assert_eq!(quilts.len(), 9);
+        // Every enumerated quilt passes d-separation verification.
+        let dag = Dag::chain(5);
+        for quilt in &quilts {
+            assert!(quilt.verify(&dag).unwrap(), "quilt {quilt:?} failed");
+        }
+    }
+
+    #[test]
+    fn chain_quilts_respect_width_limit() {
+        let quilts = chain_quilts(100, 50, 5).unwrap();
+        for quilt in &quilts {
+            if !quilt.is_trivial() {
+                assert!(quilt.card_nearby() <= 5);
+            }
+        }
+        // The trivial quilt is always present.
+        assert!(quilts.iter().any(MarkovQuilt::is_trivial));
+        // Two-sided quilts with small nearby sets exist.
+        assert!(quilts
+            .iter()
+            .any(|q| q.quilt().len() == 2 && q.card_nearby() == 5));
+    }
+
+    #[test]
+    fn chain_quilts_for_edge_nodes() {
+        // First node: no left quilts at all.
+        let quilts = chain_quilts(6, 0, usize::MAX).unwrap();
+        assert!(quilts.iter().all(|q| q.quilt().iter().all(|&x| x > 0)));
+        // Last node: no right quilts.
+        let quilts = chain_quilts(6, 5, usize::MAX).unwrap();
+        assert!(quilts.iter().all(|q| q.quilt().iter().all(|&x| x < 5)));
+        assert!(chain_quilts(6, 6, 3).is_err());
+    }
+
+    #[test]
+    fn example_from_section_4_3_composition() {
+        // T = 3 chain, middle node X_1 (0-based): possible quilts are
+        // ∅, {X_0}, {X_2}, {X_0, X_2} with nearby sizes 3, 2, 2, 1.
+        let quilts = chain_quilts(3, 1, usize::MAX).unwrap();
+        assert_eq!(quilts.len(), 4);
+        let mut sizes: Vec<(usize, usize)> = quilts
+            .iter()
+            .map(|q| (q.quilt().len(), q.card_nearby()))
+            .collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![(0, 3), (1, 2), (1, 2), (2, 1)]);
+    }
+}

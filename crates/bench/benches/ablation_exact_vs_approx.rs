@@ -1,0 +1,48 @@
+//! Ablation: MQMExact vs MQMApprox — calibration cost and the noise
+//! multiplier gap (the accuracy/run-time trade-off of Section 5.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pufferfish_core::{
+    MqmApprox, MqmApproxOptions, MqmExact, MqmExactOptions, PrivacyBudget,
+};
+use pufferfish_markov::{IntervalClassBuilder, MarkovChainClass};
+
+fn bench_ablation(c: &mut Criterion) {
+    let budget = PrivacyBudget::new(1.0).unwrap();
+    let mut group = c.benchmark_group("ablation_exact_vs_approx");
+    group.sample_size(10);
+
+    for &alpha in &[0.2, 0.3, 0.4] {
+        let class: MarkovChainClass = IntervalClassBuilder::symmetric(alpha)
+            .grid_points(5)
+            .build()
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("approx", alpha), &class, |b, class| {
+            b.iter(|| {
+                MqmApprox::calibrate(class, 100, budget, MqmApproxOptions::default()).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exact", alpha), &class, |b, class| {
+            b.iter(|| {
+                MqmExact::calibrate(class, 100, budget, MqmExactOptions::default()).unwrap()
+            })
+        });
+
+        // Report the sigma gap once per alpha so the ablation numbers land in
+        // the bench log alongside the timings.
+        let approx =
+            MqmApprox::calibrate(&class, 100, budget, MqmApproxOptions::default()).unwrap();
+        let exact =
+            MqmExact::calibrate(&class, 100, budget, MqmExactOptions::default()).unwrap();
+        eprintln!(
+            "[ablation] alpha={alpha}: sigma_approx={:.3}, sigma_exact={:.3}, ratio={:.2}",
+            approx.sigma_max(),
+            exact.sigma_max(),
+            approx.sigma_max() / exact.sigma_max()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation: quilt search radius ℓ — the full O(T²) search versus the
+//! Lemma 4.9 window of width 4a*, both in calibration time and in the
+//! resulting noise multiplier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pufferfish_core::{MqmExact, MqmExactOptions, PrivacyBudget};
+use pufferfish_markov::{MarkovChain, MarkovChainClass};
+
+fn bench_quilt_radius(c: &mut Criterion) {
+    let budget = PrivacyBudget::new(1.0).unwrap();
+    let chain = MarkovChain::with_stationary_initial(vec![
+        vec![0.9, 0.1],
+        vec![0.35, 0.65],
+    ])
+    .unwrap();
+    let class = MarkovChainClass::singleton(chain);
+    let length = 400;
+
+    let mut group = c.benchmark_group("ablation_quilt_radius");
+    group.sample_size(10);
+    for &radius in &[8usize, 16, 32, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("middle_only_radius", radius),
+            &radius,
+            |b, &radius| {
+                b.iter(|| {
+                    MqmExact::calibrate(
+                        &class,
+                        length,
+                        budget,
+                        MqmExactOptions {
+                            max_quilt_width: Some(radius),
+                            search_middle_only: true,
+                        },
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        let mechanism = MqmExact::calibrate(
+            &class,
+            length,
+            budget,
+            MqmExactOptions {
+                max_quilt_width: Some(radius),
+                search_middle_only: true,
+            },
+        )
+        .unwrap();
+        eprintln!(
+            "[ablation] radius={radius}: sigma_max={:.4}",
+            mechanism.sigma_max()
+        );
+    }
+    group.bench_function("full_search", |b| {
+        b.iter(|| {
+            MqmExact::calibrate(&class, length, budget, MqmExactOptions::default()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quilt_radius);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation: the reversible (Lemma C.1) versus general (Lemma 4.8) influence
+//! bound inside MQMApprox — tightness of the resulting noise multiplier and
+//! calibration cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pufferfish_core::{MqmApprox, MqmApproxOptions, PrivacyBudget, QuiltSearchStrategy};
+use pufferfish_markov::{IntervalClassBuilder, ReversibilityMode};
+
+fn bench_reversible_bound(c: &mut Criterion) {
+    let budget = PrivacyBudget::new(1.0).unwrap();
+    let class = IntervalClassBuilder::symmetric(0.25)
+        .grid_points(5)
+        .build()
+        .unwrap();
+    let length = 1_000;
+
+    let mut group = c.benchmark_group("ablation_reversible_bound");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("general", ReversibilityMode::General),
+        ("reversible", ReversibilityMode::Reversible),
+        ("auto", ReversibilityMode::Auto),
+    ] {
+        let options = MqmApproxOptions {
+            reversibility: mode,
+            strategy: QuiltSearchStrategy::Auto,
+        };
+        group.bench_with_input(BenchmarkId::new("calibrate", label), &options, |b, options| {
+            b.iter(|| MqmApprox::calibrate(&class, length, budget, *options).unwrap())
+        });
+        let mechanism = MqmApprox::calibrate(&class, length, budget, options).unwrap();
+        eprintln!(
+            "[ablation] bound={label}: eigengap={:.4}, sigma_max={:.4}",
+            mechanism.eigengap(),
+            mechanism.sigma_max()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reversible_bound);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for the Figure 4 synthetic sweep: one cell (α = 0.3,
+//! ε = 1) end-to-end, so regressions in the whole pipeline are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pufferfish_bench::figure4::{run, Figure4Config};
+
+fn bench_figure4_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure4_synthetic");
+    group.sample_size(10);
+    group.bench_function("alpha_0.3_eps_1_cell", |b| {
+        b.iter(|| {
+            let config = Figure4Config {
+                length: 100,
+                trials: 5,
+                alphas: &[0.3],
+                epsilons: &[1.0],
+                grid_points: 3,
+                seed: 7,
+            };
+            run(config).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure4_cell);
+criterion_main!(benches);

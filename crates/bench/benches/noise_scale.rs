@@ -1,0 +1,71 @@
+//! Criterion bench backing Table 2: time to compute the Laplace scale
+//! parameter for each mechanism on representative workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pufferfish_baselines::Gk16;
+use pufferfish_core::{
+    MqmApprox, MqmApproxOptions, MqmExact, MqmExactOptions, PrivacyBudget,
+};
+use pufferfish_datasets::{ActivityCohort, ActivityDataset, ActivitySimulationConfig};
+use pufferfish_markov::{IntervalClassBuilder, MarkovChainClass};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_noise_scale(c: &mut Criterion) {
+    let budget = PrivacyBudget::new(1.0).unwrap();
+    let mut group = c.benchmark_group("noise_scale");
+    group.sample_size(10);
+
+    // Synthetic interval class, T = 100 (the Table 2 "Synthetic" column).
+    let synthetic = IntervalClassBuilder::symmetric(0.4)
+        .grid_points(5)
+        .build()
+        .unwrap();
+    group.bench_function("synthetic/mqm_approx", |b| {
+        b.iter(|| {
+            MqmApprox::calibrate(&synthetic, 100, budget, MqmApproxOptions::default()).unwrap()
+        })
+    });
+    group.bench_function("synthetic/mqm_exact", |b| {
+        b.iter(|| {
+            MqmExact::calibrate(&synthetic, 100, budget, MqmExactOptions::default()).unwrap()
+        })
+    });
+    group.bench_function("synthetic/gk16", |b| {
+        b.iter(|| Gk16::calibrate(&synthetic, 100, budget).unwrap())
+    });
+
+    // Activity-style singleton class, T = 3000.
+    let mut rng = StdRng::seed_from_u64(1);
+    let dataset = ActivityDataset::simulate(
+        ActivityCohort::Cyclists,
+        ActivitySimulationConfig {
+            observations_per_participant: 3_000,
+            gap_probability: 0.0005,
+            participants: Some(4),
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let activity = MarkovChainClass::singleton(dataset.empirical_chain().unwrap());
+    let length = 3_000;
+    group.bench_function("activity/mqm_approx", |b| {
+        b.iter(|| {
+            MqmApprox::calibrate(&activity, length, budget, MqmApproxOptions::default()).unwrap()
+        })
+    });
+    let approx =
+        MqmApprox::calibrate(&activity, length, budget, MqmApproxOptions::default()).unwrap();
+    let exact_options = MqmExactOptions {
+        max_quilt_width: Some(approx.optimal_quilt_width().max(4)),
+        search_middle_only: true,
+    };
+    group.bench_function("activity/mqm_exact", |b| {
+        b.iter(|| MqmExact::calibrate(&activity, length, budget, exact_options).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_noise_scale);
+criterion_main!(benches);

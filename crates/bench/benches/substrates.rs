@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks of the substrate crates: optimal transport,
+//! spectral analysis and max-influence computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pufferfish_core::{chain_max_influence, ChainQuiltShape, InitialDistributionMode};
+use pufferfish_markov::{eigengap, MarkovChain, ReversibilityMode, TransitionPowers};
+use pufferfish_transport::{wasserstein_infinity, DiscreteDistribution};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(30);
+
+    // W-infinity between two random 100-point distributions.
+    let mut rng = StdRng::seed_from_u64(2);
+    let make_dist = |rng: &mut StdRng| {
+        let support: Vec<f64> = (0..100).map(|_| rng.gen_range(-50.0..50.0)).collect();
+        let weights: Vec<f64> = (0..100).map(|_| rng.gen_range(0.01..1.0)).collect();
+        DiscreteDistribution::from_weights(support, weights).unwrap()
+    };
+    let mu = make_dist(&mut rng);
+    let nu = make_dist(&mut rng);
+    group.bench_function("wasserstein_infinity/100pts", |b| {
+        b.iter(|| wasserstein_infinity(&mu, &nu).unwrap())
+    });
+
+    // Eigengap of a 51-state chain (the electricity state space).
+    let k = 51;
+    let mut rows = Vec::with_capacity(k);
+    for i in 0..k {
+        let mut row = vec![0.0; k];
+        row[i] = 0.9;
+        row[(i + 1) % k] = 0.05;
+        row[(i + k - 1) % k] = 0.05;
+        rows.push(row);
+    }
+    let big_chain = MarkovChain::with_stationary_initial(rows).unwrap();
+    group.bench_function("eigengap/51_states", |b| {
+        b.iter(|| eigengap(&big_chain, ReversibilityMode::Auto).unwrap())
+    });
+
+    // Exact max-influence of a two-sided quilt on the 51-state chain.
+    let powers = TransitionPowers::new(&big_chain, 30, 61).unwrap();
+    group.bench_function("chain_max_influence/51_states", |b| {
+        b.iter(|| {
+            chain_max_influence(
+                &powers,
+                31,
+                ChainQuiltShape::TwoSided { a: 15, b: 15 },
+                InitialDistributionMode::FixedInitial,
+            )
+            .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates Figure 4 (lower row): exact and private aggregated activity
+//! histograms for the three cohorts.
+//!
+//! Usage: `cargo run -p pufferfish-bench --release --bin figure4_activity [quick]`
+
+use pufferfish_bench::activity::{render_figure4_lower, run, ActivityConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    let config = if quick {
+        ActivityConfig::quick()
+    } else {
+        ActivityConfig::default()
+    };
+    println!(
+        "Simulating activity cohorts ({} observations per participant)...",
+        config.observations_per_participant
+    );
+    match run(config) {
+        Ok(results) => println!("{}", render_figure4_lower(&results)),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates Figure 4 (upper row): synthetic binary-chain L1 error vs α.
+//!
+//! Usage: `cargo run -p pufferfish-bench --release --bin figure4_synthetic [quick]`
+
+use pufferfish_bench::figure4::{render, run, Figure4Config};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    let config = if quick {
+        Figure4Config::quick()
+    } else {
+        Figure4Config::default()
+    };
+    println!(
+        "Running the Figure 4 synthetic sweep (T = {}, {} trials per cell)...",
+        config.length, config.trials
+    );
+    match run(config) {
+        Ok(cells) => println!("{}", render(&cells, config.epsilons)),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

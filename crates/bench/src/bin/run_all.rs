@@ -1,0 +1,58 @@
+//! Runs every experiment of the evaluation in sequence (quick mode by
+//! default; pass `full` for paper-scale parameters).
+//!
+//! Usage: `cargo run -p pufferfish-bench --release --bin run_all [full]`
+
+use pufferfish_bench::{activity, electricity, figure4, timing};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "full");
+
+    let figure4_config = if full {
+        figure4::Figure4Config::default()
+    } else {
+        figure4::Figure4Config::quick()
+    };
+    let activity_config = if full {
+        activity::ActivityConfig::default()
+    } else {
+        activity::ActivityConfig::quick()
+    };
+    let table2_config = if full {
+        timing::Table2Config::default()
+    } else {
+        timing::Table2Config::quick()
+    };
+    let table3_config = if full {
+        electricity::Table3Config::default()
+    } else {
+        electricity::Table3Config::quick()
+    };
+
+    println!("=== Figure 4 (upper row): synthetic binary chains ===");
+    match figure4::run(figure4_config) {
+        Ok(cells) => println!("{}", figure4::render(&cells, figure4_config.epsilons)),
+        Err(e) => eprintln!("figure4 failed: {e}"),
+    }
+
+    println!("=== Figure 4 (lower row) and Table 1: physical activity ===");
+    match activity::run(activity_config) {
+        Ok(results) => {
+            println!("{}", activity::render_figure4_lower(&results));
+            println!("{}", activity::render_table1(&results, activity_config.epsilon));
+        }
+        Err(e) => eprintln!("activity experiment failed: {e}"),
+    }
+
+    println!("=== Table 2: noise-scale computation time ===");
+    match timing::run(table2_config) {
+        Ok(results) => println!("{}", timing::render(&results, table2_config.epsilon)),
+        Err(e) => eprintln!("timing experiment failed: {e}"),
+    }
+
+    println!("=== Table 3: household electricity ===");
+    match electricity::run(table3_config) {
+        Ok(cells) => println!("{}", electricity::render(&cells)),
+        Err(e) => eprintln!("electricity experiment failed: {e}"),
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table 1: L1 errors of the aggregate and individual activity
+//! tasks for the three cohorts at ε = 1.
+//!
+//! Usage: `cargo run -p pufferfish-bench --release --bin table1 [quick]`
+
+use pufferfish_bench::activity::{render_table1, run, ActivityConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    let config = if quick {
+        ActivityConfig::quick()
+    } else {
+        ActivityConfig::default()
+    };
+    println!(
+        "Running the Table 1 activity experiment ({} trials)...",
+        config.trials
+    );
+    match run(config) {
+        Ok(results) => println!("{}", render_table1(&results, config.epsilon)),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

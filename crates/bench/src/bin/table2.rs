@@ -1,0 +1,26 @@
+//! Regenerates Table 2: wall-clock time to compute the Laplace scale
+//! parameter for every workload of the evaluation.
+//!
+//! Usage: `cargo run -p pufferfish-bench --release --bin table2 [quick]`
+
+use pufferfish_bench::timing::{render, run, Table2Config};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    let config = if quick {
+        Table2Config::quick()
+    } else {
+        Table2Config::default()
+    };
+    println!(
+        "Timing noise-scale computation (averaged over {} repetitions)...",
+        config.repetitions
+    );
+    match run(config) {
+        Ok(results) => println!("{}", render(&results, config.epsilon)),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

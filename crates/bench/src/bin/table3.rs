@@ -1,0 +1,26 @@
+//! Regenerates Table 3: L1 error of the power-level relative-frequency
+//! histogram for ε ∈ {0.2, 1, 5}.
+//!
+//! Usage: `cargo run -p pufferfish-bench --release --bin table3 [quick]`
+
+use pufferfish_bench::electricity::{render, run, Table3Config};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    let config = if quick {
+        Table3Config::quick()
+    } else {
+        Table3Config::default()
+    };
+    println!(
+        "Simulating household power consumption ({} observations)...",
+        config.length
+    );
+    match run(config) {
+        Ok(cells) => println!("{}", render(&cells)),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Section 5).
+//!
+//! Each experiment lives in its own module and exposes a `run` function that
+//! returns a plain data structure plus a text renderer, so the same code
+//! backs the command-line binaries (`cargo run -p pufferfish-bench --bin …`),
+//! the integration tests and the Criterion benches.
+//!
+//! | Paper artefact | Module | Binary |
+//! |---|---|---|
+//! | Figure 4 (a)–(c): synthetic L1 error vs α | [`figure4`] | `figure4_synthetic` |
+//! | Figure 4 (d)–(f): aggregated activity histograms | [`activity`] | `figure4_activity` |
+//! | Table 1: activity L1 errors (aggregate & individual) | [`activity`] | `table1` |
+//! | Table 2: noise-scale computation time | [`timing`] | `table2` |
+//! | Table 3: electricity L1 errors | [`electricity`] | `table3` |
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod activity;
+pub mod electricity;
+pub mod figure4;
+pub mod reporting;
+pub mod timing;
+
+/// The three privacy regimes used throughout the evaluation.
+pub const EPSILONS: [f64; 3] = [0.2, 1.0, 5.0];

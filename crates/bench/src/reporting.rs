@@ -1,0 +1,97 @@
+//! Plain-text table rendering for experiment results.
+
+/// Renders a simple aligned table: a header row followed by data rows.
+///
+/// Column widths adapt to the longest cell in each column. Intended for
+/// terminal output and for pasting into EXPERIMENTS.md.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, width) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:<width$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    let mut separator = String::from("|");
+    for width in &widths {
+        separator.push_str(&format!("{}|", "-".repeat(width + 2)));
+    }
+    separator.push('\n');
+    out.push_str(&separator);
+    for row in rows {
+        let mut cells = row.clone();
+        cells.resize(columns, String::new());
+        out.push_str(&render_row(&cells, &widths));
+    }
+    out
+}
+
+/// Formats a float with four significant decimals, or "N/A" for `None` —
+/// matching the paper's table conventions.
+pub fn format_metric(value: Option<f64>) -> String {
+    match value {
+        Some(v) if v.is_finite() => format!("{v:.4}"),
+        _ => "N/A".to_string(),
+    }
+}
+
+/// Formats a duration in seconds with the precision used by Table 2.
+pub fn format_seconds(seconds: f64) -> String {
+    if seconds < 1e-3 {
+        format!("{:.4e}", seconds)
+    } else {
+        format!("{seconds:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns_columns() {
+        let table = render_table(
+            &["alg", "error"],
+            &[
+                vec!["MQMExact".to_string(), "0.01".to_string()],
+                vec!["GroupDP".to_string(), "1.0".to_string()],
+            ],
+        );
+        assert!(table.contains("MQMExact"));
+        assert!(table.contains("| alg "));
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines have equal width.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let table = render_table(&["a", "b"], &[vec!["x".to_string()]]);
+        assert!(table.lines().count() == 3);
+    }
+
+    #[test]
+    fn metric_formatting() {
+        assert_eq!(format_metric(Some(0.12345)), "0.1235");
+        assert_eq!(format_metric(None), "N/A");
+        assert_eq!(format_metric(Some(f64::INFINITY)), "N/A");
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(format_seconds(1.23456), "1.2346");
+        assert!(format_seconds(0.0000123).contains('e'));
+    }
+}

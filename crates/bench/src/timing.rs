@@ -1,0 +1,246 @@
+//! Table 2: wall-clock time to compute the Laplace scale parameter for each
+//! mechanism and workload.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pufferfish_baselines::Gk16;
+use pufferfish_core::{
+    MqmApprox, MqmApproxOptions, MqmExact, MqmExactOptions, PrivacyBudget, Result,
+};
+use pufferfish_datasets::{
+    ActivityCohort, ActivityDataset, ActivitySimulationConfig, ElectricityConfig,
+    ElectricityDataset,
+};
+use pufferfish_markov::{BinaryChainParams, MarkovChainClass};
+
+use crate::reporting::{format_seconds, render_table};
+
+/// Configuration for the timing experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Config {
+    /// Synthetic chain length (paper: 100).
+    pub synthetic_length: usize,
+    /// Observations per participant for the activity workloads.
+    pub activity_length: usize,
+    /// Participants per cohort (`None` = study sizes).
+    pub activity_participants: Option<usize>,
+    /// Length of the electricity series.
+    pub electricity_length: usize,
+    /// Repetitions to average over (paper: 5).
+    pub repetitions: usize,
+    /// Privacy parameter (paper: 1).
+    pub epsilon: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Table2Config {
+    fn default() -> Self {
+        Table2Config {
+            synthetic_length: 100,
+            activity_length: 9_000,
+            activity_participants: None,
+            electricity_length: 1_000_000,
+            repetitions: 5,
+            epsilon: 1.0,
+            seed: 41,
+        }
+    }
+}
+
+impl Table2Config {
+    /// A small configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        Table2Config {
+            activity_length: 1_200,
+            activity_participants: Some(4),
+            electricity_length: 15_000,
+            repetitions: 2,
+            ..Table2Config::default()
+        }
+    }
+}
+
+/// Timing results (seconds) for one workload column of Table 2.
+#[derive(Debug, Clone)]
+pub struct WorkloadTiming {
+    /// Column label ("Synthetic", cohort names, "electricity power").
+    pub workload: String,
+    /// Average GK16 calibration time (`None` when GK16 does not apply).
+    pub gk16: Option<f64>,
+    /// Average MQMApprox calibration time.
+    pub mqm_approx: f64,
+    /// Average MQMExact calibration time.
+    pub mqm_exact: f64,
+}
+
+fn time<F: FnMut() -> Result<()>>(repetitions: usize, mut f: F) -> Result<f64> {
+    // One warm-up call so one-off allocation noise is excluded.
+    f()?;
+    let start = Instant::now();
+    for _ in 0..repetitions {
+        f()?;
+    }
+    Ok(start.elapsed().as_secs_f64() / repetitions as f64)
+}
+
+fn time_workload(
+    label: &str,
+    class: &MarkovChainClass,
+    length: usize,
+    epsilon: f64,
+    repetitions: usize,
+) -> Result<WorkloadTiming> {
+    let budget = PrivacyBudget::new(epsilon)?;
+
+    let mqm_approx = time(repetitions, || {
+        MqmApprox::calibrate(class, length, budget, MqmApproxOptions::default()).map(|_| ())
+    })?;
+
+    // MQMExact uses the paper's methodology: search radius from MQMApprox,
+    // middle-node-only when the class is a stationary singleton.
+    let approx = MqmApprox::calibrate(class, length, budget, MqmApproxOptions::default())?;
+    let exact_options = MqmExactOptions {
+        max_quilt_width: Some(approx.optimal_quilt_width().max(4)),
+        search_middle_only: class.len() == 1,
+    };
+    let mqm_exact = time(repetitions, || {
+        MqmExact::calibrate(class, length, budget, exact_options).map(|_| ())
+    })?;
+
+    let gk16 = if Gk16::calibrate(class, length, budget).is_ok() {
+        Some(time(repetitions, || {
+            Gk16::calibrate(class, length, budget).map(|_| ())
+        })?)
+    } else {
+        None
+    };
+
+    Ok(WorkloadTiming {
+        workload: label.to_string(),
+        gk16,
+        mqm_approx,
+        mqm_exact,
+    })
+}
+
+/// Runs the timing experiment over all workloads of Table 2.
+///
+/// # Errors
+/// Propagates simulation and calibration errors.
+pub fn run(config: Table2Config) -> Result<Vec<WorkloadTiming>> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut results = Vec::new();
+
+    // Synthetic column: grid of (p0, p1) as in Section 5.2's timing setup.
+    let grid: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
+    let mut synthetic_chains = Vec::with_capacity(grid.len() * grid.len());
+    for &p0 in &grid {
+        for &p1 in &grid {
+            synthetic_chains.push(BinaryChainParams { p0, p1, q0: 0.5 }.to_chain()?);
+        }
+    }
+    let synthetic_class = MarkovChainClass::with_all_initial_distributions(synthetic_chains)?;
+    results.push(time_workload(
+        "Synthetic",
+        &synthetic_class,
+        config.synthetic_length,
+        config.epsilon,
+        config.repetitions,
+    )?);
+
+    // Activity cohorts.
+    for cohort in ActivityCohort::all() {
+        let dataset = ActivityDataset::simulate(
+            cohort,
+            ActivitySimulationConfig {
+                observations_per_participant: config.activity_length,
+                gap_probability: 0.0005,
+                participants: config.activity_participants,
+            },
+            &mut rng,
+        )?;
+        let class = MarkovChainClass::singleton(dataset.empirical_chain()?);
+        results.push(time_workload(
+            cohort.name(),
+            &class,
+            config.activity_length,
+            config.epsilon,
+            config.repetitions,
+        )?);
+    }
+
+    // Electricity.
+    let dataset = ElectricityDataset::simulate(
+        ElectricityConfig::small(config.electricity_length),
+        &mut rng,
+    )?;
+    let class = MarkovChainClass::singleton(dataset.empirical_chain()?);
+    results.push(time_workload(
+        "electricity power",
+        &class,
+        config.electricity_length,
+        config.epsilon,
+        config.repetitions,
+    )?);
+
+    Ok(results)
+}
+
+/// Renders Table 2.
+pub fn render(results: &[WorkloadTiming], epsilon: f64) -> String {
+    let mut headers = vec!["Algorithm".to_string()];
+    for result in results {
+        headers.push(result.workload.clone());
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let row = |label: &str, pick: &dyn Fn(&WorkloadTiming) -> Option<f64>| {
+        let mut cells = vec![label.to_string()];
+        for result in results {
+            cells.push(match pick(result) {
+                Some(seconds) => format_seconds(seconds),
+                None => "N/A".to_string(),
+            });
+        }
+        cells
+    };
+    let rows = vec![
+        row("GK16", &|r| r.gk16),
+        row("MQMApprox", &|r| Some(r.mqm_approx)),
+        row("MQMExact", &|r| Some(r.mqm_exact)),
+    ];
+    format!(
+        "\nTable 2: seconds to compute the Laplace scale parameter (epsilon = {epsilon})\n{}",
+        render_table(&header_refs, &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_timing_run_has_expected_structure() {
+        let results = run(Table2Config::quick()).unwrap();
+        // Synthetic + 3 cohorts + electricity.
+        assert_eq!(results.len(), 5);
+        assert_eq!(results[0].workload, "Synthetic");
+        assert_eq!(results[4].workload, "electricity power");
+        for result in &results {
+            assert!(result.mqm_approx > 0.0);
+            assert!(result.mqm_exact > 0.0);
+        }
+        // GK16 does not apply to the real-data workloads (sticky chains).
+        assert!(results[1].gk16.is_none());
+        assert!(results[4].gk16.is_none());
+        // MQMApprox is faster than MQMExact on the real workloads, as in the
+        // paper's Table 2.
+        assert!(results[4].mqm_approx < results[4].mqm_exact);
+        let table = render(&results, 1.0);
+        assert!(table.contains("MQMApprox"));
+        assert!(table.contains("electricity"));
+    }
+}

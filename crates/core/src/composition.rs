@@ -1,0 +1,144 @@
+//! Sequential composition of the Markov Quilt Mechanism (Theorem 4.4).
+//!
+//! Pufferfish privacy does not compose in general, but Theorem 4.4 shows that
+//! repeated applications of the Markov Quilt Mechanism over the same
+//! database, using the *same* quilt sets, degrade gracefully: publishing
+//! `(M_1(D), …, M_K(D))` with per-release budgets `ε_k` guarantees
+//! `K · max_k ε_k`-Pufferfish privacy (and `Σ_k ε_k` when the ε are equal,
+//! which is the common case).
+
+/// An accountant tracking a sequence of Markov Quilt Mechanism releases on
+/// the same database with a shared quilt-set configuration.
+#[derive(Debug, Clone, Default)]
+pub struct CompositionAccountant {
+    epsilons: Vec<f64>,
+}
+
+impl CompositionAccountant {
+    /// Creates an empty accountant.
+    pub fn new() -> Self {
+        CompositionAccountant::default()
+    }
+
+    /// Records one release made with the given per-release epsilon.
+    ///
+    /// Non-positive or non-finite values are ignored (they correspond to
+    /// releases that never happened).
+    pub fn record(&mut self, epsilon: f64) {
+        if epsilon.is_finite() && epsilon > 0.0 {
+            self.epsilons.push(epsilon);
+        }
+    }
+
+    /// Number of recorded releases `K`.
+    pub fn releases(&self) -> usize {
+        self.epsilons.len()
+    }
+
+    /// The guarantee of Theorem 4.4 when all releases use the same epsilon:
+    /// `Σ_k ε_k`. This is the bound to quote when the per-release budgets are
+    /// identical.
+    pub fn total_epsilon(&self) -> f64 {
+        self.epsilons.iter().sum()
+    }
+
+    /// The guarantee for heterogeneous budgets:
+    /// `K · max_k ε_k` (the remark following Theorem 4.4).
+    pub fn worst_case_epsilon(&self) -> f64 {
+        let max = self.epsilons.iter().fold(0.0f64, |acc, &e| acc.max(e));
+        max * self.releases() as f64
+    }
+
+    /// The tightest guarantee supported by the theorem for the recorded
+    /// sequence: the sum when all budgets are (numerically) equal, otherwise
+    /// `K · max_k ε_k`.
+    pub fn guaranteed_epsilon(&self) -> f64 {
+        if self.epsilons.is_empty() {
+            return 0.0;
+        }
+        let first = self.epsilons[0];
+        let all_equal = self
+            .epsilons
+            .iter()
+            .all(|&e| (e - first).abs() < 1e-12 * first.max(1.0));
+        if all_equal {
+            self.total_epsilon()
+        } else {
+            self.worst_case_epsilon()
+        }
+    }
+
+    /// Remaining budget before a global target is exceeded (`None` once the
+    /// target is exhausted).
+    pub fn remaining(&self, target_epsilon: f64) -> Option<f64> {
+        let spent = self.guaranteed_epsilon();
+        if spent >= target_epsilon {
+            None
+        } else {
+            Some(target_epsilon - spent)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn homogeneous_composition_sums_epsilons() {
+        let mut accountant = CompositionAccountant::new();
+        for _ in 0..5 {
+            accountant.record(0.2);
+        }
+        assert_eq!(accountant.releases(), 5);
+        assert!(close(accountant.total_epsilon(), 1.0));
+        assert!(close(accountant.worst_case_epsilon(), 1.0));
+        assert!(close(accountant.guaranteed_epsilon(), 1.0));
+    }
+
+    #[test]
+    fn heterogeneous_composition_uses_k_times_max() {
+        let mut accountant = CompositionAccountant::new();
+        accountant.record(0.1);
+        accountant.record(0.5);
+        accountant.record(0.2);
+        assert!(close(accountant.total_epsilon(), 0.8));
+        assert!(close(accountant.worst_case_epsilon(), 1.5));
+        assert!(close(accountant.guaranteed_epsilon(), 1.5));
+    }
+
+    #[test]
+    fn invalid_records_are_ignored() {
+        let mut accountant = CompositionAccountant::new();
+        accountant.record(0.0);
+        accountant.record(-1.0);
+        accountant.record(f64::NAN);
+        accountant.record(f64::INFINITY);
+        assert_eq!(accountant.releases(), 0);
+        assert!(close(accountant.guaranteed_epsilon(), 0.0));
+    }
+
+    #[test]
+    fn remaining_budget() {
+        let mut accountant = CompositionAccountant::new();
+        accountant.record(0.4);
+        accountant.record(0.4);
+        assert!(close(accountant.remaining(1.0).unwrap(), 0.2));
+        accountant.record(0.4);
+        assert!(accountant.remaining(1.0).is_none());
+        assert!(accountant.remaining(1.2).is_none());
+        assert!(accountant.remaining(2.0).is_some());
+    }
+
+    #[test]
+    fn empty_accountant() {
+        let accountant = CompositionAccountant::new();
+        assert_eq!(accountant.releases(), 0);
+        assert!(close(accountant.guaranteed_epsilon(), 0.0));
+        assert!(close(accountant.remaining(1.0).unwrap(), 1.0));
+    }
+}

@@ -1,0 +1,131 @@
+//! Error type for the Pufferfish mechanisms.
+
+use std::fmt;
+
+use pufferfish_bayesnet::BayesNetError;
+use pufferfish_linalg::LinalgError;
+use pufferfish_markov::MarkovError;
+use pufferfish_transport::TransportError;
+
+/// Errors produced while instantiating or running Pufferfish mechanisms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PufferfishError {
+    /// The privacy parameter epsilon was not a positive finite number.
+    InvalidEpsilon(f64),
+    /// A framework was malformed (empty secret set, mismatched scenario
+    /// supports, secrets with zero probability under every scenario, …).
+    InvalidFramework(String),
+    /// A query definition or evaluation was inconsistent with the database.
+    InvalidQuery(String),
+    /// The database fed to a calibrated mechanism did not match the
+    /// calibration (wrong length, out-of-range states, …).
+    InvalidDatabase(String),
+    /// The mechanism cannot achieve the requested privacy level: every quilt
+    /// (including the trivial one) was unusable, or the Wasserstein parameter
+    /// is infinite.
+    CannotCalibrate(String),
+    /// An error bubbled up from the Markov chain substrate.
+    Markov(MarkovError),
+    /// An error bubbled up from the Bayesian network substrate.
+    BayesNet(BayesNetError),
+    /// An error bubbled up from the optimal transport substrate.
+    Transport(TransportError),
+    /// An error bubbled up from the linear algebra substrate.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for PufferfishError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PufferfishError::InvalidEpsilon(e) => {
+                write!(f, "privacy parameter epsilon must be positive and finite, got {e}")
+            }
+            PufferfishError::InvalidFramework(msg) => write!(f, "invalid framework: {msg}"),
+            PufferfishError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            PufferfishError::InvalidDatabase(msg) => write!(f, "invalid database: {msg}"),
+            PufferfishError::CannotCalibrate(msg) => {
+                write!(f, "cannot calibrate mechanism: {msg}")
+            }
+            PufferfishError::Markov(e) => write!(f, "markov substrate error: {e}"),
+            PufferfishError::BayesNet(e) => write!(f, "bayesian network substrate error: {e}"),
+            PufferfishError::Transport(e) => write!(f, "transport substrate error: {e}"),
+            PufferfishError::Linalg(e) => write!(f, "linear algebra substrate error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PufferfishError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PufferfishError::Markov(e) => Some(e),
+            PufferfishError::BayesNet(e) => Some(e),
+            PufferfishError::Transport(e) => Some(e),
+            PufferfishError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MarkovError> for PufferfishError {
+    fn from(e: MarkovError) -> Self {
+        PufferfishError::Markov(e)
+    }
+}
+
+impl From<BayesNetError> for PufferfishError {
+    fn from(e: BayesNetError) -> Self {
+        PufferfishError::BayesNet(e)
+    }
+}
+
+impl From<TransportError> for PufferfishError {
+    fn from(e: TransportError) -> Self {
+        PufferfishError::Transport(e)
+    }
+}
+
+impl From<LinalgError> for PufferfishError {
+    fn from(e: LinalgError) -> Self {
+        PufferfishError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_sources() {
+        assert!(PufferfishError::InvalidEpsilon(-1.0)
+            .to_string()
+            .contains("-1"));
+        assert!(PufferfishError::InvalidFramework("empty".into())
+            .to_string()
+            .contains("empty"));
+        assert!(PufferfishError::InvalidQuery("dim".into())
+            .to_string()
+            .contains("dim"));
+        assert!(PufferfishError::InvalidDatabase("len".into())
+            .to_string()
+            .contains("len"));
+        assert!(PufferfishError::CannotCalibrate("no quilt".into())
+            .to_string()
+            .contains("no quilt"));
+
+        let markov = PufferfishError::from(MarkovError::NoStates);
+        assert!(markov.to_string().contains("markov"));
+        assert!(markov.source().is_some());
+
+        let bayes = PufferfishError::from(BayesNetError::ZeroProbabilityEvidence);
+        assert!(bayes.source().is_some());
+
+        let transport = PufferfishError::from(TransportError::EmptySupport);
+        assert!(transport.source().is_some());
+
+        let linalg = PufferfishError::from(LinalgError::Singular);
+        assert!(linalg.source().is_some());
+
+        assert!(PufferfishError::InvalidEpsilon(0.0).source().is_none());
+    }
+}

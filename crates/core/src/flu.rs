@@ -1,0 +1,238 @@
+//! The flu-status social-network example (Examples 2 of Section 2 and the
+//! worked example of Section 3).
+//!
+//! A clique of `n` socially interacting people shares a flu outbreak: the
+//! modelling assumption is a distribution `p` over the *number* of infected
+//! people, with the infected subset uniform given its size. The secret for
+//! person `i` is whether `X_i = 0` or `X_i = 1`, and the released query is
+//! the number of infected people.
+//!
+//! This module constructs the corresponding [`DiscretePufferfishFramework`]
+//! by explicit enumeration, which is exactly what the Wasserstein Mechanism
+//! needs. It also provides the contagion-shaped infection distribution
+//! `P(N = j) ∝ exp(2 j)` suggested in Section 2.2.
+
+use crate::framework::{DiscretePufferfishFramework, DiscreteScenario, Secret};
+use crate::{PufferfishError, Result};
+
+/// Maximum clique size for explicit enumeration (2^n databases).
+const MAX_CLIQUE: usize = 20;
+
+/// Builds the scenario (a single `θ`) for a clique of `n` people with the
+/// given distribution over the number of infected people.
+///
+/// `infection_distribution[j]` is `P(N = j)` for `j = 0..=n`; given `N = j`,
+/// the infected subset is uniform among the `C(n, j)` possibilities.
+///
+/// # Errors
+/// [`PufferfishError::InvalidFramework`] when the distribution has the wrong
+/// length, is not a probability vector, or `n` is zero or too large to
+/// enumerate.
+pub fn flu_clique_scenario(
+    label: impl Into<String>,
+    n: usize,
+    infection_distribution: &[f64],
+) -> Result<DiscreteScenario> {
+    if n == 0 || n > MAX_CLIQUE {
+        return Err(PufferfishError::InvalidFramework(format!(
+            "clique size {n} outside the supported range 1..={MAX_CLIQUE}"
+        )));
+    }
+    if infection_distribution.len() != n + 1 {
+        return Err(PufferfishError::InvalidFramework(format!(
+            "infection distribution must have {} entries, got {}",
+            n + 1,
+            infection_distribution.len()
+        )));
+    }
+    let binomials = binomial_row(n);
+    let mut outcomes = Vec::with_capacity(1 << n);
+    for mask in 0u32..(1u32 << n) {
+        let database: Vec<usize> = (0..n).map(|i| ((mask >> i) & 1) as usize).collect();
+        let infected = database.iter().sum::<usize>();
+        let probability = infection_distribution[infected] / binomials[infected];
+        outcomes.push((database, probability));
+    }
+    DiscreteScenario::new(label, outcomes)
+}
+
+/// Builds the full Pufferfish framework for a single clique: secrets
+/// `{X_i = 0, X_i = 1}` for every person, the pairs `(X_i = 0, X_i = 1)`,
+/// and the single scenario above.
+///
+/// # Errors
+/// Same as [`flu_clique_scenario`].
+pub fn flu_clique_framework(
+    n: usize,
+    infection_distribution: &[f64],
+) -> Result<DiscretePufferfishFramework> {
+    flu_clique_framework_with_class(n, &[infection_distribution])
+}
+
+/// Builds the framework with a *class* of infection distributions (one
+/// scenario per distribution), modelling uncertainty about how contagious the
+/// flu is.
+///
+/// # Errors
+/// Same as [`flu_clique_scenario`]; additionally rejects an empty class.
+pub fn flu_clique_framework_with_class(
+    n: usize,
+    infection_distributions: &[&[f64]],
+) -> Result<DiscretePufferfishFramework> {
+    if infection_distributions.is_empty() {
+        return Err(PufferfishError::InvalidFramework(
+            "at least one infection distribution is required".to_string(),
+        ));
+    }
+    let scenarios: Vec<DiscreteScenario> = infection_distributions
+        .iter()
+        .enumerate()
+        .map(|(index, dist)| flu_clique_scenario(format!("theta_{index}"), n, dist))
+        .collect::<Result<_>>()?;
+
+    let mut secrets = Vec::with_capacity(2 * n);
+    let mut pairs = Vec::with_capacity(n);
+    for person in 0..n {
+        let healthy = Secret::record_equals(person, 0);
+        let infected = Secret::record_equals(person, 1);
+        secrets.push(healthy);
+        secrets.push(infected);
+        pairs.push((2 * person, 2 * person + 1));
+    }
+    DiscretePufferfishFramework::new(scenarios, secrets, pairs)
+}
+
+/// The contagion-shaped infection distribution of Section 2.2:
+/// `P(N = j) = exp(strength · j) / Σ_i exp(strength · i)` for `j = 0..=n`.
+/// The paper's concrete example uses `strength = 2`.
+pub fn contagion_distribution(n: usize, strength: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (0..=n).map(|j| (strength * j as f64).exp()).collect();
+    let total: f64 = weights.iter().sum();
+    weights.into_iter().map(|w| w / total).collect()
+}
+
+/// Pascal's-triangle row `C(n, 0..=n)` as floats.
+fn binomial_row(n: usize) -> Vec<f64> {
+    let mut row = vec![1.0];
+    for k in 1..=n {
+        let next = row[k - 1] * (n - k + 1) as f64 / k as f64;
+        row.push(next);
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::StateCountQuery;
+    use crate::{LipschitzQuery, PrivacyBudget, WassersteinMechanism};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn binomials() {
+        assert_eq!(binomial_row(4), vec![1.0, 4.0, 6.0, 4.0, 1.0]);
+        assert_eq!(binomial_row(0), vec![1.0]);
+    }
+
+    #[test]
+    fn contagion_distribution_matches_paper_form() {
+        let dist = contagion_distribution(4, 2.0);
+        assert_eq!(dist.len(), 5);
+        assert!(close(dist.iter().sum::<f64>(), 1.0));
+        // Monotone increasing in j for positive strength.
+        for j in 1..dist.len() {
+            assert!(dist[j] > dist[j - 1]);
+        }
+        // Ratio between consecutive entries is e^2.
+        assert!(close(dist[2] / dist[1], 2.0f64.exp()));
+    }
+
+    #[test]
+    fn scenario_reproduces_paper_conditionals() {
+        // Section 3: p = (0.1, 0.15, 0.5, 0.15, 0.1) over N for a 4-clique.
+        let scenario =
+            flu_clique_scenario("paper", 4, &[0.1, 0.15, 0.5, 0.15, 0.1]).unwrap();
+        assert_eq!(scenario.outcomes().len(), 16);
+        let total: f64 = scenario.outcomes().iter().map(|(_, p)| p).sum();
+        assert!(close(total, 1.0));
+
+        // P(N = j | X_1 = 0) should be (0.2, 0.225, 0.5, 0.075, 0).
+        let healthy = Secret::record_equals(0, 0);
+        let query = StateCountQuery::new(1, 4);
+        let mut eval = |db: &[usize]| Ok(query.evaluate(db)?[0]);
+        let conditional = scenario
+            .conditional_query_values(&mut eval, &healthy)
+            .unwrap();
+        let mut by_count = [0.0; 5];
+        for (value, p) in conditional {
+            by_count[value as usize] += p;
+        }
+        assert!(close(by_count[0], 0.2));
+        assert!(close(by_count[1], 0.225));
+        assert!(close(by_count[2], 0.5));
+        assert!(close(by_count[3], 0.075));
+        assert!(close(by_count[4], 0.0));
+
+        // And symmetrically for X_1 = 1: (0, 0.075, 0.5, 0.225, 0.2).
+        let infected = Secret::record_equals(0, 1);
+        let conditional = scenario
+            .conditional_query_values(&mut eval, &infected)
+            .unwrap();
+        let mut by_count = [0.0; 5];
+        for (value, p) in conditional {
+            by_count[value as usize] += p;
+        }
+        assert!(close(by_count[1], 0.075));
+        assert!(close(by_count[3], 0.225));
+        assert!(close(by_count[4], 0.2));
+    }
+
+    #[test]
+    fn framework_structure() {
+        let framework = flu_clique_framework(4, &[0.1, 0.15, 0.5, 0.15, 0.1]).unwrap();
+        assert_eq!(framework.secrets().len(), 8);
+        assert_eq!(framework.secret_pairs().len(), 4);
+        assert_eq!(framework.scenarios().len(), 1);
+        assert_eq!(framework.record_length(), 4);
+    }
+
+    #[test]
+    fn class_of_infection_distributions() {
+        let mild = contagion_distribution(4, 0.5);
+        let severe = contagion_distribution(4, 2.0);
+        let framework =
+            flu_clique_framework_with_class(4, &[&mild, &severe]).unwrap();
+        assert_eq!(framework.scenarios().len(), 2);
+        // The mechanism calibrates against the worst scenario in the class.
+        let query = StateCountQuery::new(1, 4);
+        let class_mechanism = WassersteinMechanism::calibrate(
+            &framework,
+            &query,
+            PrivacyBudget::new(1.0).unwrap(),
+        )
+        .unwrap();
+        let mild_only = flu_clique_framework(4, &mild).unwrap();
+        let mild_mechanism = WassersteinMechanism::calibrate(
+            &mild_only,
+            &query,
+            PrivacyBudget::new(1.0).unwrap(),
+        )
+        .unwrap();
+        assert!(
+            class_mechanism.wasserstein_parameter()
+                >= mild_mechanism.wasserstein_parameter() - 1e-12
+        );
+        assert!(flu_clique_framework_with_class(4, &[]).is_err());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(flu_clique_scenario("bad", 0, &[1.0]).is_err());
+        assert!(flu_clique_scenario("bad", 25, &[1.0]).is_err());
+        assert!(flu_clique_scenario("bad", 4, &[0.5, 0.5]).is_err());
+        assert!(flu_clique_scenario("bad", 2, &[0.5, 0.2, 0.2]).is_err());
+    }
+}

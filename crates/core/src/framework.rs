@@ -1,0 +1,400 @@
+//! General (enumerable) Pufferfish frameworks: secrets, secret pairs, and
+//! explicit data-generating scenarios.
+//!
+//! The Wasserstein Mechanism (Section 3) applies to *any* Pufferfish
+//! instantiation `(S, Q, Θ)`. For instantiations whose databases can be
+//! enumerated — the flu-status social network of the paper's running
+//! examples, small sensor networks, survey tables — this module provides a
+//! concrete, fully general representation:
+//!
+//! * a [`Secret`] is a named predicate over databases;
+//! * a [`DiscreteScenario`] is one `θ ∈ Θ`: an explicit joint distribution
+//!   over databases;
+//! * a [`DiscretePufferfishFramework`] bundles Θ, S and Q.
+//!
+//! Large structured instantiations (Markov chains over a million time steps)
+//! do not enumerate their databases; they use the Markov Quilt Mechanism
+//! instead (see [`crate::MqmExact`] / [`crate::MqmApprox`]).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{PufferfishError, Result};
+
+/// Tolerance used when checking that scenario probabilities sum to one.
+const MASS_TOLERANCE: f64 = 1e-9;
+
+/// A potential secret: a named predicate over databases.
+///
+/// In the paper's examples a secret is an event of the form "record `i` has
+/// value `a`" ([`Secret::record_equals`]), but arbitrary predicates are
+/// allowed (e.g. "Alice is among the infected").
+#[derive(Clone)]
+pub struct Secret {
+    label: String,
+    predicate: Arc<dyn Fn(&[usize]) -> bool + Send + Sync>,
+}
+
+impl Secret {
+    /// Creates a secret from a label and predicate.
+    pub fn new(
+        label: impl Into<String>,
+        predicate: impl Fn(&[usize]) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Secret {
+            label: label.into(),
+            predicate: Arc::new(predicate),
+        }
+    }
+
+    /// The standard secret `s_i^a`: "record `index` has value `value`".
+    pub fn record_equals(index: usize, value: usize) -> Self {
+        Secret::new(format!("X[{index}] = {value}"), move |db: &[usize]| {
+            db.get(index).copied() == Some(value)
+        })
+    }
+
+    /// Evaluates the predicate on a database.
+    pub fn holds(&self, database: &[usize]) -> bool {
+        (self.predicate)(database)
+    }
+
+    /// The human-readable label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl fmt::Debug for Secret {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Secret").field("label", &self.label).finish()
+    }
+}
+
+/// One data-generating distribution `θ ∈ Θ`, given as an explicit list of
+/// `(database, probability)` outcomes.
+#[derive(Debug, Clone)]
+pub struct DiscreteScenario {
+    label: String,
+    outcomes: Vec<(Vec<usize>, f64)>,
+    record_length: usize,
+}
+
+impl DiscreteScenario {
+    /// Creates a scenario from explicit outcomes.
+    ///
+    /// # Errors
+    /// [`PufferfishError::InvalidFramework`] when the outcome list is empty,
+    /// probabilities are invalid or do not sum to 1, or databases have
+    /// inconsistent lengths.
+    pub fn new(label: impl Into<String>, outcomes: Vec<(Vec<usize>, f64)>) -> Result<Self> {
+        if outcomes.is_empty() {
+            return Err(PufferfishError::InvalidFramework(
+                "scenario has no outcomes".to_string(),
+            ));
+        }
+        let record_length = outcomes[0].0.len();
+        let mut total = 0.0;
+        for (db, p) in &outcomes {
+            if db.len() != record_length {
+                return Err(PufferfishError::InvalidFramework(format!(
+                    "outcome databases have inconsistent lengths ({} vs {record_length})",
+                    db.len()
+                )));
+            }
+            if !p.is_finite() || *p < 0.0 {
+                return Err(PufferfishError::InvalidFramework(format!(
+                    "outcome probability {p} is invalid"
+                )));
+            }
+            total += p;
+        }
+        if (total - 1.0).abs() > MASS_TOLERANCE {
+            return Err(PufferfishError::InvalidFramework(format!(
+                "outcome probabilities sum to {total}, expected 1"
+            )));
+        }
+        Ok(DiscreteScenario {
+            label: label.into(),
+            outcomes,
+            record_length,
+        })
+    }
+
+    /// The scenario label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The outcomes and their probabilities.
+    pub fn outcomes(&self) -> &[(Vec<usize>, f64)] {
+        &self.outcomes
+    }
+
+    /// Length of every database in the scenario.
+    pub fn record_length(&self) -> usize {
+        self.record_length
+    }
+
+    /// `P(secret | θ)`.
+    pub fn secret_probability(&self, secret: &Secret) -> f64 {
+        self.outcomes
+            .iter()
+            .filter(|(db, _)| secret.holds(db))
+            .map(|(_, p)| p)
+            .sum()
+    }
+
+    /// The conditional distribution of a scalar query value given a secret:
+    /// `P(F(X) = · | secret, θ)` as a list of `(value, probability)` pairs
+    /// (unsorted, possibly with repeated values).
+    ///
+    /// # Errors
+    /// [`PufferfishError::InvalidFramework`] when the secret has zero
+    /// probability under this scenario; query evaluation errors are
+    /// propagated.
+    pub fn conditional_query_values(
+        &self,
+        query: &mut dyn FnMut(&[usize]) -> Result<f64>,
+        secret: &Secret,
+    ) -> Result<Vec<(f64, f64)>> {
+        let mass = self.secret_probability(secret);
+        if mass <= 0.0 {
+            return Err(PufferfishError::InvalidFramework(format!(
+                "secret '{}' has zero probability under scenario '{}'",
+                secret.label(),
+                self.label
+            )));
+        }
+        let mut values = Vec::new();
+        for (db, p) in &self.outcomes {
+            if *p > 0.0 && secret.holds(db) {
+                values.push((query(db)?, p / mass));
+            }
+        }
+        Ok(values)
+    }
+}
+
+/// A complete enumerable Pufferfish instantiation `(S, Q, Θ)`.
+#[derive(Debug, Clone)]
+pub struct DiscretePufferfishFramework {
+    scenarios: Vec<DiscreteScenario>,
+    secrets: Vec<Secret>,
+    secret_pairs: Vec<(usize, usize)>,
+}
+
+impl DiscretePufferfishFramework {
+    /// Creates a framework from scenarios (Θ), secrets (S) and secret pairs
+    /// (Q, given as index pairs into the secret list).
+    ///
+    /// # Errors
+    /// [`PufferfishError::InvalidFramework`] when any component is empty, an
+    /// index is out of range, a pair repeats an index, or scenarios disagree
+    /// on the record length.
+    pub fn new(
+        scenarios: Vec<DiscreteScenario>,
+        secrets: Vec<Secret>,
+        secret_pairs: Vec<(usize, usize)>,
+    ) -> Result<Self> {
+        if scenarios.is_empty() {
+            return Err(PufferfishError::InvalidFramework(
+                "distribution class Θ is empty".to_string(),
+            ));
+        }
+        if secrets.is_empty() || secret_pairs.is_empty() {
+            return Err(PufferfishError::InvalidFramework(
+                "secret set and secret pairs must be non-empty".to_string(),
+            ));
+        }
+        let record_length = scenarios[0].record_length();
+        for scenario in &scenarios {
+            if scenario.record_length() != record_length {
+                return Err(PufferfishError::InvalidFramework(
+                    "scenarios disagree on the record length".to_string(),
+                ));
+            }
+        }
+        for &(i, j) in &secret_pairs {
+            if i >= secrets.len() || j >= secrets.len() {
+                return Err(PufferfishError::InvalidFramework(format!(
+                    "secret pair ({i}, {j}) references a missing secret"
+                )));
+            }
+            if i == j {
+                return Err(PufferfishError::InvalidFramework(format!(
+                    "secret pair ({i}, {j}) must pair two distinct secrets"
+                )));
+            }
+        }
+        Ok(DiscretePufferfishFramework {
+            scenarios,
+            secrets,
+            secret_pairs,
+        })
+    }
+
+    /// Builds the set of all unordered pairs over the given secrets — the
+    /// default "discriminative pairs" choice when every pair of secrets must
+    /// be indistinguishable.
+    pub fn all_pairs(num_secrets: usize) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        for i in 0..num_secrets {
+            for j in (i + 1)..num_secrets {
+                pairs.push((i, j));
+            }
+        }
+        pairs
+    }
+
+    /// The distribution class Θ.
+    pub fn scenarios(&self) -> &[DiscreteScenario] {
+        &self.scenarios
+    }
+
+    /// The secret set S.
+    pub fn secrets(&self) -> &[Secret] {
+        &self.secrets
+    }
+
+    /// The secret pairs Q (indices into [`DiscretePufferfishFramework::secrets`]).
+    pub fn secret_pairs(&self) -> &[(usize, usize)] {
+        &self.secret_pairs
+    }
+
+    /// The record length shared by every scenario.
+    pub fn record_length(&self) -> usize {
+        self.scenarios[0].record_length()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_scenario() -> DiscreteScenario {
+        // Two binary records, independent fair coins.
+        let outcomes = vec![
+            (vec![0, 0], 0.25),
+            (vec![0, 1], 0.25),
+            (vec![1, 0], 0.25),
+            (vec![1, 1], 0.25),
+        ];
+        DiscreteScenario::new("iid coins", outcomes).unwrap()
+    }
+
+    #[test]
+    fn secret_predicates() {
+        let s = Secret::record_equals(1, 1);
+        assert!(s.holds(&[0, 1]));
+        assert!(!s.holds(&[0, 0]));
+        assert!(!s.holds(&[0]));
+        assert_eq!(s.label(), "X[1] = 1");
+        let custom = Secret::new("at least one infected", |db: &[usize]| {
+            db.iter().any(|&x| x == 1)
+        });
+        assert!(custom.holds(&[0, 1, 0]));
+        assert!(!custom.holds(&[0, 0, 0]));
+        assert!(format!("{custom:?}").contains("at least one"));
+    }
+
+    #[test]
+    fn scenario_validation() {
+        assert!(DiscreteScenario::new("empty", vec![]).is_err());
+        assert!(DiscreteScenario::new("ragged", vec![(vec![0], 0.5), (vec![0, 1], 0.5)]).is_err());
+        assert!(DiscreteScenario::new("bad mass", vec![(vec![0], 0.5)]).is_err());
+        assert!(DiscreteScenario::new("negative", vec![(vec![0], -0.5), (vec![1], 1.5)]).is_err());
+        assert!(
+            DiscreteScenario::new("nan", vec![(vec![0], f64::NAN), (vec![1], 1.0)]).is_err()
+        );
+        let s = simple_scenario();
+        assert_eq!(s.record_length(), 2);
+        assert_eq!(s.outcomes().len(), 4);
+        assert_eq!(s.label(), "iid coins");
+    }
+
+    #[test]
+    fn secret_probability_and_conditionals() {
+        let s = simple_scenario();
+        let alice_infected = Secret::record_equals(0, 1);
+        assert!((s.secret_probability(&alice_infected) - 0.5).abs() < 1e-12);
+
+        // Query: number of ones. Conditioned on X0 = 1 it is 1 or 2 with
+        // equal probability.
+        let mut query = |db: &[usize]| Ok(db.iter().filter(|&&x| x == 1).count() as f64);
+        let values = s
+            .conditional_query_values(&mut query, &alice_infected)
+            .unwrap();
+        assert_eq!(values.len(), 2);
+        let total: f64 = values.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(values.iter().any(|&(v, p)| v == 1.0 && (p - 0.5).abs() < 1e-12));
+        assert!(values.iter().any(|&(v, p)| v == 2.0 && (p - 0.5).abs() < 1e-12));
+
+        // A zero-probability secret is rejected.
+        let impossible = Secret::new("impossible", |_db: &[usize]| false);
+        assert!(s
+            .conditional_query_values(&mut query, &impossible)
+            .is_err());
+    }
+
+    #[test]
+    fn framework_validation() {
+        let secrets = vec![Secret::record_equals(0, 0), Secret::record_equals(0, 1)];
+        let pairs = vec![(0usize, 1usize)];
+        assert!(DiscretePufferfishFramework::new(
+            vec![],
+            secrets.clone(),
+            pairs.clone()
+        )
+        .is_err());
+        assert!(DiscretePufferfishFramework::new(
+            vec![simple_scenario()],
+            vec![],
+            pairs.clone()
+        )
+        .is_err());
+        assert!(DiscretePufferfishFramework::new(
+            vec![simple_scenario()],
+            secrets.clone(),
+            vec![]
+        )
+        .is_err());
+        assert!(DiscretePufferfishFramework::new(
+            vec![simple_scenario()],
+            secrets.clone(),
+            vec![(0, 7)]
+        )
+        .is_err());
+        assert!(DiscretePufferfishFramework::new(
+            vec![simple_scenario()],
+            secrets.clone(),
+            vec![(1, 1)]
+        )
+        .is_err());
+
+        // Scenarios with different record lengths are rejected.
+        let other = DiscreteScenario::new("longer", vec![(vec![0, 0, 0], 1.0)]).unwrap();
+        assert!(DiscretePufferfishFramework::new(
+            vec![simple_scenario(), other],
+            secrets.clone(),
+            pairs.clone()
+        )
+        .is_err());
+
+        let framework =
+            DiscretePufferfishFramework::new(vec![simple_scenario()], secrets, pairs).unwrap();
+        assert_eq!(framework.scenarios().len(), 1);
+        assert_eq!(framework.secrets().len(), 2);
+        assert_eq!(framework.secret_pairs(), &[(0, 1)]);
+        assert_eq!(framework.record_length(), 2);
+    }
+
+    #[test]
+    fn all_pairs_helper() {
+        assert_eq!(DiscretePufferfishFramework::all_pairs(0), vec![]);
+        assert_eq!(DiscretePufferfishFramework::all_pairs(2), vec![(0, 1)]);
+        assert_eq!(DiscretePufferfishFramework::all_pairs(3).len(), 3);
+        assert_eq!(DiscretePufferfishFramework::all_pairs(4).len(), 6);
+    }
+}

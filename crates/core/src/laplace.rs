@@ -1,0 +1,143 @@
+//! The Laplace distribution, the noise primitive of every mechanism in the
+//! paper.
+
+use rand::Rng;
+
+use crate::{PufferfishError, Result};
+
+/// A zero-mean Laplace distribution `Lap(scale)` with density
+/// `h(x) = exp(-|x|/scale) / (2 scale)` (Section 2.4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laplace {
+    scale: f64,
+}
+
+impl Laplace {
+    /// Creates a Laplace distribution with the given scale parameter.
+    ///
+    /// # Errors
+    /// [`PufferfishError::CannotCalibrate`] when the scale is negative, zero
+    /// or non-finite — mechanisms never legitimately produce such scales.
+    pub fn new(scale: f64) -> Result<Self> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(PufferfishError::CannotCalibrate(format!(
+                "Laplace scale must be positive and finite, got {scale}"
+            )));
+        }
+        Ok(Laplace { scale })
+    }
+
+    /// The scale parameter `b`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The standard deviation (`b * sqrt(2)`).
+    pub fn std_dev(&self) -> f64 {
+        self.scale * std::f64::consts::SQRT_2
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        (-x.abs() / self.scale).exp() / (2.0 * self.scale)
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.5 * (x / self.scale).exp()
+        } else {
+            1.0 - 0.5 * (-x / self.scale).exp()
+        }
+    }
+
+    /// Draws one sample via inverse-CDF sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u uniform in (-0.5, 0.5]; the sign of u picks the tail.
+        let u: f64 = rng.gen::<f64>() - 0.5;
+        -self.scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+
+    /// Draws `n` independent samples.
+    pub fn sample_vec<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates_scale() {
+        assert!(Laplace::new(1.0).is_ok());
+        assert!(Laplace::new(0.0).is_err());
+        assert!(Laplace::new(-2.0).is_err());
+        assert!(Laplace::new(f64::NAN).is_err());
+        assert!(Laplace::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn density_and_cdf_basic_identities() {
+        let lap = Laplace::new(2.0).unwrap();
+        assert_eq!(lap.scale(), 2.0);
+        assert!((lap.std_dev() - 2.0 * std::f64::consts::SQRT_2).abs() < 1e-12);
+        // Density is symmetric and maximal at zero.
+        assert!((lap.pdf(1.0) - lap.pdf(-1.0)).abs() < 1e-12);
+        assert!(lap.pdf(0.0) > lap.pdf(0.5));
+        assert!((lap.pdf(0.0) - 0.25).abs() < 1e-12);
+        // CDF: median at zero, symmetric tails.
+        assert!((lap.cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((lap.cdf(10.0) + lap.cdf(-10.0) - 1.0).abs() < 1e-9);
+        assert!(lap.cdf(-1.0) < lap.cdf(1.0));
+    }
+
+    #[test]
+    fn samples_match_theoretical_moments() {
+        let lap = Laplace::new(3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 200_000;
+        let samples = lap.sample_vec(n, &mut rng);
+        assert_eq!(samples.len(), n);
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        // Mean 0, variance 2 b^2 = 18.
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 18.0).abs() < 0.5, "variance {var}");
+        // Median close to zero: about half the samples are negative.
+        let negative = samples.iter().filter(|&&x| x < 0.0).count() as f64 / n as f64;
+        assert!((negative - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn empirical_cdf_matches_analytic_cdf() {
+        let lap = Laplace::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let samples = lap.sample_vec(n, &mut rng);
+        for threshold in [-2.0, -0.5, 0.0, 0.5, 2.0] {
+            let empirical =
+                samples.iter().filter(|&&x| x <= threshold).count() as f64 / n as f64;
+            assert!(
+                (empirical - lap.cdf(threshold)).abs() < 0.01,
+                "threshold {threshold}: empirical {empirical}, analytic {}",
+                lap.cdf(threshold)
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_of_densities_bounded_by_shift_over_scale() {
+        // The property the privacy proofs rely on:
+        // pdf(x) / pdf(x + delta) <= exp(|delta| / scale).
+        let lap = Laplace::new(2.0).unwrap();
+        for x in [-3.0, -1.0, 0.0, 0.7, 2.5] {
+            for delta in [-1.5, -0.3, 0.4, 1.0] {
+                let ratio = lap.pdf(x) / lap.pdf(x + delta);
+                assert!(ratio <= (delta.abs() / 2.0).exp() + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! # pufferfish-core
+//!
+//! A production-quality implementation of the Pufferfish privacy mechanisms
+//! of Song, Wang and Chaudhuri, *"Pufferfish Privacy Mechanisms for
+//! Correlated Data"* (SIGMOD 2017).
+//!
+//! Pufferfish [Kifer & Machanavajjhala 2014] generalises differential privacy
+//! to settings with **correlated data**: a framework is a triple `(S, Q, Θ)`
+//! of secrets, secret pairs that must remain indistinguishable, and a class
+//! of plausible data-generating distributions. This crate provides the
+//! paper's two mechanism families plus the supporting theory:
+//!
+//! * [`WassersteinMechanism`] (Algorithm 1) — the first mechanism applicable
+//!   to *any* Pufferfish instantiation; it calibrates Laplace noise to the
+//!   worst-case ∞-Wasserstein distance between conditional query
+//!   distributions.
+//! * [`MarkovQuiltMechanism`] (Algorithm 2) — an efficient mechanism when the
+//!   correlation is described by a Bayesian network, with the Markov-chain
+//!   specialisations [`MqmExact`] (Algorithm 3) and [`MqmApprox`]
+//!   (Algorithm 4) that power the paper's experiments on activity and power
+//!   consumption data.
+//! * Sequential composition of the Markov Quilt Mechanism (Theorem 4.4) via
+//!   [`CompositionAccountant`].
+//! * Robustness against adversaries whose beliefs lie *outside* Θ
+//!   (Theorem 2.4) via [`robustness`].
+//! * The queries used throughout the paper ([`queries`]): relative-frequency
+//!   histograms, state frequencies and counts, all with explicit Lipschitz
+//!   constants.
+//! * The flu-status social-network example of Sections 2–3 ([`flu`]), which
+//!   doubles as an executable illustration of the Wasserstein mechanism.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pufferfish_core::queries::StateFrequencyQuery;
+//! use pufferfish_core::{MqmApprox, MqmApproxOptions, PrivacyBudget};
+//! use pufferfish_markov::{IntervalClassBuilder, MarkovChain, sample_trajectory};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // A class of plausible activity models: binary chains with transition
+//! // probabilities in [0.3, 0.7] and any initial distribution.
+//! let class = IntervalClassBuilder::symmetric(0.3).grid_points(5).build().unwrap();
+//!
+//! // Calibrate MQMApprox for chains of length 200 at epsilon = 1.
+//! let t = 200;
+//! let mechanism = MqmApprox::calibrate(
+//!     &class,
+//!     t,
+//!     PrivacyBudget::new(1.0).unwrap(),
+//!     MqmApproxOptions::default(),
+//! )
+//! .unwrap();
+//!
+//! // Release the fraction of time spent in state 1.
+//! let truth = MarkovChain::new(vec![0.5, 0.5], vec![vec![0.6, 0.4], vec![0.4, 0.6]]).unwrap();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let data = sample_trajectory(&truth, t, &mut rng).unwrap();
+//! let query = StateFrequencyQuery::new(1, t);
+//! let release = mechanism.release(&query, &data, &mut rng).unwrap();
+//! assert_eq!(release.values.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod composition;
+mod error;
+pub mod flu;
+mod framework;
+mod laplace;
+mod mechanism;
+mod mqm_approx;
+mod mqm_chain_influence;
+mod mqm_exact;
+pub mod queries;
+mod quilt_mechanism;
+pub mod robustness;
+mod wasserstein_mechanism;
+
+pub use composition::CompositionAccountant;
+pub use error::PufferfishError;
+pub use framework::{DiscretePufferfishFramework, DiscreteScenario, Secret};
+pub use laplace::Laplace;
+pub use mechanism::{l1_error, NoisyRelease, PrivacyBudget};
+pub use mqm_approx::{MqmApprox, MqmApproxOptions, QuiltSearchStrategy};
+pub use mqm_chain_influence::{chain_max_influence, ChainQuiltShape, InitialDistributionMode};
+pub use mqm_exact::{MqmExact, MqmExactOptions, QuiltSelection};
+pub use queries::LipschitzQuery;
+pub use quilt_mechanism::{MarkovQuiltMechanism, NodeCalibration, QuiltMechanismOptions};
+pub use wasserstein_mechanism::WassersteinMechanism;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, PufferfishError>;

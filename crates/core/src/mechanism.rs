@@ -1,0 +1,140 @@
+//! Shared mechanism plumbing: privacy budgets and noisy releases.
+
+use crate::{PufferfishError, Result};
+
+/// A validated privacy parameter `epsilon > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyBudget {
+    epsilon: f64,
+}
+
+impl PrivacyBudget {
+    /// Creates a budget with the given epsilon.
+    ///
+    /// # Errors
+    /// [`PufferfishError::InvalidEpsilon`] unless `epsilon` is positive and
+    /// finite.
+    pub fn new(epsilon: f64) -> Result<Self> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(PufferfishError::InvalidEpsilon(epsilon));
+        }
+        Ok(PrivacyBudget { epsilon })
+    }
+
+    /// The epsilon value.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+/// The output of a privacy mechanism: the noisy values together with the
+/// exact values and the Laplace scale that was used (useful for utility
+/// accounting in experiments; a deployment would publish only `values`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoisyRelease {
+    /// The privatised query answers.
+    pub values: Vec<f64>,
+    /// The exact (non-private) query answers, retained for error measurement.
+    pub true_values: Vec<f64>,
+    /// Laplace scale applied to each coordinate.
+    pub scale: f64,
+}
+
+impl NoisyRelease {
+    /// L1 error between the noisy and exact values.
+    pub fn l1_error(&self) -> f64 {
+        l1_error(&self.values, &self.true_values)
+    }
+
+    /// L-infinity error between the noisy and exact values.
+    pub fn linf_error(&self) -> f64 {
+        self.values
+            .iter()
+            .zip(&self.true_values)
+            .fold(0.0, |acc, (a, b)| acc.max((a - b).abs()))
+    }
+}
+
+/// L1 distance between two equal-length value vectors.
+///
+/// # Panics
+/// Panics when the slices have different lengths — a programming error in the
+/// harness, not a data error.
+pub fn l1_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "l1_error requires equal-length slices");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Validates that a database consists of states `< num_states` and has the
+/// expected length.
+pub(crate) fn validate_database(
+    database: &[usize],
+    expected_len: usize,
+    num_states: usize,
+) -> Result<()> {
+    if database.len() != expected_len {
+        return Err(PufferfishError::InvalidDatabase(format!(
+            "database has length {}, mechanism was calibrated for {expected_len}",
+            database.len()
+        )));
+    }
+    if let Some(&bad) = database.iter().find(|&&s| s >= num_states) {
+        return Err(PufferfishError::InvalidDatabase(format!(
+            "state {bad} out of range for {num_states} states"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_validation() {
+        assert!(PrivacyBudget::new(1.0).is_ok());
+        assert_eq!(PrivacyBudget::new(0.2).unwrap().epsilon(), 0.2);
+        assert!(matches!(
+            PrivacyBudget::new(0.0),
+            Err(PufferfishError::InvalidEpsilon(_))
+        ));
+        assert!(PrivacyBudget::new(-1.0).is_err());
+        assert!(PrivacyBudget::new(f64::INFINITY).is_err());
+        assert!(PrivacyBudget::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn release_error_metrics() {
+        let release = NoisyRelease {
+            values: vec![1.0, 2.0, 3.5],
+            true_values: vec![1.0, 1.0, 3.0],
+            scale: 0.5,
+        };
+        assert!((release.l1_error() - 1.5).abs() < 1e-12);
+        assert!((release.linf_error() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_error_helper() {
+        assert_eq!(l1_error(&[0.0, 1.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn l1_error_panics_on_length_mismatch() {
+        l1_error(&[0.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn database_validation() {
+        assert!(validate_database(&[0, 1, 2], 3, 3).is_ok());
+        assert!(matches!(
+            validate_database(&[0, 1], 3, 3),
+            Err(PufferfishError::InvalidDatabase(_))
+        ));
+        assert!(matches!(
+            validate_database(&[0, 5, 2], 3, 3),
+            Err(PufferfishError::InvalidDatabase(_))
+        ));
+    }
+}

@@ -1,0 +1,497 @@
+//! Exact max-influence of a node on its Markov quilt in a Markov chain —
+//! Equation (5) of the paper, plus the Appendix C.4 closed-form maximisation
+//! over initial distributions.
+
+use pufferfish_markov::TransitionPowers;
+
+use crate::{PufferfishError, Result};
+
+/// Probability below which an event is treated as impossible.
+const ZERO_MASS: f64 = 1e-300;
+
+/// The shape of a candidate Markov quilt for node `X_i` in a chain of length
+/// `T` (Lemma 4.6 shows these shapes suffice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainQuiltShape {
+    /// `X_Q = {X_{i-a}, X_{i+b}}` with nearby set `{X_{i-a+1}, …, X_{i+b-1}}`.
+    TwoSided {
+        /// Distance to the left quilt node (`a >= 1`).
+        a: usize,
+        /// Distance to the right quilt node (`b >= 1`).
+        b: usize,
+    },
+    /// `X_Q = {X_{i-a}}`; everything to the right of `X_{i-a}` is nearby.
+    LeftOnly {
+        /// Distance to the left quilt node (`a >= 1`).
+        a: usize,
+    },
+    /// `X_Q = {X_{i+b}}`; everything to the left of `X_{i+b}` is nearby.
+    RightOnly {
+        /// Distance to the right quilt node (`b >= 1`).
+        b: usize,
+    },
+    /// The trivial quilt `X_Q = ∅` with `X_N = X`.
+    Trivial,
+}
+
+impl ChainQuiltShape {
+    /// `card(X_N)` for this quilt at (1-based) node `i` in a chain of length
+    /// `t`.
+    pub fn card_nearby(&self, i: usize, t: usize) -> usize {
+        match *self {
+            ChainQuiltShape::TwoSided { a, b } => a + b - 1,
+            ChainQuiltShape::LeftOnly { a } => t - i + a,
+            ChainQuiltShape::RightOnly { b } => i + b - 1,
+            ChainQuiltShape::Trivial => t,
+        }
+    }
+
+    /// `true` when the quilt's endpoints fall inside the chain `1..=t` for
+    /// node `i`.
+    pub fn fits(&self, i: usize, t: usize) -> bool {
+        match *self {
+            ChainQuiltShape::TwoSided { a, b } => a >= 1 && b >= 1 && i > a && i + b <= t,
+            ChainQuiltShape::LeftOnly { a } => a >= 1 && i > a,
+            ChainQuiltShape::RightOnly { b } => b >= 1 && i + b <= t,
+            ChainQuiltShape::Trivial => i >= 1 && i <= t,
+        }
+    }
+}
+
+/// How to treat the initial distribution when maximising the influence over
+/// the class Θ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitialDistributionMode {
+    /// Use the chain's own initial distribution (`Θ` pins down `q_θ`); the
+    /// marginal `P(X_i)` is read from the precomputed table.
+    #[default]
+    FixedInitial,
+    /// `Θ` contains *all* initial distributions (Appendix C.4): the marginal
+    /// ratio is maximised in closed form,
+    /// `max_q (q^T P^{i-1})(x') / (q^T P^{i-1})(x) = max_y P^{i-1}(y, x') / P^{i-1}(y, x)`.
+    AllInitials,
+}
+
+/// Computes the exact max-influence `e_{θ}(X_Q | X_i)` of Equation (5) for a
+/// quilt of the given shape around the (1-based) node `i`.
+///
+/// Returns `f64::INFINITY` when some quilt assignment is possible under one
+/// value of `X_i` and impossible under another.
+///
+/// # Errors
+/// * [`PufferfishError::InvalidQuery`] if the quilt does not fit the chain or
+///   `i` is out of range.
+/// * Substrate errors if the required matrix powers or marginals were not
+///   precomputed in `powers`.
+pub fn chain_max_influence(
+    powers: &TransitionPowers,
+    i: usize,
+    shape: ChainQuiltShape,
+    mode: InitialDistributionMode,
+) -> Result<f64> {
+    // Left offsets must stay inside the chain; right offsets are bounded by
+    // the cached powers and checked there. Chain-length bounds are the
+    // caller's responsibility (MqmExact enumerates only fitting quilts).
+    let left_offset = match shape {
+        ChainQuiltShape::TwoSided { a, .. } | ChainQuiltShape::LeftOnly { a } => a,
+        _ => 0,
+    };
+    if i == 0 || (left_offset > 0 && i <= left_offset) {
+        return Err(PufferfishError::InvalidQuery(format!(
+            "quilt {shape:?} does not fit node {i}"
+        )));
+    }
+    if matches!(shape, ChainQuiltShape::Trivial) {
+        return Ok(0.0);
+    }
+
+    let k = powers.num_states();
+    // Values of X_i that are feasible secrets (positive marginal probability).
+    let feasible: Vec<usize> = match mode {
+        InitialDistributionMode::FixedInitial => {
+            let marginal = powers.marginal(i)?;
+            (0..k).filter(|&x| marginal[x] > ZERO_MASS).collect()
+        }
+        InitialDistributionMode::AllInitials => (0..k).collect(),
+    };
+    if feasible.len() < 2 {
+        // With at most one feasible value there is no secret pair to protect.
+        return Ok(0.0);
+    }
+
+    let mut worst: f64 = 0.0;
+    for &x in &feasible {
+        for &x_prime in &feasible {
+            if x == x_prime {
+                continue;
+            }
+            let mut total = 0.0;
+
+            // Backward (left) part: needs the marginal correction term.
+            match shape {
+                ChainQuiltShape::TwoSided { a, .. } | ChainQuiltShape::LeftOnly { a } => {
+                    let marginal_term = marginal_log_ratio(powers, i, x, x_prime, mode)?;
+                    let backward_term = backward_log_ratio(powers, a, x, x_prime)?;
+                    if marginal_term.is_infinite() || backward_term.is_infinite() {
+                        return Ok(f64::INFINITY);
+                    }
+                    total += marginal_term + backward_term;
+                }
+                _ => {}
+            }
+
+            // Forward (right) part.
+            match shape {
+                ChainQuiltShape::TwoSided { b, .. } | ChainQuiltShape::RightOnly { b } => {
+                    let forward_term = forward_log_ratio(powers, b, x, x_prime)?;
+                    if forward_term.is_infinite() {
+                        return Ok(f64::INFINITY);
+                    }
+                    total += forward_term;
+                }
+                _ => {}
+            }
+
+            worst = worst.max(total);
+        }
+    }
+    Ok(worst)
+}
+
+/// `log P(X_i = x') / P(X_i = x)`, maximised over the initial distribution
+/// when the class allows all of them.
+fn marginal_log_ratio(
+    powers: &TransitionPowers,
+    i: usize,
+    x: usize,
+    x_prime: usize,
+    mode: InitialDistributionMode,
+) -> Result<f64> {
+    match mode {
+        InitialDistributionMode::FixedInitial => {
+            let marginal = powers.marginal(i)?;
+            let numerator = marginal[x_prime];
+            let denominator = marginal[x];
+            if denominator <= ZERO_MASS {
+                // x was filtered to be feasible, so this cannot happen; guard
+                // anyway.
+                return Ok(f64::INFINITY);
+            }
+            if numerator <= ZERO_MASS {
+                return Ok(f64::NEG_INFINITY);
+            }
+            Ok((numerator / denominator).ln())
+        }
+        InitialDistributionMode::AllInitials => {
+            if i == 1 {
+                // The first state is drawn directly from q; the ratio
+                // q(x')/q(x) is unbounded over all initial distributions.
+                return Ok(f64::INFINITY);
+            }
+            let p = powers.power(i - 1)?;
+            let k = powers.num_states();
+            let mut best = f64::NEG_INFINITY;
+            for y in 0..k {
+                let numerator = p[(y, x_prime)];
+                let denominator = p[(y, x)];
+                if numerator <= ZERO_MASS {
+                    continue;
+                }
+                if denominator <= ZERO_MASS {
+                    return Ok(f64::INFINITY);
+                }
+                best = best.max((numerator / denominator).ln());
+            }
+            Ok(best)
+        }
+    }
+}
+
+/// `max_z log P^a(z, x) / P^a(z, x')`.
+fn backward_log_ratio(
+    powers: &TransitionPowers,
+    a: usize,
+    x: usize,
+    x_prime: usize,
+) -> Result<f64> {
+    let p = powers.power(a)?;
+    let k = powers.num_states();
+    let mut best = f64::NEG_INFINITY;
+    for z in 0..k {
+        let numerator = p[(z, x)];
+        let denominator = p[(z, x_prime)];
+        if numerator <= ZERO_MASS {
+            continue;
+        }
+        if denominator <= ZERO_MASS {
+            return Ok(f64::INFINITY);
+        }
+        best = best.max((numerator / denominator).ln());
+    }
+    if best == f64::NEG_INFINITY {
+        // x unreachable from every state in `a` steps: the secret X_i = x is
+        // impossible in the interior of the chain, so nothing to protect.
+        best = 0.0;
+    }
+    Ok(best)
+}
+
+/// `max_v log P^b(x, v) / P^b(x', v)`.
+fn forward_log_ratio(
+    powers: &TransitionPowers,
+    b: usize,
+    x: usize,
+    x_prime: usize,
+) -> Result<f64> {
+    let p = powers.power(b)?;
+    let k = powers.num_states();
+    let mut best = f64::NEG_INFINITY;
+    for v in 0..k {
+        let numerator = p[(x, v)];
+        let denominator = p[(x_prime, v)];
+        if numerator <= ZERO_MASS {
+            continue;
+        }
+        if denominator <= ZERO_MASS {
+            return Ok(f64::INFINITY);
+        }
+        best = best.max((numerator / denominator).ln());
+    }
+    if best == f64::NEG_INFINITY {
+        best = 0.0;
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pufferfish_markov::MarkovChain;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    /// The Section 4.3 composition-example chain: T = 3, q = [0.8, 0.2],
+    /// P = [[0.9, 0.1], [0.4, 0.6]].
+    fn section_4_3_powers() -> TransitionPowers {
+        let chain =
+            MarkovChain::new(vec![0.8, 0.2], vec![vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap();
+        TransitionPowers::new(&chain, 2, 3).unwrap()
+    }
+
+    #[test]
+    fn card_nearby_and_fits() {
+        let two = ChainQuiltShape::TwoSided { a: 5, b: 5 };
+        assert_eq!(two.card_nearby(8, 100), 9);
+        assert!(two.fits(8, 100));
+        assert!(!two.fits(5, 100));
+        assert!(!two.fits(96, 100));
+
+        let left = ChainQuiltShape::LeftOnly { a: 2 };
+        assert_eq!(left.card_nearby(6, 10), 6);
+        assert!(left.fits(6, 10));
+        assert!(!left.fits(2, 10));
+
+        let right = ChainQuiltShape::RightOnly { b: 4 };
+        assert_eq!(right.card_nearby(6, 10), 9);
+        assert!(right.fits(6, 10));
+        assert!(!right.fits(7, 10));
+
+        let trivial = ChainQuiltShape::Trivial;
+        assert_eq!(trivial.card_nearby(3, 10), 10);
+        assert!(trivial.fits(3, 10));
+    }
+
+    #[test]
+    fn section_4_3_example_influences() {
+        // Middle node X_2 (1-based): quilts ∅, {X_1}, {X_3}, {X_1, X_3}
+        // have max-influence 0, log 6, log 6, log 36.
+        let powers = section_4_3_powers();
+        let mode = InitialDistributionMode::FixedInitial;
+
+        let trivial =
+            chain_max_influence(&powers, 2, ChainQuiltShape::Trivial, mode).unwrap();
+        assert!(close(trivial, 0.0));
+
+        let left =
+            chain_max_influence(&powers, 2, ChainQuiltShape::LeftOnly { a: 1 }, mode).unwrap();
+        assert!(close(left, 6.0f64.ln()), "left = {left}");
+
+        let right =
+            chain_max_influence(&powers, 2, ChainQuiltShape::RightOnly { b: 1 }, mode).unwrap();
+        assert!(close(right, 6.0f64.ln()), "right = {right}");
+
+        let both = chain_max_influence(
+            &powers,
+            2,
+            ChainQuiltShape::TwoSided { a: 1, b: 1 },
+            mode,
+        )
+        .unwrap();
+        assert!(close(both, 36.0f64.ln()), "both = {both}");
+    }
+
+    #[test]
+    fn agrees_with_bayesnet_enumeration_on_longer_chain() {
+        // Cross-check Equation (5) against brute-force enumeration on a
+        // 5-node chain with a non-stationary start.
+        let chain =
+            MarkovChain::new(vec![0.3, 0.7], vec![vec![0.7, 0.3], vec![0.2, 0.8]]).unwrap();
+        let powers = TransitionPowers::new(&chain, 4, 5).unwrap();
+
+        let dag = pufferfish_bayesnet::Dag::chain(5);
+        let mut net =
+            pufferfish_bayesnet::DiscreteBayesianNetwork::new(dag, vec![2; 5]).unwrap();
+        net.set_cpd(0, vec![vec![0.3, 0.7]]).unwrap();
+        for node in 1..5 {
+            net.set_cpd(node, vec![vec![0.7, 0.3], vec![0.2, 0.8]]).unwrap();
+        }
+
+        // Two-sided quilt {X_1, X_5} around X_3 (1-based) = nodes {0, 4}
+        // around node 2 (0-based).
+        let exact = chain_max_influence(
+            &powers,
+            3,
+            ChainQuiltShape::TwoSided { a: 2, b: 2 },
+            InitialDistributionMode::FixedInitial,
+        )
+        .unwrap();
+        let brute =
+            pufferfish_bayesnet::max_influence_single(&net, 2, &[0, 4]).unwrap();
+        assert!(close(exact, brute), "exact {exact} vs brute {brute}");
+
+        // Left-only quilt {X_2} of X_4 = node 1 around node 3.
+        let exact = chain_max_influence(
+            &powers,
+            4,
+            ChainQuiltShape::LeftOnly { a: 2 },
+            InitialDistributionMode::FixedInitial,
+        )
+        .unwrap();
+        let brute = pufferfish_bayesnet::max_influence_single(&net, 3, &[1]).unwrap();
+        assert!(close(exact, brute), "exact {exact} vs brute {brute}");
+
+        // Right-only quilt {X_4} of X_2.
+        let exact = chain_max_influence(
+            &powers,
+            2,
+            ChainQuiltShape::RightOnly { b: 2 },
+            InitialDistributionMode::FixedInitial,
+        )
+        .unwrap();
+        let brute = pufferfish_bayesnet::max_influence_single(&net, 1, &[3]).unwrap();
+        assert!(close(exact, brute), "exact {exact} vs brute {brute}");
+    }
+
+    #[test]
+    fn all_initials_mode_upper_bounds_fixed_initial() {
+        let chain =
+            MarkovChain::new(vec![0.5, 0.5], vec![vec![0.8, 0.2], vec![0.3, 0.7]]).unwrap();
+        let powers = TransitionPowers::new(&chain, 6, 8).unwrap();
+        for i in [3usize, 5] {
+            for shape in [
+                ChainQuiltShape::TwoSided { a: 2, b: 2 },
+                ChainQuiltShape::LeftOnly { a: 2 },
+            ] {
+                let fixed = chain_max_influence(
+                    &powers,
+                    i,
+                    shape,
+                    InitialDistributionMode::FixedInitial,
+                )
+                .unwrap();
+                let all = chain_max_influence(
+                    &powers,
+                    i,
+                    shape,
+                    InitialDistributionMode::AllInitials,
+                )
+                .unwrap();
+                assert!(all >= fixed - 1e-9, "shape {shape:?}: all {all} < fixed {fixed}");
+            }
+        }
+    }
+
+    #[test]
+    fn right_only_quilts_do_not_depend_on_initial_mode() {
+        let chain =
+            MarkovChain::new(vec![0.9, 0.1], vec![vec![0.8, 0.2], vec![0.3, 0.7]]).unwrap();
+        let powers = TransitionPowers::new(&chain, 4, 8).unwrap();
+        let shape = ChainQuiltShape::RightOnly { b: 3 };
+        let fixed =
+            chain_max_influence(&powers, 4, shape, InitialDistributionMode::FixedInitial)
+                .unwrap();
+        let all =
+            chain_max_influence(&powers, 4, shape, InitialDistributionMode::AllInitials).unwrap();
+        assert!(close(fixed, all));
+    }
+
+    #[test]
+    fn deterministic_transitions_give_infinite_influence() {
+        // A deterministic cycle: observing a neighbour reveals X_i exactly.
+        let chain =
+            MarkovChain::new(vec![0.5, 0.5], vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let powers = TransitionPowers::new(&chain, 2, 4).unwrap();
+        let influence = chain_max_influence(
+            &powers,
+            2,
+            ChainQuiltShape::RightOnly { b: 1 },
+            InitialDistributionMode::FixedInitial,
+        )
+        .unwrap();
+        assert!(influence.is_infinite());
+    }
+
+    #[test]
+    fn influence_decreases_with_distance() {
+        let chain =
+            MarkovChain::new(vec![0.5, 0.5], vec![vec![0.8, 0.2], vec![0.3, 0.7]]).unwrap();
+        let powers = TransitionPowers::new(&chain, 10, 21).unwrap();
+        let mut previous = f64::INFINITY;
+        for b in 1..=8 {
+            let influence = chain_max_influence(
+                &powers,
+                5,
+                ChainQuiltShape::RightOnly { b },
+                InitialDistributionMode::FixedInitial,
+            )
+            .unwrap();
+            assert!(influence <= previous + 1e-12, "b={b}: {influence} > {previous}");
+            previous = influence;
+        }
+        // Far-away quilt nodes have almost no influence left.
+        assert!(previous < 0.05);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let powers = section_4_3_powers();
+        assert!(chain_max_influence(
+            &powers,
+            0,
+            ChainQuiltShape::Trivial,
+            InitialDistributionMode::FixedInitial
+        )
+        .is_err());
+        assert!(chain_max_influence(
+            &powers,
+            1,
+            ChainQuiltShape::LeftOnly { a: 1 },
+            InitialDistributionMode::FixedInitial
+        )
+        .is_err());
+        // First node under the all-initials class has unbounded marginal
+        // ratio — but that only matters for quilts with a left component,
+        // which cannot exist for i = 1, so the only reachable behaviour is
+        // through two-sided quilts at i >= 2.
+        let influence = chain_max_influence(
+            &powers,
+            2,
+            ChainQuiltShape::LeftOnly { a: 1 },
+            InitialDistributionMode::AllInitials,
+        )
+        .unwrap();
+        assert!(influence.is_finite());
+    }
+}

@@ -1,0 +1,336 @@
+//! Lipschitz queries over state-sequence databases.
+//!
+//! The paper's mechanisms calibrate noise to the Lipschitz constant of the
+//! released query (Definition 2.5): changing the value of a single record
+//! changes the L1 norm of the output by at most `L`. The experiments release
+//! relative-frequency histograms (2/T-Lipschitz) and single-state
+//! frequencies (1/T-Lipschitz).
+
+use crate::{PufferfishError, Result};
+
+/// A vector-valued query `F : X^n -> R^k` with a known L1 Lipschitz constant.
+///
+/// Databases are state sequences (`&[usize]`), matching the time-series and
+/// flu-status instantiations of the paper.
+pub trait LipschitzQuery {
+    /// The L1 Lipschitz constant `L` of Definition 2.5.
+    fn lipschitz_constant(&self) -> f64;
+
+    /// Number of output coordinates `k`.
+    fn output_dimension(&self) -> usize;
+
+    /// The database length this query expects.
+    fn expected_length(&self) -> usize;
+
+    /// Evaluates the query exactly.
+    ///
+    /// # Errors
+    /// [`PufferfishError::InvalidDatabase`] when the database has the wrong
+    /// length or contains out-of-range states.
+    fn evaluate(&self, database: &[usize]) -> Result<Vec<f64>>;
+
+    /// A short human-readable name used in experiment reports.
+    fn name(&self) -> &str;
+}
+
+fn check_database(database: &[usize], expected_len: usize, num_states: usize) -> Result<()> {
+    if database.len() != expected_len {
+        return Err(PufferfishError::InvalidDatabase(format!(
+            "database length {} does not match query length {expected_len}",
+            database.len()
+        )));
+    }
+    if let Some(&bad) = database.iter().find(|&&s| s >= num_states) {
+        return Err(PufferfishError::InvalidDatabase(format!(
+            "state {bad} out of range for {num_states} states"
+        )));
+    }
+    Ok(())
+}
+
+/// The relative-frequency histogram over states: coordinate `s` is the
+/// fraction of records equal to `s`.
+///
+/// Changing one record moves mass `1/T` out of one bin and into another, so
+/// the query is `2/T`-Lipschitz in L1 — exactly the query released in all of
+/// the paper's experiments (Section 5.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelativeFrequencyHistogram {
+    num_states: usize,
+    length: usize,
+}
+
+impl RelativeFrequencyHistogram {
+    /// Creates the histogram query for sequences of `length` records over
+    /// `num_states` states.
+    ///
+    /// # Errors
+    /// [`PufferfishError::InvalidQuery`] when either parameter is zero.
+    pub fn new(num_states: usize, length: usize) -> Result<Self> {
+        if num_states == 0 || length == 0 {
+            return Err(PufferfishError::InvalidQuery(
+                "histogram requires a positive number of states and records".to_string(),
+            ));
+        }
+        Ok(RelativeFrequencyHistogram { num_states, length })
+    }
+
+    /// Number of states (= histogram bins).
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+}
+
+impl LipschitzQuery for RelativeFrequencyHistogram {
+    fn lipschitz_constant(&self) -> f64 {
+        2.0 / self.length as f64
+    }
+
+    fn output_dimension(&self) -> usize {
+        self.num_states
+    }
+
+    fn expected_length(&self) -> usize {
+        self.length
+    }
+
+    fn evaluate(&self, database: &[usize]) -> Result<Vec<f64>> {
+        check_database(database, self.length, self.num_states)?;
+        let mut histogram = vec![0.0; self.num_states];
+        for &state in database {
+            histogram[state] += 1.0;
+        }
+        for bin in &mut histogram {
+            *bin /= self.length as f64;
+        }
+        Ok(histogram)
+    }
+
+    fn name(&self) -> &str {
+        "relative-frequency histogram"
+    }
+}
+
+/// The fraction of records equal to a single target state, `F(X) = (1/T) Σ
+/// 1[X_t = s]` — the scalar query used for the synthetic binary experiments
+/// (Section 5.2), which is `1/T`-Lipschitz.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateFrequencyQuery {
+    state: usize,
+    length: usize,
+}
+
+impl StateFrequencyQuery {
+    /// Creates the query counting the relative frequency of `state` in
+    /// sequences of the given length.
+    pub fn new(state: usize, length: usize) -> Self {
+        StateFrequencyQuery { state, length }
+    }
+
+    /// The tracked state.
+    pub fn state(&self) -> usize {
+        self.state
+    }
+}
+
+impl LipschitzQuery for StateFrequencyQuery {
+    fn lipschitz_constant(&self) -> f64 {
+        1.0 / self.length as f64
+    }
+
+    fn output_dimension(&self) -> usize {
+        1
+    }
+
+    fn expected_length(&self) -> usize {
+        self.length
+    }
+
+    fn evaluate(&self, database: &[usize]) -> Result<Vec<f64>> {
+        if database.len() != self.length {
+            return Err(PufferfishError::InvalidDatabase(format!(
+                "database length {} does not match query length {}",
+                database.len(),
+                self.length
+            )));
+        }
+        let count = database.iter().filter(|&&s| s == self.state).count();
+        Ok(vec![count as f64 / self.length as f64])
+    }
+
+    fn name(&self) -> &str {
+        "state frequency"
+    }
+}
+
+/// The raw count of records equal to a target state, `F(X) = Σ 1[X_i = s]`,
+/// which is 1-Lipschitz. With binary data and `state = 1` this is the
+/// "number of infected people" query of the flu example (Section 2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateCountQuery {
+    state: usize,
+    length: usize,
+}
+
+impl StateCountQuery {
+    /// Creates the counting query for sequences of the given length.
+    pub fn new(state: usize, length: usize) -> Self {
+        StateCountQuery { state, length }
+    }
+}
+
+impl LipschitzQuery for StateCountQuery {
+    fn lipschitz_constant(&self) -> f64 {
+        1.0
+    }
+
+    fn output_dimension(&self) -> usize {
+        1
+    }
+
+    fn expected_length(&self) -> usize {
+        self.length
+    }
+
+    fn evaluate(&self, database: &[usize]) -> Result<Vec<f64>> {
+        if database.len() != self.length {
+            return Err(PufferfishError::InvalidDatabase(format!(
+                "database length {} does not match query length {}",
+                database.len(),
+                self.length
+            )));
+        }
+        let count = database.iter().filter(|&&s| s == self.state).count();
+        Ok(vec![count as f64])
+    }
+
+    fn name(&self) -> &str {
+        "state count"
+    }
+}
+
+/// The empirical mean of the numeric state labels, `F(X) = (1/T) Σ X_t`,
+/// `(k-1)/T`-Lipschitz over `k` states. Useful for ordinal state spaces such
+/// as discretised power levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeanStateQuery {
+    num_states: usize,
+    length: usize,
+}
+
+impl MeanStateQuery {
+    /// Creates the mean query.
+    ///
+    /// # Errors
+    /// [`PufferfishError::InvalidQuery`] when either parameter is zero.
+    pub fn new(num_states: usize, length: usize) -> Result<Self> {
+        if num_states == 0 || length == 0 {
+            return Err(PufferfishError::InvalidQuery(
+                "mean query requires positive parameters".to_string(),
+            ));
+        }
+        Ok(MeanStateQuery { num_states, length })
+    }
+}
+
+impl LipschitzQuery for MeanStateQuery {
+    fn lipschitz_constant(&self) -> f64 {
+        (self.num_states - 1) as f64 / self.length as f64
+    }
+
+    fn output_dimension(&self) -> usize {
+        1
+    }
+
+    fn expected_length(&self) -> usize {
+        self.length
+    }
+
+    fn evaluate(&self, database: &[usize]) -> Result<Vec<f64>> {
+        check_database(database, self.length, self.num_states)?;
+        let sum: usize = database.iter().sum();
+        Ok(vec![sum as f64 / self.length as f64])
+    }
+
+    fn name(&self) -> &str {
+        "mean state"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let q = RelativeFrequencyHistogram::new(3, 4).unwrap();
+        assert_eq!(q.num_states(), 3);
+        assert_eq!(q.output_dimension(), 3);
+        assert_eq!(q.expected_length(), 4);
+        assert!(close(q.lipschitz_constant(), 0.5));
+        assert_eq!(q.name(), "relative-frequency histogram");
+        let h = q.evaluate(&[0, 1, 1, 2]).unwrap();
+        assert!(close(h[0], 0.25));
+        assert!(close(h[1], 0.5));
+        assert!(close(h[2], 0.25));
+        assert!(close(h.iter().sum::<f64>(), 1.0));
+
+        assert!(q.evaluate(&[0, 1]).is_err());
+        assert!(q.evaluate(&[0, 1, 1, 7]).is_err());
+        assert!(RelativeFrequencyHistogram::new(0, 4).is_err());
+        assert!(RelativeFrequencyHistogram::new(3, 0).is_err());
+    }
+
+    #[test]
+    fn histogram_lipschitz_constant_is_tight() {
+        // Changing one record changes the histogram by exactly 2/T in L1.
+        let q = RelativeFrequencyHistogram::new(2, 10).unwrap();
+        let base = vec![0usize; 10];
+        let mut changed = base.clone();
+        changed[3] = 1;
+        let h0 = q.evaluate(&base).unwrap();
+        let h1 = q.evaluate(&changed).unwrap();
+        let l1: f64 = h0.iter().zip(&h1).map(|(a, b)| (a - b).abs()).sum();
+        assert!(close(l1, q.lipschitz_constant()));
+    }
+
+    #[test]
+    fn state_frequency_query() {
+        let q = StateFrequencyQuery::new(1, 5);
+        assert_eq!(q.state(), 1);
+        assert_eq!(q.output_dimension(), 1);
+        assert!(close(q.lipschitz_constant(), 0.2));
+        assert_eq!(q.name(), "state frequency");
+        let v = q.evaluate(&[1, 0, 1, 1, 0]).unwrap();
+        assert!(close(v[0], 0.6));
+        assert!(q.evaluate(&[1, 0]).is_err());
+    }
+
+    #[test]
+    fn state_count_query() {
+        let q = StateCountQuery::new(1, 4);
+        assert!(close(q.lipschitz_constant(), 1.0));
+        assert_eq!(q.name(), "state count");
+        assert_eq!(q.expected_length(), 4);
+        let v = q.evaluate(&[1, 1, 0, 1]).unwrap();
+        assert!(close(v[0], 3.0));
+        assert!(q.evaluate(&[1]).is_err());
+    }
+
+    #[test]
+    fn mean_state_query() {
+        let q = MeanStateQuery::new(4, 4).unwrap();
+        assert!(close(q.lipschitz_constant(), 0.75));
+        assert_eq!(q.name(), "mean state");
+        let v = q.evaluate(&[0, 1, 2, 3]).unwrap();
+        assert!(close(v[0], 1.5));
+        assert!(q.evaluate(&[0, 1, 2, 9]).is_err());
+        assert!(q.evaluate(&[0, 1]).is_err());
+        assert!(MeanStateQuery::new(0, 4).is_err());
+        assert!(MeanStateQuery::new(4, 0).is_err());
+    }
+}

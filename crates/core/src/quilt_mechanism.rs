@@ -1,0 +1,428 @@
+//! The general Markov Quilt Mechanism (Algorithm 2 of the paper) for data
+//! whose correlation is described by an arbitrary discrete Bayesian network.
+//!
+//! This is the fully general form of the mechanism: candidate quilts are
+//! validated by d-separation and their max-influence is computed by exact
+//! inference over the network class. It is intended for moderately sized
+//! networks; the Markov-chain specialisations [`crate::MqmExact`] and
+//! [`crate::MqmApprox`] scale to the paper's large time-series workloads.
+
+use rand::Rng;
+
+use pufferfish_bayesnet::{markov_blanket, max_influence, DiscreteBayesianNetwork, MarkovQuilt};
+
+use crate::mechanism::{NoisyRelease, PrivacyBudget};
+use crate::queries::LipschitzQuery;
+use crate::{Laplace, PufferfishError, Result};
+
+/// Options for [`MarkovQuiltMechanism::calibrate`].
+#[derive(Debug, Clone, Default)]
+pub struct QuiltMechanismOptions {
+    /// Candidate quilts per node. When `None`, the mechanism uses the trivial
+    /// quilt plus the Markov-blanket quilt for each node.
+    ///
+    /// Each inner vector must contain quilts *for the node at that index*.
+    pub quilt_candidates: Option<Vec<Vec<MarkovQuilt>>>,
+}
+
+/// Per-node calibration summary.
+#[derive(Debug, Clone)]
+pub struct NodeCalibration {
+    /// The node being protected.
+    pub node: usize,
+    /// The winning quilt.
+    pub quilt: MarkovQuilt,
+    /// Its max-influence under the class.
+    pub max_influence: f64,
+    /// Its score `card(X_N) / (ε − e_Θ)`.
+    pub score: f64,
+}
+
+/// A calibrated general Markov Quilt Mechanism.
+#[derive(Debug, Clone)]
+pub struct MarkovQuiltMechanism {
+    epsilon: f64,
+    sigma_max: f64,
+    per_node: Vec<NodeCalibration>,
+    num_nodes: usize,
+    cardinalities: Vec<usize>,
+}
+
+impl MarkovQuiltMechanism {
+    /// Calibrates the mechanism for a class of networks sharing one DAG.
+    ///
+    /// # Errors
+    /// * [`PufferfishError::InvalidFramework`] for an empty class, networks
+    ///   with mismatched structures, or malformed candidate quilt sets.
+    /// * Substrate errors from inference are propagated.
+    pub fn calibrate(
+        networks: &[DiscreteBayesianNetwork],
+        budget: PrivacyBudget,
+        options: QuiltMechanismOptions,
+    ) -> Result<Self> {
+        let first = networks.first().ok_or_else(|| {
+            PufferfishError::InvalidFramework("network class is empty".to_string())
+        })?;
+        let num_nodes = first.num_nodes();
+        for network in networks {
+            if network.num_nodes() != num_nodes || network.dag() != first.dag() {
+                return Err(PufferfishError::InvalidFramework(
+                    "all networks in the class must share the same DAG".to_string(),
+                ));
+            }
+        }
+        if let Some(candidates) = &options.quilt_candidates {
+            if candidates.len() != num_nodes {
+                return Err(PufferfishError::InvalidFramework(format!(
+                    "expected quilt candidates for {num_nodes} nodes, got {}",
+                    candidates.len()
+                )));
+            }
+        }
+
+        let epsilon = budget.epsilon();
+        let mut per_node = Vec::with_capacity(num_nodes);
+        let mut sigma_max: f64 = 0.0;
+
+        for node in 0..num_nodes {
+            let candidates = match &options.quilt_candidates {
+                Some(all) => all[node].clone(),
+                None => default_candidates(first, node)?,
+            };
+            if candidates.iter().any(|q| q.node() != node) {
+                return Err(PufferfishError::InvalidFramework(format!(
+                    "a candidate quilt for node {node} targets a different node"
+                )));
+            }
+
+            let mut best: Option<NodeCalibration> = None;
+            for quilt in candidates {
+                let influence = max_influence(networks, node, quilt.quilt())?;
+                let score = if influence < epsilon {
+                    quilt.card_nearby() as f64 / (epsilon - influence)
+                } else {
+                    f64::INFINITY
+                };
+                let better = best
+                    .as_ref()
+                    .map(|current| score < current.score)
+                    .unwrap_or(true);
+                if better {
+                    best = Some(NodeCalibration {
+                        node,
+                        quilt,
+                        max_influence: influence,
+                        score,
+                    });
+                }
+            }
+            let best = best.ok_or_else(|| {
+                PufferfishError::CannotCalibrate(format!(
+                    "node {node} has no candidate quilts"
+                ))
+            })?;
+            if !best.score.is_finite() {
+                return Err(PufferfishError::CannotCalibrate(format!(
+                    "every candidate quilt for node {node} has max-influence >= epsilon; \
+                     include the trivial quilt to guarantee calibration"
+                )));
+            }
+            sigma_max = sigma_max.max(best.score);
+            per_node.push(best);
+        }
+
+        Ok(MarkovQuiltMechanism {
+            epsilon,
+            sigma_max,
+            per_node,
+            num_nodes,
+            cardinalities: (0..num_nodes).map(|n| first.cardinality(n)).collect(),
+        })
+    }
+
+    /// The noise multiplier `σ_max`.
+    pub fn sigma_max(&self) -> f64 {
+        self.sigma_max
+    }
+
+    /// The privacy parameter.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The winning quilt and score for each node (the "active" quilts of
+    /// Definition 4.5, which the composition theorem relies on).
+    pub fn per_node(&self) -> &[NodeCalibration] {
+        &self.per_node
+    }
+
+    /// Laplace scale applied to each coordinate of `query`.
+    pub fn noise_scale_for(&self, query: &dyn LipschitzQuery) -> f64 {
+        query.lipschitz_constant() * self.sigma_max
+    }
+
+    /// Releases a Lipschitz query over an assignment of all network
+    /// variables.
+    ///
+    /// # Errors
+    /// [`PufferfishError::InvalidDatabase`] when the assignment does not
+    /// match the network.
+    pub fn release<R: Rng + ?Sized>(
+        &self,
+        query: &dyn LipschitzQuery,
+        database: &[usize],
+        rng: &mut R,
+    ) -> Result<NoisyRelease> {
+        if database.len() != self.num_nodes {
+            return Err(PufferfishError::InvalidDatabase(format!(
+                "assignment has {} entries, network has {}",
+                database.len(),
+                self.num_nodes
+            )));
+        }
+        for (node, &value) in database.iter().enumerate() {
+            if value >= self.cardinalities[node] {
+                return Err(PufferfishError::InvalidDatabase(format!(
+                    "value {value} out of range for node {node}"
+                )));
+            }
+        }
+        let true_values = query.evaluate(database)?;
+        let scale = self.noise_scale_for(query);
+        let laplace = Laplace::new(scale)?;
+        let values = true_values
+            .iter()
+            .map(|v| v + laplace.sample(rng))
+            .collect();
+        Ok(NoisyRelease {
+            values,
+            true_values,
+            scale,
+        })
+    }
+}
+
+/// Default candidate set: the trivial quilt plus the Markov-blanket quilt.
+fn default_candidates(
+    network: &DiscreteBayesianNetwork,
+    node: usize,
+) -> Result<Vec<MarkovQuilt>> {
+    let n = network.num_nodes();
+    let mut candidates = vec![MarkovQuilt::trivial(n, node)?];
+    let blanket = markov_blanket(network.dag(), node)?;
+    if !blanket.is_empty() && blanket.len() < n - 1 {
+        candidates.push(MarkovQuilt::for_node(network.dag(), node, blanket)?);
+    }
+    Ok(candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::StateCountQuery;
+    use pufferfish_bayesnet::{chain_quilts, Dag};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain_network(initial: [f64; 2], stay0: f64, stay1: f64, len: usize) -> DiscreteBayesianNetwork {
+        let dag = Dag::chain(len);
+        let mut net = DiscreteBayesianNetwork::new(dag, vec![2; len]).unwrap();
+        net.set_cpd(0, vec![initial.to_vec()]).unwrap();
+        for node in 1..len {
+            net.set_cpd(
+                node,
+                vec![vec![stay0, 1.0 - stay0], vec![1.0 - stay1, stay1]],
+            )
+            .unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn calibration_with_chain_quilts_matches_exact_mechanism() {
+        // A 6-node chain: the generic mechanism with full chain-quilt
+        // candidate sets must agree with MQMExact.
+        let len = 6;
+        let net = chain_network([0.8, 0.2], 0.9, 0.6, len);
+        let candidates: Vec<Vec<MarkovQuilt>> = (0..len)
+            .map(|node| chain_quilts(len, node, len).unwrap())
+            .collect();
+        let budget = PrivacyBudget::new(2.0).unwrap();
+        let generic = MarkovQuiltMechanism::calibrate(
+            &[net],
+            budget,
+            QuiltMechanismOptions {
+                quilt_candidates: Some(candidates),
+            },
+        )
+        .unwrap();
+
+        let chain = pufferfish_markov::MarkovChain::new(
+            vec![0.8, 0.2],
+            vec![vec![0.9, 0.1], vec![0.4, 0.6]],
+        )
+        .unwrap();
+        let exact = crate::MqmExact::calibrate_single(
+            &chain,
+            len,
+            budget,
+            crate::MqmExactOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            (generic.sigma_max() - exact.sigma_max()).abs() < 1e-6,
+            "generic {} vs exact {}",
+            generic.sigma_max(),
+            exact.sigma_max()
+        );
+        assert_eq!(generic.per_node().len(), len);
+        assert_eq!(generic.epsilon(), 2.0);
+    }
+
+    #[test]
+    fn default_candidates_use_blanket_and_trivial() {
+        let net = chain_network([0.5, 0.5], 0.7, 0.7, 5);
+        let budget = PrivacyBudget::new(3.0).unwrap();
+        let mechanism = MarkovQuiltMechanism::calibrate(
+            &[net],
+            budget,
+            QuiltMechanismOptions::default(),
+        )
+        .unwrap();
+        // Every node got a finite score, and sigma never exceeds the trivial
+        // bound n / epsilon.
+        assert!(mechanism.sigma_max() <= 5.0 / 3.0 + 1e-12);
+        for calibration in mechanism.per_node() {
+            assert!(calibration.score.is_finite());
+            assert!(calibration.max_influence >= 0.0);
+        }
+    }
+
+    #[test]
+    fn figure_2_network_is_supported() {
+        // The non-chain network of Figure 2.
+        let mut dag = Dag::new(4);
+        dag.add_edge(0, 1).unwrap();
+        dag.add_edge(0, 2).unwrap();
+        dag.add_edge(1, 3).unwrap();
+        dag.add_edge(2, 3).unwrap();
+        let mut net = DiscreteBayesianNetwork::new(dag, vec![2; 4]).unwrap();
+        net.set_cpd(0, vec![vec![0.6, 0.4]]).unwrap();
+        net.set_cpd(1, vec![vec![0.7, 0.3], vec![0.2, 0.8]]).unwrap();
+        net.set_cpd(2, vec![vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap();
+        net.set_cpd(
+            3,
+            vec![
+                vec![0.9, 0.1],
+                vec![0.7, 0.3],
+                vec![0.6, 0.4],
+                vec![0.1, 0.9],
+            ],
+        )
+        .unwrap();
+        let mechanism = MarkovQuiltMechanism::calibrate(
+            &[net],
+            PrivacyBudget::new(2.0).unwrap(),
+            QuiltMechanismOptions::default(),
+        )
+        .unwrap();
+        assert!(mechanism.sigma_max() > 0.0);
+        assert!(mechanism.sigma_max() <= 4.0 / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn class_calibration_takes_worst_member() {
+        let weak = chain_network([0.5, 0.5], 0.6, 0.6, 5);
+        let strong = chain_network([0.5, 0.5], 0.95, 0.95, 5);
+        let budget = PrivacyBudget::new(1.0).unwrap();
+        let class_mechanism = MarkovQuiltMechanism::calibrate(
+            &[weak.clone(), strong.clone()],
+            budget,
+            QuiltMechanismOptions::default(),
+        )
+        .unwrap();
+        let weak_only = MarkovQuiltMechanism::calibrate(
+            &[weak],
+            budget,
+            QuiltMechanismOptions::default(),
+        )
+        .unwrap();
+        assert!(class_mechanism.sigma_max() >= weak_only.sigma_max() - 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let net = chain_network([0.5, 0.5], 0.7, 0.7, 4);
+        let budget = PrivacyBudget::new(1.0).unwrap();
+        assert!(MarkovQuiltMechanism::calibrate(&[], budget, Default::default()).is_err());
+
+        // Mismatched structures.
+        let other = chain_network([0.5, 0.5], 0.7, 0.7, 5);
+        assert!(MarkovQuiltMechanism::calibrate(
+            &[net.clone(), other],
+            budget,
+            Default::default()
+        )
+        .is_err());
+
+        // Wrong number of candidate vectors.
+        assert!(MarkovQuiltMechanism::calibrate(
+            &[net.clone()],
+            budget,
+            QuiltMechanismOptions {
+                quilt_candidates: Some(vec![vec![]]),
+            },
+        )
+        .is_err());
+
+        // Candidate targeting the wrong node.
+        let wrong = vec![
+            vec![MarkovQuilt::trivial(4, 1).unwrap()],
+            vec![MarkovQuilt::trivial(4, 1).unwrap()],
+            vec![MarkovQuilt::trivial(4, 2).unwrap()],
+            vec![MarkovQuilt::trivial(4, 3).unwrap()],
+        ];
+        assert!(MarkovQuiltMechanism::calibrate(
+            &[net.clone()],
+            budget,
+            QuiltMechanismOptions {
+                quilt_candidates: Some(wrong),
+            },
+        )
+        .is_err());
+
+        // Empty candidate list for some node.
+        let empty = vec![
+            vec![MarkovQuilt::trivial(4, 0).unwrap()],
+            vec![],
+            vec![MarkovQuilt::trivial(4, 2).unwrap()],
+            vec![MarkovQuilt::trivial(4, 3).unwrap()],
+        ];
+        assert!(MarkovQuiltMechanism::calibrate(
+            &[net],
+            budget,
+            QuiltMechanismOptions {
+                quilt_candidates: Some(empty),
+            },
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn release_and_database_validation() {
+        let net = chain_network([0.5, 0.5], 0.8, 0.8, 4);
+        let mechanism = MarkovQuiltMechanism::calibrate(
+            &[net],
+            PrivacyBudget::new(1.0).unwrap(),
+            QuiltMechanismOptions::default(),
+        )
+        .unwrap();
+        let query = StateCountQuery::new(1, 4);
+        let mut rng = StdRng::seed_from_u64(17);
+        let release = mechanism.release(&query, &[0, 1, 1, 0], &mut rng).unwrap();
+        assert_eq!(release.true_values, vec![2.0]);
+        assert!(release.scale > 0.0);
+        assert!(mechanism.release(&query, &[0, 1], &mut rng).is_err());
+        assert!(mechanism.release(&query, &[0, 1, 9, 0], &mut rng).is_err());
+    }
+}

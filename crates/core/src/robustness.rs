@@ -1,0 +1,231 @@
+//! Robustness against adversaries whose beliefs lie outside Θ (Theorem 2.4).
+//!
+//! If a mechanism is ε-Pufferfish private with respect to `(S, Q, Θ)` but the
+//! adversary's belief `θ̃` is *not* in Θ, the guarantee degrades to
+//! `ε + 2Δ`, where `Δ` is the smallest (over `θ ∈ Θ`) worst-case (over
+//! secrets) symmetric conditional max-divergence between `θ̃` and `θ`. This
+//! module computes `Δ` for enumerable scenarios and exposes the degraded
+//! guarantee.
+
+use std::collections::BTreeMap;
+
+use pufferfish_transport::symmetric_max_divergence;
+
+use crate::framework::{DiscreteScenario, Secret};
+use crate::{PufferfishError, Result};
+
+/// The degraded privacy parameter `ε + 2Δ` of Theorem 2.4.
+pub fn effective_epsilon(epsilon: f64, delta: f64) -> f64 {
+    epsilon + 2.0 * delta
+}
+
+/// Computes the conditional symmetric max-divergence
+/// `max_{s ∈ secrets} max( D∞(θ̃|s ‖ θ|s), D∞(θ|s ‖ θ̃|s) )`
+/// between an adversary belief and a single scenario.
+///
+/// Secrets with zero probability under *either* distribution are skipped
+/// (conditioning on them is undefined); if the conditionals have mismatched
+/// supports the divergence is infinite.
+///
+/// # Errors
+/// [`PufferfishError::InvalidFramework`] when the scenarios have different
+/// record lengths or no secret is usable.
+pub fn conditional_divergence_to_scenario(
+    adversary: &DiscreteScenario,
+    scenario: &DiscreteScenario,
+    secrets: &[Secret],
+) -> Result<f64> {
+    if adversary.record_length() != scenario.record_length() {
+        return Err(PufferfishError::InvalidFramework(
+            "adversary belief and scenario have different record lengths".to_string(),
+        ));
+    }
+    let mut worst: f64 = 0.0;
+    let mut any_secret_used = false;
+    for secret in secrets {
+        if adversary.secret_probability(secret) <= 0.0
+            || scenario.secret_probability(secret) <= 0.0
+        {
+            continue;
+        }
+        any_secret_used = true;
+        let (p, q) = aligned_conditionals(adversary, scenario, secret);
+        let divergence = match symmetric_max_divergence(&p, &q) {
+            Ok(d) => d,
+            Err(pufferfish_transport::TransportError::InfiniteDivergence) => f64::INFINITY,
+            Err(e) => return Err(e.into()),
+        };
+        worst = worst.max(divergence);
+        if worst.is_infinite() {
+            break;
+        }
+    }
+    if !any_secret_used {
+        return Err(PufferfishError::InvalidFramework(
+            "no secret has positive probability under both distributions".to_string(),
+        ));
+    }
+    Ok(worst)
+}
+
+/// The `Δ` of Theorem 2.4: the infimum over `θ ∈ Θ` of
+/// [`conditional_divergence_to_scenario`].
+///
+/// # Errors
+/// [`PufferfishError::InvalidFramework`] for an empty class or unusable
+/// secrets.
+pub fn robustness_delta(
+    adversary: &DiscreteScenario,
+    class: &[DiscreteScenario],
+    secrets: &[Secret],
+) -> Result<f64> {
+    if class.is_empty() {
+        return Err(PufferfishError::InvalidFramework(
+            "distribution class Θ is empty".to_string(),
+        ));
+    }
+    let mut best = f64::INFINITY;
+    for scenario in class {
+        let divergence = conditional_divergence_to_scenario(adversary, scenario, secrets)?;
+        best = best.min(divergence);
+        if best == 0.0 {
+            break;
+        }
+    }
+    Ok(best)
+}
+
+/// Aligns the conditional database distributions of two scenarios given a
+/// secret onto a common support (the union of their databases).
+fn aligned_conditionals(
+    a: &DiscreteScenario,
+    b: &DiscreteScenario,
+    secret: &Secret,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut union: BTreeMap<Vec<usize>, (f64, f64)> = BTreeMap::new();
+    let mass_a = a.secret_probability(secret);
+    let mass_b = b.secret_probability(secret);
+    for (db, p) in a.outcomes() {
+        if *p > 0.0 && secret.holds(db) {
+            union.entry(db.clone()).or_default().0 += p / mass_a;
+        }
+    }
+    for (db, p) in b.outcomes() {
+        if *p > 0.0 && secret.holds(db) {
+            union.entry(db.clone()).or_default().1 += p / mass_b;
+        }
+    }
+    union.values().map(|&(pa, pb)| (pa, pb)).unzip()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    /// The Section 2.3 example: three databases with θ = (0.9, 0.05, 0.05)
+    /// and θ̃ = (0.01, 0.95, 0.04); conditioning on a secret that excludes
+    /// the third database increases the divergence.
+    fn paper_scenarios() -> (DiscreteScenario, DiscreteScenario) {
+        // Databases are encoded as single-record sequences 0, 1, 2.
+        let theta = DiscreteScenario::new(
+            "theta",
+            vec![(vec![0], 0.9), (vec![1], 0.05), (vec![2], 0.05)],
+        )
+        .unwrap();
+        let adversary = DiscreteScenario::new(
+            "theta_tilde",
+            vec![(vec![0], 0.01), (vec![1], 0.95), (vec![2], 0.04)],
+        )
+        .unwrap();
+        (adversary, theta)
+    }
+
+    #[test]
+    fn section_2_3_example() {
+        let (adversary, theta) = paper_scenarios();
+        // Secret: "the database is not D3", i.e. X[0] != 2.
+        let secret = Secret::new("not D3", |db: &[usize]| db[0] != 2);
+        let delta =
+            conditional_divergence_to_scenario(&adversary, &theta, &[secret]).unwrap();
+        // Exact value: log( (0.9/0.95) / (0.01/0.96) ) ≈ log 90.95 (the paper
+        // reports log 91.0962 from rounded intermediates).
+        let expected = (0.9f64 / 0.95 / (0.01 / 0.96)).ln();
+        assert!(close(delta, expected), "delta {delta} vs expected {expected}");
+        // The unconditional divergence is log 90: conditioning increased it.
+        assert!(delta > 90.0f64.ln());
+    }
+
+    #[test]
+    fn adversary_inside_class_has_zero_delta() {
+        let (_, theta) = paper_scenarios();
+        let secret = Secret::record_equals(0, 0);
+        let other = Secret::record_equals(0, 1);
+        let delta =
+            robustness_delta(&theta, &[theta.clone()], &[secret, other]).unwrap();
+        assert!(close(delta, 0.0));
+        assert!(close(effective_epsilon(1.0, delta), 1.0));
+    }
+
+    #[test]
+    fn delta_takes_infimum_over_class() {
+        let (adversary, theta) = paper_scenarios();
+        // A scenario much closer to the adversary's belief.
+        let near = DiscreteScenario::new(
+            "near",
+            vec![(vec![0], 0.02), (vec![1], 0.94), (vec![2], 0.04)],
+        )
+        .unwrap();
+        // Secrets that do not pin down the whole database, so conditioning
+        // leaves a non-trivial distribution (as in the paper's discussion).
+        let secrets = vec![
+            Secret::new("not D3", |db: &[usize]| db[0] != 2),
+            Secret::new("not D2", |db: &[usize]| db[0] != 1),
+        ];
+        let far_only = robustness_delta(&adversary, &[theta.clone()], &secrets).unwrap();
+        let with_near =
+            robustness_delta(&adversary, &[theta, near], &secrets).unwrap();
+        assert!(with_near < far_only);
+        assert!(with_near > 0.0);
+        assert!(effective_epsilon(0.5, with_near) > 0.5);
+    }
+
+    #[test]
+    fn mismatched_support_gives_infinite_delta() {
+        let theta = DiscreteScenario::new(
+            "theta",
+            vec![(vec![0], 0.5), (vec![1], 0.5)],
+        )
+        .unwrap();
+        let adversary = DiscreteScenario::new(
+            "adversary",
+            vec![(vec![0], 0.5), (vec![2], 0.5)],
+        )
+        .unwrap();
+        // Secret "X[0] is even" keeps both supports non-empty but mismatched.
+        let secret = Secret::new("even", |db: &[usize]| db[0] % 2 == 0);
+        let delta =
+            conditional_divergence_to_scenario(&adversary, &theta, &[secret]).unwrap();
+        assert!(delta.is_infinite());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (adversary, theta) = paper_scenarios();
+        let secrets = vec![Secret::record_equals(0, 0)];
+        assert!(robustness_delta(&adversary, &[], &secrets).is_err());
+
+        let longer =
+            DiscreteScenario::new("longer", vec![(vec![0, 0], 1.0)]).unwrap();
+        assert!(conditional_divergence_to_scenario(&adversary, &longer, &secrets).is_err());
+
+        // A secret that never holds makes the computation undefined.
+        let impossible = Secret::new("never", |_: &[usize]| false);
+        assert!(
+            conditional_divergence_to_scenario(&adversary, &theta, &[impossible]).is_err()
+        );
+    }
+}

@@ -1,0 +1,394 @@
+//! Simulated physical-activity monitoring data (Section 5.3.1).
+//!
+//! The paper uses the free-living activity dataset of Ellis et al.: three
+//! cohorts (40 cyclists, 16 older women, 36 overweight women), four
+//! activities recorded roughly every 12 seconds over a week (more than 9,000
+//! observations per person), with gaps longer than 10 minutes treated as
+//! chain boundaries. That dataset is not redistributable, so this module
+//! simulates it: each participant's sequence is drawn from a cohort-level
+//! four-state Markov chain whose transition matrix reproduces the qualitative
+//! behaviour reported in the paper (cyclists are the most active, overweight
+//! women the most sedentary, activities are sticky at a 12-second sampling
+//! interval), and gaps are injected so that GroupDP benefits from shorter
+//! chains exactly as in the paper's preprocessing.
+
+use rand::Rng;
+
+use pufferfish_markov::{
+    empirical_transition_matrix, sample_trajectory, EstimationOptions, MarkovChain, MarkovError,
+};
+
+/// The four activity states of the dataset.
+pub const ACTIVITY_STATES: usize = 4;
+
+/// Labels of the four activity states, in state-index order.
+pub const ACTIVITY_LABELS: [&str; ACTIVITY_STATES] =
+    ["Active", "Stand Still", "Stand Moving", "Sedentary"];
+
+/// The three participant cohorts of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActivityCohort {
+    /// 40 cyclists (most time active).
+    Cyclists,
+    /// 16 older women.
+    OlderWomen,
+    /// 36 overweight women (most time sedentary).
+    OverweightWomen,
+}
+
+impl ActivityCohort {
+    /// All cohorts in presentation order.
+    pub fn all() -> [ActivityCohort; 3] {
+        [
+            ActivityCohort::Cyclists,
+            ActivityCohort::OlderWomen,
+            ActivityCohort::OverweightWomen,
+        ]
+    }
+
+    /// Human-readable name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ActivityCohort::Cyclists => "cyclist",
+            ActivityCohort::OlderWomen => "older woman",
+            ActivityCohort::OverweightWomen => "overweight woman",
+        }
+    }
+
+    /// Number of participants in the study.
+    pub fn participants(&self) -> usize {
+        match self {
+            ActivityCohort::Cyclists => 40,
+            ActivityCohort::OlderWomen => 16,
+            ActivityCohort::OverweightWomen => 36,
+        }
+    }
+
+    /// The cohort-level ground-truth transition matrix used by the simulator.
+    ///
+    /// States: 0 = active, 1 = standing still, 2 = standing moving,
+    /// 3 = sedentary. Diagonal entries are large because activities persist
+    /// over many 12-second epochs; the off-diagonal structure shifts the
+    /// stationary distribution towards "active" for cyclists and towards
+    /// "sedentary" for overweight women.
+    pub fn transition_matrix(&self) -> Vec<Vec<f64>> {
+        match self {
+            ActivityCohort::Cyclists => vec![
+                vec![0.975, 0.010, 0.010, 0.005],
+                vec![0.040, 0.900, 0.040, 0.020],
+                vec![0.035, 0.030, 0.910, 0.025],
+                vec![0.015, 0.010, 0.010, 0.965],
+            ],
+            ActivityCohort::OlderWomen => vec![
+                vec![0.940, 0.020, 0.020, 0.020],
+                vec![0.020, 0.910, 0.040, 0.030],
+                vec![0.020, 0.040, 0.900, 0.040],
+                vec![0.008, 0.008, 0.009, 0.975],
+            ],
+            ActivityCohort::OverweightWomen => vec![
+                vec![0.930, 0.020, 0.020, 0.030],
+                vec![0.015, 0.900, 0.040, 0.045],
+                vec![0.015, 0.035, 0.900, 0.050],
+                vec![0.004, 0.005, 0.006, 0.985],
+            ],
+        }
+    }
+
+    /// The ground-truth chain (stationary start, matching a participant
+    /// observed in their normal routine).
+    ///
+    /// # Errors
+    /// Propagates chain-construction errors (cannot occur for the built-in
+    /// matrices).
+    pub fn ground_truth_chain(&self) -> Result<MarkovChain, MarkovError> {
+        MarkovChain::with_stationary_initial(self.transition_matrix())
+    }
+}
+
+/// Configuration of the activity simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivitySimulationConfig {
+    /// Observations per participant (the paper reports > 9,000 on average).
+    pub observations_per_participant: usize,
+    /// Probability that a 10-minute-plus measurement gap starts at any given
+    /// epoch, splitting the participant's data into independent chains.
+    pub gap_probability: f64,
+    /// Number of participants to simulate (defaults to the study size).
+    pub participants: Option<usize>,
+}
+
+impl Default for ActivitySimulationConfig {
+    fn default() -> Self {
+        ActivitySimulationConfig {
+            observations_per_participant: 9_000,
+            gap_probability: 0.0005,
+            participants: None,
+        }
+    }
+}
+
+/// One simulated participant: their activity record split at measurement
+/// gaps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Participant {
+    /// Independent chain segments (gaps of more than 10 minutes split the
+    /// record, following the paper's preprocessing).
+    pub segments: Vec<Vec<usize>>,
+}
+
+impl Participant {
+    /// Total number of observations across segments.
+    pub fn total_observations(&self) -> usize {
+        self.segments.iter().map(Vec::len).sum()
+    }
+
+    /// Length of the longest segment (the group size GroupDP must protect).
+    pub fn longest_segment(&self) -> usize {
+        self.segments.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The concatenated observations (used for histogram queries, which do
+    /// not care about segment boundaries).
+    pub fn concatenated(&self) -> Vec<usize> {
+        let mut all = Vec::with_capacity(self.total_observations());
+        for segment in &self.segments {
+            all.extend_from_slice(segment);
+        }
+        all
+    }
+}
+
+/// A simulated cohort dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityDataset {
+    /// The cohort this dataset simulates.
+    pub cohort: ActivityCohort,
+    /// The simulated participants.
+    pub participants: Vec<Participant>,
+}
+
+impl ActivityDataset {
+    /// Simulates a cohort.
+    ///
+    /// # Errors
+    /// Propagates chain-construction/sampling errors (cannot occur for the
+    /// built-in cohorts with a positive observation count).
+    pub fn simulate<R: Rng + ?Sized>(
+        cohort: ActivityCohort,
+        config: ActivitySimulationConfig,
+        rng: &mut R,
+    ) -> Result<Self, MarkovError> {
+        let chain = cohort.ground_truth_chain()?;
+        let num_participants = config.participants.unwrap_or_else(|| cohort.participants());
+        let mut participants = Vec::with_capacity(num_participants);
+        for _ in 0..num_participants {
+            let raw = sample_trajectory(&chain, config.observations_per_participant.max(1), rng)?;
+            participants.push(split_at_gaps(&raw, config.gap_probability, rng));
+        }
+        Ok(ActivityDataset {
+            cohort,
+            participants,
+        })
+    }
+
+    /// The cohort-level empirical transition matrix, estimated from every
+    /// participant's segments — this is the `P_θ` the paper plugs into the
+    /// singleton class Θ for the real-data experiments.
+    ///
+    /// # Errors
+    /// Propagates estimation errors (empty datasets).
+    pub fn empirical_transition_matrix(&self) -> Result<Vec<Vec<f64>>, MarkovError> {
+        let segments: Vec<Vec<usize>> = self
+            .participants
+            .iter()
+            .flat_map(|p| p.segments.iter().cloned())
+            .collect();
+        empirical_transition_matrix(&segments, ACTIVITY_STATES, EstimationOptions::default())
+    }
+
+    /// The empirical chain with stationary initial distribution, matching the
+    /// paper's choice of `θ = (q_θ, P_θ)` with `q_θ` the stationary
+    /// distribution of `P_θ`.
+    ///
+    /// # Errors
+    /// Propagates estimation and stationary-distribution errors.
+    pub fn empirical_chain(&self) -> Result<MarkovChain, MarkovError> {
+        MarkovChain::with_stationary_initial(self.empirical_transition_matrix()?)
+    }
+
+    /// Total observations across all participants.
+    pub fn total_observations(&self) -> usize {
+        self.participants.iter().map(Participant::total_observations).sum()
+    }
+}
+
+/// Splits a raw trajectory into segments at randomly injected measurement
+/// gaps.
+fn split_at_gaps<R: Rng + ?Sized>(
+    raw: &[usize],
+    gap_probability: f64,
+    rng: &mut R,
+) -> Participant {
+    let mut segments = Vec::new();
+    let mut current = Vec::new();
+    for &state in raw {
+        if !current.is_empty() && rng.gen::<f64>() < gap_probability {
+            segments.push(std::mem::take(&mut current));
+        }
+        current.push(state);
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+    Participant { segments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> ActivitySimulationConfig {
+        ActivitySimulationConfig {
+            observations_per_participant: 2_000,
+            gap_probability: 0.002,
+            participants: Some(6),
+        }
+    }
+
+    #[test]
+    fn cohort_metadata() {
+        assert_eq!(ActivityCohort::all().len(), 3);
+        assert_eq!(ActivityCohort::Cyclists.participants(), 40);
+        assert_eq!(ActivityCohort::OlderWomen.participants(), 16);
+        assert_eq!(ActivityCohort::OverweightWomen.participants(), 36);
+        assert_eq!(ActivityCohort::Cyclists.name(), "cyclist");
+        assert_eq!(ACTIVITY_LABELS.len(), ACTIVITY_STATES);
+    }
+
+    #[test]
+    fn ground_truth_chains_are_valid_and_sticky() {
+        for cohort in ActivityCohort::all() {
+            let chain = cohort.ground_truth_chain().unwrap();
+            assert_eq!(chain.num_states(), 4);
+            assert!(chain.is_irreducible_aperiodic());
+            // Activities persist: every diagonal entry is large.
+            for s in 0..4 {
+                assert!(chain.transition()[(s, s)] > 0.85);
+            }
+        }
+    }
+
+    #[test]
+    fn cohort_stationary_patterns_match_the_paper() {
+        // Cyclists spend the most time active; overweight women spend the
+        // most time sedentary (Figure 4, lower row).
+        let active = 0;
+        let sedentary = 3;
+        let cyclists = ActivityCohort::Cyclists
+            .ground_truth_chain()
+            .unwrap()
+            .stationary_distribution()
+            .unwrap();
+        let older = ActivityCohort::OlderWomen
+            .ground_truth_chain()
+            .unwrap()
+            .stationary_distribution()
+            .unwrap();
+        let overweight = ActivityCohort::OverweightWomen
+            .ground_truth_chain()
+            .unwrap()
+            .stationary_distribution()
+            .unwrap();
+        assert!(cyclists[active] > older[active]);
+        assert!(cyclists[active] > overweight[active]);
+        assert!(overweight[sedentary] > cyclists[sedentary]);
+        assert!(overweight[sedentary] > older[sedentary]);
+    }
+
+    #[test]
+    fn simulation_shape_and_gaps() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dataset =
+            ActivityDataset::simulate(ActivityCohort::Cyclists, small_config(), &mut rng)
+                .unwrap();
+        assert_eq!(dataset.participants.len(), 6);
+        assert_eq!(dataset.total_observations(), 6 * 2_000);
+        for participant in &dataset.participants {
+            assert_eq!(participant.total_observations(), 2_000);
+            assert!(participant.longest_segment() <= 2_000);
+            assert_eq!(participant.concatenated().len(), 2_000);
+            assert!(participant
+                .concatenated()
+                .iter()
+                .all(|&s| s < ACTIVITY_STATES));
+        }
+        // With a positive gap probability, at least one participant has
+        // multiple segments.
+        assert!(dataset
+            .participants
+            .iter()
+            .any(|p| p.segments.len() > 1));
+    }
+
+    #[test]
+    fn default_participant_count_matches_cohort() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = ActivitySimulationConfig {
+            observations_per_participant: 100,
+            gap_probability: 0.0,
+            participants: None,
+        };
+        let dataset =
+            ActivityDataset::simulate(ActivityCohort::OlderWomen, config, &mut rng).unwrap();
+        assert_eq!(dataset.participants.len(), 16);
+        // No gaps requested: every participant has a single segment.
+        assert!(dataset.participants.iter().all(|p| p.segments.len() == 1));
+    }
+
+    #[test]
+    fn empirical_chain_recovers_ground_truth() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let config = ActivitySimulationConfig {
+            observations_per_participant: 20_000,
+            gap_probability: 0.0005,
+            participants: Some(10),
+        };
+        let dataset =
+            ActivityDataset::simulate(ActivityCohort::OverweightWomen, config, &mut rng)
+                .unwrap();
+        let estimated = dataset.empirical_transition_matrix().unwrap();
+        let truth = ActivityCohort::OverweightWomen.transition_matrix();
+        for s in 0..ACTIVITY_STATES {
+            for t in 0..ACTIVITY_STATES {
+                assert!(
+                    (estimated[s][t] - truth[s][t]).abs() < 0.02,
+                    "entry ({s},{t}): {} vs {}",
+                    estimated[s][t],
+                    truth[s][t]
+                );
+            }
+        }
+        let chain = dataset.empirical_chain().unwrap();
+        assert!(chain.is_irreducible_aperiodic());
+        assert!(chain.is_stationary(chain.initial(), 1e-6));
+    }
+
+    #[test]
+    fn determinism_with_seed() {
+        let a = ActivityDataset::simulate(
+            ActivityCohort::Cyclists,
+            small_config(),
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
+        let b = ActivityDataset::simulate(
+            ActivityCohort::Cyclists,
+            small_config(),
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+}

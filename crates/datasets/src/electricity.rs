@@ -1,0 +1,229 @@
+//! Simulated household electricity consumption (Section 5.3.2).
+//!
+//! The paper uses the AMPds dataset of Makonin et al.: per-minute power
+//! readings of a single household in greater Vancouver over about two years,
+//! discretised into 51 bins of 200 W, giving a Markov chain with roughly a
+//! million time steps. That dataset is not bundled here, so this module
+//! simulates a household with the same structure: a small base load, a
+//! thermostatically cycling appliance (fridge/heating) and occasional
+//! high-power appliances (oven, dryer, EV charger), sampled every minute and
+//! discretised into the same 51 bins. The resulting series is a single very
+//! long, moderately large-state-space, strongly autocorrelated chain — the
+//! three properties that drive the paper's Table 3.
+
+use rand::Rng;
+
+use pufferfish_markov::{
+    empirical_transition_matrix, EstimationOptions, MarkovChain, MarkovError,
+};
+
+/// Configuration of the electricity simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElectricityConfig {
+    /// Number of per-minute observations (the paper uses about 1,000,000).
+    pub length: usize,
+    /// Number of discretisation bins (the paper uses 51 bins of 200 W).
+    pub num_states: usize,
+    /// Width of each bin in watts.
+    pub bin_width_watts: f64,
+}
+
+impl Default for ElectricityConfig {
+    fn default() -> Self {
+        ElectricityConfig {
+            length: 1_000_000,
+            num_states: 51,
+            bin_width_watts: 200.0,
+        }
+    }
+}
+
+impl ElectricityConfig {
+    /// A smaller configuration for tests and quick experiments.
+    pub fn small(length: usize) -> Self {
+        ElectricityConfig {
+            length,
+            ..ElectricityConfig::default()
+        }
+    }
+}
+
+/// A simulated household power dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElectricityDataset {
+    /// The configuration used.
+    pub config: ElectricityConfig,
+    /// The discretised power level at each minute (bin indices).
+    pub states: Vec<usize>,
+}
+
+impl ElectricityDataset {
+    /// Simulates the household.
+    ///
+    /// # Errors
+    /// [`MarkovError::InvalidSequence`] for a zero-length request or a
+    /// configuration without states.
+    pub fn simulate<R: Rng + ?Sized>(
+        config: ElectricityConfig,
+        rng: &mut R,
+    ) -> Result<Self, MarkovError> {
+        if config.length == 0 || config.num_states == 0 {
+            return Err(MarkovError::InvalidSequence(
+                "electricity simulation needs a positive length and state count".to_string(),
+            ));
+        }
+        let mut states = Vec::with_capacity(config.length);
+
+        // Appliance state machine.
+        let mut fridge_on = false;
+        let mut oven_minutes_left = 0u32;
+        let mut dryer_minutes_left = 0u32;
+        let mut base_drift: f64 = 0.0;
+
+        for minute in 0..config.length {
+            let hour = (minute / 60) % 24;
+            // Fridge/heating duty cycle: toggles with small probability.
+            if rng.gen::<f64>() < 0.08 {
+                fridge_on = !fridge_on;
+            }
+            // Oven mostly around meal times, runs for 20-60 minutes.
+            if oven_minutes_left == 0
+                && (7..=9).contains(&hour) | (17..=20).contains(&hour)
+                && rng.gen::<f64>() < 0.004
+            {
+                oven_minutes_left = rng.gen_range(20..60);
+            }
+            // Dryer occasionally during the day, runs for ~45 minutes.
+            if dryer_minutes_left == 0 && (9..=21).contains(&hour) && rng.gen::<f64>() < 0.001 {
+                dryer_minutes_left = rng.gen_range(30..60);
+            }
+            oven_minutes_left = oven_minutes_left.saturating_sub(1);
+            dryer_minutes_left = dryer_minutes_left.saturating_sub(1);
+
+            // Slowly drifting base load (lighting, electronics).
+            base_drift += rng.gen_range(-8.0..8.0);
+            base_drift = base_drift.clamp(-150.0, 400.0);
+
+            let mut watts = 240.0 + base_drift;
+            if fridge_on {
+                watts += 150.0;
+            }
+            if oven_minutes_left > 0 {
+                watts += 2_400.0 + rng.gen_range(-150.0..150.0);
+            }
+            if dryer_minutes_left > 0 {
+                watts += 3_000.0 + rng.gen_range(-200.0..200.0);
+            }
+            // Evening lighting bump.
+            if (18..=23).contains(&hour) {
+                watts += 120.0;
+            }
+            watts += rng.gen_range(-40.0..40.0);
+            watts = watts.max(0.0);
+
+            let bin = ((watts / config.bin_width_watts) as usize).min(config.num_states - 1);
+            states.push(bin);
+        }
+        Ok(ElectricityDataset { config, states })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` only for a degenerate empty dataset (never produced by
+    /// [`ElectricityDataset::simulate`]).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The empirical transition matrix of the discretised series — the `P_θ`
+    /// the paper builds Θ = {θ} from.
+    ///
+    /// # Errors
+    /// Propagates estimation errors.
+    pub fn empirical_transition_matrix(&self) -> Result<Vec<Vec<f64>>, MarkovError> {
+        empirical_transition_matrix(
+            std::slice::from_ref(&self.states),
+            self.config.num_states,
+            EstimationOptions::default(),
+        )
+    }
+
+    /// The empirical chain with its stationary distribution as the initial
+    /// distribution (the steady-state assumption of Section 4.4.1).
+    ///
+    /// # Errors
+    /// Propagates estimation and stationary-distribution errors.
+    pub fn empirical_chain(&self) -> Result<MarkovChain, MarkovError> {
+        MarkovChain::with_stationary_initial(self.empirical_transition_matrix()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn simulation_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dataset =
+            ElectricityDataset::simulate(ElectricityConfig::small(20_000), &mut rng).unwrap();
+        assert_eq!(dataset.len(), 20_000);
+        assert!(!dataset.is_empty());
+        assert!(dataset.states.iter().all(|&s| s < 51));
+        // Both low-power and high-power regimes appear.
+        let max = dataset.states.iter().max().copied().unwrap();
+        let min = dataset.states.iter().min().copied().unwrap();
+        assert!(max >= 10, "max bin {max}");
+        assert!(min <= 3, "min bin {min}");
+        assert!(
+            ElectricityDataset::simulate(ElectricityConfig::small(0), &mut rng).is_err()
+        );
+    }
+
+    #[test]
+    fn series_is_strongly_autocorrelated() {
+        // Consecutive readings usually stay in the same or an adjacent bin —
+        // the property that makes GroupDP hopeless and MQM effective.
+        let mut rng = StdRng::seed_from_u64(2);
+        let dataset =
+            ElectricityDataset::simulate(ElectricityConfig::small(30_000), &mut rng).unwrap();
+        let close_pairs = dataset
+            .states
+            .windows(2)
+            .filter(|w| w[0].abs_diff(w[1]) <= 1)
+            .count();
+        let fraction = close_pairs as f64 / (dataset.len() - 1) as f64;
+        assert!(fraction > 0.9, "fraction of adjacent transitions {fraction}");
+    }
+
+    #[test]
+    fn empirical_chain_is_usable_by_the_mechanisms() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dataset =
+            ElectricityDataset::simulate(ElectricityConfig::small(40_000), &mut rng).unwrap();
+        let chain = dataset.empirical_chain().unwrap();
+        assert_eq!(chain.num_states(), 51);
+        assert!(chain.is_irreducible_aperiodic());
+        assert!(chain.is_stationary(chain.initial(), 1e-6));
+    }
+
+    #[test]
+    fn determinism_with_seed() {
+        let a = ElectricityDataset::simulate(
+            ElectricityConfig::small(5_000),
+            &mut StdRng::seed_from_u64(11),
+        )
+        .unwrap();
+        let b = ElectricityDataset::simulate(
+            ElectricityConfig::small(5_000),
+            &mut StdRng::seed_from_u64(11),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,85 @@
+//! Small histogram helpers shared by the experiment harness.
+
+/// The relative-frequency histogram of a state sequence over `num_states`
+/// bins. Out-of-range states are ignored; an empty sequence yields all-zero
+/// bins.
+pub fn relative_frequencies(sequence: &[usize], num_states: usize) -> Vec<f64> {
+    let mut histogram = vec![0.0; num_states];
+    let mut counted = 0usize;
+    for &state in sequence {
+        if state < num_states {
+            histogram[state] += 1.0;
+            counted += 1;
+        }
+    }
+    if counted > 0 {
+        for bin in &mut histogram {
+            *bin /= counted as f64;
+        }
+    }
+    histogram
+}
+
+/// The element-wise average of several equally sized histograms (the
+/// "aggregate" task of Table 1). Returns an empty vector when the input is
+/// empty.
+pub fn aggregate_relative_frequencies(histograms: &[Vec<f64>]) -> Vec<f64> {
+    let Some(first) = histograms.first() else {
+        return Vec::new();
+    };
+    let mut aggregate = vec![0.0; first.len()];
+    for histogram in histograms {
+        for (bin, value) in aggregate.iter_mut().zip(histogram) {
+            *bin += value;
+        }
+    }
+    for bin in &mut aggregate {
+        *bin /= histograms.len() as f64;
+    }
+    aggregate
+}
+
+/// L1 distance between two equal-length vectors.
+///
+/// # Panics
+/// Panics on a length mismatch (a harness programming error).
+pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "l1_distance requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_frequencies_basics() {
+        let h = relative_frequencies(&[0, 1, 1, 3], 4);
+        assert_eq!(h, vec![0.25, 0.5, 0.0, 0.25]);
+        // Out-of-range states are ignored.
+        let h = relative_frequencies(&[0, 9], 2);
+        assert_eq!(h, vec![1.0, 0.0]);
+        // Empty input.
+        let h = relative_frequencies(&[], 3);
+        assert_eq!(h, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn aggregation() {
+        let a = vec![1.0, 0.0];
+        let b = vec![0.0, 1.0];
+        assert_eq!(aggregate_relative_frequencies(&[a, b]), vec![0.5, 0.5]);
+        assert!(aggregate_relative_frequencies(&[]).is_empty());
+    }
+
+    #[test]
+    fn l1() {
+        assert_eq!(l1_distance(&[0.0, 1.0], &[0.5, 0.5]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn l1_length_mismatch_panics() {
+        l1_distance(&[0.0], &[0.0, 1.0]);
+    }
+}

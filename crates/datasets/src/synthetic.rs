@@ -1,0 +1,160 @@
+//! Synthetic binary-chain workload (Section 5.2).
+
+use rand::Rng;
+
+use pufferfish_markov::{
+    sample_trajectory, BinaryChainParams, IntervalClassBuilder, MarkovChain, MarkovChainClass,
+    MarkovError,
+};
+
+/// One generated synthetic dataset: the chain parameters that produced it and
+/// the sampled state sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticSample {
+    /// The parameters `(q0, p0, p1)` drawn for this trial.
+    pub params: BinaryChainParams,
+    /// The sampled sequence `X_1, …, X_T` (states 0/1).
+    pub sequence: Vec<usize>,
+}
+
+/// The synthetic workload of Section 5.2: a distribution class
+/// `Θ = [α, 1 − α]` of binary chains of length `T`, from which each trial
+/// draws `p0, p1` uniformly in the interval and an initial distribution
+/// uniformly from the simplex.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticWorkload {
+    /// Lower end of the transition-probability interval.
+    pub alpha: f64,
+    /// Chain length `T` (the paper uses 100).
+    pub length: usize,
+    /// Grid resolution used when materialising Θ for calibration.
+    pub grid_points: usize,
+}
+
+impl SyntheticWorkload {
+    /// Creates the workload for interval `[alpha, 1 − alpha]` and length `T`.
+    pub fn new(alpha: f64, length: usize) -> Self {
+        SyntheticWorkload {
+            alpha,
+            length,
+            grid_points: 9,
+        }
+    }
+
+    /// Overrides the grid resolution used for the calibration class.
+    pub fn with_grid_points(mut self, grid_points: usize) -> Self {
+        self.grid_points = grid_points.max(1);
+        self
+    }
+
+    /// The distribution class Θ handed to the mechanisms: all transition
+    /// matrices with `p0, p1 ∈ [α, 1 − α]` (discretised on a grid) and all
+    /// initial distributions.
+    ///
+    /// # Errors
+    /// Propagates interval-validation errors from the class builder.
+    pub fn calibration_class(&self) -> Result<MarkovChainClass, MarkovError> {
+        IntervalClassBuilder::symmetric(self.alpha)
+            .grid_points(self.grid_points)
+            .build()
+    }
+
+    /// Draws the parameters of one trial: `p0, p1 ~ U[α, 1 − α]`,
+    /// `q0 ~ U[0, 1]`.
+    pub fn sample_params<R: Rng + ?Sized>(&self, rng: &mut R) -> BinaryChainParams {
+        let beta = 1.0 - self.alpha;
+        BinaryChainParams {
+            p0: rng.gen_range(self.alpha..=beta),
+            p1: rng.gen_range(self.alpha..=beta),
+            q0: rng.gen_range(0.0..=1.0),
+        }
+    }
+
+    /// Generates one trial: draws parameters and samples a sequence.
+    ///
+    /// # Errors
+    /// Propagates chain-construction and sampling errors (cannot occur for a
+    /// valid interval).
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<SyntheticSample, MarkovError> {
+        let params = self.sample_params(rng);
+        let chain: MarkovChain = params.to_chain()?;
+        let sequence = sample_trajectory(&chain, self.length, rng)?;
+        Ok(SyntheticSample { params, sequence })
+    }
+
+    /// Generates `trials` independent datasets.
+    ///
+    /// # Errors
+    /// Same as [`SyntheticWorkload::generate`].
+    pub fn generate_many<R: Rng + ?Sized>(
+        &self,
+        trials: usize,
+        rng: &mut R,
+    ) -> Result<Vec<SyntheticSample>, MarkovError> {
+        (0..trials).map(|_| self.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parameters_respect_interval() {
+        let workload = SyntheticWorkload::new(0.3, 100);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let params = workload.sample_params(&mut rng);
+            assert!((0.3..=0.7).contains(&params.p0));
+            assert!((0.3..=0.7).contains(&params.p1));
+            assert!((0.0..=1.0).contains(&params.q0));
+        }
+    }
+
+    #[test]
+    fn generated_sequences_have_right_shape() {
+        let workload = SyntheticWorkload::new(0.2, 100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sample = workload.generate(&mut rng).unwrap();
+        assert_eq!(sample.sequence.len(), 100);
+        assert!(sample.sequence.iter().all(|&s| s < 2));
+
+        let many = workload.generate_many(5, &mut rng).unwrap();
+        assert_eq!(many.len(), 5);
+        // Different trials draw different parameters.
+        assert!(many.windows(2).any(|w| w[0].params != w[1].params));
+    }
+
+    #[test]
+    fn calibration_class_matches_interval() {
+        let workload = SyntheticWorkload::new(0.4, 100).with_grid_points(3);
+        let class = workload.calibration_class().unwrap();
+        assert_eq!(class.len(), 9);
+        assert!(class.allows_all_initial_distributions());
+        for chain in class.chains() {
+            for i in 0..2 {
+                for j in 0..2 {
+                    assert!((0.4 - 1e-12..=0.6 + 1e-12).contains(&chain.transition()[(i, j)]));
+                }
+            }
+        }
+        assert!(SyntheticWorkload::new(0.7, 100).calibration_class().is_err());
+    }
+
+    #[test]
+    fn determinism_with_seed() {
+        let workload = SyntheticWorkload::new(0.1, 50);
+        let a = workload
+            .generate(&mut StdRng::seed_from_u64(9))
+            .unwrap();
+        let b = workload
+            .generate(&mut StdRng::seed_from_u64(9))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,138 @@
+//! Error type shared by all linear-algebra routines.
+
+use std::fmt;
+
+/// Errors produced by the `pufferfish-linalg` crate.
+///
+/// The crate favours explicit, descriptive errors over panics so that callers
+/// (privacy mechanisms working with user-supplied distribution classes) can
+/// surface configuration problems cleanly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// A matrix or vector had a dimension that does not match the operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        operation: &'static str,
+        /// Dimension that was expected.
+        expected: usize,
+        /// Dimension that was provided.
+        found: usize,
+    },
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// An empty matrix or vector was supplied where a non-empty one is required.
+    Empty,
+    /// Rows of a matrix constructor had inconsistent lengths.
+    RaggedRows {
+        /// Length of the first row.
+        first: usize,
+        /// Index of the row whose length differs.
+        row: usize,
+        /// Length of that row.
+        len: usize,
+    },
+    /// A matrix was singular (or numerically singular) where an invertible one
+    /// is required.
+    Singular,
+    /// An iterative routine failed to converge within its iteration budget.
+    DidNotConverge {
+        /// Name of the routine.
+        routine: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// A value expected to be a probability (or probability vector / stochastic
+    /// matrix) was not.
+    NotStochastic(String),
+    /// A non-finite value (NaN or infinity) was encountered.
+    NonFinite {
+        /// Description of where the value appeared.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch {
+                operation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "dimension mismatch in {operation}: expected {expected}, found {found}"
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            LinalgError::Empty => write!(f, "empty matrix or vector"),
+            LinalgError::RaggedRows { first, row, len } => write!(
+                f,
+                "ragged rows: row 0 has length {first} but row {row} has length {len}"
+            ),
+            LinalgError::Singular => write!(f, "matrix is singular or numerically singular"),
+            LinalgError::DidNotConverge {
+                routine,
+                iterations,
+            } => write!(f, "{routine} did not converge after {iterations} iterations"),
+            LinalgError::NotStochastic(msg) => write!(f, "not stochastic: {msg}"),
+            LinalgError::NonFinite { context } => {
+                write!(f, "non-finite value encountered in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::DimensionMismatch {
+            operation: "matmul",
+            expected: 3,
+            found: 2,
+        };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains('3'));
+
+        let e = LinalgError::NotSquare { rows: 2, cols: 3 };
+        assert!(e.to_string().contains("2x3"));
+
+        let e = LinalgError::RaggedRows {
+            first: 4,
+            row: 2,
+            len: 5,
+        };
+        assert!(e.to_string().contains("ragged"));
+
+        let e = LinalgError::DidNotConverge {
+            routine: "jacobi",
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("jacobi"));
+
+        let e = LinalgError::NotStochastic("row 1 sums to 0.9".into());
+        assert!(e.to_string().contains("row 1"));
+
+        let e = LinalgError::NonFinite { context: "matmul" };
+        assert!(e.to_string().contains("non-finite"));
+
+        assert!(LinalgError::Empty.to_string().contains("empty"));
+        assert!(LinalgError::Singular.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(LinalgError::Empty, LinalgError::Empty);
+        assert_ne!(LinalgError::Empty, LinalgError::Singular);
+    }
+}

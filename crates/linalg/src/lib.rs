@@ -1,0 +1,83 @@
+//! Small dense linear-algebra substrate for the `pufferfish-rs` workspace.
+//!
+//! The Pufferfish mechanisms of Song, Wang and Chaudhuri (SIGMOD 2017) need a
+//! modest but non-trivial amount of numerical linear algebra:
+//!
+//! * stationary distributions of Markov chains (a linear solve / power
+//!   iteration),
+//! * the time-reversal chain `P*` and the *multiplicative reversibilization*
+//!   `P·P*` whose spectral gap drives the MQMApprox bound (Lemma 4.8),
+//! * eigenvalues of symmetric matrices (the reversibilization is symmetric
+//!   after a diagonal similarity transform), and
+//! * matrix powers for the exact max-influence computation (Equation 5).
+//!
+//! Rather than pulling in a heavyweight linear-algebra dependency, this crate
+//! implements exactly what is needed on top of a simple row-major dense
+//! [`Matrix`] type and a thin [`Vector`] wrapper. Everything is `f64`,
+//! deterministic, and extensively unit- and property-tested.
+//!
+//! # Example
+//!
+//! ```
+//! use pufferfish_linalg::{Matrix, Vector};
+//!
+//! let p = Matrix::from_rows(&[vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap();
+//! let q = Vector::from(vec![1.0, 0.0]);
+//! // one step of the chain: q' = q^T P
+//! let q1 = p.left_mul(&q).unwrap();
+//! assert!((q1[0] - 0.9).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod eigen;
+mod error;
+mod matrix;
+mod solve;
+mod stochastic;
+mod vector;
+
+pub use eigen::{power_iteration, symmetric_eigenvalues, PowerIterationOptions};
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use solve::{determinant, invert, lu_decompose, solve, LuDecomposition};
+pub use stochastic::{
+    is_probability_vector, is_row_stochastic, normalize_probability, uniform_probability,
+    PROBABILITY_TOLERANCE,
+};
+pub use vector::Vector;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Tolerance used by approximate floating-point comparisons inside this crate.
+pub const DEFAULT_TOLERANCE: f64 = 1e-10;
+
+/// Returns `true` when two floats agree to within `tol` (absolute).
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Returns `true` when two slices agree element-wise to within `tol`.
+pub fn approx_eq_slice(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| approx_eq(*x, *y, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_basic() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-10));
+        assert!(!approx_eq(1.0, 1.1, 1e-10));
+    }
+
+    #[test]
+    fn approx_eq_slice_lengths_must_match() {
+        assert!(!approx_eq_slice(&[1.0], &[1.0, 2.0], 1e-10));
+        assert!(approx_eq_slice(&[1.0, 2.0], &[1.0, 2.0], 1e-10));
+    }
+}

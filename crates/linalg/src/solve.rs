@@ -1,0 +1,283 @@
+//! LU decomposition with partial pivoting, linear solves, determinants and
+//! inverses.
+//!
+//! The main consumer is the stationary-distribution computation in
+//! `pufferfish-markov`, which solves `pi (P - I) = 0` subject to
+//! `sum(pi) = 1` as a square linear system.
+
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// An LU decomposition `P A = L U` with partial pivoting.
+///
+/// `L` has a unit diagonal and is stored together with `U` in a single matrix;
+/// `permutation[i]` records which original row ended up in position `i`.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    lu: Matrix,
+    permutation: Vec<usize>,
+    /// +1.0 or -1.0 depending on the parity of the permutation.
+    sign: f64,
+}
+
+/// Pivot threshold below which a matrix is treated as singular.
+const SINGULARITY_TOLERANCE: f64 = 1e-12;
+
+/// Computes the LU decomposition of a square matrix with partial pivoting.
+///
+/// # Errors
+/// Returns [`LinalgError::NotSquare`] for non-square input and
+/// [`LinalgError::Singular`] when a pivot smaller than the singularity
+/// tolerance is encountered.
+pub fn lu_decompose(a: &Matrix) -> Result<LuDecomposition> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    let mut lu = a.clone();
+    let mut permutation: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0;
+
+    for col in 0..n {
+        // Find the pivot row.
+        let mut pivot_row = col;
+        let mut pivot_val = lu[(col, col)].abs();
+        for row in (col + 1)..n {
+            let val = lu[(row, col)].abs();
+            if val > pivot_val {
+                pivot_val = val;
+                pivot_row = row;
+            }
+        }
+        if pivot_val < SINGULARITY_TOLERANCE {
+            return Err(LinalgError::Singular);
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = lu[(col, j)];
+                lu[(col, j)] = lu[(pivot_row, j)];
+                lu[(pivot_row, j)] = tmp;
+            }
+            permutation.swap(col, pivot_row);
+            sign = -sign;
+        }
+        // Eliminate below the pivot.
+        let pivot = lu[(col, col)];
+        for row in (col + 1)..n {
+            let factor = lu[(row, col)] / pivot;
+            lu[(row, col)] = factor;
+            for j in (col + 1)..n {
+                lu[(row, j)] -= factor * lu[(col, j)];
+            }
+        }
+    }
+
+    Ok(LuDecomposition {
+        lu,
+        permutation,
+        sign,
+    })
+}
+
+impl LuDecomposition {
+    /// Dimension of the decomposed matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b` using this decomposition.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len()` differs from
+    /// the matrix dimension.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "lu solve",
+                expected: n,
+                found: b.len(),
+            });
+        }
+        // Apply the permutation, then forward-substitute (L y = P b).
+        let mut y = Vector::zeros(n);
+        for i in 0..n {
+            let mut sum = b[self.permutation[i]];
+            for j in 0..i {
+                sum -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = sum;
+        }
+        // Back-substitute (U x = y).
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+}
+
+/// Solves the linear system `A x = b`.
+///
+/// # Errors
+/// Propagates decomposition errors ([`LinalgError::NotSquare`],
+/// [`LinalgError::Singular`]) and dimension mismatches.
+pub fn solve(a: &Matrix, b: &Vector) -> Result<Vector> {
+    lu_decompose(a)?.solve(b)
+}
+
+/// Determinant of a square matrix (0.0 is returned for singular matrices).
+///
+/// # Errors
+/// Returns [`LinalgError::NotSquare`] for non-square input.
+pub fn determinant(a: &Matrix) -> Result<f64> {
+    match lu_decompose(a) {
+        Ok(lu) => Ok(lu.determinant()),
+        Err(LinalgError::Singular) => Ok(0.0),
+        Err(e) => Err(e),
+    }
+}
+
+/// Inverse of a square matrix.
+///
+/// # Errors
+/// Returns [`LinalgError::Singular`] if the matrix is not invertible and
+/// [`LinalgError::NotSquare`] for non-square input.
+pub fn invert(a: &Matrix) -> Result<Matrix> {
+    let lu = lu_decompose(a)?;
+    let n = a.rows();
+    let mut inv = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut e = Vector::zeros(n);
+        e[j] = 1.0;
+        let col = lu.solve(&e)?;
+        for i in 0..n {
+            inv[(i, j)] = col[i];
+        }
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{approx_eq, approx_eq_slice};
+    use proptest::prelude::*;
+
+    #[test]
+    fn solve_simple_system() {
+        // 2x + y = 5, x + 3y = 10 => x = 1, y = 3
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let b = Vector::from(vec![5.0, 10.0]);
+        let x = solve(&a, &b).unwrap();
+        assert!(approx_eq_slice(x.as_slice(), &[1.0, 3.0], 1e-10));
+    }
+
+    #[test]
+    fn solve_requires_matching_dimensions() {
+        let a = Matrix::identity(2);
+        let b = Vector::zeros(3);
+        assert!(solve(&a, &b).is_err());
+        let rect = Matrix::zeros(2, 3);
+        assert!(lu_decompose(&rect).is_err());
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert_eq!(lu_decompose(&a).unwrap_err(), LinalgError::Singular);
+        // determinant() maps singularity to 0 instead of an error.
+        assert_eq!(determinant(&a).unwrap(), 0.0);
+        assert!(invert(&a).is_err());
+    }
+
+    #[test]
+    fn determinant_matches_known_values() {
+        let a = Matrix::from_rows(&[vec![3.0, 8.0], vec![4.0, 6.0]]).unwrap();
+        assert!(approx_eq(determinant(&a).unwrap(), -14.0, 1e-10));
+        let id = Matrix::identity(4);
+        assert!(approx_eq(determinant(&id).unwrap(), 1.0, 1e-10));
+        // Permutation matrix has determinant -1.
+        let perm = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        assert!(approx_eq(determinant(&perm).unwrap(), -1.0, 1e-10));
+        assert!(determinant(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 7.0, 2.0],
+            vec![3.0, 6.0, 1.0],
+            vec![2.0, 5.0, 3.0],
+        ])
+        .unwrap();
+        let inv = invert(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let id = Matrix::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(approx_eq(prod[(i, j)], id[(i, j)], 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn lu_exposes_dimension() {
+        let a = Matrix::identity(3);
+        let lu = lu_decompose(&a).unwrap();
+        assert_eq!(lu.dim(), 3);
+        assert!(approx_eq(lu.determinant(), 1.0, 1e-12));
+    }
+
+    proptest! {
+        /// Solving a random diagonally-dominant system and multiplying back
+        /// recovers the right-hand side.
+        #[test]
+        fn prop_solve_recovers_rhs(entries in proptest::collection::vec(-1.0f64..1.0, 9),
+                                   rhs in proptest::collection::vec(-10.0f64..10.0, 3)) {
+            let mut a = Matrix::from_flat(3, 3, entries).unwrap();
+            // Make strictly diagonally dominant so the system is well-conditioned.
+            for i in 0..3 {
+                a[(i, i)] = 5.0 + a[(i, i)].abs();
+            }
+            let b = Vector::from(rhs);
+            let x = solve(&a, &b).unwrap();
+            let back = a.mul_vector(&x).unwrap();
+            for i in 0..3 {
+                prop_assert!((back[i] - b[i]).abs() < 1e-8);
+            }
+        }
+
+        /// det(A B) = det(A) det(B) for random well-conditioned matrices.
+        #[test]
+        fn prop_determinant_is_multiplicative(e1 in proptest::collection::vec(-1.0f64..1.0, 4),
+                                              e2 in proptest::collection::vec(-1.0f64..1.0, 4)) {
+            let mut a = Matrix::from_flat(2, 2, e1).unwrap();
+            let mut b = Matrix::from_flat(2, 2, e2).unwrap();
+            for i in 0..2 {
+                a[(i, i)] = 3.0 + a[(i, i)].abs();
+                b[(i, i)] = 3.0 + b[(i, i)].abs();
+            }
+            let ab = a.matmul(&b).unwrap();
+            let det_ab = determinant(&ab).unwrap();
+            let det_a = determinant(&a).unwrap();
+            let det_b = determinant(&b).unwrap();
+            prop_assert!((det_ab - det_a * det_b).abs() < 1e-6 * det_ab.abs().max(1.0));
+        }
+    }
+}

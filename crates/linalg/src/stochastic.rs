@@ -1,0 +1,115 @@
+//! Helpers for validating and constructing probability vectors and
+//! row-stochastic matrices.
+
+use crate::{Matrix, Vector};
+
+/// Default tolerance used when checking that probabilities sum to one.
+pub const PROBABILITY_TOLERANCE: f64 = 1e-9;
+
+/// Returns `true` when `v` has non-negative entries summing to 1 (within
+/// `tol`).
+pub fn is_probability_vector(v: &[f64], tol: f64) -> bool {
+    if v.is_empty() {
+        return false;
+    }
+    let mut sum = 0.0;
+    for &x in v {
+        if !(x >= -tol) || !x.is_finite() {
+            return false;
+        }
+        sum += x;
+    }
+    (sum - 1.0).abs() <= tol
+}
+
+/// Returns `true` when every row of `m` is a probability vector (within `tol`).
+pub fn is_row_stochastic(m: &Matrix, tol: f64) -> bool {
+    (0..m.rows()).all(|i| is_probability_vector(m.row(i), tol))
+}
+
+/// Normalises a non-negative weight vector into a probability vector.
+///
+/// Returns `None` when the weights are empty, contain a negative or non-finite
+/// entry, or sum to zero.
+pub fn normalize_probability(weights: &[f64]) -> Option<Vector> {
+    if weights.is_empty() {
+        return None;
+    }
+    let mut sum = 0.0;
+    for &w in weights {
+        if w < 0.0 || !w.is_finite() {
+            return None;
+        }
+        sum += w;
+    }
+    if sum <= 0.0 {
+        return None;
+    }
+    Some(weights.iter().map(|w| w / sum).collect())
+}
+
+/// The uniform probability vector on `n` outcomes (`None` when `n == 0`).
+pub fn uniform_probability(n: usize) -> Option<Vector> {
+    if n == 0 {
+        None
+    } else {
+        Some(Vector::filled(n, 1.0 / n as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use proptest::prelude::*;
+
+    #[test]
+    fn probability_vector_checks() {
+        assert!(is_probability_vector(&[0.2, 0.8], PROBABILITY_TOLERANCE));
+        assert!(is_probability_vector(&[1.0], PROBABILITY_TOLERANCE));
+        assert!(!is_probability_vector(&[0.5, 0.6], PROBABILITY_TOLERANCE));
+        assert!(!is_probability_vector(&[-0.1, 1.1], PROBABILITY_TOLERANCE));
+        assert!(!is_probability_vector(&[], PROBABILITY_TOLERANCE));
+        assert!(!is_probability_vector(
+            &[f64::NAN, 1.0],
+            PROBABILITY_TOLERANCE
+        ));
+    }
+
+    #[test]
+    fn row_stochastic_checks() {
+        let p = Matrix::from_rows(&[vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap();
+        assert!(is_row_stochastic(&p, PROBABILITY_TOLERANCE));
+        let bad = Matrix::from_rows(&[vec![0.9, 0.2], vec![0.4, 0.6]]).unwrap();
+        assert!(!is_row_stochastic(&bad, PROBABILITY_TOLERANCE));
+    }
+
+    #[test]
+    fn normalisation() {
+        let v = normalize_probability(&[2.0, 2.0, 4.0]).unwrap();
+        assert!(approx_eq(v[0], 0.25, 1e-12));
+        assert!(approx_eq(v[2], 0.5, 1e-12));
+        assert!(normalize_probability(&[]).is_none());
+        assert!(normalize_probability(&[0.0, 0.0]).is_none());
+        assert!(normalize_probability(&[-1.0, 2.0]).is_none());
+        assert!(normalize_probability(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn uniform() {
+        let u = uniform_probability(4).unwrap();
+        assert!(is_probability_vector(u.as_slice(), 1e-12));
+        assert!(approx_eq(u[0], 0.25, 1e-12));
+        assert!(uniform_probability(0).is_none());
+    }
+
+    proptest! {
+        /// Any normalised non-negative weight vector passes the probability check.
+        #[test]
+        fn prop_normalised_weights_are_probability(weights in proptest::collection::vec(0.0f64..10.0, 1..10)) {
+            prop_assume!(weights.iter().sum::<f64>() > 1e-6);
+            let p = normalize_probability(&weights).unwrap();
+            prop_assert!(is_probability_vector(p.as_slice(), 1e-9));
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! A thin dense vector wrapper with the handful of operations the privacy
+//! mechanisms need (dot products, norms, element-wise arithmetic).
+
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+use crate::{LinalgError, Result};
+
+/// A dense, heap-allocated vector of `f64` values.
+///
+/// [`Vector`] is intentionally minimal: it exists so that probability vectors
+/// and query outputs have a shared, well-tested home for the operations the
+/// rest of the workspace relies on (norms, dot products, scaling) rather than
+/// to be a general-purpose numerical array.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a vector of `len` zeros.
+    pub fn zeros(len: usize) -> Self {
+        Vector {
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a vector of `len` copies of `value`.
+    pub fn filled(len: usize, value: f64) -> Self {
+        Vector {
+            data: vec![value; len],
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector, returning the underlying storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Dot product with another vector.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if the lengths differ.
+    pub fn dot(&self, other: &Vector) -> Result<f64> {
+        if self.len() != other.len() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "dot product",
+                expected: self.len(),
+                found: other.len(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// Sum of entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// L1 norm (sum of absolute values).
+    pub fn l1_norm(&self) -> f64 {
+        self.data.iter().map(|x| x.abs()).sum()
+    }
+
+    /// L2 (Euclidean) norm.
+    pub fn l2_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// L-infinity norm (maximum absolute value); 0 for an empty vector.
+    pub fn linf_norm(&self) -> f64 {
+        self.data.iter().fold(0.0, |acc, x| acc.max(x.abs()))
+    }
+
+    /// L1 distance to another vector.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if the lengths differ.
+    pub fn l1_distance(&self, other: &Vector) -> Result<f64> {
+        if self.len() != other.len() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "l1 distance",
+                expected: self.len(),
+                found: other.len(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .sum())
+    }
+
+    /// Returns a new vector with every entry multiplied by `scalar`.
+    pub fn scaled(&self, scalar: f64) -> Vector {
+        Vector {
+            data: self.data.iter().map(|x| x * scalar).collect(),
+        }
+    }
+
+    /// Largest entry; `None` for an empty vector.
+    pub fn max(&self) -> Option<f64> {
+        self.data.iter().copied().reduce(f64::max)
+    }
+
+    /// Smallest entry; `None` for an empty vector.
+    pub fn min(&self) -> Option<f64> {
+        self.data.iter().copied().reduce(f64::min)
+    }
+
+    /// `true` if every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if the lengths differ.
+    pub fn try_add(&self, other: &Vector) -> Result<Vector> {
+        if self.len() != other.len() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "vector addition",
+                expected: self.len(),
+                found: other.len(),
+            });
+        }
+        Ok(Vector {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        })
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if the lengths differ.
+    pub fn try_sub(&self, other: &Vector) -> Result<Vector> {
+        if self.len() != other.len() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "vector subtraction",
+                expected: self.len(),
+                found: other.len(),
+            });
+        }
+        Ok(Vector {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        })
+    }
+
+    /// Iterator over entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.data.iter()
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+}
+
+impl From<&[f64]> for Vector {
+    fn from(data: &[f64]) -> Self {
+        Vector {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    fn index(&self, index: usize) -> &f64 {
+        &self.data[index]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, index: usize) -> &mut f64 {
+        &mut self.data[index]
+    }
+}
+
+impl Add for &Vector {
+    type Output = Vector;
+    /// Panics on dimension mismatch; use [`Vector::try_add`] for a fallible
+    /// version.
+    fn add(self, rhs: &Vector) -> Vector {
+        self.try_add(rhs).expect("vector addition dimension mismatch")
+    }
+}
+
+impl Sub for &Vector {
+    type Output = Vector;
+    /// Panics on dimension mismatch; use [`Vector::try_sub`] for a fallible
+    /// version.
+    fn sub(self, rhs: &Vector) -> Vector {
+        self.try_sub(rhs)
+            .expect("vector subtraction dimension mismatch")
+    }
+}
+
+impl Mul<f64> for &Vector {
+    type Output = Vector;
+    fn mul(self, rhs: f64) -> Vector {
+        self.scaled(rhs)
+    }
+}
+
+impl<'a> IntoIterator for &'a Vector {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Vector {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn construction_and_access() {
+        let v = Vector::zeros(3);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert_eq!(v[0], 0.0);
+
+        let v = Vector::filled(2, 1.5);
+        assert_eq!(v.as_slice(), &[1.5, 1.5]);
+
+        let mut v = Vector::from(vec![1.0, 2.0]);
+        v[1] = 3.0;
+        assert_eq!(v.into_vec(), vec![1.0, 3.0]);
+
+        let empty = Vector::zeros(0);
+        assert!(empty.is_empty());
+        assert!(empty.max().is_none());
+        assert!(empty.min().is_none());
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Vector::from(vec![1.0, 2.0, 3.0]);
+        let b = Vector::from(vec![4.0, 5.0, 6.0]);
+        assert!(approx_eq(a.dot(&b).unwrap(), 32.0, 1e-12));
+        assert!(a.dot(&Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn norms() {
+        let v = Vector::from(vec![3.0, -4.0]);
+        assert!(approx_eq(v.l1_norm(), 7.0, 1e-12));
+        assert!(approx_eq(v.l2_norm(), 5.0, 1e-12));
+        assert!(approx_eq(v.linf_norm(), 4.0, 1e-12));
+        assert!(approx_eq(v.sum(), -1.0, 1e-12));
+    }
+
+    #[test]
+    fn distances_and_arithmetic() {
+        let a = Vector::from(vec![1.0, 2.0]);
+        let b = Vector::from(vec![0.0, 4.0]);
+        assert!(approx_eq(a.l1_distance(&b).unwrap(), 3.0, 1e-12));
+        assert!(a.l1_distance(&Vector::zeros(3)).is_err());
+
+        let sum = &a + &b;
+        assert_eq!(sum.as_slice(), &[1.0, 6.0]);
+        let diff = &a - &b;
+        assert_eq!(diff.as_slice(), &[1.0, -2.0]);
+        let scaled = &a * 2.0;
+        assert_eq!(scaled.as_slice(), &[2.0, 4.0]);
+
+        assert!(a.try_add(&Vector::zeros(3)).is_err());
+        assert!(a.try_sub(&Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn min_max_and_finiteness() {
+        let v = Vector::from(vec![1.0, -2.0, 0.5]);
+        assert_eq!(v.max(), Some(1.0));
+        assert_eq!(v.min(), Some(-2.0));
+        assert!(v.is_finite());
+
+        let v = Vector::from(vec![1.0, f64::NAN]);
+        assert!(!v.is_finite());
+    }
+
+    #[test]
+    fn iterator_support() {
+        let v: Vector = (0..4).map(|i| i as f64).collect();
+        assert_eq!(v.len(), 4);
+        let total: f64 = (&v).into_iter().sum();
+        assert!(approx_eq(total, 6.0, 1e-12));
+        let doubled: Vec<f64> = v.iter().map(|x| x * 2.0).collect();
+        assert_eq!(doubled, vec![0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn from_slice() {
+        let data = [1.0, 2.0];
+        let v = Vector::from(&data[..]);
+        assert_eq!(v.as_slice(), &data);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn operator_add_panics_on_mismatch() {
+        let a = Vector::zeros(2);
+        let b = Vector::zeros(3);
+        let _ = &a + &b;
+    }
+}

@@ -1,0 +1,471 @@
+//! The core [`MarkovChain`] type.
+
+use pufferfish_linalg::{
+    is_probability_vector, is_row_stochastic, solve, Matrix, PowerIterationOptions, Vector,
+    PROBABILITY_TOLERANCE,
+};
+
+use crate::{MarkovError, Result};
+
+/// A discrete-time, finite-state, time-homogeneous Markov chain.
+///
+/// A chain is a pair `(q, P)` of an initial distribution `q` over `k` states
+/// and a `k x k` row-stochastic transition matrix `P`, exactly the
+/// parameterisation used for each `θ ∈ Θ` in Section 4.4 of the paper.
+///
+/// States are identified with indices `0..k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovChain {
+    initial: Vector,
+    transition: Matrix,
+}
+
+impl MarkovChain {
+    /// Builds a chain from an initial distribution and transition matrix given
+    /// as plain vectors.
+    ///
+    /// # Errors
+    /// * [`MarkovError::NoStates`] for empty input.
+    /// * [`MarkovError::InvalidInitialDistribution`] if `initial` is not a
+    ///   probability vector.
+    /// * [`MarkovError::InvalidTransitionMatrix`] if `transition` is ragged,
+    ///   non-square or not row-stochastic.
+    /// * [`MarkovError::DimensionMismatch`] if the two parts disagree on the
+    ///   number of states.
+    pub fn new(initial: Vec<f64>, transition: Vec<Vec<f64>>) -> Result<Self> {
+        if initial.is_empty() || transition.is_empty() {
+            return Err(MarkovError::NoStates);
+        }
+        let matrix = Matrix::from_rows(&transition)
+            .map_err(|e| MarkovError::InvalidTransitionMatrix(e.to_string()))?;
+        Self::from_parts(Vector::from(initial), matrix)
+    }
+
+    /// Builds a chain from already-constructed linalg types.
+    ///
+    /// # Errors
+    /// Same validation as [`MarkovChain::new`].
+    pub fn from_parts(initial: Vector, transition: Matrix) -> Result<Self> {
+        if initial.is_empty() {
+            return Err(MarkovError::NoStates);
+        }
+        if !transition.is_square() {
+            return Err(MarkovError::InvalidTransitionMatrix(format!(
+                "transition matrix must be square, got {}x{}",
+                transition.rows(),
+                transition.cols()
+            )));
+        }
+        if initial.len() != transition.rows() {
+            return Err(MarkovError::DimensionMismatch {
+                initial: initial.len(),
+                transition: transition.rows(),
+            });
+        }
+        if !is_probability_vector(initial.as_slice(), PROBABILITY_TOLERANCE) {
+            return Err(MarkovError::InvalidInitialDistribution(format!(
+                "entries {:?} are not a probability vector",
+                initial.as_slice()
+            )));
+        }
+        if !is_row_stochastic(&transition, PROBABILITY_TOLERANCE) {
+            return Err(MarkovError::InvalidTransitionMatrix(
+                "rows must be probability vectors".to_string(),
+            ));
+        }
+        Ok(MarkovChain {
+            initial,
+            transition,
+        })
+    }
+
+    /// Builds a chain whose initial distribution is the stationary
+    /// distribution of `transition`.
+    ///
+    /// This models data sampled from a process in steady state, such as the
+    /// household electricity data of Section 5.3.2, and enables the
+    /// `i`-independence optimisation discussed at the end of Section 4.4.1.
+    ///
+    /// # Errors
+    /// Transition-matrix validation errors as in [`MarkovChain::new`], plus
+    /// [`MarkovError::DoesNotMix`] if no unique stationary distribution
+    /// exists.
+    pub fn with_stationary_initial(transition: Vec<Vec<f64>>) -> Result<Self> {
+        let k = transition.len();
+        if k == 0 {
+            return Err(MarkovError::NoStates);
+        }
+        let uniform = vec![1.0 / k as f64; k];
+        let provisional = Self::new(uniform, transition)?;
+        let pi = provisional.stationary_distribution()?;
+        Self::from_parts(pi, provisional.transition)
+    }
+
+    /// Number of states `k`.
+    pub fn num_states(&self) -> usize {
+        self.initial.len()
+    }
+
+    /// The initial distribution `q`.
+    pub fn initial(&self) -> &Vector {
+        &self.initial
+    }
+
+    /// The transition matrix `P`.
+    pub fn transition(&self) -> &Matrix {
+        &self.transition
+    }
+
+    /// `P(X_{t+1} = to | X_t = from)`.
+    ///
+    /// # Errors
+    /// [`MarkovError::StateOutOfRange`] when either state index is invalid.
+    pub fn transition_prob(&self, from: usize, to: usize) -> Result<f64> {
+        self.check_state(from)?;
+        self.check_state(to)?;
+        Ok(self.transition[(from, to)])
+    }
+
+    /// `P(X_1 = state)`.
+    ///
+    /// # Errors
+    /// [`MarkovError::StateOutOfRange`] when the state index is invalid.
+    pub fn initial_prob(&self, state: usize) -> Result<f64> {
+        self.check_state(state)?;
+        Ok(self.initial[state])
+    }
+
+    /// Pushes a distribution one step through the chain: `d ↦ d^T P`.
+    ///
+    /// # Errors
+    /// [`MarkovError::Linalg`] on dimension mismatch.
+    pub fn step_distribution(&self, dist: &Vector) -> Result<Vector> {
+        Ok(self.transition.left_mul(dist)?)
+    }
+
+    /// The marginal distribution of `X_t` (1-based: `marginal_at(1)` is the
+    /// initial distribution), i.e. `q^T P^{t-1}`.
+    ///
+    /// # Errors
+    /// [`MarkovError::StateOutOfRange`] when `t == 0`.
+    pub fn marginal_at(&self, t: usize) -> Result<Vector> {
+        if t == 0 {
+            return Err(MarkovError::StateOutOfRange {
+                state: 0,
+                num_states: self.num_states(),
+            });
+        }
+        let mut dist = self.initial.clone();
+        for _ in 1..t {
+            dist = self.step_distribution(&dist)?;
+        }
+        Ok(dist)
+    }
+
+    /// The unique stationary distribution `π` with `π^T P = π^T`.
+    ///
+    /// Solved as a linear system with the normalisation constraint, falling
+    /// back to power iteration when the direct solve is degenerate.
+    ///
+    /// # Errors
+    /// [`MarkovError::DoesNotMix`] when no unique stationary distribution can
+    /// be determined (reducible or periodic chains).
+    pub fn stationary_distribution(&self) -> Result<Vector> {
+        let k = self.num_states();
+        if k == 1 {
+            return Ok(Vector::from(vec![1.0]));
+        }
+        // Build A = (P^T - I) with the last row replaced by all-ones, b = e_k.
+        let pt = self.transition.transpose();
+        let mut a = Matrix::zeros(k, k);
+        for i in 0..k {
+            for j in 0..k {
+                a[(i, j)] = pt[(i, j)] - if i == j { 1.0 } else { 0.0 };
+            }
+        }
+        for j in 0..k {
+            a[(k - 1, j)] = 1.0;
+        }
+        let mut b = Vector::zeros(k);
+        b[k - 1] = 1.0;
+
+        match solve(&a, &b) {
+            Ok(pi) => {
+                // Guard against spurious solutions from near-singular systems.
+                if pi.as_slice().iter().all(|&x| x >= -1e-8)
+                    && (pi.sum() - 1.0).abs() < 1e-6
+                    && self.is_stationary(&pi, 1e-6)
+                {
+                    let clipped: Vec<f64> =
+                        pi.as_slice().iter().map(|&x| x.max(0.0)).collect();
+                    let total: f64 = clipped.iter().sum();
+                    return Ok(clipped.into_iter().map(|x| x / total).collect());
+                }
+                self.stationary_by_power_iteration()
+            }
+            Err(_) => self.stationary_by_power_iteration(),
+        }
+    }
+
+    fn stationary_by_power_iteration(&self) -> Result<Vector> {
+        let k = self.num_states();
+        let start = Vector::filled(k, 1.0 / k as f64);
+        // Smooth the chain slightly to break periodicity: the stationary
+        // distribution of (1-d) P + d I equals that of P.
+        let damped = {
+            let mut m = self.transition.scaled(0.9);
+            for i in 0..k {
+                m[(i, i)] += 0.1;
+            }
+            m
+        };
+        let options = PowerIterationOptions {
+            max_iterations: 500_000,
+            tolerance: 1e-13,
+        };
+        let pi = pufferfish_linalg::power_iteration(&damped, &start, options)
+            .map_err(|e| MarkovError::DoesNotMix(e.to_string()))?;
+        if self.is_stationary(&pi, 1e-6) {
+            Ok(pi)
+        } else {
+            Err(MarkovError::DoesNotMix(
+                "power iteration converged to a non-stationary point (chain may be reducible)"
+                    .to_string(),
+            ))
+        }
+    }
+
+    /// Returns `true` if `pi` is (approximately) stationary for this chain.
+    pub fn is_stationary(&self, pi: &Vector, tol: f64) -> bool {
+        match self.transition.left_mul(pi) {
+            Ok(next) => next
+                .as_slice()
+                .iter()
+                .zip(pi.as_slice())
+                .all(|(a, b)| (a - b).abs() <= tol),
+            Err(_) => false,
+        }
+    }
+
+    /// The minimum stationary probability `π^min` of Equation (6),
+    /// for this single chain.
+    ///
+    /// # Errors
+    /// Propagates [`MarkovError::DoesNotMix`] from the stationary computation.
+    pub fn pi_min(&self) -> Result<f64> {
+        let pi = self.stationary_distribution()?;
+        pi.min().ok_or(MarkovError::NoStates)
+    }
+
+    /// Checks whether the chain is irreducible and aperiodic (i.e. `P` is
+    /// primitive), the condition required by Lemma 4.8.
+    ///
+    /// Uses Wielandt's bound: `P` is primitive iff `P^(k² − 2k + 2)` has all
+    /// entries strictly positive.
+    pub fn is_irreducible_aperiodic(&self) -> bool {
+        let k = self.num_states();
+        if k == 1 {
+            return true;
+        }
+        let exponent = (k * k - 2 * k + 2) as u32;
+        match self.transition.pow(exponent) {
+            Ok(p) => (0..k).all(|i| p.row(i).iter().all(|&x| x > 0.0)),
+            Err(_) => false,
+        }
+    }
+
+    fn check_state(&self, state: usize) -> Result<()> {
+        if state >= self.num_states() {
+            Err(MarkovError::StateOutOfRange {
+                state,
+                num_states: self.num_states(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    /// θ₁ from the running example of Section 4.4.
+    pub(crate) fn theta1() -> MarkovChain {
+        MarkovChain::new(vec![1.0, 0.0], vec![vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap()
+    }
+
+    /// θ₂ from the running example of Section 4.4.
+    pub(crate) fn theta2() -> MarkovChain {
+        MarkovChain::new(vec![0.9, 0.1], vec![vec![0.8, 0.2], vec![0.3, 0.7]]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(
+            MarkovChain::new(vec![], vec![]),
+            Err(MarkovError::NoStates)
+        ));
+        assert!(matches!(
+            MarkovChain::new(vec![0.5, 0.6], vec![vec![1.0, 0.0], vec![0.0, 1.0]]),
+            Err(MarkovError::InvalidInitialDistribution(_))
+        ));
+        assert!(matches!(
+            MarkovChain::new(vec![1.0, 0.0], vec![vec![0.9, 0.2], vec![0.0, 1.0]]),
+            Err(MarkovError::InvalidTransitionMatrix(_))
+        ));
+        assert!(matches!(
+            MarkovChain::new(vec![1.0, 0.0], vec![vec![0.5, 0.5]]),
+            Err(MarkovError::InvalidTransitionMatrix(_))
+        ));
+        assert!(matches!(
+            MarkovChain::new(vec![1.0], vec![vec![0.5, 0.5], vec![0.5, 0.5]]),
+            Err(MarkovError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            MarkovChain::new(vec![1.0, 0.0], vec![vec![0.5, 0.5], vec![0.5]]),
+            Err(MarkovError::InvalidTransitionMatrix(_))
+        ));
+        let chain = theta1();
+        assert_eq!(chain.num_states(), 2);
+    }
+
+    #[test]
+    fn accessors_and_bounds() {
+        let chain = theta1();
+        assert!(close(chain.transition_prob(0, 1).unwrap(), 0.1));
+        assert!(close(chain.initial_prob(0).unwrap(), 1.0));
+        assert!(chain.transition_prob(2, 0).is_err());
+        assert!(chain.transition_prob(0, 2).is_err());
+        assert!(chain.initial_prob(5).is_err());
+        assert_eq!(chain.initial().len(), 2);
+        assert_eq!(chain.transition().rows(), 2);
+    }
+
+    #[test]
+    fn marginals_evolve_correctly() {
+        let chain = theta1();
+        let m1 = chain.marginal_at(1).unwrap();
+        assert!(close(m1[0], 1.0));
+        let m2 = chain.marginal_at(2).unwrap();
+        assert!(close(m2[0], 0.9));
+        assert!(close(m2[1], 0.1));
+        let m3 = chain.marginal_at(3).unwrap();
+        assert!(close(m3[0], 0.9 * 0.9 + 0.1 * 0.4));
+        assert!(chain.marginal_at(0).is_err());
+        // Marginals always stay probability vectors.
+        let m50 = chain.marginal_at(50).unwrap();
+        assert!(close(m50.sum(), 1.0));
+    }
+
+    #[test]
+    fn stationary_distribution_of_running_example() {
+        // Section 4.4: θ₁ has stationary distribution [0.8, 0.2],
+        // θ₂ has stationary distribution [0.6, 0.4].
+        let pi1 = theta1().stationary_distribution().unwrap();
+        assert!(close(pi1[0], 0.8));
+        assert!(close(pi1[1], 0.2));
+        assert!(close(theta1().pi_min().unwrap(), 0.2));
+
+        let pi2 = theta2().stationary_distribution().unwrap();
+        assert!(close(pi2[0], 0.6));
+        assert!(close(pi2[1], 0.4));
+        assert!(close(theta2().pi_min().unwrap(), 0.4));
+    }
+
+    #[test]
+    fn stationary_initial_constructor() {
+        let chain =
+            MarkovChain::with_stationary_initial(vec![vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap();
+        assert!(close(chain.initial()[0], 0.8));
+        assert!(chain.is_stationary(chain.initial(), 1e-9));
+        assert!(MarkovChain::with_stationary_initial(vec![]).is_err());
+    }
+
+    #[test]
+    fn single_state_chain() {
+        let chain = MarkovChain::new(vec![1.0], vec![vec![1.0]]).unwrap();
+        assert_eq!(chain.num_states(), 1);
+        assert!(close(chain.stationary_distribution().unwrap()[0], 1.0));
+        assert!(chain.is_irreducible_aperiodic());
+        assert!(close(chain.pi_min().unwrap(), 1.0));
+    }
+
+    #[test]
+    fn periodic_chain_detected() {
+        // Deterministic 2-cycle: irreducible but periodic.
+        let chain =
+            MarkovChain::new(vec![1.0, 0.0], vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        assert!(!chain.is_irreducible_aperiodic());
+        // It still has the unique stationary distribution [0.5, 0.5], found by
+        // the damped power iteration fallback or the linear solve.
+        let pi = chain.stationary_distribution().unwrap();
+        assert!(close(pi[0], 0.5));
+    }
+
+    #[test]
+    fn reducible_chain_detected() {
+        // Two absorbing states: reducible, no unique stationary distribution.
+        let chain = MarkovChain::new(
+            vec![0.5, 0.5],
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+        )
+        .unwrap();
+        assert!(!chain.is_irreducible_aperiodic());
+    }
+
+    #[test]
+    fn aperiodic_irreducible_chain_detected() {
+        assert!(theta1().is_irreducible_aperiodic());
+        assert!(theta2().is_irreducible_aperiodic());
+    }
+
+    #[test]
+    fn step_distribution_matches_marginal() {
+        let chain = theta2();
+        let stepped = chain.step_distribution(chain.initial()).unwrap();
+        let m2 = chain.marginal_at(2).unwrap();
+        assert!(close(stepped[0], m2[0]));
+        assert!(close(stepped[1], m2[1]));
+        assert!(chain.step_distribution(&Vector::zeros(3)).is_err());
+    }
+
+    prop_compose! {
+        /// A random well-behaved binary chain with transition probabilities
+        /// bounded away from 0 and 1.
+        pub(crate) fn arbitrary_binary_chain()(p0 in 0.05f64..0.95, p1 in 0.05f64..0.95, q0 in 0.0f64..1.0)
+            -> MarkovChain {
+            MarkovChain::new(
+                vec![q0, 1.0 - q0],
+                vec![vec![p0, 1.0 - p0], vec![1.0 - p1, p1]],
+            )
+            .unwrap()
+        }
+    }
+
+    proptest! {
+        /// Stationary distributions are fixed points and probability vectors.
+        #[test]
+        fn prop_stationary_is_fixed_point(chain in arbitrary_binary_chain()) {
+            let pi = chain.stationary_distribution().unwrap();
+            prop_assert!(chain.is_stationary(&pi, 1e-7));
+            prop_assert!((pi.sum() - 1.0).abs() < 1e-7);
+            prop_assert!(pi.as_slice().iter().all(|&x| x >= 0.0));
+            prop_assert!(chain.is_irreducible_aperiodic());
+        }
+
+        /// Marginals converge towards the stationary distribution.
+        #[test]
+        fn prop_marginals_converge(chain in arbitrary_binary_chain()) {
+            let pi = chain.stationary_distribution().unwrap();
+            let late = chain.marginal_at(500).unwrap();
+            prop_assert!((late[0] - pi[0]).abs() < 1e-6);
+            prop_assert!((late[1] - pi[1]).abs() < 1e-6);
+        }
+    }
+}

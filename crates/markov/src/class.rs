@@ -1,0 +1,342 @@
+//! Distribution classes Θ over Markov chains.
+//!
+//! A Pufferfish instantiation specifies a *class* of plausible data
+//! distributions rather than a single one. For the Markov chain setting of
+//! Section 4.4 each `θ ∈ Θ` is a pair `(q_θ, P_θ)`. Two families matter for
+//! the paper's evaluation:
+//!
+//! * an explicit, finite list of chains (the running example, and the
+//!   singleton classes used for the real datasets), and
+//! * the interval family of binary chains `Θ = [α, β]`, meaning "all
+//!   transition matrices with `p₀, p₁ ∈ [α, β]` and *all* initial
+//!   distributions" (Section 5.2). The latter is represented by a finite grid
+//!   of transition matrices plus a flag that unlocks the Appendix C.4
+//!   optimisation (maximising over the initial distribution in closed form).
+
+use crate::{MarkovChain, MarkovError, Result};
+
+/// Parameters of a two-state chain as used in the synthetic experiments:
+/// `p0 = P(X_{t+1}=0 | X_t=0)`, `p1 = P(X_{t+1}=1 | X_t=1)` and
+/// `q0 = P(X_1 = 0)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinaryChainParams {
+    /// Probability of staying in state 0.
+    pub p0: f64,
+    /// Probability of staying in state 1.
+    pub p1: f64,
+    /// Probability that the first state is 0.
+    pub q0: f64,
+}
+
+impl BinaryChainParams {
+    /// Builds the corresponding two-state [`MarkovChain`].
+    ///
+    /// # Errors
+    /// Propagates chain validation errors when any parameter is outside
+    /// `[0, 1]`.
+    pub fn to_chain(self) -> Result<MarkovChain> {
+        MarkovChain::new(
+            vec![self.q0, 1.0 - self.q0],
+            vec![
+                vec![self.p0, 1.0 - self.p0],
+                vec![1.0 - self.p1, self.p1],
+            ],
+        )
+    }
+}
+
+/// A distribution class Θ over Markov chains sharing a state space.
+#[derive(Debug, Clone)]
+pub struct MarkovChainClass {
+    chains: Vec<MarkovChain>,
+    all_initial_distributions: bool,
+}
+
+impl MarkovChainClass {
+    /// A class given by an explicit, finite list of chains (each with its own
+    /// initial distribution), e.g. the running example's `Θ = {θ₁, θ₂}`.
+    ///
+    /// # Errors
+    /// * [`MarkovError::EmptyClass`] for an empty list.
+    /// * [`MarkovError::DimensionMismatch`] when the chains do not share a
+    ///   state space.
+    pub fn from_chains(chains: Vec<MarkovChain>) -> Result<Self> {
+        Self::validate(&chains)?;
+        Ok(MarkovChainClass {
+            chains,
+            all_initial_distributions: false,
+        })
+    }
+
+    /// A class of the form `Θ = Δ_k × P`: the given transition matrices with
+    /// *all* possible initial distributions (Appendix C.4).
+    ///
+    /// Each supplied chain's own initial distribution is kept as a
+    /// representative (used for sampling and spectral quantities, which do
+    /// not depend on the initial distribution).
+    ///
+    /// # Errors
+    /// Same as [`MarkovChainClass::from_chains`].
+    pub fn with_all_initial_distributions(chains: Vec<MarkovChain>) -> Result<Self> {
+        Self::validate(&chains)?;
+        Ok(MarkovChainClass {
+            chains,
+            all_initial_distributions: true,
+        })
+    }
+
+    /// The singleton class `{θ}` used for the real-data experiments.
+    pub fn singleton(chain: MarkovChain) -> Self {
+        MarkovChainClass {
+            chains: vec![chain],
+            all_initial_distributions: false,
+        }
+    }
+
+    fn validate(chains: &[MarkovChain]) -> Result<()> {
+        if chains.is_empty() {
+            return Err(MarkovError::EmptyClass);
+        }
+        let k = chains[0].num_states();
+        for chain in chains {
+            if chain.num_states() != k {
+                return Err(MarkovError::DimensionMismatch {
+                    initial: k,
+                    transition: chain.num_states(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The chains in the class (representative initial distributions when
+    /// [`MarkovChainClass::allows_all_initial_distributions`] is set).
+    pub fn chains(&self) -> &[MarkovChain] {
+        &self.chains
+    }
+
+    /// Alias for [`MarkovChainClass::chains`], used by spectral helpers that
+    /// only need per-transition-matrix quantities.
+    pub fn representative_chains(&self) -> &[MarkovChain] {
+        &self.chains
+    }
+
+    /// Whether the class contains every initial distribution for each of its
+    /// transition matrices (enables the Appendix C.4 closed-form maximisation
+    /// in MQMExact).
+    pub fn allows_all_initial_distributions(&self) -> bool {
+        self.all_initial_distributions
+    }
+
+    /// Number of (representative) chains.
+    pub fn len(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Always `false`: constructors reject empty classes.
+    pub fn is_empty(&self) -> bool {
+        self.chains.is_empty()
+    }
+
+    /// Number of states shared by every chain.
+    pub fn num_states(&self) -> usize {
+        self.chains[0].num_states()
+    }
+}
+
+/// Builder for the `Θ = [α, β]` interval family of binary chains used in the
+/// synthetic experiments of Section 5.2.
+///
+/// The class contains all transition matrices with
+/// `p₀, p₁ ∈ [alpha, beta]`, discretised on a uniform grid with
+/// `grid_points` values per parameter, combined with all initial
+/// distributions.
+#[derive(Debug, Clone, Copy)]
+pub struct IntervalClassBuilder {
+    alpha: f64,
+    beta: f64,
+    grid_points: usize,
+}
+
+impl IntervalClassBuilder {
+    /// Creates a builder for the interval `[alpha, beta]` with the default
+    /// grid resolution (9 points per axis).
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        IntervalClassBuilder {
+            alpha,
+            beta,
+            grid_points: 9,
+        }
+    }
+
+    /// Shorthand for the symmetric interval `[alpha, 1 - alpha]` used
+    /// throughout Figure 4.
+    pub fn symmetric(alpha: f64) -> Self {
+        Self::new(alpha, 1.0 - alpha)
+    }
+
+    /// Sets the number of grid points per parameter (minimum 1).
+    pub fn grid_points(mut self, points: usize) -> Self {
+        self.grid_points = points.max(1);
+        self
+    }
+
+    /// Builds the class.
+    ///
+    /// # Errors
+    /// * [`MarkovError::InvalidTransitionMatrix`] when the interval is not
+    ///   contained in `[0, 1]` or `alpha > beta`.
+    pub fn build(self) -> Result<MarkovChainClass> {
+        if !(0.0..=1.0).contains(&self.alpha)
+            || !(0.0..=1.0).contains(&self.beta)
+            || self.alpha > self.beta
+        {
+            return Err(MarkovError::InvalidTransitionMatrix(format!(
+                "interval [{}, {}] is not a valid sub-interval of [0, 1]",
+                self.alpha, self.beta
+            )));
+        }
+        let grid = self.grid_values();
+        let mut chains = Vec::with_capacity(grid.len() * grid.len());
+        for &p0 in &grid {
+            for &p1 in &grid {
+                let params = BinaryChainParams { p0, p1, q0: 0.5 };
+                chains.push(params.to_chain()?);
+            }
+        }
+        MarkovChainClass::with_all_initial_distributions(chains)
+    }
+
+    /// The grid of parameter values spanning `[alpha, beta]`.
+    pub fn grid_values(&self) -> Vec<f64> {
+        if self.grid_points == 1 || (self.beta - self.alpha).abs() < 1e-15 {
+            return vec![0.5 * (self.alpha + self.beta)];
+        }
+        (0..self.grid_points)
+            .map(|i| {
+                self.alpha
+                    + (self.beta - self.alpha) * i as f64 / (self.grid_points - 1) as f64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn theta1() -> MarkovChain {
+        MarkovChain::new(vec![1.0, 0.0], vec![vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap()
+    }
+
+    fn theta2() -> MarkovChain {
+        MarkovChain::new(vec![0.9, 0.1], vec![vec![0.8, 0.2], vec![0.3, 0.7]]).unwrap()
+    }
+
+    #[test]
+    fn binary_params_round_trip() {
+        let params = BinaryChainParams {
+            p0: 0.9,
+            p1: 0.6,
+            q0: 1.0,
+        };
+        let chain = params.to_chain().unwrap();
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-12;
+        assert!(close(chain.transition()[(0, 0)], 0.9));
+        assert!(close(chain.transition()[(0, 1)], 0.1));
+        assert!(close(chain.transition()[(1, 0)], 0.4));
+        assert!(close(chain.transition()[(1, 1)], 0.6));
+        assert!(close(chain.initial()[0], 1.0));
+        assert!(BinaryChainParams {
+            p0: 1.5,
+            p1: 0.5,
+            q0: 0.5
+        }
+        .to_chain()
+        .is_err());
+    }
+
+    #[test]
+    fn explicit_class_construction() {
+        let class = MarkovChainClass::from_chains(vec![theta1(), theta2()]).unwrap();
+        assert_eq!(class.len(), 2);
+        assert!(!class.is_empty());
+        assert_eq!(class.num_states(), 2);
+        assert!(!class.allows_all_initial_distributions());
+        assert_eq!(class.chains().len(), class.representative_chains().len());
+
+        assert!(matches!(
+            MarkovChainClass::from_chains(vec![]),
+            Err(MarkovError::EmptyClass)
+        ));
+
+        let three_state = MarkovChain::new(
+            vec![1.0, 0.0, 0.0],
+            vec![
+                vec![0.5, 0.25, 0.25],
+                vec![0.25, 0.5, 0.25],
+                vec![0.25, 0.25, 0.5],
+            ],
+        )
+        .unwrap();
+        assert!(matches!(
+            MarkovChainClass::from_chains(vec![theta1(), three_state]),
+            Err(MarkovError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn singleton_and_all_initial_variants() {
+        let class = MarkovChainClass::singleton(theta1());
+        assert_eq!(class.len(), 1);
+        assert!(!class.allows_all_initial_distributions());
+
+        let class =
+            MarkovChainClass::with_all_initial_distributions(vec![theta1(), theta2()]).unwrap();
+        assert!(class.allows_all_initial_distributions());
+        assert!(MarkovChainClass::with_all_initial_distributions(vec![]).is_err());
+    }
+
+    #[test]
+    fn interval_builder_produces_grid() {
+        let class = IntervalClassBuilder::symmetric(0.3)
+            .grid_points(5)
+            .build()
+            .unwrap();
+        assert_eq!(class.len(), 25);
+        assert!(class.allows_all_initial_distributions());
+        // All transition entries lie in [0.3, 0.7].
+        for chain in class.chains() {
+            for i in 0..2 {
+                for j in 0..2 {
+                    let p = chain.transition()[(i, j)];
+                    assert!((0.3 - 1e-12..=0.7 + 1e-12).contains(&p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interval_builder_edge_cases() {
+        // Degenerate interval: a single grid value.
+        let class = IntervalClassBuilder::new(0.4, 0.4).grid_points(7).build().unwrap();
+        assert_eq!(class.len(), 1);
+        let single = IntervalClassBuilder::new(0.2, 0.8).grid_points(1);
+        assert_eq!(single.grid_values(), vec![0.5]);
+        assert_eq!(single.build().unwrap().len(), 1);
+
+        assert!(IntervalClassBuilder::new(0.8, 0.2).build().is_err());
+        assert!(IntervalClassBuilder::new(-0.1, 0.5).build().is_err());
+        assert!(IntervalClassBuilder::new(0.5, 1.2).build().is_err());
+    }
+
+    #[test]
+    fn grid_values_are_evenly_spaced_and_cover_endpoints() {
+        let builder = IntervalClassBuilder::new(0.1, 0.9).grid_points(9);
+        let grid = builder.grid_values();
+        assert_eq!(grid.len(), 9);
+        assert!((grid[0] - 0.1).abs() < 1e-12);
+        assert!((grid[8] - 0.9).abs() < 1e-12);
+        assert!((grid[1] - grid[0] - 0.1).abs() < 1e-12);
+    }
+}

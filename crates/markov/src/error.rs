@@ -1,0 +1,125 @@
+//! Error type for the Markov chain substrate.
+
+use std::fmt;
+
+use pufferfish_linalg::LinalgError;
+
+/// Errors produced by Markov chain construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkovError {
+    /// The chain has no states.
+    NoStates,
+    /// The initial distribution is not a probability vector.
+    InvalidInitialDistribution(String),
+    /// The transition matrix is not square or not row-stochastic.
+    InvalidTransitionMatrix(String),
+    /// The initial distribution and transition matrix disagree on the number
+    /// of states.
+    DimensionMismatch {
+        /// States implied by the initial distribution.
+        initial: usize,
+        /// States implied by the transition matrix.
+        transition: usize,
+    },
+    /// A state index was out of range.
+    StateOutOfRange {
+        /// The offending state.
+        state: usize,
+        /// The number of states in the chain.
+        num_states: usize,
+    },
+    /// An observed sequence referenced a state outside the chain or was too
+    /// short for the requested operation.
+    InvalidSequence(String),
+    /// The requested quantity requires an irreducible/aperiodic chain but the
+    /// chain does not mix (for example, the stationary distribution of a
+    /// periodic or reducible chain).
+    DoesNotMix(String),
+    /// A distribution class was empty.
+    EmptyClass,
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::NoStates => write!(f, "Markov chain must have at least one state"),
+            MarkovError::InvalidInitialDistribution(msg) => {
+                write!(f, "invalid initial distribution: {msg}")
+            }
+            MarkovError::InvalidTransitionMatrix(msg) => {
+                write!(f, "invalid transition matrix: {msg}")
+            }
+            MarkovError::DimensionMismatch {
+                initial,
+                transition,
+            } => write!(
+                f,
+                "initial distribution has {initial} states but transition matrix has {transition}"
+            ),
+            MarkovError::StateOutOfRange { state, num_states } => {
+                write!(f, "state {state} out of range for a chain with {num_states} states")
+            }
+            MarkovError::InvalidSequence(msg) => write!(f, "invalid sequence: {msg}"),
+            MarkovError::DoesNotMix(msg) => write!(f, "chain does not mix: {msg}"),
+            MarkovError::EmptyClass => write!(f, "distribution class is empty"),
+            MarkovError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MarkovError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MarkovError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for MarkovError {
+    fn from(e: LinalgError) -> Self {
+        MarkovError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MarkovError::NoStates.to_string().contains("at least one"));
+        assert!(MarkovError::InvalidInitialDistribution("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(MarkovError::InvalidTransitionMatrix("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(MarkovError::DimensionMismatch {
+            initial: 2,
+            transition: 3
+        }
+        .to_string()
+        .contains('2'));
+        assert!(MarkovError::StateOutOfRange {
+            state: 5,
+            num_states: 3
+        }
+        .to_string()
+        .contains('5'));
+        assert!(MarkovError::InvalidSequence("short".into())
+            .to_string()
+            .contains("short"));
+        assert!(MarkovError::DoesNotMix("periodic".into())
+            .to_string()
+            .contains("periodic"));
+        assert!(MarkovError::EmptyClass.to_string().contains("empty"));
+        let e = MarkovError::from(LinalgError::Singular);
+        assert!(e.to_string().contains("singular"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+        assert!(MarkovError::NoStates.source().is_none());
+    }
+}

@@ -1,0 +1,233 @@
+//! Empirical estimation of Markov chain parameters from observed sequences.
+//!
+//! The paper's real-data experiments (Section 5.3) build the distribution
+//! class Θ from the data itself: "we calculate a single empirical transition
+//! matrix Pθ based on the entire group" for the activity data, and use the
+//! empirical transition matrix with its stationary distribution as the
+//! initial distribution for the electricity data.
+
+use crate::{MarkovChain, MarkovError, Result};
+
+/// Options controlling empirical estimation.
+#[derive(Debug, Clone, Copy)]
+pub struct EstimationOptions {
+    /// Additive (Laplace) smoothing constant added to every transition count.
+    ///
+    /// A small positive value keeps the estimated chain irreducible and
+    /// aperiodic even when some transitions are unobserved, which the
+    /// MQMApprox bound requires.
+    pub smoothing: f64,
+}
+
+impl Default for EstimationOptions {
+    fn default() -> Self {
+        EstimationOptions { smoothing: 1e-3 }
+    }
+}
+
+/// Estimates a transition matrix from one or more observed state sequences.
+///
+/// Each sequence contributes its consecutive pairs; sequences are treated as
+/// independent chains (no transition is counted across a sequence boundary),
+/// matching the paper's treatment of measurement gaps.
+///
+/// # Errors
+/// * [`MarkovError::NoStates`] when `num_states == 0`.
+/// * [`MarkovError::InvalidSequence`] when no transitions are observed at all
+///   or a sequence references a state `>= num_states`.
+pub fn empirical_transition_matrix(
+    sequences: &[Vec<usize>],
+    num_states: usize,
+    options: EstimationOptions,
+) -> Result<Vec<Vec<f64>>> {
+    if num_states == 0 {
+        return Err(MarkovError::NoStates);
+    }
+    let mut counts = vec![vec![options.smoothing.max(0.0); num_states]; num_states];
+    let mut observed_transitions = 0usize;
+    for sequence in sequences {
+        for &state in sequence {
+            if state >= num_states {
+                return Err(MarkovError::InvalidSequence(format!(
+                    "state {state} out of range for {num_states} states"
+                )));
+            }
+        }
+        for window in sequence.windows(2) {
+            counts[window[0]][window[1]] += 1.0;
+            observed_transitions += 1;
+        }
+    }
+    if observed_transitions == 0 && options.smoothing <= 0.0 {
+        return Err(MarkovError::InvalidSequence(
+            "no transitions observed and smoothing is zero".to_string(),
+        ));
+    }
+    let matrix = counts
+        .into_iter()
+        .map(|row| {
+            let total: f64 = row.iter().sum();
+            if total <= 0.0 {
+                // Unreachable rows with zero smoothing: fall back to uniform.
+                vec![1.0 / num_states as f64; num_states]
+            } else {
+                row.into_iter().map(|c| c / total).collect()
+            }
+        })
+        .collect();
+    Ok(matrix)
+}
+
+/// Estimates the distribution of the first state across sequences, with the
+/// same additive smoothing.
+///
+/// # Errors
+/// * [`MarkovError::NoStates`] when `num_states == 0`.
+/// * [`MarkovError::InvalidSequence`] when there are no non-empty sequences
+///   and smoothing is zero, or a state is out of range.
+pub fn empirical_initial_distribution(
+    sequences: &[Vec<usize>],
+    num_states: usize,
+    options: EstimationOptions,
+) -> Result<Vec<f64>> {
+    if num_states == 0 {
+        return Err(MarkovError::NoStates);
+    }
+    let mut counts = vec![options.smoothing.max(0.0); num_states];
+    let mut observed = 0usize;
+    for sequence in sequences {
+        if let Some(&first) = sequence.first() {
+            if first >= num_states {
+                return Err(MarkovError::InvalidSequence(format!(
+                    "state {first} out of range for {num_states} states"
+                )));
+            }
+            counts[first] += 1.0;
+            observed += 1;
+        }
+    }
+    if observed == 0 && options.smoothing <= 0.0 {
+        return Err(MarkovError::InvalidSequence(
+            "no observations and smoothing is zero".to_string(),
+        ));
+    }
+    let total: f64 = counts.iter().sum();
+    Ok(counts.into_iter().map(|c| c / total).collect())
+}
+
+/// Convenience: fits a full [`MarkovChain`] (initial distribution and
+/// transition matrix) to the observed sequences.
+///
+/// # Errors
+/// Propagates the failures of the two estimation functions and of
+/// [`MarkovChain::new`].
+pub fn fit_chain(
+    sequences: &[Vec<usize>],
+    num_states: usize,
+    options: EstimationOptions,
+) -> Result<MarkovChain> {
+    let initial = empirical_initial_distribution(sequences, num_states, options)?;
+    let transition = empirical_transition_matrix(sequences, num_states, options)?;
+    MarkovChain::new(initial, transition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample_trajectory;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn estimation_recovers_generating_chain() {
+        let truth =
+            MarkovChain::new(vec![1.0, 0.0], vec![vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let sequences: Vec<Vec<usize>> = (0..20)
+            .map(|_| sample_trajectory(&truth, 10_000, &mut rng).unwrap())
+            .collect();
+        let estimated =
+            empirical_transition_matrix(&sequences, 2, EstimationOptions::default()).unwrap();
+        assert!((estimated[0][1] - 0.1).abs() < 0.01);
+        assert!((estimated[1][0] - 0.4).abs() < 0.02);
+        let initial =
+            empirical_initial_distribution(&sequences, 2, EstimationOptions::default()).unwrap();
+        // All sequences start in state 0 (deterministic initial distribution).
+        assert!(initial[0] > 0.99);
+    }
+
+    #[test]
+    fn smoothing_keeps_unseen_transitions_positive() {
+        let sequences = vec![vec![0usize, 0, 0, 0]];
+        let estimated =
+            empirical_transition_matrix(&sequences, 3, EstimationOptions { smoothing: 0.5 })
+                .unwrap();
+        for row in &estimated {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(row.iter().all(|&p| p > 0.0));
+        }
+        let chain = fit_chain(&sequences, 3, EstimationOptions { smoothing: 0.5 }).unwrap();
+        assert!(chain.is_irreducible_aperiodic());
+    }
+
+    #[test]
+    fn zero_smoothing_unreachable_rows_fall_back_to_uniform() {
+        let sequences = vec![vec![0usize, 1, 0, 1]];
+        let estimated =
+            empirical_transition_matrix(&sequences, 3, EstimationOptions { smoothing: 0.0 })
+                .unwrap();
+        // State 2 was never visited: its row is uniform.
+        assert!(estimated[2].iter().all(|&p| (p - 1.0 / 3.0).abs() < 1e-12));
+        // Observed rows are exact.
+        assert!((estimated[0][1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            empirical_transition_matrix(&[], 0, EstimationOptions::default()),
+            Err(MarkovError::NoStates)
+        ));
+        assert!(matches!(
+            empirical_initial_distribution(&[], 0, EstimationOptions::default()),
+            Err(MarkovError::NoStates)
+        ));
+        assert!(matches!(
+            empirical_transition_matrix(
+                &[vec![0, 5]],
+                2,
+                EstimationOptions::default()
+            ),
+            Err(MarkovError::InvalidSequence(_))
+        ));
+        assert!(matches!(
+            empirical_initial_distribution(
+                &[vec![9]],
+                2,
+                EstimationOptions::default()
+            ),
+            Err(MarkovError::InvalidSequence(_))
+        ));
+        assert!(matches!(
+            empirical_transition_matrix(&[], 2, EstimationOptions { smoothing: 0.0 }),
+            Err(MarkovError::InvalidSequence(_))
+        ));
+        assert!(matches!(
+            empirical_initial_distribution(&[], 2, EstimationOptions { smoothing: 0.0 }),
+            Err(MarkovError::InvalidSequence(_))
+        ));
+    }
+
+    #[test]
+    fn sequence_boundaries_do_not_contribute_transitions() {
+        // Two sequences ending/starting with different states: the boundary
+        // pair (1 -> 0) must not be counted.
+        let sequences = vec![vec![0usize, 1], vec![0usize, 1]];
+        let estimated =
+            empirical_transition_matrix(&sequences, 2, EstimationOptions { smoothing: 0.0 })
+                .unwrap();
+        assert!((estimated[0][1] - 1.0).abs() < 1e-12);
+        // State 1 row had no observations: uniform fallback.
+        assert!((estimated[1][0] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,164 @@
+//! Mixing-time estimation.
+//!
+//! Theorem 4.10 of the paper shows that the noise added by MQMApprox is (up
+//! to constants) an upper bound on the mixing time of the chains in Θ, so
+//! "if Θ consists of rapidly mixing chains, then Algorithm 4 provides both
+//! privacy and utility". The harness uses the mixing time to characterise
+//! workloads and in the ablation benches.
+
+use pufferfish_linalg::Vector;
+
+use crate::{MarkovChain, MarkovError, Result};
+
+/// Options for [`mixing_time`].
+#[derive(Debug, Clone, Copy)]
+pub struct MixingTimeOptions {
+    /// Total-variation threshold defining the mixing time (classically 1/4).
+    pub threshold: f64,
+    /// Hard cap on the number of steps simulated before giving up.
+    pub max_steps: usize,
+}
+
+impl Default for MixingTimeOptions {
+    fn default() -> Self {
+        MixingTimeOptions {
+            threshold: 0.25,
+            max_steps: 100_000,
+        }
+    }
+}
+
+/// The (worst-case-start) mixing time
+/// `t_mix(δ) = min { t : max_x TV(P^t(x, ·), π) <= δ }`.
+///
+/// # Errors
+/// * [`MarkovError::DoesNotMix`] when the chain is not irreducible/aperiodic
+///   or the threshold is not reached within `max_steps`.
+pub fn mixing_time(chain: &MarkovChain, options: MixingTimeOptions) -> Result<usize> {
+    if !chain.is_irreducible_aperiodic() {
+        return Err(MarkovError::DoesNotMix(
+            "mixing time requires an irreducible and aperiodic chain".to_string(),
+        ));
+    }
+    let pi = chain.stationary_distribution()?;
+    let k = chain.num_states();
+
+    // Row distributions of P^t, evolved in place.
+    let mut rows: Vec<Vector> = (0..k)
+        .map(|x| {
+            let mut e = Vector::zeros(k);
+            e[x] = 1.0;
+            e
+        })
+        .collect();
+
+    for t in 0..=options.max_steps {
+        let worst_tv = rows
+            .iter()
+            .map(|row| total_variation(row, &pi))
+            .fold(0.0, f64::max);
+        if worst_tv <= options.threshold {
+            return Ok(t);
+        }
+        for row in &mut rows {
+            *row = chain.step_distribution(row)?;
+        }
+    }
+    Err(MarkovError::DoesNotMix(format!(
+        "total variation did not drop below {} within {} steps",
+        options.threshold, options.max_steps
+    )))
+}
+
+fn total_variation(a: &Vector, b: &Vector) -> f64 {
+    0.5 * a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iid_chain_mixes_instantly() {
+        let iid = MarkovChain::new(
+            vec![0.3, 0.7],
+            vec![vec![0.3, 0.7], vec![0.3, 0.7]],
+        )
+        .unwrap();
+        assert_eq!(mixing_time(&iid, MixingTimeOptions::default()).unwrap(), 1);
+    }
+
+    #[test]
+    fn slow_chain_mixes_slower_than_fast_chain() {
+        let slow = MarkovChain::new(
+            vec![0.5, 0.5],
+            vec![vec![0.99, 0.01], vec![0.01, 0.99]],
+        )
+        .unwrap();
+        let fast = MarkovChain::new(
+            vec![0.5, 0.5],
+            vec![vec![0.6, 0.4], vec![0.4, 0.6]],
+        )
+        .unwrap();
+        let t_slow = mixing_time(&slow, MixingTimeOptions::default()).unwrap();
+        let t_fast = mixing_time(&fast, MixingTimeOptions::default()).unwrap();
+        assert!(t_slow > t_fast, "{t_slow} vs {t_fast}");
+        assert!(t_slow > 10);
+        assert!(t_fast <= 5);
+    }
+
+    #[test]
+    fn tighter_threshold_needs_more_steps() {
+        let chain = MarkovChain::new(
+            vec![1.0, 0.0],
+            vec![vec![0.9, 0.1], vec![0.4, 0.6]],
+        )
+        .unwrap();
+        let loose = mixing_time(
+            &chain,
+            MixingTimeOptions {
+                threshold: 0.25,
+                max_steps: 10_000,
+            },
+        )
+        .unwrap();
+        let tight = mixing_time(
+            &chain,
+            MixingTimeOptions {
+                threshold: 0.001,
+                max_steps: 10_000,
+            },
+        )
+        .unwrap();
+        assert!(tight >= loose);
+    }
+
+    #[test]
+    fn periodic_chain_rejected() {
+        let periodic =
+            MarkovChain::new(vec![1.0, 0.0], vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        assert!(mixing_time(&periodic, MixingTimeOptions::default()).is_err());
+    }
+
+    #[test]
+    fn step_budget_exhaustion_reported() {
+        let slow = MarkovChain::new(
+            vec![0.5, 0.5],
+            vec![vec![0.9999, 0.0001], vec![0.0001, 0.9999]],
+        )
+        .unwrap();
+        let result = mixing_time(
+            &slow,
+            MixingTimeOptions {
+                threshold: 0.01,
+                max_steps: 5,
+            },
+        );
+        assert!(matches!(result, Err(MarkovError::DoesNotMix(_))));
+    }
+}

@@ -1,0 +1,196 @@
+//! Cached transition-matrix powers and chain marginals.
+//!
+//! The exact max-influence formula (Equation 5 of the paper) evaluates terms
+//! of the form `P^b(x, x_{i+b})`, `P^a(x_{i-a}, x)` and `P(X_i = x)` for many
+//! different offsets. Computing each power from scratch would make MQMExact
+//! quadratic in the quilt width; the paper instead notes (Section 4.4.1) that
+//! a dynamic program computing all powers once brings the total cost to
+//! `O(T k^3)`. [`TransitionPowers`] is that dynamic program.
+
+use pufferfish_linalg::{Matrix, Vector};
+
+use crate::{MarkovChain, MarkovError, Result};
+
+/// A table of transition-matrix powers `P^0, P^1, …, P^max` together with the
+/// chain marginals `P(X_1), …, P(X_T)`.
+#[derive(Debug, Clone)]
+pub struct TransitionPowers {
+    powers: Vec<Matrix>,
+    marginals: Vec<Vector>,
+}
+
+impl TransitionPowers {
+    /// Precomputes powers `P^0..=P^max_power` and the marginals of
+    /// `X_1..=X_horizon` for the given chain.
+    ///
+    /// `max_power` is typically the largest quilt offset that will be probed
+    /// (at most `T - 1`), and `horizon` the chain length `T`.
+    ///
+    /// # Errors
+    /// Propagates linear-algebra failures; cannot otherwise fail for a valid
+    /// chain.
+    pub fn new(chain: &MarkovChain, max_power: usize, horizon: usize) -> Result<Self> {
+        let k = chain.num_states();
+        let mut powers = Vec::with_capacity(max_power + 1);
+        powers.push(Matrix::identity(k));
+        for j in 1..=max_power {
+            let next = powers[j - 1].matmul(chain.transition())?;
+            powers.push(next);
+        }
+
+        let mut marginals = Vec::with_capacity(horizon);
+        if horizon > 0 {
+            marginals.push(chain.initial().clone());
+            for t in 1..horizon {
+                let next = chain.step_distribution(&marginals[t - 1])?;
+                marginals.push(next);
+            }
+        }
+        Ok(TransitionPowers { powers, marginals })
+    }
+
+    /// Number of states of the underlying chain.
+    pub fn num_states(&self) -> usize {
+        self.powers[0].rows()
+    }
+
+    /// Largest cached power.
+    pub fn max_power(&self) -> usize {
+        self.powers.len() - 1
+    }
+
+    /// The cached horizon (number of marginals).
+    pub fn horizon(&self) -> usize {
+        self.marginals.len()
+    }
+
+    /// The matrix `P^steps`.
+    ///
+    /// # Errors
+    /// [`MarkovError::StateOutOfRange`] if `steps` exceeds the cached maximum
+    /// (the error reuses the state/num_states fields for the offending index
+    /// and the cache size).
+    pub fn power(&self, steps: usize) -> Result<&Matrix> {
+        self.powers.get(steps).ok_or(MarkovError::StateOutOfRange {
+            state: steps,
+            num_states: self.powers.len(),
+        })
+    }
+
+    /// `P(X_{t+steps} = to | X_t = from)` = `P^steps(from, to)`.
+    ///
+    /// # Errors
+    /// [`MarkovError::StateOutOfRange`] for out-of-range indices.
+    pub fn step_prob(&self, steps: usize, from: usize, to: usize) -> Result<f64> {
+        let k = self.num_states();
+        if from >= k || to >= k {
+            return Err(MarkovError::StateOutOfRange {
+                state: from.max(to),
+                num_states: k,
+            });
+        }
+        Ok(self.power(steps)?[(from, to)])
+    }
+
+    /// The marginal distribution of `X_t` (1-based).
+    ///
+    /// # Errors
+    /// [`MarkovError::StateOutOfRange`] when `t == 0` or `t` exceeds the
+    /// cached horizon.
+    pub fn marginal(&self, t: usize) -> Result<&Vector> {
+        if t == 0 || t > self.marginals.len() {
+            return Err(MarkovError::StateOutOfRange {
+                state: t,
+                num_states: self.marginals.len(),
+            });
+        }
+        Ok(&self.marginals[t - 1])
+    }
+
+    /// `P(X_t = state)` (1-based `t`).
+    ///
+    /// # Errors
+    /// [`MarkovError::StateOutOfRange`] for invalid `t` or `state`.
+    pub fn marginal_prob(&self, t: usize, state: usize) -> Result<f64> {
+        let m = self.marginal(t)?;
+        if state >= m.len() {
+            return Err(MarkovError::StateOutOfRange {
+                state,
+                num_states: m.len(),
+            });
+        }
+        Ok(m[state])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    fn theta1() -> MarkovChain {
+        MarkovChain::new(vec![1.0, 0.0], vec![vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap()
+    }
+
+    #[test]
+    fn powers_match_direct_computation() {
+        let chain = theta1();
+        let table = TransitionPowers::new(&chain, 6, 10).unwrap();
+        assert_eq!(table.max_power(), 6);
+        assert_eq!(table.num_states(), 2);
+        assert_eq!(table.horizon(), 10);
+        for j in 0..=6 {
+            let direct = chain.transition().pow(j as u32).unwrap();
+            let cached = table.power(j).unwrap();
+            for x in 0..2 {
+                for y in 0..2 {
+                    assert!(close(direct[(x, y)], cached[(x, y)]));
+                }
+            }
+        }
+        assert!(table.power(7).is_err());
+    }
+
+    #[test]
+    fn marginals_match_chain_marginals() {
+        let chain = theta1();
+        let table = TransitionPowers::new(&chain, 3, 8).unwrap();
+        for t in 1..=8 {
+            let direct = chain.marginal_at(t).unwrap();
+            let cached = table.marginal(t).unwrap();
+            assert!(close(direct[0], cached[0]));
+            assert!(close(direct[1], cached[1]));
+            assert!(close(
+                table.marginal_prob(t, 0).unwrap() + table.marginal_prob(t, 1).unwrap(),
+                1.0
+            ));
+        }
+        assert!(table.marginal(0).is_err());
+        assert!(table.marginal(9).is_err());
+        assert!(table.marginal_prob(1, 2).is_err());
+    }
+
+    #[test]
+    fn step_probabilities() {
+        let chain = theta1();
+        let table = TransitionPowers::new(&chain, 2, 2).unwrap();
+        assert!(close(table.step_prob(1, 0, 1).unwrap(), 0.1));
+        // Two-step 0 -> 0: 0.9*0.9 + 0.1*0.4 = 0.85.
+        assert!(close(table.step_prob(2, 0, 0).unwrap(), 0.85));
+        assert!(close(table.step_prob(0, 0, 0).unwrap(), 1.0));
+        assert!(close(table.step_prob(0, 0, 1).unwrap(), 0.0));
+        assert!(table.step_prob(1, 2, 0).is_err());
+        assert!(table.step_prob(3, 0, 0).is_err());
+    }
+
+    #[test]
+    fn zero_horizon_is_allowed() {
+        let chain = theta1();
+        let table = TransitionPowers::new(&chain, 1, 0).unwrap();
+        assert_eq!(table.horizon(), 0);
+        assert!(table.marginal(1).is_err());
+    }
+}

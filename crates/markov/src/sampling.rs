@@ -1,0 +1,139 @@
+//! Sampling trajectories from Markov chains.
+
+use rand::Rng;
+
+use crate::{MarkovChain, MarkovError, Result};
+
+/// Samples a single trajectory `X_1, …, X_length` from the chain.
+///
+/// # Errors
+/// [`MarkovError::InvalidSequence`] when `length == 0`.
+pub fn sample_trajectory<R: Rng + ?Sized>(
+    chain: &MarkovChain,
+    length: usize,
+    rng: &mut R,
+) -> Result<Vec<usize>> {
+    if length == 0 {
+        return Err(MarkovError::InvalidSequence(
+            "trajectory length must be at least 1".to_string(),
+        ));
+    }
+    let mut trajectory = Vec::with_capacity(length);
+    let first = sample_categorical(chain.initial().as_slice(), rng);
+    trajectory.push(first);
+    for t in 1..length {
+        let prev = trajectory[t - 1];
+        let next = sample_categorical(chain.transition().row(prev), rng);
+        trajectory.push(next);
+    }
+    Ok(trajectory)
+}
+
+/// Samples `count` independent trajectories of the given length.
+///
+/// # Errors
+/// Same as [`sample_trajectory`].
+pub fn sample_trajectories<R: Rng + ?Sized>(
+    chain: &MarkovChain,
+    count: usize,
+    length: usize,
+    rng: &mut R,
+) -> Result<Vec<Vec<usize>>> {
+    (0..count)
+        .map(|_| sample_trajectory(chain, length, rng))
+        .collect()
+}
+
+/// Samples an index from an (approximately normalised) categorical
+/// distribution given by `probabilities`.
+fn sample_categorical<R: Rng + ?Sized>(probabilities: &[f64], rng: &mut R) -> usize {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (idx, &p) in probabilities.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return idx;
+        }
+    }
+    probabilities.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn theta1() -> MarkovChain {
+        MarkovChain::new(vec![1.0, 0.0], vec![vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap()
+    }
+
+    #[test]
+    fn trajectory_has_requested_length_and_valid_states() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let chain = theta1();
+        let traj = sample_trajectory(&chain, 250, &mut rng).unwrap();
+        assert_eq!(traj.len(), 250);
+        assert!(traj.iter().all(|&s| s < 2));
+        // Deterministic initial distribution: always starts in state 0.
+        assert_eq!(traj[0], 0);
+        assert!(sample_trajectory(&chain, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_given_seed() {
+        let chain = theta1();
+        let a = sample_trajectory(&chain, 100, &mut StdRng::seed_from_u64(42)).unwrap();
+        let b = sample_trajectory(&chain, 100, &mut StdRng::seed_from_u64(42)).unwrap();
+        assert_eq!(a, b);
+        let c = sample_trajectory(&chain, 100, &mut StdRng::seed_from_u64(43)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn long_run_frequencies_approach_stationary_distribution() {
+        let chain = theta1();
+        let mut rng = StdRng::seed_from_u64(0);
+        let traj = sample_trajectory(&chain, 200_000, &mut rng).unwrap();
+        let zeros = traj.iter().filter(|&&s| s == 0).count() as f64 / traj.len() as f64;
+        // Stationary distribution is [0.8, 0.2]; a 200k-step trajectory of a
+        // fast-mixing chain concentrates tightly around it.
+        assert!((zeros - 0.8).abs() < 0.02, "frequency of state 0 was {zeros}");
+    }
+
+    #[test]
+    fn empirical_transitions_match_matrix() {
+        let chain = theta1();
+        let mut rng = StdRng::seed_from_u64(1);
+        let traj = sample_trajectory(&chain, 300_000, &mut rng).unwrap();
+        let mut counts = [[0usize; 2]; 2];
+        for w in traj.windows(2) {
+            counts[w[0]][w[1]] += 1;
+        }
+        let p01 = counts[0][1] as f64 / (counts[0][0] + counts[0][1]) as f64;
+        let p10 = counts[1][0] as f64 / (counts[1][0] + counts[1][1]) as f64;
+        assert!((p01 - 0.1).abs() < 0.01, "p01 = {p01}");
+        assert!((p10 - 0.4).abs() < 0.02, "p10 = {p10}");
+    }
+
+    #[test]
+    fn multiple_trajectories() {
+        let chain = theta1();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trajectories = sample_trajectories(&chain, 5, 20, &mut rng).unwrap();
+        assert_eq!(trajectories.len(), 5);
+        assert!(trajectories.iter().all(|t| t.len() == 20));
+        assert!(sample_trajectories(&chain, 2, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn degenerate_distribution_always_picks_last_state_on_rounding() {
+        // A distribution that sums to slightly less than 1 still produces a
+        // valid index thanks to the fallback.
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let idx = sample_categorical(&[0.0, 0.0], &mut rng);
+            assert_eq!(idx, 1);
+        }
+    }
+}

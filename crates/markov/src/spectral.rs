@@ -1,0 +1,257 @@
+//! Spectral quantities of Markov chains and chain classes: the eigengap
+//! `g_Θ` (Equations 7 and 14 of the paper) and the minimum stationary
+//! probability `π^min_Θ` (Equation 6).
+//!
+//! These two scalars are all MQMApprox (Algorithm 4) needs from a
+//! distribution class, which is what makes it so much cheaper than MQMExact.
+
+use pufferfish_linalg::{symmetric_eigenvalues, Matrix};
+
+use crate::{multiplicative_reversibilization, MarkovChain, MarkovChainClass, MarkovError, Result};
+
+/// Eigenvalues within this distance of 1 are treated as the unit eigenvalue
+/// when computing the gap.
+const UNIT_EIGENVALUE_TOLERANCE: f64 = 1e-9;
+
+/// Selects which of the paper's two eigengap definitions to use.
+///
+/// Equation (14) refines Equation (7): for *reversible* chains the gap can be
+/// computed from the spectrum of `P` itself (and doubled), which is cheaper
+/// and gives a tighter MQMApprox bound (Lemma C.1); for general chains the
+/// spectrum of the multiplicative reversibilization `P·P*` is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReversibilityMode {
+    /// Detect reversibility per chain and use the tighter formula when it
+    /// applies.
+    #[default]
+    Auto,
+    /// Always use the reversible formula `2 · min { 1 − |λ| : Pθ x = λx }`.
+    ///
+    /// Only valid when every chain in the class is reversible.
+    Reversible,
+    /// Always use the general formula on `P·P*` (Equation 7). This is what
+    /// the running example of Section 4.4.2 uses.
+    General,
+}
+
+/// The eigengap of a single chain under the chosen mode.
+///
+/// # Errors
+/// * [`MarkovError::DoesNotMix`] if the chain is not irreducible/aperiodic
+///   (its gap would be 0 and MQMApprox does not apply), or if the requested
+///   reversible mode is used on a non-reversible chain.
+/// * Propagated linear-algebra errors.
+pub fn eigengap(chain: &MarkovChain, mode: ReversibilityMode) -> Result<f64> {
+    if !chain.is_irreducible_aperiodic() {
+        return Err(MarkovError::DoesNotMix(
+            "eigengap requires an irreducible and aperiodic chain".to_string(),
+        ));
+    }
+    let reversible = crate::is_reversible(chain, 1e-9)?;
+    let use_reversible = match mode {
+        ReversibilityMode::Auto => reversible,
+        ReversibilityMode::Reversible => {
+            if !reversible {
+                return Err(MarkovError::DoesNotMix(
+                    "reversible eigengap requested for a non-reversible chain".to_string(),
+                ));
+            }
+            true
+        }
+        ReversibilityMode::General => false,
+    };
+
+    let pi = chain.stationary_distribution()?;
+    if use_reversible {
+        let eigs = symmetrized_spectrum(chain.transition(), pi.as_slice())?;
+        Ok(2.0 * smallest_gap(&eigs))
+    } else {
+        let pp_star = multiplicative_reversibilization(chain)?;
+        let eigs = symmetrized_spectrum(&pp_star, pi.as_slice())?;
+        Ok(smallest_gap(&eigs))
+    }
+}
+
+/// Eigenvalues of a transition matrix that is reversible with respect to
+/// `pi`, obtained from the symmetric similarity transform
+/// `D^{1/2} P D^{-1/2}`.
+fn symmetrized_spectrum(p: &Matrix, pi: &[f64]) -> Result<Vec<f64>> {
+    let k = p.rows();
+    let mut sym = Matrix::zeros(k, k);
+    for x in 0..k {
+        for y in 0..k {
+            if pi[x] <= 0.0 || pi[y] <= 0.0 {
+                return Err(MarkovError::DoesNotMix(
+                    "stationary distribution has a zero entry".to_string(),
+                ));
+            }
+            sym[(x, y)] = (pi[x] / pi[y]).sqrt() * p[(x, y)];
+        }
+    }
+    Ok(symmetric_eigenvalues(&sym)?)
+}
+
+/// `min { 1 - |λ| : |λ| < 1 }` over the provided spectrum. If every
+/// eigenvalue has modulus 1 (impossible for primitive chains, but possible
+/// for degenerate inputs), returns 1.0: a single-state or i.i.d. chain mixes
+/// instantly.
+fn smallest_gap(eigenvalues: &[f64]) -> f64 {
+    let gap = eigenvalues
+        .iter()
+        .map(|l| l.abs())
+        .filter(|l| *l < 1.0 - UNIT_EIGENVALUE_TOLERANCE)
+        .map(|l| 1.0 - l)
+        .fold(f64::INFINITY, f64::min);
+    if gap.is_finite() {
+        gap.clamp(0.0, 1.0)
+    } else {
+        1.0
+    }
+}
+
+/// The class-level eigengap `g_Θ = min_θ g_θ` (Equations 7/14).
+///
+/// # Errors
+/// [`MarkovError::EmptyClass`] for an empty class, plus per-chain failures.
+pub fn class_eigengap(class: &MarkovChainClass, mode: ReversibilityMode) -> Result<f64> {
+    let chains = class.representative_chains();
+    if chains.is_empty() {
+        return Err(MarkovError::EmptyClass);
+    }
+    let mut min_gap = f64::INFINITY;
+    for chain in chains {
+        min_gap = min_gap.min(eigengap(chain, mode)?);
+    }
+    Ok(min_gap)
+}
+
+/// The class-level minimum stationary probability `π^min_Θ` (Equation 6).
+///
+/// # Errors
+/// [`MarkovError::EmptyClass`] for an empty class, plus per-chain failures.
+pub fn class_pi_min(class: &MarkovChainClass) -> Result<f64> {
+    let chains = class.representative_chains();
+    if chains.is_empty() {
+        return Err(MarkovError::EmptyClass);
+    }
+    let mut min_pi = f64::INFINITY;
+    for chain in chains {
+        min_pi = min_pi.min(chain.pi_min()?);
+    }
+    Ok(min_pi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-8
+    }
+
+    fn theta1() -> MarkovChain {
+        MarkovChain::new(vec![1.0, 0.0], vec![vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap()
+    }
+
+    fn theta2() -> MarkovChain {
+        MarkovChain::new(vec![0.9, 0.1], vec![vec![0.8, 0.2], vec![0.3, 0.7]]).unwrap()
+    }
+
+    #[test]
+    fn running_example_eigengap_is_075_under_general_mode() {
+        // Section 4.4.2: "the eigengap for both Pθ1 P*θ1 and Pθ2 P*θ2 is 0.75,
+        // and thus gΘ = 0.75."
+        assert!(close(
+            eigengap(&theta1(), ReversibilityMode::General).unwrap(),
+            0.75
+        ));
+        assert!(close(
+            eigengap(&theta2(), ReversibilityMode::General).unwrap(),
+            0.75
+        ));
+        let class = MarkovChainClass::from_chains(vec![theta1(), theta2()]).unwrap();
+        assert!(close(
+            class_eigengap(&class, ReversibilityMode::General).unwrap(),
+            0.75
+        ));
+    }
+
+    #[test]
+    fn running_example_pi_min() {
+        // Section 4.4.2: π^min_{θ1} = 0.2, π^min_{θ2} = 0.4, π^min_Θ = 0.2.
+        let class = MarkovChainClass::from_chains(vec![theta1(), theta2()]).unwrap();
+        assert!(close(class_pi_min(&class).unwrap(), 0.2));
+    }
+
+    #[test]
+    fn reversible_mode_doubles_the_p_gap() {
+        // θ₁ has eigenvalues {1, 0.5}; the reversible gap is 2·(1−0.5) = 1.0.
+        assert!(close(
+            eigengap(&theta1(), ReversibilityMode::Reversible).unwrap(),
+            1.0
+        ));
+        // Auto mode detects reversibility and uses the same formula.
+        assert!(close(eigengap(&theta1(), ReversibilityMode::Auto).unwrap(), 1.0));
+    }
+
+    #[test]
+    fn reversible_mode_rejects_non_reversible_chain() {
+        let cyclic = MarkovChain::new(
+            vec![1.0, 0.0, 0.0],
+            vec![
+                vec![0.1, 0.8, 0.1],
+                vec![0.1, 0.1, 0.8],
+                vec![0.8, 0.1, 0.1],
+            ],
+        )
+        .unwrap();
+        assert!(eigengap(&cyclic, ReversibilityMode::Reversible).is_err());
+        // Auto falls back to the general formula and succeeds.
+        let g = eigengap(&cyclic, ReversibilityMode::Auto).unwrap();
+        assert!(g > 0.0 && g <= 1.0);
+    }
+
+    #[test]
+    fn periodic_chain_rejected() {
+        let periodic =
+            MarkovChain::new(vec![1.0, 0.0], vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        assert!(eigengap(&periodic, ReversibilityMode::Auto).is_err());
+    }
+
+    #[test]
+    fn iid_chain_has_maximal_gap() {
+        // Rows identical => next state independent of current => mixes in one
+        // step => P P* has the single non-unit eigenvalue 0 => gap 1.
+        let iid = MarkovChain::new(
+            vec![0.3, 0.7],
+            vec![vec![0.3, 0.7], vec![0.3, 0.7]],
+        )
+        .unwrap();
+        assert!(close(eigengap(&iid, ReversibilityMode::General).unwrap(), 1.0));
+    }
+
+    #[test]
+    fn slow_chain_has_small_gap() {
+        let slow = MarkovChain::new(
+            vec![0.5, 0.5],
+            vec![vec![0.99, 0.01], vec![0.01, 0.99]],
+        )
+        .unwrap();
+        let fast = MarkovChain::new(
+            vec![0.5, 0.5],
+            vec![vec![0.6, 0.4], vec![0.4, 0.6]],
+        )
+        .unwrap();
+        let g_slow = eigengap(&slow, ReversibilityMode::Auto).unwrap();
+        let g_fast = eigengap(&fast, ReversibilityMode::Auto).unwrap();
+        assert!(g_slow < g_fast);
+        assert!(g_slow > 0.0);
+    }
+
+    #[test]
+    fn class_helpers_reject_empty_class() {
+        // `from_chains` itself rejects empty input, which is the only way to
+        // construct an empty explicit class, so exercise that path.
+        assert!(MarkovChainClass::from_chains(vec![]).is_err());
+    }
+}

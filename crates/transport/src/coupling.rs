@@ -1,0 +1,208 @@
+//! Explicit transport plans (couplings) between discrete distributions.
+
+use crate::DiscreteDistribution;
+
+/// A coupling (joint distribution) `γ` between two discrete distributions
+/// `μ` and `ν`, stored as a sparse list of `(x, y, mass)` triples.
+///
+/// This is the object the Wasserstein Mechanism's privacy proof manipulates
+/// (the `γ*` in Appendix B of the paper): `γ(x, y)` is the amount of
+/// probability mass shipped from point `x` of `μ` to point `y` of `ν`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coupling {
+    entries: Vec<(f64, f64, f64)>,
+}
+
+impl Coupling {
+    /// The raw `(source, target, mass)` triples; masses are positive.
+    pub fn entries(&self) -> &[(f64, f64, f64)] {
+        &self.entries
+    }
+
+    /// Number of non-zero entries in the plan.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the plan has no entries (only possible for degenerate
+    /// inputs).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total mass moved (should always be 1 for a valid coupling).
+    pub fn total_mass(&self) -> f64 {
+        self.entries.iter().map(|(_, _, m)| m).sum()
+    }
+
+    /// The largest distance any mass travels under this plan — an upper bound
+    /// on (and for the monotone plan, exactly) `W∞`.
+    pub fn max_displacement(&self) -> f64 {
+        self.entries
+            .iter()
+            .fold(0.0, |acc, (x, y, _)| acc.max((x - y).abs()))
+    }
+
+    /// The average distance travelled, weighted by mass — equals `W1` for the
+    /// monotone plan.
+    pub fn mean_displacement(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|(x, y, m)| (x - y).abs() * m)
+            .sum()
+    }
+
+    /// Checks that this plan's marginals match `mu` (first coordinate) and
+    /// `nu` (second coordinate) to within `tol`.
+    pub fn has_marginals(
+        &self,
+        mu: &DiscreteDistribution,
+        nu: &DiscreteDistribution,
+        tol: f64,
+    ) -> bool {
+        marginal_matches(self.entries.iter().map(|&(x, _, m)| (x, m)), mu, tol)
+            && marginal_matches(self.entries.iter().map(|&(_, y, m)| (y, m)), nu, tol)
+    }
+}
+
+fn marginal_matches(
+    entries: impl Iterator<Item = (f64, f64)>,
+    target: &DiscreteDistribution,
+    tol: f64,
+) -> bool {
+    let mut acc: Vec<f64> = vec![0.0; target.len()];
+    for (point, mass) in entries {
+        match target
+            .support()
+            .binary_search_by(|s| s.partial_cmp(&point).expect("finite support"))
+        {
+            Ok(idx) => acc[idx] += mass,
+            Err(_) => return false,
+        }
+    }
+    acc.iter()
+        .zip(target.probabilities())
+        .all(|(a, p)| (a - p).abs() <= tol)
+}
+
+/// Computes the monotone (north-west corner) coupling between `mu` and `nu`.
+///
+/// In one dimension the monotone coupling is optimal for every Wasserstein
+/// order, including `∞`, so the returned plan witnesses both `W1` and `W∞`.
+pub fn optimal_coupling(mu: &DiscreteDistribution, nu: &DiscreteDistribution) -> Coupling {
+    let mu_pairs: Vec<(f64, f64)> = mu.iter().collect();
+    let nu_pairs: Vec<(f64, f64)> = nu.iter().collect();
+
+    let mut entries = Vec::with_capacity(mu_pairs.len() + nu_pairs.len());
+    let mut i = 0;
+    let mut j = 0;
+    let mut remaining_mu = mu_pairs[0].1;
+    let mut remaining_nu = nu_pairs[0].1;
+
+    loop {
+        let step = remaining_mu.min(remaining_nu);
+        if step > 1e-15 {
+            entries.push((mu_pairs[i].0, nu_pairs[j].0, step));
+        }
+        remaining_mu -= step;
+        remaining_nu -= step;
+
+        if remaining_mu <= 1e-15 {
+            i += 1;
+            if i < mu_pairs.len() {
+                remaining_mu = mu_pairs[i].1;
+            }
+        }
+        if remaining_nu <= 1e-15 {
+            j += 1;
+            if j < nu_pairs.len() {
+                remaining_nu = nu_pairs[j].1;
+            }
+        }
+        if i >= mu_pairs.len() || j >= nu_pairs.len() {
+            break;
+        }
+    }
+    Coupling { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{wasserstein_infinity, wasserstein_one};
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn coupling_of_identical_distributions_is_diagonal() {
+        let d = DiscreteDistribution::uniform(&[1.0, 2.0, 3.0]).unwrap();
+        let gamma = optimal_coupling(&d, &d);
+        assert_eq!(gamma.len(), 3);
+        assert!(!gamma.is_empty());
+        for &(x, y, _) in gamma.entries() {
+            assert_eq!(x, y);
+        }
+        assert!(close(gamma.total_mass(), 1.0));
+        assert!(close(gamma.max_displacement(), 0.0));
+        assert!(close(gamma.mean_displacement(), 0.0));
+        assert!(gamma.has_marginals(&d, &d, 1e-9));
+    }
+
+    #[test]
+    fn coupling_witnesses_wasserstein_distances() {
+        let mu =
+            DiscreteDistribution::new(vec![0.0, 1.0, 2.0], vec![0.5, 0.25, 0.25]).unwrap();
+        let nu = DiscreteDistribution::new(vec![1.0, 3.0], vec![0.5, 0.5]).unwrap();
+        let gamma = optimal_coupling(&mu, &nu);
+        assert!(gamma.has_marginals(&mu, &nu, 1e-9));
+        assert!(close(
+            gamma.max_displacement(),
+            wasserstein_infinity(&mu, &nu).unwrap()
+        ));
+        assert!(close(
+            gamma.mean_displacement(),
+            wasserstein_one(&mu, &nu).unwrap()
+        ));
+    }
+
+    #[test]
+    fn marginal_check_rejects_wrong_targets() {
+        let mu = DiscreteDistribution::uniform(&[0.0, 1.0]).unwrap();
+        let nu = DiscreteDistribution::uniform(&[5.0, 6.0]).unwrap();
+        let other = DiscreteDistribution::uniform(&[0.0, 2.0]).unwrap();
+        let gamma = optimal_coupling(&mu, &nu);
+        assert!(gamma.has_marginals(&mu, &nu, 1e-9));
+        assert!(!gamma.has_marginals(&other, &nu, 1e-9));
+        assert!(!gamma.has_marginals(&mu, &other, 1e-9));
+    }
+
+    fn arbitrary_distribution() -> impl Strategy<Value = DiscreteDistribution> {
+        (1usize..8).prop_flat_map(|n| {
+            (
+                proptest::collection::vec(-20.0f64..20.0, n),
+                proptest::collection::vec(0.05f64..1.0, n),
+            )
+                .prop_map(|(support, weights)| {
+                    DiscreteDistribution::from_weights(support, weights).unwrap()
+                })
+        })
+    }
+
+    proptest! {
+        /// The monotone coupling always has the right marginals, unit mass,
+        /// and witnesses both W1 and W∞.
+        #[test]
+        fn prop_coupling_is_valid_and_optimal(mu in arbitrary_distribution(), nu in arbitrary_distribution()) {
+            let gamma = optimal_coupling(&mu, &nu);
+            prop_assert!((gamma.total_mass() - 1.0).abs() < 1e-9);
+            prop_assert!(gamma.has_marginals(&mu, &nu, 1e-8));
+            let winf = wasserstein_infinity(&mu, &nu).unwrap();
+            let w1 = wasserstein_one(&mu, &nu).unwrap();
+            prop_assert!((gamma.max_displacement() - winf).abs() < 1e-8);
+            prop_assert!((gamma.mean_displacement() - w1).abs() < 1e-8);
+        }
+    }
+}

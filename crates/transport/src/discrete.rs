@@ -1,0 +1,459 @@
+//! Finitely supported probability distributions on the real line.
+
+use crate::{Result, TransportError};
+
+/// Tolerance used when checking that probabilities sum to one.
+const MASS_TOLERANCE: f64 = 1e-9;
+
+/// A probability distribution with finite support on the real line.
+///
+/// Invariants maintained by every constructor:
+///
+/// * the support is sorted in strictly increasing order,
+/// * duplicate support points are merged (their masses added),
+/// * zero-mass points are removed,
+/// * probabilities are non-negative and sum to 1 (within a small tolerance,
+///   after which they are re-normalised exactly).
+///
+/// These invariants make the quantile-based Wasserstein computations simple
+/// and exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteDistribution {
+    support: Vec<f64>,
+    probabilities: Vec<f64>,
+}
+
+impl DiscreteDistribution {
+    /// Creates a distribution from raw support points and probabilities.
+    ///
+    /// Points may be unsorted and may repeat; masses on repeated points are
+    /// merged.
+    ///
+    /// # Errors
+    /// * [`TransportError::EmptySupport`] when no points are given.
+    /// * [`TransportError::LengthMismatch`] when the vectors differ in length.
+    /// * [`TransportError::InvalidSupportPoint`] for NaN/infinite points.
+    /// * [`TransportError::InvalidProbabilities`] for negative, non-finite or
+    ///   non-normalised masses.
+    pub fn new(support: Vec<f64>, probabilities: Vec<f64>) -> Result<Self> {
+        if support.is_empty() {
+            return Err(TransportError::EmptySupport);
+        }
+        if support.len() != probabilities.len() {
+            return Err(TransportError::LengthMismatch {
+                support: support.len(),
+                probabilities: probabilities.len(),
+            });
+        }
+        for &x in &support {
+            if !x.is_finite() {
+                return Err(TransportError::InvalidSupportPoint(x));
+            }
+        }
+        let mut total = 0.0;
+        for &p in &probabilities {
+            if !p.is_finite() || p < -MASS_TOLERANCE {
+                return Err(TransportError::InvalidProbabilities(format!(
+                    "probability {p} is negative or non-finite"
+                )));
+            }
+            total += p;
+        }
+        if (total - 1.0).abs() > MASS_TOLERANCE {
+            return Err(TransportError::InvalidProbabilities(format!(
+                "probabilities sum to {total}, expected 1"
+            )));
+        }
+
+        // Sort by support point and merge duplicates.
+        let mut pairs: Vec<(f64, f64)> = support.into_iter().zip(probabilities).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite support points"));
+        let mut merged_support = Vec::with_capacity(pairs.len());
+        let mut merged_probs: Vec<f64> = Vec::with_capacity(pairs.len());
+        for (x, p) in pairs {
+            let p = p.max(0.0);
+            if p == 0.0 {
+                continue;
+            }
+            match merged_support.last() {
+                Some(&last) if x == last => {
+                    *merged_probs.last_mut().expect("non-empty") += p;
+                }
+                _ => {
+                    merged_support.push(x);
+                    merged_probs.push(p);
+                }
+            }
+        }
+        if merged_support.is_empty() {
+            return Err(TransportError::InvalidProbabilities(
+                "all probabilities are zero".to_string(),
+            ));
+        }
+        // Re-normalise exactly so downstream CDF arithmetic hits 1.0.
+        let total: f64 = merged_probs.iter().sum();
+        for p in &mut merged_probs {
+            *p /= total;
+        }
+        Ok(DiscreteDistribution {
+            support: merged_support,
+            probabilities: merged_probs,
+        })
+    }
+
+    /// Creates a distribution from unnormalised non-negative weights.
+    ///
+    /// # Errors
+    /// Same as [`DiscreteDistribution::new`], plus
+    /// [`TransportError::InvalidProbabilities`] when all weights are zero.
+    pub fn from_weights(support: Vec<f64>, weights: Vec<f64>) -> Result<Self> {
+        if support.is_empty() {
+            return Err(TransportError::EmptySupport);
+        }
+        if support.len() != weights.len() {
+            return Err(TransportError::LengthMismatch {
+                support: support.len(),
+                probabilities: weights.len(),
+            });
+        }
+        let mut total = 0.0;
+        for &w in &weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(TransportError::InvalidProbabilities(format!(
+                    "weight {w} is negative or non-finite"
+                )));
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(TransportError::InvalidProbabilities(
+                "weights sum to zero".to_string(),
+            ));
+        }
+        let probabilities = weights.into_iter().map(|w| w / total).collect();
+        Self::new(support, probabilities)
+    }
+
+    /// The uniform distribution over the given points.
+    ///
+    /// # Errors
+    /// [`TransportError::EmptySupport`] when `points` is empty, plus the usual
+    /// support-point validation.
+    pub fn uniform(points: &[f64]) -> Result<Self> {
+        if points.is_empty() {
+            return Err(TransportError::EmptySupport);
+        }
+        let p = 1.0 / points.len() as f64;
+        Self::new(points.to_vec(), vec![p; points.len()])
+    }
+
+    /// A point mass at `x`.
+    ///
+    /// # Errors
+    /// [`TransportError::InvalidSupportPoint`] when `x` is not finite.
+    pub fn point_mass(x: f64) -> Result<Self> {
+        Self::new(vec![x], vec![1.0])
+    }
+
+    /// Builds the empirical distribution of a sample (each observation gets
+    /// mass `1/n`).
+    ///
+    /// # Errors
+    /// [`TransportError::EmptySupport`] when the sample is empty.
+    pub fn empirical(sample: &[f64]) -> Result<Self> {
+        if sample.is_empty() {
+            return Err(TransportError::EmptySupport);
+        }
+        let w = 1.0 / sample.len() as f64;
+        Self::new(sample.to_vec(), vec![w; sample.len()])
+    }
+
+    /// Sorted support points.
+    pub fn support(&self) -> &[f64] {
+        &self.support
+    }
+
+    /// Probabilities aligned with [`DiscreteDistribution::support`].
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+
+    /// Number of support points.
+    pub fn len(&self) -> usize {
+        self.support.len()
+    }
+
+    /// `true` when the distribution is a single point mass.
+    pub fn is_point_mass(&self) -> bool {
+        self.support.len() == 1
+    }
+
+    /// Always `false`: a valid distribution has at least one support point.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Probability assigned to the point `x` (0 if `x` is not in the support).
+    pub fn pmf(&self, x: f64) -> f64 {
+        match self
+            .support
+            .binary_search_by(|s| s.partial_cmp(&x).expect("finite support"))
+        {
+            Ok(idx) => self.probabilities[idx],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Cumulative distribution function `P(X <= x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let mut acc = 0.0;
+        for (s, p) in self.support.iter().zip(&self.probabilities) {
+            if *s <= x {
+                acc += p;
+            } else {
+                break;
+            }
+        }
+        acc.min(1.0)
+    }
+
+    /// Generalised inverse CDF (quantile function):
+    /// the smallest support point `x` with `CDF(x) >= q`.
+    ///
+    /// `q` is clamped into `(0, 1]`; `quantile(0.0)` returns the smallest
+    /// support point.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let mut acc = 0.0;
+        for (s, p) in self.support.iter().zip(&self.probabilities) {
+            acc += p;
+            if acc >= q - 1e-15 {
+                return *s;
+            }
+        }
+        *self.support.last().expect("non-empty support")
+    }
+
+    /// Expected value.
+    pub fn mean(&self) -> f64 {
+        self.support
+            .iter()
+            .zip(&self.probabilities)
+            .map(|(x, p)| x * p)
+            .sum()
+    }
+
+    /// Variance.
+    pub fn variance(&self) -> f64 {
+        let mean = self.mean();
+        self.support
+            .iter()
+            .zip(&self.probabilities)
+            .map(|(x, p)| (x - mean) * (x - mean) * p)
+            .sum()
+    }
+
+    /// Smallest support point.
+    pub fn min(&self) -> f64 {
+        self.support[0]
+    }
+
+    /// Largest support point.
+    pub fn max(&self) -> f64 {
+        *self.support.last().expect("non-empty support")
+    }
+
+    /// Diameter of the support (`max - min`), an upper bound on any
+    /// Wasserstein distance to another distribution with the same support
+    /// range.
+    pub fn diameter(&self) -> f64 {
+        self.max() - self.min()
+    }
+
+    /// Applies a function to every support point, merging any collisions.
+    ///
+    /// This is how a query `F` pushes a distribution over databases forward to
+    /// a distribution over query values.
+    ///
+    /// # Errors
+    /// [`TransportError::InvalidSupportPoint`] when `f` produces a non-finite
+    /// value.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Result<Self> {
+        let mapped: Vec<f64> = self.support.iter().map(|&x| f(x)).collect();
+        Self::new(mapped, self.probabilities.clone())
+    }
+
+    /// Iterator over `(support point, probability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.support
+            .iter()
+            .copied()
+            .zip(self.probabilities.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn constructor_validates_input() {
+        assert_eq!(
+            DiscreteDistribution::new(vec![], vec![]),
+            Err(TransportError::EmptySupport)
+        );
+        assert!(matches!(
+            DiscreteDistribution::new(vec![1.0], vec![0.5, 0.5]),
+            Err(TransportError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            DiscreteDistribution::new(vec![f64::NAN], vec![1.0]),
+            Err(TransportError::InvalidSupportPoint(_))
+        ));
+        assert!(matches!(
+            DiscreteDistribution::new(vec![1.0, 2.0], vec![0.7, 0.7]),
+            Err(TransportError::InvalidProbabilities(_))
+        ));
+        assert!(matches!(
+            DiscreteDistribution::new(vec![1.0, 2.0], vec![-0.5, 1.5]),
+            Err(TransportError::InvalidProbabilities(_))
+        ));
+        assert!(matches!(
+            DiscreteDistribution::new(vec![1.0], vec![f64::INFINITY]),
+            Err(TransportError::InvalidProbabilities(_))
+        ));
+    }
+
+    #[test]
+    fn sorts_and_merges_duplicates() {
+        let d = DiscreteDistribution::new(vec![3.0, 1.0, 3.0], vec![0.25, 0.5, 0.25]).unwrap();
+        assert_eq!(d.support(), &[1.0, 3.0]);
+        assert!(close(d.probabilities()[0], 0.5));
+        assert!(close(d.probabilities()[1], 0.5));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn drops_zero_mass_points() {
+        let d = DiscreteDistribution::new(vec![1.0, 2.0, 3.0], vec![0.5, 0.0, 0.5]).unwrap();
+        assert_eq!(d.support(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn from_weights_normalises() {
+        let d = DiscreteDistribution::from_weights(vec![0.0, 1.0], vec![2.0, 6.0]).unwrap();
+        assert!(close(d.probabilities()[0], 0.25));
+        assert!(close(d.probabilities()[1], 0.75));
+        assert!(DiscreteDistribution::from_weights(vec![0.0], vec![0.0]).is_err());
+        assert!(DiscreteDistribution::from_weights(vec![0.0], vec![-1.0]).is_err());
+        assert!(DiscreteDistribution::from_weights(vec![], vec![]).is_err());
+        assert!(DiscreteDistribution::from_weights(vec![1.0], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn uniform_point_mass_and_empirical() {
+        let u = DiscreteDistribution::uniform(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!(close(u.pmf(2.0), 0.25));
+        assert!(DiscreteDistribution::uniform(&[]).is_err());
+
+        let p = DiscreteDistribution::point_mass(5.0).unwrap();
+        assert!(p.is_point_mass());
+        assert!(close(p.pmf(5.0), 1.0));
+        assert!(DiscreteDistribution::point_mass(f64::NAN).is_err());
+
+        let e = DiscreteDistribution::empirical(&[1.0, 1.0, 2.0, 4.0]).unwrap();
+        assert!(close(e.pmf(1.0), 0.5));
+        assert!(close(e.pmf(4.0), 0.25));
+        assert!(DiscreteDistribution::empirical(&[]).is_err());
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn cdf_and_quantile() {
+        let d = DiscreteDistribution::new(vec![1.0, 2.0, 3.0], vec![0.2, 0.5, 0.3]).unwrap();
+        assert!(close(d.cdf(0.5), 0.0));
+        assert!(close(d.cdf(1.0), 0.2));
+        assert!(close(d.cdf(2.5), 0.7));
+        assert!(close(d.cdf(10.0), 1.0));
+
+        assert!(close(d.quantile(0.1), 1.0));
+        assert!(close(d.quantile(0.2), 1.0));
+        assert!(close(d.quantile(0.21), 2.0));
+        assert!(close(d.quantile(0.7), 2.0));
+        assert!(close(d.quantile(0.71), 3.0));
+        assert!(close(d.quantile(1.0), 3.0));
+        // Out-of-range values are clamped.
+        assert!(close(d.quantile(-0.5), 1.0));
+        assert!(close(d.quantile(1.5), 3.0));
+    }
+
+    #[test]
+    fn moments_and_extremes() {
+        let d = DiscreteDistribution::new(vec![0.0, 10.0], vec![0.5, 0.5]).unwrap();
+        assert!(close(d.mean(), 5.0));
+        assert!(close(d.variance(), 25.0));
+        assert!(close(d.min(), 0.0));
+        assert!(close(d.max(), 10.0));
+        assert!(close(d.diameter(), 10.0));
+    }
+
+    #[test]
+    fn pmf_of_missing_point_is_zero() {
+        let d = DiscreteDistribution::uniform(&[1.0, 2.0]).unwrap();
+        assert_eq!(d.pmf(1.5), 0.0);
+    }
+
+    #[test]
+    fn map_pushes_forward_and_merges() {
+        let d = DiscreteDistribution::uniform(&[-1.0, 1.0, 2.0, -2.0]).unwrap();
+        let abs = d.map(|x| x.abs()).unwrap();
+        assert_eq!(abs.support(), &[1.0, 2.0]);
+        assert!(close(abs.pmf(1.0), 0.5));
+        assert!(close(abs.pmf(2.0), 0.5));
+        assert!(d.map(|_| f64::NAN).is_err());
+    }
+
+    #[test]
+    fn iter_yields_pairs() {
+        let d = DiscreteDistribution::uniform(&[1.0, 2.0]).unwrap();
+        let pairs: Vec<(f64, f64)> = d.iter().collect();
+        assert_eq!(pairs.len(), 2);
+        assert!(close(pairs[0].1, 0.5));
+    }
+
+    proptest! {
+        /// CDF is monotone and reaches 1, and the quantile function is a right
+        /// inverse of the CDF on the support.
+        #[test]
+        fn prop_cdf_quantile_consistency(pairs in proptest::collection::vec((-100.0f64..100.0, 0.01f64..1.0), 1..12)) {
+            let (points, raw_weights): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+            let d = DiscreteDistribution::from_weights(points, raw_weights).unwrap();
+            let mut prev = 0.0;
+            for &x in d.support() {
+                let c = d.cdf(x);
+                prop_assert!(c >= prev - 1e-12);
+                prev = c;
+                // quantile(cdf(x)) == x for support points.
+                prop_assert!((d.quantile(c) - x).abs() < 1e-12);
+            }
+            prop_assert!((d.cdf(d.max()) - 1.0).abs() < 1e-9);
+            let mass: f64 = d.probabilities().iter().sum();
+            prop_assert!((mass - 1.0).abs() < 1e-9);
+        }
+
+        /// The mean lies within the support range.
+        #[test]
+        fn prop_mean_in_range(pairs in proptest::collection::vec((-50.0f64..50.0, 0.01f64..1.0), 1..10)) {
+            let (points, raw_weights): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+            let d = DiscreteDistribution::from_weights(points, raw_weights).unwrap();
+            prop_assert!(d.mean() >= d.min() - 1e-9);
+            prop_assert!(d.mean() <= d.max() + 1e-9);
+            prop_assert!(d.variance() >= -1e-12);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Divergences between discrete probability vectors: max-divergence
+//! (Definition 2.3 of the paper), KL divergence and total variation.
+//!
+//! These operate on plain probability slices rather than
+//! [`crate::DiscreteDistribution`] because the Pufferfish machinery applies
+//! them to conditional distributions over *databases* or *states*, whose
+//! outcomes are indexed categorically rather than living on the real line.
+
+use crate::{Result, TransportError};
+
+/// Probability below which an outcome is treated as having zero mass.
+const ZERO_MASS: f64 = 1e-300;
+
+fn validate_pair(p: &[f64], q: &[f64]) -> Result<()> {
+    if p.is_empty() || q.is_empty() {
+        return Err(TransportError::EmptySupport);
+    }
+    if p.len() != q.len() {
+        return Err(TransportError::SupportMismatch);
+    }
+    for &x in p.iter().chain(q.iter()) {
+        if !x.is_finite() || x < 0.0 {
+            return Err(TransportError::InvalidProbabilities(format!(
+                "entry {x} is negative or non-finite"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The max-divergence `D∞(p || q) = max_x log(p(x) / q(x))` over the common
+/// support of `p` (Definition 2.3 of the paper).
+///
+/// Outcomes where `p(x) = 0` are ignored (they are outside the support of
+/// `p`).
+///
+/// # Errors
+/// * [`TransportError::SupportMismatch`] if the slices differ in length.
+/// * [`TransportError::InvalidProbabilities`] for negative or non-finite
+///   entries.
+/// * [`TransportError::InfiniteDivergence`] if some outcome has `p(x) > 0`
+///   but `q(x) = 0`.
+pub fn max_divergence(p: &[f64], q: &[f64]) -> Result<f64> {
+    validate_pair(p, q)?;
+    let mut worst = f64::NEG_INFINITY;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi <= ZERO_MASS {
+            continue;
+        }
+        if qi <= ZERO_MASS {
+            return Err(TransportError::InfiniteDivergence);
+        }
+        worst = worst.max((pi / qi).ln());
+    }
+    if worst == f64::NEG_INFINITY {
+        // p had no mass at all; treat as zero divergence.
+        return Ok(0.0);
+    }
+    // D∞ is always >= 0 when both are probability distributions, but we also
+    // accept sub-normalised inputs (conditional slices), so clamp at 0 only
+    // when both sum to ~1.
+    Ok(worst)
+}
+
+/// The symmetric max-divergence
+/// `max( D∞(p || q), D∞(q || p) )`, the quantity appearing in Theorem 2.4.
+///
+/// # Errors
+/// Same as [`max_divergence`].
+pub fn symmetric_max_divergence(p: &[f64], q: &[f64]) -> Result<f64> {
+    let forward = max_divergence(p, q)?;
+    let backward = max_divergence(q, p)?;
+    Ok(forward.max(backward))
+}
+
+/// Kullback–Leibler divergence `KL(p || q) = Σ p(x) log(p(x)/q(x))`.
+///
+/// # Errors
+/// Same as [`max_divergence`].
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> Result<f64> {
+    validate_pair(p, q)?;
+    let mut total = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi <= ZERO_MASS {
+            continue;
+        }
+        if qi <= ZERO_MASS {
+            return Err(TransportError::InfiniteDivergence);
+        }
+        total += pi * (pi / qi).ln();
+    }
+    Ok(total.max(0.0))
+}
+
+/// Total variation distance `TV(p, q) = (1/2) Σ |p(x) − q(x)|`.
+///
+/// # Errors
+/// * [`TransportError::SupportMismatch`] / [`TransportError::EmptySupport`] /
+///   [`TransportError::InvalidProbabilities`] as in [`max_divergence`]; never
+///   infinite.
+pub fn total_variation(p: &[f64], q: &[f64]) -> Result<f64> {
+    validate_pair(p, q)?;
+    Ok(0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn paper_example_from_definition_2_3() {
+        // p = (1/3, 1/2, 1/6), q = (1/2, 1/4, 1/4): D∞(p || q) = log 2.
+        let p = [1.0 / 3.0, 0.5, 1.0 / 6.0];
+        let q = [0.5, 0.25, 0.25];
+        let d = max_divergence(&p, &q).unwrap();
+        assert!(close(d, 2.0f64.ln()), "expected log 2, got {d}");
+    }
+
+    #[test]
+    fn paper_example_from_section_2_3_conditioning() {
+        // Theta places (0.9, 0.05, 0.05) and theta~ places (0.01, 0.95, 0.04)
+        // on three databases: the symmetric max-divergence is log 90.
+        let theta = [0.9, 0.05, 0.05];
+        let theta_tilde = [0.01, 0.95, 0.04];
+        let d = symmetric_max_divergence(&theta, &theta_tilde).unwrap();
+        assert!(close(d, 90.0f64.ln()), "expected log 90, got {d}");
+
+        // Conditioning on s_i removes database 3 and renormalises; the paper
+        // reports the conditional symmetric max-divergence as log 91.0962
+        // (using probabilities rounded to four decimals). With exact
+        // arithmetic the ratio is (0.9/0.95)/(0.01/0.96) = 90.947..., and the
+        // point of the example — conditioning can *increase* the divergence —
+        // still holds.
+        let theta_cond = [0.9 / 0.95, 0.05 / 0.95];
+        let tilde_cond = [0.01 / 0.96, 0.95 / 0.96];
+        let d_cond = symmetric_max_divergence(&theta_cond, &tilde_cond).unwrap();
+        assert!(
+            (d_cond - (0.9f64 / 0.95 / (0.01 / 0.96)).ln()).abs() < 1e-9,
+            "expected ~log 90.947, got {d_cond}"
+        );
+        assert!((d_cond.exp() - 91.0962).abs() < 0.2);
+        assert!(d_cond > d);
+    }
+
+    #[test]
+    fn zero_divergence_for_identical_distributions() {
+        let p = [0.25, 0.25, 0.5];
+        assert!(close(max_divergence(&p, &p).unwrap(), 0.0));
+        assert!(close(kl_divergence(&p, &p).unwrap(), 0.0));
+        assert!(close(total_variation(&p, &p).unwrap(), 0.0));
+        assert!(close(symmetric_max_divergence(&p, &p).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn infinite_divergence_detected() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        assert_eq!(
+            max_divergence(&p, &q),
+            Err(TransportError::InfiniteDivergence)
+        );
+        assert_eq!(
+            kl_divergence(&p, &q),
+            Err(TransportError::InfiniteDivergence)
+        );
+        // Reverse direction is fine: q's support is a subset of p's.
+        assert!(max_divergence(&q, &p).is_ok());
+    }
+
+    #[test]
+    fn zero_mass_everywhere_in_p() {
+        let p = [0.0, 0.0];
+        let q = [0.5, 0.5];
+        assert!(close(max_divergence(&p, &q).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(max_divergence(&[], &[]), Err(TransportError::EmptySupport));
+        assert_eq!(
+            max_divergence(&[1.0], &[0.5, 0.5]),
+            Err(TransportError::SupportMismatch)
+        );
+        assert!(matches!(
+            max_divergence(&[-0.1, 1.1], &[0.5, 0.5]),
+            Err(TransportError::InvalidProbabilities(_))
+        ));
+        assert!(matches!(
+            total_variation(&[f64::NAN, 1.0], &[0.5, 0.5]),
+            Err(TransportError::InvalidProbabilities(_))
+        ));
+    }
+
+    #[test]
+    fn total_variation_known_value() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!(close(total_variation(&p, &q).unwrap(), 1.0));
+        let r = [0.75, 0.25];
+        assert!(close(total_variation(&p, &r).unwrap(), 0.25));
+    }
+
+    fn probability_vector(n: usize) -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(0.01f64..1.0, n).prop_map(|w| {
+            let s: f64 = w.iter().sum();
+            w.into_iter().map(|x| x / s).collect()
+        })
+    }
+
+    proptest! {
+        /// Pinsker-style sanity: TV <= 1, KL >= 0, D∞ >= KL >= 0 and
+        /// D∞ >= log(1) = 0 for full-support probability vectors.
+        #[test]
+        fn prop_divergence_ordering(p in probability_vector(5), q in probability_vector(5)) {
+            let dinf = max_divergence(&p, &q).unwrap();
+            let kl = kl_divergence(&p, &q).unwrap();
+            let tv = total_variation(&p, &q).unwrap();
+            prop_assert!(dinf >= -1e-12);
+            prop_assert!(kl >= -1e-12);
+            prop_assert!(dinf + 1e-12 >= kl);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&tv));
+            // Symmetric version dominates both directions.
+            let sym = symmetric_max_divergence(&p, &q).unwrap();
+            prop_assert!(sym + 1e-12 >= dinf);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for the transport crate.
+
+use std::fmt;
+
+/// Errors produced by optimal-transport and divergence computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransportError {
+    /// A distribution was constructed with no support points.
+    EmptySupport,
+    /// Support and probability vectors had different lengths.
+    LengthMismatch {
+        /// Number of support points.
+        support: usize,
+        /// Number of probabilities.
+        probabilities: usize,
+    },
+    /// A probability was negative, non-finite, or the masses did not sum to 1.
+    InvalidProbabilities(String),
+    /// A support point was not finite.
+    InvalidSupportPoint(f64),
+    /// Two distributions were expected to share a support but did not
+    /// (required by max-divergence, Definition 2.3).
+    SupportMismatch,
+    /// The divergence is infinite because `q(x) = 0` while `p(x) > 0`.
+    InfiniteDivergence,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::EmptySupport => write!(f, "distribution has empty support"),
+            TransportError::LengthMismatch {
+                support,
+                probabilities,
+            } => write!(
+                f,
+                "support has {support} points but {probabilities} probabilities were given"
+            ),
+            TransportError::InvalidProbabilities(msg) => {
+                write!(f, "invalid probabilities: {msg}")
+            }
+            TransportError::InvalidSupportPoint(x) => {
+                write!(f, "support point {x} is not finite")
+            }
+            TransportError::SupportMismatch => write!(
+                f,
+                "distributions must share the same support for this operation"
+            ),
+            TransportError::InfiniteDivergence => {
+                write!(f, "max-divergence is infinite (q assigns zero mass where p does not)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(TransportError::EmptySupport.to_string().contains("empty"));
+        assert!(TransportError::LengthMismatch {
+            support: 3,
+            probabilities: 2
+        }
+        .to_string()
+        .contains('3'));
+        assert!(TransportError::InvalidProbabilities("sum".into())
+            .to_string()
+            .contains("sum"));
+        assert!(TransportError::InvalidSupportPoint(f64::NAN)
+            .to_string()
+            .contains("NaN"));
+        assert!(TransportError::SupportMismatch
+            .to_string()
+            .contains("support"));
+        assert!(TransportError::InfiniteDivergence
+            .to_string()
+            .contains("infinite"));
+    }
+}

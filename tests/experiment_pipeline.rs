@@ -1,0 +1,77 @@
+//! Smoke test of the full experiment harness: every table/figure module runs
+//! end-to-end on a reduced configuration and produces results with the shape
+//! the paper reports.
+
+use pufferfish_bench::{activity, electricity, figure4, timing};
+
+#[test]
+fn figure4_pipeline_runs() {
+    let config = figure4::Figure4Config {
+        length: 100,
+        trials: 5,
+        alphas: &[0.2, 0.4],
+        epsilons: &[1.0],
+        grid_points: 3,
+        seed: 1,
+    };
+    let cells = figure4::run(config).unwrap();
+    assert_eq!(cells.len(), 2);
+    let text = figure4::render(&cells, &[1.0]);
+    assert!(text.contains("alpha"));
+    assert!(text.contains("MQMApprox"));
+}
+
+#[test]
+fn activity_pipeline_runs() {
+    let config = activity::ActivityConfig {
+        observations_per_participant: 800,
+        participants: Some(3),
+        trials: 2,
+        epsilon: 1.0,
+        seed: 2,
+    };
+    let results = activity::run(config).unwrap();
+    assert_eq!(results.len(), 3);
+    let table = activity::render_table1(&results, 1.0);
+    assert!(table.contains("GroupDP"));
+    let figure = activity::render_figure4_lower(&results);
+    assert!(figure.contains("Active"));
+    // Error ordering from Table 1 holds even at this reduced scale.
+    for result in &results {
+        assert!(result.individual_errors.mqm_approx < result.individual_errors.group_dp);
+    }
+}
+
+#[test]
+fn table2_pipeline_runs() {
+    let config = timing::Table2Config {
+        synthetic_length: 100,
+        activity_length: 600,
+        activity_participants: Some(2),
+        electricity_length: 6_000,
+        repetitions: 1,
+        epsilon: 1.0,
+        seed: 3,
+    };
+    let results = timing::run(config).unwrap();
+    assert_eq!(results.len(), 5);
+    let table = timing::render(&results, 1.0);
+    assert!(table.contains("Synthetic"));
+    assert!(table.contains("MQMExact"));
+}
+
+#[test]
+fn table3_pipeline_runs() {
+    let config = electricity::Table3Config {
+        length: 8_000,
+        trials: 2,
+        epsilons: &[1.0, 5.0],
+        seed: 4,
+    };
+    let cells = electricity::run(config).unwrap();
+    assert_eq!(cells.len(), 2);
+    // Error decreases with epsilon.
+    assert!(cells[0].mqm_exact >= cells[1].mqm_exact);
+    let table = electricity::render(&cells);
+    assert!(table.contains("epsilon = 1"));
+}
