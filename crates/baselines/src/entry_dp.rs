@@ -3,7 +3,9 @@
 use rand::Rng;
 
 use pufferfish_core::queries::LipschitzQuery;
-use pufferfish_core::{Laplace, NoisyRelease, PrivacyBudget, PufferfishError, Result};
+use pufferfish_core::{
+    validate_query_length, Laplace, Mechanism, NoisyRelease, PrivacyBudget, PufferfishError, Result,
+};
 
 /// The classical Laplace mechanism: adds `Lap(Δ / ε)` to every coordinate,
 /// where `Δ` is an L1 sensitivity.
@@ -87,6 +89,26 @@ impl EntryDp {
     ) -> Result<NoisyRelease> {
         let values = query.evaluate(database)?;
         self.privatize(&values, rng)
+    }
+}
+
+impl Mechanism for EntryDp {
+    fn name(&self) -> &'static str {
+        "entry-dp"
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Entry DP is calibrated to a caller-supplied sensitivity, so the scale
+    /// does not rescale by the query's Lipschitz constant.
+    fn noise_scale_for(&self, _query: &dyn LipschitzQuery) -> f64 {
+        self.noise_scale()
+    }
+
+    fn validate(&self, query: &dyn LipschitzQuery, database: &[usize]) -> Result<()> {
+        validate_query_length(query, database)
     }
 }
 

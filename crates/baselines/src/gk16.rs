@@ -23,7 +23,9 @@
 use rand::Rng;
 
 use pufferfish_core::queries::LipschitzQuery;
-use pufferfish_core::{Laplace, NoisyRelease, PrivacyBudget, PufferfishError, Result};
+use pufferfish_core::{
+    validate_query_length, Laplace, Mechanism, NoisyRelease, PrivacyBudget, PufferfishError, Result,
+};
 use pufferfish_linalg::Matrix;
 use pufferfish_markov::{time_reversal, MarkovChain, MarkovChainClass};
 
@@ -138,6 +140,24 @@ impl Gk16 {
     }
 }
 
+impl Mechanism for Gk16 {
+    fn name(&self) -> &'static str {
+        "gk16"
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn noise_scale_for(&self, query: &dyn LipschitzQuery) -> f64 {
+        Gk16::noise_scale_for(self, query)
+    }
+
+    fn validate(&self, query: &dyn LipschitzQuery, database: &[usize]) -> Result<()> {
+        validate_query_length(query, database)
+    }
+}
+
 /// Builds the influence summary of a single chain.
 fn influence_summary(chain: &MarkovChain, length: usize) -> Result<InfluenceMatrixSummary> {
     let forward = kernel_max_divergence(chain.transition());
@@ -248,11 +268,8 @@ mod tests {
 
     #[test]
     fn deterministic_transitions_are_rejected() {
-        let deterministic = MarkovChain::new(
-            vec![0.5, 0.5],
-            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
-        )
-        .unwrap();
+        let deterministic =
+            MarkovChain::new(vec![0.5, 0.5], vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
         let class = MarkovChainClass::singleton(deterministic);
         assert!(Gk16::calibrate(&class, 50, budget()).is_err());
     }

@@ -3,7 +3,9 @@
 use rand::Rng;
 
 use pufferfish_core::queries::LipschitzQuery;
-use pufferfish_core::{Laplace, NoisyRelease, PrivacyBudget, PufferfishError, Result};
+use pufferfish_core::{
+    validate_query_length, Laplace, Mechanism, NoisyRelease, PrivacyBudget, PufferfishError, Result,
+};
 
 /// The group-DP baseline ("GroupDP" in the experiments): every record in a
 /// correlated group must be protected simultaneously, so the Laplace scale is
@@ -87,6 +89,24 @@ impl GroupDp {
     }
 }
 
+impl Mechanism for GroupDp {
+    fn name(&self) -> &'static str {
+        "group-dp"
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn noise_scale_for(&self, query: &dyn LipschitzQuery) -> f64 {
+        GroupDp::noise_scale_for(self, query)
+    }
+
+    fn validate(&self, query: &dyn LipschitzQuery, database: &[usize]) -> Result<()> {
+        validate_query_length(query, database)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,7 +155,10 @@ mod tests {
         let trials = 5_000;
         let mut total = 0.0;
         for _ in 0..trials {
-            total += group.release(&query, &database, &mut rng).unwrap().l1_error();
+            total += group
+                .release(&query, &database, &mut rng)
+                .unwrap()
+                .l1_error();
         }
         let mean = total / trials as f64;
         // Mean |Lap(1)| = 1.

@@ -29,7 +29,9 @@ pub use entry_dp::EntryDp;
 pub use gk16::{Gk16, InfluenceMatrixSummary};
 pub use group_dp::GroupDp;
 
-pub use pufferfish_core::{LipschitzQuery, NoisyRelease, PrivacyBudget, PufferfishError};
+pub use pufferfish_core::{
+    LipschitzQuery, Mechanism, NoisyRelease, PrivacyBudget, PufferfishError,
+};
 
 /// Result alias matching `pufferfish-core`.
 pub type Result<T> = std::result::Result<T, PufferfishError>;

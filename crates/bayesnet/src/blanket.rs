@@ -74,9 +74,7 @@ mod tests {
         dag.add_edge(4, 3).unwrap();
         dag.add_edge(3, 5).unwrap();
         let blanket = markov_blanket(&dag, 2).unwrap();
-        let rest: Vec<usize> = (0..6)
-            .filter(|i| *i != 2 && !blanket.contains(i))
-            .collect();
+        let rest: Vec<usize> = (0..6).filter(|i| *i != 2 && !blanket.contains(i)).collect();
         assert!(d_separated(&dag, 2, &rest, &blanket).unwrap());
     }
 

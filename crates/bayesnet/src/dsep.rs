@@ -31,10 +31,7 @@ pub fn d_separated(dag: &Dag, source: usize, targets: &[usize], given: &[usize])
     let n = dag.num_nodes();
     let check = |node: usize| -> Result<()> {
         if node >= n {
-            Err(BayesNetError::NodeOutOfRange {
-                node,
-                num_nodes: n,
-            })
+            Err(BayesNetError::NodeOutOfRange { node, num_nodes: n })
         } else {
             Ok(())
         }

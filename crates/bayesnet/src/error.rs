@@ -54,7 +54,10 @@ impl fmt::Display for BayesNetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BayesNetError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node {node} out of range for a network with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for a network with {num_nodes} nodes"
+                )
             }
             BayesNetError::CycleDetected { from, to } => {
                 write!(f, "adding edge {from} -> {to} would create a cycle")

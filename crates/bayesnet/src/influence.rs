@@ -158,7 +158,8 @@ mod tests {
         dag.add_edge(0, 1).unwrap();
         let mut net = DiscreteBayesianNetwork::new(dag, vec![2, 2]).unwrap();
         net.set_cpd(0, vec![vec![0.5, 0.5]]).unwrap();
-        net.set_cpd(1, vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        net.set_cpd(1, vec![vec![1.0, 0.0], vec![0.0, 1.0]])
+            .unwrap();
         assert!(max_influence_single(&net, 0, &[1]).unwrap().is_infinite());
     }
 
@@ -206,7 +207,8 @@ mod tests {
         dag.add_edge(0, 1).unwrap();
         let mut net = DiscreteBayesianNetwork::new(dag, vec![2, 2]).unwrap();
         net.set_cpd(0, vec![vec![1.0, 0.0]]).unwrap();
-        net.set_cpd(1, vec![vec![0.7, 0.3], vec![0.2, 0.8]]).unwrap();
+        net.set_cpd(1, vec![vec![0.7, 0.3], vec![0.2, 0.8]])
+            .unwrap();
         assert!(close(max_influence_single(&net, 0, &[1]).unwrap(), 0.0));
     }
 

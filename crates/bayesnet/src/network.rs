@@ -45,7 +45,7 @@ impl DiscreteBayesianNetwork {
                 cardinalities.len()
             )));
         }
-        if cardinalities.iter().any(|&c| c == 0) {
+        if cardinalities.contains(&0) {
             return Err(BayesNetError::InvalidStructure(
                 "cardinalities must be positive".to_string(),
             ));
@@ -400,8 +400,10 @@ mod tests {
         dag.add_edge(2, 3).unwrap();
         let mut net = DiscreteBayesianNetwork::new(dag, vec![2, 2, 2, 2]).unwrap();
         net.set_cpd(0, vec![vec![0.6, 0.4]]).unwrap();
-        net.set_cpd(1, vec![vec![0.7, 0.3], vec![0.2, 0.8]]).unwrap();
-        net.set_cpd(2, vec![vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap();
+        net.set_cpd(1, vec![vec![0.7, 0.3], vec![0.2, 0.8]])
+            .unwrap();
+        net.set_cpd(2, vec![vec![0.9, 0.1], vec![0.4, 0.6]])
+            .unwrap();
         net.set_cpd(
             3,
             vec![
@@ -447,7 +449,9 @@ mod tests {
             Err(BayesNetError::NodeOutOfRange { .. })
         ));
         // Root node needs exactly one row.
-        assert!(net.set_cpd(0, vec![vec![0.5, 0.5], vec![0.5, 0.5]]).is_err());
+        assert!(net
+            .set_cpd(0, vec![vec![0.5, 0.5], vec![0.5, 0.5]])
+            .is_err());
         // Row of the wrong width.
         assert!(net.set_cpd(0, vec![vec![1.0]]).is_err());
         // Row that does not sum to one.
@@ -457,7 +461,8 @@ mod tests {
         // Child node needs one row per parent value.
         assert!(net.set_cpd(1, vec![vec![0.5, 0.5]]).is_err());
         net.set_cpd(0, vec![vec![0.5, 0.5]]).unwrap();
-        net.set_cpd(1, vec![vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap();
+        net.set_cpd(1, vec![vec![0.9, 0.1], vec![0.2, 0.8]])
+            .unwrap();
         assert!(net.is_fully_specified());
     }
 
@@ -520,16 +525,16 @@ mod tests {
     #[test]
     fn conditional_joint_distribution_shape_and_mass() {
         let net = figure2_network();
-        let dist = net.conditional_joint_distribution(&[1, 2], &[(0, 0)]).unwrap();
+        let dist = net
+            .conditional_joint_distribution(&[1, 2], &[(0, 0)])
+            .unwrap();
         assert_eq!(dist.len(), 4);
         assert!(close(dist.iter().sum::<f64>(), 1.0));
         // X2 and X3 are conditionally independent given X1, so the joint is
         // the product of the conditionals.
         assert!(close(dist[0], 0.7 * 0.9));
         assert!(close(dist[3], 0.3 * 0.1));
-        assert!(net
-            .conditional_joint_distribution(&[9], &[])
-            .is_err());
+        assert!(net.conditional_joint_distribution(&[9], &[]).is_err());
     }
 
     #[test]

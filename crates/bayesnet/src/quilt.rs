@@ -39,10 +39,7 @@ impl MarkovQuilt {
     pub fn for_node(dag: &Dag, node: usize, quilt: Vec<usize>) -> Result<Self> {
         let n = dag.num_nodes();
         if node >= n {
-            return Err(BayesNetError::NodeOutOfRange {
-                node,
-                num_nodes: n,
-            });
+            return Err(BayesNetError::NodeOutOfRange { node, num_nodes: n });
         }
         let quilt_set: BTreeSet<usize> = quilt.iter().copied().collect();
         if quilt_set.contains(&node) {
@@ -87,10 +84,7 @@ impl MarkovQuilt {
     /// [`BayesNetError::NodeOutOfRange`] for an invalid node.
     pub fn trivial(num_nodes: usize, node: usize) -> Result<Self> {
         if node >= num_nodes {
-            return Err(BayesNetError::NodeOutOfRange {
-                node,
-                num_nodes,
-            });
+            return Err(BayesNetError::NodeOutOfRange { node, num_nodes });
         }
         Ok(MarkovQuilt {
             node,
@@ -121,10 +115,7 @@ impl MarkovQuilt {
         let mut mark = |set: &[usize]| -> Result<()> {
             for &x in set {
                 if x >= num_nodes {
-                    return Err(BayesNetError::NodeOutOfRange {
-                        node: x,
-                        num_nodes,
-                    });
+                    return Err(BayesNetError::NodeOutOfRange { node: x, num_nodes });
                 }
                 if seen[x] {
                     return Err(BayesNetError::InvalidQuilt(format!(
@@ -231,16 +222,9 @@ impl MarkovQuilt {
 /// # Errors
 /// [`BayesNetError::NodeOutOfRange`] when `node >= num_nodes` or the chain is
 /// empty.
-pub fn chain_quilts(
-    num_nodes: usize,
-    node: usize,
-    max_nearby: usize,
-) -> Result<Vec<MarkovQuilt>> {
+pub fn chain_quilts(num_nodes: usize, node: usize, max_nearby: usize) -> Result<Vec<MarkovQuilt>> {
     if node >= num_nodes {
-        return Err(BayesNetError::NodeOutOfRange {
-            node,
-            num_nodes,
-        });
+        return Err(BayesNetError::NodeOutOfRange { node, num_nodes });
     }
     let mut quilts = Vec::new();
     quilts.push(MarkovQuilt::trivial(num_nodes, node)?);

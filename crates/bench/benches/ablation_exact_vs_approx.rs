@@ -2,9 +2,7 @@
 //! multiplier gap (the accuracy/run-time trade-off of Section 5.4).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pufferfish_core::{
-    MqmApprox, MqmApproxOptions, MqmExact, MqmExactOptions, PrivacyBudget,
-};
+use pufferfish_core::{MqmApprox, MqmApproxOptions, MqmExact, MqmExactOptions, PrivacyBudget};
 use pufferfish_markov::{IntervalClassBuilder, MarkovChainClass};
 
 fn bench_ablation(c: &mut Criterion) {
@@ -23,17 +21,14 @@ fn bench_ablation(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("exact", alpha), &class, |b, class| {
-            b.iter(|| {
-                MqmExact::calibrate(class, 100, budget, MqmExactOptions::default()).unwrap()
-            })
+            b.iter(|| MqmExact::calibrate(class, 100, budget, MqmExactOptions::default()).unwrap())
         });
 
         // Report the sigma gap once per alpha so the ablation numbers land in
         // the bench log alongside the timings.
         let approx =
             MqmApprox::calibrate(&class, 100, budget, MqmApproxOptions::default()).unwrap();
-        let exact =
-            MqmExact::calibrate(&class, 100, budget, MqmExactOptions::default()).unwrap();
+        let exact = MqmExact::calibrate(&class, 100, budget, MqmExactOptions::default()).unwrap();
         eprintln!(
             "[ablation] alpha={alpha}: sigma_approx={:.3}, sigma_exact={:.3}, ratio={:.2}",
             approx.sigma_max(),

@@ -8,11 +8,8 @@ use pufferfish_markov::{MarkovChain, MarkovChainClass};
 
 fn bench_quilt_radius(c: &mut Criterion) {
     let budget = PrivacyBudget::new(1.0).unwrap();
-    let chain = MarkovChain::with_stationary_initial(vec![
-        vec![0.9, 0.1],
-        vec![0.35, 0.65],
-    ])
-    .unwrap();
+    let chain =
+        MarkovChain::with_stationary_initial(vec![vec![0.9, 0.1], vec![0.35, 0.65]]).unwrap();
     let class = MarkovChainClass::singleton(chain);
     let length = 400;
 
@@ -31,6 +28,7 @@ fn bench_quilt_radius(c: &mut Criterion) {
                         MqmExactOptions {
                             max_quilt_width: Some(radius),
                             search_middle_only: true,
+                            ..Default::default()
                         },
                     )
                     .unwrap()
@@ -44,6 +42,7 @@ fn bench_quilt_radius(c: &mut Criterion) {
             MqmExactOptions {
                 max_quilt_width: Some(radius),
                 search_middle_only: true,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -53,9 +52,7 @@ fn bench_quilt_radius(c: &mut Criterion) {
         );
     }
     group.bench_function("full_search", |b| {
-        b.iter(|| {
-            MqmExact::calibrate(&class, length, budget, MqmExactOptions::default()).unwrap()
-        })
+        b.iter(|| MqmExact::calibrate(&class, length, budget, MqmExactOptions::default()).unwrap())
     });
     group.finish();
 }

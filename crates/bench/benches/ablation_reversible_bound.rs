@@ -24,10 +24,13 @@ fn bench_reversible_bound(c: &mut Criterion) {
         let options = MqmApproxOptions {
             reversibility: mode,
             strategy: QuiltSearchStrategy::Auto,
+            ..Default::default()
         };
-        group.bench_with_input(BenchmarkId::new("calibrate", label), &options, |b, options| {
-            b.iter(|| MqmApprox::calibrate(&class, length, budget, *options).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("calibrate", label),
+            &options,
+            |b, options| b.iter(|| MqmApprox::calibrate(&class, length, budget, *options).unwrap()),
+        );
         let mechanism = MqmApprox::calibrate(&class, length, budget, options).unwrap();
         eprintln!(
             "[ablation] bound={label}: eigengap={:.4}, sigma_max={:.4}",

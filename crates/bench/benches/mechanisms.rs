@@ -19,7 +19,9 @@ fn bench_mechanisms(c: &mut Criterion) {
     // Wasserstein Mechanism calibration over increasingly large cliques.
     for clique in [4usize, 8, 12] {
         let dist: Vec<f64> = {
-            let weights: Vec<f64> = (0..=clique).map(|j| (-((j as f64) - clique as f64 / 2.0).abs()).exp()).collect();
+            let weights: Vec<f64> = (0..=clique)
+                .map(|j| (-((j as f64) - clique as f64 / 2.0).abs()).exp())
+                .collect();
             let total: f64 = weights.iter().sum();
             weights.into_iter().map(|w| w / total).collect()
         };
@@ -31,11 +33,7 @@ fn bench_mechanisms(c: &mut Criterion) {
     }
 
     // MQM release throughput on a 10k-step binary chain.
-    let chain = MarkovChain::with_stationary_initial(vec![
-        vec![0.9, 0.1],
-        vec![0.3, 0.7],
-    ])
-    .unwrap();
+    let chain = MarkovChain::with_stationary_initial(vec![vec![0.9, 0.1], vec![0.3, 0.7]]).unwrap();
     let length = 10_000;
     let class = MarkovChainClass::singleton(chain.clone());
     let approx = MqmApprox::calibrate(&class, length, budget, MqmApproxOptions::default()).unwrap();
@@ -46,6 +44,7 @@ fn bench_mechanisms(c: &mut Criterion) {
         MqmExactOptions {
             max_quilt_width: Some(approx.optimal_quilt_width().max(4)),
             search_middle_only: true,
+            ..Default::default()
         },
     )
     .unwrap();

@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pufferfish_baselines::Gk16;
-use pufferfish_core::{
-    MqmApprox, MqmApproxOptions, MqmExact, MqmExactOptions, PrivacyBudget,
-};
+use pufferfish_core::{MqmApprox, MqmApproxOptions, MqmExact, MqmExactOptions, PrivacyBudget};
 use pufferfish_datasets::{ActivityCohort, ActivityDataset, ActivitySimulationConfig};
 use pufferfish_markov::{IntervalClassBuilder, MarkovChainClass};
 use rand::rngs::StdRng;
@@ -27,9 +25,7 @@ fn bench_noise_scale(c: &mut Criterion) {
         })
     });
     group.bench_function("synthetic/mqm_exact", |b| {
-        b.iter(|| {
-            MqmExact::calibrate(&synthetic, 100, budget, MqmExactOptions::default()).unwrap()
-        })
+        b.iter(|| MqmExact::calibrate(&synthetic, 100, budget, MqmExactOptions::default()).unwrap())
     });
     group.bench_function("synthetic/gk16", |b| {
         b.iter(|| Gk16::calibrate(&synthetic, 100, budget).unwrap())
@@ -59,6 +55,7 @@ fn bench_noise_scale(c: &mut Criterion) {
     let exact_options = MqmExactOptions {
         max_quilt_width: Some(approx.optimal_quilt_width().max(4)),
         search_middle_only: true,
+        ..Default::default()
     };
     group.bench_function("activity/mqm_exact", |b| {
         b.iter(|| MqmExact::calibrate(&activity, length, budget, exact_options).unwrap())

@@ -141,6 +141,7 @@ pub fn run_cohort(cohort: ActivityCohort, config: ActivityConfig) -> Result<Coho
         MqmExactOptions {
             max_quilt_width: Some(approx.optimal_quilt_width().max(4)),
             search_middle_only: true,
+            ..Default::default()
         },
     )?;
     let gk16 = Gk16::calibrate(&class, length, budget).ok();
@@ -251,6 +252,7 @@ pub fn render_table1(results: &[CohortResult], epsilon: f64) -> String {
     }
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
 
+    #[allow(clippy::type_complexity)]
     let row = |label: &str, pick: &dyn Fn(&CohortResult) -> (Option<f64>, Option<f64>)| {
         let mut cells = vec![label.to_string()];
         for result in results {
@@ -263,9 +265,14 @@ pub fn render_table1(results: &[CohortResult], epsilon: f64) -> String {
     let rows = vec![
         row("DP", &|r| (r.aggregate_errors.dp, None)),
         row("GroupDP", &|r| {
-            (Some(r.aggregate_errors.group_dp), Some(r.individual_errors.group_dp))
+            (
+                Some(r.aggregate_errors.group_dp),
+                Some(r.individual_errors.group_dp),
+            )
         }),
-        row("GK16", &|r| (r.aggregate_errors.gk16, r.individual_errors.gk16)),
+        row("GK16", &|r| {
+            (r.aggregate_errors.gk16, r.individual_errors.gk16)
+        }),
         row("MQMApprox", &|r| {
             (
                 Some(r.aggregate_errors.mqm_approx),
@@ -329,16 +336,11 @@ mod tests {
             // tasks, and the MQM variants beat participant-level DP on the
             // aggregate task.
             assert!(
-                result.individual_errors.mqm_exact
-                    <= result.individual_errors.mqm_approx + 1e-9
+                result.individual_errors.mqm_exact <= result.individual_errors.mqm_approx + 1e-9
             );
-            assert!(
-                result.individual_errors.mqm_approx < result.individual_errors.group_dp
-            );
+            assert!(result.individual_errors.mqm_approx < result.individual_errors.group_dp);
             assert!(result.aggregate_errors.mqm_approx < result.aggregate_errors.group_dp);
-            assert!(
-                result.aggregate_errors.mqm_exact < result.aggregate_errors.dp.unwrap()
-            );
+            assert!(result.aggregate_errors.mqm_exact < result.aggregate_errors.dp.unwrap());
             // Histograms sum to roughly one.
             let total: f64 = result.exact_aggregate.iter().sum();
             assert!((total - 1.0).abs() < 1e-9);

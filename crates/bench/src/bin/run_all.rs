@@ -39,7 +39,10 @@ fn main() {
     match activity::run(activity_config) {
         Ok(results) => {
             println!("{}", activity::render_figure4_lower(&results));
-            println!("{}", activity::render_table1(&results, activity_config.epsilon));
+            println!(
+                "{}",
+                activity::render_table1(&results, activity_config.epsilon)
+            );
         }
         Err(e) => eprintln!("activity experiment failed: {e}"),
     }

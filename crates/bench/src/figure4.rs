@@ -96,7 +96,8 @@ pub fn run(config: Figure4Config) -> Result<Vec<Figure4Cell>> {
 
         for &epsilon in config.epsilons {
             let budget = PrivacyBudget::new(epsilon)?;
-            let mqm_exact = MqmExact::calibrate(&class, config.length, budget, MqmExactOptions::default())?;
+            let mqm_exact =
+                MqmExact::calibrate(&class, config.length, budget, MqmExactOptions::default())?;
             let mqm_approx = MqmApprox::calibrate(
                 &class,
                 config.length,
@@ -104,6 +105,7 @@ pub fn run(config: Figure4Config) -> Result<Vec<Figure4Cell>> {
                 MqmApproxOptions {
                     reversibility: ReversibilityMode::Auto,
                     strategy: QuiltSearchStrategy::Full { max_width: None },
+                    ..Default::default()
                 },
             )?;
             let gk16 = Gk16::calibrate(&class, config.length, budget).ok();

@@ -106,6 +106,7 @@ fn time_workload(
     let exact_options = MqmExactOptions {
         max_quilt_width: Some(approx.optimal_quilt_width().max(4)),
         search_middle_only: class.len() == 1,
+        ..Default::default()
     };
     let mqm_exact = time(repetitions, || {
         MqmExact::calibrate(class, length, budget, exact_options).map(|_| ())

@@ -1,0 +1,798 @@
+//! The batched release engine: calibration caching and uniform dispatch over
+//! [`Mechanism`] trait objects.
+//!
+//! Calibrating a Pufferfish mechanism is expensive — the ∞-Wasserstein sweep
+//! enumerates secret pairs × scenarios, the Markov Quilt mechanisms search
+//! quilt grids per node per θ — while a *release* is a query evaluation plus
+//! Laplace noise. Production query traffic repeats the same
+//! `(distribution class, ε, query shape)` combination over and over, so the
+//! engine memoises calibrations behind a [`CalibrationKey`] and serves
+//! repeated releases from the cache. Hit/miss counters make the amortisation
+//! observable (and testable).
+//!
+//! The calibration inputs of the four mechanism families are incompatible
+//! (framework vs. chain class vs. network class); a [`Calibrator`] object
+//! erases that difference: it owns the class description, exposes a stable
+//! [`Calibrator::class_token`] for the cache key, and produces a calibrated
+//! [`Mechanism`] on demand.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rand::RngCore;
+
+use pufferfish_markov::MarkovChainClass;
+use pufferfish_parallel::Parallelism;
+
+use crate::framework::DiscretePufferfishFramework;
+use crate::mechanism::{Mechanism, NoisyRelease, PrivacyBudget};
+use crate::queries::LipschitzQuery;
+use crate::{
+    MarkovQuiltMechanism, MqmApprox, MqmApproxOptions, MqmExact, MqmExactOptions,
+    QuiltMechanismOptions, Result, WassersteinMechanism,
+};
+
+/// The cacheable identity of a query: its Lipschitz signature.
+///
+/// Two queries with the same signature must be interchangeable inputs to a
+/// query-sensitive calibration (the Wasserstein Mechanism evaluates the
+/// concrete query). The name and the query's own
+/// [`LipschitzQuery::cache_discriminator`] separate distinct query types and
+/// distinct parameterisations (e.g. target state 0 vs 1) of equal Lipschitz
+/// constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QuerySignature {
+    /// The query's reported name.
+    pub name: String,
+    /// Bit pattern of the L1 Lipschitz constant.
+    pub lipschitz_bits: u64,
+    /// Number of output coordinates.
+    pub output_dimension: usize,
+    /// Expected database length.
+    pub expected_length: usize,
+    /// Parameterisation discriminator (see
+    /// [`LipschitzQuery::cache_discriminator`]).
+    pub discriminator: u64,
+}
+
+impl QuerySignature {
+    /// The signature of a query.
+    pub fn of(query: &dyn LipschitzQuery) -> Self {
+        QuerySignature {
+            name: query.name().to_string(),
+            lipschitz_bits: query.lipschitz_constant().to_bits(),
+            output_dimension: query.output_dimension(),
+            expected_length: query.expected_length(),
+            discriminator: query.cache_discriminator(),
+        }
+    }
+
+    /// The neutral signature used for class-scoped calibrators, whose
+    /// calibration is query-independent (see [`Calibrator::query_scoped`]).
+    pub fn class_scoped() -> Self {
+        QuerySignature {
+            name: String::new(),
+            lipschitz_bits: 0,
+            output_dimension: 0,
+            expected_length: 0,
+            discriminator: 0,
+        }
+    }
+}
+
+/// The full cache key: `(class, ε, query signature)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CalibrationKey {
+    /// Stable token identifying the distribution class / calibrator config.
+    pub class_token: u64,
+    /// Bit pattern of ε.
+    pub epsilon_bits: u64,
+    /// The query's Lipschitz signature.
+    pub query: QuerySignature,
+}
+
+/// An erased, cache-aware source of calibrated mechanisms.
+///
+/// Implementations own everything calibration needs apart from the privacy
+/// budget and the query: the distribution class, search options,
+/// parallelism policy.
+pub trait Calibrator: Send + Sync {
+    /// Short mechanism-family name for reports ("mqm-approx", …).
+    fn kind(&self) -> &'static str;
+
+    /// A stable token identifying the class and options this calibrator was
+    /// built from. Two calibrators with equal tokens must produce
+    /// interchangeable mechanisms for equal `(ε, query)` inputs — this token
+    /// is the `class` component of [`CalibrationKey`].
+    fn class_token(&self) -> u64;
+
+    /// Whether calibration depends on the concrete query.
+    ///
+    /// `true` (the default, and the safe choice) keys the cache on the full
+    /// [`QuerySignature`]. Calibrators whose [`Calibrator::calibrate`]
+    /// ignores the query — the Markov Quilt families calibrate a noise
+    /// multiplier that is rescaled by the query's Lipschitz constant only at
+    /// release time — return `false`, so that a single cached calibration
+    /// serves **every** query at a given ε instead of recalibrating per
+    /// query shape.
+    fn query_scoped(&self) -> bool {
+        true
+    }
+
+    /// Runs the (expensive) calibration.
+    ///
+    /// # Errors
+    /// Mechanism-specific calibration failures are propagated.
+    fn calibrate(
+        &self,
+        query: &dyn LipschitzQuery,
+        budget: PrivacyBudget,
+    ) -> Result<Arc<dyn Mechanism>>;
+}
+
+/// Helper: stable 64-bit token from a stream of hashable pieces.
+///
+/// `DefaultHasher` uses fixed keys, so tokens are stable within and across
+/// processes for a given toolchain — sufficient for an in-memory cache.
+pub struct TokenHasher {
+    hasher: DefaultHasher,
+}
+
+impl TokenHasher {
+    /// Starts a token for the given mechanism family.
+    pub fn new(kind: &str) -> Self {
+        let mut hasher = DefaultHasher::new();
+        kind.hash(&mut hasher);
+        TokenHasher { hasher }
+    }
+
+    /// Mixes a hashable value into the token.
+    pub fn mix<T: Hash>(mut self, value: &T) -> Self {
+        value.hash(&mut self.hasher);
+        self
+    }
+
+    /// Mixes a float (by bit pattern) into the token.
+    pub fn mix_f64(mut self, value: f64) -> Self {
+        value.to_bits().hash(&mut self.hasher);
+        self
+    }
+
+    /// Mixes a float slice into the token.
+    pub fn mix_f64s(mut self, values: &[f64]) -> Self {
+        values.len().hash(&mut self.hasher);
+        for &v in values {
+            v.to_bits().hash(&mut self.hasher);
+        }
+        self
+    }
+
+    /// Finishes the token.
+    pub fn finish(self) -> u64 {
+        self.hasher.finish()
+    }
+}
+
+/// Hashes a [`MarkovChainClass`] (chains + initial-distribution flag) into a
+/// token component.
+pub fn markov_class_token(class: &MarkovChainClass) -> u64 {
+    let mut token = TokenHasher::new("markov-chain-class")
+        .mix(&class.len())
+        .mix(&class.num_states())
+        .mix(&class.allows_all_initial_distributions());
+    for chain in class.chains() {
+        token = token.mix_f64s(chain.initial().as_slice());
+        let transition = chain.transition();
+        for row in 0..transition.rows() {
+            for col in 0..transition.cols() {
+                token = token.mix_f64(transition[(row, col)]);
+            }
+        }
+    }
+    token.finish()
+}
+
+/// Hashes a [`DiscretePufferfishFramework`] into a token component.
+///
+/// Secrets are opaque predicates, so they contribute through their labels
+/// and the secret-pair index structure; scenario outcome tables contribute
+/// exactly.
+pub fn framework_token(framework: &DiscretePufferfishFramework) -> u64 {
+    let mut token = TokenHasher::new("discrete-framework")
+        .mix(&framework.record_length())
+        .mix(&framework.secret_pairs().to_vec());
+    for secret in framework.secrets() {
+        token = token.mix(&secret.label().to_string());
+    }
+    for scenario in framework.scenarios() {
+        token = token.mix(&scenario.label().to_string());
+        for (database, probability) in scenario.outcomes() {
+            token = token.mix(database).mix_f64(*probability);
+        }
+    }
+    token.finish()
+}
+
+/// A calibration cache plus release front-end over one [`Calibrator`].
+///
+/// The engine is `Sync`; the cache is shared behind a mutex and the counters
+/// are atomic, so concurrent request threads can share one engine.
+pub struct ReleaseEngine {
+    calibrator: Box<dyn Calibrator>,
+    cache: Mutex<HashMap<CalibrationKey, Arc<dyn Mechanism>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ReleaseEngine {
+    /// Creates an engine over the given calibrator.
+    pub fn new(calibrator: impl Calibrator + 'static) -> Self {
+        ReleaseEngine {
+            calibrator: Box::new(calibrator),
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The mechanism-family name of the underlying calibrator.
+    pub fn kind(&self) -> &'static str {
+        self.calibrator.kind()
+    }
+
+    /// The cache key the engine would use for `(query, budget)`.
+    ///
+    /// Class-scoped calibrators (see [`Calibrator::query_scoped`]) use a
+    /// neutral query signature, so one calibration serves every query.
+    pub fn key_for(&self, query: &dyn LipschitzQuery, budget: PrivacyBudget) -> CalibrationKey {
+        let query = if self.calibrator.query_scoped() {
+            QuerySignature::of(query)
+        } else {
+            QuerySignature::class_scoped()
+        };
+        CalibrationKey {
+            class_token: self.calibrator.class_token(),
+            epsilon_bits: budget.epsilon().to_bits(),
+            query,
+        }
+    }
+
+    /// Returns the calibrated mechanism for `(query, budget)`, calibrating
+    /// on a cache miss and serving the memoised mechanism on a hit.
+    ///
+    /// # Errors
+    /// Calibration failures are propagated (and not cached, so a transient
+    /// failure does not poison the key).
+    pub fn mechanism(
+        &self,
+        query: &dyn LipschitzQuery,
+        budget: PrivacyBudget,
+    ) -> Result<Arc<dyn Mechanism>> {
+        let key = self.key_for(query, budget);
+        if let Some(mechanism) = self
+            .cache
+            .lock()
+            .expect("calibration cache poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(mechanism));
+        }
+        // Calibrate outside the lock: calibration can take seconds and other
+        // keys should not stall behind it. A racing thread may calibrate the
+        // same key concurrently; both produce interchangeable mechanisms and
+        // the second insert wins harmlessly.
+        let mechanism = self.calibrator.calibrate(query, budget)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache
+            .lock()
+            .expect("calibration cache poisoned")
+            .insert(key, Arc::clone(&mechanism));
+        Ok(mechanism)
+    }
+
+    /// Releases one database, calibrating (or reusing the cached
+    /// calibration) as needed.
+    ///
+    /// # Errors
+    /// Calibration, validation and evaluation errors are propagated.
+    pub fn release(
+        &self,
+        query: &dyn LipschitzQuery,
+        database: &[usize],
+        budget: PrivacyBudget,
+        rng: &mut dyn RngCore,
+    ) -> Result<NoisyRelease> {
+        self.mechanism(query, budget)?.release(query, database, rng)
+    }
+
+    /// Releases a batch of databases through one (cached) calibration.
+    ///
+    /// # Errors
+    /// Fails on the first database that fails validation or evaluation.
+    pub fn release_batch(
+        &self,
+        query: &dyn LipschitzQuery,
+        databases: &[Vec<usize>],
+        budget: PrivacyBudget,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<NoisyRelease>> {
+        self.mechanism(query, budget)?
+            .release_batch(query, databases, rng)
+    }
+
+    /// Number of releases served from the cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cold calibrations performed.
+    pub fn cache_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct calibrations currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("calibration cache poisoned").len()
+    }
+
+    /// Drops every cached calibration (counters are preserved).
+    pub fn clear_cache(&self) {
+        self.cache
+            .lock()
+            .expect("calibration cache poisoned")
+            .clear();
+    }
+}
+
+impl std::fmt::Debug for ReleaseEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReleaseEngine")
+            .field("kind", &self.kind())
+            .field("cached", &self.cache_len())
+            .field("hits", &self.cache_hits())
+            .field("misses", &self.cache_misses())
+            .finish()
+    }
+}
+
+/// A calibrator backed by a closure — the escape hatch for mechanism
+/// families the engine does not know about (the baselines crate uses this).
+pub struct FnCalibrator<F> {
+    kind: &'static str,
+    class_token: u64,
+    calibrate: F,
+}
+
+impl<F> FnCalibrator<F>
+where
+    F: Fn(&dyn LipschitzQuery, PrivacyBudget) -> Result<Arc<dyn Mechanism>> + Send + Sync,
+{
+    /// Wraps a calibration closure under the given family name and class
+    /// token.
+    pub fn new(kind: &'static str, class_token: u64, calibrate: F) -> Self {
+        FnCalibrator {
+            kind,
+            class_token,
+            calibrate,
+        }
+    }
+}
+
+impl<F> Calibrator for FnCalibrator<F>
+where
+    F: Fn(&dyn LipschitzQuery, PrivacyBudget) -> Result<Arc<dyn Mechanism>> + Send + Sync,
+{
+    fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    fn class_token(&self) -> u64 {
+        self.class_token
+    }
+
+    fn calibrate(
+        &self,
+        query: &dyn LipschitzQuery,
+        budget: PrivacyBudget,
+    ) -> Result<Arc<dyn Mechanism>> {
+        (self.calibrate)(query, budget)
+    }
+}
+
+/// Calibrator for the Wasserstein Mechanism (Algorithm 1) over an
+/// enumerable framework.
+pub struct WassersteinCalibrator {
+    framework: DiscretePufferfishFramework,
+    parallelism: Parallelism,
+    token: u64,
+}
+
+impl WassersteinCalibrator {
+    /// Wraps a framework; releases calibrate with the given parallelism.
+    pub fn new(framework: DiscretePufferfishFramework, parallelism: Parallelism) -> Self {
+        let token = framework_token(&framework);
+        WassersteinCalibrator {
+            framework,
+            parallelism,
+            token,
+        }
+    }
+}
+
+impl Calibrator for WassersteinCalibrator {
+    fn kind(&self) -> &'static str {
+        "wasserstein"
+    }
+
+    fn class_token(&self) -> u64 {
+        self.token
+    }
+
+    fn calibrate(
+        &self,
+        query: &dyn LipschitzQuery,
+        budget: PrivacyBudget,
+    ) -> Result<Arc<dyn Mechanism>> {
+        Ok(Arc::new(WassersteinMechanism::calibrate_with(
+            &self.framework,
+            query,
+            budget,
+            self.parallelism,
+        )?))
+    }
+}
+
+/// Calibrator for MQMExact (Algorithm 3) over a Markov chain class.
+pub struct MqmExactCalibrator {
+    class: MarkovChainClass,
+    length: usize,
+    options: MqmExactOptions,
+    token: u64,
+}
+
+impl MqmExactCalibrator {
+    /// Wraps a chain class and search options for chains of `length`.
+    pub fn new(class: MarkovChainClass, length: usize, options: MqmExactOptions) -> Self {
+        let token = TokenHasher::new("mqm-exact")
+            .mix(&markov_class_token(&class))
+            .mix(&length)
+            .mix(&options.max_quilt_width)
+            .mix(&options.search_middle_only)
+            .finish();
+        MqmExactCalibrator {
+            class,
+            length,
+            options,
+            token,
+        }
+    }
+}
+
+impl Calibrator for MqmExactCalibrator {
+    fn kind(&self) -> &'static str {
+        "mqm-exact"
+    }
+
+    fn class_token(&self) -> u64 {
+        self.token
+    }
+
+    /// Calibration ignores the query (the noise multiplier is rescaled by
+    /// the Lipschitz constant at release time).
+    fn query_scoped(&self) -> bool {
+        false
+    }
+
+    fn calibrate(
+        &self,
+        _query: &dyn LipschitzQuery,
+        budget: PrivacyBudget,
+    ) -> Result<Arc<dyn Mechanism>> {
+        Ok(Arc::new(MqmExact::calibrate(
+            &self.class,
+            self.length,
+            budget,
+            self.options,
+        )?))
+    }
+}
+
+/// Calibrator for MQMApprox (Algorithm 4) over a Markov chain class.
+pub struct MqmApproxCalibrator {
+    class: MarkovChainClass,
+    length: usize,
+    options: MqmApproxOptions,
+    token: u64,
+}
+
+impl MqmApproxCalibrator {
+    /// Wraps a chain class and options for chains of `length`.
+    pub fn new(class: MarkovChainClass, length: usize, options: MqmApproxOptions) -> Self {
+        let token = TokenHasher::new("mqm-approx")
+            .mix(&markov_class_token(&class))
+            .mix(&length)
+            .mix(&format!("{:?}", options.reversibility))
+            .mix(&format!("{:?}", options.strategy))
+            .finish();
+        MqmApproxCalibrator {
+            class,
+            length,
+            options,
+            token,
+        }
+    }
+}
+
+impl Calibrator for MqmApproxCalibrator {
+    fn kind(&self) -> &'static str {
+        "mqm-approx"
+    }
+
+    fn class_token(&self) -> u64 {
+        self.token
+    }
+
+    /// Calibration ignores the query (the noise multiplier is rescaled by
+    /// the Lipschitz constant at release time).
+    fn query_scoped(&self) -> bool {
+        false
+    }
+
+    fn calibrate(
+        &self,
+        _query: &dyn LipschitzQuery,
+        budget: PrivacyBudget,
+    ) -> Result<Arc<dyn Mechanism>> {
+        Ok(Arc::new(MqmApprox::calibrate(
+            &self.class,
+            self.length,
+            budget,
+            self.options,
+        )?))
+    }
+}
+
+/// Calibrator for the general Markov Quilt Mechanism (Algorithm 2) over a
+/// Bayesian network class.
+pub struct QuiltCalibrator {
+    networks: Vec<pufferfish_bayesnet::DiscreteBayesianNetwork>,
+    options: QuiltMechanismOptions,
+    token: u64,
+}
+
+impl QuiltCalibrator {
+    /// Wraps a network class sharing one DAG.
+    pub fn new(
+        networks: Vec<pufferfish_bayesnet::DiscreteBayesianNetwork>,
+        options: QuiltMechanismOptions,
+    ) -> Self {
+        let mut token = TokenHasher::new("markov-quilt").mix(&networks.len());
+        for network in &networks {
+            token = token.mix(&format!("{network:?}"));
+        }
+        token = token.mix(&format!("{:?}", options.quilt_candidates));
+        let token = token.finish();
+        QuiltCalibrator {
+            networks,
+            options,
+            token,
+        }
+    }
+}
+
+impl Calibrator for QuiltCalibrator {
+    fn kind(&self) -> &'static str {
+        "markov-quilt"
+    }
+
+    fn class_token(&self) -> u64 {
+        self.token
+    }
+
+    /// Calibration ignores the query (the noise multiplier is rescaled by
+    /// the Lipschitz constant at release time).
+    fn query_scoped(&self) -> bool {
+        false
+    }
+
+    fn calibrate(
+        &self,
+        _query: &dyn LipschitzQuery,
+        budget: PrivacyBudget,
+    ) -> Result<Arc<dyn Mechanism>> {
+        Ok(Arc::new(MarkovQuiltMechanism::calibrate(
+            &self.networks,
+            budget,
+            self.options.clone(),
+        )?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{RelativeFrequencyHistogram, StateFrequencyQuery};
+    use pufferfish_markov::MarkovChain;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_class() -> MarkovChainClass {
+        MarkovChainClass::singleton(
+            MarkovChain::new(vec![1.0, 0.0], vec![vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn cache_hits_and_misses_are_counted() {
+        let engine = ReleaseEngine::new(MqmApproxCalibrator::new(
+            test_class(),
+            200,
+            MqmApproxOptions::default(),
+        ));
+        let budget = PrivacyBudget::new(1.0).unwrap();
+        let query = RelativeFrequencyHistogram::new(2, 200).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = vec![0usize; 200];
+
+        assert_eq!(engine.cache_misses(), 0);
+        engine.release(&query, &data, budget, &mut rng).unwrap();
+        assert_eq!(engine.cache_misses(), 1);
+        assert_eq!(engine.cache_hits(), 0);
+
+        // Same (class, epsilon, query signature): served from cache.
+        engine.release(&query, &data, budget, &mut rng).unwrap();
+        assert_eq!(engine.cache_misses(), 1);
+        assert_eq!(engine.cache_hits(), 1);
+        assert_eq!(engine.cache_len(), 1);
+
+        // Different epsilon: a fresh calibration.
+        let other_budget = PrivacyBudget::new(2.0).unwrap();
+        engine
+            .release(&query, &data, other_budget, &mut rng)
+            .unwrap();
+        assert_eq!(engine.cache_misses(), 2);
+        assert_eq!(engine.cache_len(), 2);
+
+        // MQMApprox calibration is query-independent (class-scoped), so a
+        // different query at the same epsilon is still a cache hit — the
+        // noise scale adapts at release time via the Lipschitz constant.
+        let scalar = StateFrequencyQuery::new(1, 200);
+        engine.release(&scalar, &data, budget, &mut rng).unwrap();
+        assert_eq!(engine.cache_misses(), 2);
+        assert_eq!(engine.cache_hits(), 2);
+
+        engine.clear_cache();
+        assert_eq!(engine.cache_len(), 0);
+        engine.release(&query, &data, budget, &mut rng).unwrap();
+        assert_eq!(engine.cache_misses(), 3);
+    }
+
+    #[test]
+    fn wasserstein_cache_distinguishes_query_parameterisations() {
+        // The Wasserstein Mechanism calibrates to the concrete query, so two
+        // parameterisations of the same query type (state 0 vs state 1) must
+        // NOT share a cache entry even though their name, Lipschitz
+        // constant, dimension and length coincide.
+        let framework = crate::flu::flu_clique_framework(3, &[0.5, 0.1, 0.1, 0.3]).unwrap();
+        let engine = ReleaseEngine::new(WassersteinCalibrator::new(
+            framework,
+            Parallelism::default(),
+        ));
+        let budget = PrivacyBudget::new(1.0).unwrap();
+        let q0 = crate::queries::StateCountQuery::new(0, 3);
+        let q1 = crate::queries::StateCountQuery::new(1, 3);
+        assert_ne!(
+            engine.key_for(&q0, budget),
+            engine.key_for(&q1, budget),
+            "parameterisations must produce distinct cache keys"
+        );
+        let m0 = engine.mechanism(&q0, budget).unwrap();
+        let m1 = engine.mechanism(&q1, budget).unwrap();
+        assert_eq!(engine.cache_misses(), 2);
+        assert_eq!(engine.cache_hits(), 0);
+        // Each cached mechanism carries its own calibrated scale.
+        assert_eq!(
+            m0.noise_scale_for(&q0).to_bits(),
+            WassersteinMechanism::calibrate(
+                &crate::flu::flu_clique_framework(3, &[0.5, 0.1, 0.1, 0.3]).unwrap(),
+                &q0,
+                budget
+            )
+            .unwrap()
+            .noise_scale()
+            .to_bits()
+        );
+        let _ = m1;
+    }
+
+    #[test]
+    fn cached_mechanism_matches_cold_calibration() {
+        let engine = ReleaseEngine::new(MqmExactCalibrator::new(
+            test_class(),
+            100,
+            MqmExactOptions::default(),
+        ));
+        let budget = PrivacyBudget::new(1.0).unwrap();
+        let query = StateFrequencyQuery::new(1, 100);
+        let warm = engine.mechanism(&query, budget).unwrap();
+        let cached = engine.mechanism(&query, budget).unwrap();
+        let cold =
+            MqmExact::calibrate(&test_class(), 100, budget, MqmExactOptions::default()).unwrap();
+        assert_eq!(
+            warm.noise_scale_for(&query).to_bits(),
+            cold.noise_scale_for(&query).to_bits()
+        );
+        assert_eq!(
+            cached.noise_scale_for(&query).to_bits(),
+            cold.noise_scale_for(&query).to_bits()
+        );
+        assert_eq!(engine.cache_hits(), 1);
+    }
+
+    #[test]
+    fn batch_release_consumes_the_same_noise_stream() {
+        let engine = ReleaseEngine::new(MqmApproxCalibrator::new(
+            test_class(),
+            50,
+            MqmApproxOptions::default(),
+        ));
+        let budget = PrivacyBudget::new(1.0).unwrap();
+        let query = RelativeFrequencyHistogram::new(2, 50).unwrap();
+        let databases: Vec<Vec<usize>> = (0..4)
+            .map(|i| (0..50).map(|t| (t + i) % 2).collect())
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let batched = engine
+            .release_batch(&query, &databases, budget, &mut rng)
+            .unwrap();
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let sequential: Vec<_> = databases
+            .iter()
+            .map(|db| engine.release(&query, db, budget, &mut rng).unwrap())
+            .collect();
+
+        assert_eq!(batched.len(), sequential.len());
+        for (a, b) in batched.iter().zip(&sequential) {
+            assert_eq!(a.values, b.values);
+            assert_eq!(a.true_values, b.true_values);
+            assert_eq!(a.scale, b.scale);
+        }
+    }
+
+    #[test]
+    fn class_tokens_distinguish_classes() {
+        let a = markov_class_token(&test_class());
+        let other = MarkovChainClass::singleton(
+            MarkovChain::new(vec![0.9, 0.1], vec![vec![0.8, 0.2], vec![0.3, 0.7]]).unwrap(),
+        );
+        let b = markov_class_token(&other);
+        assert_ne!(a, b);
+        assert_eq!(a, markov_class_token(&test_class()));
+    }
+
+    #[test]
+    fn fn_calibrator_works_for_custom_mechanisms() {
+        let class = test_class();
+        let engine = ReleaseEngine::new(FnCalibrator::new("custom-mqm", 42, move |_q, budget| {
+            Ok(Arc::new(MqmApprox::calibrate(
+                &class,
+                100,
+                budget,
+                MqmApproxOptions::default(),
+            )?) as Arc<dyn Mechanism>)
+        }));
+        let budget = PrivacyBudget::new(1.0).unwrap();
+        let query = StateFrequencyQuery::new(1, 100);
+        assert_eq!(engine.kind(), "custom-mqm");
+        let mechanism = engine.mechanism(&query, budget).unwrap();
+        assert_eq!(mechanism.name(), "mqm-approx");
+        assert!(engine.mechanism(&query, budget).is_ok());
+        assert_eq!(engine.cache_hits(), 1);
+    }
+}

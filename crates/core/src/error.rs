@@ -24,6 +24,18 @@ pub enum PufferfishError {
     /// (including the trivial one) was unusable, or the Wasserstein parameter
     /// is infinite.
     CannotCalibrate(String),
+    /// The distribution class sits on (or beyond) the boundary where the
+    /// closed-form MQMApprox bound applies: `π^min_Θ` numerically zero, an
+    /// eigengap numerically zero, or a non-finite spectral quantity. Reported
+    /// as a typed error instead of letting NaN/∞ noise scales propagate.
+    DegenerateClass {
+        /// The class-level minimum stationary probability that was computed.
+        pi_min: f64,
+        /// The class-level eigengap that was computed.
+        eigengap: f64,
+        /// What exactly was out of range.
+        detail: String,
+    },
     /// An error bubbled up from the Markov chain substrate.
     Markov(MarkovError),
     /// An error bubbled up from the Bayesian network substrate.
@@ -38,13 +50,26 @@ impl fmt::Display for PufferfishError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PufferfishError::InvalidEpsilon(e) => {
-                write!(f, "privacy parameter epsilon must be positive and finite, got {e}")
+                write!(
+                    f,
+                    "privacy parameter epsilon must be positive and finite, got {e}"
+                )
             }
             PufferfishError::InvalidFramework(msg) => write!(f, "invalid framework: {msg}"),
             PufferfishError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             PufferfishError::InvalidDatabase(msg) => write!(f, "invalid database: {msg}"),
             PufferfishError::CannotCalibrate(msg) => {
                 write!(f, "cannot calibrate mechanism: {msg}")
+            }
+            PufferfishError::DegenerateClass {
+                pi_min,
+                eigengap,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "degenerate distribution class (pi_min = {pi_min}, eigengap = {eigengap}): {detail}"
+                )
             }
             PufferfishError::Markov(e) => write!(f, "markov substrate error: {e}"),
             PufferfishError::BayesNet(e) => write!(f, "bayesian network substrate error: {e}"),

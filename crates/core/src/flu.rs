@@ -153,8 +153,7 @@ mod tests {
     #[test]
     fn scenario_reproduces_paper_conditionals() {
         // Section 3: p = (0.1, 0.15, 0.5, 0.15, 0.1) over N for a 4-clique.
-        let scenario =
-            flu_clique_scenario("paper", 4, &[0.1, 0.15, 0.5, 0.15, 0.1]).unwrap();
+        let scenario = flu_clique_scenario("paper", 4, &[0.1, 0.15, 0.5, 0.15, 0.1]).unwrap();
         assert_eq!(scenario.outcomes().len(), 16);
         let total: f64 = scenario.outcomes().iter().map(|(_, p)| p).sum();
         assert!(close(total, 1.0));
@@ -203,24 +202,17 @@ mod tests {
     fn class_of_infection_distributions() {
         let mild = contagion_distribution(4, 0.5);
         let severe = contagion_distribution(4, 2.0);
-        let framework =
-            flu_clique_framework_with_class(4, &[&mild, &severe]).unwrap();
+        let framework = flu_clique_framework_with_class(4, &[&mild, &severe]).unwrap();
         assert_eq!(framework.scenarios().len(), 2);
         // The mechanism calibrates against the worst scenario in the class.
         let query = StateCountQuery::new(1, 4);
-        let class_mechanism = WassersteinMechanism::calibrate(
-            &framework,
-            &query,
-            PrivacyBudget::new(1.0).unwrap(),
-        )
-        .unwrap();
+        let class_mechanism =
+            WassersteinMechanism::calibrate(&framework, &query, PrivacyBudget::new(1.0).unwrap())
+                .unwrap();
         let mild_only = flu_clique_framework(4, &mild).unwrap();
-        let mild_mechanism = WassersteinMechanism::calibrate(
-            &mild_only,
-            &query,
-            PrivacyBudget::new(1.0).unwrap(),
-        )
-        .unwrap();
+        let mild_mechanism =
+            WassersteinMechanism::calibrate(&mild_only, &query, PrivacyBudget::new(1.0).unwrap())
+                .unwrap();
         assert!(
             class_mechanism.wasserstein_parameter()
                 >= mild_mechanism.wasserstein_parameter() - 1e-12

@@ -32,6 +32,7 @@ const MASS_TOLERANCE: f64 = 1e-9;
 #[derive(Clone)]
 pub struct Secret {
     label: String,
+    #[allow(clippy::type_complexity)]
     predicate: Arc<dyn Fn(&[usize]) -> bool + Send + Sync>,
 }
 
@@ -67,7 +68,9 @@ impl Secret {
 
 impl fmt::Debug for Secret {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Secret").field("label", &self.label).finish()
+        f.debug_struct("Secret")
+            .field("label", &self.label)
+            .finish()
     }
 }
 
@@ -290,9 +293,7 @@ mod tests {
         assert!(!s.holds(&[0, 0]));
         assert!(!s.holds(&[0]));
         assert_eq!(s.label(), "X[1] = 1");
-        let custom = Secret::new("at least one infected", |db: &[usize]| {
-            db.iter().any(|&x| x == 1)
-        });
+        let custom = Secret::new("at least one infected", |db: &[usize]| db.contains(&1));
         assert!(custom.holds(&[0, 1, 0]));
         assert!(!custom.holds(&[0, 0, 0]));
         assert!(format!("{custom:?}").contains("at least one"));
@@ -304,9 +305,7 @@ mod tests {
         assert!(DiscreteScenario::new("ragged", vec![(vec![0], 0.5), (vec![0, 1], 0.5)]).is_err());
         assert!(DiscreteScenario::new("bad mass", vec![(vec![0], 0.5)]).is_err());
         assert!(DiscreteScenario::new("negative", vec![(vec![0], -0.5), (vec![1], 1.5)]).is_err());
-        assert!(
-            DiscreteScenario::new("nan", vec![(vec![0], f64::NAN), (vec![1], 1.0)]).is_err()
-        );
+        assert!(DiscreteScenario::new("nan", vec![(vec![0], f64::NAN), (vec![1], 1.0)]).is_err());
         let s = simple_scenario();
         assert_eq!(s.record_length(), 2);
         assert_eq!(s.outcomes().len(), 4);
@@ -328,38 +327,31 @@ mod tests {
         assert_eq!(values.len(), 2);
         let total: f64 = values.iter().map(|(_, p)| p).sum();
         assert!((total - 1.0).abs() < 1e-12);
-        assert!(values.iter().any(|&(v, p)| v == 1.0 && (p - 0.5).abs() < 1e-12));
-        assert!(values.iter().any(|&(v, p)| v == 2.0 && (p - 0.5).abs() < 1e-12));
+        assert!(values
+            .iter()
+            .any(|&(v, p)| v == 1.0 && (p - 0.5).abs() < 1e-12));
+        assert!(values
+            .iter()
+            .any(|&(v, p)| v == 2.0 && (p - 0.5).abs() < 1e-12));
 
         // A zero-probability secret is rejected.
         let impossible = Secret::new("impossible", |_db: &[usize]| false);
-        assert!(s
-            .conditional_query_values(&mut query, &impossible)
-            .is_err());
+        assert!(s.conditional_query_values(&mut query, &impossible).is_err());
     }
 
     #[test]
     fn framework_validation() {
         let secrets = vec![Secret::record_equals(0, 0), Secret::record_equals(0, 1)];
         let pairs = vec![(0usize, 1usize)];
-        assert!(DiscretePufferfishFramework::new(
-            vec![],
-            secrets.clone(),
-            pairs.clone()
-        )
-        .is_err());
-        assert!(DiscretePufferfishFramework::new(
-            vec![simple_scenario()],
-            vec![],
-            pairs.clone()
-        )
-        .is_err());
-        assert!(DiscretePufferfishFramework::new(
-            vec![simple_scenario()],
-            secrets.clone(),
-            vec![]
-        )
-        .is_err());
+        assert!(DiscretePufferfishFramework::new(vec![], secrets.clone(), pairs.clone()).is_err());
+        assert!(
+            DiscretePufferfishFramework::new(vec![simple_scenario()], vec![], pairs.clone())
+                .is_err()
+        );
+        assert!(
+            DiscretePufferfishFramework::new(vec![simple_scenario()], secrets.clone(), vec![])
+                .is_err()
+        );
         assert!(DiscretePufferfishFramework::new(
             vec![simple_scenario()],
             secrets.clone(),

@@ -118,8 +118,7 @@ mod tests {
         let n = 100_000;
         let samples = lap.sample_vec(n, &mut rng);
         for threshold in [-2.0, -0.5, 0.0, 0.5, 2.0] {
-            let empirical =
-                samples.iter().filter(|&&x| x <= threshold).count() as f64 / n as f64;
+            let empirical = samples.iter().filter(|&&x| x <= threshold).count() as f64 / n as f64;
             assert!(
                 (empirical - lap.cdf(threshold)).abs() < 0.01,
                 "threshold {threshold}: empirical {empirical}, analytic {}",

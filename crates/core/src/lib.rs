@@ -29,11 +29,33 @@
 //! * The flu-status social-network example of Sections 2–3 ([`flu`]), which
 //!   doubles as an executable illustration of the Wasserstein mechanism.
 //!
-//! ## Quick start
+//! ## The unified `Mechanism` trait
+//!
+//! Every calibrated mechanism — the four above plus the baselines in
+//! `pufferfish-baselines` — implements the object-safe [`Mechanism`] trait:
+//! `epsilon()`, `noise_scale_for(query)`, `release(query, db, rng)` and
+//! `release_batch`. Calibration stays on the concrete types (each family
+//! consumes different class descriptions), while serving code holds
+//! `Box<dyn Mechanism>` / `Arc<dyn Mechanism>` and never cares which family
+//! produced it.
+//!
+//! ## The release engine
+//!
+//! Calibration is the expensive step (quilt searches, Wasserstein sweeps);
+//! releases are cheap. The [`engine`] module amortises calibration behind a
+//! cache keyed by `(distribution class, ε, query Lipschitz signature)`:
+//! a [`engine::ReleaseEngine`] wraps a [`engine::Calibrator`] and serves
+//! repeated releases from memoised mechanisms, with observable hit/miss
+//! counters. Calibration inner loops are parallelised (deterministically —
+//! identical noise scales on every thread count) through
+//! [`pufferfish_parallel::Parallelism`], selectable on every options struct.
+//!
+//! ## Quick start (trait + engine API)
 //!
 //! ```
+//! use pufferfish_core::engine::{MqmApproxCalibrator, ReleaseEngine};
 //! use pufferfish_core::queries::StateFrequencyQuery;
-//! use pufferfish_core::{MqmApprox, MqmApproxOptions, PrivacyBudget};
+//! use pufferfish_core::{Mechanism, MqmApproxOptions, PrivacyBudget};
 //! use pufferfish_markov::{IntervalClassBuilder, MarkovChain, sample_trajectory};
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
@@ -42,29 +64,40 @@
 //! // probabilities in [0.3, 0.7] and any initial distribution.
 //! let class = IntervalClassBuilder::symmetric(0.3).grid_points(5).build().unwrap();
 //!
-//! // Calibrate MQMApprox for chains of length 200 at epsilon = 1.
+//! // An engine serving MQMApprox releases for chains of length 200. The
+//! // first release calibrates; every later (ε, query) repeat is a cache hit.
 //! let t = 200;
-//! let mechanism = MqmApprox::calibrate(
-//!     &class,
+//! let engine = ReleaseEngine::new(MqmApproxCalibrator::new(
+//!     class,
 //!     t,
-//!     PrivacyBudget::new(1.0).unwrap(),
 //!     MqmApproxOptions::default(),
-//! )
-//! .unwrap();
+//! ));
 //!
 //! // Release the fraction of time spent in state 1.
 //! let truth = MarkovChain::new(vec![0.5, 0.5], vec![vec![0.6, 0.4], vec![0.4, 0.6]]).unwrap();
 //! let mut rng = StdRng::seed_from_u64(1);
 //! let data = sample_trajectory(&truth, t, &mut rng).unwrap();
 //! let query = StateFrequencyQuery::new(1, t);
-//! let release = mechanism.release(&query, &data, &mut rng).unwrap();
+//! let budget = PrivacyBudget::new(1.0).unwrap();
+//! let release = engine.release(&query, &data, budget, &mut rng).unwrap();
 //! assert_eq!(release.values.len(), 1);
+//!
+//! // Same key again: served from the calibration cache.
+//! let again = engine.release(&query, &data, budget, &mut rng).unwrap();
+//! assert_eq!(engine.cache_hits(), 1);
+//! assert_eq!(again.scale, release.scale);
+//!
+//! // The cached mechanism is an ordinary `Arc<dyn Mechanism>`.
+//! let mechanism = engine.mechanism(&query, budget).unwrap();
+//! assert_eq!(mechanism.name(), "mqm-approx");
+//! assert!(mechanism.noise_scale_for(&query) > 0.0);
 //! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod composition;
+pub mod engine;
 mod error;
 pub mod flu;
 mod framework;
@@ -79,16 +112,22 @@ pub mod robustness;
 mod wasserstein_mechanism;
 
 pub use composition::CompositionAccountant;
+pub use engine::ReleaseEngine;
 pub use error::PufferfishError;
 pub use framework::{DiscretePufferfishFramework, DiscreteScenario, Secret};
 pub use laplace::Laplace;
-pub use mechanism::{l1_error, NoisyRelease, PrivacyBudget};
+pub use mechanism::{l1_error, validate_query_length, Mechanism, NoisyRelease, PrivacyBudget};
 pub use mqm_approx::{MqmApprox, MqmApproxOptions, QuiltSearchStrategy};
-pub use mqm_chain_influence::{chain_max_influence, ChainQuiltShape, InitialDistributionMode};
+pub use mqm_chain_influence::{
+    chain_max_influence, chain_max_influence_cached, ChainInfluenceTables, ChainQuiltShape,
+    InitialDistributionMode,
+};
 pub use mqm_exact::{MqmExact, MqmExactOptions, QuiltSelection};
 pub use queries::LipschitzQuery;
 pub use quilt_mechanism::{MarkovQuiltMechanism, NodeCalibration, QuiltMechanismOptions};
 pub use wasserstein_mechanism::WassersteinMechanism;
+
+pub use pufferfish_parallel::Parallelism;
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, PufferfishError>;

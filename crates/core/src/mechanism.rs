@@ -1,6 +1,10 @@
-//! Shared mechanism plumbing: privacy budgets and noisy releases.
+//! Shared mechanism plumbing: the unified [`Mechanism`] trait, privacy
+//! budgets and noisy releases.
 
-use crate::{PufferfishError, Result};
+use rand::RngCore;
+
+use crate::queries::LipschitzQuery;
+use crate::{Laplace, PufferfishError, Result};
 
 /// A validated privacy parameter `epsilon > 0`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,6 +28,98 @@ impl PrivacyBudget {
     /// The epsilon value.
     pub fn epsilon(&self) -> f64 {
         self.epsilon
+    }
+}
+
+/// The unified, object-safe interface every calibrated Pufferfish mechanism
+/// (and every baseline) exposes.
+///
+/// A `Mechanism` is the *output* of calibration: it knows its privacy
+/// parameter, how much Laplace noise any [`LipschitzQuery`] needs, and how to
+/// release query answers over state-sequence databases. Calibration itself
+/// stays on the concrete types (each family consumes different inputs — a
+/// [`DiscretePufferfishFramework`](crate::DiscretePufferfishFramework), a
+/// [`MarkovChainClass`](pufferfish_markov::MarkovChainClass), a network
+/// class); the [`engine`](crate::engine) module erases that difference behind
+/// [`Calibrator`](crate::engine::Calibrator) objects and caches the results.
+///
+/// Implementors: [`WassersteinMechanism`](crate::WassersteinMechanism),
+/// [`MarkovQuiltMechanism`](crate::MarkovQuiltMechanism),
+/// [`MqmExact`](crate::MqmExact), [`MqmApprox`](crate::MqmApprox) and the
+/// three baselines in `pufferfish-baselines` (`EntryDp`, `GroupDp`, `Gk16`).
+///
+/// The trait is object-safe: releases draw randomness through
+/// `&mut dyn RngCore`, so `Box<dyn Mechanism>` works as a uniform handle in
+/// engines, benches and tests. (The concrete types additionally keep their
+/// historical generic `release<R: Rng>` inherent methods, which forward the
+/// same logic.)
+pub trait Mechanism: Send + Sync {
+    /// A short stable name ("wasserstein", "mqm-exact", …) used in reports
+    /// and cache diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// The privacy parameter ε the mechanism was calibrated for.
+    fn epsilon(&self) -> f64;
+
+    /// The Laplace scale applied to each coordinate of `query`.
+    fn noise_scale_for(&self, query: &dyn LipschitzQuery) -> f64;
+
+    /// Checks a database against the calibration (length, state range, …).
+    ///
+    /// # Errors
+    /// [`PufferfishError::InvalidDatabase`] on mismatch.
+    fn validate(&self, query: &dyn LipschitzQuery, database: &[usize]) -> Result<()>;
+
+    /// Evaluates `query` on `database` and adds calibrated Laplace noise.
+    ///
+    /// A zero noise scale (possible only when the calibrated distance/query
+    /// sensitivity is zero) releases the exact value.
+    ///
+    /// # Errors
+    /// Validation and query-evaluation errors are propagated.
+    fn release(
+        &self,
+        query: &dyn LipschitzQuery,
+        database: &[usize],
+        rng: &mut dyn RngCore,
+    ) -> Result<NoisyRelease> {
+        self.validate(query, database)?;
+        let true_values = query.evaluate(database)?;
+        let scale = self.noise_scale_for(query);
+        let values = if scale > 0.0 {
+            let laplace = Laplace::new(scale)?;
+            true_values
+                .iter()
+                .map(|v| v + laplace.sample(rng))
+                .collect()
+        } else {
+            true_values.clone()
+        };
+        Ok(NoisyRelease {
+            values,
+            true_values,
+            scale,
+        })
+    }
+
+    /// Releases the same query over a batch of databases.
+    ///
+    /// Equivalent to calling [`Mechanism::release`] once per database with
+    /// the same rng — the noise stream is consumed in database order, so a
+    /// batched release is reproducible against a sequential one.
+    ///
+    /// # Errors
+    /// Fails on the first database that fails validation or evaluation.
+    fn release_batch(
+        &self,
+        query: &dyn LipschitzQuery,
+        databases: &[Vec<usize>],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<NoisyRelease>> {
+        databases
+            .iter()
+            .map(|database| self.release(query, database, rng))
+            .collect()
     }
 }
 
@@ -63,6 +159,24 @@ impl NoisyRelease {
 pub fn l1_error(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "l1_error requires equal-length slices");
     a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Validates that a database has the length `query` expects — the shared
+/// [`Mechanism::validate`] implementation for mechanisms that do not pin a
+/// state-space size at calibration time (the Wasserstein Mechanism and the
+/// baselines; the Markov Quilt families additionally check the state range).
+///
+/// # Errors
+/// [`PufferfishError::InvalidDatabase`] on length mismatch.
+pub fn validate_query_length(query: &dyn LipschitzQuery, database: &[usize]) -> Result<()> {
+    if database.len() != query.expected_length() {
+        return Err(PufferfishError::InvalidDatabase(format!(
+            "database has length {}, query expects {}",
+            database.len(),
+            query.expected_length()
+        )));
+    }
+    Ok(())
 }
 
 /// Validates that a database consists of states `< num_states` and has the

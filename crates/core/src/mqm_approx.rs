@@ -10,9 +10,12 @@
 
 use rand::Rng;
 
-use pufferfish_markov::{class_eigengap, class_pi_min, MarkovChainClass, ReversibilityMode};
+use pufferfish_markov::{
+    class_eigengap_with, class_pi_min_with, MarkovChainClass, ReversibilityMode,
+};
+use pufferfish_parallel::{par_map, Parallelism};
 
-use crate::mechanism::{validate_database, NoisyRelease, PrivacyBudget};
+use crate::mechanism::{validate_database, Mechanism, NoisyRelease, PrivacyBudget};
 use crate::mqm_chain_influence::ChainQuiltShape;
 use crate::queries::LipschitzQuery;
 use crate::{Laplace, PufferfishError, Result};
@@ -44,6 +47,11 @@ pub struct MqmApproxOptions {
     pub reversibility: ReversibilityMode,
     /// Quilt search strategy.
     pub strategy: QuiltSearchStrategy,
+    /// How to execute the spectral scan over Θ and the per-node search.
+    ///
+    /// Every policy produces bitwise-identical noise scales; this only
+    /// trades threads for wall-clock time.
+    pub parallelism: Parallelism,
 }
 
 /// A calibrated MQMApprox mechanism.
@@ -67,14 +75,18 @@ impl MqmApprox {
     /// * [`PufferfishError::InvalidQuery`] when `length == 0`.
     /// * [`PufferfishError::Markov`] when the class contains chains that are
     ///   not irreducible/aperiodic (Lemma 4.8 then does not apply).
+    /// * [`PufferfishError::DegenerateClass`] when the class sits on the
+    ///   boundary of applicability — `π^min_Θ → 0` or an eigengap that is
+    ///   (numerically) zero — where the closed-form bound would otherwise
+    ///   silently produce NaN/∞ noise scales.
     pub fn calibrate(
         class: &MarkovChainClass,
         length: usize,
         budget: PrivacyBudget,
         options: MqmApproxOptions,
     ) -> Result<Self> {
-        let pi_min = class_pi_min(class)?;
-        let eigengap = class_eigengap(class, options.reversibility)?;
+        let pi_min = class_pi_min_with(class, options.parallelism)?;
+        let eigengap = class_eigengap_with(class, options.reversibility, options.parallelism)?;
         Self::calibrate_from_parameters(
             pi_min,
             eigengap,
@@ -91,8 +103,10 @@ impl MqmApprox {
     ///
     /// # Errors
     /// * [`PufferfishError::InvalidQuery`] for a zero-length chain.
-    /// * [`PufferfishError::CannotCalibrate`] when `π^min` or `g` is not in
-    ///   `(0, 1]`.
+    /// * [`PufferfishError::DegenerateClass`] when `(π^min, g)` falls outside
+    ///   (or numerically on the boundary of) the applicable region
+    ///   `π^min ∈ (0, 1]`, `g ∈ (0, 2]` — previously such parameters could
+    ///   silently surface as NaN/∞ noise scales downstream.
     pub fn calibrate_from_parameters(
         pi_min: f64,
         eigengap: f64,
@@ -106,39 +120,59 @@ impl MqmApprox {
                 "chain length must be positive".to_string(),
             ));
         }
-        if !(pi_min > 0.0 && pi_min <= 1.0) || !(eigengap > 0.0 && eigengap <= 2.0) {
-            return Err(PufferfishError::CannotCalibrate(format!(
-                "MQMApprox requires pi_min in (0,1] and eigengap in (0,2], got ({pi_min}, {eigengap})"
-            )));
-        }
+        check_class_parameters(pi_min, eigengap)?;
         let epsilon = budget.epsilon();
         let a_star = a_star(epsilon, pi_min, eigengap);
 
         let (nodes, width_cap): (Vec<usize>, usize) = match options.strategy {
             QuiltSearchStrategy::Auto => {
-                if length >= 8 * a_star {
-                    (vec![length.div_ceil(2)], 4 * a_star)
+                // `a_star` can be astronomically large for near-degenerate
+                // classes; saturating arithmetic keeps the comparisons and
+                // caps well-defined (the search then simply finds no valid
+                // non-trivial quilt and falls back to the trivial scale).
+                if length >= a_star.saturating_mul(8) {
+                    (
+                        vec![length.div_ceil(2)],
+                        a_star.saturating_mul(4).min(length),
+                    )
                 } else {
                     ((1..=length).collect(), length)
                 }
             }
-            QuiltSearchStrategy::Full { max_width } => {
-                ((1..=length).collect(), max_width.unwrap_or(length).min(length))
-            }
-            QuiltSearchStrategy::MiddleNodeOnly => (vec![length.div_ceil(2)], 4 * a_star),
+            QuiltSearchStrategy::Full { max_width } => (
+                (1..=length).collect(),
+                max_width.unwrap_or(length).min(length),
+            ),
+            QuiltSearchStrategy::MiddleNodeOnly => (
+                vec![length.div_ceil(2)],
+                a_star.saturating_mul(4).min(length),
+            ),
         };
+
+        // Per-node scores are independent pure math: map (in parallel for
+        // the full-search strategies) and fold in node order, reproducing
+        // the serial first-strict-maximum selection bit for bit.
+        let scores: Vec<(f64, ChainQuiltShape)> = par_map(options.parallelism, &nodes, |&i| {
+            best_score_for_node(i, length, epsilon, pi_min, eigengap, width_cap)
+        });
 
         let mut sigma_max: f64 = 0.0;
         let mut best_node = nodes[0];
         let mut best_shape = ChainQuiltShape::Trivial;
-        for &i in &nodes {
-            let (sigma_i, shape) =
-                best_score_for_node(i, length, epsilon, pi_min, eigengap, width_cap);
+        for (&i, &(sigma_i, shape)) in nodes.iter().zip(&scores) {
             if sigma_i > sigma_max {
                 sigma_max = sigma_i;
                 best_node = i;
                 best_shape = shape;
             }
+        }
+
+        if !sigma_max.is_finite() {
+            return Err(PufferfishError::DegenerateClass {
+                pi_min,
+                eigengap,
+                detail: format!("closed-form bound produced noise multiplier {sigma_max}"),
+            });
         }
 
         Ok(MqmApprox {
@@ -231,12 +265,64 @@ impl MqmApprox {
     }
 }
 
+/// Tolerance below which a class parameter is treated as numerically zero:
+/// the Lemma 4.8 bound then needs quilt offsets beyond any realistic chain,
+/// which used to surface as NaN/∞ scales instead of a typed error.
+const DEGENERATE_PARAMETER_TOLERANCE: f64 = 1e-12;
+
+/// Validates `(π^min_Θ, g_Θ)` against the applicability region of
+/// Lemma 4.8 / Lemma 4.9.
+fn check_class_parameters(pi_min: f64, eigengap: f64) -> Result<()> {
+    let pi_ok = pi_min.is_finite() && pi_min > DEGENERATE_PARAMETER_TOLERANCE && pi_min <= 1.0;
+    let gap_ok =
+        eigengap.is_finite() && eigengap > DEGENERATE_PARAMETER_TOLERANCE && eigengap <= 2.0;
+    if pi_ok && gap_ok {
+        return Ok(());
+    }
+    let detail = if !pi_ok {
+        "minimum stationary probability is outside (0, 1] (class contains a \
+         chain whose stationary mass vanishes on some state)"
+    } else {
+        "eigengap is outside (0, 2] (class sits on the slow-mixing boundary)"
+    };
+    Err(PufferfishError::DegenerateClass {
+        pi_min,
+        eigengap,
+        detail: detail.to_string(),
+    })
+}
+
 /// The `a*` of Lemma 4.9:
 /// `2 ⌈ log( (e^{ε/6}+1)/(e^{ε/6}−1) · 1/π^min ) / g ⌉`.
+///
+/// Saturates (rather than overflows) for near-degenerate parameters.
 fn a_star(epsilon: f64, pi_min: f64, eigengap: f64) -> usize {
     let ratio = ((epsilon / 6.0).exp() + 1.0) / ((epsilon / 6.0).exp() - 1.0);
     let inner = (ratio / pi_min).ln() / eigengap;
-    2 * inner.ceil().max(1.0) as usize
+    let half = inner.ceil().max(1.0);
+    if half >= usize::MAX as f64 / 2.0 {
+        usize::MAX
+    } else {
+        (half as usize).saturating_mul(2)
+    }
+}
+
+impl Mechanism for MqmApprox {
+    fn name(&self) -> &'static str {
+        "mqm-approx"
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn noise_scale_for(&self, query: &dyn LipschitzQuery) -> f64 {
+        MqmApprox::noise_scale_for(self, query)
+    }
+
+    fn validate(&self, query: &dyn LipschitzQuery, database: &[usize]) -> Result<()> {
+        validate_database(database, query.expected_length(), self.num_states)
+    }
 }
 
 /// The Lemma 4.8 / C.1 bound for a single "side" at distance `d`:
@@ -372,11 +458,11 @@ mod tests {
             MqmApproxOptions {
                 reversibility: ReversibilityMode::General,
                 strategy: QuiltSearchStrategy::Full { max_width: None },
+                ..Default::default()
             },
         )
         .unwrap();
-        let exact =
-            MqmExact::calibrate(&class, 100, budget, MqmExactOptions::default()).unwrap();
+        let exact = MqmExact::calibrate(&class, 100, budget, MqmExactOptions::default()).unwrap();
         // The approximation never claims less noise than the exact mechanism.
         assert!(
             approx.sigma_max() >= exact.sigma_max() - 1e-9,
@@ -398,10 +484,12 @@ mod tests {
         let options_auto = MqmApproxOptions {
             reversibility: ReversibilityMode::General,
             strategy: QuiltSearchStrategy::Auto,
+            ..Default::default()
         };
         let options_full = MqmApproxOptions {
             reversibility: ReversibilityMode::General,
             strategy: QuiltSearchStrategy::Full { max_width: None },
+            ..Default::default()
         };
         let length = 600; // comfortably above 8 a*
         let auto = MqmApprox::calibrate(&class, length, budget, options_auto).unwrap();
@@ -415,7 +503,10 @@ mod tests {
         );
         assert_eq!(auto.worst_node(), length / 2);
         assert!(auto.optimal_quilt_width() <= 4 * auto.a_star());
-        assert!(matches!(auto.best_quilt(), ChainQuiltShape::TwoSided { .. }));
+        assert!(matches!(
+            auto.best_quilt(),
+            ChainQuiltShape::TwoSided { .. }
+        ));
     }
 
     #[test]
@@ -439,10 +530,10 @@ mod tests {
         // Theorem 4.10: for long chains the scale is O(1/ε), independent of T.
         let class = running_class();
         let budget = PrivacyBudget::new(1.0).unwrap();
-        let medium = MqmApprox::calibrate(&class, 1_000, budget, MqmApproxOptions::default())
-            .unwrap();
-        let long = MqmApprox::calibrate(&class, 1_000_000, budget, MqmApproxOptions::default())
-            .unwrap();
+        let medium =
+            MqmApprox::calibrate(&class, 1_000, budget, MqmApproxOptions::default()).unwrap();
+        let long =
+            MqmApprox::calibrate(&class, 1_000_000, budget, MqmApproxOptions::default()).unwrap();
         assert!((medium.sigma_max() - long.sigma_max()).abs() < 1e-9);
         assert!(long.sigma_max() < 100.0);
     }
@@ -458,6 +549,7 @@ mod tests {
             MqmApproxOptions {
                 reversibility: ReversibilityMode::General,
                 strategy: QuiltSearchStrategy::Auto,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -468,6 +560,7 @@ mod tests {
             MqmApproxOptions {
                 reversibility: ReversibilityMode::Reversible,
                 strategy: QuiltSearchStrategy::Auto,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -4,14 +4,17 @@
 use rand::Rng;
 
 use pufferfish_markov::{MarkovChain, MarkovChainClass, TransitionPowers};
+use pufferfish_parallel::{try_par_map, Parallelism};
 
-use crate::mechanism::{validate_database, NoisyRelease, PrivacyBudget};
-use crate::mqm_chain_influence::{chain_max_influence, ChainQuiltShape, InitialDistributionMode};
+use crate::mechanism::{validate_database, Mechanism, NoisyRelease, PrivacyBudget};
+use crate::mqm_chain_influence::{
+    chain_max_influence_cached, ChainInfluenceTables, ChainQuiltShape, InitialDistributionMode,
+};
 use crate::queries::LipschitzQuery;
 use crate::{Laplace, PufferfishError, Result};
 
 /// Options for [`MqmExact::calibrate`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct MqmExactOptions {
     /// Maximum size of the nearby set of any non-trivial candidate quilt
     /// (the `ℓ` of Algorithm 3). `None` searches all `O(T²)` quilts.
@@ -24,15 +27,11 @@ pub struct MqmExactOptions {
     /// that boundary nodes never have the worst score. This is how the
     /// paper's real-data experiments (Section 5.3) are run.
     pub search_middle_only: bool,
-}
-
-impl Default for MqmExactOptions {
-    fn default() -> Self {
-        MqmExactOptions {
-            max_quilt_width: None,
-            search_middle_only: false,
-        }
-    }
+    /// How to execute the calibration sweep over θ ∈ Θ and nodes.
+    ///
+    /// Every policy produces bitwise-identical noise scales; this only
+    /// trades threads for wall-clock time.
+    pub parallelism: Parallelism,
 }
 
 /// Per-θ calibration detail, reported for inspection and experiment logs.
@@ -46,6 +45,15 @@ pub struct QuiltSelection {
     pub shape: ChainQuiltShape,
     /// The score `σ^θ_max`.
     pub score: f64,
+}
+
+/// Per-θ precomputation shared by every node/quilt evaluation of that θ.
+struct PreparedTheta {
+    powers: TransitionPowers,
+    tables: ChainInfluenceTables,
+    nodes: Vec<usize>,
+    virtual_shift: bool,
+    max_offset: usize,
 }
 
 /// A calibrated MQMExact mechanism.
@@ -91,20 +99,62 @@ impl MqmExact {
         };
 
         let width_cap = options.max_quilt_width.unwrap_or(length).min(length);
+
+        // Stage 1: per-θ precomputation (matrix powers, marginals,
+        // per-offset influence tables) in parallel across the class.
+        let prepared: Vec<PreparedTheta> = try_par_map(options.parallelism, class.chains(), {
+            |chain| Self::prepare_theta(chain, length, width_cap, mode, options)
+        })?;
+
+        // Stage 2: one flat sweep over every (θ, node) pair, so the full
+        // thread budget applies whether the work is dominated by many
+        // chains (interval grids) or many nodes (singleton classes). The
+        // fold below walks (θ-major, node-minor) order, reproducing the
+        // nested serial loops' first-strict-maximum selection exactly.
+        let jobs: Vec<(usize, usize)> = prepared
+            .iter()
+            .enumerate()
+            .flat_map(|(theta_index, prep)| prep.nodes.iter().map(move |&node| (theta_index, node)))
+            .collect();
+        let scores: Vec<(f64, ChainQuiltShape)> =
+            try_par_map(options.parallelism, &jobs, |&(theta_index, node)| {
+                let prep = &prepared[theta_index];
+                Self::best_quilt_for_node(
+                    &prep.powers,
+                    &prep.tables,
+                    node,
+                    length,
+                    epsilon,
+                    width_cap,
+                    mode,
+                    prep.virtual_shift,
+                    prep.max_offset,
+                )
+            })?;
+
         let mut sigma_max: f64 = 0.0;
         let mut selections = Vec::with_capacity(class.len());
-
-        for (theta_index, chain) in class.chains().iter().enumerate() {
-            let (score, node, shape) = Self::calibrate_single_theta(
-                chain, length, epsilon, width_cap, mode, options,
-            )?;
+        for (theta_index, prep) in prepared.iter().enumerate() {
+            let mut worst_score: f64 = 0.0;
+            let mut worst_node = prep.nodes[0];
+            let mut worst_shape = ChainQuiltShape::Trivial;
+            for (&(job_theta, node), &(score, shape)) in jobs.iter().zip(&scores) {
+                if job_theta != theta_index {
+                    continue;
+                }
+                if score > worst_score {
+                    worst_score = score;
+                    worst_node = node;
+                    worst_shape = shape;
+                }
+            }
             selections.push(QuiltSelection {
                 theta_index,
-                node,
-                shape,
-                score,
+                node: worst_node,
+                shape: worst_shape,
+                score: worst_score,
             });
-            sigma_max = sigma_max.max(score);
+            sigma_max = sigma_max.max(worst_score);
         }
 
         if !sigma_max.is_finite() || sigma_max <= 0.0 {
@@ -136,14 +186,15 @@ impl MqmExact {
         Self::calibrate(&class, length, budget, options)
     }
 
-    fn calibrate_single_theta(
+    /// Stage-1 precomputation for one θ: matrix powers, marginals, the
+    /// per-offset influence tables, and the node list to search.
+    fn prepare_theta(
         chain: &MarkovChain,
         length: usize,
-        epsilon: f64,
         width_cap: usize,
         mode: InitialDistributionMode,
         options: MqmExactOptions,
-    ) -> Result<(f64, usize, ChainQuiltShape)> {
+    ) -> Result<PreparedTheta> {
         // The largest offset any candidate quilt can use.
         let max_offset = width_cap.min(length.saturating_sub(1)).max(1);
 
@@ -172,34 +223,24 @@ impl MqmExact {
             (1..=length).collect()
         };
 
-        let mut worst_score: f64 = 0.0;
-        let mut worst_node = nodes[0];
-        let mut worst_shape = ChainQuiltShape::Trivial;
+        // Per-offset backward/forward log-ratio tables shared by every node
+        // and quilt of this θ: quilt evaluations drop from O(k³) to O(k²).
+        let tables = ChainInfluenceTables::new(&powers, max_offset.min(powers.max_power()))?;
 
-        for &i in &nodes {
-            let (score, shape) = Self::best_quilt_for_node(
-                &powers,
-                i,
-                length,
-                epsilon,
-                width_cap,
-                mode,
-                virtual_shift,
-                max_offset,
-            )?;
-            if score > worst_score {
-                worst_score = score;
-                worst_node = i;
-                worst_shape = shape;
-            }
-        }
-        Ok((worst_score, worst_node, worst_shape))
+        Ok(PreparedTheta {
+            powers,
+            tables,
+            nodes,
+            virtual_shift,
+            max_offset,
+        })
     }
 
     /// Returns `(σ_i, best shape)` for node `i`.
     #[allow(clippy::too_many_arguments)]
     fn best_quilt_for_node(
         powers: &TransitionPowers,
+        tables: &ChainInfluenceTables,
         i: usize,
         length: usize,
         epsilon: f64,
@@ -211,27 +252,25 @@ impl MqmExact {
         let mut best = length as f64 / epsilon; // trivial quilt score
         let mut best_shape = ChainQuiltShape::Trivial;
 
-        let mut consider = |shape: ChainQuiltShape,
-                            powers: &TransitionPowers,
-                            eval_i: usize|
-         -> Result<()> {
-            if !shape.fits(i, length) {
-                return Ok(());
-            }
-            let card = shape.card_nearby(i, length);
-            if card > width_cap {
-                return Ok(());
-            }
-            let influence = chain_max_influence(powers, eval_i, shape, mode)?;
-            if influence < epsilon {
-                let score = card as f64 / (epsilon - influence);
-                if score < best {
-                    best = score;
-                    best_shape = shape;
+        let mut consider =
+            |shape: ChainQuiltShape, powers: &TransitionPowers, eval_i: usize| -> Result<()> {
+                if !shape.fits(i, length) {
+                    return Ok(());
                 }
-            }
-            Ok(())
-        };
+                let card = shape.card_nearby(i, length);
+                if card > width_cap {
+                    return Ok(());
+                }
+                let influence = chain_max_influence_cached(powers, tables, eval_i, shape, mode)?;
+                if influence < epsilon {
+                    let score = card as f64 / (epsilon - influence);
+                    if score < best {
+                        best = score;
+                        best_shape = shape;
+                    }
+                }
+                Ok(())
+            };
 
         let left_limit = (i - 1).min(max_offset);
         let right_limit = (length - i).min(max_offset);
@@ -322,6 +361,24 @@ impl MqmExact {
     }
 }
 
+impl Mechanism for MqmExact {
+    fn name(&self) -> &'static str {
+        "mqm-exact"
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn noise_scale_for(&self, query: &dyn LipschitzQuery) -> f64 {
+        MqmExact::noise_scale_for(self, query)
+    }
+
+    fn validate(&self, query: &dyn LipschitzQuery, database: &[usize]) -> Result<()> {
+        validate_database(database, query.expected_length(), self.num_states)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,12 +463,13 @@ mod tests {
     fn section_4_3_scores_are_reproduced() {
         // T = 3, ε = 10: scores of the quilts of the middle node are
         // 0.3, 0.2437, 0.2437, 0.1558 and the best is {X₁, X₃}.
-        let chain =
-            MarkovChain::new(vec![0.8, 0.2], vec![vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap();
+        let chain = MarkovChain::new(vec![0.8, 0.2], vec![vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap();
         let powers = TransitionPowers::new(&chain, 2, 3).unwrap();
+        let tables = ChainInfluenceTables::new(&powers, 2).unwrap();
         let epsilon = 10.0;
         let (best, shape) = MqmExact::best_quilt_for_node(
             &powers,
+            &tables,
             2,
             3,
             epsilon,
@@ -429,11 +487,8 @@ mod tests {
     fn trivial_quilt_bounds_sigma_by_group_dp() {
         // σ_max can never exceed T / ε (the trivial quilt), which is the
         // group-DP scale for a fully correlated chain.
-        let slow = MarkovChain::new(
-            vec![0.5, 0.5],
-            vec![vec![0.999, 0.001], vec![0.001, 0.999]],
-        )
-        .unwrap();
+        let slow =
+            MarkovChain::new(vec![0.5, 0.5], vec![vec![0.999, 0.001], vec![0.001, 0.999]]).unwrap();
         let mechanism = MqmExact::calibrate_single(
             &slow,
             50,
@@ -448,11 +503,7 @@ mod tests {
 
     #[test]
     fn fast_mixing_chains_need_little_noise() {
-        let fast = MarkovChain::new(
-            vec![0.5, 0.5],
-            vec![vec![0.5, 0.5], vec![0.5, 0.5]],
-        )
-        .unwrap();
+        let fast = MarkovChain::new(vec![0.5, 0.5], vec![vec![0.5, 0.5], vec![0.5, 0.5]]).unwrap();
         let mechanism = MqmExact::calibrate_single(
             &fast,
             200,
@@ -467,11 +518,8 @@ mod tests {
 
     #[test]
     fn middle_only_with_stationary_start_matches_full_search() {
-        let chain = MarkovChain::with_stationary_initial(vec![
-            vec![0.85, 0.15],
-            vec![0.35, 0.65],
-        ])
-        .unwrap();
+        let chain =
+            MarkovChain::with_stationary_initial(vec![vec![0.85, 0.15], vec![0.35, 0.65]]).unwrap();
         let budget = PrivacyBudget::new(1.0).unwrap();
         let full = MqmExact::calibrate_single(
             &chain,
@@ -480,6 +528,7 @@ mod tests {
             MqmExactOptions {
                 max_quilt_width: Some(40),
                 search_middle_only: false,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -490,6 +539,7 @@ mod tests {
             MqmExactOptions {
                 max_quilt_width: Some(40),
                 search_middle_only: true,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -505,13 +555,8 @@ mod tests {
     fn width_cap_only_increases_sigma() {
         let chain = theta1();
         let budget = PrivacyBudget::new(1.0).unwrap();
-        let unrestricted = MqmExact::calibrate_single(
-            &chain,
-            100,
-            budget,
-            MqmExactOptions::default(),
-        )
-        .unwrap();
+        let unrestricted =
+            MqmExact::calibrate_single(&chain, 100, budget, MqmExactOptions::default()).unwrap();
         let narrow = MqmExact::calibrate_single(
             &chain,
             100,
@@ -519,6 +564,7 @@ mod tests {
             MqmExactOptions {
                 max_quilt_width: Some(4),
                 search_middle_only: false,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -556,9 +602,7 @@ mod tests {
         )
         .unwrap();
         let query = RelativeFrequencyHistogram::new(2, 100).unwrap();
-        assert!(
-            (mechanism.noise_scale_for(&query) - 0.02 * mechanism.sigma_max()).abs() < 1e-12
-        );
+        assert!((mechanism.noise_scale_for(&query) - 0.02 * mechanism.sigma_max()).abs() < 1e-12);
         let mut rng = StdRng::seed_from_u64(3);
         let database = pufferfish_markov::sample_trajectory(&chain, 100, &mut rng).unwrap();
         let release = mechanism.release(&query, &database, &mut rng).unwrap();
@@ -567,7 +611,9 @@ mod tests {
         assert!(release.scale > 0.0);
 
         // Database validation.
-        assert!(mechanism.release(&query, &database[..50], &mut rng).is_err());
+        assert!(mechanism
+            .release(&query, &database[..50], &mut rng)
+            .is_err());
         let bad: Vec<usize> = vec![7; 100];
         assert!(mechanism.release(&query, &bad, &mut rng).is_err());
     }

@@ -12,7 +12,11 @@ use crate::{PufferfishError, Result};
 ///
 /// Databases are state sequences (`&[usize]`), matching the time-series and
 /// flu-status instantiations of the paper.
-pub trait LipschitzQuery {
+///
+/// Queries must be `Send + Sync`: the calibration engine shares them across
+/// worker threads (the Wasserstein sweep evaluates the query from several
+/// threads at once), and the release engine hashes them into cache keys.
+pub trait LipschitzQuery: Send + Sync {
     /// The L1 Lipschitz constant `L` of Definition 2.5.
     fn lipschitz_constant(&self) -> f64;
 
@@ -31,6 +35,20 @@ pub trait LipschitzQuery {
 
     /// A short human-readable name used in experiment reports.
     fn name(&self) -> &str;
+
+    /// Distinguishes query *parameterisations* that share a name, Lipschitz
+    /// constant, output dimension and expected length but evaluate
+    /// differently — e.g. [`StateFrequencyQuery`] for state 0 vs state 1.
+    ///
+    /// The calibration cache keys on `(name, L, dim, len, discriminator)`;
+    /// any query type whose evaluation depends on parameters not reflected
+    /// in the first four fields **must** override this, otherwise a
+    /// query-sensitive mechanism (the Wasserstein Mechanism calibrates to
+    /// the concrete query) could be served from the cache with a scale
+    /// calibrated for a different query.
+    fn cache_discriminator(&self) -> u64 {
+        0
+    }
 }
 
 fn check_database(database: &[usize], expected_len: usize, num_states: usize) -> Result<()> {
@@ -161,6 +179,10 @@ impl LipschitzQuery for StateFrequencyQuery {
     fn name(&self) -> &str {
         "state frequency"
     }
+
+    fn cache_discriminator(&self) -> u64 {
+        self.state as u64
+    }
 }
 
 /// The raw count of records equal to a target state, `F(X) = Σ 1[X_i = s]`,
@@ -206,6 +228,10 @@ impl LipschitzQuery for StateCountQuery {
 
     fn name(&self) -> &str {
         "state count"
+    }
+
+    fn cache_discriminator(&self) -> u64 {
+        self.state as u64
     }
 }
 

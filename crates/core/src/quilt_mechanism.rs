@@ -10,8 +10,9 @@
 use rand::Rng;
 
 use pufferfish_bayesnet::{markov_blanket, max_influence, DiscreteBayesianNetwork, MarkovQuilt};
+use pufferfish_parallel::{try_par_map, Parallelism};
 
-use crate::mechanism::{NoisyRelease, PrivacyBudget};
+use crate::mechanism::{Mechanism, NoisyRelease, PrivacyBudget};
 use crate::queries::LipschitzQuery;
 use crate::{Laplace, PufferfishError, Result};
 
@@ -23,6 +24,9 @@ pub struct QuiltMechanismOptions {
     ///
     /// Each inner vector must contain quilts *for the node at that index*.
     pub quilt_candidates: Option<Vec<Vec<MarkovQuilt>>>,
+    /// How to execute the per-node quilt search (results are identical for
+    /// every policy; only wall-clock time changes).
+    pub parallelism: Parallelism,
 }
 
 /// Per-node calibration summary.
@@ -81,10 +85,12 @@ impl MarkovQuiltMechanism {
         }
 
         let epsilon = budget.epsilon();
-        let mut per_node = Vec::with_capacity(num_nodes);
-        let mut sigma_max: f64 = 0.0;
 
-        for node in 0..num_nodes {
+        // Per-node quilt searches are independent (exact inference over the
+        // shared network class): run them under the configured parallelism
+        // policy and fold in node order for schedule-independent results.
+        let nodes: Vec<usize> = (0..num_nodes).collect();
+        let per_node: Vec<NodeCalibration> = try_par_map(options.parallelism, &nodes, |&node| {
             let candidates = match &options.quilt_candidates {
                 Some(all) => all[node].clone(),
                 None => default_candidates(first, node)?,
@@ -117,9 +123,7 @@ impl MarkovQuiltMechanism {
                 }
             }
             let best = best.ok_or_else(|| {
-                PufferfishError::CannotCalibrate(format!(
-                    "node {node} has no candidate quilts"
-                ))
+                PufferfishError::CannotCalibrate(format!("node {node} has no candidate quilts"))
             })?;
             if !best.score.is_finite() {
                 return Err(PufferfishError::CannotCalibrate(format!(
@@ -127,9 +131,12 @@ impl MarkovQuiltMechanism {
                      include the trivial quilt to guarantee calibration"
                 )));
             }
-            sigma_max = sigma_max.max(best.score);
-            per_node.push(best);
-        }
+            Ok(best)
+        })?;
+
+        let sigma_max = per_node
+            .iter()
+            .fold(0.0f64, |acc, calibration| acc.max(calibration.score));
 
         Ok(MarkovQuiltMechanism {
             epsilon,
@@ -202,11 +209,40 @@ impl MarkovQuiltMechanism {
     }
 }
 
+impl Mechanism for MarkovQuiltMechanism {
+    fn name(&self) -> &'static str {
+        "markov-quilt"
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn noise_scale_for(&self, query: &dyn LipschitzQuery) -> f64 {
+        MarkovQuiltMechanism::noise_scale_for(self, query)
+    }
+
+    fn validate(&self, _query: &dyn LipschitzQuery, database: &[usize]) -> Result<()> {
+        if database.len() != self.num_nodes {
+            return Err(PufferfishError::InvalidDatabase(format!(
+                "assignment has {} entries, network has {}",
+                database.len(),
+                self.num_nodes
+            )));
+        }
+        for (node, &value) in database.iter().enumerate() {
+            if value >= self.cardinalities[node] {
+                return Err(PufferfishError::InvalidDatabase(format!(
+                    "value {value} out of range for node {node}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Default candidate set: the trivial quilt plus the Markov-blanket quilt.
-fn default_candidates(
-    network: &DiscreteBayesianNetwork,
-    node: usize,
-) -> Result<Vec<MarkovQuilt>> {
+fn default_candidates(network: &DiscreteBayesianNetwork, node: usize) -> Result<Vec<MarkovQuilt>> {
     let n = network.num_nodes();
     let mut candidates = vec![MarkovQuilt::trivial(n, node)?];
     let blanket = markov_blanket(network.dag(), node)?;
@@ -224,7 +260,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn chain_network(initial: [f64; 2], stay0: f64, stay1: f64, len: usize) -> DiscreteBayesianNetwork {
+    fn chain_network(
+        initial: [f64; 2],
+        stay0: f64,
+        stay1: f64,
+        len: usize,
+    ) -> DiscreteBayesianNetwork {
         let dag = Dag::chain(len);
         let mut net = DiscreteBayesianNetwork::new(dag, vec![2; len]).unwrap();
         net.set_cpd(0, vec![initial.to_vec()]).unwrap();
@@ -253,6 +294,7 @@ mod tests {
             budget,
             QuiltMechanismOptions {
                 quilt_candidates: Some(candidates),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -283,12 +325,9 @@ mod tests {
     fn default_candidates_use_blanket_and_trivial() {
         let net = chain_network([0.5, 0.5], 0.7, 0.7, 5);
         let budget = PrivacyBudget::new(3.0).unwrap();
-        let mechanism = MarkovQuiltMechanism::calibrate(
-            &[net],
-            budget,
-            QuiltMechanismOptions::default(),
-        )
-        .unwrap();
+        let mechanism =
+            MarkovQuiltMechanism::calibrate(&[net], budget, QuiltMechanismOptions::default())
+                .unwrap();
         // Every node got a finite score, and sigma never exceeds the trivial
         // bound n / epsilon.
         assert!(mechanism.sigma_max() <= 5.0 / 3.0 + 1e-12);
@@ -308,8 +347,10 @@ mod tests {
         dag.add_edge(2, 3).unwrap();
         let mut net = DiscreteBayesianNetwork::new(dag, vec![2; 4]).unwrap();
         net.set_cpd(0, vec![vec![0.6, 0.4]]).unwrap();
-        net.set_cpd(1, vec![vec![0.7, 0.3], vec![0.2, 0.8]]).unwrap();
-        net.set_cpd(2, vec![vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap();
+        net.set_cpd(1, vec![vec![0.7, 0.3], vec![0.2, 0.8]])
+            .unwrap();
+        net.set_cpd(2, vec![vec![0.9, 0.1], vec![0.4, 0.6]])
+            .unwrap();
         net.set_cpd(
             3,
             vec![
@@ -341,12 +382,9 @@ mod tests {
             QuiltMechanismOptions::default(),
         )
         .unwrap();
-        let weak_only = MarkovQuiltMechanism::calibrate(
-            &[weak],
-            budget,
-            QuiltMechanismOptions::default(),
-        )
-        .unwrap();
+        let weak_only =
+            MarkovQuiltMechanism::calibrate(&[weak], budget, QuiltMechanismOptions::default())
+                .unwrap();
         assert!(class_mechanism.sigma_max() >= weak_only.sigma_max() - 1e-12);
     }
 
@@ -358,19 +396,18 @@ mod tests {
 
         // Mismatched structures.
         let other = chain_network([0.5, 0.5], 0.7, 0.7, 5);
-        assert!(MarkovQuiltMechanism::calibrate(
-            &[net.clone(), other],
-            budget,
-            Default::default()
-        )
-        .is_err());
+        assert!(
+            MarkovQuiltMechanism::calibrate(&[net.clone(), other], budget, Default::default())
+                .is_err()
+        );
 
         // Wrong number of candidate vectors.
         assert!(MarkovQuiltMechanism::calibrate(
-            &[net.clone()],
+            std::slice::from_ref(&net),
             budget,
             QuiltMechanismOptions {
                 quilt_candidates: Some(vec![vec![]]),
+                ..Default::default()
             },
         )
         .is_err());
@@ -383,10 +420,11 @@ mod tests {
             vec![MarkovQuilt::trivial(4, 3).unwrap()],
         ];
         assert!(MarkovQuiltMechanism::calibrate(
-            &[net.clone()],
+            std::slice::from_ref(&net),
             budget,
             QuiltMechanismOptions {
                 quilt_candidates: Some(wrong),
+                ..Default::default()
             },
         )
         .is_err());
@@ -403,6 +441,7 @@ mod tests {
             budget,
             QuiltMechanismOptions {
                 quilt_candidates: Some(empty),
+                ..Default::default()
             },
         )
         .is_err());

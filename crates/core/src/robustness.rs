@@ -43,8 +43,7 @@ pub fn conditional_divergence_to_scenario(
     let mut worst: f64 = 0.0;
     let mut any_secret_used = false;
     for secret in secrets {
-        if adversary.secret_probability(secret) <= 0.0
-            || scenario.secret_probability(secret) <= 0.0
+        if adversary.secret_probability(secret) <= 0.0 || scenario.secret_probability(secret) <= 0.0
         {
             continue;
         }
@@ -149,12 +148,14 @@ mod tests {
         let (adversary, theta) = paper_scenarios();
         // Secret: "the database is not D3", i.e. X[0] != 2.
         let secret = Secret::new("not D3", |db: &[usize]| db[0] != 2);
-        let delta =
-            conditional_divergence_to_scenario(&adversary, &theta, &[secret]).unwrap();
+        let delta = conditional_divergence_to_scenario(&adversary, &theta, &[secret]).unwrap();
         // Exact value: log( (0.9/0.95) / (0.01/0.96) ) ≈ log 90.95 (the paper
         // reports log 91.0962 from rounded intermediates).
         let expected = (0.9f64 / 0.95 / (0.01 / 0.96)).ln();
-        assert!(close(delta, expected), "delta {delta} vs expected {expected}");
+        assert!(
+            close(delta, expected),
+            "delta {delta} vs expected {expected}"
+        );
         // The unconditional divergence is log 90: conditioning increased it.
         assert!(delta > 90.0f64.ln());
     }
@@ -165,7 +166,7 @@ mod tests {
         let secret = Secret::record_equals(0, 0);
         let other = Secret::record_equals(0, 1);
         let delta =
-            robustness_delta(&theta, &[theta.clone()], &[secret, other]).unwrap();
+            robustness_delta(&theta, std::slice::from_ref(&theta), &[secret, other]).unwrap();
         assert!(close(delta, 0.0));
         assert!(close(effective_epsilon(1.0, delta), 1.0));
     }
@@ -185,9 +186,9 @@ mod tests {
             Secret::new("not D3", |db: &[usize]| db[0] != 2),
             Secret::new("not D2", |db: &[usize]| db[0] != 1),
         ];
-        let far_only = robustness_delta(&adversary, &[theta.clone()], &secrets).unwrap();
-        let with_near =
-            robustness_delta(&adversary, &[theta, near], &secrets).unwrap();
+        let far_only =
+            robustness_delta(&adversary, std::slice::from_ref(&theta), &secrets).unwrap();
+        let with_near = robustness_delta(&adversary, &[theta, near], &secrets).unwrap();
         assert!(with_near < far_only);
         assert!(with_near > 0.0);
         assert!(effective_epsilon(0.5, with_near) > 0.5);
@@ -195,20 +196,12 @@ mod tests {
 
     #[test]
     fn mismatched_support_gives_infinite_delta() {
-        let theta = DiscreteScenario::new(
-            "theta",
-            vec![(vec![0], 0.5), (vec![1], 0.5)],
-        )
-        .unwrap();
-        let adversary = DiscreteScenario::new(
-            "adversary",
-            vec![(vec![0], 0.5), (vec![2], 0.5)],
-        )
-        .unwrap();
+        let theta = DiscreteScenario::new("theta", vec![(vec![0], 0.5), (vec![1], 0.5)]).unwrap();
+        let adversary =
+            DiscreteScenario::new("adversary", vec![(vec![0], 0.5), (vec![2], 0.5)]).unwrap();
         // Secret "X[0] is even" keeps both supports non-empty but mismatched.
-        let secret = Secret::new("even", |db: &[usize]| db[0] % 2 == 0);
-        let delta =
-            conditional_divergence_to_scenario(&adversary, &theta, &[secret]).unwrap();
+        let secret = Secret::new("even", |db: &[usize]| db[0].is_multiple_of(2));
+        let delta = conditional_divergence_to_scenario(&adversary, &theta, &[secret]).unwrap();
         assert!(delta.is_infinite());
     }
 
@@ -218,14 +211,11 @@ mod tests {
         let secrets = vec![Secret::record_equals(0, 0)];
         assert!(robustness_delta(&adversary, &[], &secrets).is_err());
 
-        let longer =
-            DiscreteScenario::new("longer", vec![(vec![0, 0], 1.0)]).unwrap();
+        let longer = DiscreteScenario::new("longer", vec![(vec![0, 0], 1.0)]).unwrap();
         assert!(conditional_divergence_to_scenario(&adversary, &longer, &secrets).is_err());
 
         // A secret that never holds makes the computation undefined.
         let impossible = Secret::new("never", |_: &[usize]| false);
-        assert!(
-            conditional_divergence_to_scenario(&adversary, &theta, &[impossible]).is_err()
-        );
+        assert!(conditional_divergence_to_scenario(&adversary, &theta, &[impossible]).is_err());
     }
 }

@@ -3,10 +3,11 @@
 
 use rand::Rng;
 
+use pufferfish_parallel::{try_par_map, Parallelism};
 use pufferfish_transport::{wasserstein_infinity, DiscreteDistribution};
 
 use crate::framework::DiscretePufferfishFramework;
-use crate::mechanism::{NoisyRelease, PrivacyBudget};
+use crate::mechanism::{validate_query_length, Mechanism, NoisyRelease, PrivacyBudget};
 use crate::queries::LipschitzQuery;
 use crate::{Laplace, PufferfishError, Result};
 
@@ -42,6 +43,24 @@ impl WassersteinMechanism {
         query: &dyn LipschitzQuery,
         budget: PrivacyBudget,
     ) -> Result<Self> {
+        Self::calibrate_with(framework, query, budget, Parallelism::default())
+    }
+
+    /// [`WassersteinMechanism::calibrate`] with an explicit parallelism
+    /// policy for the `(secret pair, scenario)` sweep.
+    ///
+    /// The sweep is embarrassingly parallel; results are folded in the same
+    /// deterministic `(pair, scenario)` order as the serial loop, so every
+    /// policy produces a bitwise-identical `W` and `worst_case`.
+    ///
+    /// # Errors
+    /// Same as [`WassersteinMechanism::calibrate`].
+    pub fn calibrate_with(
+        framework: &DiscretePufferfishFramework,
+        query: &dyn LipschitzQuery,
+        budget: PrivacyBudget,
+        parallelism: Parallelism,
+    ) -> Result<Self> {
         if query.output_dimension() != 1 {
             return Err(PufferfishError::InvalidQuery(format!(
                 "the Wasserstein Mechanism releases scalar queries; got dimension {}",
@@ -56,26 +75,44 @@ impl WassersteinMechanism {
             )));
         }
 
-        let mut worst: f64 = 0.0;
-        let mut worst_case = None;
-        let mut any_pair_applied = false;
+        // Enumerate the sweep jobs up front (pair-major, scenario-minor, the
+        // historical serial order) so the parallel map's output can be folded
+        // identically to the serial loop.
+        let jobs: Vec<(usize, usize)> = (0..framework.secret_pairs().len())
+            .flat_map(|pair_index| {
+                (0..framework.scenarios().len())
+                    .map(move |scenario_index| (pair_index, scenario_index))
+            })
+            .collect();
 
-        for (pair_index, &(i, j)) in framework.secret_pairs().iter().enumerate() {
-            let secret_i = &framework.secrets()[i];
-            let secret_j = &framework.secrets()[j];
-            for (scenario_index, scenario) in framework.scenarios().iter().enumerate() {
+        let distances: Vec<Option<f64>> = try_par_map(
+            parallelism,
+            &jobs,
+            |&(pair_index, scenario_index)| -> Result<Option<f64>> {
+                let (i, j) = framework.secret_pairs()[pair_index];
+                let secret_i = &framework.secrets()[i];
+                let secret_j = &framework.secrets()[j];
+                let scenario = &framework.scenarios()[scenario_index];
                 if scenario.secret_probability(secret_i) <= 0.0
                     || scenario.secret_probability(secret_j) <= 0.0
                 {
-                    continue;
+                    return Ok(None);
                 }
-                any_pair_applied = true;
                 let mut eval = |db: &[usize]| Ok(query.evaluate(db)?[0]);
                 let values_i = scenario.conditional_query_values(&mut eval, secret_i)?;
                 let values_j = scenario.conditional_query_values(&mut eval, secret_j)?;
                 let mu_i = build_distribution(&values_i)?;
                 let mu_j = build_distribution(&values_j)?;
-                let distance = wasserstein_infinity(&mu_i, &mu_j)?;
+                Ok(Some(wasserstein_infinity(&mu_i, &mu_j)?))
+            },
+        )?;
+
+        let mut worst: f64 = 0.0;
+        let mut worst_case = None;
+        let mut any_pair_applied = false;
+        for (&(pair_index, scenario_index), distance) in jobs.iter().zip(&distances) {
+            if let Some(distance) = *distance {
+                any_pair_applied = true;
                 if distance > worst {
                     worst = distance;
                     worst_case = Some((pair_index, scenario_index));
@@ -150,6 +187,26 @@ impl WassersteinMechanism {
     }
 }
 
+impl Mechanism for WassersteinMechanism {
+    fn name(&self) -> &'static str {
+        "wasserstein"
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The Wasserstein scale is calibrated to the specific released query,
+    /// so it does not rescale by the Lipschitz constant.
+    fn noise_scale_for(&self, _query: &dyn LipschitzQuery) -> f64 {
+        self.noise_scale()
+    }
+
+    fn validate(&self, query: &dyn LipschitzQuery, database: &[usize]) -> Result<()> {
+        validate_query_length(query, database)
+    }
+}
+
 fn build_distribution(values: &[(f64, f64)]) -> Result<DiscreteDistribution> {
     let (support, probabilities): (Vec<f64>, Vec<f64>) = values.iter().copied().unzip();
     Ok(DiscreteDistribution::new(support, probabilities)?)
@@ -174,12 +231,9 @@ mod tests {
         // Section 3: "In this case, the parameter W in Algorithm 1 is 2".
         let framework = flu_framework();
         let query = StateCountQuery::new(1, 4);
-        let mechanism = WassersteinMechanism::calibrate(
-            &framework,
-            &query,
-            PrivacyBudget::new(1.0).unwrap(),
-        )
-        .unwrap();
+        let mechanism =
+            WassersteinMechanism::calibrate(&framework, &query, PrivacyBudget::new(1.0).unwrap())
+                .unwrap();
         assert!(
             (mechanism.wasserstein_parameter() - 2.0).abs() < 1e-9,
             "W = {}",
@@ -197,18 +251,12 @@ mod tests {
     fn scale_shrinks_with_larger_epsilon() {
         let framework = flu_framework();
         let query = StateCountQuery::new(1, 4);
-        let tight = WassersteinMechanism::calibrate(
-            &framework,
-            &query,
-            PrivacyBudget::new(0.5).unwrap(),
-        )
-        .unwrap();
-        let loose = WassersteinMechanism::calibrate(
-            &framework,
-            &query,
-            PrivacyBudget::new(5.0).unwrap(),
-        )
-        .unwrap();
+        let tight =
+            WassersteinMechanism::calibrate(&framework, &query, PrivacyBudget::new(0.5).unwrap())
+                .unwrap();
+        let loose =
+            WassersteinMechanism::calibrate(&framework, &query, PrivacyBudget::new(5.0).unwrap())
+                .unwrap();
         assert!(tight.noise_scale() > loose.noise_scale());
         // W itself does not depend on epsilon.
         assert!((tight.wasserstein_parameter() - loose.wasserstein_parameter()).abs() < 1e-12);
@@ -218,12 +266,9 @@ mod tests {
     fn release_adds_noise_with_the_right_magnitude() {
         let framework = flu_framework();
         let query = StateCountQuery::new(1, 4);
-        let mechanism = WassersteinMechanism::calibrate(
-            &framework,
-            &query,
-            PrivacyBudget::new(1.0).unwrap(),
-        )
-        .unwrap();
+        let mechanism =
+            WassersteinMechanism::calibrate(&framework, &query, PrivacyBudget::new(1.0).unwrap())
+                .unwrap();
         let database = vec![1, 0, 1, 0];
         let mut rng = StdRng::seed_from_u64(2);
         let trials = 20_000;
@@ -251,19 +296,12 @@ mod tests {
         ];
         let scenario = DiscreteScenario::new("independent", outcomes).unwrap();
         let secrets = vec![Secret::record_equals(0, 0), Secret::record_equals(0, 1)];
-        let framework = DiscretePufferfishFramework::new(
-            vec![scenario],
-            secrets,
-            vec![(0, 1)],
-        )
-        .unwrap();
+        let framework =
+            DiscretePufferfishFramework::new(vec![scenario], secrets, vec![(0, 1)]).unwrap();
         let query = StateCountQuery::new(1, 2);
-        let mechanism = WassersteinMechanism::calibrate(
-            &framework,
-            &query,
-            PrivacyBudget::new(1.0).unwrap(),
-        )
-        .unwrap();
+        let mechanism =
+            WassersteinMechanism::calibrate(&framework, &query, PrivacyBudget::new(1.0).unwrap())
+                .unwrap();
         assert!((mechanism.wasserstein_parameter() - 1.0).abs() < 1e-9);
     }
 
@@ -278,12 +316,9 @@ mod tests {
         let framework =
             DiscretePufferfishFramework::new(vec![scenario], secrets, vec![(0, 1)]).unwrap();
         let query = StateCountQuery::new(1, 2);
-        let mechanism = WassersteinMechanism::calibrate(
-            &framework,
-            &query,
-            PrivacyBudget::new(1.0).unwrap(),
-        )
-        .unwrap();
+        let mechanism =
+            WassersteinMechanism::calibrate(&framework, &query, PrivacyBudget::new(1.0).unwrap())
+                .unwrap();
         assert!((mechanism.wasserstein_parameter() - 2.0).abs() < 1e-9);
     }
 
@@ -318,11 +353,7 @@ mod tests {
             DiscretePufferfishFramework::new(vec![scenario], secrets, vec![(0, 1)]).unwrap();
         let query = StateCountQuery::new(1, 2);
         assert!(matches!(
-            WassersteinMechanism::calibrate(
-                &degenerate,
-                &query,
-                PrivacyBudget::new(1.0).unwrap()
-            ),
+            WassersteinMechanism::calibrate(&degenerate, &query, PrivacyBudget::new(1.0).unwrap()),
             Err(PufferfishError::CannotCalibrate(_))
         ));
     }

@@ -218,17 +218,16 @@ impl ActivityDataset {
 
     /// Total observations across all participants.
     pub fn total_observations(&self) -> usize {
-        self.participants.iter().map(Participant::total_observations).sum()
+        self.participants
+            .iter()
+            .map(Participant::total_observations)
+            .sum()
     }
 }
 
 /// Splits a raw trajectory into segments at randomly injected measurement
 /// gaps.
-fn split_at_gaps<R: Rng + ?Sized>(
-    raw: &[usize],
-    gap_probability: f64,
-    rng: &mut R,
-) -> Participant {
+fn split_at_gaps<R: Rng + ?Sized>(raw: &[usize], gap_probability: f64, rng: &mut R) -> Participant {
     let mut segments = Vec::new();
     let mut current = Vec::new();
     for &state in raw {
@@ -311,8 +310,7 @@ mod tests {
     fn simulation_shape_and_gaps() {
         let mut rng = StdRng::seed_from_u64(4);
         let dataset =
-            ActivityDataset::simulate(ActivityCohort::Cyclists, small_config(), &mut rng)
-                .unwrap();
+            ActivityDataset::simulate(ActivityCohort::Cyclists, small_config(), &mut rng).unwrap();
         assert_eq!(dataset.participants.len(), 6);
         assert_eq!(dataset.total_observations(), 6 * 2_000);
         for participant in &dataset.participants {
@@ -326,10 +324,7 @@ mod tests {
         }
         // With a positive gap probability, at least one participant has
         // multiple segments.
-        assert!(dataset
-            .participants
-            .iter()
-            .any(|p| p.segments.len() > 1));
+        assert!(dataset.participants.iter().any(|p| p.segments.len() > 1));
     }
 
     #[test]
@@ -356,8 +351,7 @@ mod tests {
             participants: Some(10),
         };
         let dataset =
-            ActivityDataset::simulate(ActivityCohort::OverweightWomen, config, &mut rng)
-                .unwrap();
+            ActivityDataset::simulate(ActivityCohort::OverweightWomen, config, &mut rng).unwrap();
         let estimated = dataset.empirical_transition_matrix().unwrap();
         let truth = ActivityCohort::OverweightWomen.transition_matrix();
         for s in 0..ACTIVITY_STATES {

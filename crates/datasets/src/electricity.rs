@@ -13,9 +13,7 @@
 
 use rand::Rng;
 
-use pufferfish_markov::{
-    empirical_transition_matrix, EstimationOptions, MarkovChain, MarkovError,
-};
+use pufferfish_markov::{empirical_transition_matrix, EstimationOptions, MarkovChain, MarkovError};
 
 /// Configuration of the electricity simulator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -180,9 +178,7 @@ mod tests {
         let min = dataset.states.iter().min().copied().unwrap();
         assert!(max >= 10, "max bin {max}");
         assert!(min <= 3, "min bin {min}");
-        assert!(
-            ElectricityDataset::simulate(ElectricityConfig::small(0), &mut rng).is_err()
-        );
+        assert!(ElectricityDataset::simulate(ElectricityConfig::small(0), &mut rng).is_err());
     }
 
     #[test]
@@ -198,7 +194,10 @@ mod tests {
             .filter(|w| w[0].abs_diff(w[1]) <= 1)
             .count();
         let fraction = close_pairs as f64 / (dataset.len() - 1) as f64;
-        assert!(fraction > 0.9, "fraction of adjacent transitions {fraction}");
+        assert!(
+            fraction > 0.9,
+            "fraction of adjacent transitions {fraction}"
+        );
     }
 
     #[test]

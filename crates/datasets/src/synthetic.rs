@@ -75,10 +75,7 @@ impl SyntheticWorkload {
     /// # Errors
     /// Propagates chain-construction and sampling errors (cannot occur for a
     /// valid interval).
-    pub fn generate<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-    ) -> Result<SyntheticSample, MarkovError> {
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<SyntheticSample, MarkovError> {
         let params = self.sample_params(rng);
         let chain: MarkovChain = params.to_chain()?;
         let sequence = sample_trajectory(&chain, self.length, rng)?;
@@ -143,18 +140,16 @@ mod tests {
                 }
             }
         }
-        assert!(SyntheticWorkload::new(0.7, 100).calibration_class().is_err());
+        assert!(SyntheticWorkload::new(0.7, 100)
+            .calibration_class()
+            .is_err());
     }
 
     #[test]
     fn determinism_with_seed() {
         let workload = SyntheticWorkload::new(0.1, 50);
-        let a = workload
-            .generate(&mut StdRng::seed_from_u64(9))
-            .unwrap();
-        let b = workload
-            .generate(&mut StdRng::seed_from_u64(9))
-            .unwrap();
+        let a = workload.generate(&mut StdRng::seed_from_u64(9)).unwrap();
+        let b = workload.generate(&mut StdRng::seed_from_u64(9)).unwrap();
         assert_eq!(a, b);
     }
 }

@@ -87,9 +87,7 @@ pub fn symmetric_eigenvalues(a: &Matrix) -> Result<Vec<f64>> {
 /// Same failure modes as [`symmetric_eigenvalues`].
 pub fn largest_eigenvalue_symmetric(a: &Matrix) -> Result<f64> {
     let eigs = symmetric_eigenvalues(a)?;
-    eigs.into_iter()
-        .reduce(f64::max)
-        .ok_or(LinalgError::Empty)
+    eigs.into_iter().reduce(f64::max).ok_or(LinalgError::Empty)
 }
 
 fn off_diagonal_norm(m: &Matrix) -> f64 {
@@ -232,7 +230,11 @@ mod tests {
         let eigs = symmetric_eigenvalues(&a).unwrap();
         assert!(approx_eq(eigs[0], 3.0, 1e-10));
         assert!(approx_eq(eigs[1], 1.0, 1e-10));
-        assert!(approx_eq(largest_eigenvalue_symmetric(&a).unwrap(), 3.0, 1e-10));
+        assert!(approx_eq(
+            largest_eigenvalue_symmetric(&a).unwrap(),
+            3.0,
+            1e-10
+        ));
     }
 
     #[test]

@@ -79,7 +79,10 @@ impl fmt::Display for LinalgError {
             LinalgError::DidNotConverge {
                 routine,
                 iterations,
-            } => write!(f, "{routine} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{routine} did not converge after {iterations} iterations"
+            ),
             LinalgError::NotStochastic(msg) => write!(f, "not stochastic: {msg}"),
             LinalgError::NonFinite { context } => {
                 write!(f, "non-finite value encountered in {context}")

@@ -411,7 +411,11 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert!(approx_eq_slice(c.as_slice(), &[19.0, 22.0, 43.0, 50.0], 1e-12));
+        assert!(approx_eq_slice(
+            c.as_slice(),
+            &[19.0, 22.0, 43.0, 50.0],
+            1e-12
+        ));
         assert!(a.matmul(&Matrix::zeros(3, 3)).is_err());
     }
 
@@ -452,7 +456,11 @@ mod tests {
         assert!(a.try_sub(&Matrix::zeros(3, 3)).is_err());
 
         assert!(approx_eq(a.max_abs(), 3.0, 1e-12));
-        assert!(approx_eq(a.frobenius_norm(), (1.0f64 + 4.0 + 9.0).sqrt(), 1e-12));
+        assert!(approx_eq(
+            a.frobenius_norm(),
+            (1.0f64 + 4.0 + 9.0).sqrt(),
+            1e-12
+        ));
         let s = a.scaled(2.0);
         assert_eq!(s[(0, 1)], -4.0);
         assert!(a.is_finite());

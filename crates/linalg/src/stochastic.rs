@@ -14,7 +14,7 @@ pub fn is_probability_vector(v: &[f64], tol: f64) -> bool {
     }
     let mut sum = 0.0;
     for &x in v {
-        if !(x >= -tol) || !x.is_finite() {
+        if x < -tol || x.is_nan() || !x.is_finite() {
             return false;
         }
         sum += x;

@@ -68,12 +68,7 @@ impl Vector {
                 found: other.len(),
             });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .sum())
+        Ok(self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum())
     }
 
     /// Sum of entries.
@@ -220,7 +215,8 @@ impl Add for &Vector {
     /// Panics on dimension mismatch; use [`Vector::try_add`] for a fallible
     /// version.
     fn add(self, rhs: &Vector) -> Vector {
-        self.try_add(rhs).expect("vector addition dimension mismatch")
+        self.try_add(rhs)
+            .expect("vector addition dimension mismatch")
     }
 }
 

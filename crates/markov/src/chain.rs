@@ -196,8 +196,7 @@ impl MarkovChain {
                     && (pi.sum() - 1.0).abs() < 1e-6
                     && self.is_stationary(&pi, 1e-6)
                 {
-                    let clipped: Vec<f64> =
-                        pi.as_slice().iter().map(|&x| x.max(0.0)).collect();
+                    let clipped: Vec<f64> = pi.as_slice().iter().map(|&x| x.max(0.0)).collect();
                     let total: f64 = clipped.iter().sum();
                     return Ok(clipped.into_iter().map(|x| x / total).collect());
                 }
@@ -399,8 +398,7 @@ mod tests {
     #[test]
     fn periodic_chain_detected() {
         // Deterministic 2-cycle: irreducible but periodic.
-        let chain =
-            MarkovChain::new(vec![1.0, 0.0], vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let chain = MarkovChain::new(vec![1.0, 0.0], vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
         assert!(!chain.is_irreducible_aperiodic());
         // It still has the unique stationary distribution [0.5, 0.5], found by
         // the damped power iteration fallback or the linear solve.
@@ -411,11 +409,7 @@ mod tests {
     #[test]
     fn reducible_chain_detected() {
         // Two absorbing states: reducible, no unique stationary distribution.
-        let chain = MarkovChain::new(
-            vec![0.5, 0.5],
-            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
-        )
-        .unwrap();
+        let chain = MarkovChain::new(vec![0.5, 0.5], vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
         assert!(!chain.is_irreducible_aperiodic());
     }
 

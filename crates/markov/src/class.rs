@@ -37,10 +37,7 @@ impl BinaryChainParams {
     pub fn to_chain(self) -> Result<MarkovChain> {
         MarkovChain::new(
             vec![self.q0, 1.0 - self.q0],
-            vec![
-                vec![self.p0, 1.0 - self.p0],
-                vec![1.0 - self.p1, self.p1],
-            ],
+            vec![vec![self.p0, 1.0 - self.p0], vec![1.0 - self.p1, self.p1]],
         )
     }
 }
@@ -214,8 +211,7 @@ impl IntervalClassBuilder {
         }
         (0..self.grid_points)
             .map(|i| {
-                self.alpha
-                    + (self.beta - self.alpha) * i as f64 / (self.grid_points - 1) as f64
+                self.alpha + (self.beta - self.alpha) * i as f64 / (self.grid_points - 1) as f64
             })
             .collect()
     }
@@ -319,7 +315,10 @@ mod tests {
     #[test]
     fn interval_builder_edge_cases() {
         // Degenerate interval: a single grid value.
-        let class = IntervalClassBuilder::new(0.4, 0.4).grid_points(7).build().unwrap();
+        let class = IntervalClassBuilder::new(0.4, 0.4)
+            .grid_points(7)
+            .build()
+            .unwrap();
         assert_eq!(class.len(), 1);
         let single = IntervalClassBuilder::new(0.2, 0.8).grid_points(1);
         assert_eq!(single.grid_values(), vec![0.5]);

@@ -59,7 +59,10 @@ impl fmt::Display for MarkovError {
                 "initial distribution has {initial} states but transition matrix has {transition}"
             ),
             MarkovError::StateOutOfRange { state, num_states } => {
-                write!(f, "state {state} out of range for a chain with {num_states} states")
+                write!(
+                    f,
+                    "state {state} out of range for a chain with {num_states} states"
+                )
             }
             MarkovError::InvalidSequence(msg) => write!(f, "invalid sequence: {msg}"),
             MarkovError::DoesNotMix(msg) => write!(f, "chain does not mix: {msg}"),

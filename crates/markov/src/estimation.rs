@@ -140,8 +140,7 @@ mod tests {
 
     #[test]
     fn estimation_recovers_generating_chain() {
-        let truth =
-            MarkovChain::new(vec![1.0, 0.0], vec![vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap();
+        let truth = MarkovChain::new(vec![1.0, 0.0], vec![vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         let sequences: Vec<Vec<usize>> = (0..20)
             .map(|_| sample_trajectory(&truth, 10_000, &mut rng).unwrap())
@@ -193,19 +192,11 @@ mod tests {
             Err(MarkovError::NoStates)
         ));
         assert!(matches!(
-            empirical_transition_matrix(
-                &[vec![0, 5]],
-                2,
-                EstimationOptions::default()
-            ),
+            empirical_transition_matrix(&[vec![0, 5]], 2, EstimationOptions::default()),
             Err(MarkovError::InvalidSequence(_))
         ));
         assert!(matches!(
-            empirical_initial_distribution(
-                &[vec![9]],
-                2,
-                EstimationOptions::default()
-            ),
+            empirical_initial_distribution(&[vec![9]], 2, EstimationOptions::default()),
             Err(MarkovError::InvalidSequence(_))
         ));
         assert!(matches!(

@@ -85,26 +85,15 @@ mod tests {
 
     #[test]
     fn iid_chain_mixes_instantly() {
-        let iid = MarkovChain::new(
-            vec![0.3, 0.7],
-            vec![vec![0.3, 0.7], vec![0.3, 0.7]],
-        )
-        .unwrap();
+        let iid = MarkovChain::new(vec![0.3, 0.7], vec![vec![0.3, 0.7], vec![0.3, 0.7]]).unwrap();
         assert_eq!(mixing_time(&iid, MixingTimeOptions::default()).unwrap(), 1);
     }
 
     #[test]
     fn slow_chain_mixes_slower_than_fast_chain() {
-        let slow = MarkovChain::new(
-            vec![0.5, 0.5],
-            vec![vec![0.99, 0.01], vec![0.01, 0.99]],
-        )
-        .unwrap();
-        let fast = MarkovChain::new(
-            vec![0.5, 0.5],
-            vec![vec![0.6, 0.4], vec![0.4, 0.6]],
-        )
-        .unwrap();
+        let slow =
+            MarkovChain::new(vec![0.5, 0.5], vec![vec![0.99, 0.01], vec![0.01, 0.99]]).unwrap();
+        let fast = MarkovChain::new(vec![0.5, 0.5], vec![vec![0.6, 0.4], vec![0.4, 0.6]]).unwrap();
         let t_slow = mixing_time(&slow, MixingTimeOptions::default()).unwrap();
         let t_fast = mixing_time(&fast, MixingTimeOptions::default()).unwrap();
         assert!(t_slow > t_fast, "{t_slow} vs {t_fast}");
@@ -114,11 +103,7 @@ mod tests {
 
     #[test]
     fn tighter_threshold_needs_more_steps() {
-        let chain = MarkovChain::new(
-            vec![1.0, 0.0],
-            vec![vec![0.9, 0.1], vec![0.4, 0.6]],
-        )
-        .unwrap();
+        let chain = MarkovChain::new(vec![1.0, 0.0], vec![vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap();
         let loose = mixing_time(
             &chain,
             MixingTimeOptions {

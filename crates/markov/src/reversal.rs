@@ -158,11 +158,7 @@ mod tests {
 
     #[test]
     fn reversal_fails_for_reducible_chain() {
-        let chain = MarkovChain::new(
-            vec![0.5, 0.5],
-            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
-        )
-        .unwrap();
+        let chain = MarkovChain::new(vec![0.5, 0.5], vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
         // Identity chain: every distribution is stationary; the solve finds
         // one of them, but the reversal of the identity chain is the identity,
         // so this either works trivially or fails with DoesNotMix depending on

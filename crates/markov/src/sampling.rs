@@ -98,7 +98,10 @@ mod tests {
         let zeros = traj.iter().filter(|&&s| s == 0).count() as f64 / traj.len() as f64;
         // Stationary distribution is [0.8, 0.2]; a 200k-step trajectory of a
         // fast-mixing chain concentrates tightly around it.
-        assert!((zeros - 0.8).abs() < 0.02, "frequency of state 0 was {zeros}");
+        assert!(
+            (zeros - 0.8).abs() < 0.02,
+            "frequency of state 0 was {zeros}"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! distribution class, which is what makes it so much cheaper than MQMExact.
 
 use pufferfish_linalg::{symmetric_eigenvalues, Matrix};
+use pufferfish_parallel::{try_par_map, Parallelism};
 
 use crate::{multiplicative_reversibilization, MarkovChain, MarkovChainClass, MarkovError, Result};
 
@@ -114,15 +115,30 @@ fn smallest_gap(eigenvalues: &[f64]) -> f64 {
 /// # Errors
 /// [`MarkovError::EmptyClass`] for an empty class, plus per-chain failures.
 pub fn class_eigengap(class: &MarkovChainClass, mode: ReversibilityMode) -> Result<f64> {
+    class_eigengap_with(class, mode, Parallelism::default())
+}
+
+/// [`class_eigengap`] with an explicit parallelism policy for the per-chain
+/// spectral scan — the hot loop for interval-grid classes, whose `g²` chains
+/// each require an eigendecomposition.
+///
+/// Per-chain gaps are computed independently and reduced by `min` in chain
+/// order, so every policy yields bitwise-identical results (and the same
+/// first error, if any).
+///
+/// # Errors
+/// Same as [`class_eigengap`].
+pub fn class_eigengap_with(
+    class: &MarkovChainClass,
+    mode: ReversibilityMode,
+    parallelism: Parallelism,
+) -> Result<f64> {
     let chains = class.representative_chains();
     if chains.is_empty() {
         return Err(MarkovError::EmptyClass);
     }
-    let mut min_gap = f64::INFINITY;
-    for chain in chains {
-        min_gap = min_gap.min(eigengap(chain, mode)?);
-    }
-    Ok(min_gap)
+    let gaps = try_par_map(parallelism, chains, |chain| eigengap(chain, mode))?;
+    Ok(gaps.into_iter().fold(f64::INFINITY, f64::min))
 }
 
 /// The class-level minimum stationary probability `π^min_Θ` (Equation 6).
@@ -130,15 +146,21 @@ pub fn class_eigengap(class: &MarkovChainClass, mode: ReversibilityMode) -> Resu
 /// # Errors
 /// [`MarkovError::EmptyClass`] for an empty class, plus per-chain failures.
 pub fn class_pi_min(class: &MarkovChainClass) -> Result<f64> {
+    class_pi_min_with(class, Parallelism::default())
+}
+
+/// [`class_pi_min`] with an explicit parallelism policy (see
+/// [`class_eigengap_with`] for the determinism contract).
+///
+/// # Errors
+/// Same as [`class_pi_min`].
+pub fn class_pi_min_with(class: &MarkovChainClass, parallelism: Parallelism) -> Result<f64> {
     let chains = class.representative_chains();
     if chains.is_empty() {
         return Err(MarkovError::EmptyClass);
     }
-    let mut min_pi = f64::INFINITY;
-    for chain in chains {
-        min_pi = min_pi.min(chain.pi_min()?);
-    }
-    Ok(min_pi)
+    let pis = try_par_map(parallelism, chains, |chain| chain.pi_min())?;
+    Ok(pis.into_iter().fold(f64::INFINITY, f64::min))
 }
 
 #[cfg(test)]
@@ -191,7 +213,10 @@ mod tests {
             1.0
         ));
         // Auto mode detects reversibility and uses the same formula.
-        assert!(close(eigengap(&theta1(), ReversibilityMode::Auto).unwrap(), 1.0));
+        assert!(close(
+            eigengap(&theta1(), ReversibilityMode::Auto).unwrap(),
+            1.0
+        ));
     }
 
     #[test]
@@ -222,26 +247,18 @@ mod tests {
     fn iid_chain_has_maximal_gap() {
         // Rows identical => next state independent of current => mixes in one
         // step => P P* has the single non-unit eigenvalue 0 => gap 1.
-        let iid = MarkovChain::new(
-            vec![0.3, 0.7],
-            vec![vec![0.3, 0.7], vec![0.3, 0.7]],
-        )
-        .unwrap();
-        assert!(close(eigengap(&iid, ReversibilityMode::General).unwrap(), 1.0));
+        let iid = MarkovChain::new(vec![0.3, 0.7], vec![vec![0.3, 0.7], vec![0.3, 0.7]]).unwrap();
+        assert!(close(
+            eigengap(&iid, ReversibilityMode::General).unwrap(),
+            1.0
+        ));
     }
 
     #[test]
     fn slow_chain_has_small_gap() {
-        let slow = MarkovChain::new(
-            vec![0.5, 0.5],
-            vec![vec![0.99, 0.01], vec![0.01, 0.99]],
-        )
-        .unwrap();
-        let fast = MarkovChain::new(
-            vec![0.5, 0.5],
-            vec![vec![0.6, 0.4], vec![0.4, 0.6]],
-        )
-        .unwrap();
+        let slow =
+            MarkovChain::new(vec![0.5, 0.5], vec![vec![0.99, 0.01], vec![0.01, 0.99]]).unwrap();
+        let fast = MarkovChain::new(vec![0.5, 0.5], vec![vec![0.6, 0.4], vec![0.4, 0.6]]).unwrap();
         let g_slow = eigengap(&slow, ReversibilityMode::Auto).unwrap();
         let g_fast = eigengap(&fast, ReversibilityMode::Auto).unwrap();
         assert!(g_slow < g_fast);

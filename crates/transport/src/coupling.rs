@@ -46,10 +46,7 @@ impl Coupling {
     /// The average distance travelled, weighted by mass — equals `W1` for the
     /// monotone plan.
     pub fn mean_displacement(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|(x, y, m)| (x - y).abs() * m)
-            .sum()
+        self.entries.iter().map(|(x, y, m)| (x - y).abs() * m).sum()
     }
 
     /// Checks that this plan's marginals match `mu` (first coordinate) and
@@ -153,8 +150,7 @@ mod tests {
 
     #[test]
     fn coupling_witnesses_wasserstein_distances() {
-        let mu =
-            DiscreteDistribution::new(vec![0.0, 1.0, 2.0], vec![0.5, 0.25, 0.25]).unwrap();
+        let mu = DiscreteDistribution::new(vec![0.0, 1.0, 2.0], vec![0.5, 0.25, 0.25]).unwrap();
         let nu = DiscreteDistribution::new(vec![1.0, 3.0], vec![0.5, 0.5]).unwrap();
         let gamma = optimal_coupling(&mu, &nu);
         assert!(gamma.has_marginals(&mu, &nu, 1e-9));

@@ -47,7 +47,10 @@ impl fmt::Display for TransportError {
                 "distributions must share the same support for this operation"
             ),
             TransportError::InfiniteDivergence => {
-                write!(f, "max-divergence is infinite (q assigns zero mass where p does not)")
+                write!(
+                    f,
+                    "max-divergence is infinite (q assigns zero mass where p does not)"
+                )
             }
         }
     }

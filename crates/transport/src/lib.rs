@@ -45,7 +45,11 @@ pub use coupling::{optimal_coupling, Coupling};
 pub use discrete::DiscreteDistribution;
 pub use divergence::{kl_divergence, max_divergence, symmetric_max_divergence, total_variation};
 pub use error::TransportError;
-pub use wasserstein::{wasserstein_infinity, wasserstein_one, wasserstein_p};
+pub use wasserstein::{
+    wasserstein_infinity, wasserstein_infinity_batch, wasserstein_one, wasserstein_p,
+};
+
+pub use pufferfish_parallel::Parallelism;
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, TransportError>;

@@ -11,6 +11,8 @@
 //! the supremum/integral can be evaluated exactly by sweeping over the merged
 //! set of CDF breakpoints.
 
+use pufferfish_parallel::{try_par_map, Parallelism};
+
 use crate::{DiscreteDistribution, Result};
 
 /// The ∞-Wasserstein distance `W∞(μ, ν)` (Definition 3.1 of the paper).
@@ -29,6 +31,26 @@ pub fn wasserstein_infinity(mu: &DiscreteDistribution, nu: &DiscreteDistribution
         }
     });
     Ok(max_displacement)
+}
+
+/// Batched [`wasserstein_infinity`]: the distances of many distribution
+/// pairs, computed under the given parallelism policy.
+///
+/// This is the transport-level batch entry point for callers that already
+/// hold materialised distribution pairs (sweeps over scenario grids,
+/// distance matrices, …). Note `WassersteinMechanism::calibrate_with`
+/// in `pufferfish-core` does *not* route through it: its per-job cost is
+/// dominated by building the conditional distributions, so it parallelises
+/// the whole job (conditioning + distance) instead. Results come back in
+/// input order regardless of the policy.
+///
+/// # Errors
+/// The first per-pair failure (in input order) is returned.
+pub fn wasserstein_infinity_batch(
+    pairs: &[(DiscreteDistribution, DiscreteDistribution)],
+    parallelism: Parallelism,
+) -> Result<Vec<f64>> {
+    try_par_map(parallelism, pairs, |(mu, nu)| wasserstein_infinity(mu, nu))
 }
 
 /// The 1-Wasserstein (earth mover's) distance `W1(μ, ν)`.
@@ -51,11 +73,7 @@ pub fn wasserstein_one(mu: &DiscreteDistribution, nu: &DiscreteDistribution) -> 
 ///
 /// # Errors
 /// Infallible for valid inputs; see [`wasserstein_infinity`].
-pub fn wasserstein_p(
-    mu: &DiscreteDistribution,
-    nu: &DiscreteDistribution,
-    p: f64,
-) -> Result<f64> {
+pub fn wasserstein_p(mu: &DiscreteDistribution, nu: &DiscreteDistribution, p: f64) -> Result<f64> {
     assert!(p >= 1.0 && p.is_finite(), "order p must be finite and >= 1");
     let mut total = 0.0;
     sweep_quantile_segments(mu, nu, |width, displacement| {
@@ -162,6 +180,37 @@ mod tests {
         assert!(close(wasserstein_infinity(&a, &b).unwrap(), 7.5));
         assert!(close(wasserstein_one(&a, &b).unwrap(), 7.5));
         assert!(close(wasserstein_p(&a, &b, 3.0).unwrap(), 7.5));
+    }
+
+    #[test]
+    fn batch_matches_singles_for_every_policy() {
+        let pairs: Vec<(DiscreteDistribution, DiscreteDistribution)> = (0..17)
+            .map(|i| {
+                let shift = i as f64 * 0.3;
+                (
+                    dist(&[0.0, 1.0, 4.0], &[0.5, 0.25, 0.25]),
+                    dist(&[shift, 1.0 + shift, 4.0 + shift], &[0.25, 0.25, 0.5]),
+                )
+            })
+            .collect();
+        let singles: Vec<f64> = pairs
+            .iter()
+            .map(|(mu, nu)| wasserstein_infinity(mu, nu).unwrap())
+            .collect();
+        for policy in [
+            Parallelism::Serial,
+            Parallelism::Auto,
+            Parallelism::Threads(4),
+        ] {
+            let batched = wasserstein_infinity_batch(&pairs, policy).unwrap();
+            assert_eq!(batched.len(), singles.len());
+            for (a, b) in batched.iter().zip(&singles) {
+                assert_eq!(a.to_bits(), b.to_bits(), "policy {policy:?}");
+            }
+        }
+        assert!(wasserstein_infinity_batch(&[], Parallelism::Auto)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

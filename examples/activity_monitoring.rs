@@ -38,6 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         MqmExactOptions {
             max_quilt_width: Some(approx.optimal_quilt_width().max(4)),
             search_middle_only: true,
+            ..Default::default()
         },
     )?;
 

@@ -4,19 +4,14 @@
 //! Run with `cargo run -p pufferfish-bench --release --example composition`.
 
 use pufferfish_core::queries::{RelativeFrequencyHistogram, StateFrequencyQuery};
-use pufferfish_core::{
-    CompositionAccountant, MqmExact, MqmExactOptions, PrivacyBudget,
-};
+use pufferfish_core::{CompositionAccountant, MqmExact, MqmExactOptions, PrivacyBudget};
 use pufferfish_markov::{sample_trajectory, MarkovChain, MarkovChainClass};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let length = 500;
-    let chain = MarkovChain::with_stationary_initial(vec![
-        vec![0.85, 0.15],
-        vec![0.25, 0.75],
-    ])?;
+    let chain = MarkovChain::with_stationary_initial(vec![vec![0.85, 0.15], vec![0.25, 0.75]])?;
     let class = MarkovChainClass::singleton(chain.clone());
     let mut rng = StdRng::seed_from_u64(11);
     let data = sample_trajectory(&chain, length, &mut rng)?;

@@ -35,13 +35,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             MqmExactOptions {
                 max_quilt_width: Some(approx.optimal_quilt_width().max(4)),
                 search_middle_only: true,
+                ..Default::default()
             },
         )?;
         let group = GroupDp::calibrate(length, budget)?;
 
         let query = RelativeFrequencyHistogram::new(dataset.config.num_states, length)?;
         let group_err = group.release(&query, &dataset.states, &mut rng)?.l1_error();
-        let approx_err = approx.release(&query, &dataset.states, &mut rng)?.l1_error();
+        let approx_err = approx
+            .release(&query, &dataset.states, &mut rng)?
+            .l1_error();
         let exact_err = exact.release(&query, &dataset.states, &mut rng)?.l1_error();
         println!(
             "epsilon = {epsilon:>3}: L1 error GroupDP = {group_err:>9.4}, \

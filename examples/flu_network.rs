@@ -3,9 +3,10 @@
 //!
 //! Run with `cargo run -p pufferfish-bench --release --example flu_network`.
 
+use pufferfish_baselines::GroupDp;
 use pufferfish_core::flu::{contagion_distribution, flu_clique_framework};
 use pufferfish_core::queries::StateCountQuery;
-use pufferfish_core::{PrivacyBudget, WassersteinMechanism};
+use pufferfish_core::{Mechanism, PrivacyBudget, WassersteinMechanism};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -19,24 +20,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Query: how many people have the flu?
     let query = StateCountQuery::new(1, clique_size);
-    let mechanism =
-        WassersteinMechanism::calibrate(&framework, &query, PrivacyBudget::new(1.0)?)?;
+    let mechanism = WassersteinMechanism::calibrate(&framework, &query, PrivacyBudget::new(1.0)?)?;
 
     println!(
         "Wasserstein parameter W = {:.3} (group DP would use sensitivity {})",
         mechanism.wasserstein_parameter(),
         clique_size
     );
-    println!("Laplace scale at epsilon = 1: {:.3}", mechanism.noise_scale());
+    println!(
+        "Laplace scale at epsilon = 1: {:.3}",
+        mechanism.noise_scale()
+    );
 
-    // The true database: two of the four are infected.
+    // The true database: two of the four are infected. Both mechanisms are
+    // served uniformly through the `Mechanism` trait.
     let database = vec![1, 0, 1, 0];
     let mut rng = StdRng::seed_from_u64(42);
-    let release = mechanism.release(&query, &database, &mut rng)?;
-    println!(
-        "\nTrue number infected: {:.0}, privately released: {:.2}",
-        release.true_values[0], release.values[0]
-    );
+    let group_dp = GroupDp::calibrate(clique_size, PrivacyBudget::new(1.0)?)?;
+    let contenders: [&dyn Mechanism; 2] = [&mechanism, &group_dp];
+    println!();
+    for contender in contenders {
+        let release = contender.release(&query, &database, &mut rng)?;
+        println!(
+            "{:<12} true infected: {:.0}, privately released: {:.2} (scale {:.2})",
+            contender.name(),
+            release.true_values[0],
+            release.values[0],
+            release.scale
+        );
+    }
 
     // A more contagious model (the exp(2j) distribution of Section 2.2)
     // produces stronger correlation and therefore a larger W.

@@ -1,10 +1,12 @@
 //! Quickstart: release a private activity histogram from a correlated time
-//! series with the Markov Quilt Mechanism.
+//! series through the unified `Mechanism` trait and the cached release
+//! engine.
 //!
 //! Run with `cargo run -p pufferfish-bench --release --example quickstart`.
 
+use pufferfish_core::engine::{MqmApproxCalibrator, MqmExactCalibrator, ReleaseEngine};
 use pufferfish_core::queries::RelativeFrequencyHistogram;
-use pufferfish_core::{MqmApprox, MqmApproxOptions, MqmExact, MqmExactOptions, PrivacyBudget};
+use pufferfish_core::{Mechanism, MqmApprox, MqmApproxOptions, MqmExactOptions, PrivacyBudget};
 use pufferfish_markov::{sample_trajectory, MarkovChain, MarkovChainClass};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,26 +26,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vec![0.3, 0.7],
     ])?);
 
-    // Calibrate both Markov Quilt Mechanism variants at epsilon = 1.
+    // MQMApprox is cheap to calibrate and its winning quilt width seeds the
+    // MQMExact search radius (the paper's experimental configuration).
     let budget = PrivacyBudget::new(1.0)?;
     let approx = MqmApprox::calibrate(&class, length, budget, MqmApproxOptions::default())?;
-    let exact = MqmExact::calibrate(
-        &class,
+
+    // Serve releases through engines: the first release calibrates, every
+    // further (ε, query) repeat is a cache hit.
+    let approx_engine = ReleaseEngine::new(MqmApproxCalibrator::new(
+        class.clone(),
         length,
-        budget,
+        MqmApproxOptions::default(),
+    ));
+    let exact_engine = ReleaseEngine::new(MqmExactCalibrator::new(
+        class,
+        length,
         MqmExactOptions {
             max_quilt_width: Some(approx.optimal_quilt_width().max(4)),
             search_middle_only: true,
+            ..Default::default()
         },
-    )?;
+    ));
 
-    println!("MQMApprox noise multiplier sigma_max = {:.4}", approx.sigma_max());
-    println!("MQMExact  noise multiplier sigma_max = {:.4}", exact.sigma_max());
-    println!("(the trivial / group-DP multiplier would be {length})");
-
-    // Release the fraction of the day spent in each activity.
+    // Both engines hand back uniform `Arc<dyn Mechanism>` handles.
     let query = RelativeFrequencyHistogram::new(2, length)?;
-    let release = exact.release(&query, &day, &mut rng)?;
+    let mechanisms: Vec<std::sync::Arc<dyn Mechanism>> = vec![
+        approx_engine.mechanism(&query, budget)?,
+        exact_engine.mechanism(&query, budget)?,
+    ];
+    for mechanism in &mechanisms {
+        println!(
+            "{:<12} noise scale for the histogram = {:.6}  (epsilon = {})",
+            mechanism.name(),
+            mechanism.noise_scale_for(&query),
+            mechanism.epsilon()
+        );
+    }
+    println!("(the trivial / group-DP multiplier would scale with T = {length})");
+
+    // Release the fraction of the day spent in each activity with MQMExact.
+    let release = exact_engine.release(&query, &day, budget, &mut rng)?;
     println!("\n{:<12} {:>10} {:>10}", "activity", "exact", "private");
     for (state, label) in ["resting", "moving"].iter().enumerate() {
         println!(
@@ -52,5 +74,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("\nL1 error of this release: {:.5}", release.l1_error());
+
+    // A second day of traffic: same (class, epsilon, query) key, so the
+    // engine skips recalibration entirely.
+    let day2 = sample_trajectory(&truth, length, &mut rng)?;
+    let release2 = exact_engine.release(&query, &day2, budget, &mut rng)?;
+    println!(
+        "second release L1 error {:.5} (cache hits: {}, misses: {})",
+        release2.l1_error(),
+        exact_engine.cache_hits(),
+        exact_engine.cache_misses()
+    );
     Ok(())
 }

@@ -8,11 +8,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn class_and_data(length: usize) -> (MarkovChainClass, Vec<usize>) {
-    let chain = MarkovChain::with_stationary_initial(vec![
-        vec![0.85, 0.15],
-        vec![0.30, 0.70],
-    ])
-    .unwrap();
+    let chain =
+        MarkovChain::with_stationary_initial(vec![vec![0.85, 0.15], vec![0.30, 0.70]]).unwrap();
     let mut rng = StdRng::seed_from_u64(99);
     let data = sample_trajectory(&chain, length, &mut rng).unwrap();
     (MarkovChainClass::singleton(chain), data)
@@ -26,7 +23,8 @@ fn homogeneous_composition_across_releases() {
     let (class, data) = class_and_data(length);
     let per_release = 0.25;
     let budget = PrivacyBudget::new(per_release).unwrap();
-    let mechanism = MqmExact::calibrate(&class, length, budget, MqmExactOptions::default()).unwrap();
+    let mechanism =
+        MqmExact::calibrate(&class, length, budget, MqmExactOptions::default()).unwrap();
 
     let histogram = RelativeFrequencyHistogram::new(2, length).unwrap();
     let frequency = StateFrequencyQuery::new(1, length);

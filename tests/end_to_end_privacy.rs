@@ -85,11 +85,8 @@ fn mqm_exact_per_node_privacy_budget_split() {
 #[test]
 fn trivial_quilt_fallback_bound() {
     let length = 40;
-    let slow = MarkovChain::new(
-        vec![0.5, 0.5],
-        vec![vec![0.995, 0.005], vec![0.005, 0.995]],
-    )
-    .unwrap();
+    let slow =
+        MarkovChain::new(vec![0.5, 0.5], vec![vec![0.995, 0.005], vec![0.005, 0.995]]).unwrap();
     let class = MarkovChainClass::singleton(slow);
     for epsilon in [0.2, 1.0, 5.0] {
         for width in [Some(2), Some(10), None] {
@@ -100,6 +97,7 @@ fn trivial_quilt_fallback_bound() {
                 MqmExactOptions {
                     max_quilt_width: width,
                     search_middle_only: false,
+                    ..Default::default()
                 },
             )
             .unwrap();

@@ -46,36 +46,62 @@ fn wasserstein_release_beats_group_dp() {
             .release(&query, &database, &mut rng)
             .unwrap()
             .l1_error();
-        group_error += group.release(&query, &database, &mut rng).unwrap().l1_error();
+        group_error += group
+            .release(&query, &database, &mut rng)
+            .unwrap()
+            .l1_error();
     }
     wasserstein_error /= trials as f64;
     group_error /= trials as f64;
-    assert!((wasserstein_error - 2.0).abs() < 0.1, "wasserstein {wasserstein_error}");
+    assert!(
+        (wasserstein_error - 2.0).abs() < 0.1,
+        "wasserstein {wasserstein_error}"
+    );
     assert!((group_error - 4.0).abs() < 0.2, "group {group_error}");
 }
 
-/// Larger cliques and more contagious models need more noise, but the
-/// Wasserstein parameter never exceeds the group sensitivity (Theorem 3.3).
+/// Correlated contagion models need more noise than independent infections,
+/// but the Wasserstein parameter never exceeds the group sensitivity
+/// (Theorem 3.3).
+///
+/// Note `contagion_distribution(n, 0.0)` is *uniform over counts* — a
+/// strongly correlated model (the count barely constrains any individual, so
+/// conditioning shifts the whole count distribution) — not independence.
+/// True independence is the binomial count distribution `C(n, j) / 2^n`.
 #[test]
 fn contagion_strength_and_clique_size_scaling() {
     let budget = PrivacyBudget::new(1.0).unwrap();
-    let mut previous_w = 0.0;
+    let query = StateCountQuery::new(1, 6);
+
+    // Independent fair coins: the count is Binomial(6, 1/2) and W collapses
+    // to (about) the entry-DP sensitivity 1.
+    let binomial: Vec<f64> = {
+        let mut row = vec![1.0f64];
+        for k in 1..=6usize {
+            let next = row[k - 1] * (6 - k + 1) as f64 / k as f64;
+            row.push(next);
+        }
+        let total: f64 = row.iter().sum();
+        row.into_iter().map(|c| c / total).collect()
+    };
+    let independent = flu_clique_framework(6, &binomial).unwrap();
+    let w_independent = WassersteinMechanism::calibrate(&independent, &query, budget)
+        .unwrap()
+        .wasserstein_parameter();
+    assert!(w_independent < 2.5, "binomial W = {w_independent}");
+
+    // Every contagion-shaped model is more correlated than independence:
+    // W strictly exceeds the independent case yet respects Theorem 3.3's
+    // group-sensitivity ceiling.
     for strength in [0.0, 1.0, 2.0] {
         let dist = contagion_distribution(6, strength);
         let framework = flu_clique_framework(6, &dist).unwrap();
-        let query = StateCountQuery::new(1, 6);
         let mechanism = WassersteinMechanism::calibrate(&framework, &query, budget).unwrap();
         let w = mechanism.wasserstein_parameter();
-        assert!(w <= 6.0 + 1e-9);
-        assert!(w >= previous_w - 1e-9, "W should not shrink as contagion grows");
-        previous_w = w;
+        assert!(w <= 6.0 + 1e-9, "strength {strength}: W = {w}");
+        assert!(
+            w > w_independent + 0.4,
+            "strength {strength}: W = {w} vs independent {w_independent}"
+        );
     }
-    // With strength 0 the counts are close to independent of any single
-    // person, and W stays near 1 (the DP sensitivity).
-    let independent = flu_clique_framework(6, &contagion_distribution(6, 0.0)).unwrap();
-    let query = StateCountQuery::new(1, 6);
-    let w = WassersteinMechanism::calibrate(&independent, &query, budget)
-        .unwrap()
-        .wasserstein_parameter();
-    assert!(w < 2.5);
 }

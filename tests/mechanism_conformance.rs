@@ -1,0 +1,506 @@
+//! Generic conformance suite for the unified [`Mechanism`] trait layer, run
+//! against all seven implementors: the four core mechanisms (Wasserstein,
+//! general Markov Quilt, MQMExact, MQMApprox) and the three baselines
+//! (EntryDp, GroupDp, Gk16).
+//!
+//! Per implementor the suite checks:
+//! * **calibrate-once / release-many determinism** — identical releases
+//!   under a re-seeded RNG, and a mechanism that is immutable across
+//!   releases;
+//! * **batch vs. sequential equality** — `release_batch` consumes the same
+//!   noise stream as a loop of `release` calls;
+//! * **trait metadata coherence** — `name`/`epsilon`/`noise_scale_for`
+//!   consistent with the release output, database validation enforced;
+//! * **cache-hit equivalence** — an engine release after a warm-up is served
+//!   from the cache (hit counter) and matches a cold calibration bit for
+//!   bit;
+//! * **parallel calibration equivalence** — serial and multi-threaded
+//!   calibration produce bitwise-identical noise scales.
+
+use std::sync::Arc;
+
+use pufferfish_baselines::{EntryDp, Gk16, GroupDp};
+use pufferfish_bayesnet::{chain_quilts, Dag, DiscreteBayesianNetwork};
+use pufferfish_core::engine::{
+    FnCalibrator, MqmApproxCalibrator, MqmExactCalibrator, QuiltCalibrator, ReleaseEngine,
+    WassersteinCalibrator,
+};
+use pufferfish_core::flu::flu_clique_framework;
+use pufferfish_core::queries::{RelativeFrequencyHistogram, StateCountQuery};
+use pufferfish_core::{
+    LipschitzQuery, MarkovQuiltMechanism, Mechanism, MqmApprox, MqmApproxOptions, MqmExact,
+    MqmExactOptions, Parallelism, PrivacyBudget, QuiltMechanismOptions, WassersteinMechanism,
+};
+use pufferfish_markov::{MarkovChain, MarkovChainClass};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CHAIN_LENGTH: usize = 120;
+
+fn budget() -> PrivacyBudget {
+    PrivacyBudget::new(1.0).unwrap()
+}
+
+fn running_class() -> MarkovChainClass {
+    MarkovChainClass::from_chains(vec![
+        MarkovChain::new(vec![1.0, 0.0], vec![vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap(),
+        MarkovChain::new(vec![0.9, 0.1], vec![vec![0.8, 0.2], vec![0.3, 0.7]]).unwrap(),
+    ])
+    .unwrap()
+}
+
+fn chain_database(length: usize) -> Vec<usize> {
+    (0..length).map(|t| (t / 7) % 2).collect()
+}
+
+fn quilt_network(len: usize) -> DiscreteBayesianNetwork {
+    let dag = Dag::chain(len);
+    let mut net = DiscreteBayesianNetwork::new(dag, vec![2; len]).unwrap();
+    net.set_cpd(0, vec![vec![0.8, 0.2]]).unwrap();
+    for node in 1..len {
+        net.set_cpd(node, vec![vec![0.9, 0.1], vec![0.4, 0.6]])
+            .unwrap();
+    }
+    net
+}
+
+/// Every implementor paired with a query + database it can release.
+#[allow(clippy::type_complexity)]
+fn all_mechanisms() -> Vec<(Box<dyn Mechanism>, Box<dyn LipschitzQuery>, Vec<usize>)> {
+    #[allow(clippy::type_complexity)]
+    let mut mechanisms: Vec<(Box<dyn Mechanism>, Box<dyn LipschitzQuery>, Vec<usize>)> = Vec::new();
+
+    // 1. Wasserstein Mechanism on the 4-person flu clique.
+    let framework = flu_clique_framework(4, &[0.1, 0.15, 0.5, 0.15, 0.1]).unwrap();
+    let count = StateCountQuery::new(1, 4);
+    mechanisms.push((
+        Box::new(WassersteinMechanism::calibrate(&framework, &count, budget()).unwrap()),
+        Box::new(count),
+        vec![1, 0, 1, 0],
+    ));
+
+    // 2. General Markov Quilt Mechanism on a 6-node chain network.
+    let net = quilt_network(6);
+    let candidates: Vec<_> = (0..6)
+        .map(|node| chain_quilts(6, node, 6).unwrap())
+        .collect();
+    mechanisms.push((
+        Box::new(
+            MarkovQuiltMechanism::calibrate(
+                &[net],
+                budget(),
+                QuiltMechanismOptions {
+                    quilt_candidates: Some(candidates),
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        ),
+        Box::new(StateCountQuery::new(1, 6)),
+        vec![0, 1, 1, 0, 0, 1],
+    ));
+
+    // 3. MQMExact over the running-example class.
+    mechanisms.push((
+        Box::new(
+            MqmExact::calibrate(
+                &running_class(),
+                CHAIN_LENGTH,
+                budget(),
+                MqmExactOptions::default(),
+            )
+            .unwrap(),
+        ),
+        Box::new(RelativeFrequencyHistogram::new(2, CHAIN_LENGTH).unwrap()),
+        chain_database(CHAIN_LENGTH),
+    ));
+
+    // 4. MQMApprox over the running-example class.
+    mechanisms.push((
+        Box::new(
+            MqmApprox::calibrate(
+                &running_class(),
+                CHAIN_LENGTH,
+                budget(),
+                MqmApproxOptions::default(),
+            )
+            .unwrap(),
+        ),
+        Box::new(RelativeFrequencyHistogram::new(2, CHAIN_LENGTH).unwrap()),
+        chain_database(CHAIN_LENGTH),
+    ));
+
+    // 5. EntryDp.
+    let histogram = RelativeFrequencyHistogram::new(2, CHAIN_LENGTH).unwrap();
+    mechanisms.push((
+        Box::new(EntryDp::for_query(&histogram, budget()).unwrap()),
+        Box::new(histogram),
+        chain_database(CHAIN_LENGTH),
+    ));
+
+    // 6. GroupDp.
+    mechanisms.push((
+        Box::new(GroupDp::calibrate(CHAIN_LENGTH, budget()).unwrap()),
+        Box::new(RelativeFrequencyHistogram::new(2, CHAIN_LENGTH).unwrap()),
+        chain_database(CHAIN_LENGTH),
+    ));
+
+    // 7. Gk16 on a weakly correlated class where it applies.
+    let weak = MarkovChainClass::singleton(
+        MarkovChain::new(vec![0.5, 0.5], vec![vec![0.55, 0.45], vec![0.45, 0.55]]).unwrap(),
+    );
+    mechanisms.push((
+        Box::new(Gk16::calibrate(&weak, CHAIN_LENGTH, budget()).unwrap()),
+        Box::new(RelativeFrequencyHistogram::new(2, CHAIN_LENGTH).unwrap()),
+        chain_database(CHAIN_LENGTH),
+    ));
+
+    mechanisms
+}
+
+#[test]
+fn trait_metadata_is_coherent_for_all_implementors() {
+    let expected_names = [
+        "wasserstein",
+        "markov-quilt",
+        "mqm-exact",
+        "mqm-approx",
+        "entry-dp",
+        "group-dp",
+        "gk16",
+    ];
+    let mechanisms = all_mechanisms();
+    assert_eq!(mechanisms.len(), expected_names.len());
+    for ((mechanism, query, database), expected) in mechanisms.iter().zip(expected_names) {
+        assert_eq!(mechanism.name(), expected);
+        assert_eq!(mechanism.epsilon(), 1.0);
+        let scale = mechanism.noise_scale_for(query.as_ref());
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "{expected}: bad scale {scale}"
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        let release = mechanism
+            .release(query.as_ref(), database, &mut rng)
+            .unwrap();
+        assert_eq!(release.scale, scale, "{expected}");
+        assert_eq!(release.values.len(), query.output_dimension(), "{expected}");
+        assert_eq!(
+            release.true_values,
+            query.evaluate(database).unwrap(),
+            "{expected}"
+        );
+        // Database validation is enforced through the trait.
+        assert!(
+            mechanism
+                .release(query.as_ref(), &database[..database.len() - 1], &mut rng)
+                .is_err(),
+            "{expected}: accepted short database"
+        );
+    }
+}
+
+#[test]
+fn calibrate_once_release_many_is_deterministic_under_seeded_rng() {
+    for (mechanism, query, database) in all_mechanisms() {
+        // Same seed => identical noise, across repeated use of the same
+        // calibrated mechanism (release must not mutate the mechanism).
+        let mut first_run = Vec::new();
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..5 {
+            first_run.push(
+                mechanism
+                    .release(query.as_ref(), &database, &mut rng)
+                    .unwrap(),
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(2024);
+        for previous in &first_run {
+            let replay = mechanism
+                .release(query.as_ref(), &database, &mut rng)
+                .unwrap();
+            assert_eq!(replay.values, previous.values, "{}", mechanism.name());
+            assert_eq!(replay.scale, previous.scale, "{}", mechanism.name());
+        }
+    }
+}
+
+#[test]
+fn batch_release_equals_sequential_release() {
+    for (mechanism, query, database) in all_mechanisms() {
+        let databases: Vec<Vec<usize>> = (0..4)
+            .map(|shift| {
+                let mut db = database.clone();
+                let rotation = shift % db.len().max(1);
+                db.rotate_left(rotation);
+                db
+            })
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(99);
+        let batched = mechanism
+            .release_batch(query.as_ref(), &databases, &mut rng)
+            .unwrap();
+
+        let mut rng = StdRng::seed_from_u64(99);
+        let sequential: Vec<_> = databases
+            .iter()
+            .map(|db| mechanism.release(query.as_ref(), db, &mut rng).unwrap())
+            .collect();
+
+        assert_eq!(batched.len(), sequential.len());
+        for (a, b) in batched.iter().zip(&sequential) {
+            assert_eq!(a.values, b.values, "{}", mechanism.name());
+            assert_eq!(a.true_values, b.true_values, "{}", mechanism.name());
+        }
+    }
+}
+
+#[test]
+fn engine_cache_hits_match_cold_calibration_for_every_calibrator() {
+    let histogram = RelativeFrequencyHistogram::new(2, CHAIN_LENGTH).unwrap();
+    let count4 = StateCountQuery::new(1, 4);
+    let framework = flu_clique_framework(4, &[0.1, 0.15, 0.5, 0.15, 0.1]).unwrap();
+
+    // Engines over every calibrator family (core mechanisms get concrete
+    // calibrators, baselines go through FnCalibrator).
+    let weak = MarkovChainClass::singleton(
+        MarkovChain::new(vec![0.5, 0.5], vec![vec![0.55, 0.45], vec![0.45, 0.55]]).unwrap(),
+    );
+    let weak_for_fn = weak.clone();
+    let engines: Vec<(ReleaseEngine, Box<dyn LipschitzQuery>, Vec<usize>)> = vec![
+        (
+            ReleaseEngine::new(WassersteinCalibrator::new(
+                framework.clone(),
+                Parallelism::default(),
+            )),
+            Box::new(count4),
+            vec![1, 0, 1, 0],
+        ),
+        (
+            ReleaseEngine::new(MqmExactCalibrator::new(
+                running_class(),
+                CHAIN_LENGTH,
+                MqmExactOptions::default(),
+            )),
+            Box::new(histogram.clone()),
+            chain_database(CHAIN_LENGTH),
+        ),
+        (
+            ReleaseEngine::new(MqmApproxCalibrator::new(
+                running_class(),
+                CHAIN_LENGTH,
+                MqmApproxOptions::default(),
+            )),
+            Box::new(histogram.clone()),
+            chain_database(CHAIN_LENGTH),
+        ),
+        (
+            ReleaseEngine::new(QuiltCalibrator::new(
+                vec![quilt_network(6)],
+                QuiltMechanismOptions::default(),
+            )),
+            Box::new(StateCountQuery::new(1, 6)),
+            vec![0, 1, 1, 0, 0, 1],
+        ),
+        (
+            ReleaseEngine::new(FnCalibrator::new("gk16", 7, move |_q, budget| {
+                Ok(
+                    Arc::new(Gk16::calibrate(&weak_for_fn, CHAIN_LENGTH, budget)?)
+                        as Arc<dyn Mechanism>,
+                )
+            })),
+            Box::new(histogram.clone()),
+            chain_database(CHAIN_LENGTH),
+        ),
+    ];
+
+    for (engine, query, database) in engines {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Cold: calibrates.
+        let first = engine
+            .release(query.as_ref(), &database, budget(), &mut rng)
+            .unwrap();
+        assert_eq!(engine.cache_misses(), 1, "{}", engine.kind());
+        assert_eq!(engine.cache_hits(), 0, "{}", engine.kind());
+
+        // Warm: second release with the same (class, epsilon, query) skips
+        // recalibration — asserted via the hit counter.
+        let second = engine
+            .release(query.as_ref(), &database, budget(), &mut rng)
+            .unwrap();
+        assert_eq!(engine.cache_misses(), 1, "{}", engine.kind());
+        assert_eq!(engine.cache_hits(), 1, "{}", engine.kind());
+
+        // The cached mechanism is equivalent to a cold calibration: same
+        // scale bit for bit.
+        assert_eq!(
+            first.scale.to_bits(),
+            second.scale.to_bits(),
+            "{}",
+            engine.kind()
+        );
+        let cached = engine.mechanism(query.as_ref(), budget()).unwrap();
+        assert_eq!(
+            cached.noise_scale_for(query.as_ref()).to_bits(),
+            first.scale.to_bits(),
+            "{}",
+            engine.kind()
+        );
+    }
+}
+
+#[test]
+fn parallel_calibration_is_bitwise_identical_to_serial() {
+    let policies = [
+        Parallelism::Serial,
+        Parallelism::Threads(2),
+        Parallelism::Threads(4),
+        Parallelism::Auto,
+    ];
+
+    // Wasserstein.
+    let framework = flu_clique_framework(5, &[0.05, 0.15, 0.3, 0.3, 0.15, 0.05]).unwrap();
+    let count = StateCountQuery::new(1, 5);
+    let reference =
+        WassersteinMechanism::calibrate_with(&framework, &count, budget(), Parallelism::Serial)
+            .unwrap();
+    for policy in policies {
+        let candidate =
+            WassersteinMechanism::calibrate_with(&framework, &count, budget(), policy).unwrap();
+        assert_eq!(
+            candidate.wasserstein_parameter().to_bits(),
+            reference.wasserstein_parameter().to_bits()
+        );
+        assert_eq!(candidate.worst_case(), reference.worst_case());
+    }
+
+    // MQMExact (multi-theta class: parallelism across theta; singleton:
+    // parallelism across nodes).
+    for class in [
+        running_class(),
+        MarkovChainClass::singleton(running_class().chains()[0].clone()),
+    ] {
+        let reference = MqmExact::calibrate(
+            &class,
+            CHAIN_LENGTH,
+            budget(),
+            MqmExactOptions {
+                parallelism: Parallelism::Serial,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for policy in policies {
+            let candidate = MqmExact::calibrate(
+                &class,
+                CHAIN_LENGTH,
+                budget(),
+                MqmExactOptions {
+                    parallelism: policy,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                candidate.sigma_max().to_bits(),
+                reference.sigma_max().to_bits()
+            );
+            assert_eq!(candidate.selections(), reference.selections());
+        }
+    }
+
+    // MQMApprox (full search so the node loop actually parallelises).
+    let options = |policy| MqmApproxOptions {
+        strategy: pufferfish_core::QuiltSearchStrategy::Full { max_width: None },
+        parallelism: policy,
+        ..Default::default()
+    };
+    let reference = MqmApprox::calibrate(
+        &running_class(),
+        CHAIN_LENGTH,
+        budget(),
+        options(Parallelism::Serial),
+    )
+    .unwrap();
+    for policy in policies {
+        let candidate =
+            MqmApprox::calibrate(&running_class(), CHAIN_LENGTH, budget(), options(policy))
+                .unwrap();
+        assert_eq!(
+            candidate.sigma_max().to_bits(),
+            reference.sigma_max().to_bits()
+        );
+        assert_eq!(candidate.worst_node(), reference.worst_node());
+        assert_eq!(candidate.best_quilt(), reference.best_quilt());
+    }
+
+    // General Markov Quilt Mechanism.
+    let net = quilt_network(8);
+    let candidates: Vec<_> = (0..8)
+        .map(|node| chain_quilts(8, node, 8).unwrap())
+        .collect();
+    let quilt_options = |policy| QuiltMechanismOptions {
+        quilt_candidates: Some(candidates.clone()),
+        parallelism: policy,
+    };
+    let reference = MarkovQuiltMechanism::calibrate(
+        std::slice::from_ref(&net),
+        budget(),
+        quilt_options(Parallelism::Serial),
+    )
+    .unwrap();
+    for policy in policies {
+        let candidate = MarkovQuiltMechanism::calibrate(
+            std::slice::from_ref(&net),
+            budget(),
+            quilt_options(policy),
+        )
+        .unwrap();
+        assert_eq!(
+            candidate.sigma_max().to_bits(),
+            reference.sigma_max().to_bits()
+        );
+    }
+}
+
+#[test]
+fn degenerate_class_parameters_yield_typed_errors() {
+    use pufferfish_core::PufferfishError;
+
+    // pi_min on/below the boundary.
+    for (pi_min, eigengap) in [
+        (0.0, 0.5),
+        (-0.1, 0.5),
+        (f64::NAN, 0.5),
+        (0.3, 0.0),
+        (0.3, -1.0),
+        (0.3, f64::NAN),
+        (0.3, 1e-15),
+        (1e-15, 0.5),
+    ] {
+        let result = MqmApprox::calibrate_from_parameters(
+            pi_min,
+            eigengap,
+            2,
+            100,
+            budget(),
+            MqmApproxOptions::default(),
+        );
+        match result {
+            Err(PufferfishError::DegenerateClass { .. }) => {}
+            other => panic!("({pi_min}, {eigengap}): expected DegenerateClass, got {other:?}"),
+        }
+    }
+
+    // Well-inside-the-region parameters still calibrate.
+    assert!(MqmApprox::calibrate_from_parameters(
+        0.3,
+        0.5,
+        2,
+        100,
+        budget(),
+        MqmApproxOptions::default()
+    )
+    .is_ok());
+}

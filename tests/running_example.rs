@@ -40,19 +40,17 @@ fn spectral_quantities_match_the_paper() {
 #[test]
 fn mqm_exact_reproduces_paper_noise_scales() {
     let budget = PrivacyBudget::new(1.0).unwrap();
-    let mechanism = MqmExact::calibrate(
-        &running_class(),
-        100,
-        budget,
-        MqmExactOptions::default(),
-    )
-    .unwrap();
+    let mechanism =
+        MqmExact::calibrate(&running_class(), 100, budget, MqmExactOptions::default()).unwrap();
     assert!((mechanism.sigma_max() - 13.0219).abs() < 5e-3);
 
     let selections = mechanism.selections();
     assert_eq!(selections.len(), 2);
     assert_eq!(selections[0].node, 8);
-    assert_eq!(selections[0].shape, ChainQuiltShape::TwoSided { a: 5, b: 5 });
+    assert_eq!(
+        selections[0].shape,
+        ChainQuiltShape::TwoSided { a: 5, b: 5 }
+    );
     assert!((selections[0].score - 13.0219).abs() < 5e-3);
     assert_eq!(selections[1].node, 6);
     assert_eq!(selections[1].shape, ChainQuiltShape::RightOnly { b: 4 });
@@ -75,6 +73,7 @@ fn approx_and_exact_end_to_end_release() {
         MqmApproxOptions {
             reversibility: ReversibilityMode::General,
             strategy: QuiltSearchStrategy::Full { max_width: None },
+            ..Default::default()
         },
     )
     .unwrap();

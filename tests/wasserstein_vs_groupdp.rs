@@ -1,57 +1,56 @@
-//! Property-based integration test for Theorem 3.3: the Wasserstein
+//! Property-style integration test for Theorem 3.3: the Wasserstein
 //! Mechanism's parameter W never exceeds the group-DP sensitivity of the
 //! query, across randomly generated clique instantiations.
+//!
+//! (The sweep is a hand-rolled seeded random search rather than proptest —
+//! the offline build environment has no crates.io access — but covers the
+//! same property space: random clique sizes, random infection
+//! distributions, random epsilon pairs.)
 
-use proptest::prelude::*;
 use pufferfish_core::flu::flu_clique_framework;
 use pufferfish_core::queries::StateCountQuery;
 use pufferfish_core::{PrivacyBudget, WassersteinMechanism};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn infection_distribution(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.01f64..1.0, n + 1).prop_map(|weights| {
-        let total: f64 = weights.iter().sum();
-        weights.into_iter().map(|w| w / total).collect()
-    })
+fn random_infection_distribution<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<f64> {
+    let weights: Vec<f64> = (0..=n).map(|_| rng.gen_range(0.01..1.0)).collect();
+    let total: f64 = weights.iter().sum();
+    weights.into_iter().map(|w| w / total).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Theorem 3.3: W <= group sensitivity (= clique size for the count
-    /// query), and W >= 0.
-    #[test]
-    fn wasserstein_parameter_bounded_by_group_sensitivity(
-        n in 2usize..6,
-        dist in infection_distribution(5),
-    ) {
-        let dist = &dist[..=n];
-        let total: f64 = dist.iter().sum();
-        let dist: Vec<f64> = dist.iter().map(|p| p / total).collect();
+/// Theorem 3.3: W <= group sensitivity (= clique size for the count query),
+/// and W >= 0.
+#[test]
+fn wasserstein_parameter_bounded_by_group_sensitivity() {
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    for _case in 0..48 {
+        let n = rng.gen_range(2usize..6);
+        let dist = random_infection_distribution(n, &mut rng);
         let framework = flu_clique_framework(n, &dist).unwrap();
         let query = StateCountQuery::new(1, n);
-        let mechanism = WassersteinMechanism::calibrate(
-            &framework,
-            &query,
-            PrivacyBudget::new(1.0).unwrap(),
-        )
-        .unwrap();
+        let mechanism =
+            WassersteinMechanism::calibrate(&framework, &query, PrivacyBudget::new(1.0).unwrap())
+                .unwrap();
         let w = mechanism.wasserstein_parameter();
-        prop_assert!(w >= 0.0);
-        prop_assert!(w <= n as f64 + 1e-9, "W = {w} exceeds group sensitivity {n}");
+        assert!(w >= 0.0);
+        assert!(
+            w <= n as f64 + 1e-9,
+            "W = {w} exceeds group sensitivity {n} for dist {dist:?}"
+        );
     }
+}
 
-    /// The calibrated Laplace scale decreases as epsilon grows, for any
-    /// instantiation.
-    #[test]
-    fn noise_scale_monotone_in_epsilon(
-        n in 2usize..5,
-        dist in infection_distribution(4),
-        eps_small in 0.1f64..1.0,
-        eps_factor in 1.5f64..10.0,
-    ) {
-        let dist = &dist[..=n];
-        let total: f64 = dist.iter().sum();
-        let dist: Vec<f64> = dist.iter().map(|p| p / total).collect();
+/// The calibrated Laplace scale decreases as epsilon grows, for any
+/// instantiation.
+#[test]
+fn noise_scale_monotone_in_epsilon() {
+    let mut rng = StdRng::seed_from_u64(0xB0A7);
+    for _case in 0..48 {
+        let n = rng.gen_range(2usize..5);
+        let dist = random_infection_distribution(n, &mut rng);
+        let eps_small = rng.gen_range(0.1..1.0);
+        let eps_factor = rng.gen_range(1.5..10.0);
         let framework = flu_clique_framework(n, &dist).unwrap();
         let query = StateCountQuery::new(1, n);
         let small = WassersteinMechanism::calibrate(
@@ -66,6 +65,9 @@ proptest! {
             PrivacyBudget::new(eps_small * eps_factor).unwrap(),
         )
         .unwrap();
-        prop_assert!(large.noise_scale() <= small.noise_scale() + 1e-12);
+        assert!(
+            large.noise_scale() <= small.noise_scale() + 1e-12,
+            "scale not monotone for n={n}, eps={eps_small}, factor={eps_factor}"
+        );
     }
 }
