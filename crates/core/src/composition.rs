@@ -30,6 +30,28 @@ impl CompositionAccountant {
         }
     }
 
+    /// Removes one previously recorded release with exactly (bitwise) the
+    /// given epsilon, returning whether one was found.
+    ///
+    /// This is the rollback primitive for serving layers that commit a spend
+    /// at admission time and must undo it when the request is subsequently
+    /// refused (e.g. by a full queue) before any release happened. It is
+    /// sound precisely because the Theorem 4.4 guarantee depends only on the
+    /// *multiset* of per-release budgets, never on their order.
+    pub fn unrecord(&mut self, epsilon: f64) -> bool {
+        match self
+            .epsilons
+            .iter()
+            .rposition(|&e| e.to_bits() == epsilon.to_bits())
+        {
+            Some(position) => {
+                self.epsilons.remove(position);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Number of recorded releases `K`.
     pub fn releases(&self) -> usize {
         self.epsilons.len()
@@ -65,6 +87,30 @@ impl CompositionAccountant {
             self.total_epsilon()
         } else {
             self.worst_case_epsilon()
+        }
+    }
+
+    /// The guarantee the sequence *would* carry with one more release of
+    /// `epsilon` appended — identical to cloning the accountant, recording,
+    /// and asking [`CompositionAccountant::guaranteed_epsilon`], but without
+    /// any allocation. This is the admission-control primitive: budget
+    /// ledgers call it under a lock on every request, so it must stay cheap.
+    ///
+    /// Values [`CompositionAccountant::record`] would ignore (non-positive,
+    /// non-finite) leave the guarantee unchanged.
+    pub fn guaranteed_epsilon_with(&self, epsilon: f64) -> f64 {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return self.guaranteed_epsilon();
+        }
+        let first = self.epsilons.first().copied().unwrap_or(epsilon);
+        let tolerance = 1e-12 * first.max(1.0);
+        let all_equal = (epsilon - first).abs() < tolerance
+            && self.epsilons.iter().all(|&e| (e - first).abs() < tolerance);
+        if all_equal {
+            self.total_epsilon() + epsilon
+        } else {
+            let max = self.epsilons.iter().fold(epsilon, |acc, &e| acc.max(e));
+            max * (self.releases() + 1) as f64
         }
     }
 
@@ -132,6 +178,52 @@ mod tests {
         assert!(accountant.remaining(1.0).is_none());
         assert!(accountant.remaining(1.2).is_none());
         assert!(accountant.remaining(2.0).is_some());
+    }
+
+    #[test]
+    fn guaranteed_epsilon_with_matches_record() {
+        // The allocation-free preview must agree with clone + record on
+        // homogeneous, heterogeneous, empty and max-changing sequences.
+        let histories: [&[f64]; 4] = [&[], &[0.2, 0.2], &[0.1, 0.5], &[0.5, 0.1]];
+        for history in histories {
+            for extra in [0.05, 0.1, 0.2, 0.5, 0.9] {
+                let mut accountant = CompositionAccountant::new();
+                for &e in history {
+                    accountant.record(e);
+                }
+                let preview = accountant.guaranteed_epsilon_with(extra);
+                accountant.record(extra);
+                assert!(
+                    close(preview, accountant.guaranteed_epsilon()),
+                    "history {history:?} + {extra}: preview {preview} vs {}",
+                    accountant.guaranteed_epsilon()
+                );
+            }
+        }
+        // Ignored values leave the guarantee unchanged, matching record().
+        let mut accountant = CompositionAccountant::new();
+        accountant.record(0.3);
+        assert!(close(accountant.guaranteed_epsilon_with(-1.0), 0.3));
+        assert!(close(accountant.guaranteed_epsilon_with(f64::NAN), 0.3));
+    }
+
+    #[test]
+    fn unrecord_rolls_back_a_spend() {
+        let mut accountant = CompositionAccountant::new();
+        accountant.record(0.2);
+        accountant.record(0.5);
+        assert!(accountant.unrecord(0.5));
+        assert_eq!(accountant.releases(), 1);
+        assert!(close(accountant.guaranteed_epsilon(), 0.2));
+        // Only exact (bitwise) matches are removable; misses change nothing.
+        assert!(!accountant.unrecord(0.3));
+        assert!(!accountant.unrecord(0.5));
+        assert_eq!(accountant.releases(), 1);
+        // Duplicates are removed one at a time, most recent first.
+        accountant.record(0.2);
+        assert!(accountant.unrecord(0.2));
+        assert!(accountant.unrecord(0.2));
+        assert_eq!(accountant.releases(), 0);
     }
 
     #[test]

@@ -10,6 +10,14 @@
 //! repeated releases from the cache. Hit/miss counters make the amortisation
 //! observable (and testable).
 //!
+//! The engine is built for concurrent serving: the cache is split into
+//! shards keyed by the calibration-key hash, each behind an [`RwLock`], so
+//! warm releases from many threads share read locks; cold keys are protected
+//! by a per-key in-flight guard so a thundering herd of identical misses
+//! performs exactly one calibration, and no lock is ever held across a
+//! calibration. One `Arc<ReleaseEngine>` is the intended unit of sharing —
+//! see [`ReleaseEngine`] for a multi-threaded example.
+//!
 //! The calibration inputs of the four mechanism families are incompatible
 //! (framework vs. chain class vs. network class); a [`Calibrator`] object
 //! erases that difference: it owns the class description, exposes a stable
@@ -20,7 +28,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use rand::RngCore;
 
@@ -216,31 +224,177 @@ pub fn framework_token(framework: &DiscretePufferfishFramework) -> u64 {
     token.finish()
 }
 
-/// A calibration cache plus release front-end over one [`Calibrator`].
+/// Monotonic cache counters, captured by [`ReleaseEngine::stats`].
 ///
-/// The engine is `Sync`; the cache is shared behind a mutex and the counters
-/// are atomic, so concurrent request threads can share one engine.
+/// All counters use [`Ordering::Relaxed`] atomics: each counter is
+/// individually exact, but a snapshot taken while other threads are mid-flight
+/// is not a cross-counter transaction (a concurrent request may have bumped
+/// `hits` but not yet returned its release). That is the right trade for
+/// monitoring counters on a hot path — the quiescent values, which the tests
+/// assert on, are always exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Releases served from an already-cached calibration.
+    pub hits: u64,
+    /// Cold calibrations actually performed (exactly one per distinct key,
+    /// even under concurrent misses — see [`ReleaseEngine::mechanism`]).
+    pub misses: u64,
+    /// Requests that arrived while another thread was calibrating the same
+    /// key and waited for that calibration instead of repeating it.
+    pub coalesced: u64,
+}
+
+/// Synchronisation record for one in-flight calibration: waiters block on the
+/// condvar until the leader flips `done` (after publishing to the cache).
+struct InFlight {
+    done: Mutex<bool>,
+    ready: Condvar,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        InFlight {
+            done: Mutex::new(false),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn complete(&self) {
+        *self.done.lock().expect("in-flight flag poisoned") = true;
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("in-flight flag poisoned");
+        while !*done {
+            done = self.ready.wait(done).expect("in-flight flag poisoned");
+        }
+    }
+}
+
+/// One cache shard: a read-write-locked key→mechanism map plus the in-flight
+/// calibration registry for the keys that hash here.
+#[derive(Default)]
+struct Shard {
+    cache: RwLock<HashMap<CalibrationKey, Arc<dyn Mechanism>>>,
+    in_flight: Mutex<HashMap<CalibrationKey, Arc<InFlight>>>,
+}
+
+/// What [`ReleaseEngine::mechanism`] decided to do about a miss.
+enum MissRole {
+    /// This thread registered the in-flight entry and must calibrate.
+    Leader(Arc<InFlight>),
+    /// Another thread is calibrating the same key; wait for it.
+    Waiter(Arc<InFlight>),
+}
+
+/// Default shard count: enough to make cross-key lock collisions rare on
+/// typical worker-pool sizes without wasting memory on tiny engines.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A sharded calibration cache plus release front-end over one
+/// [`Calibrator`].
+///
+/// The engine is designed to be shared: every method takes `&self`, so one
+/// `Arc<ReleaseEngine>` can serve any number of request threads. Internally
+/// the cache is split into [`DEFAULT_SHARDS`] shards keyed by the hash of the
+/// [`CalibrationKey`]; each shard holds its entries behind an [`RwLock`], so
+/// warm-cache releases on different threads proceed under concurrent read
+/// locks and never serialise against each other.
+///
+/// **Calibration stampede control.** A cold key is calibrated exactly once:
+/// the first thread to miss registers an in-flight guard for the key and
+/// calibrates *without holding any lock* (calibration can take seconds);
+/// every other thread that misses the same key meanwhile blocks on the guard
+/// and is served the leader's result, counted in [`CacheStats::coalesced`].
+/// Misses on *different* keys — even in the same shard — calibrate
+/// concurrently. If the leader's calibration fails, the error is returned to
+/// the leader, waiters retry (one becomes the new leader), and nothing is
+/// cached, so transient failures do not poison a key.
+///
+/// # Example: one engine, many threads
+///
+/// ```
+/// use std::sync::Arc;
+/// use pufferfish_core::engine::{MqmApproxCalibrator, ReleaseEngine};
+/// use pufferfish_core::queries::StateFrequencyQuery;
+/// use pufferfish_core::{MqmApproxOptions, PrivacyBudget};
+/// use pufferfish_markov::IntervalClassBuilder;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let class = IntervalClassBuilder::symmetric(0.4).grid_points(2).build().unwrap();
+/// let engine = Arc::new(ReleaseEngine::new(MqmApproxCalibrator::new(
+///     class,
+///     60,
+///     MqmApproxOptions::default(),
+/// )));
+/// let budget = PrivacyBudget::new(1.0).unwrap();
+///
+/// std::thread::scope(|scope| {
+///     for worker in 0..4u64 {
+///         let engine = Arc::clone(&engine);
+///         scope.spawn(move || {
+///             let query = StateFrequencyQuery::new(1, 60);
+///             let mut rng = StdRng::seed_from_u64(worker);
+///             let data = vec![0usize; 60];
+///             engine.release(&query, &data, budget, &mut rng).unwrap();
+///         });
+///     }
+/// });
+///
+/// // Four concurrent requests for the same key: exactly one calibration.
+/// let stats = engine.stats();
+/// assert_eq!(stats.misses, 1);
+/// assert_eq!(stats.hits + stats.misses, 4);
+/// assert_eq!(engine.len(), 1);
+/// ```
 pub struct ReleaseEngine {
     calibrator: Box<dyn Calibrator>,
-    cache: Mutex<HashMap<CalibrationKey, Arc<dyn Mechanism>>>,
+    shards: Vec<Shard>,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl ReleaseEngine {
-    /// Creates an engine over the given calibrator.
+    /// Creates an engine over the given calibrator with [`DEFAULT_SHARDS`]
+    /// cache shards.
     pub fn new(calibrator: impl Calibrator + 'static) -> Self {
+        ReleaseEngine::with_shards(calibrator, DEFAULT_SHARDS)
+    }
+
+    /// Creates an engine with an explicit shard count (clamped to ≥ 1).
+    ///
+    /// More shards reduce lock collisions between *different* hot keys;
+    /// requests for the *same* key scale regardless because hits only take
+    /// the shard's read lock. Shard count is a tuning knob, never a
+    /// correctness one.
+    pub fn with_shards(calibrator: impl Calibrator + 'static, shards: usize) -> Self {
+        let shards = shards.max(1);
         ReleaseEngine {
             calibrator: Box::new(calibrator),
-            cache: Mutex::new(HashMap::new()),
+            shards: (0..shards).map(|_| Shard::default()).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         }
+    }
+
+    /// Convenience constructor returning the engine already wrapped in an
+    /// [`Arc`], ready to be cloned into worker threads.
+    pub fn shared(calibrator: impl Calibrator + 'static) -> Arc<Self> {
+        Arc::new(ReleaseEngine::new(calibrator))
     }
 
     /// The mechanism-family name of the underlying calibrator.
     pub fn kind(&self) -> &'static str {
         self.calibrator.kind()
+    }
+
+    /// Number of cache shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// The cache key the engine would use for `(query, budget)`.
@@ -260,38 +414,98 @@ impl ReleaseEngine {
         }
     }
 
+    /// The shard the given key lives in.
+    fn shard(&self, key: &CalibrationKey) -> &Shard {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
     /// Returns the calibrated mechanism for `(query, budget)`, calibrating
     /// on a cache miss and serving the memoised mechanism on a hit.
     ///
+    /// Concurrent misses on the same key are coalesced: one thread
+    /// calibrates, the rest wait and share the result, so each key costs
+    /// exactly one calibration no matter how many threads race for it. No
+    /// lock is ever held across the calibration itself.
+    ///
     /// # Errors
-    /// Calibration failures are propagated (and not cached, so a transient
-    /// failure does not poison the key).
+    /// Calibration failures are propagated to the leader (waiters retry, and
+    /// nothing is cached, so a transient failure does not poison the key).
     pub fn mechanism(
         &self,
         query: &dyn LipschitzQuery,
         budget: PrivacyBudget,
     ) -> Result<Arc<dyn Mechanism>> {
         let key = self.key_for(query, budget);
-        if let Some(mechanism) = self
-            .cache
-            .lock()
-            .expect("calibration cache poisoned")
-            .get(&key)
-        {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(mechanism));
+        let shard = self.shard(&key);
+        loop {
+            if let Some(mechanism) = shard
+                .cache
+                .read()
+                .expect("calibration cache poisoned")
+                .get(&key)
+            {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(mechanism));
+            }
+
+            let role = {
+                let mut in_flight = shard.in_flight.lock().expect("in-flight registry poisoned");
+                // Re-check under the registry lock: a leader may have
+                // published and deregistered between our read miss above and
+                // this point.
+                if let Some(mechanism) = shard
+                    .cache
+                    .read()
+                    .expect("calibration cache poisoned")
+                    .get(&key)
+                {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(mechanism));
+                }
+                match in_flight.get(&key) {
+                    Some(guard) => MissRole::Waiter(Arc::clone(guard)),
+                    None => {
+                        let guard = Arc::new(InFlight::new());
+                        in_flight.insert(key.clone(), Arc::clone(&guard));
+                        MissRole::Leader(guard)
+                    }
+                }
+            };
+
+            match role {
+                MissRole::Leader(guard) => {
+                    // Calibrate with no locks held: other keys (and other
+                    // shards) proceed undisturbed while this runs.
+                    let result = self.calibrator.calibrate(query, budget);
+                    if let Ok(mechanism) = &result {
+                        shard
+                            .cache
+                            .write()
+                            .expect("calibration cache poisoned")
+                            .insert(key.clone(), Arc::clone(mechanism));
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    shard
+                        .in_flight
+                        .lock()
+                        .expect("in-flight registry poisoned")
+                        .remove(&key);
+                    // Release waiters only after the cache is published (or
+                    // the failure decided), so they observe the final state.
+                    guard.complete();
+                    return result;
+                }
+                MissRole::Waiter(guard) => {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    guard.wait();
+                    // Loop: normally the next cache read hits (counted as a
+                    // hit); if the leader failed, this thread retries and may
+                    // become the new leader.
+                }
+            }
         }
-        // Calibrate outside the lock: calibration can take seconds and other
-        // keys should not stall behind it. A racing thread may calibrate the
-        // same key concurrently; both produce interchangeable mechanisms and
-        // the second insert wins harmlessly.
-        let mechanism = self.calibrator.calibrate(query, budget)?;
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.cache
-            .lock()
-            .expect("calibration cache poisoned")
-            .insert(key, Arc::clone(&mechanism));
-        Ok(mechanism)
     }
 
     /// Releases one database, calibrating (or reusing the cached
@@ -324,6 +538,16 @@ impl ReleaseEngine {
             .release_batch(query, databases, rng)
     }
 
+    /// A snapshot of the hit/miss/coalesced counters (see [`CacheStats`] for
+    /// the memory-ordering contract).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+
     /// Number of releases served from the cache.
     pub fn cache_hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -334,27 +558,61 @@ impl ReleaseEngine {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of distinct calibrations currently cached.
+    /// Resets the hit/miss/coalesced counters to zero (cached calibrations
+    /// are kept). Useful between benchmark phases.
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.coalesced.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of distinct calibrations currently cached, summed over shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .cache
+                    .read()
+                    .expect("calibration cache poisoned")
+                    .len()
+            })
+            .sum()
+    }
+
+    /// `true` when no calibration is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct calibrations currently cached (alias of
+    /// [`ReleaseEngine::len`], kept for callers of the pre-sharding API).
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("calibration cache poisoned").len()
+        self.len()
     }
 
     /// Drops every cached calibration (counters are preserved).
     pub fn clear_cache(&self) {
-        self.cache
-            .lock()
-            .expect("calibration cache poisoned")
-            .clear();
+        for shard in &self.shards {
+            shard
+                .cache
+                .write()
+                .expect("calibration cache poisoned")
+                .clear();
+        }
     }
 }
 
 impl std::fmt::Debug for ReleaseEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
         f.debug_struct("ReleaseEngine")
             .field("kind", &self.kind())
-            .field("cached", &self.cache_len())
-            .field("hits", &self.cache_hits())
-            .field("misses", &self.cache_misses())
+            .field("shards", &self.shard_count())
+            .field("cached", &self.len())
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .field("coalesced", &stats.coalesced)
             .finish()
     }
 }
@@ -616,6 +874,7 @@ impl Calibrator for QuiltCalibrator {
 mod tests {
     use super::*;
     use crate::queries::{RelativeFrequencyHistogram, StateFrequencyQuery};
+    use crate::PufferfishError;
     use pufferfish_markov::MarkovChain;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -774,6 +1033,106 @@ mod tests {
         let b = markov_class_token(&other);
         assert_ne!(a, b);
         assert_eq!(a, markov_class_token(&test_class()));
+    }
+
+    #[test]
+    fn concurrent_misses_calibrate_once() {
+        use std::sync::Barrier;
+
+        let engine = Arc::new(ReleaseEngine::new(MqmApproxCalibrator::new(
+            test_class(),
+            120,
+            MqmApproxOptions::default(),
+        )));
+        let budget = PrivacyBudget::new(1.0).unwrap();
+        let threads = 8;
+        let barrier = Barrier::new(threads);
+
+        let scales: Vec<u64> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    let engine = Arc::clone(&engine);
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        let query = StateFrequencyQuery::new(1, 120);
+                        barrier.wait();
+                        engine
+                            .mechanism(&query, budget)
+                            .unwrap()
+                            .noise_scale_for(&query)
+                            .to_bits()
+                    })
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).collect()
+        });
+
+        // Exactly one calibration; every thread observed the identical scale.
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 1, "stampede was not coalesced: {stats:?}");
+        assert_eq!(stats.hits + stats.misses, threads as u64);
+        assert!(scales.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(engine.len(), 1);
+    }
+
+    #[test]
+    fn counter_reset_and_introspection() {
+        let engine = ReleaseEngine::with_shards(
+            MqmApproxCalibrator::new(test_class(), 80, MqmApproxOptions::default()),
+            4,
+        );
+        assert_eq!(engine.shard_count(), 4);
+        assert!(engine.is_empty());
+        let budget = PrivacyBudget::new(1.0).unwrap();
+        let query = StateFrequencyQuery::new(1, 80);
+        engine.mechanism(&query, budget).unwrap();
+        engine.mechanism(&query, budget).unwrap();
+        assert_eq!(
+            engine.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                coalesced: 0
+            }
+        );
+        engine.reset_counters();
+        assert_eq!(engine.stats(), CacheStats::default());
+        // The cache itself survives a counter reset.
+        assert_eq!(engine.len(), 1);
+        assert!(!engine.is_empty());
+        engine.mechanism(&query, budget).unwrap();
+        assert_eq!(engine.stats().hits, 1);
+    }
+
+    #[test]
+    fn failed_calibrations_are_not_cached() {
+        use std::sync::atomic::AtomicUsize;
+
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let class = test_class();
+        let counted = Arc::clone(&attempts);
+        let engine = ReleaseEngine::new(FnCalibrator::new("flaky", 7, move |_q, budget| {
+            let attempt = counted.fetch_add(1, Ordering::SeqCst);
+            if attempt == 0 {
+                Err(PufferfishError::CannotCalibrate("transient".to_string()))
+            } else {
+                Ok(Arc::new(MqmApprox::calibrate(
+                    &class,
+                    80,
+                    budget,
+                    MqmApproxOptions::default(),
+                )?) as Arc<dyn Mechanism>)
+            }
+        }));
+        let budget = PrivacyBudget::new(1.0).unwrap();
+        let query = StateFrequencyQuery::new(1, 80);
+        assert!(engine.mechanism(&query, budget).is_err());
+        assert_eq!(engine.len(), 0);
+        assert_eq!(engine.stats().misses, 0);
+        // The key is not poisoned: the retry calibrates successfully.
+        assert!(engine.mechanism(&query, budget).is_ok());
+        assert_eq!(engine.stats().misses, 1);
+        assert_eq!(attempts.load(Ordering::SeqCst), 2);
     }
 
     #[test]

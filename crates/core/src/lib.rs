@@ -46,7 +46,10 @@
 //! cache keyed by `(distribution class, ε, query Lipschitz signature)`:
 //! a [`engine::ReleaseEngine`] wraps a [`engine::Calibrator`] and serves
 //! repeated releases from memoised mechanisms, with observable hit/miss
-//! counters. Calibration inner loops are parallelised (deterministically —
+//! counters. The cache is sharded with per-key in-flight coalescing, so one
+//! `Arc<ReleaseEngine>` serves many request threads without a global lock
+//! (the `pufferfish-service` crate builds a full request/response front-end
+//! on top). Calibration inner loops are parallelised (deterministically —
 //! identical noise scales on every thread count) through
 //! [`pufferfish_parallel::Parallelism`], selectable on every options struct.
 //!
@@ -93,7 +96,7 @@
 //! assert!(mechanism.noise_scale_for(&query) > 0.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod composition;
@@ -112,7 +115,7 @@ pub mod robustness;
 mod wasserstein_mechanism;
 
 pub use composition::CompositionAccountant;
-pub use engine::ReleaseEngine;
+pub use engine::{CacheStats, ReleaseEngine};
 pub use error::PufferfishError;
 pub use framework::{DiscretePufferfishFramework, DiscreteScenario, Secret};
 pub use laplace::Laplace;

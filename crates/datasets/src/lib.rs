@@ -16,6 +16,12 @@
 //!   (Section 5.3.2, Tables 2–3), substituting for the AMPds household of
 //!   Makonin et al.
 //!
+//! A fourth generator serves the post-paper concurrent workloads:
+//!
+//! * [`stream`] — unbounded per-user Markov event streams
+//!   ([`EventStream`] / [`StreamWorkload`]) feeding the continual-release
+//!   pipeline and the service throughput benchmark.
+//!
 //! All generators are deterministic given an RNG seed.
 
 #![warn(missing_docs)]
@@ -24,6 +30,7 @@
 pub mod activity;
 pub mod electricity;
 pub mod histogram;
+pub mod stream;
 pub mod synthetic;
 
 pub use activity::{
@@ -32,4 +39,5 @@ pub use activity::{
 };
 pub use electricity::{ElectricityConfig, ElectricityDataset};
 pub use histogram::{aggregate_relative_frequencies, l1_distance, relative_frequencies};
+pub use stream::{EventStream, StreamWorkload};
 pub use synthetic::{SyntheticSample, SyntheticWorkload};

@@ -1,0 +1,202 @@
+//! Deterministic event-stream generation for the continual-release and
+//! concurrent-serving workloads.
+//!
+//! The batch generators in this crate produce fixed-length trajectories; the
+//! serving layer instead consumes *unbounded* per-user event streams. An
+//! [`EventStream`] is an infinite [`Iterator`] stepping one Markov chain,
+//! fully determined by `(chain, seed)`; [`StreamWorkload`] derives one
+//! independent stream per user id from a single workload seed, so a whole
+//! simulated user population is reproducible from two numbers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pufferfish_markov::{MarkovChain, MarkovError};
+
+/// An infinite, deterministic event stream following a Markov chain.
+///
+/// # Example
+///
+/// ```
+/// use pufferfish_datasets::EventStream;
+/// use pufferfish_markov::MarkovChain;
+///
+/// let chain = MarkovChain::new(vec![1.0, 0.0], vec![vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap();
+/// let events: Vec<usize> = EventStream::new(chain.clone(), 7).take(100).collect();
+/// assert_eq!(events.len(), 100);
+/// assert!(events.iter().all(|&e| e < 2));
+/// // Same (chain, seed): the identical stream.
+/// let again: Vec<usize> = EventStream::new(chain, 7).take(100).collect();
+/// assert_eq!(events, again);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventStream {
+    chain: MarkovChain,
+    rng: StdRng,
+    current: Option<usize>,
+}
+
+impl EventStream {
+    /// Creates the stream for the given chain and seed. The first event is
+    /// drawn from the chain's initial distribution, every later one from the
+    /// transition row of its predecessor.
+    pub fn new(chain: MarkovChain, seed: u64) -> Self {
+        EventStream {
+            chain,
+            rng: StdRng::seed_from_u64(seed),
+            current: None,
+        }
+    }
+
+    /// The number of states events range over.
+    pub fn num_states(&self) -> usize {
+        self.chain.num_states()
+    }
+}
+
+/// Samples an index from an (approximately normalised) categorical
+/// distribution. A free function rather than a method so the rng can borrow
+/// `self.rng` mutably while `probabilities` borrows `self.chain` — the split
+/// keeps the per-event hot path allocation-free.
+fn sample_categorical(rng: &mut StdRng, probabilities: &[f64]) -> usize {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (state, &p) in probabilities.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return state;
+        }
+    }
+    probabilities.len() - 1
+}
+
+impl Iterator for EventStream {
+    type Item = usize;
+
+    /// Never `None`: the stream is infinite (bound it with
+    /// [`Iterator::take`]).
+    fn next(&mut self) -> Option<usize> {
+        let next = match self.current {
+            None => sample_categorical(&mut self.rng, self.chain.initial().as_slice()),
+            Some(state) => sample_categorical(&mut self.rng, self.chain.transition().row(state)),
+        };
+        self.current = Some(next);
+        Some(next)
+    }
+}
+
+/// A deterministic population of per-user event streams over one chain.
+///
+/// User `u`'s stream is seeded by mixing the workload seed with `u` (a
+/// SplitMix64 round, so adjacent user ids get statistically unrelated
+/// streams), making any slice of the population reproducible without
+/// materialising the rest.
+#[derive(Debug, Clone)]
+pub struct StreamWorkload {
+    chain: MarkovChain,
+    seed: u64,
+}
+
+impl StreamWorkload {
+    /// Creates the workload from the chain every user follows and a
+    /// population-level seed.
+    pub fn new(chain: MarkovChain, seed: u64) -> Self {
+        StreamWorkload { chain, seed }
+    }
+
+    /// The event stream of one user.
+    pub fn user_stream(&self, user_id: u64) -> EventStream {
+        EventStream::new(self.chain.clone(), mix_seed(self.seed, user_id))
+    }
+
+    /// Materialises `length` events for each of the first `users` user ids —
+    /// the batch shape the throughput benchmark feeds to the service.
+    ///
+    /// # Errors
+    /// [`MarkovError::InvalidSequence`] when `length` is zero.
+    pub fn generate(&self, users: u64, length: usize) -> Result<Vec<Vec<usize>>, MarkovError> {
+        if length == 0 {
+            return Err(MarkovError::InvalidSequence(
+                "stream length must be at least 1".to_string(),
+            ));
+        }
+        Ok((0..users)
+            .map(|user| self.user_stream(user).take(length).collect())
+            .collect())
+    }
+
+    /// The number of states events range over.
+    pub fn num_states(&self) -> usize {
+        self.chain.num_states()
+    }
+}
+
+/// One round of SplitMix64 over `seed ⊕ user`: cheap, stateless, and enough
+/// to decorrelate adjacent user ids.
+fn mix_seed(seed: u64, user_id: u64) -> u64 {
+    let mut z = seed ^ user_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> MarkovChain {
+        MarkovChain::new(vec![0.5, 0.5], vec![vec![0.8, 0.2], vec![0.3, 0.7]]).unwrap()
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_in_range() {
+        let a: Vec<usize> = EventStream::new(chain(), 11).take(500).collect();
+        let b: Vec<usize> = EventStream::new(chain(), 11).take(500).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&s| s < 2));
+        let c: Vec<usize> = EventStream::new(chain(), 12).take(500).collect();
+        assert_ne!(a, c);
+        assert_eq!(EventStream::new(chain(), 11).num_states(), 2);
+    }
+
+    #[test]
+    fn stream_frequencies_track_the_chain() {
+        // Stationary distribution of the test chain is [0.6, 0.4].
+        let ones = EventStream::new(chain(), 0)
+            .take(100_000)
+            .filter(|&s| s == 1)
+            .count() as f64
+            / 100_000.0;
+        assert!((ones - 0.4).abs() < 0.02, "frequency of state 1 was {ones}");
+    }
+
+    #[test]
+    fn workload_users_get_independent_reproducible_streams() {
+        let workload = StreamWorkload::new(chain(), 99);
+        assert_eq!(workload.num_states(), 2);
+        let alice: Vec<usize> = workload.user_stream(0).take(200).collect();
+        let bob: Vec<usize> = workload.user_stream(1).take(200).collect();
+        assert_ne!(alice, bob, "adjacent users must not share a stream");
+        let alice_again: Vec<usize> = workload.user_stream(0).take(200).collect();
+        assert_eq!(alice, alice_again);
+        // A different workload seed reshuffles every user.
+        let other = StreamWorkload::new(chain(), 100);
+        assert_ne!(
+            alice,
+            other.user_stream(0).take(200).collect::<Vec<usize>>()
+        );
+    }
+
+    #[test]
+    fn generate_materialises_the_population_slice() {
+        let workload = StreamWorkload::new(chain(), 4);
+        let batch = workload.generate(5, 64).unwrap();
+        assert_eq!(batch.len(), 5);
+        assert!(batch.iter().all(|s| s.len() == 64));
+        assert_eq!(
+            batch[2],
+            workload.user_stream(2).take(64).collect::<Vec<usize>>()
+        );
+        assert!(workload.generate(5, 0).is_err());
+    }
+}

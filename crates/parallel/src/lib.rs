@@ -14,9 +14,18 @@
 //! *bitwise-identical* results to a fully serial run — the property the
 //! calibration conformance tests assert. Parallelism only changes wall-clock
 //! time, never output.
+//!
+//! For *serving* workloads — threads that outlive any single enumeration and
+//! drain a queue until shutdown — the crate additionally provides
+//! [`WorkerPool`], the long-lived counterpart to [`par_run`] used by the
+//! `pufferfish-service` front-end.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
+
+mod pool;
+
+pub use pool::WorkerPool;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;

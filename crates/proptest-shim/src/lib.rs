@@ -198,7 +198,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Lengths accepted by [`vec`]: a fixed size or a range of sizes.
+    /// Lengths accepted by [`vec()`]: a fixed size or a range of sizes.
     pub trait IntoSizeRange {
         /// Draws a concrete length.
         fn sample_len(&self, rng: &mut TestRng) -> usize;

@@ -1,0 +1,244 @@
+//! Per-user ε-budget accounting for the serving layer.
+//!
+//! Each user owns a [`CompositionAccountant`] tracking the Theorem 4.4
+//! composition of their releases; the [`BudgetAccountant`] admits a request
+//! only when the *composed* guarantee after the spend would still fit inside
+//! the per-user target. Admission check and commit are one atomic step under
+//! the accountant's lock, so concurrent requests for the same user can never
+//! jointly overdraw the budget — the property the service stress tests
+//! hammer.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use pufferfish_core::CompositionAccountant;
+
+use crate::ServiceError;
+
+/// Thread-safe per-user privacy-budget ledger with a common target ε.
+///
+/// # Example
+///
+/// ```
+/// use pufferfish_service::BudgetAccountant;
+///
+/// let budget = BudgetAccountant::new(1.0).unwrap();
+/// // Two releases of ε = 0.4 fit inside the target of 1.0 …
+/// assert!(budget.try_spend("alice", 0.4).is_ok());
+/// assert!(budget.try_spend("alice", 0.4).is_ok());
+/// // … a third would compose to 1.2 and is refused.
+/// assert!(budget.try_spend("alice", 0.4).is_err());
+/// // Budgets are per user: bob's ledger is untouched.
+/// assert!(budget.try_spend("bob", 0.4).is_ok());
+/// ```
+#[derive(Debug)]
+pub struct BudgetAccountant {
+    target_epsilon: f64,
+    users: Mutex<HashMap<String, CompositionAccountant>>,
+}
+
+impl BudgetAccountant {
+    /// Creates a ledger granting every user the same total budget.
+    ///
+    /// # Errors
+    /// [`ServiceError::InvalidConfig`] unless `target_epsilon` is positive
+    /// and finite.
+    pub fn new(target_epsilon: f64) -> Result<Self, ServiceError> {
+        if !target_epsilon.is_finite() || target_epsilon <= 0.0 {
+            return Err(ServiceError::InvalidConfig(format!(
+                "per-user target epsilon must be positive and finite, got {target_epsilon}"
+            )));
+        }
+        Ok(BudgetAccountant {
+            target_epsilon,
+            users: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The per-user target ε.
+    pub fn target_epsilon(&self) -> f64 {
+        self.target_epsilon
+    }
+
+    /// Atomically checks and records a spend of `epsilon` for `user`.
+    ///
+    /// The check is against the *composed* guarantee ([Theorem 4.4]: `Σ ε`
+    /// for homogeneous budgets, `K · max ε` for heterogeneous ones), not a
+    /// naive running sum — a heterogeneous spend can therefore consume more
+    /// budget than its own ε, and the accountant refuses it when the
+    /// composed loss would exceed the target. Refused spends leave the
+    /// ledger untouched. Returns the budget remaining after the spend.
+    ///
+    /// [Theorem 4.4]: pufferfish_core::CompositionAccountant
+    ///
+    /// # Errors
+    /// [`ServiceError::BudgetExhausted`] when the composed guarantee after
+    /// the spend would exceed the target; [`ServiceError::InvalidConfig`]
+    /// for a non-positive or non-finite `epsilon`.
+    pub fn try_spend(&self, user: &str, epsilon: f64) -> Result<f64, ServiceError> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(ServiceError::InvalidConfig(format!(
+                "per-release epsilon must be positive and finite, got {epsilon}"
+            )));
+        }
+        let mut users = self.users.lock().expect("budget ledger poisoned");
+        let accountant = users.entry(user.to_string()).or_default();
+        // Preview the composed guarantee (not a simple running sum under
+        // heterogeneous budgets) without cloning the history — this runs
+        // under the ledger lock on every admission.
+        let composed = accountant.guaranteed_epsilon_with(epsilon);
+        if composed > self.target_epsilon + 1e-12 {
+            let remaining = (self.target_epsilon - accountant.guaranteed_epsilon()).max(0.0);
+            return Err(ServiceError::BudgetExhausted {
+                user: user.to_string(),
+                requested: epsilon,
+                remaining,
+            });
+        }
+        accountant.record(epsilon);
+        Ok((self.target_epsilon - composed).max(0.0))
+    }
+
+    /// Rolls back one spend of exactly `epsilon` for `user`, returning
+    /// whether a matching spend was found.
+    ///
+    /// Used by the service when a request passes the budget check but is
+    /// then refused by the admission queue — the release never happened, so
+    /// the spend must not count (see
+    /// [`CompositionAccountant::unrecord`] for why removal by value is
+    /// sound).
+    pub fn refund(&self, user: &str, epsilon: f64) -> bool {
+        self.users
+            .lock()
+            .expect("budget ledger poisoned")
+            .get_mut(user)
+            .map(|accountant| accountant.unrecord(epsilon))
+            .unwrap_or(false)
+    }
+
+    /// The composed privacy loss recorded for `user` so far (0 for unknown
+    /// users).
+    pub fn spent(&self, user: &str) -> f64 {
+        self.users
+            .lock()
+            .expect("budget ledger poisoned")
+            .get(user)
+            .map(CompositionAccountant::guaranteed_epsilon)
+            .unwrap_or(0.0)
+    }
+
+    /// Budget remaining for `user` before the target is exceeded.
+    pub fn remaining(&self, user: &str) -> f64 {
+        (self.target_epsilon - self.spent(user)).max(0.0)
+    }
+
+    /// Number of releases recorded for `user`.
+    pub fn releases(&self, user: &str) -> usize {
+        self.users
+            .lock()
+            .expect("budget ledger poisoned")
+            .get(user)
+            .map(CompositionAccountant::releases)
+            .unwrap_or(0)
+    }
+
+    /// Number of users with at least one recorded (or attempted) spend.
+    pub fn users(&self) -> usize {
+        self.users.lock().expect("budget ledger poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(BudgetAccountant::new(0.0).is_err());
+        assert!(BudgetAccountant::new(f64::NAN).is_err());
+        assert!(BudgetAccountant::new(-1.0).is_err());
+        let budget = BudgetAccountant::new(2.0).unwrap();
+        assert_eq!(budget.target_epsilon(), 2.0);
+        assert!(budget.try_spend("u", 0.0).is_err());
+        assert!(budget.try_spend("u", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn homogeneous_spends_sum() {
+        let budget = BudgetAccountant::new(1.0).unwrap();
+        for i in 0..5 {
+            let remaining = budget.try_spend("alice", 0.2).unwrap();
+            assert!((remaining - (1.0 - 0.2 * (i + 1) as f64)).abs() < 1e-9);
+        }
+        assert!(matches!(
+            budget.try_spend("alice", 0.2),
+            Err(ServiceError::BudgetExhausted { .. })
+        ));
+        assert_eq!(budget.releases("alice"), 5);
+        assert!((budget.spent("alice") - 1.0).abs() < 1e-9);
+        assert_eq!(budget.remaining("alice"), 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_spends_use_composition_guarantee() {
+        // 0.1 then 0.5: the Theorem 4.4 guarantee is 2 * 0.5 = 1.0, not 0.6.
+        let budget = BudgetAccountant::new(1.0).unwrap();
+        budget.try_spend("alice", 0.1).unwrap();
+        budget.try_spend("alice", 0.5).unwrap();
+        assert!((budget.spent("alice") - 1.0).abs() < 1e-9);
+        // Even a tiny further spend composes to 3 * 0.5 = 1.5 > 1.0.
+        assert!(budget.try_spend("alice", 0.01).is_err());
+        // The refused spend did not change the ledger.
+        assert_eq!(budget.releases("alice"), 2);
+    }
+
+    #[test]
+    fn budgets_are_per_user() {
+        let budget = BudgetAccountant::new(0.5).unwrap();
+        budget.try_spend("alice", 0.5).unwrap();
+        assert!(budget.try_spend("alice", 0.5).is_err());
+        budget.try_spend("bob", 0.5).unwrap();
+        assert_eq!(budget.users(), 2);
+        assert_eq!(budget.spent("nobody"), 0.0);
+        assert_eq!(budget.remaining("nobody"), 0.5);
+        assert_eq!(budget.releases("nobody"), 0);
+    }
+
+    #[test]
+    fn refund_restores_budget() {
+        let budget = BudgetAccountant::new(1.0).unwrap();
+        budget.try_spend("alice", 0.6).unwrap();
+        assert!(budget.try_spend("alice", 0.6).is_err());
+        assert!(budget.refund("alice", 0.6));
+        assert_eq!(budget.releases("alice"), 0);
+        assert!(budget.try_spend("alice", 0.6).is_ok());
+        // Refunds need a matching spend and a known user.
+        assert!(!budget.refund("alice", 0.123));
+        assert!(!budget.refund("stranger", 0.6));
+    }
+
+    #[test]
+    fn concurrent_spends_never_overdraw() {
+        use std::sync::Arc;
+
+        let budget = Arc::new(BudgetAccountant::new(1.0).unwrap());
+        let grants: usize = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| {
+                    let budget = Arc::clone(&budget);
+                    scope.spawn(move || {
+                        (0..4)
+                            .filter(|_| budget.try_spend("shared", 0.1).is_ok())
+                            .count()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|w| w.join().unwrap())
+                .sum()
+        });
+        // 32 attempts at 0.1 against a target of 1.0: exactly 10 grants.
+        assert_eq!(grants, 10);
+        assert!((budget.spent("shared") - 1.0).abs() < 1e-9);
+    }
+}

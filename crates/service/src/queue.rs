@@ -1,0 +1,267 @@
+//! A bounded, closable MPMC work queue built on `Mutex` + `Condvar`.
+//!
+//! The admission queue between request submitters and the worker pool.
+//! Bounded so a traffic spike turns into back-pressure
+//! ([`BoundedQueue::try_push`] fails fast with the queue full) instead of
+//! unbounded memory growth; closable so shutdown is a clean handshake —
+//! after [`BoundedQueue::close`], producers are refused but consumers drain
+//! the remaining items before [`BoundedQueue::pop`] returns `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue was at capacity (the item is handed back).
+    Full(T),
+    /// The queue was closed (the item is handed back).
+    Closed(T),
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity multi-producer multi-consumer queue.
+///
+/// # Example
+///
+/// ```
+/// use pufferfish_service::queue::{BoundedQueue, PushError};
+///
+/// let queue = BoundedQueue::new(2);
+/// queue.try_push(1).unwrap();
+/// queue.try_push(2).unwrap();
+/// assert_eq!(queue.try_push(3), Err(PushError::Full(3)));
+/// queue.close();
+/// assert_eq!(queue.try_push(4), Err(PushError::Closed(4)));
+/// // Consumers drain what was admitted before the close…
+/// assert_eq!(queue.pop(), Some(1));
+/// assert_eq!(queue.pop(), Some(2));
+/// // …then observe the end of the stream.
+/// assert_eq!(queue.pop(), None);
+/// ```
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// `true` when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking push: refused immediately when full or closed.
+    ///
+    /// # Errors
+    /// [`PushError::Full`] / [`PushError::Closed`], returning the item.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking push: waits while the queue is full.
+    ///
+    /// # Errors
+    /// Returns the item when the queue is (or becomes) closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                drop(state);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Blocking pop: waits for an item; `None` once the queue is closed
+    /// *and* drained (the worker-loop termination signal).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: future pushes are refused, queued items remain
+    /// poppable, and every blocked producer/consumer wakes up.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// `true` once [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
+    }
+}
+
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let queue = BoundedQueue::new(3);
+        assert_eq!(queue.capacity(), 3);
+        assert!(queue.is_empty());
+        for i in 0..3 {
+            queue.try_push(i).unwrap();
+        }
+        assert_eq!(queue.len(), 3);
+        assert_eq!(queue.try_push(9), Err(PushError::Full(9)));
+        assert_eq!(queue.pop(), Some(0));
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), Some(2));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let queue = BoundedQueue::new(0);
+        assert_eq!(queue.capacity(), 1);
+        queue.try_push(1).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let queue = BoundedQueue::new(4);
+        queue.try_push("a").unwrap();
+        queue.close();
+        assert!(queue.is_closed());
+        assert_eq!(queue.try_push("b"), Err(PushError::Closed("b")));
+        assert_eq!(queue.push("c"), Err("c"));
+        assert_eq!(queue.pop(), Some("a"));
+        assert_eq!(queue.pop(), None);
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let queue = Arc::new(BoundedQueue::new(1));
+        queue.try_push(0).unwrap();
+        let producer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.push(1))
+        };
+        // The producer is blocked on the full queue; popping unblocks it.
+        assert_eq!(queue.pop(), Some(0));
+        producer.join().unwrap().unwrap();
+        assert_eq!(queue.pop(), Some(1));
+    }
+
+    #[test]
+    fn pop_wakes_on_close() {
+        let queue: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        queue.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        let queue: Arc<BoundedQueue<usize>> = Arc::new(BoundedQueue::new(4));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        queue.push(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    while let Some(item) = queue.pop() {
+                        seen.push(item);
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for producer in producers {
+            producer.join().unwrap();
+        }
+        queue.close();
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..4)
+            .flat_map(|p| (0..50).map(move |i| p * 1000 + i))
+            .collect();
+        assert_eq!(all, expected);
+    }
+}

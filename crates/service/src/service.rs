@@ -1,0 +1,602 @@
+//! The request/response serving front-end over a shared [`ReleaseEngine`].
+//!
+//! Architecture: submitters pass admission control (per-user ε-budget, then
+//! the bounded queue) and receive a [`Ticket`]; a [`WorkerPool`] drains the
+//! queue, drives the sharded engine (one `Arc<ReleaseEngine>` shared by all
+//! workers — calibrations are cached and stampede-coalesced there), and
+//! fulfils the ticket. Back-pressure is explicit: a full queue refuses
+//! [`ReleaseService::try_submit`] rather than growing without bound.
+//!
+//! Budget semantics: the ε spend is committed atomically at *admission*, so
+//! concurrent submissions can never jointly overdraw a user's budget. If the
+//! queue then refuses the request, the spend is rolled back; if the release
+//! itself later fails in the mechanism layer, the spend is *kept* — the
+//! conservative choice, since a failed release may still have consumed
+//! information (and admission, not outcome, is what the accountant can
+//! reason about atomically).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pufferfish_core::queries::LipschitzQuery;
+use pufferfish_core::{NoisyRelease, PrivacyBudget, ReleaseEngine};
+use pufferfish_parallel::{Parallelism, WorkerPool};
+
+use crate::queue::{BoundedQueue, PushError};
+use crate::{BudgetAccountant, ServiceError};
+
+/// One release request, self-contained and thread-portable.
+///
+/// The `seed` makes the request's noise deterministic (each worker derives
+/// its RNG from it), so identical request streams produce identical
+/// responses regardless of worker scheduling — the property the service
+/// tests rely on.
+#[derive(Clone)]
+pub struct ReleaseRequest {
+    /// Budget owner this release is charged to.
+    pub user: String,
+    /// The query to release.
+    pub query: Arc<dyn LipschitzQuery>,
+    /// The database (state sequence) to evaluate on.
+    pub database: Vec<usize>,
+    /// Per-release privacy parameter ε.
+    pub epsilon: f64,
+    /// Seed for the release's Laplace noise.
+    pub seed: u64,
+}
+
+impl std::fmt::Debug for ReleaseRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReleaseRequest")
+            .field("user", &self.user)
+            .field("query", &self.query.name())
+            .field("database_len", &self.database.len())
+            .field("epsilon", &self.epsilon)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+/// Single-use response slot shared between a ticket and the worker that
+/// fulfils it.
+struct ResponseSlot {
+    result: Mutex<Option<Result<NoisyRelease, ServiceError>>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Self {
+        ResponseSlot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fulfil(&self, result: Result<NoisyRelease, ServiceError>) {
+        *self.result.lock().expect("response slot poisoned") = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// A claim on the eventual response to a submitted request.
+pub struct Ticket {
+    slot: Arc<ResponseSlot>,
+}
+
+impl Ticket {
+    /// `true` once the response is available ([`Ticket::wait`] will not
+    /// block).
+    pub fn is_ready(&self) -> bool {
+        self.slot
+            .result
+            .lock()
+            .expect("response slot poisoned")
+            .is_some()
+    }
+
+    /// Blocks until the worker fulfils the request and returns the release.
+    ///
+    /// # Errors
+    /// Mechanism-layer failures ([`ServiceError::Mechanism`]) and
+    /// [`ServiceError::ServiceClosed`] when the service shut down before a
+    /// worker reached the request.
+    pub fn wait(self) -> Result<NoisyRelease, ServiceError> {
+        let mut result = self.slot.result.lock().expect("response slot poisoned");
+        loop {
+            if let Some(response) = result.take() {
+                return response;
+            }
+            result = self
+                .slot
+                .ready
+                .wait(result)
+                .expect("response slot poisoned");
+        }
+    }
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+/// A queued unit of work: the request plus the slot its response goes to.
+struct Job {
+    request: ReleaseRequest,
+    slot: Arc<ResponseSlot>,
+}
+
+impl Drop for Job {
+    /// Fulfils the slot with [`ServiceError::ServiceClosed`] if nothing else
+    /// did: a job dropped before its worker produced a response (worker
+    /// panic mid-release, admission rollback, queue teardown) must never
+    /// leave a submitter blocked in [`Ticket::wait`] forever.
+    fn drop(&mut self) {
+        // Tolerate a poisoned slot here — this guard runs during unwinding,
+        // and a second panic would abort the process.
+        let mut result = match self.slot.result.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if result.is_none() {
+            *result = Some(Err(ServiceError::ServiceClosed));
+            drop(result);
+            self.slot.ready.notify_all();
+        }
+    }
+}
+
+/// Tuning knobs for [`ReleaseService::start`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Worker-pool size ([`Parallelism::Auto`] = one worker per core).
+    pub workers: Parallelism,
+    /// Admission-queue capacity (back-pressure threshold, clamped to ≥ 1).
+    pub queue_capacity: usize,
+    /// Total ε budget granted to each user across all their releases.
+    pub per_user_epsilon: f64,
+}
+
+impl Default for ServiceConfig {
+    /// All cores, a 256-deep queue, and a per-user budget of ε = 1.
+    fn default() -> Self {
+        ServiceConfig {
+            workers: Parallelism::Auto,
+            queue_capacity: 256,
+            per_user_epsilon: 1.0,
+        }
+    }
+}
+
+/// A concurrent Pufferfish release service.
+///
+/// # Trust boundary
+///
+/// Responses are full [`NoisyRelease`] values — including `true_values`,
+/// per the workspace-wide experiment-harness convention — and noise seeds
+/// are supplied by the requester so traffic is replayable. Both are right
+/// for benchmarking and testing, but they sit *inside* the trust boundary:
+/// a deployment exposing this service to untrusted clients must strip
+/// `true_values` from responses and draw seeds from a server-side CSPRNG,
+/// otherwise the ε accounting guards nothing.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use pufferfish_core::engine::{MqmApproxCalibrator, ReleaseEngine};
+/// use pufferfish_core::queries::StateFrequencyQuery;
+/// use pufferfish_core::{MqmApproxOptions, Parallelism};
+/// use pufferfish_markov::IntervalClassBuilder;
+/// use pufferfish_service::{ReleaseRequest, ReleaseService, ServiceConfig, ServiceError};
+///
+/// let class = IntervalClassBuilder::symmetric(0.4).grid_points(2).build().unwrap();
+/// let engine = ReleaseEngine::shared(MqmApproxCalibrator::new(
+///     class,
+///     60,
+///     MqmApproxOptions::default(),
+/// ));
+/// let service = ReleaseService::start(
+///     engine,
+///     ServiceConfig {
+///         workers: Parallelism::Threads(2),
+///         queue_capacity: 8,
+///         per_user_epsilon: 1.0,
+///     },
+/// )
+/// .unwrap();
+///
+/// let request = |seed: u64| ReleaseRequest {
+///     user: "alice".to_string(),
+///     query: Arc::new(StateFrequencyQuery::new(1, 60)),
+///     database: vec![0; 60],
+///     epsilon: 0.5,
+///     seed,
+/// };
+/// // Two releases of ε = 0.5 fit alice's budget of 1.0.
+/// let first = service.submit(request(1)).unwrap();
+/// let second = service.submit(request(2)).unwrap();
+/// assert_eq!(first.wait().unwrap().values.len(), 1);
+/// assert_eq!(second.wait().unwrap().values.len(), 1);
+/// // The third is refused at admission: budget exhausted.
+/// assert!(matches!(
+///     service.submit(request(3)),
+///     Err(ServiceError::BudgetExhausted { .. })
+/// ));
+/// service.shutdown();
+/// ```
+pub struct ReleaseService {
+    engine: Arc<ReleaseEngine>,
+    budget: Arc<BudgetAccountant>,
+    queue: Arc<BoundedQueue<Job>>,
+    pool: Option<WorkerPool>,
+    served: Arc<AtomicU64>,
+}
+
+impl ReleaseService {
+    /// Starts the worker pool and returns the running service.
+    ///
+    /// # Errors
+    /// [`ServiceError::InvalidConfig`] for a non-positive per-user budget.
+    pub fn start(engine: Arc<ReleaseEngine>, config: ServiceConfig) -> Result<Self, ServiceError> {
+        let budget = Arc::new(BudgetAccountant::new(config.per_user_epsilon)?);
+        let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let served = Arc::new(AtomicU64::new(0));
+
+        let pool = {
+            let engine = Arc::clone(&engine);
+            let queue = Arc::clone(&queue);
+            let served = Arc::clone(&served);
+            WorkerPool::spawn(config.workers, "pufferfish-release", move |_worker| {
+                while let Some(job) = queue.pop() {
+                    let response = Self::serve(&engine, &job.request);
+                    // Count before fulfilling: a submitter woken by the
+                    // ticket must observe its own request in `served()`.
+                    served.fetch_add(1, Ordering::Relaxed);
+                    job.slot.fulfil(response);
+                }
+            })
+        };
+
+        Ok(ReleaseService {
+            engine,
+            budget,
+            queue,
+            pool: Some(pool),
+            served,
+        })
+    }
+
+    /// One worker's handling of one request.
+    fn serve(
+        engine: &ReleaseEngine,
+        request: &ReleaseRequest,
+    ) -> Result<NoisyRelease, ServiceError> {
+        let budget = PrivacyBudget::new(request.epsilon)?;
+        let mut rng = StdRng::seed_from_u64(request.seed);
+        Ok(engine.release(&*request.query, &request.database, budget, &mut rng)?)
+    }
+
+    /// Non-blocking submission: admission control (budget, then queue) and
+    /// immediate return of a [`Ticket`].
+    ///
+    /// # Errors
+    /// [`ServiceError::BudgetExhausted`] (budget untouched),
+    /// [`ServiceError::QueueFull`] / [`ServiceError::ServiceClosed`] (budget
+    /// spend rolled back).
+    pub fn try_submit(&self, request: ReleaseRequest) -> Result<Ticket, ServiceError> {
+        self.admit(request, |queue, job| {
+            queue.try_push(job).map_err(|refused| match refused {
+                PushError::Full(_) => ServiceError::QueueFull {
+                    capacity: queue.capacity(),
+                },
+                PushError::Closed(_) => ServiceError::ServiceClosed,
+            })
+        })
+    }
+
+    /// Blocking submission: waits for queue space instead of failing with
+    /// [`ServiceError::QueueFull`].
+    ///
+    /// # Errors
+    /// [`ServiceError::BudgetExhausted`] and [`ServiceError::ServiceClosed`].
+    pub fn submit(&self, request: ReleaseRequest) -> Result<Ticket, ServiceError> {
+        self.admit(request, |queue, job| {
+            queue.push(job).map_err(|_| ServiceError::ServiceClosed)
+        })
+    }
+
+    /// Shared admission path: spend the budget, enqueue via `enqueue`, and
+    /// roll the spend back when the queue refuses (the refused job — and the
+    /// ticket slot it carries — is simply dropped; no worker will ever see
+    /// it).
+    fn admit(
+        &self,
+        request: ReleaseRequest,
+        enqueue: impl FnOnce(&BoundedQueue<Job>, Job) -> Result<(), ServiceError>,
+    ) -> Result<Ticket, ServiceError> {
+        self.budget.try_spend(&request.user, request.epsilon)?;
+        let user = request.user.clone();
+        let epsilon = request.epsilon;
+        let slot = Arc::new(ResponseSlot::new());
+        let job = Job {
+            request,
+            slot: Arc::clone(&slot),
+        };
+        match enqueue(&self.queue, job) {
+            Ok(()) => Ok(Ticket { slot }),
+            Err(error) => {
+                self.budget.refund(&user, epsilon);
+                Err(error)
+            }
+        }
+    }
+
+    /// Convenience: submit (blocking) and wait for the response.
+    ///
+    /// # Errors
+    /// Admission and mechanism errors, as for [`ReleaseService::submit`] and
+    /// [`Ticket::wait`].
+    pub fn release(&self, request: ReleaseRequest) -> Result<NoisyRelease, ServiceError> {
+        self.submit(request)?.wait()
+    }
+
+    /// The shared engine behind the service (cache stats live here).
+    pub fn engine(&self) -> &Arc<ReleaseEngine> {
+        &self.engine
+    }
+
+    /// The per-user budget ledger.
+    pub fn budget(&self) -> &BudgetAccountant {
+        &self.budget
+    }
+
+    /// Requests fulfilled so far (successfully or not).
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Requests currently queued and not yet picked up by a worker.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Graceful shutdown: refuses new submissions, lets the workers drain
+    /// every queued request, and joins the pool.
+    pub fn shutdown(mut self) {
+        self.queue.close();
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+    }
+}
+
+impl Drop for ReleaseService {
+    /// Same handshake as [`ReleaseService::shutdown`], for services that are
+    /// simply dropped.
+    fn drop(&mut self) {
+        self.queue.close();
+        self.pool.take();
+    }
+}
+
+impl std::fmt::Debug for ReleaseService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReleaseService")
+            .field("engine", &self.engine)
+            .field("pending", &self.pending())
+            .field("served", &self.served())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pufferfish_core::engine::MqmApproxCalibrator;
+    use pufferfish_core::queries::StateFrequencyQuery;
+    use pufferfish_core::MqmApproxOptions;
+    use pufferfish_markov::IntervalClassBuilder;
+
+    fn test_engine() -> Arc<ReleaseEngine> {
+        let class = IntervalClassBuilder::symmetric(0.4)
+            .grid_points(2)
+            .build()
+            .unwrap();
+        ReleaseEngine::shared(MqmApproxCalibrator::new(
+            class,
+            60,
+            MqmApproxOptions::default(),
+        ))
+    }
+
+    fn request(user: &str, epsilon: f64, seed: u64) -> ReleaseRequest {
+        ReleaseRequest {
+            user: user.to_string(),
+            query: Arc::new(StateFrequencyQuery::new(1, 60)),
+            database: (0..60).map(|t| t % 2).collect(),
+            epsilon,
+            seed,
+        }
+    }
+
+    #[test]
+    fn serves_requests_and_tracks_budget() {
+        let service = ReleaseService::start(
+            test_engine(),
+            ServiceConfig {
+                workers: Parallelism::Threads(2),
+                queue_capacity: 16,
+                per_user_epsilon: 1.0,
+            },
+        )
+        .unwrap();
+
+        let release = service.release(request("alice", 0.4, 7)).unwrap();
+        assert_eq!(release.values.len(), 1);
+        assert!((service.budget().spent("alice") - 0.4).abs() < 1e-12);
+
+        // Same seed, same key: the response is bit-for-bit reproducible and
+        // served from the calibration cache.
+        let again = service.release(request("alice", 0.4, 7)).unwrap();
+        assert_eq!(release.values, again.values);
+        let stats = service.engine().stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(service.served(), 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn budget_exhaustion_is_refused_at_admission() {
+        let service = ReleaseService::start(
+            test_engine(),
+            ServiceConfig {
+                workers: Parallelism::Threads(1),
+                queue_capacity: 4,
+                per_user_epsilon: 1.0,
+            },
+        )
+        .unwrap();
+        service.release(request("bob", 0.6, 1)).unwrap();
+        let refused = service.submit(request("bob", 0.6, 2));
+        assert!(matches!(refused, Err(ServiceError::BudgetExhausted { .. })));
+        // The refused request consumed nothing beyond the first release.
+        assert!((service.budget().spent("bob") - 0.6).abs() < 1e-12);
+        service.shutdown();
+    }
+
+    #[test]
+    fn queue_full_rolls_the_spend_back() {
+        // A service whose single worker is blocked behind slow jobs will
+        // refuse try_submit once the queue is at capacity — and the refused
+        // request must not consume budget.
+        let service = ReleaseService::start(
+            test_engine(),
+            ServiceConfig {
+                workers: Parallelism::Threads(1),
+                queue_capacity: 1,
+                per_user_epsilon: 100.0,
+            },
+        )
+        .unwrap();
+        let mut tickets = Vec::new();
+        let mut refusals = 0;
+        // Submit aggressively; with a capacity-1 queue some must be refused.
+        for seed in 0..200 {
+            match service.try_submit(request("carol", 0.1, seed)) {
+                Ok(ticket) => tickets.push(ticket),
+                Err(ServiceError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 1);
+                    refusals += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        let admitted = tickets.len();
+        for ticket in tickets {
+            ticket.wait().unwrap();
+        }
+        assert_eq!(admitted + refusals, 200);
+        // Budget reflects only admitted requests.
+        assert!((service.budget().spent("carol") - 0.1 * admitted as f64).abs() < 1e-9);
+        assert_eq!(service.served(), admitted as u64);
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let service = ReleaseService::start(
+            test_engine(),
+            ServiceConfig {
+                workers: Parallelism::Threads(2),
+                queue_capacity: 32,
+                per_user_epsilon: 100.0,
+            },
+        )
+        .unwrap();
+        let tickets: Vec<Ticket> = (0..20)
+            .map(|seed| service.submit(request("dave", 0.1, seed)).unwrap())
+            .collect();
+        service.shutdown();
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
+    }
+
+    struct PanickingQuery;
+
+    impl LipschitzQuery for PanickingQuery {
+        fn lipschitz_constant(&self) -> f64 {
+            1.0 / 60.0
+        }
+        fn output_dimension(&self) -> usize {
+            1
+        }
+        fn expected_length(&self) -> usize {
+            60
+        }
+        fn evaluate(&self, _database: &[usize]) -> pufferfish_core::Result<Vec<f64>> {
+            panic!("query bug")
+        }
+        fn name(&self) -> &str {
+            "panicking"
+        }
+    }
+
+    #[test]
+    fn worker_panic_does_not_hang_the_ticket() {
+        let service = ReleaseService::start(
+            test_engine(),
+            ServiceConfig {
+                workers: Parallelism::Threads(2),
+                queue_capacity: 8,
+                per_user_epsilon: 10.0,
+            },
+        )
+        .unwrap();
+        let ticket = service
+            .submit(ReleaseRequest {
+                user: "p".to_string(),
+                query: Arc::new(PanickingQuery),
+                database: vec![0; 60],
+                epsilon: 0.5,
+                seed: 1,
+            })
+            .unwrap();
+        // The worker panics mid-release; the job's drop guard must wake the
+        // waiter instead of leaving it blocked forever.
+        assert!(matches!(ticket.wait(), Err(ServiceError::ServiceClosed)));
+        // The surviving worker keeps serving.
+        let release = service.release(request("p", 0.5, 2)).unwrap();
+        assert_eq!(release.values.len(), 1);
+        // Drop (not shutdown): swallows the dead worker's panic.
+        drop(service);
+    }
+
+    #[test]
+    fn mechanism_errors_reach_the_ticket() {
+        let service = ReleaseService::start(
+            test_engine(),
+            ServiceConfig {
+                workers: Parallelism::Threads(1),
+                queue_capacity: 4,
+                per_user_epsilon: 10.0,
+            },
+        )
+        .unwrap();
+        // Wrong database length: admission passes, the release itself fails.
+        let mut bad = request("erin", 0.5, 3);
+        bad.database = vec![0; 10];
+        let result = service.release(bad);
+        assert!(matches!(result, Err(ServiceError::Mechanism(_))));
+        // The conservative budget rule: the failed release stays spent.
+        assert!((service.budget().spent("erin") - 0.5).abs() < 1e-12);
+        service.shutdown();
+    }
+}
