@@ -1,0 +1,230 @@
+//! Query-layer benchmark, emitting `BENCH_query.json` at the workspace root.
+//!
+//! Three measurements:
+//!
+//! * **parse+plan latency** — the cold first plan (pays every mechanism
+//!   probe = one calibration per family) vs. warm replans of the same
+//!   statement (pure cache hits in the catalog's engines), plus raw parser
+//!   throughput.
+//! * **auto vs fixed error** — mean observed L1 release error of
+//!   `MECHANISM auto` against each pinned family over the same seeds: the
+//!   cost model's promise is that auto tracks the best fixed choice.
+//! * **batched-window throughput** — a window sweep executed through the
+//!   fused per-cell `release_batch` plan vs. the same windows released one
+//!   engine call at a time.
+//!
+//! The JSON schema is documented in the README ("BENCH_*.json schema").
+
+use std::time::Instant;
+
+use pufferfish_markov::{sample_trajectory, IntervalClassBuilder, MarkovChain};
+use pufferfish_parallel::Parallelism;
+use pufferfish_query::{
+    execute_plan, parse_script, parse_statement, plan_statement, MechanismCatalog, MechanismKind,
+    Table,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Length of the benchmarked state sequence.
+const SEQUENCE_LENGTH: usize = 400;
+/// Window geometry of the sweep statement.
+const WINDOW: usize = 100;
+const STEP: usize = 10;
+/// Seeds per mechanism for the error comparison.
+const ERROR_SEEDS: u64 = 64;
+/// Warm replans / parses for the latency figures.
+const WARM_PLANS: usize = 2_000;
+const PARSES: usize = 50_000;
+
+fn catalog() -> MechanismCatalog {
+    MechanismCatalog::new(
+        IntervalClassBuilder::symmetric(0.42)
+            .grid_points(3)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn table() -> Table {
+    let truth = MarkovChain::new(vec![0.5, 0.5], vec![vec![0.62, 0.38], vec![0.41, 0.59]]).unwrap();
+    let mut rng = StdRng::seed_from_u64(2024);
+    Table::single(
+        "chain",
+        2,
+        sample_trajectory(&truth, SEQUENCE_LENGTH, &mut rng).unwrap(),
+    )
+    .unwrap()
+}
+
+fn sweep_text(mechanism: &str) -> String {
+    format!("HISTOGRAM WINDOW {WINDOW} STEP {STEP} EPSILON 0.5 MECHANISM {mechanism}")
+}
+
+fn bench_parse_plan(json: &mut Vec<String>) {
+    let catalog = catalog();
+    let table = table();
+    let text = sweep_text("auto");
+
+    let start = Instant::now();
+    let statement = parse_statement(&text).unwrap();
+    let plan = plan_statement(&catalog, &statement, &table).unwrap();
+    let cold_seconds = start.elapsed().as_secs_f64();
+    let probes = plan.probes().len();
+
+    let start = Instant::now();
+    for _ in 0..WARM_PLANS {
+        let statement = parse_statement(&text).unwrap();
+        let plan = plan_statement(&catalog, &statement, &table).unwrap();
+        assert!(plan.noise_scale() > 0.0);
+    }
+    let warm_seconds = start.elapsed().as_secs_f64();
+    let warm_per_sec = WARM_PLANS as f64 / warm_seconds;
+
+    let script: String = (0..10).map(|_| format!("{text}\n")).collect();
+    let start = Instant::now();
+    for _ in 0..PARSES / 10 {
+        assert_eq!(parse_script(&script).unwrap().len(), 10);
+    }
+    let parse_seconds = start.elapsed().as_secs_f64();
+    let parses_per_sec = PARSES as f64 / parse_seconds;
+
+    println!(
+        "parse+plan: cold {cold_seconds:.3}s ({probes} probes), warm {warm_per_sec:.0} plans/s, \
+         parse {parses_per_sec:.0} stmts/s"
+    );
+    json.push(format!(
+        "  \"parse_plan\": {{\"cold_plan_seconds\": {cold_seconds:.6}, \"probes\": {probes}, \
+         \"warm_plans\": {WARM_PLANS}, \"warm_plans_per_sec\": {warm_per_sec:.0}, \
+         \"parses_per_sec\": {parses_per_sec:.0}}}"
+    ));
+}
+
+fn bench_auto_vs_fixed(json: &mut Vec<String>) {
+    let catalog = catalog();
+    let table = table();
+    let mut rows = Vec::new();
+    let mut fixed_scales: Vec<(String, f64)> = Vec::new();
+    let mut auto_scale = f64::NAN;
+
+    for mechanism in ["auto", "mqm", "mqm_approx", "gk16", "group_dp"] {
+        let statement = match parse_statement(&sweep_text(mechanism)) {
+            Ok(statement) => statement,
+            Err(e) => panic!("bench statement must parse: {e}"),
+        };
+        let plan = match plan_statement(&catalog, &statement, &table) {
+            Ok(plan) => plan,
+            Err(e) => {
+                println!("auto-vs-fixed {mechanism:>11}: ineligible ({e})");
+                rows.push(format!(
+                    "    {{\"mechanism\": \"{mechanism}\", \"eligible\": false}}"
+                ));
+                continue;
+            }
+        };
+        let mut total_error = 0.0;
+        let mut releases = 0usize;
+        for seed in 0..ERROR_SEEDS {
+            let result = execute_plan(&plan, seed, Parallelism::Auto).unwrap();
+            total_error += result.mean_l1_error() * result.releases() as f64;
+            releases += result.releases();
+        }
+        let mean_error = total_error / releases as f64;
+        let chosen = plan.chosen().keyword();
+        if mechanism == "auto" {
+            auto_scale = plan.noise_scale();
+        } else {
+            fixed_scales.push((mechanism.to_string(), plan.noise_scale()));
+        }
+        println!(
+            "auto-vs-fixed {mechanism:>11}: chose {chosen:>10}, scale {:.5}, \
+             mean L1 error {mean_error:.5} over {releases} releases",
+            plan.noise_scale()
+        );
+        rows.push(format!(
+            "    {{\"mechanism\": \"{mechanism}\", \"eligible\": true, \"chosen\": \"{chosen}\", \
+             \"noise_scale\": {:.8}, \"mean_l1_error\": {mean_error:.8}, \
+             \"releases\": {releases}}}",
+            plan.noise_scale()
+        ));
+    }
+
+    // The cost model's contract, asserted on every bench run: auto's scale
+    // equals the best eligible fixed scale.
+    let best_fixed = fixed_scales
+        .iter()
+        .map(|(_, scale)| *scale)
+        .fold(f64::INFINITY, f64::min);
+    assert_eq!(
+        auto_scale.to_bits(),
+        best_fixed.to_bits(),
+        "auto must match the best fixed mechanism: {fixed_scales:?}"
+    );
+    json.push(format!("  \"auto_vs_fixed\": [\n{}\n  ]", rows.join(",\n")));
+}
+
+fn bench_batched_windows(json: &mut Vec<String>) {
+    let catalog = catalog();
+    let table = table();
+    // Pin the mechanism so both paths measure dispatch, not planning.
+    let statement = parse_statement(&sweep_text("mqm_approx")).unwrap();
+    let plan = plan_statement(&catalog, &statement, &table).unwrap();
+    let windows = plan.releases();
+
+    const ROUNDS: usize = 200;
+    let start = Instant::now();
+    for seed in 0..ROUNDS as u64 {
+        let result = execute_plan(&plan, seed, Parallelism::Serial).unwrap();
+        assert_eq!(result.releases(), windows);
+    }
+    let fused_seconds = start.elapsed().as_secs_f64();
+    let fused_per_sec = (windows * ROUNDS) as f64 / fused_seconds;
+
+    // The unfused counterpart: one engine call per window.
+    let engine = catalog
+        .engine_for(MechanismKind::MqmApprox, WINDOW)
+        .unwrap();
+    let query = statement.aggregate.to_query(2, WINDOW).unwrap();
+    let budget = pufferfish_core::PrivacyBudget::new(0.5).unwrap();
+    let cell_windows: Vec<Vec<usize>> = plan.cells()[0].windows();
+    let start = Instant::now();
+    for seed in 0..ROUNDS as u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for window in &cell_windows {
+            engine.release(&*query, window, budget, &mut rng).unwrap();
+        }
+    }
+    let unfused_seconds = start.elapsed().as_secs_f64();
+    let unfused_per_sec = (windows * ROUNDS) as f64 / unfused_seconds;
+
+    println!(
+        "batched windows: fused {fused_per_sec:.0} windows/s vs per-window \
+         {unfused_per_sec:.0} windows/s ({windows} windows x {ROUNDS} rounds)"
+    );
+    json.push(format!(
+        "  \"batched_windows\": {{\"windows\": {windows}, \"rounds\": {ROUNDS}, \
+         \"fused_seconds\": {fused_seconds:.6}, \"fused_windows_per_sec\": {fused_per_sec:.0}, \
+         \"per_window_seconds\": {unfused_seconds:.6}, \
+         \"per_window_windows_per_sec\": {unfused_per_sec:.0}}}"
+    ));
+}
+
+fn main() {
+    println!("== query_planner ==");
+    let mut json: Vec<String> = vec![
+        "  \"bench\": \"query_planner\"".to_string(),
+        format!(
+            "  \"config\": {{\"sequence_length\": {SEQUENCE_LENGTH}, \"window\": {WINDOW}, \
+             \"step\": {STEP}, \"error_seeds\": {ERROR_SEEDS}}}"
+        ),
+    ];
+
+    bench_parse_plan(&mut json);
+    bench_auto_vs_fixed(&mut json);
+    bench_batched_windows(&mut json);
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
+    let contents = format!("{{\n{}\n}}\n", json.join(",\n"));
+    std::fs::write(path, &contents).expect("failed to write BENCH_query.json");
+    println!("wrote {path}");
+}

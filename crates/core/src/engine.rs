@@ -508,6 +508,30 @@ impl ReleaseEngine {
         }
     }
 
+    /// The calibrated Laplace noise scale a release of `query` at `budget`
+    /// would apply — the probe behind cost-based mechanism planning.
+    ///
+    /// This *is* a calibration (cached like any other): the first probe for a
+    /// key pays the full calibration cost and every later probe — and every
+    /// release the planner then routes here — is a cache hit, so planning is
+    /// amortised across queries exactly like serving is. The expected L1
+    /// error of the release is `output_dimension × scale` (the mean absolute
+    /// deviation of a Laplace(b) sample is `b`), which is the quantity the
+    /// `pufferfish-query` planner minimises.
+    ///
+    /// # Errors
+    /// Calibration failures are propagated — a planner should treat them
+    /// (most usefully [`crate::PufferfishError::DegenerateClass`] and
+    /// [`crate::PufferfishError::CannotCalibrate`]) as "mechanism not
+    /// eligible" and fall back to the next candidate.
+    pub fn noise_scale_estimate(
+        &self,
+        query: &dyn LipschitzQuery,
+        budget: PrivacyBudget,
+    ) -> Result<f64> {
+        Ok(self.mechanism(query, budget)?.noise_scale_for(query))
+    }
+
     /// Releases one database, calibrating (or reusing the cached
     /// calibration) as needed.
     ///
@@ -622,6 +646,7 @@ impl std::fmt::Debug for ReleaseEngine {
 pub struct FnCalibrator<F> {
     kind: &'static str,
     class_token: u64,
+    query_scoped: bool,
     calibrate: F,
 }
 
@@ -635,6 +660,21 @@ where
         FnCalibrator {
             kind,
             class_token,
+            query_scoped: true,
+            calibrate,
+        }
+    }
+
+    /// Like [`FnCalibrator::new`], but marks the calibration as
+    /// query-independent (see [`Calibrator::query_scoped`]): one cached
+    /// calibration serves every query at a given ε. Only sound when the
+    /// closure ignores its query argument beyond validation — true for the
+    /// baselines, whose noise scale is `L`-rescaled at release time.
+    pub fn class_scoped(kind: &'static str, class_token: u64, calibrate: F) -> Self {
+        FnCalibrator {
+            kind,
+            class_token,
+            query_scoped: false,
             calibrate,
         }
     }
@@ -650,6 +690,10 @@ where
 
     fn class_token(&self) -> u64 {
         self.class_token
+    }
+
+    fn query_scoped(&self) -> bool {
+        self.query_scoped
     }
 
     fn calibrate(
@@ -1133,6 +1177,55 @@ mod tests {
         assert!(engine.mechanism(&query, budget).is_ok());
         assert_eq!(engine.stats().misses, 1);
         assert_eq!(attempts.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn noise_scale_estimate_matches_release_and_is_cached() {
+        let engine = ReleaseEngine::new(MqmApproxCalibrator::new(
+            test_class(),
+            90,
+            MqmApproxOptions::default(),
+        ));
+        let budget = PrivacyBudget::new(1.0).unwrap();
+        let query = StateFrequencyQuery::new(1, 90);
+        let estimate = engine.noise_scale_estimate(&query, budget).unwrap();
+        assert_eq!(engine.cache_misses(), 1);
+        // The probe is the same cached calibration the release then uses.
+        let mut rng = StdRng::seed_from_u64(3);
+        let release = engine
+            .release(&query, &vec![0usize; 90], budget, &mut rng)
+            .unwrap();
+        assert_eq!(release.scale.to_bits(), estimate.to_bits());
+        assert_eq!(engine.cache_misses(), 1);
+        assert_eq!(engine.cache_hits(), 1);
+    }
+
+    #[test]
+    fn class_scoped_fn_calibrator_shares_one_calibration_across_queries() {
+        let class = test_class();
+        let engine = ReleaseEngine::new(FnCalibrator::class_scoped(
+            "scoped",
+            9,
+            move |_q, budget| {
+                Ok(Arc::new(MqmApprox::calibrate(
+                    &class,
+                    70,
+                    budget,
+                    MqmApproxOptions::default(),
+                )?) as Arc<dyn Mechanism>)
+            },
+        ));
+        let budget = PrivacyBudget::new(1.0).unwrap();
+        engine
+            .mechanism(&StateFrequencyQuery::new(0, 70), budget)
+            .unwrap();
+        engine
+            .mechanism(&RelativeFrequencyHistogram::new(2, 70).unwrap(), budget)
+            .unwrap();
+        // Two different query shapes, one cached calibration.
+        assert_eq!(engine.stats().misses, 1);
+        assert_eq!(engine.stats().hits, 1);
+        assert_eq!(engine.len(), 1);
     }
 
     #[test]

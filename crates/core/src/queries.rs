@@ -235,6 +235,89 @@ impl LipschitzQuery for StateCountQuery {
     }
 }
 
+/// The number of records whose state falls inside an inclusive range,
+/// `F(X) = Σ 1[lo ≤ X_t ≤ hi]` — 1-Lipschitz, like [`StateCountQuery`], of
+/// which it is the multi-state generalisation. This is the `RANGE lo hi`
+/// aggregate of the `pufferfish-query` language; with `lo = hi` it degrades
+/// to a single-state count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeCountQuery {
+    lo: usize,
+    hi: usize,
+    num_states: usize,
+    length: usize,
+}
+
+impl RangeCountQuery {
+    /// Creates the query counting records with state in `[lo, hi]` over
+    /// sequences of `length` records drawn from `num_states` states.
+    ///
+    /// # Errors
+    /// [`PufferfishError::InvalidQuery`] when the range is empty
+    /// (`lo > hi`), out of the state space, or either size parameter is zero.
+    pub fn new(lo: usize, hi: usize, num_states: usize, length: usize) -> Result<Self> {
+        if num_states == 0 || length == 0 {
+            return Err(PufferfishError::InvalidQuery(
+                "range count requires a positive number of states and records".to_string(),
+            ));
+        }
+        if lo > hi || hi >= num_states {
+            return Err(PufferfishError::InvalidQuery(format!(
+                "range [{lo}, {hi}] is not a non-empty sub-range of 0..{num_states}"
+            )));
+        }
+        Ok(RangeCountQuery {
+            lo,
+            hi,
+            num_states,
+            length,
+        })
+    }
+
+    /// Lower bound of the counted range (inclusive).
+    pub fn lo(&self) -> usize {
+        self.lo
+    }
+
+    /// Upper bound of the counted range (inclusive).
+    pub fn hi(&self) -> usize {
+        self.hi
+    }
+}
+
+impl LipschitzQuery for RangeCountQuery {
+    fn lipschitz_constant(&self) -> f64 {
+        // Changing one record moves it into or out of the range (or neither):
+        // the count changes by at most 1.
+        1.0
+    }
+
+    fn output_dimension(&self) -> usize {
+        1
+    }
+
+    fn expected_length(&self) -> usize {
+        self.length
+    }
+
+    fn evaluate(&self, database: &[usize]) -> Result<Vec<f64>> {
+        check_database(database, self.length, self.num_states)?;
+        let count = database
+            .iter()
+            .filter(|&&s| self.lo <= s && s <= self.hi)
+            .count();
+        Ok(vec![count as f64])
+    }
+
+    fn name(&self) -> &str {
+        "range count"
+    }
+
+    fn cache_discriminator(&self) -> u64 {
+        (self.lo as u64) << 32 | self.hi as u64
+    }
+}
+
 /// The empirical mean of the numeric state labels, `F(X) = (1/T) Σ X_t`,
 /// `(k-1)/T`-Lipschitz over `k` states. Useful for ordinal state spaces such
 /// as discretised power levels.
@@ -345,6 +428,36 @@ mod tests {
         let v = q.evaluate(&[1, 1, 0, 1]).unwrap();
         assert!(close(v[0], 3.0));
         assert!(q.evaluate(&[1]).is_err());
+    }
+
+    #[test]
+    fn range_count_query() {
+        let q = RangeCountQuery::new(1, 2, 4, 5).unwrap();
+        assert_eq!(q.lo(), 1);
+        assert_eq!(q.hi(), 2);
+        assert!(close(q.lipschitz_constant(), 1.0));
+        assert_eq!(q.output_dimension(), 1);
+        assert_eq!(q.expected_length(), 5);
+        assert_eq!(q.name(), "range count");
+        let v = q.evaluate(&[0, 1, 2, 3, 1]).unwrap();
+        assert!(close(v[0], 3.0));
+        // Degenerate single-state range matches the plain state count.
+        let single = RangeCountQuery::new(2, 2, 4, 5).unwrap();
+        let count = StateCountQuery::new(2, 5);
+        assert_eq!(
+            single.evaluate(&[0, 1, 2, 3, 2]).unwrap(),
+            count.evaluate(&[0, 1, 2, 3, 2]).unwrap()
+        );
+        // Distinct parameterisations are distinguishable in the cache.
+        let other = RangeCountQuery::new(0, 2, 4, 5).unwrap();
+        assert_ne!(q.cache_discriminator(), other.cache_discriminator());
+        // Validation.
+        assert!(q.evaluate(&[0, 1]).is_err());
+        assert!(q.evaluate(&[0, 1, 2, 3, 9]).is_err());
+        assert!(RangeCountQuery::new(2, 1, 4, 5).is_err());
+        assert!(RangeCountQuery::new(1, 4, 4, 5).is_err());
+        assert!(RangeCountQuery::new(0, 0, 0, 5).is_err());
+        assert!(RangeCountQuery::new(0, 0, 4, 0).is_err());
     }
 
     #[test]

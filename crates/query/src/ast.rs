@@ -1,0 +1,285 @@
+//! The typed abstract syntax of the query language.
+//!
+//! A statement is one aggregate over a [`Table`](crate::Table) plus the
+//! clauses that shape its execution: an optional window sweep, an optional
+//! group-by, a mandatory privacy budget and an optional mechanism choice
+//! (defaulting to cost-based [`MechanismChoice::Auto`] selection). See the
+//! crate docs for the full grammar.
+
+use std::fmt;
+use std::sync::Arc;
+
+use pufferfish_core::queries::{
+    MeanStateQuery, RangeCountQuery, RelativeFrequencyHistogram, StateCountQuery,
+};
+use pufferfish_core::LipschitzQuery;
+
+use crate::QueryError;
+
+/// The released aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// `COUNT STATE s` — the number of records equal to state `s`
+    /// (1-Lipschitz, [`StateCountQuery`]).
+    Count {
+        /// The counted state.
+        state: usize,
+    },
+    /// `HISTOGRAM` — the relative-frequency histogram over all states
+    /// (`2/T`-Lipschitz, [`RelativeFrequencyHistogram`]).
+    Histogram,
+    /// `RANGE lo hi` — the number of records with state in `[lo, hi]`
+    /// (1-Lipschitz, [`RangeCountQuery`]).
+    Range {
+        /// Inclusive lower bound of the counted states.
+        lo: usize,
+        /// Inclusive upper bound of the counted states.
+        hi: usize,
+    },
+    /// `MEAN` — the empirical mean of the numeric state labels
+    /// (`(k-1)/T`-Lipschitz, [`MeanStateQuery`]).
+    Mean,
+}
+
+impl Aggregate {
+    /// The aggregate's keyword as it appears in query text.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Aggregate::Count { .. } => "COUNT",
+            Aggregate::Histogram => "HISTOGRAM",
+            Aggregate::Range { .. } => "RANGE",
+            Aggregate::Mean => "MEAN",
+        }
+    }
+
+    /// Builds the concrete [`LipschitzQuery`] this aggregate releases over
+    /// databases of `length` records from `num_states` states.
+    ///
+    /// # Errors
+    /// [`QueryError::Plan`] when the aggregate's parameters do not fit the
+    /// table's state space (out-of-range target state, empty range, …).
+    pub fn to_query(
+        &self,
+        num_states: usize,
+        length: usize,
+    ) -> Result<Arc<dyn LipschitzQuery>, QueryError> {
+        let plan_err = |message: String| QueryError::Plan(message);
+        match *self {
+            Aggregate::Count { state } => {
+                if state >= num_states {
+                    return Err(plan_err(format!(
+                        "COUNT STATE {state} is out of range for a table with \
+                         {num_states} states"
+                    )));
+                }
+                Ok(Arc::new(StateCountQuery::new(state, length)))
+            }
+            Aggregate::Histogram => Ok(Arc::new(
+                RelativeFrequencyHistogram::new(num_states, length)
+                    .map_err(|e| plan_err(e.to_string()))?,
+            )),
+            Aggregate::Range { lo, hi } => Ok(Arc::new(
+                RangeCountQuery::new(lo, hi, num_states, length)
+                    .map_err(|e| plan_err(e.to_string()))?,
+            )),
+            Aggregate::Mean => Ok(Arc::new(
+                MeanStateQuery::new(num_states, length).map_err(|e| plan_err(e.to_string()))?,
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Aggregate::Count { state } => write!(f, "COUNT STATE {state}"),
+            Aggregate::Histogram => write!(f, "HISTOGRAM"),
+            Aggregate::Range { lo, hi } => write!(f, "RANGE {lo} {hi}"),
+            Aggregate::Mean => write!(f, "MEAN"),
+        }
+    }
+}
+
+/// The `WINDOW w STEP s` clause: release the aggregate over every window of
+/// `width` consecutive records, advancing `step` records between windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Window width in records.
+    pub width: usize,
+    /// Advance between consecutive window starts (`step = width` gives
+    /// tumbling windows).
+    pub step: usize,
+}
+
+impl fmt::Display for WindowSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WINDOW {} STEP {}", self.width, self.step)
+    }
+}
+
+/// One concrete mechanism family the planner can route a query to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MechanismKind {
+    /// The ∞-Wasserstein mechanism (Algorithm 1) — query-sensitive, needs an
+    /// enumerable [`DiscretePufferfishFramework`] registered in the catalog.
+    ///
+    /// [`DiscretePufferfishFramework`]: pufferfish_core::DiscretePufferfishFramework
+    Wasserstein,
+    /// The exact Markov Quilt mechanism (Algorithm 3).
+    Mqm,
+    /// The approximate Markov Quilt mechanism (Algorithm 4).
+    MqmApprox,
+    /// The GK16 influence-matrix baseline (eligible only when local
+    /// correlations are weak).
+    Gk16,
+    /// The group differential privacy baseline (noise scales with the
+    /// window length — almost never the planner's choice, present as the
+    /// correctness floor).
+    GroupDp,
+}
+
+impl MechanismKind {
+    /// Every kind, in the deterministic order the planner probes (and
+    /// breaks cost ties) in.
+    pub const ALL: [MechanismKind; 5] = [
+        MechanismKind::Wasserstein,
+        MechanismKind::Mqm,
+        MechanismKind::MqmApprox,
+        MechanismKind::Gk16,
+        MechanismKind::GroupDp,
+    ];
+
+    /// The kind's keyword in query text (`mqm_approx`, `group_dp`, …).
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            MechanismKind::Wasserstein => "wasserstein",
+            MechanismKind::Mqm => "mqm",
+            MechanismKind::MqmApprox => "mqm_approx",
+            MechanismKind::Gk16 => "gk16",
+            MechanismKind::GroupDp => "group_dp",
+        }
+    }
+
+    /// Parses a kind keyword (case-insensitive).
+    pub fn parse_keyword(text: &str) -> Option<MechanismKind> {
+        let lower = text.to_ascii_lowercase();
+        MechanismKind::ALL
+            .into_iter()
+            .find(|kind| kind.keyword() == lower)
+    }
+}
+
+impl fmt::Display for MechanismKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// The `MECHANISM` clause: either a fixed family or cost-based selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MechanismChoice {
+    /// `MECHANISM auto` (the default): the planner probes every registered
+    /// mechanism's calibrated noise scale and picks the minimum-expected-
+    /// error family whose calibration succeeds.
+    #[default]
+    Auto,
+    /// `MECHANISM <kind>`: route to exactly this family, failing the plan if
+    /// it cannot calibrate.
+    Fixed(MechanismKind),
+}
+
+impl fmt::Display for MechanismChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MechanismChoice::Auto => f.write_str("auto"),
+            MechanismChoice::Fixed(kind) => kind.fmt(f),
+        }
+    }
+}
+
+/// One parsed query statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryStatement {
+    /// The released aggregate.
+    pub aggregate: Aggregate,
+    /// Optional window sweep (absent: one release over the full sequence).
+    pub window: Option<WindowSpec>,
+    /// Optional group-by key (absent: the table must hold a single group).
+    ///
+    /// A table has exactly one grouping — its groups — so the identifier is
+    /// a descriptive *label* carried into results and logs, not a column
+    /// lookup: `GROUP BY user` and `GROUP BY household` plan identically.
+    pub group_by: Option<String>,
+    /// Privacy parameter ε of each individual release.
+    pub epsilon: f64,
+    /// Mechanism choice (auto unless pinned).
+    pub mechanism: MechanismChoice,
+}
+
+impl fmt::Display for QueryStatement {
+    /// Renders the statement back to canonical query text (parseable by
+    /// [`parse_statement`](crate::parse_statement) — the round-trip the
+    /// parser tests assert).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.aggregate)?;
+        if let Some(window) = &self.window {
+            write!(f, " {window}")?;
+        }
+        if let Some(key) = &self.group_by {
+            write!(f, " GROUP BY {key}")?;
+        }
+        write!(f, " EPSILON {}", self.epsilon)?;
+        write!(f, " MECHANISM {}", self.mechanism)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_round_trip() {
+        for kind in MechanismKind::ALL {
+            assert_eq!(MechanismKind::parse_keyword(kind.keyword()), Some(kind));
+            assert_eq!(
+                MechanismKind::parse_keyword(&kind.keyword().to_ascii_uppercase()),
+                Some(kind)
+            );
+        }
+        assert_eq!(MechanismKind::parse_keyword("laplace"), None);
+    }
+
+    #[test]
+    fn aggregate_queries_match_core_types() {
+        let count = Aggregate::Count { state: 1 }.to_query(3, 50).unwrap();
+        assert_eq!(count.name(), "state count");
+        assert_eq!(count.lipschitz_constant(), 1.0);
+        let histogram = Aggregate::Histogram.to_query(3, 50).unwrap();
+        assert_eq!(histogram.output_dimension(), 3);
+        let range = Aggregate::Range { lo: 0, hi: 1 }.to_query(3, 50).unwrap();
+        assert_eq!(range.name(), "range count");
+        let mean = Aggregate::Mean.to_query(3, 50).unwrap();
+        assert_eq!(mean.name(), "mean state");
+        // Out-of-range parameters fail at plan time, typed.
+        assert!(Aggregate::Count { state: 3 }.to_query(3, 50).is_err());
+        assert!(Aggregate::Range { lo: 2, hi: 1 }.to_query(3, 50).is_err());
+    }
+
+    #[test]
+    fn statement_renders_canonical_text() {
+        let statement = QueryStatement {
+            aggregate: Aggregate::Range { lo: 1, hi: 2 },
+            window: Some(WindowSpec {
+                width: 50,
+                step: 25,
+            }),
+            group_by: Some("user".to_string()),
+            epsilon: 0.5,
+            mechanism: MechanismChoice::Fixed(MechanismKind::MqmApprox),
+        };
+        assert_eq!(
+            statement.to_string(),
+            "RANGE 1 2 WINDOW 50 STEP 25 GROUP BY user EPSILON 0.5 MECHANISM mqm_approx"
+        );
+    }
+}

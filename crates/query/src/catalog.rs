@@ -1,0 +1,299 @@
+//! The mechanism catalog: one lazily built, cached [`ReleaseEngine`] per
+//! `(mechanism family, database length)` over a shared distribution class.
+//!
+//! The planner probes noise scales through these engines and the executor
+//! releases through the *same* engines, so a probe is never wasted work: the
+//! calibration it pays for is the calibration the release then reuses (and
+//! every later query at the same `(family, length, ε, query shape)` hits the
+//! cache).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use pufferfish_baselines::{Gk16, GroupDp};
+use pufferfish_core::engine::{
+    framework_token, markov_class_token, FnCalibrator, MqmApproxCalibrator, MqmExactCalibrator,
+    TokenHasher, WassersteinCalibrator,
+};
+use pufferfish_core::{
+    CacheStats, DiscretePufferfishFramework, Mechanism, MqmApproxOptions, MqmExactOptions,
+    Parallelism, ReleaseEngine,
+};
+use pufferfish_markov::MarkovChainClass;
+
+use crate::ast::MechanismKind;
+use crate::QueryError;
+
+/// Calibration options shared by every engine a catalog builds.
+#[derive(Debug, Clone, Default)]
+pub struct CatalogOptions {
+    /// Options for the exact Markov Quilt family.
+    pub mqm_exact: MqmExactOptions,
+    /// Options for the approximate Markov Quilt family.
+    pub mqm_approx: MqmApproxOptions,
+    /// Parallelism policy for Wasserstein calibration sweeps.
+    pub wasserstein_parallelism: Parallelism,
+}
+
+/// The planner's registry of mechanism backends over one distribution class.
+///
+/// A catalog always serves the two Markov Quilt families and the GK16 /
+/// group-DP baselines (all calibrate from a [`MarkovChainClass`]); the
+/// query-sensitive Wasserstein mechanism additionally needs an enumerable
+/// [`DiscretePufferfishFramework`] and joins the candidate set only when one
+/// is registered with [`MechanismCatalog::with_framework`] (and only for
+/// queries whose database length matches the framework's record length).
+pub struct MechanismCatalog {
+    class: MarkovChainClass,
+    framework: Option<DiscretePufferfishFramework>,
+    options: CatalogOptions,
+    engines: Mutex<HashMap<(MechanismKind, usize), Arc<ReleaseEngine>>>,
+}
+
+impl MechanismCatalog {
+    /// A catalog over the given chain class with default options.
+    pub fn new(class: MarkovChainClass) -> Self {
+        MechanismCatalog::with_options(class, CatalogOptions::default())
+    }
+
+    /// A catalog with explicit calibration options.
+    pub fn with_options(class: MarkovChainClass, options: CatalogOptions) -> Self {
+        MechanismCatalog {
+            class,
+            framework: None,
+            options,
+            engines: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Registers an enumerable framework, making [`MechanismKind::Wasserstein`]
+    /// a planning candidate for queries of the framework's record length.
+    pub fn with_framework(mut self, framework: DiscretePufferfishFramework) -> Self {
+        self.framework = Some(framework);
+        self
+    }
+
+    /// The distribution class every backend calibrates against.
+    pub fn class(&self) -> &MarkovChainClass {
+        &self.class
+    }
+
+    /// The mechanism families this catalog can serve, in the deterministic
+    /// order the planner probes them.
+    pub fn kinds(&self) -> Vec<MechanismKind> {
+        MechanismKind::ALL
+            .into_iter()
+            .filter(|kind| *kind != MechanismKind::Wasserstein || self.framework.is_some())
+            .collect()
+    }
+
+    /// The engine serving `kind` for databases of `length` records, built on
+    /// first use and cached (so its calibration cache persists across
+    /// queries — this is what amortises planner probes).
+    ///
+    /// # Errors
+    /// [`QueryError::UnknownMechanism`] when `kind` has no registered
+    /// backend; [`QueryError::Plan`] when the registered Wasserstein
+    /// framework's record length does not match `length`.
+    pub fn engine_for(
+        &self,
+        kind: MechanismKind,
+        length: usize,
+    ) -> Result<Arc<ReleaseEngine>, QueryError> {
+        if kind == MechanismKind::Wasserstein {
+            // Validate before taking the lock: an ineligible request must
+            // not poison or populate the registry.
+            match &self.framework {
+                None => return Err(QueryError::UnknownMechanism(kind)),
+                Some(framework) if framework.record_length() != length => {
+                    return Err(QueryError::Plan(format!(
+                        "the registered Wasserstein framework describes records of \
+                         length {}, query needs length {length}",
+                        framework.record_length()
+                    )));
+                }
+                Some(_) => {}
+            }
+        }
+        let mut engines = self.engines.lock().expect("catalog registry poisoned");
+        if let Some(engine) = engines.get(&(kind, length)) {
+            return Ok(Arc::clone(engine));
+        }
+        let engine = Arc::new(self.build_engine(kind, length)?);
+        engines.insert((kind, length), Arc::clone(&engine));
+        Ok(engine)
+    }
+
+    fn build_engine(
+        &self,
+        kind: MechanismKind,
+        length: usize,
+    ) -> Result<ReleaseEngine, QueryError> {
+        Ok(match kind {
+            MechanismKind::Wasserstein => {
+                let framework = self
+                    .framework
+                    .clone()
+                    .ok_or(QueryError::UnknownMechanism(kind))?;
+                ReleaseEngine::new(WassersteinCalibrator::new(
+                    framework,
+                    self.options.wasserstein_parallelism,
+                ))
+            }
+            MechanismKind::Mqm => ReleaseEngine::new(MqmExactCalibrator::new(
+                self.class.clone(),
+                length,
+                self.options.mqm_exact,
+            )),
+            MechanismKind::MqmApprox => ReleaseEngine::new(MqmApproxCalibrator::new(
+                self.class.clone(),
+                length,
+                self.options.mqm_approx,
+            )),
+            MechanismKind::Gk16 => {
+                let class = self.class.clone();
+                let token = TokenHasher::new("gk16")
+                    .mix(&markov_class_token(&class))
+                    .mix(&length)
+                    .finish();
+                ReleaseEngine::new(FnCalibrator::class_scoped(
+                    "gk16",
+                    token,
+                    move |_q, budget| {
+                        Ok(Arc::new(Gk16::calibrate(&class, length, budget)?)
+                            as Arc<dyn Mechanism>)
+                    },
+                ))
+            }
+            MechanismKind::GroupDp => {
+                // The released database is one connected chain segment, so
+                // the correlated group is the whole database: M = length
+                // (Definition 2.2 as instantiated in Section 5).
+                let token = TokenHasher::new("group-dp").mix(&length).finish();
+                ReleaseEngine::new(FnCalibrator::class_scoped(
+                    "group-dp",
+                    token,
+                    move |_q, budget| {
+                        Ok(Arc::new(GroupDp::calibrate(length, budget)?) as Arc<dyn Mechanism>)
+                    },
+                ))
+            }
+        })
+    }
+
+    /// Cache counters summed over every engine the catalog has built, plus
+    /// the number of distinct cached calibrations — the query layer's share
+    /// of a [`ServiceStats`](pufferfish_service::ServiceStats) snapshot.
+    pub fn cache_stats(&self) -> (CacheStats, usize) {
+        let engines = self.engines.lock().expect("catalog registry poisoned");
+        let mut total = CacheStats::default();
+        let mut cached = 0;
+        for engine in engines.values() {
+            let stats = engine.stats();
+            total.hits += stats.hits;
+            total.misses += stats.misses;
+            total.coalesced += stats.coalesced;
+            cached += engine.len();
+        }
+        (total, cached)
+    }
+
+    /// A stable token identifying the catalog's class (and framework, when
+    /// registered) — exposed for diagnostics.
+    pub fn class_token(&self) -> u64 {
+        let mut token = TokenHasher::new("catalog").mix(&markov_class_token(&self.class));
+        if let Some(framework) = &self.framework {
+            token = token.mix(&framework_token(framework));
+        }
+        token.finish()
+    }
+}
+
+impl std::fmt::Debug for MechanismCatalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let engines = self.engines.lock().expect("catalog registry poisoned");
+        f.debug_struct("MechanismCatalog")
+            .field("kinds", &self.kinds())
+            .field("engines", &engines.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pufferfish_core::queries::StateFrequencyQuery;
+    use pufferfish_core::PrivacyBudget;
+    use pufferfish_markov::IntervalClassBuilder;
+
+    fn catalog() -> MechanismCatalog {
+        MechanismCatalog::new(
+            IntervalClassBuilder::symmetric(0.4)
+                .grid_points(2)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn wasserstein_requires_a_framework() {
+        let catalog = catalog();
+        assert!(!catalog.kinds().contains(&MechanismKind::Wasserstein));
+        assert!(matches!(
+            catalog.engine_for(MechanismKind::Wasserstein, 10),
+            Err(QueryError::UnknownMechanism(MechanismKind::Wasserstein))
+        ));
+        // Other families stay available without a framework.
+        assert!(catalog.engine_for(MechanismKind::MqmApprox, 10).is_ok());
+        let framework =
+            pufferfish_core::flu::flu_clique_framework(3, &[0.5, 0.1, 0.1, 0.3]).unwrap();
+        let catalog = MechanismCatalog::new(
+            IntervalClassBuilder::symmetric(0.4)
+                .grid_points(2)
+                .build()
+                .unwrap(),
+        )
+        .with_framework(framework);
+        assert!(catalog.kinds().contains(&MechanismKind::Wasserstein));
+        assert!(catalog.engine_for(MechanismKind::Wasserstein, 3).is_ok());
+        // Length mismatch is a typed plan error, not a calibration attempt.
+        assert!(matches!(
+            catalog.engine_for(MechanismKind::Wasserstein, 10),
+            Err(QueryError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn engines_are_cached_per_kind_and_length() {
+        let catalog = catalog();
+        let a = catalog.engine_for(MechanismKind::MqmApprox, 40).unwrap();
+        let b = catalog.engine_for(MechanismKind::MqmApprox, 40).unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "same (kind, length) must share an engine"
+        );
+        let c = catalog.engine_for(MechanismKind::MqmApprox, 50).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        // The shared engine's calibration cache amortises repeated probes.
+        let query = StateFrequencyQuery::new(1, 40);
+        let budget = PrivacyBudget::new(1.0).unwrap();
+        a.noise_scale_estimate(&query, budget).unwrap();
+        b.noise_scale_estimate(&query, budget).unwrap();
+        let (stats, cached) = catalog.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(cached, 1);
+    }
+
+    #[test]
+    fn baseline_engines_calibrate() {
+        let catalog = catalog();
+        let budget = PrivacyBudget::new(1.0).unwrap();
+        let query = StateFrequencyQuery::new(1, 30);
+        for kind in [MechanismKind::Gk16, MechanismKind::GroupDp] {
+            let engine = catalog.engine_for(kind, 30).unwrap();
+            let scale = engine.noise_scale_estimate(&query, budget).unwrap();
+            assert!(scale.is_finite() && scale > 0.0, "{kind}: {scale}");
+        }
+    }
+}

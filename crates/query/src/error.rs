@@ -1,0 +1,112 @@
+//! Error type for the query layer.
+
+use std::fmt;
+
+use pufferfish_core::PufferfishError;
+use pufferfish_service::ServiceError;
+
+use crate::ast::MechanismKind;
+
+/// Errors produced while parsing, planning or executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The query text did not parse. `line` is 1-based within the submitted
+    /// script (always 1 for single-statement parses).
+    Parse {
+        /// 1-based line number of the offending statement.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The statement parsed but cannot be planned against the given table
+    /// (window wider than the data, group-by mismatch, aggregate parameters
+    /// outside the state space, …).
+    Plan(String),
+    /// Under `MECHANISM auto`, every registered mechanism failed to
+    /// calibrate for the query; the per-kind failures are retained so the
+    /// caller can see *why* each candidate fell through.
+    NoEligibleMechanism {
+        /// `(kind, calibration failure)` for every probed mechanism.
+        failures: Vec<(MechanismKind, String)>,
+    },
+    /// A `MECHANISM <kind>` clause named a family the catalog has no
+    /// backend for (e.g. `wasserstein` without a registered framework).
+    UnknownMechanism(MechanismKind),
+    /// Admission failed in the budget layer (the plan spent nothing).
+    Budget(ServiceError),
+    /// Calibration or release failed in the mechanism layer.
+    Mechanism(PufferfishError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            QueryError::Plan(message) => write!(f, "planning error: {message}"),
+            QueryError::NoEligibleMechanism { failures } => {
+                write!(f, "no eligible mechanism:")?;
+                for (kind, reason) in failures {
+                    write!(f, " [{kind}: {reason}]")?;
+                }
+                Ok(())
+            }
+            QueryError::UnknownMechanism(kind) => {
+                write!(f, "mechanism '{kind}' is not registered in the catalog")
+            }
+            QueryError::Budget(e) => write!(f, "budget refusal: {e}"),
+            QueryError::Mechanism(e) => write!(f, "mechanism error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Budget(e) => Some(e),
+            QueryError::Mechanism(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PufferfishError> for QueryError {
+    fn from(e: PufferfishError) -> Self {
+        QueryError::Mechanism(e)
+    }
+}
+
+impl From<ServiceError> for QueryError {
+    fn from(e: ServiceError) -> Self {
+        QueryError::Budget(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let parse = QueryError::Parse {
+            line: 3,
+            message: "what".into(),
+        };
+        assert!(parse.to_string().contains("line 3"));
+        assert!(parse.source().is_none());
+        let none = QueryError::NoEligibleMechanism {
+            failures: vec![(MechanismKind::Gk16, "norm >= 1".into())],
+        };
+        assert!(none.to_string().contains("gk16"));
+        assert!(none.to_string().contains("norm"));
+        let unknown = QueryError::UnknownMechanism(MechanismKind::Wasserstein);
+        assert!(unknown.to_string().contains("wasserstein"));
+        let budget = QueryError::from(ServiceError::ServiceClosed);
+        assert!(budget.source().is_some());
+        let mech = QueryError::from(PufferfishError::InvalidEpsilon(0.0));
+        assert!(mech.source().is_some());
+        assert!(QueryError::Plan("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,353 @@
+//! The line-oriented parser for the query language.
+//!
+//! One statement per line; `#` starts a comment; blank lines are skipped.
+//! Keywords are case-insensitive, so `histogram epsilon 0.5` and
+//! `HISTOGRAM EPSILON 0.5` parse identically. The grammar (clauses may
+//! appear in any order, each at most once):
+//!
+//! ```text
+//! statement := aggregate clause*
+//! aggregate := COUNT STATE <n> | HISTOGRAM | RANGE <lo> <hi> | MEAN
+//! clause    := WINDOW <w> [STEP <s>]          # STEP defaults to w (tumbling)
+//!            | GROUP BY <identifier>        # one cell per table group; the
+//!                                            # identifier is a label, not a lookup
+//!            | EPSILON <e>                    # required, e > 0
+//!            | MECHANISM auto|wasserstein|mqm|mqm_approx|gk16|group_dp
+//! ```
+
+use crate::ast::{Aggregate, MechanismChoice, MechanismKind, QueryStatement, WindowSpec};
+use crate::QueryError;
+
+/// Token cursor over one statement line.
+struct Cursor<'a> {
+    tokens: Vec<&'a str>,
+    position: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn error(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&'a str> {
+        self.tokens.get(self.position).copied()
+    }
+
+    fn next(&mut self, expected: &str) -> Result<&'a str, QueryError> {
+        let token = self
+            .peek()
+            .ok_or_else(|| self.error(format!("expected {expected}, found end of statement")))?;
+        self.position += 1;
+        Ok(token)
+    }
+
+    /// Consumes the next token if it equals `keyword` (case-insensitive).
+    fn eat_keyword(&mut self, keyword: &str) -> bool {
+        match self.peek() {
+            Some(token) if token.eq_ignore_ascii_case(keyword) => {
+                self.position += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), QueryError> {
+        let token = self.next(&format!("'{keyword}'"))?;
+        if token.eq_ignore_ascii_case(keyword) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{keyword}', found '{token}'")))
+        }
+    }
+
+    fn next_usize(&mut self, what: &str) -> Result<usize, QueryError> {
+        let token = self.next(what)?;
+        token.parse::<usize>().map_err(|_| {
+            self.error(format!(
+                "expected {what} (a non-negative integer), found '{token}'"
+            ))
+        })
+    }
+
+    fn next_f64(&mut self, what: &str) -> Result<f64, QueryError> {
+        let token = self.next(what)?;
+        token
+            .parse::<f64>()
+            .map_err(|_| self.error(format!("expected {what} (a number), found '{token}'")))
+    }
+}
+
+/// Parses one statement from `text` (which must contain exactly one
+/// statement; comments and surrounding whitespace are fine).
+///
+/// # Errors
+/// [`QueryError::Parse`] describing the first offending token. The reported
+/// line number is 1 — use [`parse_script`] for multi-line inputs.
+pub fn parse_statement(text: &str) -> Result<QueryStatement, QueryError> {
+    let mut statements = parse_script(text)?;
+    match statements.len() {
+        1 => Ok(statements.pop().expect("length checked")),
+        0 => Err(QueryError::Parse {
+            line: 1,
+            message: "empty input: expected one statement".to_string(),
+        }),
+        n => Err(QueryError::Parse {
+            line: 1,
+            message: format!("expected one statement, found {n}"),
+        }),
+    }
+}
+
+/// Parses a whole script: one statement per non-empty, non-comment line.
+///
+/// # Errors
+/// [`QueryError::Parse`] with the 1-based line number of the first
+/// offending line.
+pub fn parse_script(text: &str) -> Result<Vec<QueryStatement>, QueryError> {
+    let mut statements = Vec::new();
+    for (index, raw_line) in text.lines().enumerate() {
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        statements.push(parse_line(line, index + 1)?);
+    }
+    Ok(statements)
+}
+
+fn parse_line(line: &str, line_number: usize) -> Result<QueryStatement, QueryError> {
+    let mut cursor = Cursor {
+        tokens: line.split_whitespace().collect(),
+        position: 0,
+        line: line_number,
+    };
+
+    let aggregate = parse_aggregate(&mut cursor)?;
+    let mut window = None;
+    let mut group_by: Option<String> = None;
+    let mut epsilon = None;
+    let mut mechanism = None;
+
+    while let Some(token) = cursor.peek() {
+        if token.eq_ignore_ascii_case("WINDOW") {
+            if window.is_some() {
+                return Err(cursor.error("duplicate WINDOW clause"));
+            }
+            cursor.position += 1;
+            let width = cursor.next_usize("window width")?;
+            let step = if cursor.eat_keyword("STEP") {
+                cursor.next_usize("window step")?
+            } else {
+                width
+            };
+            if width == 0 || step == 0 {
+                return Err(cursor.error("WINDOW width and STEP must be positive"));
+            }
+            window = Some(WindowSpec { width, step });
+        } else if token.eq_ignore_ascii_case("GROUP") {
+            if group_by.is_some() {
+                return Err(cursor.error("duplicate GROUP BY clause"));
+            }
+            cursor.position += 1;
+            cursor.expect_keyword("BY")?;
+            let key = cursor.next("group-by key")?;
+            group_by = Some(key.to_string());
+        } else if token.eq_ignore_ascii_case("EPSILON") {
+            if epsilon.is_some() {
+                return Err(cursor.error("duplicate EPSILON clause"));
+            }
+            cursor.position += 1;
+            let value = cursor.next_f64("epsilon")?;
+            if !value.is_finite() || value <= 0.0 {
+                return Err(cursor.error(format!(
+                    "EPSILON must be positive and finite, found {value}"
+                )));
+            }
+            epsilon = Some(value);
+        } else if token.eq_ignore_ascii_case("MECHANISM") {
+            if mechanism.is_some() {
+                return Err(cursor.error("duplicate MECHANISM clause"));
+            }
+            cursor.position += 1;
+            let keyword = cursor.next("mechanism name")?;
+            mechanism = Some(if keyword.eq_ignore_ascii_case("auto") {
+                MechanismChoice::Auto
+            } else {
+                MechanismChoice::Fixed(MechanismKind::parse_keyword(keyword).ok_or_else(|| {
+                    cursor.error(format!(
+                        "unknown mechanism '{keyword}' (expected auto, wasserstein, \
+                             mqm, mqm_approx, gk16 or group_dp)"
+                    ))
+                })?)
+            });
+        } else {
+            return Err(cursor.error(format!("unexpected token '{token}'")));
+        }
+    }
+
+    let epsilon = epsilon.ok_or_else(|| cursor.error("missing required EPSILON clause"))?;
+    Ok(QueryStatement {
+        aggregate,
+        window,
+        group_by,
+        epsilon,
+        mechanism: mechanism.unwrap_or_default(),
+    })
+}
+
+fn parse_aggregate(cursor: &mut Cursor<'_>) -> Result<Aggregate, QueryError> {
+    let keyword = cursor.next("an aggregate (COUNT, HISTOGRAM, RANGE or MEAN)")?;
+    if keyword.eq_ignore_ascii_case("COUNT") {
+        cursor.expect_keyword("STATE")?;
+        let state = cursor.next_usize("target state")?;
+        Ok(Aggregate::Count { state })
+    } else if keyword.eq_ignore_ascii_case("HISTOGRAM") {
+        Ok(Aggregate::Histogram)
+    } else if keyword.eq_ignore_ascii_case("RANGE") {
+        let lo = cursor.next_usize("range lower bound")?;
+        let hi = cursor.next_usize("range upper bound")?;
+        Ok(Aggregate::Range { lo, hi })
+    } else if keyword.eq_ignore_ascii_case("MEAN") {
+        Ok(Aggregate::Mean)
+    } else {
+        Err(cursor.error(format!(
+            "unknown aggregate '{keyword}' (expected COUNT, HISTOGRAM, RANGE or MEAN)"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_aggregate() {
+        let q = parse_statement("COUNT STATE 2 EPSILON 1.0").unwrap();
+        assert_eq!(q.aggregate, Aggregate::Count { state: 2 });
+        assert_eq!(q.epsilon, 1.0);
+        assert_eq!(q.mechanism, MechanismChoice::Auto);
+        assert!(q.window.is_none());
+        assert!(q.group_by.is_none());
+
+        let q = parse_statement("HISTOGRAM EPSILON 0.5").unwrap();
+        assert_eq!(q.aggregate, Aggregate::Histogram);
+
+        let q = parse_statement("RANGE 1 3 EPSILON 0.5").unwrap();
+        assert_eq!(q.aggregate, Aggregate::Range { lo: 1, hi: 3 });
+
+        let q = parse_statement("MEAN EPSILON 0.5").unwrap();
+        assert_eq!(q.aggregate, Aggregate::Mean);
+    }
+
+    #[test]
+    fn parses_full_clause_set_in_any_order() {
+        let a = parse_statement(
+            "HISTOGRAM WINDOW 50 STEP 25 GROUP BY user EPSILON 0.5 MECHANISM mqm_approx",
+        )
+        .unwrap();
+        let b = parse_statement(
+            "histogram mechanism MQM_APPROX epsilon 0.5 group by user window 50 step 25",
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.window,
+            Some(WindowSpec {
+                width: 50,
+                step: 25
+            })
+        );
+        assert_eq!(a.group_by.as_deref(), Some("user"));
+        assert_eq!(
+            a.mechanism,
+            MechanismChoice::Fixed(MechanismKind::MqmApprox)
+        );
+    }
+
+    #[test]
+    fn step_defaults_to_tumbling() {
+        let q = parse_statement("HISTOGRAM WINDOW 40 EPSILON 0.2").unwrap();
+        assert_eq!(
+            q.window,
+            Some(WindowSpec {
+                width: 40,
+                step: 40
+            })
+        );
+    }
+
+    #[test]
+    fn statements_round_trip_through_display() {
+        for text in [
+            "COUNT STATE 1 EPSILON 0.25 MECHANISM auto",
+            "HISTOGRAM WINDOW 50 STEP 10 EPSILON 0.5 MECHANISM gk16",
+            "RANGE 0 2 WINDOW 30 STEP 30 GROUP BY user EPSILON 1 MECHANISM group_dp",
+            "MEAN GROUP BY cohort EPSILON 0.75 MECHANISM wasserstein",
+        ] {
+            let parsed = parse_statement(text).unwrap();
+            assert_eq!(parse_statement(&parsed.to_string()).unwrap(), parsed);
+        }
+    }
+
+    #[test]
+    fn scripts_skip_comments_and_blank_lines() {
+        let script = "
+            # released every morning
+            HISTOGRAM EPSILON 0.5            # auto planning
+            COUNT STATE 1 EPSILON 0.2 MECHANISM mqm
+
+            RANGE 0 1 EPSILON 0.1
+        ";
+        let statements = parse_script(script).unwrap();
+        assert_eq!(statements.len(), 3);
+        assert_eq!(
+            statements[1].mechanism,
+            MechanismChoice::Fixed(MechanismKind::Mqm)
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers_and_detail() {
+        let err = parse_script("HISTOGRAM EPSILON 0.5\nHISTOGRAM EPSILON nope").unwrap_err();
+        match err {
+            QueryError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("nope"));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        for bad in [
+            "",                                      // empty
+            "HISTOGRAM",                             // missing EPSILON
+            "HISTOGRAM EPSILON 0",                   // non-positive epsilon
+            "HISTOGRAM EPSILON -1",                  // negative epsilon
+            "HISTOGRAM EPSILON inf",                 // non-finite epsilon
+            "COUNT EPSILON 1",                       // COUNT without STATE
+            "COUNT STATE x EPSILON 1",               // non-integer state
+            "RANGE 1 EPSILON 1",                     // RANGE missing bound
+            "SUM EPSILON 1",                         // unknown aggregate
+            "HISTOGRAM EPSILON 1 MECHANISM laplace", // unknown mechanism
+            "HISTOGRAM WINDOW 0 EPSILON 1",          // zero window
+            "HISTOGRAM WINDOW 10 STEP 0 EPSILON 1",  // zero step
+            "HISTOGRAM GROUP user EPSILON 1",        // GROUP without BY
+            "HISTOGRAM EPSILON 1 EPSILON 2",         // duplicate clause
+            "HISTOGRAM WINDOW 5 WINDOW 5 EPSILON 1", // duplicate clause
+            "HISTOGRAM EPSILON 1 trailing",          // trailing garbage
+            "HISTOGRAM EPSILON 1\nMEAN EPSILON 1",   // two statements via parse_statement
+        ] {
+            assert!(
+                matches!(parse_statement(bad), Err(QueryError::Parse { .. })),
+                "should not parse: {bad:?}"
+            );
+        }
+    }
+}

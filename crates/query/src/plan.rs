@@ -1,0 +1,480 @@
+//! Logical → physical planning with cost-based mechanism selection.
+//!
+//! Planning a statement against a table does three things:
+//!
+//! 1. **Shape the work** — resolve the group-by into cells, the window
+//!    clause into per-cell window sweeps, and the aggregate into a concrete
+//!    [`LipschitzQuery`] for the window length.
+//! 2. **Choose the mechanism** — under `MECHANISM auto`, probe every
+//!    registered family's calibrated noise scale through the catalog's
+//!    cached engines ([`ReleaseEngine::noise_scale_estimate`]) and pick the
+//!    minimum-expected-error family whose calibration succeeds, skipping
+//!    past `DegenerateClass` / `CannotCalibrate` failures; under
+//!    `MECHANISM <kind>`, pin the family and fail the plan if it cannot
+//!    calibrate. The cost of a candidate is its expected L1 release error
+//!    `output_dimension × scale` (the mean absolute deviation of Laplace(b)
+//!    noise is `b`); since the dimension is fixed by the query, this is
+//!    minimised by the smallest noise scale. Probes are real calibrations
+//!    cached in the engines, so the winning mechanism's release costs
+//!    nothing extra and repeated plans are cache hits.
+//! 3. **Price the plan** — total ε = per-release ε × the maximum number of
+//!    window releases in any one cell: releases within a cell compose
+//!    sequentially (Theorem 4.4, homogeneous budgets sum), while cells are
+//!    disjoint individuals (see [`TableGroup`](crate::TableGroup)), so the
+//!    worst single individual's composed loss prices the whole plan.
+//!
+//! [`ReleaseEngine::noise_scale_estimate`]: pufferfish_core::ReleaseEngine::noise_scale_estimate
+
+use std::sync::Arc;
+
+use pufferfish_core::{LipschitzQuery, PrivacyBudget, ReleaseEngine};
+
+use crate::ast::{MechanismChoice, MechanismKind, QueryStatement};
+use crate::catalog::MechanismCatalog;
+use crate::table::Table;
+use crate::QueryError;
+
+/// The outcome of probing one mechanism family during planning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MechanismProbe {
+    /// The probed family.
+    pub kind: MechanismKind,
+    /// Its calibrated noise scale, or the calibration failure that makes it
+    /// ineligible.
+    pub outcome: Result<f64, String>,
+}
+
+/// One physical cell: a group key, one copy of the group's sequence and the
+/// window *offsets* released over it.
+///
+/// Windows are stored as `(start, end)` bounds, not materialised vectors —
+/// a `WINDOW 500 STEP 1` sweep over a long sequence would otherwise
+/// duplicate the data `width/step` times for the plan's lifetime (and the
+/// `EXPLAIN` path holds plans without ever executing them). The executor
+/// materialises each cell's windows transiently at release time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedCell {
+    key: String,
+    sequence: Vec<usize>,
+    bounds: Vec<(usize, usize)>,
+}
+
+impl PlannedCell {
+    /// The group key this cell answers for.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Number of window releases this cell performs.
+    pub fn window_count(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// The `(start, end)` offsets of each window within the group's
+    /// sequence, in sweep order (a single full-sequence window when the
+    /// statement has no `WINDOW` clause).
+    pub fn window_bounds(&self) -> &[(usize, usize)] {
+        &self.bounds
+    }
+
+    /// Exclusive end offset of each window within the group's sequence.
+    pub fn window_ends(&self) -> Vec<usize> {
+        self.bounds.iter().map(|&(_, end)| end).collect()
+    }
+
+    /// Materialises the window databases (allocates; the plan itself only
+    /// holds offsets plus one copy of the sequence).
+    pub fn windows(&self) -> Vec<Vec<usize>> {
+        self.bounds
+            .iter()
+            .map(|&(start, end)| self.sequence[start..end].to_vec())
+            .collect()
+    }
+}
+
+/// An executable physical plan: the chosen mechanism's engine, the concrete
+/// query, the priced ε and the per-cell window batches.
+pub struct QueryPlan {
+    statement: QueryStatement,
+    chosen: MechanismKind,
+    noise_scale: f64,
+    probes: Vec<MechanismProbe>,
+    total_epsilon: f64,
+    pub(crate) engine: Arc<ReleaseEngine>,
+    pub(crate) query: Arc<dyn LipschitzQuery>,
+    pub(crate) budget: PrivacyBudget,
+    cells: Vec<PlannedCell>,
+}
+
+impl QueryPlan {
+    /// The statement this plan executes.
+    pub fn statement(&self) -> &QueryStatement {
+        &self.statement
+    }
+
+    /// The mechanism family the planner picked.
+    pub fn chosen(&self) -> MechanismKind {
+        self.chosen
+    }
+
+    /// The calibrated Laplace scale every release will apply.
+    pub fn noise_scale(&self) -> f64 {
+        self.noise_scale
+    }
+
+    /// The cost-model value the plan was chosen by: expected L1 error of one
+    /// release, `output_dimension × noise_scale`.
+    pub fn expected_l1_error(&self) -> f64 {
+        self.query.output_dimension() as f64 * self.noise_scale
+    }
+
+    /// Every probe the planner made, in probe order — the full cost-model
+    /// evidence, including ineligible candidates and why they fell through.
+    pub fn probes(&self) -> &[MechanismProbe] {
+        &self.probes
+    }
+
+    /// The total ε this plan is charged at admission: per-release ε × the
+    /// largest number of releases composed against any one individual
+    /// (sequential composition within a cell, parallel across disjoint
+    /// cells).
+    pub fn total_epsilon(&self) -> f64 {
+        self.total_epsilon
+    }
+
+    /// The physical cells, in table group order.
+    pub fn cells(&self) -> &[PlannedCell] {
+        &self.cells
+    }
+
+    /// Total number of noisy releases the plan performs (windows summed over
+    /// cells).
+    pub fn releases(&self) -> usize {
+        self.cells.iter().map(PlannedCell::window_count).sum()
+    }
+}
+
+impl std::fmt::Debug for QueryPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryPlan")
+            .field("statement", &self.statement.to_string())
+            .field("chosen", &self.chosen)
+            .field("noise_scale", &self.noise_scale)
+            .field("total_epsilon", &self.total_epsilon)
+            .field("cells", &self.cells.len())
+            .field("releases", &self.releases())
+            .finish()
+    }
+}
+
+/// Plans `statement` against `table` using the mechanisms in `catalog`.
+///
+/// # Errors
+/// [`QueryError::Plan`] for shape mismatches (window wider than a group,
+/// ungrouped query over a multi-group table, ragged ungrouped lengths);
+/// [`QueryError::NoEligibleMechanism`] when `auto` finds no calibratable
+/// family; [`QueryError::UnknownMechanism`] / [`QueryError::Mechanism`] when
+/// a pinned family is unregistered or fails to calibrate.
+pub fn plan_statement(
+    catalog: &MechanismCatalog,
+    statement: &QueryStatement,
+    table: &Table,
+) -> Result<QueryPlan, QueryError> {
+    // 0. The table and the catalog's class must describe the same state
+    // space: the class-scoped quilt calibrators never see the query, so a
+    // mismatch would otherwise pass planning (and budget admission) only to
+    // fail — or, worse, silently release under the wrong model — at
+    // execution time.
+    if table.num_states() != catalog.class().num_states() {
+        return Err(QueryError::Plan(format!(
+            "table '{}' has {} states but the catalog's class models {}",
+            table.name(),
+            table.num_states(),
+            catalog.class().num_states()
+        )));
+    }
+
+    // 1. Cells and windows.
+    if statement.group_by.is_none() && table.groups().len() > 1 {
+        return Err(QueryError::Plan(format!(
+            "table '{}' holds {} groups; an ungrouped query is ambiguous — add GROUP BY",
+            table.name(),
+            table.groups().len()
+        )));
+    }
+    let length = match &statement.window {
+        Some(window) => window.width,
+        None => {
+            let first = table.groups()[0].len();
+            if let Some(ragged) = table.groups().iter().find(|group| group.len() != first) {
+                return Err(QueryError::Plan(format!(
+                    "groups '{}' and '{}' have different lengths ({} vs {}); a \
+                     windowless query needs equal-length groups — add a WINDOW clause",
+                    table.groups()[0].key(),
+                    ragged.key(),
+                    first,
+                    ragged.len()
+                )));
+            }
+            first
+        }
+    };
+    let mut cells = Vec::with_capacity(table.groups().len());
+    for group in table.groups() {
+        let bounds = match &statement.window {
+            Some(window) => {
+                if window.width > group.len() {
+                    return Err(QueryError::Plan(format!(
+                        "window width {} exceeds the {} records of group '{}'",
+                        window.width,
+                        group.len(),
+                        group.key()
+                    )));
+                }
+                let mut bounds = Vec::new();
+                let mut start = 0;
+                while start + window.width <= group.len() {
+                    bounds.push((start, start + window.width));
+                    start += window.step;
+                }
+                bounds
+            }
+            None => vec![(0, group.len())],
+        };
+        cells.push(PlannedCell {
+            key: group.key().to_string(),
+            sequence: group.sequence().to_vec(),
+            bounds,
+        });
+    }
+
+    // 2. Concrete query and budget.
+    let query = statement.aggregate.to_query(table.num_states(), length)?;
+    let budget = PrivacyBudget::new(statement.epsilon)?;
+
+    // 3. Cost-based mechanism choice.
+    let candidates = match statement.mechanism {
+        MechanismChoice::Auto => catalog.kinds(),
+        MechanismChoice::Fixed(kind) => vec![kind],
+    };
+    let mut probes = Vec::with_capacity(candidates.len());
+    let mut best: Option<(f64, MechanismKind, Arc<ReleaseEngine>)> = None;
+    for kind in candidates {
+        let probed = catalog.engine_for(kind, length).and_then(|engine| {
+            let scale = engine.noise_scale_estimate(&*query, budget)?;
+            Ok((engine, scale))
+        });
+        match probed {
+            Ok((engine, scale)) if scale.is_finite() => {
+                probes.push(MechanismProbe {
+                    kind,
+                    outcome: Ok(scale),
+                });
+                // Strict < keeps ties on the earlier (fixed-order) probe,
+                // making auto selection deterministic.
+                if best.as_ref().map(|(b, _, _)| scale < *b).unwrap_or(true) {
+                    best = Some((scale, kind, engine));
+                }
+            }
+            Ok((_, scale)) => probes.push(MechanismProbe {
+                kind,
+                outcome: Err(format!("calibrated a non-finite noise scale {scale}")),
+            }),
+            Err(error) => {
+                // A pinned mechanism must fail loudly; auto falls through.
+                if statement.mechanism != MechanismChoice::Auto {
+                    return Err(error);
+                }
+                probes.push(MechanismProbe {
+                    kind,
+                    outcome: Err(error.to_string()),
+                });
+            }
+        }
+    }
+    let (noise_scale, chosen, engine) = best.ok_or_else(|| match statement.mechanism {
+        MechanismChoice::Auto => QueryError::NoEligibleMechanism {
+            failures: probes
+                .iter()
+                .map(|probe| (probe.kind, probe.outcome.clone().err().unwrap_or_default()))
+                .collect(),
+        },
+        MechanismChoice::Fixed(kind) => QueryError::Plan(format!(
+            "mechanism '{kind}' calibrated a non-finite noise scale"
+        )),
+    })?;
+
+    // 4. Price the plan.
+    let max_releases_per_cell = cells
+        .iter()
+        .map(PlannedCell::window_count)
+        .max()
+        .unwrap_or(0);
+    let total_epsilon = statement.epsilon * max_releases_per_cell as f64;
+
+    Ok(QueryPlan {
+        statement: statement.clone(),
+        chosen,
+        noise_scale,
+        probes,
+        total_epsilon,
+        engine,
+        query,
+        budget,
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+    use pufferfish_markov::IntervalClassBuilder;
+
+    fn catalog() -> MechanismCatalog {
+        MechanismCatalog::new(
+            IntervalClassBuilder::symmetric(0.4)
+                .grid_points(2)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn chain_table(length: usize) -> Table {
+        Table::single("chain", 2, (0..length).map(|t| (t / 3) % 2).collect()).unwrap()
+    }
+
+    #[test]
+    fn auto_picks_the_minimum_probed_scale() {
+        let catalog = catalog();
+        let statement = parse_statement("HISTOGRAM EPSILON 1.0").unwrap();
+        let plan = plan_statement(&catalog, &statement, &chain_table(40)).unwrap();
+        let eligible: Vec<f64> = plan
+            .probes()
+            .iter()
+            .filter_map(|probe| probe.outcome.clone().ok())
+            .collect();
+        assert!(!eligible.is_empty());
+        let min = eligible.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert_eq!(plan.noise_scale().to_bits(), min.to_bits());
+        // GroupDp scales with the whole window; it can never win here.
+        assert_ne!(plan.chosen(), MechanismKind::GroupDp);
+        assert!(plan.expected_l1_error() >= plan.noise_scale());
+    }
+
+    #[test]
+    fn window_sweep_shapes_cells() {
+        let catalog = catalog();
+        let statement =
+            parse_statement("COUNT STATE 1 WINDOW 10 STEP 5 EPSILON 0.1 MECHANISM mqm_approx")
+                .unwrap();
+        let plan = plan_statement(&catalog, &statement, &chain_table(30)).unwrap();
+        assert_eq!(plan.chosen(), MechanismKind::MqmApprox);
+        assert_eq!(plan.cells().len(), 1);
+        let cell = &plan.cells()[0];
+        assert_eq!(cell.key(), "chain");
+        assert_eq!(cell.window_ends(), vec![10, 15, 20, 25, 30]);
+        assert!(cell.windows().iter().all(|w| w.len() == 10));
+        assert_eq!(plan.releases(), 5);
+        // Five sequential releases at ε = 0.1 compose to 0.5.
+        assert!((plan.total_epsilon() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_by_plans_one_cell_per_group() {
+        let catalog = catalog();
+        let table = Table::grouped(
+            "users",
+            2,
+            vec![
+                ("alice".to_string(), (0..20).map(|t| t % 2).collect()),
+                ("bob".to_string(), (0..30).map(|t| (t / 2) % 2).collect()),
+            ],
+        )
+        .unwrap();
+        let statement =
+            parse_statement("HISTOGRAM WINDOW 10 GROUP BY user EPSILON 0.2 MECHANISM mqm_approx")
+                .unwrap();
+        let plan = plan_statement(&catalog, &statement, &table).unwrap();
+        assert_eq!(plan.cells().len(), 2);
+        assert_eq!(plan.cells()[0].window_count(), 2);
+        assert_eq!(plan.cells()[1].window_count(), 3);
+        // Priced by the worst individual: 3 tumbling windows × 0.2.
+        assert!((plan.total_epsilon() - 0.6).abs() < 1e-12);
+        // Ungrouped over two groups is refused.
+        let ungrouped = parse_statement("HISTOGRAM WINDOW 10 EPSILON 0.2").unwrap();
+        assert!(matches!(
+            plan_statement(&catalog, &ungrouped, &table),
+            Err(QueryError::Plan(_))
+        ));
+        // Windowless over ragged groups is refused.
+        let ragged = parse_statement("HISTOGRAM GROUP BY user EPSILON 0.2").unwrap();
+        assert!(matches!(
+            plan_statement(&catalog, &ragged, &table),
+            Err(QueryError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn state_space_mismatch_is_refused_at_plan_time() {
+        // A 3-state table against a binary catalog class must fail planning
+        // with a typed error, not pass admission and die (or silently
+        // release under the wrong model) at execution time.
+        let catalog = catalog(); // binary class
+        let table = Table::single("tri", 3, (0..30).map(|t| t % 3).collect()).unwrap();
+        let statement = parse_statement("HISTOGRAM EPSILON 0.5").unwrap();
+        match plan_statement(&catalog, &statement, &table) {
+            Err(QueryError::Plan(message)) => {
+                assert!(message.contains("3 states"), "unhelpful message: {message}");
+            }
+            other => panic!("expected a plan error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn window_wider_than_group_is_refused() {
+        let catalog = catalog();
+        let statement = parse_statement("HISTOGRAM WINDOW 100 EPSILON 0.5").unwrap();
+        assert!(matches!(
+            plan_statement(&catalog, &statement, &chain_table(30)),
+            Err(QueryError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn pinned_unregistered_mechanism_fails_loudly() {
+        let catalog = catalog();
+        let statement = parse_statement("HISTOGRAM EPSILON 0.5 MECHANISM wasserstein").unwrap();
+        assert!(matches!(
+            plan_statement(&catalog, &statement, &chain_table(20)),
+            Err(QueryError::UnknownMechanism(MechanismKind::Wasserstein))
+        ));
+    }
+
+    #[test]
+    fn auto_falls_back_past_ineligible_mechanisms() {
+        // A sticky class: GK16's influence norm is >= 1, so its probe fails
+        // and auto must route around it.
+        let sticky = IntervalClassBuilder::symmetric(0.1)
+            .grid_points(3)
+            .build()
+            .unwrap();
+        let catalog = MechanismCatalog::new(sticky);
+        let statement = parse_statement("HISTOGRAM EPSILON 1.0").unwrap();
+        let table = Table::single("sticky", 2, (0..40).map(|t| t % 2).collect()).unwrap();
+        let plan = plan_statement(&catalog, &statement, &table).unwrap();
+        let gk16 = plan
+            .probes()
+            .iter()
+            .find(|probe| probe.kind == MechanismKind::Gk16)
+            .unwrap();
+        assert!(gk16.outcome.is_err(), "gk16 must be ineligible: {gk16:?}");
+        assert_ne!(plan.chosen(), MechanismKind::Gk16);
+        // Pinning the ineligible mechanism surfaces the calibration error.
+        let pinned = parse_statement("HISTOGRAM EPSILON 1.0 MECHANISM gk16").unwrap();
+        assert!(matches!(
+            plan_statement(&catalog, &pinned, &table),
+            Err(QueryError::Mechanism(_))
+        ));
+    }
+}

@@ -1,0 +1,167 @@
+//! The data a query runs against: named state-sequence tables.
+
+use crate::QueryError;
+
+/// One group (cell) of a table: a key and its state sequence.
+///
+/// Groups are assumed to be *disjoint individuals* (different users,
+/// participants, households): records are correlated **within** a group's
+/// sequence but not across groups. The planner's ε accounting relies on
+/// this — see [`QueryPlan::total_epsilon`](crate::QueryPlan::total_epsilon).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableGroup {
+    key: String,
+    sequence: Vec<usize>,
+}
+
+impl TableGroup {
+    /// The group key (`GROUP BY` cells are labelled with it).
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The group's state sequence.
+    pub fn sequence(&self) -> &[usize] {
+        &self.sequence
+    }
+
+    /// Number of records in the group.
+    pub fn len(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// `true` when the group holds no records (never true for groups inside
+    /// a validated [`Table`]).
+    pub fn is_empty(&self) -> bool {
+        self.sequence.is_empty()
+    }
+}
+
+/// A named collection of state sequences sharing one state space — the
+/// `FROM` side of every query (implicit: a query is always executed against
+/// exactly one table).
+///
+/// # Example
+///
+/// ```
+/// use pufferfish_query::Table;
+///
+/// let single = Table::single("sensor", 2, vec![0, 1, 1, 0]).unwrap();
+/// assert_eq!(single.groups().len(), 1);
+///
+/// let grouped = Table::grouped(
+///     "activity",
+///     4,
+///     vec![
+///         ("alice".to_string(), vec![0, 1, 2, 3]),
+///         ("bob".to_string(), vec![3, 2, 1, 0]),
+///     ],
+/// )
+/// .unwrap();
+/// assert_eq!(grouped.groups().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    name: String,
+    num_states: usize,
+    groups: Vec<TableGroup>,
+}
+
+impl Table {
+    /// A table holding one ungrouped sequence (the group key defaults to the
+    /// table name, so `GROUP BY` queries still work and produce one cell).
+    ///
+    /// # Errors
+    /// [`QueryError::Plan`] on an empty sequence, a zero-state space or
+    /// out-of-range states.
+    pub fn single(name: &str, num_states: usize, sequence: Vec<usize>) -> Result<Self, QueryError> {
+        Table::grouped(name, num_states, vec![(name.to_string(), sequence)])
+    }
+
+    /// A table of one sequence per group key.
+    ///
+    /// # Errors
+    /// [`QueryError::Plan`] when there are no groups, a group is empty, keys
+    /// repeat, the state space is zero or a state is out of range.
+    pub fn grouped(
+        name: &str,
+        num_states: usize,
+        groups: Vec<(String, Vec<usize>)>,
+    ) -> Result<Self, QueryError> {
+        if num_states == 0 {
+            return Err(QueryError::Plan(format!(
+                "table '{name}' must have a positive number of states"
+            )));
+        }
+        if groups.is_empty() {
+            return Err(QueryError::Plan(format!(
+                "table '{name}' must hold at least one group"
+            )));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (key, sequence) in &groups {
+            if !seen.insert(key.as_str()) {
+                return Err(QueryError::Plan(format!(
+                    "table '{name}' has a duplicate group key '{key}'"
+                )));
+            }
+            if sequence.is_empty() {
+                return Err(QueryError::Plan(format!(
+                    "group '{key}' of table '{name}' is empty"
+                )));
+            }
+            if let Some(&bad) = sequence.iter().find(|&&s| s >= num_states) {
+                return Err(QueryError::Plan(format!(
+                    "group '{key}' of table '{name}' contains state {bad}, out of \
+                     range for {num_states} states"
+                )));
+            }
+        }
+        Ok(Table {
+            name: name.to_string(),
+            num_states,
+            groups: groups
+                .into_iter()
+                .map(|(key, sequence)| TableGroup { key, sequence })
+                .collect(),
+        })
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Size of the shared state space.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// The table's groups, in insertion order (cell order is deterministic).
+    pub fn groups(&self) -> &[TableGroup] {
+        &self.groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Table::single("t", 0, vec![0]).is_err());
+        assert!(Table::single("t", 2, vec![]).is_err());
+        assert!(Table::single("t", 2, vec![0, 5]).is_err());
+        assert!(Table::grouped("t", 2, vec![]).is_err());
+        assert!(
+            Table::grouped("t", 2, vec![("a".into(), vec![0]), ("a".into(), vec![1])]).is_err()
+        );
+        let table = Table::single("t", 2, vec![0, 1]).unwrap();
+        assert_eq!(table.name(), "t");
+        assert_eq!(table.num_states(), 2);
+        assert_eq!(table.groups()[0].key(), "t");
+        assert_eq!(table.groups()[0].sequence(), &[0, 1]);
+        assert_eq!(table.groups()[0].len(), 2);
+        assert!(!table.groups()[0].is_empty());
+    }
+}

@@ -146,6 +146,18 @@ impl BudgetAccountant {
     pub fn users(&self) -> usize {
         self.users.lock().expect("budget ledger poisoned").len()
     }
+
+    /// The composed privacy loss summed over every user — an aggregate load
+    /// signal for dashboards (each user's own guarantee is still their
+    /// individual [`BudgetAccountant::spent`] value).
+    pub fn total_spent(&self) -> f64 {
+        self.users
+            .lock()
+            .expect("budget ledger poisoned")
+            .values()
+            .map(CompositionAccountant::guaranteed_epsilon)
+            .sum()
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,23 @@ pub enum ServiceError {
         /// fully exhausted).
         remaining: f64,
     },
+    /// A continual-release stream's total ε budget could not admit a due
+    /// window release. Distinct from [`ServiceError::BudgetExhausted`] so
+    /// stream drivers can tell "this stream is done releasing" (ingestion
+    /// still continues) from a per-user admission refusal, and can report
+    /// *where* in the stream the budget ran out.
+    StreamBudgetExhausted {
+        /// The stream's name.
+        stream: String,
+        /// Number of events ingested when the refused release came due —
+        /// the window boundary the caller did *not* get a release for.
+        window_end: usize,
+        /// The per-release ε the due release needed.
+        requested: f64,
+        /// Budget still available under the composition guarantee (0 when
+        /// fully exhausted).
+        remaining: f64,
+    },
     /// The bounded admission queue was full (back-pressure signal — the
     /// caller should retry, shed the request, or use the blocking submit).
     QueueFull {
@@ -46,6 +63,16 @@ impl fmt::Display for ServiceError {
                 f,
                 "budget exhausted for '{user}': requested epsilon {requested}, \
                  remaining {remaining}"
+            ),
+            ServiceError::StreamBudgetExhausted {
+                stream,
+                window_end,
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "stream '{stream}' budget exhausted at window ending at event \
+                 {window_end}: release needs epsilon {requested}, remaining {remaining}"
             ),
             ServiceError::QueueFull { capacity } => {
                 write!(f, "request queue full (capacity {capacity})")
@@ -88,6 +115,15 @@ mod tests {
         };
         assert!(exhausted.to_string().contains("alice"));
         assert!(exhausted.source().is_none());
+        let stream = ServiceError::StreamBudgetExhausted {
+            stream: "sensor-1".into(),
+            window_end: 45,
+            requested: 0.2,
+            remaining: 0.0,
+        };
+        assert!(stream.to_string().contains("sensor-1"));
+        assert!(stream.to_string().contains("45"));
+        assert!(stream.source().is_none());
         assert!(ServiceError::QueueFull { capacity: 8 }
             .to_string()
             .contains('8'));

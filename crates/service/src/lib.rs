@@ -16,6 +16,9 @@
 //!   [`pufferfish_core::CompositionAccountant`]): spends are admitted
 //!   atomically, so concurrent requests can never jointly overdraw a user's
 //!   budget, and queue refusals roll their spend back.
+//! * [`ServiceStats`] — one observability snapshot (cache counters, queue
+//!   occupancy, budget spend) shared by the service, the `pufferfish-query`
+//!   front-end and the examples.
 //! * [`ContinualRelease`] — a streaming pipeline answering sliding-window
 //!   histogram queries over event streams, with the mechanism family (Markov
 //!   Quilt vs the GK16 baseline) selectable per stream and the stream budget
@@ -76,11 +79,13 @@ mod budget;
 mod error;
 pub mod queue;
 mod service;
+mod stats;
 mod stream;
 
 pub use budget::BudgetAccountant;
 pub use error::ServiceError;
 pub use service::{ReleaseRequest, ReleaseService, ServiceConfig, Ticket};
+pub use stats::ServiceStats;
 pub use stream::{ContinualRelease, StreamBackend, StreamConfig, WindowRelease};
 
 /// Result alias for the serving layer.

@@ -26,7 +26,7 @@ use pufferfish_core::{NoisyRelease, PrivacyBudget, ReleaseEngine};
 use pufferfish_parallel::{Parallelism, WorkerPool};
 
 use crate::queue::{BoundedQueue, PushError};
-use crate::{BudgetAccountant, ServiceError};
+use crate::{BudgetAccountant, ServiceError, ServiceStats};
 
 /// One release request, self-contained and thread-portable.
 ///
@@ -350,6 +350,21 @@ impl ReleaseService {
     /// The shared engine behind the service (cache stats live here).
     pub fn engine(&self) -> &Arc<ReleaseEngine> {
         &self.engine
+    }
+
+    /// One observability snapshot of the whole service: engine cache
+    /// counters, queue occupancy, fulfilment count and budget spend (see
+    /// [`ServiceStats`] for the cross-field consistency contract).
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            cache: self.engine.stats(),
+            cached_calibrations: self.engine.len(),
+            queue_depth: self.queue.len(),
+            queue_capacity: self.queue.capacity(),
+            served: self.served(),
+            users: self.budget.users(),
+            spent_epsilon: self.budget.total_spent(),
+        }
     }
 
     /// The per-user budget ledger.

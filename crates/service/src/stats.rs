@@ -1,0 +1,100 @@
+//! The unified observability snapshot for the serving stack.
+
+use pufferfish_core::CacheStats;
+
+/// One self-contained snapshot of a serving front-end's observable state:
+/// calibration-cache counters, queue occupancy and budget spend, gathered
+/// into a single struct so dashboards, examples and the query layer can log
+/// one value instead of poking four substructures.
+///
+/// Produced by [`ReleaseService::stats`](crate::ReleaseService::stats) (all
+/// fields populated) and by `pufferfish-query`'s `QueryService::stats`
+/// (which has no admission queue, so the queue fields are zero there).
+///
+/// Like [`CacheStats`], a snapshot taken while requests are in flight is not
+/// a cross-field transaction; quiescent values are exact.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServiceStats {
+    /// Calibration-cache counters (hits, misses, coalesced stampedes),
+    /// summed over every engine the front-end drives.
+    pub cache: CacheStats,
+    /// Distinct calibrations currently held in the cache(s).
+    pub cached_calibrations: usize,
+    /// Requests admitted but not yet picked up by a worker.
+    pub queue_depth: usize,
+    /// Capacity of the admission queue (0 when the front-end has none).
+    pub queue_capacity: usize,
+    /// Requests fulfilled so far (successfully or not).
+    pub served: u64,
+    /// Users (or streams) with at least one recorded spend.
+    pub users: usize,
+    /// Composed ε spend summed over all users (each user's Theorem 4.4
+    /// guarantee, then summed — an aggregate load signal, not itself a
+    /// privacy guarantee).
+    pub spent_epsilon: f64,
+}
+
+impl ServiceStats {
+    /// Total cache lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.cache.hits + self.cache.misses
+    }
+
+    /// Fraction of lookups served from the cache (1.0 for an idle service,
+    /// where there is nothing to amortise yet).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            1.0
+        } else {
+            self.cache.hits as f64 / lookups as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cache {}/{} hit (coalesced {}), {} cached, queue {}/{}, served {}, \
+             {} users, spent ε = {:.4}",
+            self.cache.hits,
+            self.lookups(),
+            self.cache.coalesced,
+            self.cached_calibrations,
+            self.queue_depth,
+            self.queue_capacity,
+            self.served,
+            self.users,
+            self.spent_epsilon,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut stats = ServiceStats::default();
+        assert_eq!(stats.lookups(), 0);
+        assert_eq!(stats.hit_rate(), 1.0);
+        stats.cache = CacheStats {
+            hits: 3,
+            misses: 1,
+            coalesced: 2,
+        };
+        stats.queue_depth = 4;
+        stats.queue_capacity = 16;
+        stats.served = 4;
+        stats.users = 2;
+        stats.spent_epsilon = 1.25;
+        assert_eq!(stats.lookups(), 4);
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        let rendered = stats.to_string();
+        assert!(rendered.contains("3/4 hit"));
+        assert!(rendered.contains("queue 4/16"));
+        assert!(rendered.contains("2 users"));
+    }
+}

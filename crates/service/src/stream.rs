@@ -14,8 +14,10 @@
 //!
 //! Every release spends `epsilon_per_release` from the stream's total budget
 //! under Theorem 4.4 composition; once the next release no longer fits, the
-//! stream keeps ingesting but reports [`ServiceError::BudgetExhausted`] at
-//! each due release point.
+//! stream keeps ingesting but reports the typed
+//! [`ServiceError::StreamBudgetExhausted`] — carrying the stream name and
+//! the window boundary the refused release was due at — at each due release
+//! point, never panicking and never silently skipping a due window.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -216,9 +218,10 @@ impl ContinualRelease {
     /// the stream stays consistent and the refusal repeats at each due point.
     ///
     /// # Errors
-    /// [`ServiceError::BudgetExhausted`] when a due release no longer fits
-    /// the stream budget; [`ServiceError::Mechanism`] for out-of-range
-    /// events or release failures.
+    /// [`ServiceError::StreamBudgetExhausted`] when a due release no longer
+    /// fits the stream budget (the event is still ingested);
+    /// [`ServiceError::Mechanism`] for out-of-range events or release
+    /// failures.
     pub fn push(
         &mut self,
         event: usize,
@@ -248,8 +251,9 @@ impl ContinualRelease {
             .accountant
             .guaranteed_epsilon_with(self.config.epsilon_per_release);
         if composed > self.config.stream_epsilon + 1e-12 {
-            return Err(ServiceError::BudgetExhausted {
-                user: self.name.clone(),
+            return Err(ServiceError::StreamBudgetExhausted {
+                stream: self.name.clone(),
+                window_end: self.events,
                 requested: self.config.epsilon_per_release,
                 remaining: self.remaining_epsilon(),
             });
@@ -378,8 +382,11 @@ mod tests {
                     assert_eq!(window.release.true_values.iter().sum::<f64>(), 1.0);
                 }
                 Ok(None) => {}
-                Err(ServiceError::BudgetExhausted { user, .. }) => {
-                    assert_eq!(user, "sched");
+                Err(ServiceError::StreamBudgetExhausted {
+                    stream, window_end, ..
+                }) => {
+                    assert_eq!(stream, "sched");
+                    assert_eq!(window_end, t + 1);
                     refusals.push(t + 1);
                 }
                 Err(other) => panic!("unexpected error: {other}"),
@@ -394,6 +401,55 @@ mod tests {
         assert!(stream.is_exhausted());
         assert!((stream.spent_epsilon() - 1.0).abs() < 1e-12);
         assert_eq!(stream.remaining_epsilon(), 0.0);
+    }
+
+    #[test]
+    fn budget_exhaustion_mid_window_is_a_typed_error_not_a_skip() {
+        // Regression test: a stream whose budget dies mid-flight must (a)
+        // surface the dedicated StreamBudgetExhausted variant — not a panic,
+        // not Ok(None) masquerading as "no release due" — (b) report the
+        // exact window boundary each refused release was due at, and (c)
+        // keep ingesting so the window stays consistent for observers.
+        let class = weak_class();
+        let mut stream = ContinualRelease::new(
+            "exhausted-mid",
+            &class,
+            StreamConfig {
+                window: 10,
+                slide: 5,
+                epsilon_per_release: 0.4,
+                stream_epsilon: 1.0, // admits exactly two 0.4-releases
+                backend: StreamBackend::MqmApprox,
+            },
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut refused_at = Vec::new();
+        for t in 0..30 {
+            match stream.push(t % 2, &mut rng) {
+                Ok(_) => {}
+                Err(ServiceError::StreamBudgetExhausted {
+                    stream: name,
+                    window_end,
+                    requested,
+                    remaining,
+                }) => {
+                    assert_eq!(name, "exhausted-mid");
+                    assert_eq!(window_end, t + 1, "boundary must be the due point");
+                    assert_eq!(requested, 0.4);
+                    assert!(remaining < 0.4);
+                    refused_at.push(window_end);
+                }
+                Err(other) => panic!("wrong error type: {other}"),
+            }
+        }
+        // Releases at 10 and 15 fit (2 × 0.4 = 0.8); every later due point
+        // (20, 25, 30) is refused with the typed error — none is skipped.
+        assert_eq!(stream.releases(), 2);
+        assert_eq!(refused_at, vec![20, 25, 30]);
+        // Ingestion never stopped.
+        assert_eq!(stream.events(), 30);
+        assert!(stream.is_exhausted());
     }
 
     #[test]

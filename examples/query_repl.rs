@@ -1,0 +1,176 @@
+//! A batch REPL for the query language: run a `.pfq` script (or the
+//! built-in demo) against a simulated sensor table.
+//!
+//! ```text
+//! cargo run --release --example query_repl -- examples/queries.pfq
+//! cargo run --release --example query_repl            # built-in demo script
+//! ```
+//!
+//! Every statement is parsed, cost-planned (watch the probe column pick the
+//! minimum-noise-scale mechanism under `auto`), admitted against the
+//! submitting user's ε budget and executed; the process exits non-zero on
+//! the first failure, which is what makes it a CI smoke test.
+
+use std::process::ExitCode;
+
+use pufferfish_bench::reporting::render_table;
+use pufferfish_core::{MqmExactOptions, Parallelism};
+use pufferfish_markov::{sample_trajectory, IntervalClassBuilder, MarkovChain};
+use pufferfish_query::{
+    parse_script, plan_statement, CatalogOptions, MechanismCatalog, QueryService,
+    QueryServiceConfig, Table,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DEMO_SCRIPT: &str = "\
+# Built-in demo: the same statements as examples/queries.pfq.
+HISTOGRAM EPSILON 0.5
+COUNT STATE 1 WINDOW 60 STEP 30 EPSILON 0.1
+RANGE 0 0 WINDOW 60 STEP 60 EPSILON 0.1 MECHANISM mqm_approx
+MEAN EPSILON 0.2 MECHANISM group_dp
+HISTOGRAM WINDOW 120 GROUP BY user EPSILON 0.2 MECHANISM auto
+";
+
+fn main() -> ExitCode {
+    let script = match std::env::args().nth(1) {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                println!("script: {path}");
+                text
+            }
+            Err(e) => {
+                eprintln!("cannot read script '{path}': {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            println!("script: <built-in demo>");
+            DEMO_SCRIPT.to_string()
+        }
+    };
+
+    // The data: a 240-step binary sensor trace drawn from a moderately
+    // correlated chain; the class: transition probabilities in [0.42, 0.58]
+    // (weak enough that every mechanism family — including GK16 — is
+    // eligible, so cost-based selection has real choices to make).
+    let class = IntervalClassBuilder::symmetric(0.42)
+        .grid_points(3)
+        .build()
+        .unwrap();
+    let truth = MarkovChain::new(vec![0.5, 0.5], vec![vec![0.6, 0.4], vec![0.45, 0.55]]).unwrap();
+    let mut rng = StdRng::seed_from_u64(17);
+    let trace = sample_trajectory(&truth, 240, &mut rng).unwrap();
+    let table = Table::single("sensor-0", 2, trace).unwrap();
+    println!(
+        "table: '{}', {} states, {} records\n",
+        table.name(),
+        table.num_states(),
+        table.groups()[0].len()
+    );
+
+    // Bound the exact-MQM quilt search so cold plans stay snappy.
+    let catalog = MechanismCatalog::with_options(
+        class,
+        CatalogOptions {
+            mqm_exact: MqmExactOptions {
+                max_quilt_width: Some(24),
+                search_middle_only: false,
+                parallelism: Parallelism::Auto,
+            },
+            ..CatalogOptions::default()
+        },
+    );
+    let service = QueryService::start(
+        catalog,
+        QueryServiceConfig {
+            per_user_epsilon: 5.0,
+            parallelism: Parallelism::Auto,
+        },
+    )
+    .unwrap();
+
+    let statements = match parse_script(&script) {
+        Ok(statements) => statements,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if statements.is_empty() {
+        eprintln!("script contains no statements");
+        return ExitCode::FAILURE;
+    }
+
+    for (index, statement) in statements.iter().enumerate() {
+        println!(">>> {statement}");
+        let plan = match plan_statement(service.catalog(), statement, &table) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let probes: Vec<String> = plan
+            .probes()
+            .iter()
+            .map(|probe| match &probe.outcome {
+                Ok(scale) => format!("{} b={scale:.4}", probe.kind),
+                Err(_) => format!("{} n/a", probe.kind),
+            })
+            .collect();
+        println!(
+            "    plan: mechanism={} scale={:.5} expected-L1={:.5} total-eps={:.2} \
+             releases={}  [{}]",
+            plan.chosen(),
+            plan.noise_scale(),
+            plan.expected_l1_error(),
+            plan.total_epsilon(),
+            plan.releases(),
+            probes.join(", ")
+        );
+        let result = match service.execute("analyst", &plan, 1000 + index as u64) {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut rows = Vec::new();
+        for cell in result.cells() {
+            for (end, release) in cell.window_ends().iter().zip(cell.releases()) {
+                let values: Vec<String> =
+                    release.values.iter().map(|v| format!("{v:.4}")).collect();
+                rows.push(vec![
+                    cell.key().to_string(),
+                    end.to_string(),
+                    values.join(", "),
+                    format!("{:.4}", release.l1_error()),
+                ]);
+            }
+        }
+        println!(
+            "{}",
+            indent(&render_table(
+                &["cell", "window end", "noisy values", "L1 error"],
+                &rows
+            ))
+        );
+    }
+
+    println!("service stats: {}", service.stats());
+    println!(
+        "budget: analyst spent eps = {:.3} of {:.3}",
+        service.budget().spent("analyst"),
+        service.budget().target_epsilon()
+    );
+    ExitCode::SUCCESS
+}
+
+fn indent(table: &str) -> String {
+    table
+        .lines()
+        .map(|line| format!("    {line}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}

@@ -331,7 +331,14 @@ fn continual_release_budget_exhaustion() {
         match stream.push(t % 2, &mut rng) {
             Ok(Some(_)) => releases += 1,
             Ok(None) => {}
-            Err(ServiceError::BudgetExhausted { remaining, .. }) => {
+            Err(ServiceError::StreamBudgetExhausted {
+                stream: name,
+                window_end,
+                remaining,
+                ..
+            }) => {
+                assert_eq!(name, "exhaust");
+                assert_eq!(window_end, t + 1);
                 assert!(remaining < 0.3);
                 refusals += 1;
             }
