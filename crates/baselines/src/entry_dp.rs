@@ -110,6 +110,18 @@ impl Mechanism for EntryDp {
     fn validate(&self, query: &dyn LipschitzQuery, database: &[usize]) -> Result<()> {
         validate_query_length(query, database)
     }
+
+    /// Release-relevant state: the fixed scale `Δ / ε`.
+    fn snapshot_state(&self) -> Option<pufferfish_core::snapshot::MechanismState> {
+        Some(pufferfish_core::snapshot::MechanismState {
+            family: Mechanism::name(self).to_string(),
+            epsilon: self.epsilon,
+            scale: pufferfish_core::snapshot::ScaleForm::Fixed {
+                scale: self.noise_scale(),
+            },
+            validation: pufferfish_core::snapshot::ValidationForm::QueryLength,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -156,6 +156,21 @@ impl Mechanism for Gk16 {
     fn validate(&self, query: &dyn LipschitzQuery, database: &[usize]) -> Result<()> {
         validate_query_length(query, database)
     }
+
+    /// Release-relevant state: the scale rule `L · inflation / ε` in its
+    /// original operation order. The per-distribution influence summaries
+    /// are not part of the normal form.
+    fn snapshot_state(&self) -> Option<pufferfish_core::snapshot::MechanismState> {
+        Some(pufferfish_core::snapshot::MechanismState {
+            family: Mechanism::name(self).to_string(),
+            epsilon: self.epsilon,
+            scale: pufferfish_core::snapshot::ScaleForm::LipschitzRatio {
+                numerator: self.inflation(),
+                denominator: self.epsilon,
+            },
+            validation: pufferfish_core::snapshot::ValidationForm::QueryLength,
+        })
+    }
 }
 
 /// Builds the influence summary of a single chain.

@@ -105,6 +105,20 @@ impl Mechanism for GroupDp {
     fn validate(&self, query: &dyn LipschitzQuery, database: &[usize]) -> Result<()> {
         validate_query_length(query, database)
     }
+
+    /// Release-relevant state: the scale rule `L · M / ε` in its original
+    /// operation order, so restored scales are bitwise-identical.
+    fn snapshot_state(&self) -> Option<pufferfish_core::snapshot::MechanismState> {
+        Some(pufferfish_core::snapshot::MechanismState {
+            family: Mechanism::name(self).to_string(),
+            epsilon: self.epsilon,
+            scale: pufferfish_core::snapshot::ScaleForm::LipschitzRatio {
+                numerator: self.largest_group as f64,
+                denominator: self.epsilon,
+            },
+            validation: pufferfish_core::snapshot::ValidationForm::QueryLength,
+        })
+    }
 }
 
 #[cfg(test)]

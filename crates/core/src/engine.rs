@@ -39,7 +39,7 @@ use crate::framework::DiscretePufferfishFramework;
 use crate::mechanism::{Mechanism, NoisyRelease, PrivacyBudget};
 use crate::queries::LipschitzQuery;
 use crate::{
-    MarkovQuiltMechanism, MqmApprox, MqmApproxOptions, MqmExact, MqmExactOptions,
+    MarkovQuiltMechanism, MqmApprox, MqmApproxOptions, MqmExact, MqmExactOptions, PufferfishError,
     QuiltMechanismOptions, Result, WassersteinMechanism,
 };
 
@@ -141,18 +141,92 @@ pub trait Calibrator: Send + Sync {
     ) -> Result<Arc<dyn Mechanism>>;
 }
 
+/// A fixed-algorithm FNV-1a [`Hasher`]: integer writes are folded
+/// little-endian, so the digest depends only on the fed values — not on the
+/// toolchain (std's `DefaultHasher` algorithm is explicitly unstable across
+/// Rust releases) or the host architecture. Class tokens are persisted
+/// inside [`CalibrationSnapshot`](crate::CalibrationSnapshot)s, which makes
+/// this stability a format requirement, not a nicety.
+struct StableHasher {
+    state: u64,
+}
+
+impl StableHasher {
+    fn new() -> Self {
+        StableHasher {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.state ^= u64::from(byte);
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    // Pin every integer write to little-endian: the Hasher defaults use
+    // native byte order, which would make tokens differ across
+    // architectures.
+    fn write_u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+    fn write_u16(&mut self, v: u16) {
+        self.write(&v.to_le_bytes());
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+    fn write_u128(&mut self, v: u128) {
+        self.write(&v.to_le_bytes());
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+    fn write_i8(&mut self, v: i8) {
+        self.write_u8(v as u8);
+    }
+    fn write_i16(&mut self, v: i16) {
+        self.write_u16(v as u16);
+    }
+    fn write_i32(&mut self, v: i32) {
+        self.write_u32(v as u32);
+    }
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+    fn write_i128(&mut self, v: i128) {
+        self.write_u128(v as u128);
+    }
+    fn write_isize(&mut self, v: isize) {
+        self.write_u64(v as u64);
+    }
+}
+
 /// Helper: stable 64-bit token from a stream of hashable pieces.
 ///
-/// `DefaultHasher` uses fixed keys, so tokens are stable within and across
-/// processes for a given toolchain — sufficient for an in-memory cache.
+/// Backed by a fixed FNV-1a fold with little-endian integer writes, so a
+/// token depends only on the mixed values: tokens are stable across
+/// processes, architectures and toolchains — which matters because class
+/// tokens are persisted inside calibration snapshots and verified on
+/// import.
 pub struct TokenHasher {
-    hasher: DefaultHasher,
+    hasher: StableHasher,
 }
 
 impl TokenHasher {
     /// Starts a token for the given mechanism family.
     pub fn new(kind: &str) -> Self {
-        let mut hasher = DefaultHasher::new();
+        let mut hasher = StableHasher::new();
         kind.hash(&mut hasher);
         TokenHasher { hasher }
     }
@@ -613,6 +687,116 @@ impl ReleaseEngine {
     /// [`ReleaseEngine::len`], kept for callers of the pre-sharding API).
     pub fn cache_len(&self) -> usize {
         self.len()
+    }
+
+    /// Whether the underlying calibrator keys the cache on the concrete
+    /// query (see [`Calibrator::query_scoped`]). Class-scoped engines serve
+    /// every query from one calibration per ε, which is what lets a
+    /// [`ScaleIndex`](crate::ScaleIndex) answer for arbitrary queries.
+    pub fn query_scoped(&self) -> bool {
+        self.calibrator.query_scoped()
+    }
+
+    /// Exports every snapshot-capable cached calibration as a
+    /// [`CalibrationSnapshot`](crate::CalibrationSnapshot).
+    ///
+    /// Each shard's read lock is held only long enough to clone its entries;
+    /// serialisation (and any file I/O the caller performs) happens with no
+    /// lock held, so a running service can snapshot itself without stalling
+    /// releases. Entries are sorted by key, so equal caches export
+    /// byte-identical snapshots (modulo the timestamp). Mechanisms whose
+    /// [`Mechanism::snapshot_state`] returns `None` are skipped.
+    pub fn export_snapshot(&self) -> crate::snapshot::CalibrationSnapshot {
+        let mut cached: Vec<(CalibrationKey, Arc<dyn Mechanism>)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let guard = shard.cache.read().expect("calibration cache poisoned");
+            cached.extend(
+                guard
+                    .iter()
+                    .map(|(key, mechanism)| (key.clone(), Arc::clone(mechanism))),
+            );
+        }
+        let mut entries: Vec<crate::snapshot::SnapshotEntry> = cached
+            .into_iter()
+            .filter_map(|(key, mechanism)| {
+                mechanism
+                    .snapshot_state()
+                    .map(|state| crate::snapshot::SnapshotEntry { key, state })
+            })
+            .collect();
+        entries.sort_by(|a, b| {
+            (
+                a.key.epsilon_bits,
+                &a.key.query.name,
+                a.key.query.discriminator,
+                a.key.query.lipschitz_bits,
+                a.key.query.output_dimension,
+                a.key.query.expected_length,
+            )
+                .cmp(&(
+                    b.key.epsilon_bits,
+                    &b.key.query.name,
+                    b.key.query.discriminator,
+                    b.key.query.lipschitz_bits,
+                    b.key.query.output_dimension,
+                    b.key.query.expected_length,
+                ))
+        });
+        crate::snapshot::CalibrationSnapshot {
+            engine_kind: self.kind().to_string(),
+            class_token: self.calibrator.class_token(),
+            shard_count: self.shard_count() as u32,
+            created_unix_secs: crate::snapshot::unix_now(),
+            entries,
+        }
+    }
+
+    /// Imports a snapshot's calibrations into this engine's cache,
+    /// returning the number of entries loaded.
+    ///
+    /// Every entry is restored *before* any shard lock is taken: a snapshot
+    /// that fails validation leaves the cache — and the hit/miss counters —
+    /// completely untouched (no partially imported, silently smaller cache).
+    /// Imported entries do not count as misses; releases served from them
+    /// count as ordinary hits, so a warm-started engine's `misses` counter
+    /// measures exactly the calibrations the snapshot did *not* cover.
+    ///
+    /// Existing cache entries with the same key are overwritten (they are
+    /// interchangeable by the [`Calibrator::class_token`] contract).
+    ///
+    /// # Errors
+    /// [`crate::snapshot::SnapshotError::EngineMismatch`] when the snapshot
+    /// was exported from a calibrator with a different class token, and
+    /// restore errors ([`crate::snapshot::SnapshotError::UnknownFamily`],
+    /// [`crate::snapshot::SnapshotError::Malformed`]) from its entries.
+    pub fn import_snapshot(
+        &self,
+        snapshot: &crate::snapshot::CalibrationSnapshot,
+    ) -> Result<usize> {
+        if snapshot.class_token != self.calibrator.class_token() {
+            return Err(PufferfishError::Snapshot(
+                crate::snapshot::SnapshotError::EngineMismatch {
+                    snapshot_kind: snapshot.engine_kind.clone(),
+                    engine_kind: self.kind().to_string(),
+                    snapshot_class: snapshot.class_token,
+                    engine_class: self.calibrator.class_token(),
+                },
+            ));
+        }
+        let restored: Vec<(CalibrationKey, Arc<dyn Mechanism>)> = snapshot
+            .entries
+            .iter()
+            .map(|entry| Ok((entry.key.clone(), entry.state.restore()?)))
+            .collect::<Result<_>>()?;
+        let count = restored.len();
+        for (key, mechanism) in restored {
+            self.shard(&key)
+                .cache
+                .write()
+                .expect("calibration cache poisoned")
+                .insert(key, mechanism);
+        }
+        Ok(count)
     }
 
     /// Drops every cached calibration (counters are preserved).

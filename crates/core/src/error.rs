@@ -36,6 +36,9 @@ pub enum PufferfishError {
         /// What exactly was out of range.
         detail: String,
     },
+    /// Encoding, decoding or importing a calibration snapshot failed (see
+    /// [`crate::snapshot::SnapshotError`] for the per-failure taxonomy).
+    Snapshot(crate::snapshot::SnapshotError),
     /// An error bubbled up from the Markov chain substrate.
     Markov(MarkovError),
     /// An error bubbled up from the Bayesian network substrate.
@@ -71,6 +74,7 @@ impl fmt::Display for PufferfishError {
                     "degenerate distribution class (pi_min = {pi_min}, eigengap = {eigengap}): {detail}"
                 )
             }
+            PufferfishError::Snapshot(e) => write!(f, "calibration snapshot error: {e}"),
             PufferfishError::Markov(e) => write!(f, "markov substrate error: {e}"),
             PufferfishError::BayesNet(e) => write!(f, "bayesian network substrate error: {e}"),
             PufferfishError::Transport(e) => write!(f, "transport substrate error: {e}"),

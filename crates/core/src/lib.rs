@@ -112,6 +112,8 @@ mod mqm_exact;
 pub mod queries;
 mod quilt_mechanism;
 pub mod robustness;
+pub mod scale_index;
+pub mod snapshot;
 mod wasserstein_mechanism;
 
 pub use composition::CompositionAccountant;
@@ -128,6 +130,8 @@ pub use mqm_chain_influence::{
 pub use mqm_exact::{MqmExact, MqmExactOptions, QuiltSelection};
 pub use queries::LipschitzQuery;
 pub use quilt_mechanism::{MarkovQuiltMechanism, NodeCalibration, QuiltMechanismOptions};
+pub use scale_index::{EpsilonGrid, ScaleEstimate, ScaleIndex};
+pub use snapshot::{CalibrationSnapshot, MechanismState, SnapshotEntry, SnapshotError};
 pub use wasserstein_mechanism::WassersteinMechanism;
 
 pub use pufferfish_parallel::Parallelism;

@@ -121,6 +121,20 @@ pub trait Mechanism: Send + Sync {
             .map(|database| self.release(query, database, rng))
             .collect()
     }
+
+    /// The mechanism's serializable, release-relevant state — what a
+    /// [`CalibrationSnapshot`](crate::CalibrationSnapshot) persists.
+    ///
+    /// `None` (the default) opts the mechanism out of snapshotting:
+    /// [`ReleaseEngine::export_snapshot`](crate::ReleaseEngine::export_snapshot)
+    /// skips such cache entries. Implementors must return a state whose
+    /// [`restore`](crate::snapshot::MechanismState::restore) produces
+    /// bitwise-identical releases — the round-trip suite in
+    /// `tests/snapshot_roundtrip.rs` enforces this for every built-in
+    /// family.
+    fn snapshot_state(&self) -> Option<crate::snapshot::MechanismState> {
+        None
+    }
 }
 
 /// The output of a privacy mechanism: the noisy values together with the

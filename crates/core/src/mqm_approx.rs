@@ -323,6 +323,21 @@ impl Mechanism for MqmApprox {
     fn validate(&self, query: &dyn LipschitzQuery, database: &[usize]) -> Result<()> {
         validate_database(database, query.expected_length(), self.num_states)
     }
+
+    /// Release-relevant state: `σ_max` (rescaled by the query's Lipschitz
+    /// constant at release time) and the state range.
+    fn snapshot_state(&self) -> Option<crate::snapshot::MechanismState> {
+        Some(crate::snapshot::MechanismState {
+            family: Mechanism::name(self).to_string(),
+            epsilon: self.epsilon,
+            scale: crate::snapshot::ScaleForm::LipschitzTimes {
+                multiplier: self.sigma_max,
+            },
+            validation: crate::snapshot::ValidationForm::StateRange {
+                num_states: self.num_states,
+            },
+        })
+    }
 }
 
 /// The Lemma 4.8 / C.1 bound for a single "side" at distance `d`:

@@ -377,6 +377,21 @@ impl Mechanism for MqmExact {
     fn validate(&self, query: &dyn LipschitzQuery, database: &[usize]) -> Result<()> {
         validate_database(database, query.expected_length(), self.num_states)
     }
+
+    /// Release-relevant state: `σ_max` and the state range. The per-θ
+    /// [`QuiltSelection`] diagnostics are not part of the normal form.
+    fn snapshot_state(&self) -> Option<crate::snapshot::MechanismState> {
+        Some(crate::snapshot::MechanismState {
+            family: Mechanism::name(self).to_string(),
+            epsilon: self.epsilon,
+            scale: crate::snapshot::ScaleForm::LipschitzTimes {
+                multiplier: self.sigma_max,
+            },
+            validation: crate::snapshot::ValidationForm::StateRange {
+                num_states: self.num_states,
+            },
+        })
+    }
 }
 
 #[cfg(test)]

@@ -239,6 +239,22 @@ impl Mechanism for MarkovQuiltMechanism {
         }
         Ok(())
     }
+
+    /// Release-relevant state: `σ_max` and the per-node cardinalities. The
+    /// per-node [`NodeCalibration`] diagnostics are not part of the normal
+    /// form.
+    fn snapshot_state(&self) -> Option<crate::snapshot::MechanismState> {
+        Some(crate::snapshot::MechanismState {
+            family: Mechanism::name(self).to_string(),
+            epsilon: self.epsilon,
+            scale: crate::snapshot::ScaleForm::LipschitzTimes {
+                multiplier: self.sigma_max,
+            },
+            validation: crate::snapshot::ValidationForm::NodeCardinalities {
+                cardinalities: self.cardinalities.clone(),
+            },
+        })
+    }
 }
 
 /// Default candidate set: the trivial quilt plus the Markov-blanket quilt.

@@ -1,0 +1,952 @@
+//! Calibration persistence: serializable snapshots of a release engine's
+//! cached calibrations.
+//!
+//! Calibration is the system's dominant cost — the ∞-Wasserstein sweep and
+//! the Markov Quilt searches take seconds, while a release is a query
+//! evaluation plus Laplace noise. Every cached calibration, however, reduces
+//! to a small *release-relevant normal form*: the privacy parameter, a rule
+//! mapping a query to its Laplace scale ([`ScaleForm`]) and a database
+//! validation rule ([`ValidationForm`]). This module persists exactly that
+//! normal form, so a service restart (or a second process) can
+//! [`import`](crate::ReleaseEngine::import_snapshot) a snapshot and serve
+//! releases that are **bitwise-identical** to a freshly calibrated engine —
+//! without performing a single calibration.
+//!
+//! The on-disk format is a self-describing binary codec (magic, version,
+//! length, body, FNV-1a checksum) with no external dependencies. Decoding is
+//! paranoid: a truncated file, a corrupted byte or a version from a
+//! different format generation each surface as a typed [`SnapshotError`],
+//! never a panic or a silently empty cache.
+//!
+//! # Example
+//!
+//! ```
+//! use pufferfish_core::engine::{MqmApproxCalibrator, ReleaseEngine};
+//! use pufferfish_core::queries::StateFrequencyQuery;
+//! use pufferfish_core::{MqmApproxOptions, PrivacyBudget};
+//! use pufferfish_markov::IntervalClassBuilder;
+//!
+//! let class = IntervalClassBuilder::symmetric(0.4).grid_points(2).build().unwrap();
+//! let calibrator = || MqmApproxCalibrator::new(class.clone(), 60, MqmApproxOptions::default());
+//!
+//! // Pay the calibration once...
+//! let cold = ReleaseEngine::new(calibrator());
+//! let query = StateFrequencyQuery::new(1, 60);
+//! let budget = PrivacyBudget::new(1.0).unwrap();
+//! cold.mechanism(&query, budget).unwrap();
+//!
+//! // ...snapshot it, and serve it from a fresh engine with zero calibrations.
+//! let bytes = cold.export_snapshot().to_bytes();
+//! let snapshot = pufferfish_core::CalibrationSnapshot::from_bytes(&bytes).unwrap();
+//! let warm = ReleaseEngine::new(calibrator());
+//! assert_eq!(warm.import_snapshot(&snapshot).unwrap(), 1);
+//! assert_eq!(warm.cache_misses(), 0);
+//! let scale = warm.noise_scale_estimate(&query, budget).unwrap();
+//! assert_eq!(scale.to_bits(), cold.noise_scale_estimate(&query, budget).unwrap().to_bits());
+//! assert_eq!(warm.cache_misses(), 0, "warm probes never calibrate");
+//! ```
+
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::engine::CalibrationKey;
+use crate::mechanism::{validate_query_length, Mechanism};
+use crate::queries::LipschitzQuery;
+use crate::{PufferfishError, Result};
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"PFCALSNP";
+
+/// The format generation this build reads and writes. Decoding a snapshot
+/// whose version field differs fails with
+/// [`SnapshotError::UnsupportedVersion`] — the format carries no
+/// cross-version migration logic.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Size of the fixed header: magic + version + body length.
+const HEADER_LEN: usize = 8 + 4 + 8;
+
+/// Typed failures while encoding, decoding or importing a snapshot.
+///
+/// Every decode failure mode is distinguished so operators can tell a wrong
+/// file from a corrupted one from a format-generation mismatch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The file does not start with [`SNAPSHOT_MAGIC`] — not a snapshot.
+    BadMagic,
+    /// The snapshot was written by a different format generation.
+    UnsupportedVersion {
+        /// The version field found in the file.
+        found: u32,
+        /// The version this build supports.
+        supported: u32,
+    },
+    /// The body failed its integrity check (corrupted or tampered bytes).
+    ChecksumMismatch {
+        /// The checksum stored in the file.
+        stored: u64,
+        /// The checksum recomputed over the body.
+        computed: u64,
+    },
+    /// The file ends before the declared content does.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The body passed its checksum but violates the format's invariants
+    /// (impossible tag values, trailing garbage, non-finite parameters) —
+    /// an encoder bug or a hand-crafted file.
+    Malformed(String),
+    /// The snapshot names a mechanism family this build cannot restore.
+    UnknownFamily(String),
+    /// The snapshot was exported from an engine over a different calibrator
+    /// (class/options mismatch); importing it would serve calibrations for
+    /// the wrong distribution class.
+    EngineMismatch {
+        /// Calibrator family recorded in the snapshot.
+        snapshot_kind: String,
+        /// Family of the engine asked to import it.
+        engine_kind: String,
+        /// Class token recorded in the snapshot.
+        snapshot_class: u64,
+        /// Class token of the importing engine's calibrator.
+        engine_class: u64,
+    },
+    /// Reading or writing the snapshot file failed at the filesystem level.
+    Io(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a calibration snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot version {found} is not supported (this build reads version {supported})"
+            ),
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            SnapshotError::Truncated { needed, available } => write!(
+                f,
+                "snapshot truncated: needed {needed} bytes, only {available} available"
+            ),
+            SnapshotError::Malformed(detail) => write!(f, "malformed snapshot: {detail}"),
+            SnapshotError::UnknownFamily(family) => {
+                write!(f, "snapshot contains unknown mechanism family '{family}'")
+            }
+            SnapshotError::EngineMismatch {
+                snapshot_kind,
+                engine_kind,
+                snapshot_class,
+                engine_class,
+            } => write!(
+                f,
+                "snapshot was exported from a '{snapshot_kind}' engine (class {snapshot_class:#x}) \
+                 but the importing engine is '{engine_kind}' (class {engine_class:#x})"
+            ),
+            SnapshotError::Io(detail) => write!(f, "snapshot i/o error: {detail}"),
+        }
+    }
+}
+
+/// How a restored mechanism maps a query to its Laplace scale.
+///
+/// Each variant reproduces one concrete family's `noise_scale_for` formula
+/// *in the same operation order*, so restored scales are bitwise-identical
+/// to freshly calibrated ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScaleForm {
+    /// `scale = L(query) × multiplier` — the Markov Quilt families, whose
+    /// calibrated `σ_max` is rescaled by the query's Lipschitz constant at
+    /// release time.
+    LipschitzTimes {
+        /// The calibrated noise multiplier `σ_max`.
+        multiplier: f64,
+    },
+    /// `scale = L(query) × numerator / denominator` (left-associated) — the
+    /// group-DP (`M`, ε) and GK16 (inflation, ε) baselines.
+    LipschitzRatio {
+        /// Numerator applied after the Lipschitz constant.
+        numerator: f64,
+        /// Denominator applied last.
+        denominator: f64,
+    },
+    /// A query-independent scale — the Wasserstein Mechanism (calibrated to
+    /// the concrete query) and entry DP (calibrated to a fixed sensitivity).
+    Fixed {
+        /// The calibrated Laplace scale.
+        scale: f64,
+    },
+}
+
+impl ScaleForm {
+    /// The Laplace scale this form assigns to `query`.
+    pub fn scale_for(&self, query: &dyn LipschitzQuery) -> f64 {
+        match *self {
+            ScaleForm::LipschitzTimes { multiplier } => query.lipschitz_constant() * multiplier,
+            ScaleForm::LipschitzRatio {
+                numerator,
+                denominator,
+            } => query.lipschitz_constant() * numerator / denominator,
+            ScaleForm::Fixed { scale } => scale,
+        }
+    }
+
+    /// `true` when every parameter is finite (a crafted snapshot could
+    /// otherwise smuggle NaN/∞ scales past calibration's own checks).
+    fn is_finite(&self) -> bool {
+        match *self {
+            ScaleForm::LipschitzTimes { multiplier } => multiplier.is_finite(),
+            ScaleForm::LipschitzRatio {
+                numerator,
+                denominator,
+            } => numerator.is_finite() && denominator.is_finite() && denominator != 0.0,
+            ScaleForm::Fixed { scale } => scale.is_finite(),
+        }
+    }
+}
+
+/// How a restored mechanism validates a database before releasing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationForm {
+    /// Length must match the query's expected length (Wasserstein and the
+    /// baselines).
+    QueryLength,
+    /// Length must match the query and every state must be `< num_states`
+    /// (the Markov-chain quilt mechanisms).
+    StateRange {
+        /// Size of the calibrated state space.
+        num_states: usize,
+    },
+    /// One value per network node, each below its node's cardinality (the
+    /// general Bayesian-network quilt mechanism).
+    NodeCardinalities {
+        /// Per-node state-space sizes, in node order.
+        cardinalities: Vec<usize>,
+    },
+}
+
+/// The serializable, release-relevant state of one calibrated mechanism.
+///
+/// Produced by [`Mechanism::snapshot_state`]; [`MechanismState::restore`]
+/// turns it back into a live [`Mechanism`] whose releases are
+/// bitwise-identical to the original's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MechanismState {
+    /// The family name, matching the original mechanism's
+    /// [`Mechanism::name`] ("wasserstein", "mqm-exact", …).
+    pub family: String,
+    /// The privacy parameter ε the mechanism was calibrated for.
+    pub epsilon: f64,
+    /// The query → Laplace-scale rule.
+    pub scale: ScaleForm,
+    /// The database validation rule.
+    pub validation: ValidationForm,
+}
+
+/// Interns a family name to the `'static` string [`Mechanism::name`]
+/// requires, rejecting families this build does not know.
+fn intern_family(family: &str) -> std::result::Result<&'static str, SnapshotError> {
+    Ok(match family {
+        "wasserstein" => "wasserstein",
+        "mqm-exact" => "mqm-exact",
+        "mqm-approx" => "mqm-approx",
+        "markov-quilt" => "markov-quilt",
+        "group-dp" => "group-dp",
+        "gk16" => "gk16",
+        "entry-dp" => "entry-dp",
+        other => return Err(SnapshotError::UnknownFamily(other.to_string())),
+    })
+}
+
+impl MechanismState {
+    /// Rebuilds a live mechanism from this state.
+    ///
+    /// # Errors
+    /// [`SnapshotError::UnknownFamily`] for a family this build cannot
+    /// restore; [`SnapshotError::Malformed`] for non-finite parameters.
+    pub fn restore(&self) -> Result<Arc<dyn Mechanism>> {
+        let name = intern_family(&self.family).map_err(PufferfishError::Snapshot)?;
+        if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
+            return Err(PufferfishError::Snapshot(SnapshotError::Malformed(
+                format!(
+                    "family '{}' carries invalid epsilon {}",
+                    self.family, self.epsilon
+                ),
+            )));
+        }
+        if !self.scale.is_finite() {
+            return Err(PufferfishError::Snapshot(SnapshotError::Malformed(
+                format!("family '{}' carries a non-finite scale form", self.family),
+            )));
+        }
+        Ok(Arc::new(RestoredMechanism {
+            name,
+            state: self.clone(),
+        }))
+    }
+}
+
+/// A mechanism rebuilt from a [`MechanismState`].
+///
+/// It reports the original family name and ε, applies the identical Laplace
+/// scale to every query and enforces the identical database validation, so
+/// its releases — which go through the shared [`Mechanism::release`]
+/// implementation — are bitwise-identical to the calibrated original's under
+/// the same RNG seed. Calibration *diagnostics* (winning quilt selections,
+/// worst-case secret pairs) are not part of the normal form and are not
+/// restored.
+pub struct RestoredMechanism {
+    name: &'static str,
+    state: MechanismState,
+}
+
+impl Mechanism for RestoredMechanism {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.state.epsilon
+    }
+
+    fn noise_scale_for(&self, query: &dyn LipschitzQuery) -> f64 {
+        self.state.scale.scale_for(query)
+    }
+
+    fn validate(&self, query: &dyn LipschitzQuery, database: &[usize]) -> Result<()> {
+        match &self.state.validation {
+            ValidationForm::QueryLength => validate_query_length(query, database),
+            ValidationForm::StateRange { num_states } => {
+                validate_query_length(query, database)?;
+                if let Some(&bad) = database.iter().find(|&&s| s >= *num_states) {
+                    return Err(PufferfishError::InvalidDatabase(format!(
+                        "state {bad} out of range for {num_states} states"
+                    )));
+                }
+                Ok(())
+            }
+            ValidationForm::NodeCardinalities { cardinalities } => {
+                if database.len() != cardinalities.len() {
+                    return Err(PufferfishError::InvalidDatabase(format!(
+                        "assignment has {} entries, network has {}",
+                        database.len(),
+                        cardinalities.len()
+                    )));
+                }
+                for (node, (&value, &cardinality)) in database.iter().zip(cardinalities).enumerate()
+                {
+                    if value >= cardinality {
+                        return Err(PufferfishError::InvalidDatabase(format!(
+                            "value {value} out of range for node {node}"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// A restored mechanism re-exports its own state, so an imported cache
+    /// can itself be snapshotted (export → import → export round-trips).
+    fn snapshot_state(&self) -> Option<MechanismState> {
+        Some(self.state.clone())
+    }
+}
+
+impl fmt::Debug for RestoredMechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RestoredMechanism")
+            .field("family", &self.name)
+            .field("epsilon", &self.state.epsilon)
+            .field("scale", &self.state.scale)
+            .finish()
+    }
+}
+
+/// One persisted cache entry: the cache key and the mechanism's normal form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotEntry {
+    /// The engine cache key this entry restores under.
+    pub key: CalibrationKey,
+    /// The calibrated mechanism's serializable state.
+    pub state: MechanismState,
+}
+
+/// A versioned, checksummed dump of a release engine's calibration cache.
+///
+/// Produced by [`ReleaseEngine::export_snapshot`](crate::ReleaseEngine::export_snapshot),
+/// consumed by [`ReleaseEngine::import_snapshot`](crate::ReleaseEngine::import_snapshot);
+/// [`CalibrationSnapshot::to_bytes`] / [`CalibrationSnapshot::from_bytes`]
+/// move it through any byte transport and
+/// [`write_to_file`](CalibrationSnapshot::write_to_file) /
+/// [`read_from_file`](CalibrationSnapshot::read_from_file) through the
+/// filesystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationSnapshot {
+    /// Family name of the calibrator the exporting engine wrapped.
+    pub engine_kind: String,
+    /// Class token of the exporting engine's calibrator; importing engines
+    /// must match it.
+    pub class_token: u64,
+    /// Shard count of the exporting engine (informational — an importing
+    /// engine may use any shard count).
+    pub shard_count: u32,
+    /// Unix timestamp (seconds) when the snapshot was exported.
+    pub created_unix_secs: u64,
+    /// The persisted cache entries, in a stable sorted order.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl CalibrationSnapshot {
+    /// Number of persisted calibrations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the snapshot holds no calibrations.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Seconds elapsed since the snapshot was exported (0 when the clock
+    /// reads earlier than the export — e.g. across machines with skew).
+    pub fn age_secs(&self) -> u64 {
+        unix_now().saturating_sub(self.created_unix_secs)
+    }
+
+    /// Serialises to the self-describing binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(64 + self.entries.len() * 96);
+        write_string(&mut body, &self.engine_kind);
+        write_u64(&mut body, self.class_token);
+        write_u32(&mut body, self.shard_count);
+        write_u64(&mut body, self.created_unix_secs);
+        write_u64(&mut body, self.entries.len() as u64);
+        for entry in &self.entries {
+            write_key(&mut body, &entry.key);
+            write_state(&mut body, &entry.state);
+        }
+
+        let mut bytes = Vec::with_capacity(HEADER_LEN + body.len() + 8);
+        bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        let checksum = fnv1a(&body);
+        bytes.extend_from_slice(&body);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        bytes
+    }
+
+    /// Decodes the binary format, verifying magic, version, length and
+    /// checksum before touching the body.
+    ///
+    /// # Errors
+    /// The typed [`SnapshotError`] variants, wrapped in
+    /// [`PufferfishError::Snapshot`]: [`SnapshotError::BadMagic`],
+    /// [`SnapshotError::UnsupportedVersion`], [`SnapshotError::Truncated`],
+    /// [`SnapshotError::ChecksumMismatch`] and [`SnapshotError::Malformed`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        Self::decode(bytes).map_err(PufferfishError::Snapshot)
+    }
+
+    fn decode(bytes: &[u8]) -> std::result::Result<Self, SnapshotError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(SnapshotError::Truncated {
+                needed: HEADER_LEN,
+                available: bytes.len(),
+            });
+        }
+        if bytes[..8] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let body_len = u64::from_le_bytes(bytes[12..HEADER_LEN].try_into().expect("8-byte slice"));
+        let body_len = usize::try_from(body_len).map_err(|_| SnapshotError::Truncated {
+            needed: usize::MAX,
+            available: bytes.len(),
+        })?;
+        let total = HEADER_LEN
+            .checked_add(body_len)
+            .and_then(|n| n.checked_add(8))
+            .ok_or(SnapshotError::Malformed(
+                "declared body length overflows".to_string(),
+            ))?;
+        if bytes.len() < total {
+            return Err(SnapshotError::Truncated {
+                needed: total,
+                available: bytes.len(),
+            });
+        }
+        if bytes.len() > total {
+            return Err(SnapshotError::Malformed(format!(
+                "{} trailing bytes after the checksum",
+                bytes.len() - total
+            )));
+        }
+        let body = &bytes[HEADER_LEN..HEADER_LEN + body_len];
+        let stored =
+            u64::from_le_bytes(bytes[HEADER_LEN + body_len..].try_into().expect("8 bytes"));
+        let computed = fnv1a(body);
+        if stored != computed {
+            return Err(SnapshotError::ChecksumMismatch { stored, computed });
+        }
+
+        let mut reader = Reader { body, at: 0 };
+        let engine_kind = reader.string()?;
+        let class_token = reader.u64()?;
+        let shard_count = reader.u32()?;
+        let created_unix_secs = reader.u64()?;
+        let count = reader.u64()?;
+        let count = usize::try_from(count)
+            .map_err(|_| SnapshotError::Malformed("entry count overflows".to_string()))?;
+        // An upper bound implied by the body size (every entry costs > 16
+        // bytes) guards against allocating for an absurd declared count.
+        if count > body.len() / 16 {
+            return Err(SnapshotError::Malformed(format!(
+                "declared {count} entries cannot fit in a {}-byte body",
+                body.len()
+            )));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let key = reader.key()?;
+            if key.class_token != class_token {
+                return Err(SnapshotError::Malformed(format!(
+                    "entry class token {:#x} differs from the snapshot's {class_token:#x}",
+                    key.class_token
+                )));
+            }
+            let state = reader.state()?;
+            entries.push(SnapshotEntry { key, state });
+        }
+        if reader.at != body.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "{} undeclared bytes after the last entry",
+                body.len() - reader.at
+            )));
+        }
+        Ok(CalibrationSnapshot {
+            engine_kind,
+            class_token,
+            shard_count,
+            created_unix_secs,
+            entries,
+        })
+    }
+
+    /// Writes the encoded snapshot to `path`, returning the bytes written.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Io`] on filesystem failures.
+    pub fn write_to_file(&self, path: impl AsRef<Path>) -> Result<u64> {
+        let bytes = self.to_bytes();
+        std::fs::write(path.as_ref(), &bytes).map_err(|e| {
+            PufferfishError::Snapshot(SnapshotError::Io(format!(
+                "writing {}: {e}",
+                path.as_ref().display()
+            )))
+        })?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Reads and decodes a snapshot file.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Io`] on filesystem failures plus every decode error
+    /// of [`CalibrationSnapshot::from_bytes`].
+    pub fn read_from_file(path: impl AsRef<Path>) -> Result<Self> {
+        let bytes = std::fs::read(path.as_ref()).map_err(|e| {
+            PufferfishError::Snapshot(SnapshotError::Io(format!(
+                "reading {}: {e}",
+                path.as_ref().display()
+            )))
+        })?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// Current Unix time in seconds (0 if the clock reads before the epoch) —
+/// the clock snapshots are stamped and aged against. Exposed so callers
+/// deriving snapshot age themselves (e.g. the serving layer's
+/// `ServiceStats`) agree with [`CalibrationSnapshot::age_secs`].
+pub fn unix_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// FNV-1a 64-bit over `bytes` — a dependency-free integrity check (this
+/// guards against corruption and truncation, not adversaries; a tampered
+/// snapshot should be caught by filesystem-level trust, not this checksum).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Body codec: little-endian primitives, length-prefixed strings, tagged
+// enums. Writers are infallible; the reader returns typed errors.
+// ---------------------------------------------------------------------------
+
+fn write_u8(out: &mut Vec<u8>, value: u8) {
+    out.push(value);
+}
+
+fn write_u32(out: &mut Vec<u8>, value: u32) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+fn write_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+fn write_f64(out: &mut Vec<u8>, value: f64) {
+    write_u64(out, value.to_bits());
+}
+
+fn write_string(out: &mut Vec<u8>, value: &str) {
+    write_u64(out, value.len() as u64);
+    out.extend_from_slice(value.as_bytes());
+}
+
+fn write_key(out: &mut Vec<u8>, key: &CalibrationKey) {
+    write_u64(out, key.class_token);
+    write_u64(out, key.epsilon_bits);
+    write_string(out, &key.query.name);
+    write_u64(out, key.query.lipschitz_bits);
+    write_u64(out, key.query.output_dimension as u64);
+    write_u64(out, key.query.expected_length as u64);
+    write_u64(out, key.query.discriminator);
+}
+
+fn write_state(out: &mut Vec<u8>, state: &MechanismState) {
+    write_string(out, &state.family);
+    write_f64(out, state.epsilon);
+    match state.scale {
+        ScaleForm::LipschitzTimes { multiplier } => {
+            write_u8(out, 0);
+            write_f64(out, multiplier);
+        }
+        ScaleForm::LipschitzRatio {
+            numerator,
+            denominator,
+        } => {
+            write_u8(out, 1);
+            write_f64(out, numerator);
+            write_f64(out, denominator);
+        }
+        ScaleForm::Fixed { scale } => {
+            write_u8(out, 2);
+            write_f64(out, scale);
+        }
+    }
+    match &state.validation {
+        ValidationForm::QueryLength => write_u8(out, 0),
+        ValidationForm::StateRange { num_states } => {
+            write_u8(out, 1);
+            write_u64(out, *num_states as u64);
+        }
+        ValidationForm::NodeCardinalities { cardinalities } => {
+            write_u8(out, 2);
+            write_u64(out, cardinalities.len() as u64);
+            for &cardinality in cardinalities {
+                write_u64(out, cardinality as u64);
+            }
+        }
+    }
+}
+
+struct Reader<'a> {
+    body: &'a [u8],
+    at: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, len: usize) -> std::result::Result<&[u8], SnapshotError> {
+        let end = self
+            .at
+            .checked_add(len)
+            .ok_or(SnapshotError::Malformed("length overflows".to_string()))?;
+        if end > self.body.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "body ends at {} but a field needs bytes up to {end}",
+                self.body.len()
+            )));
+        }
+        let slice = &self.body[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> std::result::Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> std::result::Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> std::result::Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> std::result::Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn usize(&mut self) -> std::result::Result<usize, SnapshotError> {
+        usize::try_from(self.u64()?)
+            .map_err(|_| SnapshotError::Malformed("size field overflows usize".to_string()))
+    }
+
+    fn string(&mut self) -> std::result::Result<String, SnapshotError> {
+        let len = self.usize()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Malformed("string is not valid UTF-8".to_string()))
+    }
+
+    fn key(&mut self) -> std::result::Result<CalibrationKey, SnapshotError> {
+        Ok(CalibrationKey {
+            class_token: self.u64()?,
+            epsilon_bits: self.u64()?,
+            query: crate::engine::QuerySignature {
+                name: self.string()?,
+                lipschitz_bits: self.u64()?,
+                output_dimension: self.usize()?,
+                expected_length: self.usize()?,
+                discriminator: self.u64()?,
+            },
+        })
+    }
+
+    fn state(&mut self) -> std::result::Result<MechanismState, SnapshotError> {
+        let family = self.string()?;
+        let epsilon = self.f64()?;
+        let scale = match self.u8()? {
+            0 => ScaleForm::LipschitzTimes {
+                multiplier: self.f64()?,
+            },
+            1 => ScaleForm::LipschitzRatio {
+                numerator: self.f64()?,
+                denominator: self.f64()?,
+            },
+            2 => ScaleForm::Fixed { scale: self.f64()? },
+            tag => {
+                return Err(SnapshotError::Malformed(format!(
+                    "unknown scale-form tag {tag}"
+                )))
+            }
+        };
+        let validation = match self.u8()? {
+            0 => ValidationForm::QueryLength,
+            1 => ValidationForm::StateRange {
+                num_states: self.usize()?,
+            },
+            2 => {
+                let len = self.usize()?;
+                if len > self.body.len() - self.at {
+                    return Err(SnapshotError::Malformed(format!(
+                        "cardinality list declares {len} nodes past the body end"
+                    )));
+                }
+                let mut cardinalities = Vec::with_capacity(len);
+                for _ in 0..len {
+                    cardinalities.push(self.usize()?);
+                }
+                ValidationForm::NodeCardinalities { cardinalities }
+            }
+            tag => {
+                return Err(SnapshotError::Malformed(format!(
+                    "unknown validation-form tag {tag}"
+                )))
+            }
+        };
+        Ok(MechanismState {
+            family,
+            epsilon,
+            scale,
+            validation,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::QuerySignature;
+    use crate::queries::StateFrequencyQuery;
+
+    fn sample_snapshot() -> CalibrationSnapshot {
+        CalibrationSnapshot {
+            engine_kind: "mqm-approx".to_string(),
+            class_token: 0xDEAD_BEEF,
+            shard_count: 16,
+            created_unix_secs: 1_700_000_000,
+            entries: vec![SnapshotEntry {
+                key: CalibrationKey {
+                    class_token: 0xDEAD_BEEF,
+                    epsilon_bits: 1.0f64.to_bits(),
+                    query: QuerySignature::class_scoped(),
+                },
+                state: MechanismState {
+                    family: "mqm-approx".to_string(),
+                    epsilon: 1.0,
+                    scale: ScaleForm::LipschitzTimes { multiplier: 42.5 },
+                    validation: ValidationForm::StateRange { num_states: 2 },
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let snapshot = sample_snapshot();
+        let bytes = snapshot.to_bytes();
+        let decoded = CalibrationSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, snapshot);
+        // Encoding is deterministic.
+        assert_eq!(decoded.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn truncation_is_typed_at_every_length() {
+        let bytes = sample_snapshot().to_bytes();
+        for len in 0..bytes.len() {
+            let result = CalibrationSnapshot::from_bytes(&bytes[..len]);
+            assert!(
+                matches!(
+                    result,
+                    Err(PufferfishError::Snapshot(SnapshotError::Truncated { .. }))
+                ),
+                "prefix of {len} bytes must be Truncated, got {result:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_a_checksum_mismatch() {
+        let bytes = sample_snapshot().to_bytes();
+        // Flip one bit in every body byte position and in the trailing
+        // checksum: all must surface as ChecksumMismatch.
+        for at in HEADER_LEN..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[at] ^= 0x40;
+            let result = CalibrationSnapshot::from_bytes(&corrupt);
+            assert!(
+                matches!(
+                    result,
+                    Err(PufferfishError::Snapshot(
+                        SnapshotError::ChecksumMismatch { .. }
+                    ))
+                ),
+                "corruption at byte {at} must be ChecksumMismatch, got {result:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_bump_is_typed() {
+        let mut bytes = sample_snapshot().to_bytes();
+        bytes[8] = SNAPSHOT_VERSION as u8 + 1;
+        assert!(matches!(
+            CalibrationSnapshot::from_bytes(&bytes),
+            Err(PufferfishError::Snapshot(
+                SnapshotError::UnsupportedVersion { found, supported }
+            )) if found == SNAPSHOT_VERSION + 1 && supported == SNAPSHOT_VERSION
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_trailing_garbage_are_typed() {
+        let mut bytes = sample_snapshot().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            CalibrationSnapshot::from_bytes(&bytes),
+            Err(PufferfishError::Snapshot(SnapshotError::BadMagic))
+        ));
+        let mut padded = sample_snapshot().to_bytes();
+        padded.push(0);
+        assert!(matches!(
+            CalibrationSnapshot::from_bytes(&padded),
+            Err(PufferfishError::Snapshot(SnapshotError::Malformed(_)))
+        ));
+    }
+
+    #[test]
+    fn restored_mechanism_reproduces_scales_and_validation() {
+        let state = MechanismState {
+            family: "mqm-exact".to_string(),
+            epsilon: 0.5,
+            scale: ScaleForm::LipschitzTimes { multiplier: 7.25 },
+            validation: ValidationForm::StateRange { num_states: 2 },
+        };
+        let restored = state.restore().unwrap();
+        assert_eq!(restored.name(), "mqm-exact");
+        assert_eq!(restored.epsilon(), 0.5);
+        let query = StateFrequencyQuery::new(1, 8);
+        assert_eq!(
+            restored.noise_scale_for(&query).to_bits(),
+            (query.lipschitz_constant() * 7.25).to_bits()
+        );
+        assert!(restored.validate(&query, &[0, 1, 0, 1, 0, 1, 0, 1]).is_ok());
+        assert!(restored.validate(&query, &[0, 1]).is_err());
+        assert!(restored
+            .validate(&query, &[0, 1, 0, 1, 0, 1, 0, 9])
+            .is_err());
+        // The restored mechanism re-exports its own state unchanged.
+        assert_eq!(restored.snapshot_state().unwrap(), state);
+    }
+
+    #[test]
+    fn restore_rejects_unknown_and_invalid_states() {
+        let mut state = MechanismState {
+            family: "time-machine".to_string(),
+            epsilon: 1.0,
+            scale: ScaleForm::Fixed { scale: 1.0 },
+            validation: ValidationForm::QueryLength,
+        };
+        assert!(matches!(
+            state.restore(),
+            Err(PufferfishError::Snapshot(SnapshotError::UnknownFamily(f))) if f == "time-machine"
+        ));
+        state.family = "wasserstein".to_string();
+        state.epsilon = f64::NAN;
+        assert!(state.restore().is_err());
+        state.epsilon = 1.0;
+        state.scale = ScaleForm::Fixed {
+            scale: f64::INFINITY,
+        };
+        assert!(state.restore().is_err());
+    }
+
+    #[test]
+    fn io_errors_are_typed() {
+        assert!(matches!(
+            CalibrationSnapshot::read_from_file("/nonexistent/dir/snapshot.pfsnap"),
+            Err(PufferfishError::Snapshot(SnapshotError::Io(_)))
+        ));
+        assert!(matches!(
+            sample_snapshot().write_to_file("/nonexistent/dir/snapshot.pfsnap"),
+            Err(PufferfishError::Snapshot(SnapshotError::Io(_)))
+        ));
+    }
+}

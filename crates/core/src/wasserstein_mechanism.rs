@@ -205,6 +205,20 @@ impl Mechanism for WassersteinMechanism {
     fn validate(&self, query: &dyn LipschitzQuery, database: &[usize]) -> Result<()> {
         validate_query_length(query, database)
     }
+
+    /// Release-relevant state: the fixed, query-specific scale `W / ε`. The
+    /// worst-case `(pair, scenario)` diagnostic is not part of the normal
+    /// form.
+    fn snapshot_state(&self) -> Option<crate::snapshot::MechanismState> {
+        Some(crate::snapshot::MechanismState {
+            family: Mechanism::name(self).to_string(),
+            epsilon: self.epsilon,
+            scale: crate::snapshot::ScaleForm::Fixed {
+                scale: self.noise_scale(),
+            },
+            validation: crate::snapshot::ValidationForm::QueryLength,
+        })
+    }
 }
 
 fn build_distribution(values: &[(f64, f64)]) -> Result<DiscreteDistribution> {

@@ -16,8 +16,8 @@ use pufferfish_core::engine::{
     TokenHasher, WassersteinCalibrator,
 };
 use pufferfish_core::{
-    CacheStats, DiscretePufferfishFramework, Mechanism, MqmApproxOptions, MqmExactOptions,
-    Parallelism, ReleaseEngine,
+    CacheStats, DiscretePufferfishFramework, EpsilonGrid, LipschitzQuery, Mechanism,
+    MqmApproxOptions, MqmExactOptions, Parallelism, PufferfishError, ReleaseEngine, ScaleIndex,
 };
 use pufferfish_markov::MarkovChainClass;
 
@@ -33,6 +33,10 @@ pub struct CatalogOptions {
     pub mqm_approx: MqmApproxOptions,
     /// Parallelism policy for Wasserstein calibration sweeps.
     pub wasserstein_parallelism: Parallelism,
+    /// The ε-grid for [`MechanismCatalog::warm_scale_index`]. `None` (the
+    /// default) disables scale indexing: every planner probe is an exact
+    /// (cached) calibration, the pre-index behaviour.
+    pub scale_grid: Option<EpsilonGrid>,
 }
 
 /// The planner's registry of mechanism backends over one distribution class.
@@ -48,6 +52,7 @@ pub struct MechanismCatalog {
     framework: Option<DiscretePufferfishFramework>,
     options: CatalogOptions,
     engines: Mutex<HashMap<(MechanismKind, usize), Arc<ReleaseEngine>>>,
+    indexes: Mutex<HashMap<(MechanismKind, usize), Arc<ScaleIndex>>>,
 }
 
 impl MechanismCatalog {
@@ -63,6 +68,7 @@ impl MechanismCatalog {
             framework: None,
             options,
             engines: Mutex::new(HashMap::new()),
+            indexes: Mutex::new(HashMap::new()),
         }
     }
 
@@ -181,6 +187,83 @@ impl MechanismCatalog {
         })
     }
 
+    /// Builds (or rebuilds) a [`ScaleIndex`] over the configured
+    /// [`CatalogOptions::scale_grid`] for every registered family at the
+    /// given database `length`, returning how many families were indexed.
+    ///
+    /// This is the **only** step that pays calibration for indexed probing:
+    /// each family calibrates once per grid point, cached in its engine (so
+    /// an engine warmed from a
+    /// [`CalibrationSnapshot`](pufferfish_core::CalibrationSnapshot) that
+    /// covers the grid rebuilds its index with zero calibrations). After
+    /// warming, [`plan_statement`](crate::plan_statement) answers every
+    /// in-grid ε probe from the index without calibrating.
+    ///
+    /// Families that cannot calibrate for this class
+    /// ([`PufferfishError::DegenerateClass`],
+    /// [`PufferfishError::CannotCalibrate`]) are skipped, as is the
+    /// Wasserstein family when its framework's record length differs from
+    /// `length` — exactly the families the planner would skip (or
+    /// exact-probe) anyway. `query` seeds the index: for the class-scoped
+    /// families any query of the right length works; the Wasserstein index
+    /// answers only `query`'s signature (other signatures fall back to
+    /// exact probes).
+    ///
+    /// # Errors
+    /// [`QueryError::Plan`] when no [`CatalogOptions::scale_grid`] is
+    /// configured; [`QueryError::Mechanism`] for unexpected calibration
+    /// failures (anything beyond the skip list above).
+    pub fn warm_scale_index(
+        &self,
+        length: usize,
+        query: &dyn LipschitzQuery,
+    ) -> Result<usize, QueryError> {
+        let grid = self.options.scale_grid.clone().ok_or_else(|| {
+            QueryError::Plan(
+                "warm_scale_index needs CatalogOptions::scale_grid to be configured".to_string(),
+            )
+        })?;
+        let mut built = 0;
+        for kind in self.kinds() {
+            if kind == MechanismKind::Wasserstein {
+                let matches = self
+                    .framework
+                    .as_ref()
+                    .is_some_and(|framework| framework.record_length() == length);
+                if !matches {
+                    continue;
+                }
+            }
+            let engine = self.engine_for(kind, length)?;
+            match ScaleIndex::build(&engine, query, &grid) {
+                Ok(index) => {
+                    self.indexes
+                        .lock()
+                        .expect("scale-index registry poisoned")
+                        .insert((kind, length), Arc::new(index));
+                    built += 1;
+                }
+                // Ineligible families stay unindexed; the planner's probe
+                // will fail (or fall through) for them exactly as before.
+                Err(
+                    PufferfishError::DegenerateClass { .. } | PufferfishError::CannotCalibrate(_),
+                ) => {}
+                Err(error) => return Err(QueryError::Mechanism(error)),
+            }
+        }
+        Ok(built)
+    }
+
+    /// The warmed [`ScaleIndex`] for `(kind, length)`, if
+    /// [`MechanismCatalog::warm_scale_index`] built one.
+    pub fn scale_index_for(&self, kind: MechanismKind, length: usize) -> Option<Arc<ScaleIndex>> {
+        self.indexes
+            .lock()
+            .expect("scale-index registry poisoned")
+            .get(&(kind, length))
+            .map(Arc::clone)
+    }
+
     /// Cache counters summed over every engine the catalog has built, plus
     /// the number of distinct cached calibrations — the query layer's share
     /// of a [`ServiceStats`](pufferfish_service::ServiceStats) snapshot.
@@ -283,6 +366,63 @@ mod tests {
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 1);
         assert_eq!(cached, 1);
+    }
+
+    #[test]
+    fn warm_scale_index_builds_per_family_and_skips_ineligible() {
+        // Without a grid: a typed error, not a panic.
+        let bare = catalog();
+        let query = StateFrequencyQuery::new(1, 30);
+        assert!(matches!(
+            bare.warm_scale_index(30, &query),
+            Err(QueryError::Plan(_))
+        ));
+
+        let options = CatalogOptions {
+            scale_grid: Some(EpsilonGrid::log_spaced(0.1, 2.0, 5).unwrap()),
+            ..CatalogOptions::default()
+        };
+        let class = IntervalClassBuilder::symmetric(0.4)
+            .grid_points(2)
+            .build()
+            .unwrap();
+        let catalog = MechanismCatalog::with_options(class, options.clone());
+        // All four class-scoped families are indexable for this class.
+        assert_eq!(catalog.warm_scale_index(30, &query).unwrap(), 4);
+        for kind in catalog.kinds() {
+            let index = catalog.scale_index_for(kind, 30).unwrap();
+            assert_eq!(index.len(), 5);
+        }
+        assert!(catalog.scale_index_for(MechanismKind::Mqm, 99).is_none());
+
+        // A sticky class: GK16 cannot calibrate, so it is skipped — and the
+        // remaining three families still get indexes.
+        let sticky = IntervalClassBuilder::symmetric(0.1)
+            .grid_points(3)
+            .build()
+            .unwrap();
+        let catalog = MechanismCatalog::with_options(sticky, options.clone());
+        assert_eq!(catalog.warm_scale_index(30, &query).unwrap(), 3);
+        assert!(catalog.scale_index_for(MechanismKind::Gk16, 30).is_none());
+
+        // The Wasserstein family is indexed only at its framework's record
+        // length; other lengths skip it without error.
+        let framework =
+            pufferfish_core::flu::flu_clique_framework(3, &[0.5, 0.1, 0.1, 0.3]).unwrap();
+        let class = IntervalClassBuilder::symmetric(0.4)
+            .grid_points(2)
+            .build()
+            .unwrap();
+        let catalog = MechanismCatalog::with_options(class, options).with_framework(framework);
+        let short = StateFrequencyQuery::new(1, 3);
+        assert_eq!(catalog.warm_scale_index(3, &short).unwrap(), 5);
+        assert!(catalog
+            .scale_index_for(MechanismKind::Wasserstein, 3)
+            .is_some());
+        assert_eq!(catalog.warm_scale_index(30, &query).unwrap(), 4);
+        assert!(catalog
+            .scale_index_for(MechanismKind::Wasserstein, 30)
+            .is_none());
     }
 
     #[test]

@@ -89,7 +89,7 @@ pub use catalog::{CatalogOptions, MechanismCatalog};
 pub use error::QueryError;
 pub use exec::{cell_seed, execute_plan, CellResult, QueryResult};
 pub use parser::{parse_script, parse_statement};
-pub use plan::{plan_statement, MechanismProbe, PlannedCell, QueryPlan};
+pub use plan::{plan_statement, MechanismProbe, PlannedCell, ProbeSource, QueryPlan};
 pub use service::{QueryService, QueryServiceConfig};
 pub use table::{Table, TableGroup};
 

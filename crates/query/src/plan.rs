@@ -6,17 +6,26 @@
 //!    clause into per-cell window sweeps, and the aggregate into a concrete
 //!    [`LipschitzQuery`] for the window length.
 //! 2. **Choose the mechanism** — under `MECHANISM auto`, probe every
-//!    registered family's calibrated noise scale through the catalog's
-//!    cached engines ([`ReleaseEngine::noise_scale_estimate`]) and pick the
+//!    registered family's calibrated noise scale and pick the
 //!    minimum-expected-error family whose calibration succeeds, skipping
 //!    past `DegenerateClass` / `CannotCalibrate` failures; under
 //!    `MECHANISM <kind>`, pin the family and fail the plan if it cannot
 //!    calibrate. The cost of a candidate is its expected L1 release error
 //!    `output_dimension × scale` (the mean absolute deviation of Laplace(b)
 //!    noise is `b`); since the dimension is fixed by the query, this is
-//!    minimised by the smallest noise scale. Probes are real calibrations
-//!    cached in the engines, so the winning mechanism's release costs
-//!    nothing extra and repeated plans are cache hits.
+//!    minimised by the smallest noise scale. A probe is answered one of two
+//!    ways, recorded per probe in [`MechanismProbe::source`]:
+//!    * **indexed** — when [`MechanismCatalog::warm_scale_index`] has built
+//!      a [`ScaleIndex`](pufferfish_core::ScaleIndex) covering the
+//!      statement's ε, the probe is a monotone interpolation with a
+//!      certified error bound and performs **no calibration at all**
+//!      (exact calibration happens lazily on the chosen family's first
+//!      real release);
+//!    * **exact** — otherwise (no grid configured, ε outside the grid, or a
+//!      query signature the index cannot answer) the probe is a real
+//!      calibration through [`ReleaseEngine::noise_scale_estimate`], cached
+//!      in the engines so the winning mechanism's release costs nothing
+//!      extra and repeated plans are cache hits.
 //! 3. **Price the plan** — total ε = per-release ε × the maximum number of
 //!    window releases in any one cell: releases within a cell compose
 //!    sequentially (Theorem 4.4, homogeneous budgets sum), while cells are
@@ -34,6 +43,29 @@ use crate::catalog::MechanismCatalog;
 use crate::table::Table;
 use crate::QueryError;
 
+/// How the planner obtained one family's noise scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbeSource {
+    /// A full (cached) calibration through
+    /// [`ReleaseEngine::noise_scale_estimate`] — exact, but the first probe
+    /// per `(family, ε)` pays the calibration.
+    ///
+    /// [`ReleaseEngine::noise_scale_estimate`]: pufferfish_core::ReleaseEngine::noise_scale_estimate
+    Exact,
+    /// A [`ScaleIndex`](pufferfish_core::ScaleIndex) interpolation — no
+    /// calibration at all, exact within the certified `error_bound`.
+    ///
+    /// Auto-selection over indexed probes minimises the *estimate*: when
+    /// two families' true scales are closer than their brackets, the
+    /// chosen family may differ from the exact argmin by at most
+    /// `error_bound`. Pin a mechanism (or densify the grid) when exact
+    /// selection matters more than probe latency.
+    Indexed {
+        /// The index's certified bound on the estimate's error.
+        error_bound: f64,
+    },
+}
+
 /// The outcome of probing one mechanism family during planning.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MechanismProbe {
@@ -42,6 +74,9 @@ pub struct MechanismProbe {
     /// Its calibrated noise scale, or the calibration failure that makes it
     /// ineligible.
     pub outcome: Result<f64, String>,
+    /// Whether the scale came from an exact calibration or a scale-index
+    /// interpolation.
+    pub source: ProbeSource,
 }
 
 /// One physical cell: a group key, one copy of the group's sequence and the
@@ -260,6 +295,36 @@ pub fn plan_statement(
     let mut probes = Vec::with_capacity(candidates.len());
     let mut best: Option<(f64, MechanismKind, Arc<ReleaseEngine>)> = None;
     for kind in candidates {
+        // Fast path: a warmed scale index answers the probe by monotone
+        // interpolation — zero calibrations. The index declines (`None`)
+        // when the grid does not cover this ε or the family is
+        // query-sensitive and this query's signature was not indexed; both
+        // fall back to the exact probe below. Exact calibration for the
+        // *chosen* family still happens lazily on the first real release.
+        let indexed = catalog
+            .scale_index_for(kind, length)
+            .and_then(|index| index.estimate(&*query, statement.epsilon));
+        if let Some(estimate) = indexed {
+            probes.push(MechanismProbe {
+                kind,
+                outcome: Ok(estimate.scale),
+                source: ProbeSource::Indexed {
+                    error_bound: estimate.error_bound,
+                },
+            });
+            if best
+                .as_ref()
+                .map(|(b, _, _)| estimate.scale < *b)
+                .unwrap_or(true)
+            {
+                // An index for (kind, length) exists only if engine_for
+                // succeeded during warm-up; this lookup cannot calibrate.
+                let engine = catalog.engine_for(kind, length)?;
+                best = Some((estimate.scale, kind, engine));
+            }
+            continue;
+        }
+
         let probed = catalog.engine_for(kind, length).and_then(|engine| {
             let scale = engine.noise_scale_estimate(&*query, budget)?;
             Ok((engine, scale))
@@ -269,6 +334,7 @@ pub fn plan_statement(
                 probes.push(MechanismProbe {
                     kind,
                     outcome: Ok(scale),
+                    source: ProbeSource::Exact,
                 });
                 // Strict < keeps ties on the earlier (fixed-order) probe,
                 // making auto selection deterministic.
@@ -279,6 +345,7 @@ pub fn plan_statement(
             Ok((_, scale)) => probes.push(MechanismProbe {
                 kind,
                 outcome: Err(format!("calibrated a non-finite noise scale {scale}")),
+                source: ProbeSource::Exact,
             }),
             Err(error) => {
                 // A pinned mechanism must fail loudly; auto falls through.
@@ -288,6 +355,7 @@ pub fn plan_statement(
                 probes.push(MechanismProbe {
                     kind,
                     outcome: Err(error.to_string()),
+                    source: ProbeSource::Exact,
                 });
             }
         }
@@ -413,6 +481,63 @@ mod tests {
             plan_statement(&catalog, &ragged, &table),
             Err(QueryError::Plan(_))
         ));
+    }
+
+    #[test]
+    fn indexed_probes_plan_without_calibrating_and_fall_back_out_of_grid() {
+        use crate::catalog::CatalogOptions;
+        use pufferfish_core::queries::RelativeFrequencyHistogram;
+        use pufferfish_core::EpsilonGrid;
+
+        let class = IntervalClassBuilder::symmetric(0.4)
+            .grid_points(2)
+            .build()
+            .unwrap();
+        let catalog = MechanismCatalog::with_options(
+            class,
+            CatalogOptions {
+                scale_grid: Some(EpsilonGrid::log_spaced(0.1, 2.0, 6).unwrap()),
+                ..CatalogOptions::default()
+            },
+        );
+        let table = chain_table(40);
+        let histogram = RelativeFrequencyHistogram::new(2, 40).unwrap();
+        catalog.warm_scale_index(40, &histogram).unwrap();
+        let warm_misses = catalog.cache_stats().0.misses;
+        assert!(warm_misses > 0, "warming pays the grid calibrations");
+
+        // In-grid ε (0.7 is not itself a grid point): every probe is
+        // indexed and planning performs zero calibrations.
+        let statement = parse_statement("HISTOGRAM EPSILON 0.7").unwrap();
+        let plan = plan_statement(&catalog, &statement, &table).unwrap();
+        assert_eq!(
+            catalog.cache_stats().0.misses,
+            warm_misses,
+            "indexed planning must not calibrate"
+        );
+        assert!(plan.probes().iter().all(|probe| matches!(
+            probe.source,
+            ProbeSource::Indexed { error_bound } if error_bound.is_finite()
+        )));
+        let min = plan
+            .probes()
+            .iter()
+            .filter_map(|probe| probe.outcome.clone().ok())
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(plan.noise_scale().to_bits(), min.to_bits());
+
+        // Out-of-grid ε: the planner falls back to exact probes, which do
+        // calibrate.
+        let outside = parse_statement("HISTOGRAM EPSILON 5.0").unwrap();
+        let plan = plan_statement(&catalog, &outside, &table).unwrap();
+        assert!(plan
+            .probes()
+            .iter()
+            .all(|probe| probe.source == ProbeSource::Exact));
+        assert!(
+            catalog.cache_stats().0.misses > warm_misses,
+            "exact fallback probes calibrate"
+        );
     }
 
     #[test]

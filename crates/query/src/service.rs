@@ -173,6 +173,7 @@ impl QueryService {
             served: self.executed(),
             users: self.budget.users(),
             spent_epsilon: self.budget.total_spent(),
+            snapshot: None,
         }
     }
 }

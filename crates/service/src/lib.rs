@@ -85,7 +85,7 @@ mod stream;
 pub use budget::BudgetAccountant;
 pub use error::ServiceError;
 pub use service::{ReleaseRequest, ReleaseService, ServiceConfig, Ticket};
-pub use stats::ServiceStats;
+pub use stats::{ServiceStats, SnapshotInfo};
 pub use stream::{ContinualRelease, StreamBackend, StreamConfig, WindowRelease};
 
 /// Result alias for the serving layer.

@@ -22,7 +22,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use pufferfish_core::queries::LipschitzQuery;
-use pufferfish_core::{NoisyRelease, PrivacyBudget, ReleaseEngine};
+use pufferfish_core::snapshot::unix_now;
+use pufferfish_core::{
+    CalibrationSnapshot, NoisyRelease, PrivacyBudget, PufferfishError, ReleaseEngine,
+};
 use pufferfish_parallel::{Parallelism, WorkerPool};
 
 use crate::queue::{BoundedQueue, PushError};
@@ -237,6 +240,19 @@ pub struct ReleaseService {
     queue: Arc<BoundedQueue<Job>>,
     pool: Option<WorkerPool>,
     served: Arc<AtomicU64>,
+    /// Provenance of the warm-start snapshot, when the service was built
+    /// with [`ReleaseService::warm_start`].
+    warm_start: Option<WarmStartProvenance>,
+}
+
+/// What [`ReleaseService::warm_start`] remembers about the snapshot it
+/// loaded (the age in [`crate::SnapshotInfo`] is derived from the creation
+/// time at every stats call).
+#[derive(Debug, Clone, Copy)]
+struct WarmStartProvenance {
+    created_unix_secs: u64,
+    entries: usize,
+    bytes: u64,
 }
 
 impl ReleaseService {
@@ -270,7 +286,64 @@ impl ReleaseService {
             queue,
             pool: Some(pool),
             served,
+            warm_start: None,
         })
+    }
+
+    /// Starts the service *warm*: loads the calibration snapshot at `path`
+    /// into `engine` before spawning the workers, so the first requests are
+    /// cache hits instead of multi-second cold calibrations.
+    ///
+    /// The import performs **zero** calibrations — the engine's miss counter
+    /// is untouched, which is how the warm-start tests and the
+    /// `calibration_store` bench certify that no calibration ran. Snapshot
+    /// provenance (age, entry count, file size) is reported through
+    /// [`ServiceStats::snapshot`](crate::ServiceStats::snapshot).
+    ///
+    /// A missing, corrupt, version-mismatched or wrong-class snapshot is a
+    /// **typed error**, not a silent cold start: callers that prefer
+    /// best-effort warming can match on
+    /// `ServiceError::Mechanism(PufferfishError::Snapshot(_))` and fall back
+    /// to [`ReleaseService::start`] themselves.
+    ///
+    /// # Errors
+    /// [`ServiceError::InvalidConfig`] as for [`ReleaseService::start`];
+    /// [`ServiceError::Mechanism`] wrapping
+    /// [`pufferfish_core::SnapshotError`] for every snapshot failure.
+    pub fn warm_start(
+        engine: Arc<ReleaseEngine>,
+        config: ServiceConfig,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, ServiceError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| {
+            PufferfishError::Snapshot(pufferfish_core::SnapshotError::Io(format!(
+                "reading {}: {e}",
+                path.display()
+            )))
+        })?;
+        let snapshot = CalibrationSnapshot::from_bytes(&bytes)?;
+        let entries = engine.import_snapshot(&snapshot)?;
+        let mut service = Self::start(engine, config)?;
+        service.warm_start = Some(WarmStartProvenance {
+            created_unix_secs: snapshot.created_unix_secs,
+            entries,
+            bytes: bytes.len() as u64,
+        });
+        Ok(service)
+    }
+
+    /// Exports the engine's current calibration cache to `path`, returning
+    /// the bytes written — the producer side of
+    /// [`ReleaseService::warm_start`]. Shard locks are held only to clone
+    /// entries; encoding and file I/O run lock-free, so a live service can
+    /// checkpoint itself without stalling releases.
+    ///
+    /// # Errors
+    /// [`ServiceError::Mechanism`] wrapping
+    /// [`pufferfish_core::SnapshotError::Io`] on filesystem failures.
+    pub fn save_snapshot(&self, path: impl AsRef<std::path::Path>) -> Result<u64, ServiceError> {
+        Ok(self.engine.export_snapshot().write_to_file(path)?)
     }
 
     /// One worker's handling of one request.
@@ -364,6 +437,11 @@ impl ReleaseService {
             served: self.served(),
             users: self.budget.users(),
             spent_epsilon: self.budget.total_spent(),
+            snapshot: self.warm_start.map(|warm| crate::SnapshotInfo {
+                age_secs: unix_now().saturating_sub(warm.created_unix_secs),
+                entries: warm.entries,
+                bytes: warm.bytes,
+            }),
         }
     }
 
@@ -592,6 +670,56 @@ mod tests {
         assert_eq!(release.values.len(), 1);
         // Drop (not shutdown): swallows the dead worker's panic.
         drop(service);
+    }
+
+    #[test]
+    fn warm_start_restores_the_cache_without_calibrating() {
+        let dir = std::env::temp_dir().join(format!(
+            "pufferfish-warm-start-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.pfsnap");
+
+        // Cold service: pay the calibration, answer one request, checkpoint.
+        let cold = ReleaseService::start(test_engine(), ServiceConfig::default()).unwrap();
+        let reference = cold.release(request("alice", 0.4, 11)).unwrap();
+        assert_eq!(cold.engine().stats().misses, 1);
+        assert!(cold.stats().snapshot.is_none());
+        let bytes = cold.save_snapshot(&path).unwrap();
+        assert!(bytes > 0);
+        cold.shutdown();
+
+        // Warm service: zero calibrations, bitwise-identical response.
+        let warm =
+            ReleaseService::warm_start(test_engine(), ServiceConfig::default(), &path).unwrap();
+        let replay = warm.release(request("alice", 0.4, 11)).unwrap();
+        assert_eq!(replay.values, reference.values);
+        assert_eq!(replay.scale.to_bits(), reference.scale.to_bits());
+        let stats = warm.stats();
+        assert_eq!(stats.cache.misses, 0, "warm start must not calibrate");
+        let info = stats.snapshot.expect("warm start must report provenance");
+        assert_eq!(info.entries, 1);
+        assert_eq!(info.bytes, bytes);
+        warm.shutdown();
+
+        // A missing file is a typed error, never a silent cold start.
+        let missing = ReleaseService::warm_start(
+            test_engine(),
+            ServiceConfig::default(),
+            dir.join("nope.pfsnap"),
+        );
+        assert!(matches!(
+            missing,
+            Err(ServiceError::Mechanism(PufferfishError::Snapshot(
+                pufferfish_core::SnapshotError::Io(_)
+            )))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -2,6 +2,24 @@
 
 use pufferfish_core::CacheStats;
 
+/// Provenance of a warm start: what the calibration snapshot the service
+/// loaded at construction looked like, and how stale it is now.
+///
+/// Reported by [`ServiceStats::snapshot`] when the service was built with
+/// [`ReleaseService::warm_start`](crate::ReleaseService::warm_start);
+/// `None` for cold-started services. `age_secs` is recomputed at every
+/// [`stats`](crate::ReleaseService::stats) call, so dashboards can alert on
+/// snapshots growing stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotInfo {
+    /// Seconds between the snapshot's export and this stats snapshot.
+    pub age_secs: u64,
+    /// Calibrations the snapshot restored into the engine.
+    pub entries: usize,
+    /// Size of the snapshot file in bytes.
+    pub bytes: u64,
+}
+
 /// One self-contained snapshot of a serving front-end's observable state:
 /// calibration-cache counters, queue occupancy and budget spend, gathered
 /// into a single struct so dashboards, examples and the query layer can log
@@ -32,6 +50,9 @@ pub struct ServiceStats {
     /// guarantee, then summed — an aggregate load signal, not itself a
     /// privacy guarantee).
     pub spent_epsilon: f64,
+    /// The warm-start snapshot this front-end loaded, if any (see
+    /// [`SnapshotInfo`]).
+    pub snapshot: Option<SnapshotInfo>,
 }
 
 impl ServiceStats {
@@ -67,7 +88,15 @@ impl std::fmt::Display for ServiceStats {
             self.served,
             self.users,
             self.spent_epsilon,
-        )
+        )?;
+        if let Some(snapshot) = &self.snapshot {
+            write!(
+                f,
+                ", warm-started from a {}-entry snapshot ({} bytes, {}s old)",
+                snapshot.entries, snapshot.bytes, snapshot.age_secs
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -96,5 +125,16 @@ mod tests {
         assert!(rendered.contains("3/4 hit"));
         assert!(rendered.contains("queue 4/16"));
         assert!(rendered.contains("2 users"));
+        assert!(!rendered.contains("warm-started"));
+
+        stats.snapshot = Some(SnapshotInfo {
+            age_secs: 120,
+            entries: 7,
+            bytes: 1024,
+        });
+        let rendered = stats.to_string();
+        assert!(rendered.contains("7-entry snapshot"));
+        assert!(rendered.contains("1024 bytes"));
+        assert!(rendered.contains("120s old"));
     }
 }

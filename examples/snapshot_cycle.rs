@@ -1,0 +1,107 @@
+//! Cross-process snapshot cycle — the CI driver for the calibration store.
+//!
+//! ```text
+//! snapshot_cycle export <path>   # calibrate, release, write the snapshot
+//! snapshot_cycle import <path>   # fresh process: import, verify bitwise
+//! ```
+//!
+//! The two subcommands run in **separate processes** (CI invokes them as
+//! separate steps), so a passing `import` proves the on-disk format carries
+//! everything a cold process needs: it imports the file, performs zero
+//! calibrations, and reproduces — bitwise — the releases of a freshly
+//! calibrated reference engine built inside the importing process.
+
+use pufferfish_core::engine::{MqmExactCalibrator, ReleaseEngine};
+use pufferfish_core::queries::StateFrequencyQuery;
+use pufferfish_core::{CalibrationSnapshot, MqmExactOptions, PrivacyBudget};
+use pufferfish_markov::{MarkovChain, MarkovChainClass};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CHAIN_LENGTH: usize = 100;
+const EPSILONS: [f64; 3] = [0.5, 1.0, 2.0];
+const RELEASE_SEED: u64 = 42;
+
+/// The deterministic engine both processes construct.
+fn engine() -> ReleaseEngine {
+    let chain =
+        MarkovChain::with_stationary_initial(vec![vec![0.85, 0.15], vec![0.35, 0.65]]).unwrap();
+    ReleaseEngine::new(MqmExactCalibrator::new(
+        MarkovChainClass::singleton(chain),
+        CHAIN_LENGTH,
+        MqmExactOptions::default(),
+    ))
+}
+
+fn database() -> Vec<usize> {
+    (0..CHAIN_LENGTH).map(|t| (t / 3) % 2).collect()
+}
+
+/// The seeded releases both processes compare, one per ε.
+fn reference_releases(engine: &ReleaseEngine) -> Vec<(u64, Vec<f64>)> {
+    let query = StateFrequencyQuery::new(1, CHAIN_LENGTH);
+    let database = database();
+    EPSILONS
+        .iter()
+        .map(|&epsilon| {
+            let budget = PrivacyBudget::new(epsilon).unwrap();
+            let mut rng = StdRng::seed_from_u64(RELEASE_SEED);
+            let release = engine.release(&query, &database, budget, &mut rng).unwrap();
+            (release.scale.to_bits(), release.values)
+        })
+        .collect()
+}
+
+fn export(path: &str) {
+    let engine = engine();
+    let releases = reference_releases(&engine);
+    assert_eq!(engine.stats().misses, EPSILONS.len() as u64);
+    let bytes = engine.export_snapshot().write_to_file(path).unwrap();
+    println!(
+        "exported {} calibrations ({} bytes) to {path}",
+        EPSILONS.len(),
+        bytes
+    );
+    for (&epsilon, (scale_bits, _)) in EPSILONS.iter().zip(&releases) {
+        println!("  epsilon {epsilon}: scale bits {scale_bits:#018x}");
+    }
+}
+
+fn import(path: &str) {
+    let warm = engine();
+    let snapshot = CalibrationSnapshot::read_from_file(path).unwrap();
+    let imported = warm.import_snapshot(&snapshot).unwrap();
+    assert_eq!(imported, EPSILONS.len(), "snapshot must carry every key");
+    let warm_releases = reference_releases(&warm);
+    assert_eq!(
+        warm.stats().misses,
+        0,
+        "a warm start must perform zero calibrations"
+    );
+
+    // The in-process cold reference: whatever this build calibrates from
+    // scratch, the imported (other-process) snapshot must reproduce bitwise.
+    let cold = engine();
+    let cold_releases = reference_releases(&cold);
+    assert_eq!(
+        warm_releases, cold_releases,
+        "imported releases must be bitwise-identical to cold calibration"
+    );
+    println!(
+        "imported {imported} calibrations from {path}: 0 calibrations performed, {} seeded \
+         releases bitwise-identical to a cold engine — PASS",
+        EPSILONS.len()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("export") if args.len() == 3 => export(&args[2]),
+        Some("import") if args.len() == 3 => import(&args[2]),
+        _ => {
+            eprintln!("usage: snapshot_cycle <export|import> <path>");
+            std::process::exit(2);
+        }
+    }
+}

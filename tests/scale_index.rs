@@ -1,0 +1,189 @@
+//! ScaleIndex accuracy: the interpolated noise scale must sit within the
+//! certified error bound of the *exact* calibrated scale at every probed ε,
+//! for both a synthetic binary interval class and the activity-monitoring
+//! class of Section 5.3 — and out-of-grid ε must fall back to exact probes
+//! instead of extrapolating.
+
+use pufferfish_core::queries::{LipschitzQuery, RelativeFrequencyHistogram};
+use pufferfish_core::{EpsilonGrid, MqmExactOptions, Parallelism, PrivacyBudget};
+use pufferfish_datasets::ActivityCohort;
+use pufferfish_markov::{IntervalClassBuilder, MarkovChainClass};
+use pufferfish_query::{
+    parse_statement, plan_statement, CatalogOptions, MechanismCatalog, MechanismKind, ProbeSource,
+    Table,
+};
+
+/// Grid shared by the accuracy sweeps.
+fn grid() -> EpsilonGrid {
+    EpsilonGrid::log_spaced(0.2, 4.0, 6).unwrap()
+}
+
+/// The probe ε values: every grid point plus every geometric midpoint
+/// (worst case for the interpolation error) plus two asymmetric interior
+/// points.
+fn probe_epsilons(grid: &EpsilonGrid) -> Vec<f64> {
+    let mut epsilons: Vec<f64> = grid.points().to_vec();
+    for pair in grid.points().windows(2) {
+        epsilons.push((pair[0] * pair[1]).sqrt());
+        epsilons.push(pair[0] + 0.8 * (pair[1] - pair[0]));
+    }
+    epsilons
+}
+
+/// The shared sweep: for every family the catalog indexed, every probed ε
+/// must satisfy `|indexed − exact| ≤ error_bound`; the family's indexed
+/// estimates must inherit the scale's monotonicity; and ε outside the grid
+/// must be declined.
+fn assert_index_accuracy(catalog: &MechanismCatalog, length: usize, query: &dyn LipschitzQuery) {
+    let grid = grid();
+    let indexed_kinds: Vec<MechanismKind> = catalog
+        .kinds()
+        .into_iter()
+        .filter(|&kind| catalog.scale_index_for(kind, length).is_some())
+        .collect();
+    assert!(
+        indexed_kinds.len() >= 2,
+        "the sweep needs at least two indexable families, got {indexed_kinds:?}"
+    );
+    for kind in indexed_kinds {
+        let index = catalog.scale_index_for(kind, length).unwrap();
+        let engine = catalog.engine_for(kind, length).unwrap();
+        for &epsilon in &probe_epsilons(&grid) {
+            if !index.covers(epsilon) {
+                // Float noise in the midpoint construction can nudge an
+                // endpoint probe outside the closed range; skip, the
+                // explicit out-of-grid checks below cover refusal.
+                continue;
+            }
+            let estimate = index
+                .estimate(query, epsilon)
+                .unwrap_or_else(|| panic!("{kind}: in-grid epsilon {epsilon} must be estimable"));
+            let exact = engine
+                .noise_scale_estimate(query, PrivacyBudget::new(epsilon).unwrap())
+                .unwrap();
+            assert!(
+                (estimate.scale - exact).abs() <= estimate.error_bound,
+                "{kind} at epsilon {epsilon}: estimate {} vs exact {exact} exceeds certified \
+                 bound {}",
+                estimate.scale,
+                estimate.error_bound
+            );
+            assert!(
+                estimate.lower <= estimate.scale && estimate.scale <= estimate.upper,
+                "{kind}: estimate must sit inside its own bracket"
+            );
+            assert!(
+                exact >= estimate.lower - estimate.error_bound
+                    && exact <= estimate.upper + estimate.error_bound,
+                "{kind} at epsilon {epsilon}: exact scale {exact} escapes the bracket \
+                 [{}, {}]",
+                estimate.lower,
+                estimate.upper
+            );
+        }
+        // Out-of-grid ε: declined in both directions, never extrapolated.
+        assert!(index.estimate(query, grid.min_epsilon() / 2.0).is_none());
+        assert!(index.estimate(query, grid.max_epsilon() * 2.0).is_none());
+    }
+}
+
+#[test]
+fn index_is_accurate_for_the_binary_interval_class() {
+    let class = IntervalClassBuilder::symmetric(0.4)
+        .grid_points(2)
+        .build()
+        .unwrap();
+    let catalog = MechanismCatalog::with_options(
+        class,
+        CatalogOptions {
+            scale_grid: Some(grid()),
+            ..CatalogOptions::default()
+        },
+    );
+    let length = 40;
+    let query = RelativeFrequencyHistogram::new(2, length).unwrap();
+    // All four class-scoped families index for this weakly correlated class.
+    assert_eq!(catalog.warm_scale_index(length, &query).unwrap(), 4);
+    assert_index_accuracy(&catalog, length, &query);
+}
+
+#[test]
+fn index_is_accurate_for_the_activity_class() {
+    // The 4-state cyclist cohort chain of Section 5.3: sticky correlations,
+    // so GK16 is inapplicable (skipped by warm-up) while the quilt families
+    // and GroupDP index fine. The exact-MQM search is width-bounded and
+    // middle-node-only (the cohort chain starts stationary) to keep the
+    // 6-point grid sweep fast.
+    let class = MarkovChainClass::singleton(ActivityCohort::Cyclists.ground_truth_chain().unwrap());
+    let catalog = MechanismCatalog::with_options(
+        class,
+        CatalogOptions {
+            mqm_exact: MqmExactOptions {
+                max_quilt_width: Some(16),
+                search_middle_only: true,
+                parallelism: Parallelism::Auto,
+            },
+            scale_grid: Some(grid()),
+            ..CatalogOptions::default()
+        },
+    );
+    let length = 60;
+    let query = RelativeFrequencyHistogram::new(4, length).unwrap();
+    let indexed = catalog.warm_scale_index(length, &query).unwrap();
+    assert!(
+        indexed >= 2,
+        "the activity class must index at least the MQM + GroupDP families, got {indexed}"
+    );
+    assert!(
+        catalog
+            .scale_index_for(MechanismKind::Mqm, length)
+            .is_some(),
+        "MQMExact must be indexable for the activity class"
+    );
+    assert_index_accuracy(&catalog, length, &query);
+}
+
+#[test]
+fn out_of_grid_epsilon_plans_through_exact_probes() {
+    let class = MarkovChainClass::singleton(ActivityCohort::Cyclists.ground_truth_chain().unwrap());
+    let catalog = MechanismCatalog::with_options(
+        class,
+        CatalogOptions {
+            mqm_exact: MqmExactOptions {
+                max_quilt_width: Some(16),
+                search_middle_only: true,
+                parallelism: Parallelism::Auto,
+            },
+            scale_grid: Some(grid()),
+            ..CatalogOptions::default()
+        },
+    );
+    let length = 60;
+    let query = RelativeFrequencyHistogram::new(4, length).unwrap();
+    catalog.warm_scale_index(length, &query).unwrap();
+    let warm_misses = catalog.cache_stats().0.misses;
+
+    let record: Vec<usize> = (0..length).map(|t| (t / 4) % 4).collect();
+    let table = Table::single("cyclist", 4, record).unwrap();
+
+    // In-grid: every successful probe is indexed and nothing calibrates.
+    let inside = parse_statement("HISTOGRAM EPSILON 1.3").unwrap();
+    let plan = plan_statement(&catalog, &inside, &table).unwrap();
+    assert!(plan
+        .probes()
+        .iter()
+        .filter(|probe| probe.outcome.is_ok())
+        .all(|probe| matches!(probe.source, ProbeSource::Indexed { .. })));
+    assert_eq!(catalog.cache_stats().0.misses, warm_misses);
+
+    // Out-of-grid ε = 8: the planner falls back to exact probes (which do
+    // calibrate) and still produces a plan.
+    let outside = parse_statement("HISTOGRAM EPSILON 8.0").unwrap();
+    let plan = plan_statement(&catalog, &outside, &table).unwrap();
+    assert!(plan
+        .probes()
+        .iter()
+        .all(|probe| probe.source == ProbeSource::Exact));
+    assert!(catalog.cache_stats().0.misses > warm_misses);
+    assert!(plan.noise_scale().is_finite());
+}

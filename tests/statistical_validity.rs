@@ -1,0 +1,257 @@
+//! Statistical validity harness: released noise must actually *follow* the
+//! calibrated Laplace distribution.
+//!
+//! Every other test in this repository is deterministic — bitwise replay,
+//! cache counters, typed errors. None of them would notice a mechanism that
+//! reports scale `b` but samples from `Lap(b/2)` (or from a Gaussian, or
+//! from a stream with the wrong sign bias): the privacy guarantee of every
+//! theorem in the paper is conditional on the noise *being* `Lap(b)` for the
+//! calibrated `b`. This suite closes that gap with seeded empirical checks:
+//!
+//! * the **mean absolute deviation** of `N` released noise samples must be
+//!   within a deterministic tolerance of the calibrated scale (for
+//!   `X ~ Lap(b)`, `E|X| = b` and the sample MAD has standard deviation
+//!   `b/√N`, so the `0.04·b` tolerance at `N = 20 000` is ≈ 5.7σ);
+//! * the **signed mean** must be near zero (sd `b·√2/√N`, tolerance ≈ 6σ) —
+//!   noise must not be biased;
+//! * roughly **half the samples** must be negative (binomial sd `0.5/√N`) —
+//!   a symmetry check the first two moments cannot see.
+//!
+//! The RNG seeds are fixed, so the suite is fully deterministic: a failure
+//! is a mechanism bug (or a tolerance bug), never flakiness.
+//!
+//! The same harness gates the calibration store: an engine warmed from an
+//! imported [`CalibrationSnapshot`](pufferfish_core::CalibrationSnapshot)
+//! must produce noise with the same statistics *without calibrating*.
+
+use pufferfish_baselines::GroupDp;
+use pufferfish_core::engine::{MqmExactCalibrator, ReleaseEngine};
+use pufferfish_core::queries::{LipschitzQuery, StateCountQuery, StateFrequencyQuery};
+use pufferfish_core::{
+    Mechanism, MqmApprox, MqmApproxOptions, MqmExact, MqmExactOptions, PrivacyBudget,
+    WassersteinMechanism,
+};
+use pufferfish_markov::{IntervalClassBuilder, MarkovChain, MarkovChainClass};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Samples per mechanism. Tolerances below are calibrated to this size.
+const SAMPLES: usize = 20_000;
+/// |MAD/b − 1| tolerance: ≈ 5.7 standard deviations of the sample MAD.
+const MAD_TOLERANCE: f64 = 0.04;
+/// |mean/b| tolerance: ≈ 6 standard deviations of the sample mean.
+const MEAN_TOLERANCE: f64 = 0.06;
+/// |negative fraction − 0.5| tolerance: ≈ 5.7 binomial standard deviations.
+const SIGN_TOLERANCE: f64 = 0.02;
+
+/// Empirical noise statistics of `SAMPLES` seeded releases.
+struct NoiseStats {
+    scale: f64,
+    mad: f64,
+    mean: f64,
+    negative_fraction: f64,
+}
+
+/// Releases `query` on `database` `SAMPLES` times and folds the noise
+/// (released − true, per coordinate) into summary statistics.
+fn collect(
+    mechanism: &dyn Mechanism,
+    query: &dyn LipschitzQuery,
+    database: &[usize],
+    seed: u64,
+) -> NoiseStats {
+    let scale = mechanism.noise_scale_for(query);
+    assert!(
+        scale.is_finite() && scale > 0.0,
+        "statistical checks need a positive calibrated scale, got {scale}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut abs_sum = 0.0;
+    let mut sum = 0.0;
+    let mut negative = 0usize;
+    let mut count = 0usize;
+    for _ in 0..SAMPLES {
+        let release = mechanism.release(query, database, &mut rng).unwrap();
+        assert_eq!(release.scale.to_bits(), scale.to_bits());
+        for (noisy, exact) in release.values.iter().zip(&release.true_values) {
+            let noise = noisy - exact;
+            abs_sum += noise.abs();
+            sum += noise;
+            negative += usize::from(noise < 0.0);
+            count += 1;
+        }
+    }
+    NoiseStats {
+        scale,
+        mad: abs_sum / count as f64,
+        mean: sum / count as f64,
+        negative_fraction: negative as f64 / count as f64,
+    }
+}
+
+/// The shared assertion: the empirical noise matches `Lap(scale)`.
+fn assert_laplace(label: &str, stats: &NoiseStats) {
+    let mad_ratio = stats.mad / stats.scale;
+    assert!(
+        (mad_ratio - 1.0).abs() <= MAD_TOLERANCE,
+        "{label}: empirical MAD/scale = {mad_ratio} is outside 1 ± {MAD_TOLERANCE} \
+         (scale {}, MAD {})",
+        stats.scale,
+        stats.mad
+    );
+    let mean_ratio = stats.mean / stats.scale;
+    assert!(
+        mean_ratio.abs() <= MEAN_TOLERANCE,
+        "{label}: noise is biased — empirical mean/scale = {mean_ratio}"
+    );
+    assert!(
+        (stats.negative_fraction - 0.5).abs() <= SIGN_TOLERANCE,
+        "{label}: noise is asymmetric — negative fraction = {}",
+        stats.negative_fraction
+    );
+}
+
+fn chain_class() -> MarkovChainClass {
+    MarkovChainClass::singleton(
+        MarkovChain::new(vec![0.6, 0.4], vec![vec![0.8, 0.2], vec![0.3, 0.7]]).unwrap(),
+    )
+}
+
+fn binary_database(length: usize) -> Vec<usize> {
+    (0..length).map(|t| (t * 5 + 1) % 7 % 2).collect()
+}
+
+#[test]
+fn wasserstein_noise_follows_the_calibrated_scale() {
+    let framework = pufferfish_core::flu::flu_clique_framework(3, &[0.5, 0.1, 0.1, 0.3]).unwrap();
+    let query = StateCountQuery::new(1, 3);
+    let budget = PrivacyBudget::new(1.0).unwrap();
+    let mechanism = WassersteinMechanism::calibrate(&framework, &query, budget).unwrap();
+    let stats = collect(&mechanism, &query, &[1, 0, 1], 0xA11CE);
+    assert_laplace("wasserstein", &stats);
+}
+
+#[test]
+fn mqm_exact_noise_follows_the_calibrated_scale() {
+    let budget = PrivacyBudget::new(1.0).unwrap();
+    let mechanism =
+        MqmExact::calibrate(&chain_class(), 60, budget, MqmExactOptions::default()).unwrap();
+    let query = StateFrequencyQuery::new(1, 60);
+    let stats = collect(&mechanism, &query, &binary_database(60), 0xB0B);
+    assert_laplace("mqm-exact", &stats);
+}
+
+#[test]
+fn mqm_approx_noise_follows_the_calibrated_scale() {
+    let class = IntervalClassBuilder::symmetric(0.4)
+        .grid_points(2)
+        .build()
+        .unwrap();
+    let budget = PrivacyBudget::new(0.5).unwrap();
+    let mechanism = MqmApprox::calibrate(&class, 60, budget, MqmApproxOptions::default()).unwrap();
+    let query = StateFrequencyQuery::new(0, 60);
+    let stats = collect(&mechanism, &query, &binary_database(60), 0xCAB);
+    assert_laplace("mqm-approx", &stats);
+}
+
+#[test]
+fn group_dp_noise_follows_the_calibrated_scale() {
+    let budget = PrivacyBudget::new(1.0).unwrap();
+    let mechanism = GroupDp::calibrate(60, budget).unwrap();
+    let query = StateFrequencyQuery::new(1, 60);
+    // L = 1/60, M = 60: the scale is exactly 1 at ε = 1 (the "GroupDP error
+    // ≈ 1" remark under Figure 4).
+    assert!((Mechanism::noise_scale_for(&mechanism, &query) - 1.0).abs() < 1e-12);
+    let stats = collect(&mechanism, &query, &binary_database(60), 0xD0E);
+    assert_laplace("group-dp", &stats);
+}
+
+/// The gate on the calibration store: a warm-started engine's noise must be
+/// statistically indistinguishable from a cold engine's — and producing it
+/// must involve **zero** calibrations.
+#[test]
+fn imported_snapshot_noise_follows_the_calibrated_scale_without_calibrating() {
+    let calibrator = || MqmExactCalibrator::new(chain_class(), 60, MqmExactOptions::default());
+    let budget = PrivacyBudget::new(1.0).unwrap();
+    let query = StateFrequencyQuery::new(1, 60);
+    let database = binary_database(60);
+
+    let cold = ReleaseEngine::new(calibrator());
+    let cold_mechanism = cold.mechanism(&query, budget).unwrap();
+    let snapshot = cold.export_snapshot();
+
+    let warm = ReleaseEngine::new(calibrator());
+    assert_eq!(warm.import_snapshot(&snapshot).unwrap(), 1);
+    let warm_mechanism = warm.mechanism(&query, budget).unwrap();
+    assert_eq!(warm.cache_misses(), 0, "warm start must not calibrate");
+
+    // Identical seed → bitwise-identical noise stream across the store.
+    let mut cold_rng = StdRng::seed_from_u64(7);
+    let mut warm_rng = StdRng::seed_from_u64(7);
+    let cold_release = cold_mechanism
+        .release(&query, &database, &mut cold_rng)
+        .unwrap();
+    let warm_release = warm_mechanism
+        .release(&query, &database, &mut warm_rng)
+        .unwrap();
+    assert_eq!(cold_release.values, warm_release.values);
+
+    // Fresh seed → the warm noise stands on its own statistically.
+    let stats = collect(&*warm_mechanism, &query, &database, 0xF00D);
+    assert_laplace("imported mqm-exact", &stats);
+    assert_eq!(warm.cache_misses(), 0);
+}
+
+/// Control: the harness itself must *detect* a miscalibrated scale — a
+/// mechanism releasing noise at half its reported scale fails the MAD check.
+#[test]
+fn harness_detects_wrong_scales() {
+    struct HalfScaleLier;
+
+    impl Mechanism for HalfScaleLier {
+        fn name(&self) -> &'static str {
+            "half-scale-lier"
+        }
+        fn epsilon(&self) -> f64 {
+            1.0
+        }
+        fn noise_scale_for(&self, _query: &dyn LipschitzQuery) -> f64 {
+            2.0
+        }
+        fn validate(
+            &self,
+            _query: &dyn LipschitzQuery,
+            _database: &[usize],
+        ) -> pufferfish_core::Result<()> {
+            Ok(())
+        }
+        fn release(
+            &self,
+            query: &dyn LipschitzQuery,
+            database: &[usize],
+            rng: &mut dyn rand::RngCore,
+        ) -> pufferfish_core::Result<pufferfish_core::NoisyRelease> {
+            // Samples at half the reported scale — the bug class this suite
+            // exists to catch.
+            let true_values = query.evaluate(database)?;
+            let laplace = pufferfish_core::Laplace::new(1.0)?;
+            let values = true_values
+                .iter()
+                .map(|v| v + laplace.sample(rng))
+                .collect();
+            Ok(pufferfish_core::NoisyRelease {
+                values,
+                true_values,
+                scale: self.noise_scale_for(query),
+            })
+        }
+    }
+
+    let query = StateCountQuery::new(1, 3);
+    let stats = collect(&HalfScaleLier, &query, &[1, 0, 1], 0xBAD);
+    assert!(
+        (stats.mad / stats.scale - 1.0).abs() > MAD_TOLERANCE,
+        "a half-scale mechanism must fail the MAD check (got ratio {})",
+        stats.mad / stats.scale
+    );
+}
