@@ -69,7 +69,9 @@ impl EntryDp {
     /// symmetry.
     pub fn privatize<R: Rng + ?Sized>(&self, values: &[f64], rng: &mut R) -> Result<NoisyRelease> {
         let laplace = Laplace::new(self.noise_scale())?;
-        let noisy = values.iter().map(|v| v + laplace.sample(rng)).collect();
+        let mut noise = vec![0.0; values.len()];
+        laplace.sample_into(&mut noise, rng);
+        let noisy = values.iter().zip(&noise).map(|(v, n)| v + n).collect();
         Ok(NoisyRelease {
             values: noisy,
             true_values: values.to_vec(),

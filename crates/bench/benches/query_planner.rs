@@ -1,6 +1,6 @@
 //! Query-layer benchmark, emitting `BENCH_query.json` at the workspace root.
 //!
-//! Three measurements:
+//! Four measurements:
 //!
 //! * **parse+plan latency** — the cold first plan (pays every mechanism
 //!   probe = one calibration per family) vs. warm replans of the same
@@ -10,21 +10,60 @@
 //!   `MECHANISM auto` against each pinned family over the same seeds: the
 //!   cost model's promise is that auto tracks the best fixed choice.
 //! * **batched-window throughput** — a window sweep executed through the
-//!   fused per-cell `release_batch` plan vs. the same windows released one
-//!   engine call at a time.
+//!   fused batched plan vs. the same windows released one engine call at a
+//!   time.
+//! * **morsel executor** — warm end-to-end morsel execution vs. engine-direct
+//!   `release_batch_refs` calls on a skewed group-by workload (one giant
+//!   cell + many tiny ones), asserting in-suite that (a) end-to-end stays
+//!   within 2× of engine-direct, (b) serial vs. stolen schedules and
+//!   planned vs. direct releases are bitwise-identical, and (c) execution
+//!   allocates less than one window's worth of bytes per window — the
+//!   regression tripwire for re-introducing per-window materialisation.
 //!
 //! The JSON schema is documented in the README ("BENCH_*.json schema").
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use pufferfish_markov::{sample_trajectory, IntervalClassBuilder, MarkovChain};
 use pufferfish_parallel::Parallelism;
 use pufferfish_query::{
-    execute_plan, parse_script, parse_statement, plan_statement, MechanismCatalog, MechanismKind,
-    Table,
+    execute_plan, execute_plan_with, parse_script, parse_statement, plan_statement, ExecOptions,
+    MechanismCatalog, MechanismKind, Table,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// A byte-counting wrapper over the system allocator: the morsel-executor
+/// bench asserts an allocation budget per released window, which is the
+/// cheapest reliable tripwire for "someone re-introduced per-window `Vec`
+/// materialisation" (each materialised window would add `WINDOW × 8` bytes).
+struct CountingAllocator;
+
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
 
 /// Length of the benchmarked state sequence.
 const SEQUENCE_LENGTH: usize = 400;
@@ -186,12 +225,14 @@ fn bench_batched_windows(json: &mut Vec<String>) {
         .unwrap();
     let query = statement.aggregate.to_query(2, WINDOW).unwrap();
     let budget = pufferfish_core::PrivacyBudget::new(0.5).unwrap();
-    let cell_windows: Vec<Vec<usize>> = plan.cells()[0].windows();
+    let batch = plan.batch();
     let start = Instant::now();
     for seed in 0..ROUNDS as u64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        for window in &cell_windows {
-            engine.release(&*query, window, budget, &mut rng).unwrap();
+        for w in batch.cell_window_range(0) {
+            engine
+                .release(&*query, batch.window(w), budget, &mut rng)
+                .unwrap();
         }
     }
     let unfused_seconds = start.elapsed().as_secs_f64();
@@ -209,19 +250,180 @@ fn bench_batched_windows(json: &mut Vec<String>) {
     ));
 }
 
+/// Records of the skewed group-by workload's giant cell.
+const GIANT_CELL_LENGTH: usize = 2_000;
+/// Number of window-sized tiny cells next to it.
+const TINY_CELLS: usize = 32;
+
+/// A skewed group-by table: one giant cell whose window sweep dominates the
+/// work, plus many tiny single-window cells — the shape that serialised the
+/// tail under whole-cell fan-out and that morsels exist to split.
+fn skewed_table() -> Table {
+    let truth = MarkovChain::new(vec![0.5, 0.5], vec![vec![0.62, 0.38], vec![0.41, 0.59]]).unwrap();
+    let mut rng = StdRng::seed_from_u64(4047);
+    let mut groups = vec![(
+        "giant".to_string(),
+        sample_trajectory(&truth, GIANT_CELL_LENGTH, &mut rng).unwrap(),
+    )];
+    for g in 0..TINY_CELLS {
+        groups.push((
+            format!("tiny-{g:02}"),
+            sample_trajectory(&truth, WINDOW, &mut rng).unwrap(),
+        ));
+    }
+    Table::grouped("skewed", 2, groups).unwrap()
+}
+
+fn bench_morsel_executor(json: &mut Vec<String>) {
+    let catalog = catalog();
+    let table = skewed_table();
+    let statement = parse_statement(&format!(
+        "HISTOGRAM WINDOW {WINDOW} STEP {STEP} GROUP BY key EPSILON 0.5 MECHANISM mqm_approx"
+    ))
+    .unwrap();
+    let plan = plan_statement(&catalog, &statement, &table).unwrap();
+    let batch = plan.batch();
+    let windows = plan.releases();
+    let cells = plan.cell_count();
+
+    // Bitwise contract 1: serial vs. stolen multi-thread small-morsel
+    // schedules agree on every bit.
+    let serial = execute_plan(&plan, 1, Parallelism::Serial).unwrap();
+    let stolen = execute_plan_with(
+        &plan,
+        1,
+        &ExecOptions {
+            parallelism: Parallelism::Threads(4),
+            morsel_windows: Some(8),
+        },
+    )
+    .unwrap();
+    assert_eq!(serial, stolen, "serial vs stolen schedules must agree");
+
+    // Bitwise contract 2: planned execution equals direct engine calls with
+    // the published per-cell seed derivation.
+    let engine = catalog
+        .engine_for(MechanismKind::MqmApprox, WINDOW)
+        .unwrap();
+    let query = statement.aggregate.to_query(2, WINDOW).unwrap();
+    let budget = pufferfish_core::PrivacyBudget::new(0.5).unwrap();
+    for cell in 0..cells {
+        let slices: Vec<&[usize]> = batch
+            .cell_window_range(cell)
+            .map(|w| batch.window(w))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(pufferfish_query::cell_seed(1, cell));
+        let direct = engine
+            .release_batch_refs(&*query, &slices, budget, &mut rng)
+            .unwrap();
+        let planned = serial.cells()[cell].releases();
+        assert_eq!(planned.len(), direct.len());
+        for (a, b) in planned.iter().zip(&direct) {
+            assert_eq!(a.values.len(), b.values.len());
+            for (x, y) in a.values.iter().zip(&b.values) {
+                assert_eq!(x.to_bits(), y.to_bits(), "planned vs direct diverged");
+            }
+        }
+    }
+
+    const ROUNDS: usize = 100;
+
+    // Engine-direct: the mechanism invoked straight on borrowed window
+    // slices, per cell — no planning, no result assembly. This is the
+    // executor's speed-of-light.
+    let start = Instant::now();
+    for seed in 0..ROUNDS as u64 {
+        for cell in 0..cells {
+            let slices: Vec<&[usize]> = batch
+                .cell_window_range(cell)
+                .map(|w| batch.window(w))
+                .collect();
+            let mut rng = StdRng::seed_from_u64(pufferfish_query::cell_seed(seed, cell));
+            let direct = engine
+                .release_batch_refs(&*query, &slices, budget, &mut rng)
+                .unwrap();
+            assert_eq!(direct.len(), slices.len());
+        }
+    }
+    let direct_seconds = start.elapsed().as_secs_f64();
+    let direct_per_sec = (windows * ROUNDS) as f64 / direct_seconds;
+
+    // Morsel end-to-end, with the allocation tripwire around it: borrowed
+    // slices mean execution must allocate (much) less than one materialised
+    // window's worth of bytes per window released.
+    let bytes_before = ALLOCATED_BYTES.load(Ordering::Relaxed);
+    let start = Instant::now();
+    for seed in 0..ROUNDS as u64 {
+        let result = execute_plan(&plan, seed, Parallelism::Auto).unwrap();
+        assert_eq!(result.releases(), windows);
+    }
+    let morsel_seconds = start.elapsed().as_secs_f64();
+    let morsel_per_sec = (windows * ROUNDS) as f64 / morsel_seconds;
+    let bytes_per_window =
+        (ALLOCATED_BYTES.load(Ordering::Relaxed) - bytes_before) as f64 / (windows * ROUNDS) as f64;
+    assert!(
+        bytes_per_window < (WINDOW * 8) as f64,
+        "execution allocates {bytes_per_window:.0} bytes/window — at least one \
+         materialised copy of every {WINDOW}-record window; borrow from TableBatch instead"
+    );
+
+    // Stolen multi-thread schedule, reported for comparison (unasserted:
+    // thread-count and contention vary by host).
+    let start = Instant::now();
+    for seed in 0..ROUNDS as u64 {
+        let result = execute_plan_with(
+            &plan,
+            seed,
+            &ExecOptions {
+                parallelism: Parallelism::Threads(4),
+                morsel_windows: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(result.releases(), windows);
+    }
+    let threads4_seconds = start.elapsed().as_secs_f64();
+    let threads4_per_sec = (windows * ROUNDS) as f64 / threads4_seconds;
+
+    // The acceptance gate: warm end-to-end within 2× of engine-direct.
+    assert!(
+        morsel_per_sec * 2.0 >= direct_per_sec,
+        "morsel end-to-end {morsel_per_sec:.0} windows/s fell more than 2x below \
+         engine-direct {direct_per_sec:.0} windows/s"
+    );
+
+    println!(
+        "morsel executor: engine-direct {direct_per_sec:.0} windows/s, morsel end-to-end \
+         {morsel_per_sec:.0} windows/s, threads-4 {threads4_per_sec:.0} windows/s \
+         ({cells} cells, {windows} windows, {bytes_per_window:.0} B/window)"
+    );
+    json.push(format!(
+        "  \"morsel_executor\": {{\"cells\": {cells}, \"windows\": {windows}, \
+         \"giant_cell_records\": {GIANT_CELL_LENGTH}, \"rounds\": {ROUNDS}, \
+         \"engine_direct_windows_per_sec\": {direct_per_sec:.0}, \
+         \"morsel_windows_per_sec\": {morsel_per_sec:.0}, \
+         \"morsel_threads4_windows_per_sec\": {threads4_per_sec:.0}, \
+         \"bytes_per_window\": {bytes_per_window:.1}, \
+         \"bitwise_serial_vs_stolen\": true, \"bitwise_planned_vs_direct\": true}}"
+    ));
+}
+
 fn main() {
     println!("== query_planner ==");
     let mut json: Vec<String> = vec![
         "  \"bench\": \"query_planner\"".to_string(),
         format!(
             "  \"config\": {{\"sequence_length\": {SEQUENCE_LENGTH}, \"window\": {WINDOW}, \
-             \"step\": {STEP}, \"error_seeds\": {ERROR_SEEDS}}}"
+             \"step\": {STEP}, \"error_seeds\": {ERROR_SEEDS}, \
+             \"host_parallelism\": {}}}",
+            std::thread::available_parallelism().map_or(1, |n| n.get())
         ),
     ];
 
     bench_parse_plan(&mut json);
     bench_auto_vs_fixed(&mut json);
     bench_batched_windows(&mut json);
+    bench_morsel_executor(&mut json);
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
     let contents = format!("{{\n{}\n}}\n", json.join(",\n"));

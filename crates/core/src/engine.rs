@@ -636,6 +636,24 @@ impl ReleaseEngine {
             .release_batch(query, databases, rng)
     }
 
+    /// [`ReleaseEngine::release_batch`] over borrowed window slices — one
+    /// (cached) calibration, no per-window materialization. This is the
+    /// entry point the morsel executor uses with windows sliced straight
+    /// out of a columnar batch.
+    ///
+    /// # Errors
+    /// Fails on the first database that fails validation or evaluation.
+    pub fn release_batch_refs(
+        &self,
+        query: &dyn LipschitzQuery,
+        databases: &[&[usize]],
+        budget: PrivacyBudget,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<NoisyRelease>> {
+        self.mechanism(query, budget)?
+            .release_batch_refs(query, databases, rng)
+    }
+
     /// A snapshot of the hit/miss/coalesced counters (see [`CacheStats`] for
     /// the memory-ordering contract).
     pub fn stats(&self) -> CacheStats {

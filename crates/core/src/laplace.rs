@@ -58,9 +58,35 @@ impl Laplace {
         -self.scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
     }
 
-    /// Draws `n` independent samples.
+    /// Fills `out` with independent samples via a two-pass, branch-free
+    /// batched inverse-CDF transform.
+    ///
+    /// Pass one pre-draws `out.len()` uniforms into the slice (one
+    /// `gen::<f64>()` each — exactly the stream [`Laplace::sample`]
+    /// consumes); pass two transforms them in place. The result is
+    /// **bitwise-identical** to calling [`Laplace::sample`] `out.len()`
+    /// times on the same rng, which is what lets the query executor compute
+    /// per-morsel rng offsets as `windows × dimension` draws up front.
+    pub fn sample_into<R: Rng + ?Sized>(&self, out: &mut [f64], rng: &mut R) {
+        for slot in out.iter_mut() {
+            *slot = rng.gen::<f64>();
+        }
+        for slot in out.iter_mut() {
+            // u uniform in (-0.5, 0.5]; the sign of u picks the tail.
+            let u = *slot - 0.5;
+            *slot = -self.scale * u.signum() * (1.0 - 2.0 * u.abs()).ln();
+        }
+    }
+
+    /// Draws `n` independent samples into a fresh vector.
+    #[deprecated(
+        since = "0.6.0",
+        note = "allocates per call; use `sample_into` with a reusable buffer"
+    )]
     pub fn sample_vec<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<f64> {
-        (0..n).map(|_| self.sample(rng)).collect()
+        let mut out = vec![0.0; n];
+        self.sample_into(&mut out, rng);
+        out
     }
 }
 
@@ -99,7 +125,8 @@ mod tests {
         let lap = Laplace::new(3.0).unwrap();
         let mut rng = StdRng::seed_from_u64(123);
         let n = 200_000;
-        let samples = lap.sample_vec(n, &mut rng);
+        let mut samples = vec![0.0; n];
+        lap.sample_into(&mut samples, &mut rng);
         assert_eq!(samples.len(), n);
         let mean: f64 = samples.iter().sum::<f64>() / n as f64;
         let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
@@ -116,7 +143,8 @@ mod tests {
         let lap = Laplace::new(1.0).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         let n = 100_000;
-        let samples = lap.sample_vec(n, &mut rng);
+        let mut samples = vec![0.0; n];
+        lap.sample_into(&mut samples, &mut rng);
         for threshold in [-2.0, -0.5, 0.0, 0.5, 2.0] {
             let empirical = samples.iter().filter(|&&x| x <= threshold).count() as f64 / n as f64;
             assert!(
@@ -125,6 +153,41 @@ mod tests {
                 lap.cdf(threshold)
             );
         }
+    }
+
+    #[test]
+    fn sample_into_is_bitwise_identical_to_repeated_sample() {
+        // The batched executor relies on this exactly: a window of n draws
+        // via `sample_into` consumes the same rng stream and produces the
+        // same bits as n scalar `sample` calls.
+        let lap = Laplace::new(0.7).unwrap();
+        for n in [0, 1, 2, 7, 64, 257] {
+            let mut scalar_rng = StdRng::seed_from_u64(99);
+            let scalar: Vec<f64> = (0..n).map(|_| lap.sample(&mut scalar_rng)).collect();
+            let mut batched_rng = StdRng::seed_from_u64(99);
+            let mut batched = vec![0.0; n];
+            lap.sample_into(&mut batched, &mut batched_rng);
+            for (a, b) in scalar.iter().zip(&batched) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            // Both rngs ended at the same stream position.
+            assert_eq!(
+                lap.sample(&mut scalar_rng).to_bits(),
+                lap.sample(&mut batched_rng).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_sample_vec_forwards_to_sample_into() {
+        let lap = Laplace::new(1.3).unwrap();
+        let mut vec_rng = StdRng::seed_from_u64(5);
+        let via_vec = lap.sample_vec(10, &mut vec_rng);
+        let mut into_rng = StdRng::seed_from_u64(5);
+        let mut via_into = vec![0.0; 10];
+        lap.sample_into(&mut via_into, &mut into_rng);
+        assert_eq!(via_vec, via_into);
     }
 
     #[test]

@@ -88,10 +88,9 @@ pub trait Mechanism: Send + Sync {
         let scale = self.noise_scale_for(query);
         let values = if scale > 0.0 {
             let laplace = Laplace::new(scale)?;
-            true_values
-                .iter()
-                .map(|v| v + laplace.sample(rng))
-                .collect()
+            let mut noise = vec![0.0; true_values.len()];
+            laplace.sample_into(&mut noise, rng);
+            true_values.iter().zip(&noise).map(|(v, n)| v + n).collect()
         } else {
             true_values.clone()
         };
@@ -116,9 +115,55 @@ pub trait Mechanism: Send + Sync {
         databases: &[Vec<usize>],
         rng: &mut dyn RngCore,
     ) -> Result<Vec<NoisyRelease>> {
+        let refs: Vec<&[usize]> = databases.iter().map(Vec::as_slice).collect();
+        self.release_batch_refs(query, &refs, rng)
+    }
+
+    /// [`Mechanism::release_batch`] over *borrowed* window slices — the hot
+    /// path the morsel executor calls with windows sliced straight out of a
+    /// columnar batch, no per-window materialization.
+    ///
+    /// This is the real batched implementation: the noise scale and the
+    /// Laplace distribution are hoisted out of the loop and a single noise
+    /// buffer is refilled per window via [`Laplace::sample_into`]. Each
+    /// window consumes exactly `dimension` draws in window order, so the
+    /// noise stream — and therefore every released bit — matches a sequence
+    /// of scalar [`Mechanism::release`] calls on the same rng.
+    ///
+    /// # Errors
+    /// Fails on the first database that fails validation or evaluation.
+    fn release_batch_refs(
+        &self,
+        query: &dyn LipschitzQuery,
+        databases: &[&[usize]],
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<NoisyRelease>> {
+        let scale = self.noise_scale_for(query);
+        let laplace = if scale > 0.0 {
+            Some(Laplace::new(scale)?)
+        } else {
+            None
+        };
+        let mut noise: Vec<f64> = Vec::new();
         databases
             .iter()
-            .map(|database| self.release(query, database, rng))
+            .map(|&database| {
+                self.validate(query, database)?;
+                let true_values = query.evaluate(database)?;
+                let values = match &laplace {
+                    Some(laplace) => {
+                        noise.resize(true_values.len(), 0.0);
+                        laplace.sample_into(&mut noise, rng);
+                        true_values.iter().zip(&noise).map(|(v, n)| v + n).collect()
+                    }
+                    None => true_values.clone(),
+                };
+                Ok(NoisyRelease {
+                    values,
+                    true_values,
+                    scale,
+                })
+            })
             .collect()
     }
 

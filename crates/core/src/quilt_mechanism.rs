@@ -197,10 +197,9 @@ impl MarkovQuiltMechanism {
         let true_values = query.evaluate(database)?;
         let scale = self.noise_scale_for(query);
         let laplace = Laplace::new(scale)?;
-        let values = true_values
-            .iter()
-            .map(|v| v + laplace.sample(rng))
-            .collect();
+        let mut noise = vec![0.0; true_values.len()];
+        laplace.sample_into(&mut noise, rng);
+        let values = true_values.iter().zip(&noise).map(|(v, n)| v + n).collect();
         Ok(NoisyRelease {
             values,
             true_values,

@@ -172,10 +172,9 @@ impl WassersteinMechanism {
         let scale = self.noise_scale();
         let values = if scale > 0.0 {
             let laplace = Laplace::new(scale)?;
-            true_values
-                .iter()
-                .map(|v| v + laplace.sample(rng))
-                .collect()
+            let mut noise = vec![0.0; true_values.len()];
+            laplace.sample_into(&mut noise, rng);
+            true_values.iter().zip(&noise).map(|(v, n)| v + n).collect()
         } else {
             true_values.clone()
         };

@@ -23,8 +23,10 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+mod morsel;
 mod pool;
 
+pub use morsel::{morsel_run, morsels, try_morsel_run, Morsel};
 pub use pool::WorkerPool;
 
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,184 @@
+//! The columnar window batch the morsel executor slices from.
+//!
+//! A plan used to hold one `PlannedCell` per group, each owning a copy of
+//! the group's sequence, and the executor *materialised every window of a
+//! cell as an owned `Vec`* on each execution — a `WINDOW w STEP s` sweep
+//! duplicated the data `w/s` times per run. [`TableBatch`] replaces that
+//! with one flat, dictionary-encoded state column plus offset arrays, so a
+//! window is a **borrowed slice** `&states[start..end]` and execution
+//! allocates nothing per window:
+//!
+//! ```text
+//! states:              [ cell0 records … | cell1 records … | cell2 … ]
+//! cell_offsets:        [ 0, |cell0|, |cell0|+|cell1|, … ]            (cells + 1)
+//! window_starts/ends:  absolute offsets into `states`, window-major
+//! window_cell_offsets: [ 0, windows(cell0), windows(cell0..=1), … ]  (cells + 1)
+//! ```
+//!
+//! Windows are numbered **globally** in cell-major sweep order — the flat
+//! domain the morsel scheduler partitions — and
+//! [`cell_of_window`](TableBatch::cell_of_window) inverts the numbering by
+//! binary search, so a morsel landing anywhere in the domain can recover
+//! which cell (and therefore which RNG stream) each of its windows belongs
+//! to.
+
+use std::ops::Range;
+
+/// One cell's planner output: `(key, sequence, relative window bounds)`.
+pub(crate) type CellWindows = (String, Vec<usize>, Vec<(usize, usize)>);
+
+/// A columnar, dictionary-encoded batch of every window a plan releases.
+///
+/// The state column stores the dictionary codes the [`Table`](crate::Table)
+/// already validated (`0..num_states`, indices into the catalog class's
+/// state space); keys are kept per cell, not per record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableBatch {
+    keys: Vec<String>,
+    states: Vec<usize>,
+    cell_offsets: Vec<usize>,
+    window_starts: Vec<usize>,
+    window_ends: Vec<usize>,
+    window_cell_offsets: Vec<usize>,
+}
+
+impl TableBatch {
+    /// Builds the batch from per-cell `(key, sequence, relative window
+    /// bounds)` triples, concatenating the sequences into one column and
+    /// rebasing each cell's window bounds to absolute column offsets.
+    pub(crate) fn from_cells(cells: Vec<CellWindows>) -> Self {
+        let mut batch = TableBatch {
+            keys: Vec::with_capacity(cells.len()),
+            states: Vec::new(),
+            cell_offsets: vec![0],
+            window_starts: Vec::new(),
+            window_ends: Vec::new(),
+            window_cell_offsets: vec![0],
+        };
+        for (key, sequence, bounds) in cells {
+            let base = batch.states.len();
+            batch.keys.push(key);
+            batch.states.extend(sequence);
+            batch.cell_offsets.push(batch.states.len());
+            for (start, end) in bounds {
+                debug_assert!(start <= end && base + end <= batch.states.len());
+                batch.window_starts.push(base + start);
+                batch.window_ends.push(base + end);
+            }
+            batch.window_cell_offsets.push(batch.window_starts.len());
+        }
+        batch
+    }
+
+    /// Number of cells (table groups) in the batch.
+    pub fn num_cells(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Total number of windows across every cell — the flat domain the
+    /// morsel scheduler partitions.
+    pub fn total_windows(&self) -> usize {
+        self.window_starts.len()
+    }
+
+    /// The group key of `cell`.
+    pub fn key(&self, cell: usize) -> &str {
+        &self.keys[cell]
+    }
+
+    /// The full state sequence of `cell`, borrowed from the column.
+    pub fn cell_states(&self, cell: usize) -> &[usize] {
+        &self.states[self.cell_offsets[cell]..self.cell_offsets[cell + 1]]
+    }
+
+    /// The range of **global** window indices belonging to `cell`.
+    pub fn cell_window_range(&self, cell: usize) -> Range<usize> {
+        self.window_cell_offsets[cell]..self.window_cell_offsets[cell + 1]
+    }
+
+    /// Number of windows released over `cell`.
+    pub fn window_count(&self, cell: usize) -> usize {
+        self.cell_window_range(cell).len()
+    }
+
+    /// Global window `window` as a borrowed slice of the state column — the
+    /// zero-allocation access path the executor releases from.
+    pub fn window(&self, window: usize) -> &[usize] {
+        &self.states[self.window_starts[window]..self.window_ends[window]]
+    }
+
+    /// The cell that global window `window` belongs to (binary search over
+    /// the cell offsets).
+    pub fn cell_of_window(&self, window: usize) -> usize {
+        debug_assert!(window < self.total_windows());
+        self.window_cell_offsets.partition_point(|&o| o <= window) - 1
+    }
+
+    /// Exclusive end offset of each of `cell`'s windows **relative to the
+    /// cell's own sequence**, in sweep order — the shape
+    /// [`CellResult::window_ends`](crate::CellResult::window_ends) reports.
+    pub fn window_ends_in_cell(&self, cell: usize) -> Vec<usize> {
+        let base = self.cell_offsets[cell];
+        self.cell_window_range(cell)
+            .map(|w| self.window_ends[w] - base)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> TableBatch {
+        TableBatch::from_cells(vec![
+            ("a".into(), vec![0, 1, 0, 1], vec![(0, 2), (1, 3), (2, 4)]),
+            ("b".into(), vec![1, 1], vec![(0, 2)]),
+            ("c".into(), vec![0, 0, 1], vec![(0, 3)]),
+        ])
+    }
+
+    #[test]
+    fn windows_are_borrowed_slices_of_the_column() {
+        let batch = batch();
+        assert_eq!(batch.num_cells(), 3);
+        assert_eq!(batch.total_windows(), 5);
+        assert_eq!(batch.window(0), &[0, 1]);
+        assert_eq!(batch.window(1), &[1, 0]);
+        assert_eq!(batch.window(2), &[0, 1]);
+        assert_eq!(batch.window(3), &[1, 1]);
+        assert_eq!(batch.window(4), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn cell_lookup_and_ranges() {
+        let batch = batch();
+        assert_eq!(batch.cell_window_range(0), 0..3);
+        assert_eq!(batch.cell_window_range(1), 3..4);
+        assert_eq!(batch.cell_window_range(2), 4..5);
+        for w in 0..batch.total_windows() {
+            let cell = batch.cell_of_window(w);
+            assert!(batch.cell_window_range(cell).contains(&w));
+        }
+        assert_eq!(batch.key(1), "b");
+        assert_eq!(batch.cell_states(2), &[0, 0, 1]);
+        assert_eq!(batch.window_count(0), 3);
+    }
+
+    #[test]
+    fn window_ends_are_relative_to_the_cell() {
+        let batch = batch();
+        assert_eq!(batch.window_ends_in_cell(0), vec![2, 3, 4]);
+        assert_eq!(batch.window_ends_in_cell(1), vec![2]);
+        assert_eq!(batch.window_ends_in_cell(2), vec![3]);
+    }
+
+    #[test]
+    fn empty_and_windowless_cells() {
+        let batch = TableBatch::from_cells(vec![("only".into(), vec![0, 1, 1], vec![(0, 3)])]);
+        assert_eq!(batch.total_windows(), 1);
+        assert_eq!(batch.window(0), batch.cell_states(0));
+        let none = TableBatch::from_cells(Vec::new());
+        assert_eq!(none.num_cells(), 0);
+        assert_eq!(none.total_windows(), 0);
+    }
+}

@@ -35,10 +35,14 @@
 //!   probing is amortised — the winner's release reuses it) and keeps the
 //!   minimum-noise-scale family whose calibration succeeds, falling back
 //!   past `DegenerateClass`/`CannotCalibrate` candidates;
-//! * [`execute_plan`] fuses each cell's window sweep into one batched
-//!   release and fans independent cells out through `pufferfish-parallel`,
-//!   deterministically seeded per cell ([`cell_seed`]) so planned execution
-//!   is **bitwise-identical** to direct mechanism calls under the same seed;
+//! * [`execute_plan`] (and its tunable form [`execute_plan_with`]) slices
+//!   windows straight out of the plan's columnar [`TableBatch`] and
+//!   schedules them as (cell × window-chunk) morsels through
+//!   `pufferfish-parallel`'s work-stealing scheduler, deterministically
+//!   seeded per cell ([`cell_seed`]) with computable per-morsel RNG offsets,
+//!   so planned execution is **bitwise-identical** to direct mechanism calls
+//!   under the same seed — on any thread count, morsel size or steal
+//!   schedule;
 //! * [`QueryService`] fronts the pipeline with per-user admission: the
 //!   plan's total ε (Theorem 4.4 sequential composition within a cell,
 //!   parallel across disjoint groups) is charged through
@@ -76,6 +80,7 @@
 #![deny(unsafe_code)]
 
 pub mod ast;
+mod batch;
 mod catalog;
 mod error;
 mod exec;
@@ -85,11 +90,12 @@ mod service;
 mod table;
 
 pub use ast::{Aggregate, MechanismChoice, MechanismKind, QueryStatement, WindowSpec};
+pub use batch::TableBatch;
 pub use catalog::{CatalogOptions, MechanismCatalog};
 pub use error::QueryError;
-pub use exec::{cell_seed, execute_plan, CellResult, QueryResult};
+pub use exec::{cell_seed, execute_plan, execute_plan_with, CellResult, ExecOptions, QueryResult};
 pub use parser::{parse_script, parse_statement};
-pub use plan::{plan_statement, MechanismProbe, PlannedCell, ProbeSource, QueryPlan};
+pub use plan::{plan_statement, MechanismProbe, ProbeSource, QueryPlan};
 pub use service::{QueryService, QueryServiceConfig};
 pub use table::{Table, TableGroup};
 

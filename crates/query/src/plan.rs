@@ -39,6 +39,7 @@ use std::sync::Arc;
 use pufferfish_core::{LipschitzQuery, PrivacyBudget, ReleaseEngine};
 
 use crate::ast::{MechanismChoice, MechanismKind, QueryStatement};
+use crate::batch::TableBatch;
 use crate::catalog::MechanismCatalog;
 use crate::table::Table;
 use crate::QueryError;
@@ -79,56 +80,13 @@ pub struct MechanismProbe {
     pub source: ProbeSource,
 }
 
-/// One physical cell: a group key, one copy of the group's sequence and the
-/// window *offsets* released over it.
-///
-/// Windows are stored as `(start, end)` bounds, not materialised vectors —
-/// a `WINDOW 500 STEP 1` sweep over a long sequence would otherwise
-/// duplicate the data `width/step` times for the plan's lifetime (and the
-/// `EXPLAIN` path holds plans without ever executing them). The executor
-/// materialises each cell's windows transiently at release time.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PlannedCell {
-    key: String,
-    sequence: Vec<usize>,
-    bounds: Vec<(usize, usize)>,
-}
-
-impl PlannedCell {
-    /// The group key this cell answers for.
-    pub fn key(&self) -> &str {
-        &self.key
-    }
-
-    /// Number of window releases this cell performs.
-    pub fn window_count(&self) -> usize {
-        self.bounds.len()
-    }
-
-    /// The `(start, end)` offsets of each window within the group's
-    /// sequence, in sweep order (a single full-sequence window when the
-    /// statement has no `WINDOW` clause).
-    pub fn window_bounds(&self) -> &[(usize, usize)] {
-        &self.bounds
-    }
-
-    /// Exclusive end offset of each window within the group's sequence.
-    pub fn window_ends(&self) -> Vec<usize> {
-        self.bounds.iter().map(|&(_, end)| end).collect()
-    }
-
-    /// Materialises the window databases (allocates; the plan itself only
-    /// holds offsets plus one copy of the sequence).
-    pub fn windows(&self) -> Vec<Vec<usize>> {
-        self.bounds
-            .iter()
-            .map(|&(start, end)| self.sequence[start..end].to_vec())
-            .collect()
-    }
-}
-
 /// An executable physical plan: the chosen mechanism's engine, the concrete
-/// query, the priced ε and the per-cell window batches.
+/// query, the priced ε and the columnar window batch.
+///
+/// The plan stores windows as a [`TableBatch`] — one dictionary-encoded
+/// state column plus offset arrays, never materialised per-window `Vec`s —
+/// so holding a plan (the `EXPLAIN` path) costs one copy of the data and
+/// executing it slices windows straight out of the column.
 pub struct QueryPlan {
     statement: QueryStatement,
     chosen: MechanismKind,
@@ -138,7 +96,7 @@ pub struct QueryPlan {
     pub(crate) engine: Arc<ReleaseEngine>,
     pub(crate) query: Arc<dyn LipschitzQuery>,
     pub(crate) budget: PrivacyBudget,
-    cells: Vec<PlannedCell>,
+    batch: TableBatch,
 }
 
 impl QueryPlan {
@@ -177,15 +135,21 @@ impl QueryPlan {
         self.total_epsilon
     }
 
-    /// The physical cells, in table group order.
-    pub fn cells(&self) -> &[PlannedCell] {
-        &self.cells
+    /// The columnar window batch the executor slices from, cells in table
+    /// group order.
+    pub fn batch(&self) -> &TableBatch {
+        &self.batch
+    }
+
+    /// Number of group-by cells the plan answers for.
+    pub fn cell_count(&self) -> usize {
+        self.batch.num_cells()
     }
 
     /// Total number of noisy releases the plan performs (windows summed over
     /// cells).
     pub fn releases(&self) -> usize {
-        self.cells.iter().map(PlannedCell::window_count).sum()
+        self.batch.total_windows()
     }
 }
 
@@ -196,7 +160,7 @@ impl std::fmt::Debug for QueryPlan {
             .field("chosen", &self.chosen)
             .field("noise_scale", &self.noise_scale)
             .field("total_epsilon", &self.total_epsilon)
-            .field("cells", &self.cells.len())
+            .field("cells", &self.cell_count())
             .field("releases", &self.releases())
             .finish()
     }
@@ -276,11 +240,7 @@ pub fn plan_statement(
             }
             None => vec![(0, group.len())],
         };
-        cells.push(PlannedCell {
-            key: group.key().to_string(),
-            sequence: group.sequence().to_vec(),
-            bounds,
-        });
+        cells.push((group.key().to_string(), group.sequence().to_vec(), bounds));
     }
 
     // 2. Concrete query and budget.
@@ -375,7 +335,7 @@ pub fn plan_statement(
     // 4. Price the plan.
     let max_releases_per_cell = cells
         .iter()
-        .map(PlannedCell::window_count)
+        .map(|(_, _, bounds)| bounds.len())
         .max()
         .unwrap_or(0);
     let total_epsilon = statement.epsilon * max_releases_per_cell as f64;
@@ -389,7 +349,7 @@ pub fn plan_statement(
         engine,
         query,
         budget,
-        cells,
+        batch: TableBatch::from_cells(cells),
     })
 }
 
@@ -438,11 +398,11 @@ mod tests {
                 .unwrap();
         let plan = plan_statement(&catalog, &statement, &chain_table(30)).unwrap();
         assert_eq!(plan.chosen(), MechanismKind::MqmApprox);
-        assert_eq!(plan.cells().len(), 1);
-        let cell = &plan.cells()[0];
-        assert_eq!(cell.key(), "chain");
-        assert_eq!(cell.window_ends(), vec![10, 15, 20, 25, 30]);
-        assert!(cell.windows().iter().all(|w| w.len() == 10));
+        let batch = plan.batch();
+        assert_eq!(plan.cell_count(), 1);
+        assert_eq!(batch.key(0), "chain");
+        assert_eq!(batch.window_ends_in_cell(0), vec![10, 15, 20, 25, 30]);
+        assert!((0..batch.total_windows()).all(|w| batch.window(w).len() == 10));
         assert_eq!(plan.releases(), 5);
         // Five sequential releases at ε = 0.1 compose to 0.5.
         assert!((plan.total_epsilon() - 0.5).abs() < 1e-12);
@@ -464,9 +424,9 @@ mod tests {
             parse_statement("HISTOGRAM WINDOW 10 GROUP BY user EPSILON 0.2 MECHANISM mqm_approx")
                 .unwrap();
         let plan = plan_statement(&catalog, &statement, &table).unwrap();
-        assert_eq!(plan.cells().len(), 2);
-        assert_eq!(plan.cells()[0].window_count(), 2);
-        assert_eq!(plan.cells()[1].window_count(), 3);
+        assert_eq!(plan.cell_count(), 2);
+        assert_eq!(plan.batch().window_count(0), 2);
+        assert_eq!(plan.batch().window_count(1), 3);
         // Priced by the worst individual: 3 tumbling windows × 0.2.
         assert!((plan.total_epsilon() - 0.6).abs() < 1e-12);
         // Ungrouped over two groups is refused.

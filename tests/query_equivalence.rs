@@ -22,6 +22,16 @@ use pufferfish_query::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// The execution policy under test: `default`, unless the CI matrix pinned
+/// an explicit thread count via `PUFFERFISH_TEST_THREADS`.
+fn test_parallelism(default: Parallelism) -> Parallelism {
+    std::env::var("PUFFERFISH_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Parallelism::Threads)
+        .unwrap_or(default)
+}
+
 /// A weakly correlated binary class: every registered mechanism family
 /// (including GK16, whose influence norm must stay below 1) calibrates.
 fn weak_class() -> MarkovChainClass {
@@ -100,7 +110,7 @@ proptest! {
         );
         let statement = parse_statement(&text).unwrap();
         let plan = plan_statement(&catalog, &statement, &table).unwrap();
-        let result = execute_plan(&plan, seed, Parallelism::Auto).unwrap();
+        let result = execute_plan(&plan, seed, test_parallelism(Parallelism::Auto)).unwrap();
 
         // The direct call a caller would have written by hand.
         let budget = PrivacyBudget::new(epsilon).unwrap();
@@ -149,7 +159,8 @@ proptest! {
         );
         let statement = parse_statement(&text).unwrap();
         let plan = plan_statement(&catalog, &statement, &table).unwrap();
-        let result = execute_plan(&plan, seed, Parallelism::Threads(threads)).unwrap();
+        let result =
+            execute_plan(&plan, seed, test_parallelism(Parallelism::Threads(threads))).unwrap();
 
         let budget = PrivacyBudget::new(epsilon).unwrap();
         let mechanism = direct_mechanism(plan.chosen(), &class, width, budget);
