@@ -1,0 +1,1119 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! u32  frame_len   — byte length of everything after this field
+//! u32  magic       — 0x4646_5550 ("PUFF" as little-endian bytes)
+//! u8   version     — protocol version, currently 1
+//! u8   kind        — frame type discriminant
+//! u64  seq         — client-chosen sequence number, echoed in the response
+//! …    body        — type-specific fields
+//! ```
+//!
+//! with every multi-byte integer little-endian. The `seq` field is what
+//! makes connections *pipelined*: a client may have many requests in flight
+//! and the server answers each as soon as its release completes, so
+//! responses can return out of order — the sequence number is the only way
+//! to match them back up.
+//!
+//! Decoding is defensive end to end: a declared frame length beyond the
+//! negotiated maximum is [`FrameError::Oversized`] *before* any allocation,
+//! every collection count inside a body is checked against the bytes that
+//! actually remain, and trailing garbage is [`FrameError::Malformed`]. No
+//! input can make the decoder panic or allocate unboundedly — the property
+//! the adversarial codec tests pin down.
+
+use std::sync::Arc;
+
+use pufferfish_core::queries::{
+    LipschitzQuery, MeanStateQuery, RangeCountQuery, RelativeFrequencyHistogram, StateCountQuery,
+    StateFrequencyQuery,
+};
+use pufferfish_service::ServiceStats;
+
+/// The four magic bytes every frame starts with: `b"PUFF"` on the wire.
+pub const MAGIC: u32 = 0x4646_5550;
+/// The protocol version this crate speaks.
+pub const VERSION: u8 = 1;
+/// Default cap on `frame_len` (1 MiB): frames declaring more are refused
+/// before any allocation.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 1 << 20;
+/// Bytes of fixed header after the length prefix (magic + version + kind +
+/// seq) — the minimum legal `frame_len`.
+pub const HEADER_LEN: usize = 14;
+
+/// Typed decode/encode failures. Every malformed input maps to exactly one
+/// of these — never a panic, never an unbounded allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The frame did not start with [`MAGIC`].
+    BadMagic {
+        /// The four bytes found instead.
+        found: u32,
+    },
+    /// The frame declared a protocol version this crate does not speak.
+    UnsupportedVersion {
+        /// The version found.
+        found: u8,
+    },
+    /// The frame kind discriminant is not one this crate knows.
+    UnknownKind {
+        /// The discriminant found.
+        found: u8,
+    },
+    /// The input ended before the frame did. In streaming contexts this
+    /// means "read more bytes"; for a complete message it is an error.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes that were actually available.
+        available: usize,
+    },
+    /// The declared frame length exceeds the negotiated maximum. Refused
+    /// before allocating anything.
+    Oversized {
+        /// The declared length.
+        declared: u32,
+        /// The maximum the decoder accepts.
+        max: u32,
+    },
+    /// The frame parsed structurally but its body is inconsistent (bad
+    /// UTF-8, a collection count larger than the remaining bytes, trailing
+    /// garbage, an unknown error code, …).
+    Malformed(String),
+    /// The value cannot be represented on the wire (a state outside `u16`,
+    /// a frame larger than the maximum).
+    Unencodable(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic { found } => {
+                write!(f, "bad magic 0x{found:08x} (expected 0x{MAGIC:08x})")
+            }
+            FrameError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported protocol version {found} (speaking {VERSION})"
+                )
+            }
+            FrameError::UnknownKind { found } => write!(f, "unknown frame kind 0x{found:02x}"),
+            FrameError::Truncated { needed, available } => {
+                write!(f, "truncated frame: needed {needed} bytes, had {available}")
+            }
+            FrameError::Oversized { declared, max } => {
+                write!(f, "frame declares {declared} bytes, maximum is {max}")
+            }
+            FrameError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+            FrameError::Unencodable(msg) => write!(f, "unencodable frame: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Machine-readable reason inside an [`Frame::Error`] response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The request frame was undecodable or semantically invalid.
+    Malformed = 1,
+    /// A request arrived before the connection's HELLO.
+    NotHello = 2,
+    /// Calibration or release failed in the mechanism layer.
+    Mechanism = 3,
+    /// A QUERY frame named a table the server does not serve.
+    TableNotFound = 4,
+    /// A QUERY frame's statement did not parse.
+    Parse = 5,
+    /// The server is shutting down.
+    Shutdown = 6,
+    /// The server is at its connection limit.
+    TooManyConnections = 7,
+    /// The request names a capability this server does not expose (e.g. a
+    /// QUERY frame against a release-only server, or an unplannable
+    /// statement).
+    Unsupported = 8,
+    /// An internal serving failure (e.g. the shutdown drain deadline
+    /// expired before the release completed).
+    Internal = 9,
+}
+
+impl ErrorCode {
+    fn from_u16(value: u16) -> Option<Self> {
+        Some(match value {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::NotHello,
+            3 => ErrorCode::Mechanism,
+            4 => ErrorCode::TableNotFound,
+            5 => ErrorCode::Parse,
+            6 => ErrorCode::Shutdown,
+            7 => ErrorCode::TooManyConnections,
+            8 => ErrorCode::Unsupported,
+            9 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::NotHello => "not-hello",
+            ErrorCode::Mechanism => "mechanism",
+            ErrorCode::TableNotFound => "table-not-found",
+            ErrorCode::Parse => "parse",
+            ErrorCode::Shutdown => "shutdown",
+            ErrorCode::TooManyConnections => "too-many-connections",
+            ErrorCode::Unsupported => "unsupported",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A release query in wire form: the closed set of
+/// [`LipschitzQuery`] shapes the protocol can name, with
+/// [`WireQuery::build`] mapping each onto the core implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireQuery {
+    /// [`StateFrequencyQuery`]: relative frequency of one state.
+    StateFrequency {
+        /// The state whose frequency is released.
+        state: u32,
+        /// Expected database length.
+        length: u32,
+    },
+    /// [`StateCountQuery`]: absolute count of one state.
+    StateCount {
+        /// The state whose count is released.
+        state: u32,
+        /// Expected database length.
+        length: u32,
+    },
+    /// [`RelativeFrequencyHistogram`]: the full frequency histogram.
+    Histogram {
+        /// Number of states in the histogram.
+        num_states: u32,
+        /// Expected database length.
+        length: u32,
+    },
+    /// [`RangeCountQuery`]: count of events in `[lo, hi]`.
+    RangeCount {
+        /// Inclusive lower state.
+        lo: u32,
+        /// Inclusive upper state.
+        hi: u32,
+        /// Number of states in the space.
+        num_states: u32,
+        /// Expected database length.
+        length: u32,
+    },
+    /// [`MeanStateQuery`]: mean state index.
+    MeanState {
+        /// Number of states in the space.
+        num_states: u32,
+        /// Expected database length.
+        length: u32,
+    },
+}
+
+impl WireQuery {
+    /// Instantiates the core query this wire form names.
+    ///
+    /// # Errors
+    /// [`pufferfish_core::PufferfishError`] when the parameters are invalid
+    /// (empty histogram, inverted range, …) — surfaced to the client as a
+    /// [`Frame::Error`] with [`ErrorCode::Malformed`].
+    pub fn build(&self) -> pufferfish_core::Result<Arc<dyn LipschitzQuery>> {
+        Ok(match *self {
+            WireQuery::StateFrequency { state, length } => {
+                Arc::new(StateFrequencyQuery::new(state as usize, length as usize))
+            }
+            WireQuery::StateCount { state, length } => {
+                Arc::new(StateCountQuery::new(state as usize, length as usize))
+            }
+            WireQuery::Histogram { num_states, length } => Arc::new(
+                RelativeFrequencyHistogram::new(num_states as usize, length as usize)?,
+            ),
+            WireQuery::RangeCount {
+                lo,
+                hi,
+                num_states,
+                length,
+            } => Arc::new(RangeCountQuery::new(
+                lo as usize,
+                hi as usize,
+                num_states as usize,
+                length as usize,
+            )?),
+            WireQuery::MeanState { num_states, length } => {
+                Arc::new(MeanStateQuery::new(num_states as usize, length as usize)?)
+            }
+        })
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            WireQuery::StateFrequency { .. } => 0,
+            WireQuery::StateCount { .. } => 1,
+            WireQuery::Histogram { .. } => 2,
+            WireQuery::RangeCount { .. } => 3,
+            WireQuery::MeanState { .. } => 4,
+        }
+    }
+}
+
+/// The numeric image of [`ServiceStats`] carried by a
+/// [`Frame::StatsOk`] response.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WireStats {
+    /// Calibration-cache hits.
+    pub hits: u64,
+    /// Calibration-cache misses.
+    pub misses: u64,
+    /// Stampedes coalesced into an in-flight calibration.
+    pub coalesced: u64,
+    /// Distinct calibrations currently cached.
+    pub cached_calibrations: u64,
+    /// Requests admitted but not yet picked up by a worker.
+    pub queue_depth: u64,
+    /// Admission-queue capacity.
+    pub queue_capacity: u64,
+    /// Submissions refused at capacity (back-pressure events).
+    pub queue_refusals: u64,
+    /// Deepest the admission queue has ever been.
+    pub queue_high_water: u64,
+    /// Requests fulfilled so far.
+    pub served: u64,
+    /// Users with at least one recorded spend.
+    pub users: u64,
+    /// Composed ε spend summed over all users.
+    pub spent_epsilon: f64,
+}
+
+impl From<ServiceStats> for WireStats {
+    fn from(stats: ServiceStats) -> Self {
+        WireStats {
+            hits: stats.cache.hits,
+            misses: stats.cache.misses,
+            coalesced: stats.cache.coalesced,
+            cached_calibrations: stats.cached_calibrations as u64,
+            queue_depth: stats.queue_depth as u64,
+            queue_capacity: stats.queue_capacity as u64,
+            queue_refusals: stats.queue_refusals,
+            queue_high_water: stats.queue_high_water as u64,
+            served: stats.served,
+            users: stats.users as u64,
+            spent_epsilon: stats.spent_epsilon,
+        }
+    }
+}
+
+/// One window's released values inside a [`WireCell`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireWindow {
+    /// Exclusive end offset of the window within the cell's sequence.
+    pub end: u32,
+    /// The noisy released values (true values never cross the wire).
+    pub values: Vec<f64>,
+}
+
+/// One group-by cell of a query result in wire form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireCell {
+    /// The group key.
+    pub key: String,
+    /// Per-window releases, in window order.
+    pub windows: Vec<WireWindow>,
+}
+
+/// A query result in wire form — the payload of [`Frame::QueryOk`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireQueryResult {
+    /// The mechanism family the planner chose (its display name).
+    pub mechanism: String,
+    /// The Laplace scale every release applied.
+    pub noise_scale: f64,
+    /// The total ε the query was charged.
+    pub total_epsilon: f64,
+    /// Per-cell results, in table group order.
+    pub cells: Vec<WireCell>,
+}
+
+/// One protocol frame. Kinds `0x01–0x05` are requests (client → server),
+/// `0x81–0x87` are responses (server → client).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Authenticates the connection under a tenant name. Must be the first
+    /// frame on every connection; the tenant scopes every per-frame user id
+    /// (`BudgetAccountant` charges `tenant#user`), so no connection can
+    /// spend another tenant's budgets by quoting a raw user string.
+    Hello {
+        /// The tenant every later frame's user id is scoped under.
+        tenant: String,
+    },
+    /// One release request.
+    Release {
+        /// The user (within the connection's tenant) the release is charged
+        /// to — per-frame, so one connection can multiplex millions of
+        /// distinct users.
+        user: u64,
+        /// The query to release.
+        query: WireQuery,
+        /// Per-release privacy parameter ε.
+        epsilon: f64,
+        /// Noise seed (the service is deterministic given the seed).
+        seed: u64,
+        /// The database: a state sequence, each state in `0..65536`.
+        database: Vec<u16>,
+    },
+    /// One declarative query against a server-registered table.
+    Query {
+        /// The user (within the tenant) the plan's total ε is charged to.
+        user: u64,
+        /// Name of a table registered on the server.
+        table: String,
+        /// The query statement text (`pufferfish-query` grammar).
+        statement: String,
+        /// Noise seed.
+        seed: u64,
+    },
+    /// Requests a [`Frame::StatsOk`] observability snapshot.
+    Stats,
+    /// Clean client-initiated close: the server finishes every in-flight
+    /// response on this connection, then closes it.
+    Goodbye,
+    /// HELLO accepted; the server's negotiated limits.
+    HelloOk {
+        /// In-flight requests the server allows per connection before
+        /// answering [`Frame::Busy`].
+        max_pipeline: u32,
+        /// Largest frame the server will read or write.
+        max_frame_len: u32,
+    },
+    /// A successful release. Only the noisy values and the scale cross the
+    /// wire — the wire is the trust boundary, so `true_values` are stripped.
+    ReleaseOk {
+        /// Laplace scale applied to each coordinate.
+        scale: f64,
+        /// The privatised query answers.
+        values: Vec<f64>,
+    },
+    /// A successful declarative query.
+    QueryOk(WireQueryResult),
+    /// The observability snapshot.
+    StatsOk(WireStats),
+    /// Admission control refused the request (queue full or the connection's
+    /// pipeline limit reached). The request spent **no** budget; retry after
+    /// the hint.
+    Busy {
+        /// Suggested client back-off in milliseconds.
+        retry_hint_ms: u32,
+    },
+    /// The user's ε budget cannot admit the request.
+    BudgetExhausted {
+        /// The ε the request asked for.
+        requested: f64,
+        /// Budget still available under the composition guarantee.
+        remaining: f64,
+    },
+    /// A typed failure.
+    Error {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 0x01,
+            Frame::Release { .. } => 0x02,
+            Frame::Query { .. } => 0x03,
+            Frame::Stats => 0x04,
+            Frame::Goodbye => 0x05,
+            Frame::HelloOk { .. } => 0x81,
+            Frame::ReleaseOk { .. } => 0x82,
+            Frame::QueryOk(_) => 0x83,
+            Frame::StatsOk(_) => 0x84,
+            Frame::Busy { .. } => 0x85,
+            Frame::BudgetExhausted { .. } => 0x86,
+            Frame::Error { .. } => 0x87,
+        }
+    }
+
+    /// Builds a [`Frame::Release`] from a `usize` state sequence, checking
+    /// every state fits the wire's `u16` representation.
+    ///
+    /// # Errors
+    /// [`FrameError::Unencodable`] when a state exceeds `u16::MAX`.
+    pub fn release(
+        user: u64,
+        query: WireQuery,
+        database: &[usize],
+        epsilon: f64,
+        seed: u64,
+    ) -> Result<Frame, FrameError> {
+        let database = database
+            .iter()
+            .map(|&s| {
+                u16::try_from(s).map_err(|_| {
+                    FrameError::Unencodable(format!("state {s} exceeds the wire maximum 65535"))
+                })
+            })
+            .collect::<Result<Vec<u16>, FrameError>>()?;
+        Ok(Frame::Release {
+            user,
+            query,
+            epsilon,
+            seed,
+            database,
+        })
+    }
+}
+
+/// A sequence-numbered frame — the unit the wire carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Client-chosen sequence number (echoed on responses).
+    pub seq: u64,
+    /// The frame.
+    pub frame: Frame,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) -> Result<(), FrameError> {
+    let len = u32::try_from(s.len())
+        .map_err(|_| FrameError::Unencodable(format!("string of {} bytes", s.len())))?;
+    put_u32(out, len);
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_f64s(out: &mut Vec<u8>, values: &[f64]) -> Result<(), FrameError> {
+    let len = u32::try_from(values.len())
+        .map_err(|_| FrameError::Unencodable(format!("{} values", values.len())))?;
+    put_u32(out, len);
+    for &v in values {
+        put_f64(out, v);
+    }
+    Ok(())
+}
+
+/// Encodes one envelope into its full wire representation (length prefix
+/// included).
+///
+/// # Errors
+/// [`FrameError::Unencodable`] when the encoded frame would exceed
+/// `max_frame_len` or a field cannot be represented on the wire.
+pub fn encode(envelope: &Envelope, max_frame_len: u32) -> Result<Vec<u8>, FrameError> {
+    let mut out = Vec::with_capacity(64);
+    put_u32(&mut out, 0); // patched below
+    put_u32(&mut out, MAGIC);
+    out.push(VERSION);
+    out.push(envelope.frame.kind());
+    put_u64(&mut out, envelope.seq);
+
+    match &envelope.frame {
+        Frame::Hello { tenant } => put_str(&mut out, tenant)?,
+        Frame::Release {
+            user,
+            query,
+            epsilon,
+            seed,
+            database,
+        } => {
+            put_u64(&mut out, *user);
+            out.push(query.tag());
+            match *query {
+                WireQuery::StateFrequency { state, length }
+                | WireQuery::StateCount { state, length } => {
+                    put_u32(&mut out, state);
+                    put_u32(&mut out, length);
+                }
+                WireQuery::Histogram { num_states, length }
+                | WireQuery::MeanState { num_states, length } => {
+                    put_u32(&mut out, num_states);
+                    put_u32(&mut out, length);
+                }
+                WireQuery::RangeCount {
+                    lo,
+                    hi,
+                    num_states,
+                    length,
+                } => {
+                    put_u32(&mut out, lo);
+                    put_u32(&mut out, hi);
+                    put_u32(&mut out, num_states);
+                    put_u32(&mut out, length);
+                }
+            }
+            put_f64(&mut out, *epsilon);
+            put_u64(&mut out, *seed);
+            let len = u32::try_from(database.len()).map_err(|_| {
+                FrameError::Unencodable(format!("database of {} events", database.len()))
+            })?;
+            put_u32(&mut out, len);
+            for &state in database {
+                put_u16(&mut out, state);
+            }
+        }
+        Frame::Query {
+            user,
+            table,
+            statement,
+            seed,
+        } => {
+            put_u64(&mut out, *user);
+            put_str(&mut out, table)?;
+            put_str(&mut out, statement)?;
+            put_u64(&mut out, *seed);
+        }
+        Frame::Stats | Frame::Goodbye => {}
+        Frame::HelloOk {
+            max_pipeline,
+            max_frame_len,
+        } => {
+            put_u32(&mut out, *max_pipeline);
+            put_u32(&mut out, *max_frame_len);
+        }
+        Frame::ReleaseOk { scale, values } => {
+            put_f64(&mut out, *scale);
+            put_f64s(&mut out, values)?;
+        }
+        Frame::QueryOk(result) => {
+            put_str(&mut out, &result.mechanism)?;
+            put_f64(&mut out, result.noise_scale);
+            put_f64(&mut out, result.total_epsilon);
+            let cells = u32::try_from(result.cells.len())
+                .map_err(|_| FrameError::Unencodable(format!("{} cells", result.cells.len())))?;
+            put_u32(&mut out, cells);
+            for cell in &result.cells {
+                put_str(&mut out, &cell.key)?;
+                let windows = u32::try_from(cell.windows.len()).map_err(|_| {
+                    FrameError::Unencodable(format!("{} windows", cell.windows.len()))
+                })?;
+                put_u32(&mut out, windows);
+                for window in &cell.windows {
+                    put_u32(&mut out, window.end);
+                    put_f64s(&mut out, &window.values)?;
+                }
+            }
+        }
+        Frame::StatsOk(stats) => {
+            put_u64(&mut out, stats.hits);
+            put_u64(&mut out, stats.misses);
+            put_u64(&mut out, stats.coalesced);
+            put_u64(&mut out, stats.cached_calibrations);
+            put_u64(&mut out, stats.queue_depth);
+            put_u64(&mut out, stats.queue_capacity);
+            put_u64(&mut out, stats.queue_refusals);
+            put_u64(&mut out, stats.queue_high_water);
+            put_u64(&mut out, stats.served);
+            put_u64(&mut out, stats.users);
+            put_f64(&mut out, stats.spent_epsilon);
+        }
+        Frame::Busy { retry_hint_ms } => put_u32(&mut out, *retry_hint_ms),
+        Frame::BudgetExhausted {
+            requested,
+            remaining,
+        } => {
+            put_f64(&mut out, *requested);
+            put_f64(&mut out, *remaining);
+        }
+        Frame::Error { code, message } => {
+            put_u16(&mut out, *code as u16);
+            put_str(&mut out, message)?;
+        }
+    }
+
+    let frame_len = out.len() - 4;
+    let declared = u32::try_from(frame_len)
+        .map_err(|_| FrameError::Unencodable(format!("frame of {frame_len} bytes")))?;
+    if declared > max_frame_len {
+        return Err(FrameError::Unencodable(format!(
+            "frame of {declared} bytes exceeds the maximum {max_frame_len}"
+        )));
+    }
+    out[..4].copy_from_slice(&declared.to_le_bytes());
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Cursor over a frame payload with bounds-checked typed reads.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.remaining() < n {
+            return Err(FrameError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, FrameError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a collection count and proves the payload could actually hold
+    /// `count` items of `item_bytes` each *before* any allocation happens —
+    /// the guard that makes adversarial "4-billion-element" headers cheap to
+    /// refuse.
+    fn count(&mut self, item_bytes: usize, what: &str) -> Result<usize, FrameError> {
+        let count = self.u32()? as usize;
+        let needed = count
+            .checked_mul(item_bytes)
+            .ok_or_else(|| FrameError::Malformed(format!("{what} count {count} overflows")))?;
+        if needed > self.remaining() {
+            return Err(FrameError::Malformed(format!(
+                "{what} declares {count} items ({needed} bytes) but only {} bytes remain",
+                self.remaining()
+            )));
+        }
+        Ok(count)
+    }
+
+    fn string(&mut self) -> Result<String, FrameError> {
+        let len = self.count(1, "string")?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| FrameError::Malformed("string is not UTF-8".to_string()))
+    }
+
+    fn f64s(&mut self, what: &str) -> Result<Vec<f64>, FrameError> {
+        let count = self.count(8, what)?;
+        (0..count).map(|_| self.f64()).collect()
+    }
+}
+
+/// Decodes one envelope from the front of `buf`, returning it and the
+/// number of bytes consumed.
+///
+/// # Errors
+/// [`FrameError::Truncated`] when `buf` does not yet hold a complete frame
+/// (streaming callers read more and retry); [`FrameError::Oversized`] when
+/// the declared length exceeds `max_frame_len`; the other variants for
+/// structurally broken frames.
+pub fn decode(buf: &[u8], max_frame_len: u32) -> Result<(Envelope, usize), FrameError> {
+    if buf.len() < 4 {
+        return Err(FrameError::Truncated {
+            needed: 4,
+            available: buf.len(),
+        });
+    }
+    let declared = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    if declared > max_frame_len {
+        return Err(FrameError::Oversized {
+            declared,
+            max: max_frame_len,
+        });
+    }
+    let frame_len = declared as usize;
+    if frame_len < HEADER_LEN {
+        return Err(FrameError::Malformed(format!(
+            "declared length {frame_len} is shorter than the {HEADER_LEN}-byte header"
+        )));
+    }
+    if buf.len() < 4 + frame_len {
+        return Err(FrameError::Truncated {
+            needed: 4 + frame_len,
+            available: buf.len(),
+        });
+    }
+    let envelope = decode_payload(&buf[4..4 + frame_len])?;
+    Ok((envelope, 4 + frame_len))
+}
+
+/// Decodes a frame payload (everything after the length prefix).
+///
+/// # Errors
+/// As for [`decode`], minus the length-prefix checks.
+pub fn decode_payload(payload: &[u8]) -> Result<Envelope, FrameError> {
+    let mut r = Reader::new(payload);
+    let magic = r.u32()?;
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic { found: magic });
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(FrameError::UnsupportedVersion { found: version });
+    }
+    let kind = r.u8()?;
+    let seq = r.u64()?;
+
+    let frame = match kind {
+        0x01 => Frame::Hello {
+            tenant: r.string()?,
+        },
+        0x02 => {
+            let user = r.u64()?;
+            let tag = r.u8()?;
+            let query = match tag {
+                0 => WireQuery::StateFrequency {
+                    state: r.u32()?,
+                    length: r.u32()?,
+                },
+                1 => WireQuery::StateCount {
+                    state: r.u32()?,
+                    length: r.u32()?,
+                },
+                2 => WireQuery::Histogram {
+                    num_states: r.u32()?,
+                    length: r.u32()?,
+                },
+                3 => WireQuery::RangeCount {
+                    lo: r.u32()?,
+                    hi: r.u32()?,
+                    num_states: r.u32()?,
+                    length: r.u32()?,
+                },
+                4 => WireQuery::MeanState {
+                    num_states: r.u32()?,
+                    length: r.u32()?,
+                },
+                other => return Err(FrameError::Malformed(format!("unknown query tag {other}"))),
+            };
+            let epsilon = r.f64()?;
+            let seed = r.u64()?;
+            let count = r.count(2, "database")?;
+            let database = (0..count).map(|_| r.u16()).collect::<Result<_, _>>()?;
+            Frame::Release {
+                user,
+                query,
+                epsilon,
+                seed,
+                database,
+            }
+        }
+        0x03 => Frame::Query {
+            user: r.u64()?,
+            table: r.string()?,
+            statement: r.string()?,
+            seed: r.u64()?,
+        },
+        0x04 => Frame::Stats,
+        0x05 => Frame::Goodbye,
+        0x81 => Frame::HelloOk {
+            max_pipeline: r.u32()?,
+            max_frame_len: r.u32()?,
+        },
+        0x82 => Frame::ReleaseOk {
+            scale: r.f64()?,
+            values: r.f64s("values")?,
+        },
+        0x83 => {
+            let mechanism = r.string()?;
+            let noise_scale = r.f64()?;
+            let total_epsilon = r.f64()?;
+            // A cell is at least 8 bytes (empty key + zero windows).
+            let cell_count = r.count(8, "cells")?;
+            let mut cells = Vec::with_capacity(cell_count);
+            for _ in 0..cell_count {
+                let key = r.string()?;
+                // A window is at least 8 bytes (end + empty values).
+                let window_count = r.count(8, "windows")?;
+                let mut windows = Vec::with_capacity(window_count);
+                for _ in 0..window_count {
+                    windows.push(WireWindow {
+                        end: r.u32()?,
+                        values: r.f64s("window values")?,
+                    });
+                }
+                cells.push(WireCell { key, windows });
+            }
+            Frame::QueryOk(WireQueryResult {
+                mechanism,
+                noise_scale,
+                total_epsilon,
+                cells,
+            })
+        }
+        0x84 => Frame::StatsOk(WireStats {
+            hits: r.u64()?,
+            misses: r.u64()?,
+            coalesced: r.u64()?,
+            cached_calibrations: r.u64()?,
+            queue_depth: r.u64()?,
+            queue_capacity: r.u64()?,
+            queue_refusals: r.u64()?,
+            queue_high_water: r.u64()?,
+            served: r.u64()?,
+            users: r.u64()?,
+            spent_epsilon: r.f64()?,
+        }),
+        0x85 => Frame::Busy {
+            retry_hint_ms: r.u32()?,
+        },
+        0x86 => Frame::BudgetExhausted {
+            requested: r.f64()?,
+            remaining: r.f64()?,
+        },
+        0x87 => {
+            let raw = r.u16()?;
+            let code = ErrorCode::from_u16(raw)
+                .ok_or_else(|| FrameError::Malformed(format!("unknown error code {raw}")))?;
+            Frame::Error {
+                code,
+                message: r.string()?,
+            }
+        }
+        other => return Err(FrameError::UnknownKind { found: other }),
+    };
+
+    if r.remaining() != 0 {
+        return Err(FrameError::Malformed(format!(
+            "{} trailing bytes after the frame body",
+            r.remaining()
+        )));
+    }
+    Ok(Envelope { seq, frame })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) -> Envelope {
+        let envelope = Envelope { seq: 42, frame };
+        let bytes = encode(&envelope, DEFAULT_MAX_FRAME_LEN).unwrap();
+        let (decoded, consumed) = decode(&bytes, DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, envelope);
+        decoded
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        round_trip(Frame::Hello {
+            tenant: "load-α".to_string(),
+        });
+        round_trip(
+            Frame::release(
+                7,
+                WireQuery::StateFrequency {
+                    state: 1,
+                    length: 60,
+                },
+                &[0, 1, 1, 0],
+                0.5,
+                99,
+            )
+            .unwrap(),
+        );
+        round_trip(Frame::Query {
+            user: 3,
+            table: "sensor".to_string(),
+            statement: "HISTOGRAM WINDOW 30 EPSILON 0.2".to_string(),
+            seed: 5,
+        });
+        round_trip(Frame::Stats);
+        round_trip(Frame::Goodbye);
+        round_trip(Frame::HelloOk {
+            max_pipeline: 128,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        });
+        round_trip(Frame::ReleaseOk {
+            scale: 1.25,
+            values: vec![0.5, -0.25, 3.75],
+        });
+        round_trip(Frame::QueryOk(WireQueryResult {
+            mechanism: "mqm".to_string(),
+            noise_scale: 0.75,
+            total_epsilon: 0.6,
+            cells: vec![WireCell {
+                key: "cell-a".to_string(),
+                windows: vec![
+                    WireWindow {
+                        end: 30,
+                        values: vec![1.0, 2.0],
+                    },
+                    WireWindow {
+                        end: 60,
+                        values: vec![],
+                    },
+                ],
+            }],
+        }));
+        round_trip(Frame::StatsOk(WireStats {
+            hits: 1,
+            misses: 2,
+            coalesced: 3,
+            cached_calibrations: 4,
+            queue_depth: 5,
+            queue_capacity: 6,
+            queue_refusals: 7,
+            queue_high_water: 8,
+            served: 9,
+            users: 10,
+            spent_epsilon: 1.5,
+        }));
+        round_trip(Frame::Busy { retry_hint_ms: 2 });
+        round_trip(Frame::BudgetExhausted {
+            requested: 0.5,
+            remaining: 0.25,
+        });
+        round_trip(Frame::Error {
+            code: ErrorCode::Parse,
+            message: "no".to_string(),
+        });
+    }
+
+    #[test]
+    fn release_builder_refuses_wide_states() {
+        let err = Frame::release(
+            0,
+            WireQuery::StateCount {
+                state: 0,
+                length: 1,
+            },
+            &[70_000],
+            0.5,
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FrameError::Unencodable(_)));
+    }
+
+    #[test]
+    fn oversized_declared_length_is_refused_before_reading() {
+        let envelope = Envelope {
+            seq: 1,
+            frame: Frame::Stats,
+        };
+        let mut bytes = encode(&envelope, DEFAULT_MAX_FRAME_LEN).unwrap();
+        bytes[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode(&bytes, DEFAULT_MAX_FRAME_LEN),
+            Err(FrameError::Oversized {
+                declared: u32::MAX,
+                ..
+            })
+        ));
+        // Encoding against a tiny cap is refused symmetrically.
+        assert!(matches!(
+            encode(&envelope, 4),
+            Err(FrameError::Unencodable(_))
+        ));
+    }
+
+    #[test]
+    fn wire_queries_build_their_core_counterparts() {
+        let query = WireQuery::Histogram {
+            num_states: 3,
+            length: 30,
+        }
+        .build()
+        .unwrap();
+        assert_eq!(query.output_dimension(), 3);
+        assert_eq!(query.expected_length(), 30);
+        // Invalid parameters surface as typed core errors, not panics.
+        assert!(WireQuery::RangeCount {
+            lo: 5,
+            hi: 2,
+            num_states: 6,
+            length: 10
+        }
+        .build()
+        .is_err());
+    }
+
+    #[test]
+    fn error_codes_round_trip_and_reject_unknowns() {
+        for code in [
+            ErrorCode::Malformed,
+            ErrorCode::NotHello,
+            ErrorCode::Mechanism,
+            ErrorCode::TableNotFound,
+            ErrorCode::Parse,
+            ErrorCode::Shutdown,
+            ErrorCode::TooManyConnections,
+            ErrorCode::Unsupported,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_u16(code as u16), Some(code));
+            assert!(!code.to_string().is_empty());
+        }
+        assert_eq!(ErrorCode::from_u16(0), None);
+        assert_eq!(ErrorCode::from_u16(999), None);
+    }
+
+    #[test]
+    fn nan_values_survive_bit_for_bit() {
+        let payload = vec![f64::NAN, f64::INFINITY, -0.0];
+        let envelope = Envelope {
+            seq: 0,
+            frame: Frame::ReleaseOk {
+                scale: 1.0,
+                values: payload.clone(),
+            },
+        };
+        let bytes = encode(&envelope, DEFAULT_MAX_FRAME_LEN).unwrap();
+        let (decoded, _) = decode(&bytes, DEFAULT_MAX_FRAME_LEN).unwrap();
+        let Frame::ReleaseOk { values, .. } = decoded.frame else {
+            panic!("wrong frame kind");
+        };
+        for (a, b) in payload.iter().zip(&values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

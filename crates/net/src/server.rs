@@ -1,0 +1,756 @@
+//! The TCP front-end: listener, pipelined connection handlers, admission
+//! control, graceful shutdown.
+//!
+//! One [`NetServer`] owns a listener thread plus two threads per live
+//! connection:
+//!
+//! * the **reader** decodes frames off the socket and dispatches them. A
+//!   RELEASE is pushed into the shared [`ReleaseService`] via `try_submit`
+//!   — never the blocking path — so when the bounded admission queue
+//!   refuses, the client gets a typed [`Frame::Busy`] immediately instead
+//!   of stalling every other request on the connection;
+//! * the **writer** drains an in-process channel of either ready frames or
+//!   pending [`Ticket`]s, writing each response as soon as its release
+//!   completes. Responses therefore return **out of order**, matched by
+//!   sequence number — that is what lets one connection keep
+//!   `max_pipeline` requests in flight.
+//!
+//! Back-pressure has three layers, all surfaced as typed frames rather
+//! than silence: per-connection pipeline depth ([`Frame::Busy`]), the
+//! service admission queue ([`Frame::Busy`] again — the budget spend is
+//! rolled back by the service), and the listener's connection cap
+//! ([`ErrorCode::TooManyConnections`]).
+//!
+//! Shutdown is graceful: the accept loop stops, readers notice the flag at
+//! their next read-timeout tick and stop decoding, and each writer *drains
+//! its in-flight tickets* — every admitted release still gets its response
+//! frame (bounded by `drain_timeout`) before the socket closes.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pufferfish_query::{QueryError, QueryResult, QueryService, Table};
+use pufferfish_service::{ReleaseRequest, ReleaseService, ServiceError, Ticket};
+
+use crate::frame::{
+    decode, encode, Envelope, ErrorCode, Frame, FrameError, WireCell, WireQueryResult, WireStats,
+    WireWindow, DEFAULT_MAX_FRAME_LEN,
+};
+
+/// Tuning for a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Connections accepted concurrently; further clients get a typed
+    /// [`ErrorCode::TooManyConnections`] frame and are dropped.
+    pub max_connections: usize,
+    /// In-flight requests allowed per connection before the server answers
+    /// [`Frame::Busy`] without touching the service.
+    pub max_pipeline: usize,
+    /// Socket read timeout — the tick at which idle readers re-check the
+    /// shutdown flag, so it bounds shutdown latency, not client patience.
+    pub read_timeout: Duration,
+    /// A connection silent this long is closed.
+    pub idle_timeout: Duration,
+    /// Largest frame read or written.
+    pub max_frame_len: u32,
+    /// Back-off hint carried by every [`Frame::Busy`], in milliseconds.
+    pub busy_retry_hint_ms: u32,
+    /// At close, how long a writer waits for each still-in-flight release
+    /// before giving up with a typed [`ErrorCode::Internal`] frame.
+    pub drain_timeout: Duration,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            max_connections: 64,
+            max_pipeline: 128,
+            read_timeout: Duration::from_millis(200),
+            idle_timeout: Duration::from_secs(60),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            busy_retry_hint_ms: 1,
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The declarative-query surface of a server: a [`QueryService`] plus the
+/// tables it serves, looked up by name from QUERY frames.
+pub struct QueryEndpoint {
+    service: QueryService,
+    tables: HashMap<String, Table>,
+}
+
+impl QueryEndpoint {
+    /// Wraps a query service with an empty table registry.
+    pub fn new(service: QueryService) -> Self {
+        QueryEndpoint {
+            service,
+            tables: HashMap::new(),
+        }
+    }
+
+    /// Registers `table` under its own name, replacing any previous table
+    /// with that name.
+    pub fn register_table(&mut self, table: Table) {
+        self.tables.insert(table.name().to_string(), table);
+    }
+
+    /// The underlying query service.
+    pub fn service(&self) -> &QueryService {
+        &self.service
+    }
+}
+
+struct Inner {
+    release: Arc<ReleaseService>,
+    query: Option<QueryEndpoint>,
+    config: NetServerConfig,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    total: AtomicU64,
+    refused: AtomicU64,
+}
+
+impl Inner {
+    /// One merged observability snapshot: the release service's stats plus,
+    /// when a query endpoint is attached, the query front-end's counters
+    /// summed in (its queue fields are zero, so queue occupancy stays the
+    /// release queue's).
+    fn stats(&self) -> WireStats {
+        let mut stats = WireStats::from(self.release.stats());
+        if let Some(endpoint) = &self.query {
+            let q = WireStats::from(endpoint.service.stats());
+            stats.hits += q.hits;
+            stats.misses += q.misses;
+            stats.coalesced += q.coalesced;
+            stats.cached_calibrations += q.cached_calibrations;
+            stats.served += q.served;
+            stats.users += q.users;
+            stats.spent_epsilon += q.spent_epsilon;
+        }
+        stats
+    }
+}
+
+/// A running TCP front-end over a shared [`ReleaseService`] (and optionally
+/// a [`QueryEndpoint`]).
+///
+/// Dropping the server shuts it down gracefully; [`NetServer::shutdown`]
+/// does the same explicitly. The server never owns the release service —
+/// callers keep their `Arc` and decide its lifetime separately.
+pub struct NetServer {
+    inner: Arc<Inner>,
+    local_addr: SocketAddr,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds a release-only server on `addr` (port 0 picks an ephemeral
+    /// port; see [`NetServer::local_addr`]).
+    ///
+    /// # Errors
+    /// [`std::io::Error`] when the bind fails.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        release: Arc<ReleaseService>,
+        config: NetServerConfig,
+    ) -> std::io::Result<NetServer> {
+        Self::launch(addr, release, None, config)
+    }
+
+    /// Binds a server that also answers QUERY frames via `query`.
+    ///
+    /// # Errors
+    /// [`std::io::Error`] when the bind fails.
+    pub fn bind_with_query<A: ToSocketAddrs>(
+        addr: A,
+        release: Arc<ReleaseService>,
+        query: QueryEndpoint,
+        config: NetServerConfig,
+    ) -> std::io::Result<NetServer> {
+        Self::launch(addr, release, Some(query), config)
+    }
+
+    fn launch<A: ToSocketAddrs>(
+        addr: A,
+        release: Arc<ReleaseService>,
+        query: Option<QueryEndpoint>,
+        config: NetServerConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            release,
+            query,
+            config,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            total: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept_handle = std::thread::Builder::new()
+            .name("pufferfish-net-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_inner))
+            .expect("spawning the accept thread failed");
+        Ok(NetServer {
+            inner,
+            local_addr,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The address the server actually listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.inner.active.load(Ordering::SeqCst)
+    }
+
+    /// Connections accepted over the server's lifetime.
+    pub fn total_connections(&self) -> u64 {
+        self.inner.total.load(Ordering::SeqCst)
+    }
+
+    /// Connections refused at the [`NetServerConfig::max_connections`] cap.
+    pub fn refused_connections(&self) -> u64 {
+        self.inner.refused.load(Ordering::SeqCst)
+    }
+
+    /// The merged release + query observability snapshot — the same numbers
+    /// a STATS frame returns.
+    pub fn stats(&self) -> WireStats {
+        self.inner.stats()
+    }
+
+    /// Graceful shutdown: stop accepting, let every reader stop at its next
+    /// timeout tick, drain all in-flight responses, close every socket, and
+    /// join every thread. The shared [`ReleaseService`] keeps running.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(handle) = self.accept_handle.take() else {
+            return;
+        };
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection; if even that
+        // fails the listener is already dead and join returns anyway.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        handles.retain(|h| !h.is_finished());
+        if inner.active.load(Ordering::SeqCst) >= inner.config.max_connections {
+            inner.refused.fetch_add(1, Ordering::SeqCst);
+            refuse_connection(stream, inner.config.max_frame_len);
+            continue;
+        }
+        inner.active.fetch_add(1, Ordering::SeqCst);
+        inner.total.fetch_add(1, Ordering::SeqCst);
+        let conn_inner = Arc::clone(&inner);
+        match std::thread::Builder::new()
+            .name("pufferfish-net-conn".to_string())
+            .spawn(move || {
+                handle_connection(&conn_inner, stream);
+                conn_inner.active.fetch_sub(1, Ordering::SeqCst);
+            }) {
+            Ok(handle) => handles.push(handle),
+            Err(_) => {
+                inner.active.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+}
+
+/// Tells an over-the-cap client *why* it was dropped with one best-effort
+/// typed frame before closing.
+fn refuse_connection(mut stream: TcpStream, max_frame_len: u32) {
+    let envelope = Envelope {
+        seq: 0,
+        frame: Frame::Error {
+            code: ErrorCode::TooManyConnections,
+            message: "connection limit reached".to_string(),
+        },
+    };
+    if let Ok(bytes) = encode(&envelope, max_frame_len) {
+        let _ = stream.write_all(&bytes);
+        let _ = stream.flush();
+    }
+}
+
+/// What the reader hands the writer: a frame ready now, or a ticket whose
+/// frame will be ready when the worker pool fulfils it.
+enum Outgoing {
+    Now(u64, Frame),
+    Pending(u64, Ticket),
+}
+
+fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
+    let config = &inner.config;
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(config.read_timeout)).is_err() {
+        return;
+    }
+    let Ok(write_stream) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = std::sync::mpsc::channel::<Outgoing>();
+    let inflight = Arc::new(AtomicUsize::new(0));
+    let writer_inflight = Arc::clone(&inflight);
+    let writer_config = config.clone();
+    let writer = std::thread::Builder::new()
+        .name("pufferfish-net-write".to_string())
+        .spawn(move || writer_loop(write_stream, rx, &writer_inflight, &writer_config));
+    let Ok(writer) = writer else { return };
+
+    read_loop(inner, stream, &tx, &inflight);
+
+    // Closing the channel is the drain signal: the writer finishes every
+    // pending ticket (bounded by drain_timeout each), flushes, and exits.
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// Decodes and dispatches frames until EOF, Goodbye, shutdown, idle
+/// timeout, or a protocol error.
+fn read_loop(
+    inner: &Arc<Inner>,
+    mut stream: TcpStream,
+    tx: &Sender<Outgoing>,
+    inflight: &Arc<AtomicUsize>,
+) {
+    let config = &inner.config;
+    let mut buffer: Vec<u8> = Vec::with_capacity(16 * 1024);
+    let mut scratch = [0u8; 16 * 1024];
+    let mut tenant: Option<String> = None;
+    let mut last_activity = Instant::now();
+
+    loop {
+        // Drain every complete frame currently buffered.
+        loop {
+            if buffer.is_empty() {
+                break;
+            }
+            match decode(&buffer, config.max_frame_len) {
+                Ok((envelope, consumed)) => {
+                    buffer.drain(..consumed);
+                    if !dispatch(inner, envelope, &mut tenant, tx, inflight) {
+                        return;
+                    }
+                }
+                Err(FrameError::Truncated { .. }) => break,
+                Err(error) => {
+                    // The stream cannot be resynchronised after a framing
+                    // error; answer once, typed, and close.
+                    let _ = tx.send(Outgoing::Now(
+                        0,
+                        Frame::Error {
+                            code: ErrorCode::Malformed,
+                            message: error.to_string(),
+                        },
+                    ));
+                    return;
+                }
+            }
+        }
+
+        match stream.read(&mut scratch) {
+            Ok(0) => return,
+            Ok(n) => {
+                buffer.extend_from_slice(&scratch[..n]);
+                last_activity = Instant::now();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // The periodic tick: notice shutdown and idleness.
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    let _ = tx.send(Outgoing::Now(
+                        0,
+                        Frame::Error {
+                            code: ErrorCode::Shutdown,
+                            message: "server shutting down".to_string(),
+                        },
+                    ));
+                    return;
+                }
+                if last_activity.elapsed() >= config.idle_timeout {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one decoded envelope. Returns `false` when the connection should
+/// close.
+fn dispatch(
+    inner: &Arc<Inner>,
+    envelope: Envelope,
+    tenant: &mut Option<String>,
+    tx: &Sender<Outgoing>,
+    inflight: &Arc<AtomicUsize>,
+) -> bool {
+    let config = &inner.config;
+    let seq = envelope.seq;
+    let send_now = |frame: Frame| tx.send(Outgoing::Now(seq, frame)).is_ok();
+
+    let Some(tenant_name) = tenant.as_deref() else {
+        // First frame must authenticate the tenant.
+        return match envelope.frame {
+            Frame::Hello { tenant: name } => {
+                *tenant = Some(name);
+                send_now(Frame::HelloOk {
+                    max_pipeline: config.max_pipeline as u32,
+                    max_frame_len: config.max_frame_len,
+                })
+            }
+            _ => {
+                send_now(Frame::Error {
+                    code: ErrorCode::NotHello,
+                    message: "first frame must be HELLO".to_string(),
+                });
+                false
+            }
+        };
+    };
+
+    match envelope.frame {
+        Frame::Hello { .. } => {
+            send_now(Frame::Error {
+                code: ErrorCode::Malformed,
+                message: "duplicate HELLO".to_string(),
+            });
+            false
+        }
+        Frame::Release {
+            user,
+            query,
+            epsilon,
+            seed,
+            database,
+        } => {
+            if inflight.load(Ordering::SeqCst) >= config.max_pipeline {
+                return send_now(Frame::Busy {
+                    retry_hint_ms: config.busy_retry_hint_ms,
+                });
+            }
+            let built = match query.build() {
+                Ok(built) => built,
+                Err(error) => {
+                    return send_now(Frame::Error {
+                        code: ErrorCode::Malformed,
+                        message: error.to_string(),
+                    });
+                }
+            };
+            let request = ReleaseRequest {
+                // The budget identity is the *authenticated* tenant plus the
+                // per-frame user id: clients multiplex millions of users per
+                // connection, but can never spend another tenant's budget.
+                user: scoped_user(tenant_name, user),
+                query: built,
+                database: database.into_iter().map(usize::from).collect(),
+                epsilon,
+                seed,
+            };
+            match inner.release.try_submit(request) {
+                Ok(ticket) => {
+                    inflight.fetch_add(1, Ordering::SeqCst);
+                    tx.send(Outgoing::Pending(seq, ticket)).is_ok()
+                }
+                Err(ServiceError::QueueFull { .. }) => send_now(Frame::Busy {
+                    retry_hint_ms: config.busy_retry_hint_ms,
+                }),
+                Err(ServiceError::BudgetExhausted {
+                    requested,
+                    remaining,
+                    ..
+                }) => send_now(Frame::BudgetExhausted {
+                    requested,
+                    remaining,
+                }),
+                Err(ServiceError::ServiceClosed) => {
+                    send_now(Frame::Error {
+                        code: ErrorCode::Shutdown,
+                        message: "release service is closed".to_string(),
+                    });
+                    false
+                }
+                Err(ServiceError::Mechanism(error)) => send_now(Frame::Error {
+                    code: ErrorCode::Mechanism,
+                    message: error.to_string(),
+                }),
+                Err(error) => send_now(Frame::Error {
+                    code: ErrorCode::Internal,
+                    message: error.to_string(),
+                }),
+            }
+        }
+        Frame::Query {
+            user,
+            table,
+            statement,
+            seed,
+        } => {
+            let Some(endpoint) = &inner.query else {
+                return send_now(Frame::Error {
+                    code: ErrorCode::Unsupported,
+                    message: "this server has no query endpoint".to_string(),
+                });
+            };
+            let Some(table) = endpoint.tables.get(&table) else {
+                return send_now(Frame::Error {
+                    code: ErrorCode::TableNotFound,
+                    message: format!("no table named {table:?}"),
+                });
+            };
+            let user = scoped_user(tenant_name, user);
+            match endpoint.service.query(&user, &statement, table, seed) {
+                Ok(result) => send_now(Frame::QueryOk(wire_result(&result))),
+                Err(error) => send_now(query_error_frame(error)),
+            }
+        }
+        Frame::Stats => send_now(Frame::StatsOk(inner.stats())),
+        Frame::Goodbye => false,
+        // Response kinds arriving at the server are a protocol violation.
+        _ => {
+            send_now(Frame::Error {
+                code: ErrorCode::Malformed,
+                message: "response frame sent to server".to_string(),
+            });
+            false
+        }
+    }
+}
+
+/// The budget identity a frame is charged to: `tenant#user-id-in-hex`.
+fn scoped_user(tenant: &str, user: u64) -> String {
+    format!("{tenant}#{user:x}")
+}
+
+fn wire_result(result: &QueryResult) -> WireQueryResult {
+    WireQueryResult {
+        mechanism: result.mechanism().to_string(),
+        noise_scale: result.noise_scale(),
+        total_epsilon: result.total_epsilon(),
+        cells: result
+            .cells()
+            .iter()
+            .map(|cell| WireCell {
+                key: cell.key().to_string(),
+                windows: cell
+                    .window_ends()
+                    .iter()
+                    .zip(cell.releases())
+                    .map(|(&end, release)| WireWindow {
+                        end: u32::try_from(end).unwrap_or(u32::MAX),
+                        // The wire is the trust boundary: only the noisy
+                        // values ever leave the process.
+                        values: release.values.clone(),
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+fn query_error_frame(error: QueryError) -> Frame {
+    match error {
+        QueryError::Budget(ServiceError::BudgetExhausted {
+            requested,
+            remaining,
+            ..
+        }) => Frame::BudgetExhausted {
+            requested,
+            remaining,
+        },
+        QueryError::Parse { .. } => Frame::Error {
+            code: ErrorCode::Parse,
+            message: error.to_string(),
+        },
+        QueryError::Mechanism(_) => Frame::Error {
+            code: ErrorCode::Mechanism,
+            message: error.to_string(),
+        },
+        QueryError::Budget(_) => Frame::Error {
+            code: ErrorCode::Internal,
+            message: error.to_string(),
+        },
+        // Plan, NoEligibleMechanism, UnknownMechanism: the statement is
+        // valid but this server cannot serve it.
+        _ => Frame::Error {
+            code: ErrorCode::Unsupported,
+            message: error.to_string(),
+        },
+    }
+}
+
+/// Writes responses as they become ready: immediate frames straight from
+/// the channel, pending tickets polled without blocking so completions are
+/// written in *completion* order, not submission order.
+fn writer_loop(
+    stream: TcpStream,
+    rx: Receiver<Outgoing>,
+    inflight: &Arc<AtomicUsize>,
+    config: &NetServerConfig,
+) {
+    let mut out = std::io::BufWriter::with_capacity(64 * 1024, stream);
+    let mut pending: VecDeque<(u64, Ticket)> = VecDeque::new();
+    let mut open = true;
+
+    'outer: while open || !pending.is_empty() {
+        // 1. Pull work off the channel: block when idle, peek when busy.
+        if open {
+            if pending.is_empty() {
+                match rx.recv() {
+                    Ok(outgoing) => pending_or_write(outgoing, &mut pending, &mut out, config),
+                    Err(_) => open = false,
+                }
+            } else {
+                // Park briefly so a worker completing a ticket is picked up
+                // promptly even when the channel stays quiet.
+                match rx.recv_timeout(Duration::from_micros(500)) {
+                    Ok(outgoing) => pending_or_write(outgoing, &mut pending, &mut out, config),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => open = false,
+                }
+            }
+            loop {
+                match rx.try_recv() {
+                    Ok(outgoing) => pending_or_write(outgoing, &mut pending, &mut out, config),
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        open = false;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // 2. Write every completed ticket, in completion order.
+        let park = if open {
+            Duration::ZERO
+        } else {
+            // Drain phase: the reader is gone, so actually wait for each
+            // in-flight release (bounded) instead of spinning.
+            config.drain_timeout
+        };
+        let mut index = 0;
+        while index < pending.len() {
+            match pending[index].1.wait_timeout(park) {
+                Err(ServiceError::WaitTimeout { .. }) if open => {
+                    index += 1;
+                }
+                outcome => {
+                    let (seq, _ticket) = pending.remove(index).expect("index in bounds");
+                    inflight.fetch_sub(1, Ordering::SeqCst);
+                    let frame = match outcome {
+                        Ok(release) => Frame::ReleaseOk {
+                            scale: release.scale,
+                            values: release.values,
+                        },
+                        Err(ServiceError::WaitTimeout { .. }) => Frame::Error {
+                            code: ErrorCode::Internal,
+                            message: "drain timeout: release still in flight at close".to_string(),
+                        },
+                        Err(ServiceError::ServiceClosed) => Frame::Error {
+                            code: ErrorCode::Shutdown,
+                            message: "release service closed mid-flight".to_string(),
+                        },
+                        Err(ServiceError::Mechanism(error)) => Frame::Error {
+                            code: ErrorCode::Mechanism,
+                            message: error.to_string(),
+                        },
+                        Err(error) => Frame::Error {
+                            code: ErrorCode::Internal,
+                            message: error.to_string(),
+                        },
+                    };
+                    if !write_frame(&mut out, seq, frame, config) {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if out.flush().is_err() {
+            break;
+        }
+    }
+    // Anything still pending is abandoned (drain timed out or the socket
+    // died); dropping the tickets releases their slots.
+    let _ = out.flush();
+}
+
+/// Routes one channel item: immediate frames are written now, tickets join
+/// the pending set.
+fn pending_or_write(
+    outgoing: Outgoing,
+    pending: &mut VecDeque<(u64, Ticket)>,
+    out: &mut std::io::BufWriter<TcpStream>,
+    config: &NetServerConfig,
+) {
+    match outgoing {
+        Outgoing::Now(seq, frame) => {
+            let _ = write_frame(out, seq, frame, config);
+        }
+        Outgoing::Pending(seq, ticket) => pending.push_back((seq, ticket)),
+    }
+}
+
+fn write_frame(
+    out: &mut std::io::BufWriter<TcpStream>,
+    seq: u64,
+    frame: Frame,
+    config: &NetServerConfig,
+) -> bool {
+    let envelope = Envelope { seq, frame };
+    match encode(&envelope, config.max_frame_len) {
+        Ok(bytes) => out.write_all(&bytes).is_ok(),
+        // An unencodable response (a release larger than max_frame_len)
+        // still must answer the sequence number, or the client hangs.
+        Err(error) => {
+            let fallback = Envelope {
+                seq,
+                frame: Frame::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("response unencodable: {error}"),
+                },
+            };
+            match encode(&fallback, config.max_frame_len) {
+                Ok(bytes) => out.write_all(&bytes).is_ok(),
+                Err(_) => false,
+            }
+        }
+    }
+}

@@ -170,6 +170,8 @@ impl QueryService {
             cached_calibrations,
             queue_depth: 0,
             queue_capacity: 0,
+            queue_refusals: 0,
+            queue_high_water: 0,
             served: self.executed(),
             users: self.budget.users(),
             spent_epsilon: self.budget.total_spent(),

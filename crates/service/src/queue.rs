@@ -22,6 +22,12 @@ pub enum PushError<T> {
 struct QueueState<T> {
     items: VecDeque<T>,
     closed: bool,
+    /// Pushes refused because the queue was at capacity (the admission-
+    /// control signal the network front-end turns into BUSY frames).
+    refusals: u64,
+    /// Deepest the queue has ever been — how close admitted traffic has
+    /// come to triggering back-pressure, for capacity tuning.
+    high_water: usize,
 }
 
 /// A fixed-capacity multi-producer multi-consumer queue.
@@ -58,6 +64,8 @@ impl<T> BoundedQueue<T> {
             state: Mutex::new(QueueState {
                 items: VecDeque::with_capacity(capacity),
                 closed: false,
+                refusals: 0,
+                high_water: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -80,6 +88,21 @@ impl<T> BoundedQueue<T> {
         self.len() == 0
     }
 
+    /// Pushes refused with [`PushError::Full`] so far — every refusal is one
+    /// back-pressure event surfaced to a caller (the counter behind the
+    /// `queue_refusals` field of
+    /// [`ServiceStats`](crate::ServiceStats)).
+    pub fn refusals(&self) -> u64 {
+        self.state.lock().expect("queue poisoned").refusals
+    }
+
+    /// The deepest the queue has ever been (its depth high-water mark).
+    /// `high_water == capacity` means admitted traffic has touched the
+    /// back-pressure threshold at least once.
+    pub fn high_water(&self) -> usize {
+        self.state.lock().expect("queue poisoned").high_water
+    }
+
     /// Non-blocking push: refused immediately when full or closed.
     ///
     /// # Errors
@@ -90,9 +113,11 @@ impl<T> BoundedQueue<T> {
             return Err(PushError::Closed(item));
         }
         if state.items.len() >= self.capacity {
+            state.refusals += 1;
             return Err(PushError::Full(item));
         }
         state.items.push_back(item);
+        state.high_water = state.high_water.max(state.items.len());
         drop(state);
         self.not_empty.notify_one();
         Ok(())
@@ -110,6 +135,7 @@ impl<T> BoundedQueue<T> {
             }
             if state.items.len() < self.capacity {
                 state.items.push_back(item);
+                state.high_water = state.high_water.max(state.items.len());
                 drop(state);
                 self.not_empty.notify_one();
                 return Ok(());
@@ -177,6 +203,28 @@ mod tests {
         assert_eq!(queue.pop(), Some(0));
         assert_eq!(queue.pop(), Some(1));
         assert_eq!(queue.pop(), Some(2));
+    }
+
+    #[test]
+    fn refusals_and_high_water_are_tracked() {
+        let queue = BoundedQueue::new(2);
+        assert_eq!(queue.refusals(), 0);
+        assert_eq!(queue.high_water(), 0);
+        queue.try_push(1).unwrap();
+        assert_eq!(queue.high_water(), 1);
+        queue.try_push(2).unwrap();
+        assert_eq!(queue.high_water(), 2);
+        assert_eq!(queue.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(queue.try_push(4), Err(PushError::Full(4)));
+        assert_eq!(queue.refusals(), 2);
+        // Draining does not shrink the high-water mark…
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.high_water(), 2);
+        // …and closed-queue refusals are not capacity refusals.
+        queue.close();
+        assert_eq!(queue.try_push(5), Err(PushError::Closed(5)));
+        assert_eq!(queue.refusals(), 2);
     }
 
     #[test]

@@ -119,6 +119,45 @@ impl Ticket {
                 .expect("response slot poisoned");
         }
     }
+
+    /// Waits at most `timeout` for the response — the bounded-latency wait
+    /// the network front-end's connection writers use so one slow release
+    /// can never wedge a whole connection.
+    ///
+    /// On success the response is **consumed**: a later
+    /// [`Ticket::wait`]/`wait_timeout` on the same ticket reports
+    /// [`ServiceError::ServiceClosed`] instead of blocking forever. A zero
+    /// `timeout` is a pure poll.
+    ///
+    /// # Errors
+    /// [`ServiceError::WaitTimeout`] when the response did not arrive in
+    /// time (the request is still in flight and the ticket remains usable);
+    /// otherwise as for [`Ticket::wait`].
+    pub fn wait_timeout(&self, timeout: std::time::Duration) -> Result<NoisyRelease, ServiceError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut result = self.slot.result.lock().expect("response slot poisoned");
+        loop {
+            if let Some(response) = result.take() {
+                // Leave a closed marker so a (buggy) second wait on the
+                // consumed ticket fails fast instead of hanging.
+                *result = Some(Err(ServiceError::ServiceClosed));
+                return response;
+            }
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|r| !r.is_zero())
+            else {
+                return Err(ServiceError::WaitTimeout { waited: timeout });
+            };
+            let (guard, _timed_out) = self
+                .slot
+                .ready
+                .wait_timeout(result, remaining)
+                .expect("response slot poisoned");
+            result = guard;
+        }
+    }
 }
 
 impl std::fmt::Debug for Ticket {
@@ -434,6 +473,8 @@ impl ReleaseService {
             cached_calibrations: self.engine.len(),
             queue_depth: self.queue.len(),
             queue_capacity: self.queue.capacity(),
+            queue_refusals: self.queue.refusals(),
+            queue_high_water: self.queue.high_water(),
             served: self.served(),
             users: self.budget.users(),
             spent_epsilon: self.budget.total_spent(),
@@ -599,6 +640,77 @@ mod tests {
         // Budget reflects only admitted requests.
         assert!((service.budget().spent("carol") - 0.1 * admitted as f64).abs() < 1e-9);
         assert_eq!(service.served(), admitted as u64);
+        service.shutdown();
+    }
+
+    #[test]
+    fn wait_timeout_bounds_the_wait_and_consumes_once() {
+        let service = ReleaseService::start(
+            test_engine(),
+            ServiceConfig {
+                workers: Parallelism::Threads(1),
+                queue_capacity: 8,
+                per_user_epsilon: 10.0,
+            },
+        )
+        .unwrap();
+        let ticket = service.submit(request("tim", 0.1, 1)).unwrap();
+        // Eventually the worker fulfils it; a generous bounded wait gets the
+        // same response a blocking wait would.
+        let release = loop {
+            match ticket.wait_timeout(std::time::Duration::from_millis(200)) {
+                Ok(release) => break release,
+                Err(ServiceError::WaitTimeout { .. }) => continue,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        };
+        assert_eq!(release.values.len(), 1);
+        // The response was consumed: waiting again fails fast, never hangs.
+        assert!(matches!(
+            ticket.wait_timeout(std::time::Duration::ZERO),
+            Err(ServiceError::ServiceClosed)
+        ));
+
+        // A zero-duration wait on a request stuck behind nothing is a poll:
+        // it either succeeds or times out immediately, without blocking.
+        let ticket = service.submit(request("tim", 0.1, 2)).unwrap();
+        let polled = ticket.wait_timeout(std::time::Duration::ZERO);
+        assert!(matches!(
+            polled,
+            Ok(_) | Err(ServiceError::WaitTimeout { .. })
+        ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn stats_surface_queue_refusals_and_high_water() {
+        let service = ReleaseService::start(
+            test_engine(),
+            ServiceConfig {
+                workers: Parallelism::Threads(1),
+                queue_capacity: 1,
+                per_user_epsilon: 100.0,
+            },
+        )
+        .unwrap();
+        let mut tickets = Vec::new();
+        let mut refused = 0u64;
+        for seed in 0..100 {
+            match service.try_submit(request("hw", 0.1, seed)) {
+                Ok(ticket) => tickets.push(ticket),
+                Err(ServiceError::QueueFull { .. }) => refused += 1,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        for ticket in tickets {
+            ticket.wait().unwrap();
+        }
+        let stats = service.stats();
+        assert_eq!(stats.queue_refusals, refused);
+        assert!(refused > 0, "capacity-1 queue must refuse some submissions");
+        assert_eq!(stats.queue_high_water, 1);
+        let rendered = stats.to_string();
+        assert!(rendered.contains(&format!("refused {refused}")));
         service.shutdown();
     }
 

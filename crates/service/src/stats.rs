@@ -42,6 +42,14 @@ pub struct ServiceStats {
     pub queue_depth: usize,
     /// Capacity of the admission queue (0 when the front-end has none).
     pub queue_capacity: usize,
+    /// Submissions the admission queue refused at capacity — every one a
+    /// back-pressure event a caller saw (`QueueFull` in process, a `BUSY`
+    /// frame over the wire). The signal to watch when tuning
+    /// `queue_capacity` and worker count.
+    pub queue_refusals: u64,
+    /// The deepest the admission queue has ever been. A high-water mark at
+    /// `queue_capacity` means traffic has touched the refusal threshold.
+    pub queue_high_water: usize,
     /// Requests fulfilled so far (successfully or not).
     pub served: u64,
     /// Users (or streams) with at least one recorded spend.
@@ -77,14 +85,16 @@ impl std::fmt::Display for ServiceStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "cache {}/{} hit (coalesced {}), {} cached, queue {}/{}, served {}, \
-             {} users, spent ε = {:.4}",
+            "cache {}/{} hit (coalesced {}), {} cached, queue {}/{} \
+             (high-water {}, refused {}), served {}, {} users, spent ε = {:.4}",
             self.cache.hits,
             self.lookups(),
             self.cache.coalesced,
             self.cached_calibrations,
             self.queue_depth,
             self.queue_capacity,
+            self.queue_high_water,
+            self.queue_refusals,
             self.served,
             self.users,
             self.spent_epsilon,
@@ -116,6 +126,8 @@ mod tests {
         };
         stats.queue_depth = 4;
         stats.queue_capacity = 16;
+        stats.queue_refusals = 9;
+        stats.queue_high_water = 12;
         stats.served = 4;
         stats.users = 2;
         stats.spent_epsilon = 1.25;
@@ -124,6 +136,8 @@ mod tests {
         let rendered = stats.to_string();
         assert!(rendered.contains("3/4 hit"));
         assert!(rendered.contains("queue 4/16"));
+        assert!(rendered.contains("high-water 12"));
+        assert!(rendered.contains("refused 9"));
         assert!(rendered.contains("2 users"));
         assert!(!rendered.contains("warm-started"));
 

@@ -1,0 +1,115 @@
+//! Stand-alone TCP release server: the binary half of the wire quickstart.
+//!
+//! Run with
+//!
+//! ```text
+//! cargo run -p pufferfish-bench --release --example net_server -- 127.0.0.1:7878
+//! ```
+//!
+//! then point `--example net_client` at the same address. Useful flags:
+//!
+//! * first positional arg — listen address (default `127.0.0.1:7878`;
+//!   `127.0.0.1:0` picks an ephemeral port and prints it)
+//! * `--exit-after-connections N` — shut down gracefully once N
+//!   connections have come and gone (how CI runs the server/client pair as
+//!   separate processes with a deterministic exit)
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pufferfish_core::engine::{MqmApproxCalibrator, ReleaseEngine};
+use pufferfish_core::{MqmApproxOptions, Parallelism};
+use pufferfish_markov::IntervalClassBuilder;
+use pufferfish_net::{NetServer, NetServerConfig, QueryEndpoint};
+use pufferfish_query::{MechanismCatalog, QueryService, QueryServiceConfig, Table};
+use pufferfish_service::{ReleaseService, ServiceConfig};
+
+const CHAIN_LENGTH: usize = 60;
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut exit_after: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--exit-after-connections" {
+            let n = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--exit-after-connections needs a number");
+            exit_after = Some(n);
+        } else {
+            addr = arg;
+        }
+    }
+
+    // The serving stack: a weakly correlated binary interval class behind
+    // the approximate Markov Quilt mechanism, shared by 4 workers.
+    let class = IntervalClassBuilder::symmetric(0.4)
+        .grid_points(2)
+        .build()
+        .expect("valid interval class");
+    let engine = ReleaseEngine::shared(MqmApproxCalibrator::new(
+        class.clone(),
+        CHAIN_LENGTH,
+        MqmApproxOptions::default(),
+    ));
+    let service = Arc::new(
+        ReleaseService::start(
+            engine,
+            ServiceConfig {
+                workers: Parallelism::Threads(4),
+                queue_capacity: 256,
+                per_user_epsilon: 5.0,
+            },
+        )
+        .expect("valid service config"),
+    );
+
+    // A query endpoint with one demo table, so QUERY frames work too.
+    let query_service = QueryService::start(
+        MechanismCatalog::new(class),
+        QueryServiceConfig {
+            per_user_epsilon: 5.0,
+            parallelism: Parallelism::Threads(2),
+        },
+    )
+    .expect("valid query config");
+    let mut endpoint = QueryEndpoint::new(query_service);
+    let sensor: Vec<usize> = (0..CHAIN_LENGTH).map(|t| (t * 7 + 3) % 13 % 2).collect();
+    endpoint.register_table(Table::single("sensor", 2, sensor).expect("valid table"));
+
+    let server = NetServer::bind_with_query(
+        &addr as &str,
+        Arc::clone(&service),
+        endpoint,
+        NetServerConfig::default(),
+    )
+    .expect("bind failed");
+
+    println!("listening on {}", server.local_addr());
+    match exit_after {
+        Some(n) => {
+            // Poll until N connections have been accepted and finished,
+            // then drain and exit — the deterministic CI lifecycle.
+            loop {
+                if server.total_connections() >= n && server.active_connections() == 0 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            let stats = server.stats();
+            println!(
+                "served {} release(s) across {} connection(s); shutting down",
+                stats.served,
+                server.total_connections()
+            );
+            server.shutdown();
+        }
+        None => {
+            // Serve until the process is killed.
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+    }
+}
