@@ -1,0 +1,179 @@
+//! Warm-path overhead of self-validating serving, emitting
+//! `BENCH_monitor.json` at the workspace root.
+//!
+//! The same warm request stream is pushed end-to-end through a
+//! [`ReleaseService`] twice — once bare, once with a [`ServiceMonitor`]
+//! attached as the release observer (sequential sign/MAD test + windowed
+//! drift detection + refit buffering on every release). Each mode is timed
+//! over several interleaved repetitions and the best run is kept, so the
+//! figure compares steady-state costs rather than scheduler luck. The bench
+//! asserts the monitored path stays within 5% of the bare path: validation
+//! is cheap enough to leave on in production.
+//!
+//! The JSON schema is documented in the README ("BENCH_*.json schema").
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pufferfish_core::engine::{MqmApproxCalibrator, ReleaseEngine};
+use pufferfish_core::queries::StateFrequencyQuery;
+use pufferfish_core::{MqmApproxOptions, Parallelism, PrivacyBudget};
+use pufferfish_datasets::EventStream;
+use pufferfish_markov::{estimate_class, ClassEstimationOptions, FittedClass, MarkovChain};
+use pufferfish_monitor::{ClassBounds, MonitorConfig, ServiceMonitor};
+use pufferfish_service::{ReleaseObserver, ReleaseRequest, ReleaseService, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Request database length (one sliding window of events).
+const DB_LEN: usize = 60;
+/// Requests per timed run.
+const REQUESTS: usize = 30_000;
+/// Interleaved repetitions per mode; the best run of each is reported.
+const REPETITIONS: usize = 3;
+/// Maximum tolerated warm-path slowdown with the monitor attached.
+const MAX_OVERHEAD_PERCENT: f64 = 5.0;
+
+fn fitted() -> FittedClass {
+    let truth = MarkovChain::new(vec![0.5, 0.5], vec![vec![0.85, 0.15], vec![0.3, 0.7]]).unwrap();
+    let log: Vec<usize> = EventStream::new(truth, 7).take(20_000).collect();
+    estimate_class(&[log], 2, ClassEstimationOptions::default()).unwrap()
+}
+
+fn service(fit: &FittedClass) -> ReleaseService {
+    let engine = ReleaseEngine::shared(MqmApproxCalibrator::new(
+        fit.to_class().unwrap(),
+        DB_LEN,
+        MqmApproxOptions::default(),
+    ));
+    // Pre-warm the single cache key so every measured request is a hit.
+    let query = StateFrequencyQuery::new(1, DB_LEN);
+    let budget = PrivacyBudget::new(0.5).unwrap();
+    engine.mechanism(&query, budget).unwrap();
+    ReleaseService::start(
+        engine,
+        ServiceConfig {
+            workers: Parallelism::Threads(2),
+            queue_capacity: 1024,
+            per_user_epsilon: 1e12,
+        },
+    )
+    .unwrap()
+}
+
+/// Databases are pre-sampled so the timed loop measures serving, not RNG.
+fn databases(fit: &FittedClass, count: usize) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(11);
+    (0..count)
+        .map(|_| pufferfish_markov::sample_trajectory(fit.chain(), DB_LEN, &mut rng).unwrap())
+        .collect()
+}
+
+/// One timed run: `REQUESTS` warm releases, tickets collected in batches.
+fn run(service: &ReleaseService, databases: &[Vec<usize>]) -> f64 {
+    let start = Instant::now();
+    let mut tickets = Vec::with_capacity(64);
+    for i in 0..REQUESTS {
+        let request = ReleaseRequest {
+            user: format!("user-{}", i % 8),
+            query: Arc::new(StateFrequencyQuery::new(1, DB_LEN)),
+            database: databases[i % databases.len()].clone(),
+            epsilon: 0.5,
+            seed: i as u64,
+        };
+        tickets.push(service.submit(request).unwrap());
+        if tickets.len() == 64 {
+            for ticket in tickets.drain(..) {
+                ticket.wait().unwrap();
+            }
+        }
+    }
+    for ticket in tickets {
+        ticket.wait().unwrap();
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    println!("== monitor ==");
+    let fit = fitted();
+    let databases = databases(&fit, 64);
+
+    let bare = service(&fit);
+    let monitored = service(&fit);
+    let monitor = ServiceMonitor::new(
+        ClassBounds::from_fitted(&fit),
+        MonitorConfig::default(),
+        16 * 1024,
+    );
+    monitored.set_observer(Arc::clone(&monitor) as Arc<dyn ReleaseObserver>);
+
+    // Warm both paths once (uncounted) before timing anything.
+    run(&bare, &databases);
+    run(&monitored, &databases);
+
+    let mut off_seconds = f64::INFINITY;
+    let mut on_seconds = f64::INFINITY;
+    for repetition in 0..REPETITIONS {
+        let off = run(&bare, &databases);
+        let on = run(&monitored, &databases);
+        println!("repetition {repetition}: monitor-off {off:.3}s, monitor-on {on:.3}s");
+        off_seconds = off_seconds.min(off);
+        on_seconds = on_seconds.min(on);
+    }
+
+    let off_rps = REQUESTS as f64 / off_seconds;
+    let on_rps = REQUESTS as f64 / on_seconds;
+    let overhead_percent = (on_seconds / off_seconds - 1.0) * 100.0;
+    println!(
+        "monitor-off {off_rps:.0} req/s, monitor-on {on_rps:.0} req/s, \
+         overhead {overhead_percent:.2}%"
+    );
+
+    // The monitor must have actually watched the traffic it was attached to.
+    let stats = monitor.monitor_stats();
+    let watched = (REPETITIONS + 1) * REQUESTS;
+    assert!(
+        stats.drift_windows >= (watched * DB_LEN / 512) as u64 / 2,
+        "monitor saw too few drift windows: {}",
+        stats.drift_windows
+    );
+    assert!(!stats.drifted, "in-class traffic must not trip drift");
+    assert!(
+        overhead_percent < MAX_OVERHEAD_PERCENT,
+        "monitored warm path is {overhead_percent:.2}% slower than bare \
+         (budget {MAX_OVERHEAD_PERCENT}%)"
+    );
+
+    let json = [
+        "  \"bench\": \"monitor\"".to_string(),
+        format!(
+            "  \"config\": {{\"mechanism\": \"mqm-approx\", \"db_len\": {DB_LEN}, \
+             \"requests\": {REQUESTS}, \"repetitions\": {REPETITIONS}, \"workers\": 2}}"
+        ),
+        format!(
+            "  \"warm_path\": [\n    {{\"mode\": \"monitor-off\", \"requests\": {REQUESTS}, \
+             \"seconds\": {off_seconds:.6}, \"requests_per_sec\": {off_rps:.0}}},\n    \
+             {{\"mode\": \"monitor-on\", \"requests\": {REQUESTS}, \"seconds\": {on_seconds:.6}, \
+             \"requests_per_sec\": {on_rps:.0}}}\n  ]"
+        ),
+        format!("  \"overhead_percent\": {overhead_percent:.3}"),
+        format!(
+            "  \"monitor_stats\": {{\"noise_tests\": {}, \"noise_failures\": {}, \
+             \"drift_windows\": {}, \"drifted\": {}, \"recalibrations\": {}}}",
+            stats.noise_tests,
+            stats.noise_failures,
+            stats.drift_windows,
+            stats.drifted,
+            stats.recalibrations
+        ),
+    ];
+
+    bare.shutdown();
+    monitored.shutdown();
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_monitor.json");
+    let contents = format!("{{\n{}\n}}\n", json.join(",\n"));
+    std::fs::write(path, &contents).expect("failed to write BENCH_monitor.json");
+    println!("wrote {path}");
+}

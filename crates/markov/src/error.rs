@@ -37,6 +37,13 @@ pub enum MarkovError {
     DoesNotMix(String),
     /// A distribution class was empty.
     EmptyClass,
+    /// Interval estimation needs at least one observed transition out of
+    /// every state, but this state was never visited (as a transition
+    /// source) in the supplied sequences.
+    UnvisitedState {
+        /// The state with zero outgoing observations.
+        state: usize,
+    },
     /// An underlying linear-algebra operation failed.
     Linalg(LinalgError),
 }
@@ -67,6 +74,10 @@ impl fmt::Display for MarkovError {
             MarkovError::InvalidSequence(msg) => write!(f, "invalid sequence: {msg}"),
             MarkovError::DoesNotMix(msg) => write!(f, "chain does not mix: {msg}"),
             MarkovError::EmptyClass => write!(f, "distribution class is empty"),
+            MarkovError::UnvisitedState { state } => write!(
+                f,
+                "state {state} has no observed outgoing transitions; interval bounds undefined"
+            ),
             MarkovError::Linalg(e) => write!(f, "linear algebra error: {e}"),
         }
     }
@@ -119,6 +130,9 @@ mod tests {
             .to_string()
             .contains("periodic"));
         assert!(MarkovError::EmptyClass.to_string().contains("empty"));
+        assert!(MarkovError::UnvisitedState { state: 4 }
+            .to_string()
+            .contains('4'));
         let e = MarkovError::from(LinalgError::Singular);
         assert!(e.to_string().contains("singular"));
         use std::error::Error;

@@ -6,7 +6,7 @@
 //! empirical transition matrix with its stationary distribution as the
 //! initial distribution for the electricity data.
 
-use crate::{MarkovChain, MarkovError, Result};
+use crate::{MarkovChain, MarkovChainClass, MarkovError, Result};
 
 /// Options controlling empirical estimation.
 #[derive(Debug, Clone, Copy)]
@@ -131,6 +131,338 @@ pub fn fit_chain(
     MarkovChain::new(initial, transition)
 }
 
+/// Raw transition counts behind an empirical estimate, kept per source state
+/// so interval widths can scale with how often each row was actually
+/// observed.
+#[derive(Debug, Clone)]
+pub struct TransitionCounts {
+    counts: Vec<Vec<u64>>,
+    row_visits: Vec<u64>,
+}
+
+impl TransitionCounts {
+    /// Tallies consecutive pairs of the sequences (no counting across
+    /// sequence boundaries, matching [`empirical_transition_matrix`]).
+    ///
+    /// # Errors
+    /// * [`MarkovError::NoStates`] when `num_states == 0`.
+    /// * [`MarkovError::InvalidSequence`] when a state is out of range.
+    pub fn from_sequences(sequences: &[Vec<usize>], num_states: usize) -> Result<Self> {
+        if num_states == 0 {
+            return Err(MarkovError::NoStates);
+        }
+        let mut counts = vec![vec![0u64; num_states]; num_states];
+        let mut row_visits = vec![0u64; num_states];
+        for sequence in sequences {
+            for &state in sequence {
+                if state >= num_states {
+                    return Err(MarkovError::InvalidSequence(format!(
+                        "state {state} out of range for {num_states} states"
+                    )));
+                }
+            }
+            for window in sequence.windows(2) {
+                counts[window[0]][window[1]] += 1;
+                row_visits[window[0]] += 1;
+            }
+        }
+        Ok(TransitionCounts { counts, row_visits })
+    }
+
+    /// The number of states counted over.
+    pub fn num_states(&self) -> usize {
+        self.row_visits.len()
+    }
+
+    /// Observed `from -> to` transitions.
+    pub fn count(&self, from: usize, to: usize) -> u64 {
+        self.counts[from][to]
+    }
+
+    /// Observed transitions leaving `state` (the row sample size).
+    pub fn row_visits(&self, state: usize) -> u64 {
+        self.row_visits[state]
+    }
+
+    /// The empirical (unsmoothed) transition probability, or `None` for an
+    /// unvisited row.
+    pub fn empirical(&self, from: usize, to: usize) -> Option<f64> {
+        let n = self.row_visits[from];
+        (n > 0).then(|| self.counts[from][to] as f64 / n as f64)
+    }
+}
+
+/// How per-entry confidence intervals around the empirical transition
+/// probabilities are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntervalMethod {
+    /// Hoeffding bound: half-width `sqrt(ln(2/α) / 2n)`. Distribution-free
+    /// and non-asymptotic — the advertised coverage holds for every sample
+    /// size, at the cost of wider intervals.
+    Hoeffding,
+    /// Wilson score interval at the same per-entry level. Asymptotic but
+    /// much tighter for well-visited rows.
+    Wilson,
+}
+
+/// Options for [`estimate_class`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassEstimationOptions {
+    /// Smoothing for the point-estimate chain (see [`EstimationOptions`]).
+    pub smoothing: f64,
+    /// Whole-matrix coverage target in `(0, 1)`; per-entry levels are
+    /// Bonferroni-corrected so the *entire* true matrix lies inside the
+    /// bounds with at least this probability.
+    pub confidence: f64,
+    /// Interval construction.
+    pub method: IntervalMethod,
+}
+
+impl Default for ClassEstimationOptions {
+    fn default() -> Self {
+        ClassEstimationOptions {
+            smoothing: 1e-3,
+            confidence: 0.95,
+            method: IntervalMethod::Hoeffding,
+        }
+    }
+}
+
+/// A chain fitted from data together with elementwise confidence bounds on
+/// its transition matrix, ready to widen into a [`MarkovChainClass`].
+#[derive(Debug, Clone)]
+pub struct FittedClass {
+    chain: MarkovChain,
+    lower: Vec<Vec<f64>>,
+    upper: Vec<Vec<f64>>,
+    row_visits: Vec<u64>,
+    confidence: f64,
+}
+
+/// Corner chains keep their diagonal this far away from the absorbing
+/// boundary so every chain in the widened class stays irreducible and
+/// aperiodic (MQMApprox needs a stationary distribution and an eigengap for
+/// each class member).
+const CORNER_FLOOR: f64 = 1e-3;
+
+impl FittedClass {
+    /// The smoothed point-estimate chain.
+    pub fn chain(&self) -> &MarkovChain {
+        &self.chain
+    }
+
+    /// Elementwise lower confidence bounds on the transition matrix.
+    pub fn lower(&self) -> &[Vec<f64>] {
+        &self.lower
+    }
+
+    /// Elementwise upper confidence bounds on the transition matrix.
+    pub fn upper(&self) -> &[Vec<f64>] {
+        &self.upper
+    }
+
+    /// Transitions observed out of each state.
+    pub fn row_visits(&self) -> &[u64] {
+        &self.row_visits
+    }
+
+    /// The whole-matrix coverage level the bounds were built for.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// The number of states.
+    pub fn num_states(&self) -> usize {
+        self.row_visits.len()
+    }
+
+    /// Whether every entry of `matrix` lies inside the fitted bounds.
+    pub fn contains(&self, matrix: &[Vec<f64>]) -> bool {
+        matrix.len() == self.lower.len()
+            && matrix.iter().enumerate().all(|(i, row)| {
+                row.len() == self.lower[i].len()
+                    && row.iter().enumerate().all(|(j, &p)| {
+                        p >= self.lower[i][j] - 1e-12 && p <= self.upper[i][j] + 1e-12
+                    })
+            })
+    }
+
+    /// Widens the fit into a distribution class: the fitted chain plus
+    /// corner chains pushing each state's self-transition to its interval
+    /// bounds (per row and all rows at once), closed under all initial
+    /// distributions. The corners realise the extreme stickiness the bounds
+    /// allow, so worst-case-over-class calibration (π^min, eigengap,
+    /// max-influence) pays for the estimation uncertainty; widening can
+    /// therefore only increase the calibrated noise scale relative to the
+    /// fitted chain alone.
+    ///
+    /// # Errors
+    /// Propagates chain/class construction failures.
+    pub fn to_class(&self) -> Result<MarkovChainClass> {
+        let k = self.num_states();
+        let fitted: Vec<Vec<f64>> = (0..k)
+            .map(|i| self.chain.transition().row(i).to_vec())
+            .collect();
+        let mut chains = vec![self.chain.clone()];
+        let corner_row = |i: usize, diag: f64| -> Vec<f64> {
+            if k == 1 {
+                return vec![1.0];
+            }
+            let diag = diag.clamp(CORNER_FLOOR, 1.0 - CORNER_FLOOR);
+            let off_sum: f64 = (0..k).filter(|&j| j != i).map(|j| fitted[i][j]).sum();
+            let mut row = vec![0.0; k];
+            row[i] = diag;
+            for j in 0..k {
+                if j != i {
+                    row[j] = if off_sum > 0.0 {
+                        (1.0 - diag) * fitted[i][j] / off_sum
+                    } else {
+                        (1.0 - diag) / (k - 1) as f64
+                    };
+                }
+            }
+            row
+        };
+        let initial = self.chain.initial().as_slice().to_vec();
+        let mut push_corner = |rows: Vec<Vec<f64>>| -> Result<()> {
+            chains.push(MarkovChain::new(initial.clone(), rows)?);
+            Ok(())
+        };
+        for i in 0..k {
+            for bound in [self.upper[i][i], self.lower[i][i]] {
+                let mut rows = fitted.clone();
+                rows[i] = corner_row(i, bound);
+                push_corner(rows)?;
+            }
+        }
+        push_corner((0..k).map(|i| corner_row(i, self.upper[i][i])).collect())?;
+        push_corner((0..k).map(|i| corner_row(i, self.lower[i][i])).collect())?;
+        MarkovChainClass::with_all_initial_distributions(chains)
+    }
+}
+
+/// Inverse standard normal CDF (Acklam's rational approximation, relative
+/// error below 1.15e-9 on (0, 1)). Only used for Wilson intervals.
+fn normal_quantile(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+/// Fits a chain to the sequences and widens the empirical transition matrix
+/// into per-entry confidence bounds scaled by each state's visit count.
+///
+/// The per-entry level is Bonferroni-corrected over all `k²` entries so the
+/// whole true matrix is covered with probability at least
+/// `options.confidence` (exactly, not asymptotically, under
+/// [`IntervalMethod::Hoeffding`]).
+///
+/// # Errors
+/// * [`MarkovError::UnvisitedState`] when some state has no observed
+///   outgoing transition — its row sample size is zero, so no finite
+///   interval exists. Callers should either extend the log or drop to a
+///   hand-specified class for such states.
+/// * [`MarkovError::InvalidSequence`] on out-of-range states or when
+///   `options.confidence` is outside `(0, 1)`.
+/// * [`MarkovError::NoStates`] when `num_states == 0`.
+pub fn estimate_class(
+    sequences: &[Vec<usize>],
+    num_states: usize,
+    options: ClassEstimationOptions,
+) -> Result<FittedClass> {
+    if !(options.confidence > 0.0 && options.confidence < 1.0) {
+        return Err(MarkovError::InvalidSequence(format!(
+            "confidence must lie in (0, 1), got {}",
+            options.confidence
+        )));
+    }
+    let counts = TransitionCounts::from_sequences(sequences, num_states)?;
+    if let Some(state) = (0..num_states).find(|&s| counts.row_visits(s) == 0) {
+        return Err(MarkovError::UnvisitedState { state });
+    }
+    let chain = fit_chain(
+        sequences,
+        num_states,
+        EstimationOptions {
+            smoothing: options.smoothing,
+        },
+    )?;
+    // Per-entry significance after Bonferroni over the k² simultaneous
+    // intervals.
+    let alpha = (1.0 - options.confidence) / (num_states * num_states) as f64;
+    let mut lower = vec![vec![0.0; num_states]; num_states];
+    let mut upper = vec![vec![0.0; num_states]; num_states];
+    for i in 0..num_states {
+        let n = counts.row_visits(i) as f64;
+        for j in 0..num_states {
+            let p_hat = counts.empirical(i, j).expect("visited row");
+            let (lo, hi) = match options.method {
+                IntervalMethod::Hoeffding => {
+                    let half = ((2.0 / alpha).ln() / (2.0 * n)).sqrt();
+                    (p_hat - half, p_hat + half)
+                }
+                IntervalMethod::Wilson => {
+                    let z = normal_quantile(1.0 - alpha / 2.0);
+                    let z2 = z * z;
+                    let denom = 1.0 + z2 / n;
+                    let centre = (p_hat + z2 / (2.0 * n)) / denom;
+                    let half = z * (p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+                    (centre - half, centre + half)
+                }
+            };
+            lower[i][j] = lo.max(0.0);
+            upper[i][j] = hi.min(1.0);
+        }
+    }
+    Ok(FittedClass {
+        chain,
+        lower,
+        upper,
+        row_visits: (0..num_states).map(|s| counts.row_visits(s)).collect(),
+        confidence: options.confidence,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +539,115 @@ mod tests {
             empirical_initial_distribution(&[], 2, EstimationOptions { smoothing: 0.0 }),
             Err(MarkovError::InvalidSequence(_))
         ));
+    }
+
+    #[test]
+    fn transition_counts_tally_rows() {
+        let sequences = vec![vec![0usize, 1, 1, 0], vec![1usize, 0]];
+        let counts = TransitionCounts::from_sequences(&sequences, 2).unwrap();
+        assert_eq!(counts.num_states(), 2);
+        assert_eq!(counts.count(0, 1), 1);
+        assert_eq!(counts.count(1, 1), 1);
+        assert_eq!(counts.count(1, 0), 2);
+        assert_eq!(counts.row_visits(0), 1);
+        assert_eq!(counts.row_visits(1), 3);
+        assert!((counts.empirical(1, 0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(TransitionCounts::from_sequences(&sequences, 0).is_err());
+        assert!(TransitionCounts::from_sequences(&[vec![0, 7]], 2).is_err());
+    }
+
+    #[test]
+    fn estimate_class_bounds_cover_the_truth() {
+        let truth = MarkovChain::new(vec![0.5, 0.5], vec![vec![0.8, 0.2], vec![0.3, 0.7]]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let sequences = vec![sample_trajectory(&truth, 20_000, &mut rng).unwrap()];
+        for method in [IntervalMethod::Hoeffding, IntervalMethod::Wilson] {
+            let fitted = estimate_class(
+                &sequences,
+                2,
+                ClassEstimationOptions {
+                    method,
+                    ..ClassEstimationOptions::default()
+                },
+            )
+            .unwrap();
+            let rows: Vec<Vec<f64>> = (0..2).map(|i| truth.transition().row(i).to_vec()).collect();
+            assert!(fitted.contains(&rows), "{method:?} bounds missed the truth");
+            assert!(fitted.confidence() == 0.95);
+            assert!(fitted.row_visits().iter().all(|&n| n > 0));
+            // Bounds are genuine intervals around the empirical estimate.
+            for i in 0..2 {
+                for j in 0..2 {
+                    assert!(fitted.lower()[i][j] < fitted.upper()[i][j]);
+                    assert!(fitted.lower()[i][j] >= 0.0 && fitted.upper()[i][j] <= 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wilson_intervals_are_tighter_than_hoeffding() {
+        let truth = MarkovChain::new(vec![0.5, 0.5], vec![vec![0.9, 0.1], vec![0.4, 0.6]]).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let sequences = vec![sample_trajectory(&truth, 20_000, &mut rng).unwrap()];
+        let hoeffding = estimate_class(&sequences, 2, ClassEstimationOptions::default()).unwrap();
+        let wilson = estimate_class(
+            &sequences,
+            2,
+            ClassEstimationOptions {
+                method: IntervalMethod::Wilson,
+                ..ClassEstimationOptions::default()
+            },
+        )
+        .unwrap();
+        // Width for the rare 0->1 transition: Wilson adapts to p(1-p).
+        let wh = hoeffding.upper()[0][1] - hoeffding.lower()[0][1];
+        let ww = wilson.upper()[0][1] - wilson.lower()[0][1];
+        assert!(ww < wh, "Wilson {ww} should beat Hoeffding {wh}");
+    }
+
+    #[test]
+    fn estimate_class_reports_unvisited_states() {
+        let sequences = vec![vec![0usize, 1, 0, 1, 0]];
+        let err = estimate_class(&sequences, 3, ClassEstimationOptions::default()).unwrap_err();
+        assert_eq!(err, MarkovError::UnvisitedState { state: 2 });
+        assert!(estimate_class(
+            &sequences,
+            2,
+            ClassEstimationOptions {
+                confidence: 1.5,
+                ..ClassEstimationOptions::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn widened_class_contains_fitted_chain_and_valid_corners() {
+        let truth = MarkovChain::new(vec![0.5, 0.5], vec![vec![0.8, 0.2], vec![0.3, 0.7]]).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let sequences = vec![sample_trajectory(&truth, 5_000, &mut rng).unwrap()];
+        let fitted = estimate_class(&sequences, 2, ClassEstimationOptions::default()).unwrap();
+        let class = fitted.to_class().unwrap();
+        assert!(class.allows_all_initial_distributions());
+        // fitted + 2 per-row corners x 2 rows + all-hi + all-lo.
+        assert_eq!(class.len(), 7);
+        for chain in class.chains() {
+            assert!(
+                chain.is_irreducible_aperiodic(),
+                "corner chains must stay usable by MQMApprox"
+            );
+        }
+        assert_eq!(class.chains()[0].transition(), fitted.chain().transition());
+    }
+
+    #[test]
+    fn normal_quantile_matches_known_values() {
+        assert!(normal_quantile(0.5).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-5);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-5);
+        assert!((normal_quantile(0.999) - 3.090232).abs() < 1e-5);
+        assert!((normal_quantile(1e-9) + 5.997807).abs() < 1e-4);
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! Windowed drift detection: do the incoming events still look like the
+//! class the mechanisms were calibrated against?
+
+use pufferfish_markov::FittedClass;
+
+/// Elementwise transition-probability bounds defining the conformance
+/// envelope a [`DriftDetector`] tests against — usually the confidence
+/// bounds of a [`FittedClass`], but any hand-specified envelope works.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassBounds {
+    lower: Vec<Vec<f64>>,
+    upper: Vec<Vec<f64>>,
+}
+
+impl ClassBounds {
+    /// Bounds from explicit elementwise lower/upper matrices (clamped to
+    /// `[0, 1]`; mismatched shapes are truncated to the square of the
+    /// smaller dimension — prefer the [`FittedClass`] constructor, which
+    /// can't mismatch).
+    pub fn new(lower: Vec<Vec<f64>>, upper: Vec<Vec<f64>>) -> Self {
+        let k = lower.len().min(upper.len());
+        let clamp = |m: Vec<Vec<f64>>| -> Vec<Vec<f64>> {
+            m.into_iter()
+                .take(k)
+                .map(|row| row.into_iter().take(k).map(|p| p.clamp(0.0, 1.0)).collect())
+                .collect()
+        };
+        ClassBounds {
+            lower: clamp(lower),
+            upper: clamp(upper),
+        }
+    }
+
+    /// The conformance envelope of a fitted class.
+    pub fn from_fitted(fitted: &FittedClass) -> Self {
+        ClassBounds {
+            lower: fitted.lower().to_vec(),
+            upper: fitted.upper().to_vec(),
+        }
+    }
+
+    /// The number of states the bounds cover.
+    pub fn num_states(&self) -> usize {
+        self.lower.len()
+    }
+}
+
+/// Tuning for a [`DriftDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Events per test window.
+    pub window_events: usize,
+    /// Per-window false-positive probability: for a stream whose true
+    /// transition matrix lies inside the bounds, each window flags drift
+    /// with probability at most this (Hoeffding over every tested entry,
+    /// Bonferroni-corrected).
+    pub alpha: f64,
+    /// Consecutive violating windows required before the detector trips —
+    /// debouncing, so one unlucky window can't trigger a recalibration.
+    pub consecutive: usize,
+    /// Rows with fewer observed transitions than this in a window are not
+    /// tested (their empirical frequencies are too noisy to mean anything).
+    pub min_row_visits: u64,
+}
+
+impl Default for DriftConfig {
+    /// 512-event windows, α = 1e-4 per window, 2 consecutive windows to
+    /// trip, rows tested from 16 visits.
+    fn default() -> Self {
+        DriftConfig {
+            window_events: 512,
+            alpha: 1e-4,
+            consecutive: 2,
+            min_row_visits: 16,
+        }
+    }
+}
+
+/// One completed window's drift assessment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftVerdict {
+    /// 1-based index of the completed window.
+    pub window_index: u64,
+    /// Max over tested entries of `excess / slack`, where `excess` is how
+    /// far the empirical frequency falls outside the bounds and `slack` is
+    /// the row's Hoeffding allowance at the configured α. Scores ≤ 1 are
+    /// within statistical noise; > 1 violates the envelope.
+    pub score: f64,
+    /// Whether this window violated the envelope (`score > 1`).
+    pub violating: bool,
+    /// Whether the detector is tripped after this window.
+    pub drifted: bool,
+}
+
+/// Tests windowed empirical transition frequencies against calibrated class
+/// bounds.
+///
+/// Within a window, transitions out of state `i` are — by the Markov
+/// property — i.i.d. draws from row `i` of the true transition matrix
+/// (conditionally on the visit count `n_i`), so Hoeffding gives
+/// `P(|p̂ − p| > s) ≤ 2·exp(−2·n_i·s²)` per entry. The detector allows each
+/// tested entry the slack `s_i = sqrt(ln(2k²/α) / (2·n_i))`; a union bound
+/// over the ≤ k² entries caps the per-window false-positive probability at
+/// `α` whenever the true matrix lies inside the bounds. Requiring
+/// [`DriftConfig::consecutive`] violating windows makes spurious trips
+/// (probability ≤ αᶜ per run of windows) negligible while a genuine
+/// transition shift — which violates the envelope in expectation — trips
+/// within a handful of windows.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    bounds: ClassBounds,
+    config: DriftConfig,
+    counts: Vec<Vec<u64>>,
+    row_visits: Vec<u64>,
+    events_in_window: usize,
+    last_state: Option<usize>,
+    windows_tested: u64,
+    consecutive_violations: usize,
+    drifted: bool,
+    last_score: f64,
+}
+
+impl DriftDetector {
+    /// A detector over the given envelope.
+    pub fn new(bounds: ClassBounds, config: DriftConfig) -> Self {
+        let k = bounds.num_states();
+        DriftDetector {
+            bounds,
+            config,
+            counts: vec![vec![0; k]; k],
+            row_visits: vec![0; k],
+            events_in_window: 0,
+            last_state: None,
+            windows_tested: 0,
+            consecutive_violations: 0,
+            drifted: false,
+            last_score: 0.0,
+        }
+    }
+
+    /// Observes one event; returns the verdict when it completes a window.
+    ///
+    /// Out-of-range events are ignored (and break the transition chain) —
+    /// a monitor must never make the serving path fail.
+    pub fn observe_event(&mut self, event: usize) -> Option<DriftVerdict> {
+        if event >= self.bounds.num_states() {
+            self.last_state = None;
+            return None;
+        }
+        if let Some(previous) = self.last_state {
+            self.counts[previous][event] += 1;
+            self.row_visits[previous] += 1;
+        }
+        self.last_state = Some(event);
+        self.events_in_window += 1;
+        if self.events_in_window < self.config.window_events {
+            return None;
+        }
+        Some(self.close_window())
+    }
+
+    /// Observes a self-contained event sequence (one request's database):
+    /// no transition is counted from the previous sequence into this one.
+    /// Returns the verdicts of any windows completed along the way.
+    pub fn observe_sequence(&mut self, events: &[usize]) -> Vec<DriftVerdict> {
+        self.last_state = None;
+        events
+            .iter()
+            .filter_map(|&event| self.observe_event(event))
+            .collect()
+    }
+
+    fn close_window(&mut self) -> DriftVerdict {
+        let k = self.bounds.num_states();
+        let mut score: f64 = 0.0;
+        for i in 0..k {
+            let n = self.row_visits[i];
+            if n < self.config.min_row_visits {
+                continue;
+            }
+            let slack = ((2.0 * (k * k) as f64 / self.config.alpha).ln() / (2.0 * n as f64)).sqrt();
+            for j in 0..k {
+                let p_hat = self.counts[i][j] as f64 / n as f64;
+                let excess = (self.bounds.lower[i][j] - p_hat)
+                    .max(p_hat - self.bounds.upper[i][j])
+                    .max(0.0);
+                score = score.max(excess / slack);
+            }
+        }
+        let violating = score > 1.0;
+        if violating {
+            self.consecutive_violations += 1;
+            if self.consecutive_violations >= self.config.consecutive {
+                self.drifted = true;
+            }
+        } else {
+            self.consecutive_violations = 0;
+        }
+        self.windows_tested += 1;
+        self.last_score = score;
+        // Start the next window fresh, but keep the transition chain: the
+        // stream is continuous across window boundaries.
+        for row in &mut self.counts {
+            row.fill(0);
+        }
+        self.row_visits.fill(0);
+        self.events_in_window = 0;
+        DriftVerdict {
+            window_index: self.windows_tested,
+            score,
+            violating,
+            drifted: self.drifted,
+        }
+    }
+
+    /// States of the current conformance envelope.
+    pub fn num_states(&self) -> usize {
+        self.bounds.num_states()
+    }
+
+    /// `true` once [`DriftConfig::consecutive`] violating windows have been
+    /// seen in a row (sticky until [`DriftDetector::rebase`]).
+    pub fn drifted(&self) -> bool {
+        self.drifted
+    }
+
+    /// The most recent window's score.
+    pub fn last_score(&self) -> f64 {
+        self.last_score
+    }
+
+    /// Windows scored so far.
+    pub fn windows_tested(&self) -> u64 {
+        self.windows_tested
+    }
+
+    /// Replaces the envelope (after a recalibration fitted a new class) and
+    /// clears the tripped state, partial window and violation streak. The
+    /// lifetime `windows_tested` counter survives.
+    pub fn rebase(&mut self, bounds: ClassBounds) {
+        let k = bounds.num_states();
+        self.bounds = bounds;
+        self.counts = vec![vec![0; k]; k];
+        self.row_visits = vec![0; k];
+        self.events_in_window = 0;
+        self.last_state = None;
+        self.consecutive_violations = 0;
+        self.drifted = false;
+        self.last_score = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pufferfish_markov::{estimate_class, ClassEstimationOptions, MarkovChain};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain(stay0: f64, stay1: f64) -> MarkovChain {
+        MarkovChain::new(
+            vec![0.5, 0.5],
+            vec![vec![stay0, 1.0 - stay0], vec![1.0 - stay1, stay1]],
+        )
+        .unwrap()
+    }
+
+    fn fitted_bounds(truth: &MarkovChain, seed: u64) -> ClassBounds {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let log = vec![pufferfish_markov::sample_trajectory(truth, 20_000, &mut rng).unwrap()];
+        ClassBounds::from_fitted(
+            &estimate_class(&log, 2, ClassEstimationOptions::default()).unwrap(),
+        )
+    }
+
+    fn run(detector: &mut DriftDetector, truth: &MarkovChain, events: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let log = pufferfish_markov::sample_trajectory(truth, events, &mut rng).unwrap();
+        for event in log {
+            detector.observe_event(event);
+        }
+    }
+
+    #[test]
+    fn matching_stream_does_not_trip() {
+        let truth = chain(0.8, 0.7);
+        let mut detector = DriftDetector::new(fitted_bounds(&truth, 1), DriftConfig::default());
+        run(&mut detector, &truth, 512 * 40, 2);
+        assert_eq!(detector.windows_tested(), 40);
+        assert!(!detector.drifted());
+    }
+
+    #[test]
+    fn shifted_stream_trips_within_a_bounded_window_count() {
+        let truth = chain(0.8, 0.7);
+        let mut detector = DriftDetector::new(fitted_bounds(&truth, 3), DriftConfig::default());
+        // In-class prefix, then a hard shift of the state-0 row.
+        run(&mut detector, &truth, 512 * 4, 4);
+        assert!(!detector.drifted());
+        let shifted = chain(0.45, 0.7);
+        run(&mut detector, &shifted, 512 * 4, 5);
+        assert!(detector.drifted(), "shift must trip within 4 windows");
+        assert!(detector.last_score() > 1.0 || detector.drifted());
+    }
+
+    #[test]
+    fn rebase_clears_the_trip_and_retargets() {
+        let truth = chain(0.8, 0.7);
+        let shifted = chain(0.45, 0.7);
+        let mut detector = DriftDetector::new(fitted_bounds(&truth, 6), DriftConfig::default());
+        run(&mut detector, &shifted, 512 * 6, 7);
+        assert!(detector.drifted());
+        let windows_before = detector.windows_tested();
+        // Refit on the shifted regime: the detector accepts it again.
+        detector.rebase(fitted_bounds(&shifted, 8));
+        assert!(!detector.drifted());
+        run(&mut detector, &shifted, 512 * 6, 9);
+        assert!(!detector.drifted());
+        assert_eq!(detector.windows_tested(), windows_before + 6);
+    }
+
+    #[test]
+    fn sequences_do_not_leak_transitions_across_boundaries() {
+        // Envelope with no tolerance for 1->0 or 0->1 transitions beyond
+        // what alternating databases would show — constructed directly.
+        let bounds = ClassBounds::new(
+            vec![vec![0.9, 0.0], vec![0.0, 0.9]],
+            vec![vec![1.0, 0.1], vec![0.1, 1.0]],
+        );
+        let mut detector = DriftDetector::new(
+            bounds,
+            DriftConfig {
+                window_events: 64,
+                alpha: 1e-4,
+                consecutive: 1,
+                min_row_visits: 8,
+            },
+        );
+        // Each database is constant — zero cross-state transitions inside a
+        // sequence; the boundary between a 0-run and a 1-run must not count
+        // as a 0->1 transition, or the envelope above would be violated.
+        for i in 0..20 {
+            let verdicts = detector.observe_sequence(&[i % 2; 64]);
+            for verdict in verdicts {
+                assert!(!verdict.violating, "boundary transitions leaked");
+            }
+        }
+        assert!(!detector.drifted());
+    }
+
+    #[test]
+    fn out_of_range_events_are_ignored() {
+        let truth = chain(0.8, 0.7);
+        let mut detector = DriftDetector::new(
+            fitted_bounds(&truth, 10),
+            DriftConfig {
+                window_events: 32,
+                ..DriftConfig::default()
+            },
+        );
+        for _ in 0..100 {
+            assert!(detector.observe_event(9).is_none());
+        }
+        assert_eq!(detector.windows_tested(), 0);
+    }
+
+    #[test]
+    fn verdict_fields_are_coherent() {
+        let truth = chain(0.8, 0.7);
+        let mut detector = DriftDetector::new(
+            fitted_bounds(&truth, 11),
+            DriftConfig {
+                window_events: 256,
+                alpha: 1e-4,
+                consecutive: 1,
+                min_row_visits: 16,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(12);
+        let log = pufferfish_markov::sample_trajectory(&truth, 256, &mut rng).unwrap();
+        let mut verdict = None;
+        for event in log {
+            if let Some(v) = detector.observe_event(event) {
+                verdict = Some(v);
+            }
+        }
+        let verdict = verdict.expect("256 events complete one window");
+        assert_eq!(verdict.window_index, 1);
+        assert!(verdict.score >= 0.0);
+        assert_eq!(verdict.violating, verdict.score > 1.0);
+        assert_eq!(verdict.drifted, detector.drifted());
+        assert_eq!(detector.last_score(), verdict.score);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for the monitoring and canary-recalibration layer.
+
+use std::fmt;
+
+use pufferfish_core::PufferfishError;
+use pufferfish_markov::MarkovError;
+use pufferfish_service::ServiceError;
+
+/// Errors produced by monitors and the canary recalibration path.
+#[derive(Debug)]
+pub enum MonitorError {
+    /// Refitting a class from the recent event window failed (for example
+    /// [`MarkovError::UnvisitedState`] when the window never left a state).
+    Estimation(MarkovError),
+    /// Building or calibrating the canary engine failed.
+    Mechanism(PufferfishError),
+    /// A serving-layer operation (engine swap bookkeeping, snapshot export,
+    /// stream recalibration) failed.
+    Service(ServiceError),
+    /// A recalibration was requested before the recent event window held
+    /// enough events to refit from.
+    InsufficientEvents {
+        /// Events currently buffered.
+        have: usize,
+        /// Events required by the configuration.
+        need: usize,
+    },
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::Estimation(e) => write!(f, "class estimation failed: {e}"),
+            MonitorError::Mechanism(e) => write!(f, "canary calibration failed: {e}"),
+            MonitorError::Service(e) => write!(f, "serving-layer operation failed: {e}"),
+            MonitorError::InsufficientEvents { have, need } => write!(
+                f,
+                "recalibration needs {need} recent events but only {have} are buffered"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MonitorError::Estimation(e) => Some(e),
+            MonitorError::Mechanism(e) => Some(e),
+            MonitorError::Service(e) => Some(e),
+            MonitorError::InsufficientEvents { .. } => None,
+        }
+    }
+}
+
+impl From<MarkovError> for MonitorError {
+    fn from(e: MarkovError) -> Self {
+        MonitorError::Estimation(e)
+    }
+}
+
+impl From<PufferfishError> for MonitorError {
+    fn from(e: PufferfishError) -> Self {
+        MonitorError::Mechanism(e)
+    }
+}
+
+impl From<ServiceError> for MonitorError {
+    fn from(e: ServiceError) -> Self {
+        MonitorError::Service(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = MonitorError::from(MarkovError::UnvisitedState { state: 1 });
+        assert!(e.to_string().contains("estimation"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+        let e = MonitorError::InsufficientEvents { have: 3, need: 10 };
+        assert!(e.to_string().contains("needs 10"));
+        assert!(e.source().is_none());
+        let e = MonitorError::from(ServiceError::ServiceClosed);
+        assert!(e.to_string().contains("serving-layer"));
+        let e = MonitorError::from(PufferfishError::CannotCalibrate("x".into()));
+        assert!(e.to_string().contains("canary"));
+    }
+}

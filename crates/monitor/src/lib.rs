@@ -1,0 +1,56 @@
+//! # pufferfish-monitor
+//!
+//! Self-validating serving for the Pufferfish mechanisms of Song, Wang &
+//! Chaudhuri (SIGMOD 2017). Everything upstream of this crate assumes two
+//! things a long-running deployment cannot take on faith: that the incoming
+//! event stream still matches the Markov distribution class the mechanisms
+//! were calibrated against, and that the released noise actually follows the
+//! calibrated Laplace scale. This crate closes the loop:
+//!
+//! * [`testkit`] — the sign/MAD/MAD-ratio statistics behind the offline
+//!   statistical-validity harness, factored out so the repository's test
+//!   suite and the runtime monitor provably run the same math;
+//! * [`ReleaseMonitor`] — a sequential runtime test of released noise
+//!   against the calibrated scale, with a configurable false-positive budget
+//!   spent over the infinite test sequence;
+//! * [`DriftDetector`] — windows incoming events and tests observed
+//!   transition frequencies against calibrated class bounds
+//!   ([`ClassBounds`], usually from a fitted
+//!   [`pufferfish_markov::FittedClass`]);
+//! * [`MonitoredService`] / [`ServiceMonitor`] — the serving-path wiring: a
+//!   [`pufferfish_service::ReleaseService`] observer feeding both monitors,
+//!   with drift or miscalibration verdicts triggering a *canary
+//!   recalibration* — fit a class on the recent event window, build and
+//!   calibrate a fresh engine off-path, compare scales, then atomically
+//!   swap the engine and refresh the calibration snapshot;
+//! * [`MonitoredStream`] — the same loop for a
+//!   [`pufferfish_service::ContinualRelease`] stream, where the noise
+//!   monitor is *anchored* to the calibrated stream scale so a stale or
+//!   wrong calibration is detectable (and recalibration restores health).
+//!
+//! The estimation front of the pipeline (raw event log → fitted chain →
+//! confidence-interval class bounds) lives in
+//! [`pufferfish_markov::estimate_class`]; this crate consumes its output.
+//!
+//! Everything is deterministic given seeds, and every monitor is cheap
+//! enough to ride the warm release path (the `monitor` bench holds the
+//! observed path within 5% of the unobserved one).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod canary;
+mod drift;
+mod error;
+mod release;
+mod stream;
+pub mod testkit;
+
+pub use canary::{CanaryConfig, CanaryOutcome, MonitorConfig, MonitoredService, ServiceMonitor};
+pub use drift::{ClassBounds, DriftConfig, DriftDetector, DriftVerdict};
+pub use error::MonitorError;
+pub use release::{ReleaseMonitor, ReleaseMonitorConfig};
+pub use stream::{MonitoredStream, StreamMonitorConfig, StreamRecalibration, StreamStep};
+
+/// Result alias for the monitoring layer.
+pub type Result<T> = std::result::Result<T, MonitorError>;

@@ -1,0 +1,258 @@
+//! The runtime sequential test of released noise against its calibrated
+//! scale.
+
+use pufferfish_core::NoisyRelease;
+
+use crate::testkit::{evaluate_laplace, LaplaceTolerances, LaplaceVerdict, NoiseAccumulator};
+
+/// Tuning for a [`ReleaseMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReleaseMonitorConfig {
+    /// Noise samples per sequential test window.
+    pub window: u64,
+    /// Total false-positive probability budget across the *infinite*
+    /// sequence of tests: test `t` runs at significance
+    /// `budget / (t·(t+1))`, which sums to `budget` over all `t ≥ 1`. A
+    /// correctly calibrated mechanism therefore triggers a false
+    /// miscalibration verdict with probability at most `budget`, no matter
+    /// how long the monitor runs.
+    pub fp_budget: f64,
+}
+
+impl Default for ReleaseMonitorConfig {
+    /// 4096-sample windows and a lifetime false-positive budget of 1e-3.
+    fn default() -> Self {
+        ReleaseMonitorConfig {
+            window: 4096,
+            fp_budget: 1e-3,
+        }
+    }
+}
+
+/// A sequential sign/MAD test of released noise.
+///
+/// Every observed noise sample is normalised by an *expected scale* — either
+/// the release's own reported scale (default mode: catches mechanisms whose
+/// sampler disagrees with the scale they claim, the bug class the offline
+/// harness exists for) or a fixed *anchor* scale from calibration
+/// ([`ReleaseMonitor::with_anchor`]: additionally catches a serving path
+/// whose calibration no longer matches what the monitor was anchored to,
+/// e.g. after an unnoticed engine swap or class drift). Once a window fills,
+/// the three testkit checks run at the current sequential significance and
+/// the window restarts.
+///
+/// The math is [`crate::testkit`]'s — the identical functions the offline
+/// statistical-validity harness asserts with.
+#[derive(Debug, Clone)]
+pub struct ReleaseMonitor {
+    config: ReleaseMonitorConfig,
+    anchor: Option<f64>,
+    accumulator: NoiseAccumulator,
+    tests_run: u64,
+    failures: u64,
+    last_verdict: Option<LaplaceVerdict>,
+}
+
+impl ReleaseMonitor {
+    /// A monitor testing each release's noise against the scale that release
+    /// itself reports.
+    pub fn new(config: ReleaseMonitorConfig) -> Self {
+        ReleaseMonitor {
+            config,
+            anchor: None,
+            accumulator: NoiseAccumulator::new(),
+            tests_run: 0,
+            failures: 0,
+            last_verdict: None,
+        }
+    }
+
+    /// A monitor anchored to a fixed calibrated scale (the stream/service
+    /// scale at calibration time). Use [`ReleaseMonitor::rebase`] after a
+    /// recalibration changes the calibrated scale.
+    pub fn with_anchor(config: ReleaseMonitorConfig, scale: f64) -> Self {
+        let mut monitor = Self::new(config);
+        monitor.anchor = Some(scale);
+        monitor
+    }
+
+    /// The anchor scale, when in anchored mode.
+    pub fn anchor(&self) -> Option<f64> {
+        self.anchor
+    }
+
+    /// Re-anchors to a new calibrated scale and discards the partial window
+    /// and the stale verdict (counters survive: `tests_run`/`failures` are
+    /// lifetime totals). This is what restores sign/MAD health after a
+    /// recalibration legitimately changes the serving scale.
+    pub fn rebase(&mut self, scale: f64) {
+        self.anchor = Some(scale);
+        self.accumulator.reset();
+        self.last_verdict = None;
+    }
+
+    /// Discards the partial window and the stale verdict without changing
+    /// mode or anchor — the non-anchored counterpart of
+    /// [`ReleaseMonitor::rebase`], acknowledging a handled complaint.
+    pub fn acknowledge(&mut self) {
+        self.accumulator.reset();
+        self.last_verdict = None;
+    }
+
+    /// Observes one noise sample released at reported scale `scale`;
+    /// returns the verdict when this sample completes a test window.
+    pub fn observe(&mut self, noise: f64, scale: f64) -> Option<LaplaceVerdict> {
+        let expected = self.anchor.unwrap_or(scale);
+        self.accumulator.push(noise / expected);
+        if self.accumulator.count() < self.config.window {
+            return None;
+        }
+        let stats = self.accumulator.stats(1.0).expect("window is non-empty");
+        self.accumulator.reset();
+        self.tests_run += 1;
+        let alpha = self.config.fp_budget / (self.tests_run * (self.tests_run + 1)) as f64;
+        let verdict = evaluate_laplace(&stats, &LaplaceTolerances::for_alpha(alpha, stats.samples));
+        if !verdict.is_consistent() {
+            self.failures += 1;
+        }
+        self.last_verdict = Some(verdict);
+        Some(verdict)
+    }
+
+    /// Observes every coordinate of a release; returns the verdict of the
+    /// last test window the release completed, if any.
+    pub fn observe_release(&mut self, release: &NoisyRelease) -> Option<LaplaceVerdict> {
+        let mut completed = None;
+        for (noisy, exact) in release.values.iter().zip(&release.true_values) {
+            if let Some(verdict) = self.observe(noisy - exact, release.scale) {
+                completed = Some(verdict);
+            }
+        }
+        completed
+    }
+
+    /// Sequential tests completed so far.
+    pub fn tests_run(&self) -> u64 {
+        self.tests_run
+    }
+
+    /// Tests that returned [`LaplaceVerdict::Miscalibrated`].
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// The most recent verdict (cleared by [`ReleaseMonitor::rebase`]).
+    pub fn last_verdict(&self) -> Option<LaplaceVerdict> {
+        self.last_verdict
+    }
+
+    /// `false` once the most recent completed test rejected.
+    pub fn healthy(&self) -> bool {
+        self.last_verdict
+            .is_none_or(|verdict| verdict.is_consistent())
+    }
+
+    /// Samples accumulated toward the next test.
+    pub fn pending_samples(&self) -> u64 {
+        self.accumulator.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pufferfish_core::Laplace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn feed(monitor: &mut ReleaseMonitor, true_scale: f64, reported: f64, n: u64, seed: u64) {
+        let laplace = Laplace::new(true_scale).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..n {
+            monitor.observe(laplace.sample(&mut rng), reported);
+        }
+    }
+
+    #[test]
+    fn honest_noise_stays_healthy_over_many_windows() {
+        let config = ReleaseMonitorConfig {
+            window: 2048,
+            fp_budget: 1e-3,
+        };
+        let mut monitor = ReleaseMonitor::new(config);
+        feed(&mut monitor, 1.5, 1.5, 2048 * 20, 1);
+        assert_eq!(monitor.tests_run(), 20);
+        assert_eq!(monitor.failures(), 0);
+        assert!(monitor.healthy());
+    }
+
+    #[test]
+    fn half_scale_lies_are_caught_within_one_window() {
+        let mut monitor = ReleaseMonitor::new(ReleaseMonitorConfig::default());
+        // Mechanism samples at scale 1 but reports 2.
+        feed(&mut monitor, 1.0, 2.0, 4096, 2);
+        assert_eq!(monitor.tests_run(), 1);
+        assert_eq!(monitor.failures(), 1);
+        assert!(!monitor.healthy());
+        match monitor.last_verdict().unwrap() {
+            LaplaceVerdict::Miscalibrated { mad_ratio, .. } => {
+                assert!((mad_ratio - 0.5).abs() < 0.1)
+            }
+            LaplaceVerdict::Consistent => panic!("must reject"),
+        }
+    }
+
+    #[test]
+    fn anchored_monitor_detects_scale_shift_and_rebase_recovers() {
+        let config = ReleaseMonitorConfig {
+            window: 4096,
+            fp_budget: 1e-3,
+        };
+        let mut monitor = ReleaseMonitor::with_anchor(config, 1.0);
+        assert_eq!(monitor.anchor(), Some(1.0));
+        // Serving scale silently moved to 1.4× the anchor: even an honest
+        // mechanism (reporting its true scale) must fail the anchored test.
+        feed(&mut monitor, 1.4, 1.4, 4096, 3);
+        assert!(!monitor.healthy());
+        assert_eq!(monitor.failures(), 1);
+        // Re-anchoring to the new calibrated scale restores health.
+        monitor.rebase(1.4);
+        assert!(monitor.healthy());
+        feed(&mut monitor, 1.4, 1.4, 4096, 4);
+        assert!(monitor.healthy());
+        assert_eq!(monitor.tests_run(), 2);
+        assert_eq!(monitor.failures(), 1, "counters are lifetime totals");
+    }
+
+    #[test]
+    fn observe_release_feeds_every_coordinate() {
+        let mut monitor = ReleaseMonitor::new(ReleaseMonitorConfig {
+            window: 4,
+            fp_budget: 1e-3,
+        });
+        let release = pufferfish_core::NoisyRelease {
+            values: vec![0.1, -0.2, 0.3, -0.4],
+            true_values: vec![0.0; 4],
+            scale: 1.0,
+        };
+        let verdict = monitor.observe_release(&release);
+        assert!(verdict.is_some(), "4 coordinates fill the 4-sample window");
+        assert_eq!(monitor.pending_samples(), 0);
+        assert_eq!(monitor.tests_run(), 1);
+    }
+
+    #[test]
+    fn significance_tightens_with_each_test() {
+        // The alpha-spending schedule makes later windows harder to fail
+        // spuriously: with the same data each subsequent test uses a smaller
+        // alpha, i.e. a wider tolerance. Indirect check: 50 honest windows
+        // at a tiny fp budget never reject.
+        let mut monitor = ReleaseMonitor::new(ReleaseMonitorConfig {
+            window: 512,
+            fp_budget: 1e-4,
+        });
+        feed(&mut monitor, 2.0, 2.0, 512 * 50, 5);
+        assert_eq!(monitor.tests_run(), 50);
+        assert_eq!(monitor.failures(), 0);
+    }
+}

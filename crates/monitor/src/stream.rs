@@ -1,0 +1,379 @@
+//! Self-validating continual release: a [`ContinualRelease`] pipeline with
+//! both monitors attached and an optional automatic recalibration loop.
+
+use std::collections::VecDeque;
+
+use pufferfish_markov::{estimate_class, ClassEstimationOptions};
+use pufferfish_service::{ContinualRelease, MonitorStats, WindowRelease};
+use rand::Rng;
+
+use crate::drift::{ClassBounds, DriftConfig, DriftDetector, DriftVerdict};
+use crate::release::{ReleaseMonitor, ReleaseMonitorConfig};
+use crate::testkit::LaplaceVerdict;
+use crate::{MonitorError, Result};
+
+/// Tuning for a [`MonitoredStream`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamMonitorConfig {
+    /// The sequential noise test, anchored to the stream's calibrated scale
+    /// (so a stale calibration fails the test even when the sampler is
+    /// honest about the scale it actually used).
+    pub noise: ReleaseMonitorConfig,
+    /// The event-drift detector.
+    pub drift: DriftConfig,
+    /// Events buffered (newest last) for refits.
+    pub recent_capacity: usize,
+    /// Minimum buffered events before a refit is attempted.
+    pub min_refit_events: usize,
+    /// How the recent window is widened into a class on refit.
+    pub estimation: ClassEstimationOptions,
+    /// When `true`, [`MonitoredStream::push`] recalibrates on its own as
+    /// soon as a monitor complains and enough events are buffered; when
+    /// `false` the caller decides when to call
+    /// [`MonitoredStream::recalibrate`].
+    pub auto_recalibrate: bool,
+}
+
+impl Default for StreamMonitorConfig {
+    /// Default monitors, 8192-event refit buffer, refits from ≥ 2048
+    /// events, automatic recalibration on.
+    fn default() -> Self {
+        StreamMonitorConfig {
+            noise: ReleaseMonitorConfig::default(),
+            drift: DriftConfig::default(),
+            recent_capacity: 8192,
+            min_refit_events: 2048,
+            estimation: ClassEstimationOptions::default(),
+            auto_recalibrate: true,
+        }
+    }
+}
+
+/// What one stream recalibration did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamRecalibration {
+    /// The stream's noise scale before the swap.
+    pub old_scale: f64,
+    /// The stream's noise scale after the swap.
+    pub new_scale: f64,
+    /// Events the new class was fitted from.
+    pub refit_events: usize,
+}
+
+/// Everything one [`MonitoredStream::push`] did.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StreamStep {
+    /// The window release, when one was due.
+    pub release: Option<WindowRelease>,
+    /// The noise-test verdict, when this push completed a test window.
+    pub noise_verdict: Option<LaplaceVerdict>,
+    /// The drift verdict, when this push completed a drift window.
+    pub drift_verdict: Option<DriftVerdict>,
+    /// The recalibration, when this push triggered one automatically.
+    pub recalibration: Option<StreamRecalibration>,
+}
+
+/// A [`ContinualRelease`] pipeline that validates itself as it runs.
+///
+/// Every ingested event feeds the [`DriftDetector`]; every window release's
+/// noise feeds an *anchored* [`ReleaseMonitor`] (normalised by the scale the
+/// stream was calibrated to, not the scale each release reports — the two
+/// disagreeing is exactly the miscalibration being hunted). When either
+/// monitor complains, the recent event window is refitted into a widened
+/// class, the stream recalibrates in place, and both monitors are rebased
+/// onto the new regime — restoring sign/MAD health when the refit matches
+/// what the stream now emits.
+pub struct MonitoredStream {
+    stream: ContinualRelease,
+    noise: ReleaseMonitor,
+    drift: DriftDetector,
+    config: StreamMonitorConfig,
+    recent: VecDeque<usize>,
+    recalibrations: u64,
+}
+
+impl MonitoredStream {
+    /// Attaches monitors to a calibrated stream. `bounds` is the
+    /// conformance envelope the stream's class was fitted at (use
+    /// [`ClassBounds::from_fitted`]); the noise monitor anchors to the
+    /// stream's current calibrated scale.
+    pub fn new(stream: ContinualRelease, bounds: ClassBounds, config: StreamMonitorConfig) -> Self {
+        let noise = ReleaseMonitor::with_anchor(config.noise, stream.noise_scale());
+        MonitoredStream {
+            drift: DriftDetector::new(bounds, config.drift),
+            noise,
+            stream,
+            config,
+            recent: VecDeque::new(),
+            recalibrations: 0,
+        }
+    }
+
+    /// Ingests one event through the stream and both monitors; when
+    /// auto-recalibration is on and a monitor has a standing complaint with
+    /// enough events buffered, also performs the recalibration.
+    ///
+    /// # Errors
+    /// Stream errors (budget exhaustion, out-of-range events) propagate
+    /// after the event was fed to the monitors — the monitors track the
+    /// stream's own ingest-always behaviour. Auto-recalibration failures
+    /// propagate as estimation/service errors.
+    pub fn push<R: Rng>(&mut self, event: usize, rng: &mut R) -> Result<StreamStep> {
+        let mut step = StreamStep {
+            drift_verdict: self.drift.observe_event(event),
+            ..StreamStep::default()
+        };
+        self.recent.push_back(event);
+        while self.recent.len() > self.config.recent_capacity.max(1) {
+            self.recent.pop_front();
+        }
+        let release = self.stream.push(event, rng).map_err(MonitorError::from)?;
+        if let Some(window) = &release {
+            step.noise_verdict = self.noise.observe_release(&window.release);
+        }
+        step.release = release;
+        if self.config.auto_recalibrate
+            && !self.healthy()
+            && self.recent.len() >= self.config.min_refit_events
+        {
+            step.recalibration = Some(self.recalibrate()?);
+        }
+        Ok(step)
+    }
+
+    /// Refits a class from the recent event window, recalibrates the stream
+    /// in place and rebases both monitors onto the new regime.
+    ///
+    /// # Errors
+    /// [`MonitorError::InsufficientEvents`] below the configured refit
+    /// minimum; estimation and recalibration failures otherwise.
+    pub fn recalibrate(&mut self) -> Result<StreamRecalibration> {
+        let refit_events = self.recent.len();
+        if refit_events < self.config.min_refit_events {
+            return Err(MonitorError::InsufficientEvents {
+                have: refit_events,
+                need: self.config.min_refit_events,
+            });
+        }
+        let log = vec![self.recent.iter().copied().collect::<Vec<usize>>()];
+        let fitted = estimate_class(&log, self.drift.num_states(), self.config.estimation)?;
+        let class = fitted.to_class()?;
+        let (old_scale, new_scale) = self.stream.recalibrate(&class)?;
+        self.noise.rebase(new_scale);
+        self.drift.rebase(ClassBounds::from_fitted(&fitted));
+        self.recent.clear();
+        self.recalibrations += 1;
+        Ok(StreamRecalibration {
+            old_scale,
+            new_scale,
+            refit_events,
+        })
+    }
+
+    /// The wrapped stream.
+    pub fn stream(&self) -> &ContinualRelease {
+        &self.stream
+    }
+
+    /// `true` while neither monitor has a standing complaint.
+    pub fn healthy(&self) -> bool {
+        self.noise.healthy() && !self.drift.drifted()
+    }
+
+    /// Whether the drift detector is currently tripped.
+    pub fn drifted(&self) -> bool {
+        self.drift.drifted()
+    }
+
+    /// Recalibrations performed so far.
+    pub fn recalibrations(&self) -> u64 {
+        self.recalibrations
+    }
+
+    /// Events currently buffered for a refit.
+    pub fn buffered_events(&self) -> usize {
+        self.recent.len()
+    }
+
+    /// The monitor counters in the serving-stats shape.
+    pub fn monitor_stats(&self) -> MonitorStats {
+        MonitorStats {
+            noise_tests: self.noise.tests_run(),
+            noise_failures: self.noise.failures(),
+            drift_windows: self.drift.windows_tested(),
+            drift_score: self.drift.last_score(),
+            drifted: self.drift.drifted(),
+            recalibrations: self.recalibrations,
+        }
+    }
+}
+
+impl std::fmt::Debug for MonitoredStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitoredStream")
+            .field("stream", &self.stream.name())
+            .field("healthy", &self.healthy())
+            .field("stats", &self.monitor_stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pufferfish_datasets::EventStream;
+    use pufferfish_markov::{ClassEstimationOptions, MarkovChain};
+    use pufferfish_service::{StreamBackend, StreamConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain(stay0: f64, stay1: f64) -> MarkovChain {
+        MarkovChain::new(
+            vec![0.5, 0.5],
+            vec![vec![stay0, 1.0 - stay0], vec![1.0 - stay1, stay1]],
+        )
+        .unwrap()
+    }
+
+    fn fitted(truth: &MarkovChain, seed: u64) -> pufferfish_markov::FittedClass {
+        let log: Vec<usize> = EventStream::new(truth.clone(), seed).take(20_000).collect();
+        estimate_class(&[log], 2, ClassEstimationOptions::default()).unwrap()
+    }
+
+    fn stream_config() -> StreamConfig {
+        StreamConfig {
+            window: 64,
+            slide: 32,
+            epsilon_per_release: 0.5,
+            stream_epsilon: 1e9,
+            backend: StreamBackend::MqmApprox,
+        }
+    }
+
+    #[test]
+    fn matching_stream_stays_healthy_and_never_recalibrates() {
+        let truth = chain(0.8, 0.7);
+        let fit = fitted(&truth, 21);
+        let stream = ContinualRelease::new("s", &fit.to_class().unwrap(), stream_config()).unwrap();
+        let mut monitored = MonitoredStream::new(
+            stream,
+            ClassBounds::from_fitted(&fit),
+            StreamMonitorConfig::default(),
+        );
+        let mut rng = StdRng::seed_from_u64(22);
+        for event in EventStream::new(truth, 23).take(512 * 8) {
+            let step = monitored.push(event, &mut rng).unwrap();
+            assert!(step.recalibration.is_none());
+        }
+        assert!(monitored.healthy());
+        assert_eq!(monitored.recalibrations(), 0);
+        assert!(monitored.monitor_stats().drift_windows >= 7);
+    }
+
+    #[test]
+    fn drift_triggers_auto_recalibration_and_health_returns() {
+        let truth = chain(0.85, 0.7);
+        let fit = fitted(&truth, 31);
+        let stream = ContinualRelease::new("s", &fit.to_class().unwrap(), stream_config()).unwrap();
+        let mut monitored = MonitoredStream::new(
+            stream,
+            ClassBounds::from_fitted(&fit),
+            StreamMonitorConfig {
+                min_refit_events: 1024,
+                ..StreamMonitorConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(32);
+        for event in EventStream::new(truth, 33).take(1024) {
+            monitored.push(event, &mut rng).unwrap();
+        }
+        assert!(monitored.healthy());
+        // Hard shift of the state-0 row: drift must trip, then the
+        // automatic refit re-targets and health returns.
+        let shifted = chain(0.4, 0.7);
+        let mut recalibration = None;
+        for event in EventStream::new(shifted.clone(), 34).take(512 * 12) {
+            let step = monitored.push(event, &mut rng).unwrap();
+            if let Some(done) = step.recalibration {
+                recalibration = Some(done);
+                break;
+            }
+        }
+        let done = recalibration.expect("shift must trigger a recalibration");
+        assert!(done.refit_events >= 1024);
+        assert!(
+            done.new_scale.is_finite() && done.new_scale > 0.0,
+            "recalibrated scale must be usable"
+        );
+        assert_eq!(monitored.recalibrations(), 1);
+        assert!(monitored.healthy(), "rebase clears the standing complaint");
+        // Let the loop settle — the first refit buffer blends pre- and
+        // post-shift events, so one follow-up refit on pure shifted data is
+        // legitimate — then the stream must serve healthily with no further
+        // flapping.
+        for event in EventStream::new(shifted.clone(), 35).take(512 * 8) {
+            monitored.push(event, &mut rng).unwrap();
+        }
+        let settled = monitored.recalibrations();
+        assert!(settled <= 3, "refit loop must converge, got {settled}");
+        for event in EventStream::new(shifted, 36).take(512 * 8) {
+            monitored.push(event, &mut rng).unwrap();
+        }
+        assert!(monitored.healthy());
+        assert_eq!(
+            monitored.recalibrations(),
+            settled,
+            "no flapping once settled on the shifted regime"
+        );
+    }
+
+    #[test]
+    fn manual_mode_reports_but_does_not_act() {
+        let truth = chain(0.85, 0.7);
+        let fit = fitted(&truth, 41);
+        let stream = ContinualRelease::new("s", &fit.to_class().unwrap(), stream_config()).unwrap();
+        let mut monitored = MonitoredStream::new(
+            stream,
+            ClassBounds::from_fitted(&fit),
+            StreamMonitorConfig {
+                auto_recalibrate: false,
+                min_refit_events: 1024,
+                ..StreamMonitorConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(42);
+        let shifted = chain(0.4, 0.7);
+        for event in EventStream::new(shifted, 43).take(512 * 8) {
+            let step = monitored.push(event, &mut rng).unwrap();
+            assert!(step.recalibration.is_none(), "manual mode never acts");
+        }
+        assert!(monitored.drifted());
+        assert_eq!(monitored.recalibrations(), 0);
+        let done = monitored.recalibrate().unwrap();
+        assert!(done.old_scale > 0.0 && done.new_scale > 0.0);
+        assert!(monitored.healthy());
+    }
+
+    #[test]
+    fn refit_below_minimum_is_a_typed_error() {
+        let truth = chain(0.8, 0.7);
+        let fit = fitted(&truth, 51);
+        let stream = ContinualRelease::new("s", &fit.to_class().unwrap(), stream_config()).unwrap();
+        let mut monitored = MonitoredStream::new(
+            stream,
+            ClassBounds::from_fitted(&fit),
+            StreamMonitorConfig::default(),
+        );
+        let mut rng = StdRng::seed_from_u64(52);
+        for event in EventStream::new(truth, 53).take(100) {
+            monitored.push(event, &mut rng).unwrap();
+        }
+        match monitored.recalibrate() {
+            Err(MonitorError::InsufficientEvents { have, need }) => {
+                assert_eq!(have, 100);
+                assert_eq!(need, StreamMonitorConfig::default().min_refit_events);
+            }
+            other => panic!("expected InsufficientEvents, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! The sign/MAD statistics shared by the offline statistical-validity
+//! harness (`tests/statistical_validity.rs`) and the runtime
+//! [`ReleaseMonitor`](crate::ReleaseMonitor).
+//!
+//! For `X ~ Lap(b)`:
+//!
+//! * `E|X| = b`, `Var|X| = b²` — so the sample MAD over `n` draws has
+//!   standard deviation `b/√n` ([`mad_sd`]);
+//! * `E X = 0`, `Var X = 2b²` — the sample mean has standard deviation
+//!   `b·√2/√n` ([`mean_sd`]);
+//! * `P(X < 0) = 1/2` — the negative fraction has binomial standard
+//!   deviation `0.5/√n` ([`sign_sd`]).
+//!
+//! Both consumers express their tolerances as *multiples of these standard
+//! deviations* via [`LaplaceTolerances`], so the harness's fixed constants
+//! and the monitor's false-positive-budget-derived thresholds are the same
+//! math at different significance levels — there is exactly one copy of the
+//! distribution theory, here.
+
+use pufferfish_core::NoisyRelease;
+
+/// Standard deviation of the sample MAD of `n` draws, in units of the scale.
+pub fn mad_sd(samples: u64) -> f64 {
+    1.0 / (samples as f64).sqrt()
+}
+
+/// Standard deviation of the sample mean of `n` draws, in units of the
+/// scale.
+pub fn mean_sd(samples: u64) -> f64 {
+    std::f64::consts::SQRT_2 / (samples as f64).sqrt()
+}
+
+/// Standard deviation of the negative fraction of `n` draws.
+pub fn sign_sd(samples: u64) -> f64 {
+    0.5 / (samples as f64).sqrt()
+}
+
+/// Converts a two-sided tail probability into a (conservative) number of
+/// standard deviations, via the Gaussian tail bound
+/// `P(|Z| > s) ≤ 2·exp(−s²/2)`.
+pub fn sigmas_for_two_sided_tail(alpha: f64) -> f64 {
+    debug_assert!(alpha > 0.0 && alpha < 1.0);
+    (2.0 * (2.0 / alpha).ln()).sqrt()
+}
+
+/// The offline harness's σ-multiples: chosen so that at its historical
+/// sample size of 20 000 the tolerances come out to the original inline
+/// constants (MAD 0.04, mean 0.06, sign 0.02).
+pub const HARNESS_MAD_SIGMAS: f64 = 5.656854249492381; // = 4·√2 ≈ 5.66σ
+/// See [`HARNESS_MAD_SIGMAS`].
+pub const HARNESS_MEAN_SIGMAS: f64 = 6.0;
+/// See [`HARNESS_MAD_SIGMAS`].
+pub const HARNESS_SIGN_SIGMAS: f64 = 5.656854249492381;
+
+/// Streaming accumulator of released-noise samples, normalised by the scale
+/// they are tested against — push `noise / expected_scale` and the target
+/// distribution is always `Lap(1)`, so one accumulator serves both a
+/// fixed-scale offline run and a runtime monitor whose anchor scale changes
+/// on recalibration.
+#[derive(Debug, Clone, Default)]
+pub struct NoiseAccumulator {
+    abs_sum: f64,
+    sum: f64,
+    negative: u64,
+    count: u64,
+}
+
+impl NoiseAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one normalised noise sample (`noise / expected_scale`) in.
+    pub fn push(&mut self, normalised_noise: f64) {
+        self.abs_sum += normalised_noise.abs();
+        self.sum += normalised_noise;
+        self.negative += u64::from(normalised_noise < 0.0);
+        self.count += 1;
+    }
+
+    /// Folds every coordinate of a release in, normalised by
+    /// `expected_scale` (the per-coordinate noise is `value − true_value`).
+    pub fn push_release(&mut self, release: &NoisyRelease, expected_scale: f64) {
+        for (noisy, exact) in release.values.iter().zip(&release.true_values) {
+            self.push((noisy - exact) / expected_scale);
+        }
+    }
+
+    /// Samples accumulated so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Empties the accumulator (the start of a new test window).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// The summary statistics, scaled back to `scale` (pass the scale the
+    /// pushes were normalised by; pass `1.0` to stay in normalised units).
+    ///
+    /// Returns `None` while the accumulator is empty.
+    pub fn stats(&self, scale: f64) -> Option<NoiseStats> {
+        if self.count == 0 {
+            return None;
+        }
+        let n = self.count as f64;
+        Some(NoiseStats {
+            scale,
+            mad: scale * self.abs_sum / n,
+            mean: scale * self.sum / n,
+            negative_fraction: self.negative as f64 / n,
+            samples: self.count,
+        })
+    }
+}
+
+/// Empirical noise statistics of one batch of releases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseStats {
+    /// The scale the noise is tested against.
+    pub scale: f64,
+    /// Mean absolute deviation of the noise.
+    pub mad: f64,
+    /// Signed mean of the noise.
+    pub mean: f64,
+    /// Fraction of negative noise samples.
+    pub negative_fraction: f64,
+    /// Number of noise samples behind the statistics.
+    pub samples: u64,
+}
+
+/// Absolute tolerances for the three Laplace checks, in the same units the
+/// checks compare in (MAD/scale ratio, mean/scale ratio, raw fraction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaplaceTolerances {
+    /// Allowed `|MAD/scale − 1|`.
+    pub mad: f64,
+    /// Allowed `|mean/scale|`.
+    pub mean: f64,
+    /// Allowed `|negative_fraction − 1/2|`.
+    pub sign: f64,
+}
+
+impl LaplaceTolerances {
+    /// Tolerances at explicit σ-multiples for a given sample count.
+    pub fn from_sigmas(mad_sigmas: f64, mean_sigmas: f64, sign_sigmas: f64, samples: u64) -> Self {
+        LaplaceTolerances {
+            mad: mad_sigmas * mad_sd(samples),
+            mean: mean_sigmas * mean_sd(samples),
+            sign: sign_sigmas * sign_sd(samples),
+        }
+    }
+
+    /// The offline harness's tolerances (≈ 5.7σ / 6σ / 5.7σ) at `samples`
+    /// noise samples — at 20 000 samples these are exactly the historical
+    /// 0.04 / 0.06 / 0.02 constants.
+    pub fn harness(samples: u64) -> Self {
+        Self::from_sigmas(
+            HARNESS_MAD_SIGMAS,
+            HARNESS_MEAN_SIGMAS,
+            HARNESS_SIGN_SIGMAS,
+            samples,
+        )
+    }
+
+    /// Tolerances spending a total false-positive probability of `alpha`
+    /// across the three checks (Bonferroni `alpha/3` each, Gaussian tail
+    /// bound) — how the runtime monitor turns its per-test significance
+    /// into thresholds.
+    pub fn for_alpha(alpha: f64, samples: u64) -> Self {
+        let sigmas = sigmas_for_two_sided_tail(alpha / 3.0);
+        Self::from_sigmas(sigmas, sigmas, sigmas, samples)
+    }
+}
+
+/// The outcome of testing a [`NoiseStats`] batch against `Lap(scale)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LaplaceVerdict {
+    /// All three checks passed.
+    Consistent,
+    /// At least one check rejected: the noise does not match the scale it
+    /// was tested against.
+    Miscalibrated {
+        /// Empirical `MAD/scale` (should be ≈ 1).
+        mad_ratio: f64,
+        /// Empirical `mean/scale` (should be ≈ 0).
+        mean_ratio: f64,
+        /// Fraction of negative samples (should be ≈ 1/2).
+        negative_fraction: f64,
+    },
+}
+
+impl LaplaceVerdict {
+    /// `true` for [`LaplaceVerdict::Consistent`].
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, LaplaceVerdict::Consistent)
+    }
+}
+
+impl std::fmt::Display for LaplaceVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaplaceVerdict::Consistent => write!(f, "consistent"),
+            LaplaceVerdict::Miscalibrated {
+                mad_ratio,
+                mean_ratio,
+                negative_fraction,
+            } => write!(
+                f,
+                "miscalibrated (MAD/scale {mad_ratio:.4}, mean/scale {mean_ratio:.4}, \
+                 negative fraction {negative_fraction:.4})"
+            ),
+        }
+    }
+}
+
+/// The shared three-way test: MAD ratio, mean ratio and sign symmetry
+/// against `Lap(stats.scale)`.
+pub fn evaluate_laplace(stats: &NoiseStats, tolerances: &LaplaceTolerances) -> LaplaceVerdict {
+    let mad_ratio = stats.mad / stats.scale;
+    let mean_ratio = stats.mean / stats.scale;
+    let consistent = (mad_ratio - 1.0).abs() <= tolerances.mad
+        && mean_ratio.abs() <= tolerances.mean
+        && (stats.negative_fraction - 0.5).abs() <= tolerances.sign;
+    if consistent {
+        LaplaceVerdict::Consistent
+    } else {
+        LaplaceVerdict::Miscalibrated {
+            mad_ratio,
+            mean_ratio,
+            negative_fraction: stats.negative_fraction,
+        }
+    }
+}
+
+/// Panicking form of [`evaluate_laplace`] for test suites, with the failing
+/// check spelled out.
+///
+/// # Panics
+/// When any of the three checks rejects.
+pub fn assert_laplace(label: &str, stats: &NoiseStats, tolerances: &LaplaceTolerances) {
+    let mad_ratio = stats.mad / stats.scale;
+    assert!(
+        (mad_ratio - 1.0).abs() <= tolerances.mad,
+        "{label}: empirical MAD/scale = {mad_ratio} is outside 1 ± {} \
+         (scale {}, MAD {})",
+        tolerances.mad,
+        stats.scale,
+        stats.mad
+    );
+    let mean_ratio = stats.mean / stats.scale;
+    assert!(
+        mean_ratio.abs() <= tolerances.mean,
+        "{label}: noise is biased — empirical mean/scale = {mean_ratio}"
+    );
+    assert!(
+        (stats.negative_fraction - 0.5).abs() <= tolerances.sign,
+        "{label}: noise is asymmetric — negative fraction = {}",
+        stats.negative_fraction
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pufferfish_core::Laplace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn harness_tolerances_reproduce_the_historical_constants() {
+        let t = LaplaceTolerances::harness(20_000);
+        assert!((t.mad - 0.04).abs() < 1e-12);
+        assert!((t.mean - 0.06).abs() < 1e-12);
+        assert!((t.sign - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerances_shrink_with_sample_size() {
+        let small = LaplaceTolerances::harness(1_000);
+        let large = LaplaceTolerances::harness(100_000);
+        assert!(large.mad < small.mad);
+        assert!(large.mean < small.mean);
+        assert!(large.sign < small.sign);
+    }
+
+    #[test]
+    fn tail_sigmas_are_monotone_and_sane() {
+        // 2·exp(-s²/2) = α at these s values.
+        assert!(sigmas_for_two_sided_tail(0.05) > 2.0);
+        assert!(sigmas_for_two_sided_tail(1e-6) > sigmas_for_two_sided_tail(1e-3));
+        let t = LaplaceTolerances::for_alpha(1e-3, 4096);
+        assert!(t.mad > 0.0 && t.mad < 0.2);
+    }
+
+    #[test]
+    fn accumulator_accepts_true_laplace_and_rejects_half_scale() {
+        let laplace = Laplace::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xFEED);
+        let mut honest = NoiseAccumulator::new();
+        let mut liar = NoiseAccumulator::new();
+        for _ in 0..20_000 {
+            honest.push(laplace.sample(&mut rng));
+            // Noise at half the claimed scale: normalised by the (wrong)
+            // claimed scale of 2.
+            liar.push(laplace.sample(&mut rng) / 2.0);
+        }
+        let tolerances = LaplaceTolerances::harness(20_000);
+        let good = honest.stats(1.0).unwrap();
+        assert_eq!(good.samples, 20_000);
+        assert!(evaluate_laplace(&good, &tolerances).is_consistent());
+        assert_laplace("honest", &good, &tolerances);
+        let bad = liar.stats(1.0).unwrap();
+        let verdict = evaluate_laplace(&bad, &tolerances);
+        assert!(!verdict.is_consistent());
+        assert!(verdict.to_string().contains("miscalibrated"));
+        match verdict {
+            LaplaceVerdict::Miscalibrated { mad_ratio, .. } => {
+                assert!((mad_ratio - 0.5).abs() < 0.05)
+            }
+            LaplaceVerdict::Consistent => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn empty_accumulator_has_no_stats_and_reset_clears() {
+        let mut acc = NoiseAccumulator::new();
+        assert!(acc.stats(1.0).is_none());
+        acc.push(0.5);
+        assert_eq!(acc.count(), 1);
+        acc.reset();
+        assert!(acc.stats(1.0).is_none());
+    }
+
+    #[test]
+    fn push_release_normalises_every_coordinate() {
+        let release = NoisyRelease {
+            values: vec![1.5, 2.0],
+            true_values: vec![1.0, 3.0],
+            scale: 2.0,
+        };
+        let mut acc = NoiseAccumulator::new();
+        acc.push_release(&release, 2.0);
+        let stats = acc.stats(2.0).unwrap();
+        assert_eq!(stats.samples, 2);
+        // Noise: +0.5 and −1.0 → normalised +0.25, −0.5 → MAD·scale = 0.75.
+        assert!((stats.mad - 0.75).abs() < 1e-12);
+        assert!((stats.negative_fraction - 0.5).abs() < 1e-12);
+    }
+}

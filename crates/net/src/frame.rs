@@ -293,10 +293,25 @@ pub struct WireStats {
     pub users: u64,
     /// Composed ε spend summed over all users.
     pub spent_epsilon: f64,
+    /// Sequential sign/MAD noise tests the release monitor completed
+    /// (zero when no monitor is attached).
+    pub monitor_noise_tests: u64,
+    /// Noise tests that rejected (miscalibration verdicts).
+    pub monitor_noise_failures: u64,
+    /// Event windows the drift detector has scored.
+    pub drift_windows: u64,
+    /// The last window's drift score in units of the detection slack
+    /// (> 1 means the window violated the calibrated class bounds).
+    pub drift_score: f64,
+    /// Whether the drift detector is currently tripped.
+    pub drifted: bool,
+    /// Canary recalibrations performed (engine swaps).
+    pub recalibrations: u64,
 }
 
 impl From<ServiceStats> for WireStats {
     fn from(stats: ServiceStats) -> Self {
+        let monitor = stats.monitor.unwrap_or_default();
         WireStats {
             hits: stats.cache.hits,
             misses: stats.cache.misses,
@@ -309,6 +324,12 @@ impl From<ServiceStats> for WireStats {
             served: stats.served,
             users: stats.users as u64,
             spent_epsilon: stats.spent_epsilon,
+            monitor_noise_tests: monitor.noise_tests,
+            monitor_noise_failures: monitor.noise_failures,
+            drift_windows: monitor.drift_windows,
+            drift_score: monitor.drift_score,
+            drifted: monitor.drifted,
+            recalibrations: monitor.recalibrations,
         }
     }
 }
@@ -637,6 +658,12 @@ pub fn encode(envelope: &Envelope, max_frame_len: u32) -> Result<Vec<u8>, FrameE
             put_u64(&mut out, stats.served);
             put_u64(&mut out, stats.users);
             put_f64(&mut out, stats.spent_epsilon);
+            put_u64(&mut out, stats.monitor_noise_tests);
+            put_u64(&mut out, stats.monitor_noise_failures);
+            put_u64(&mut out, stats.drift_windows);
+            put_f64(&mut out, stats.drift_score);
+            put_u16(&mut out, u16::from(stats.drifted));
+            put_u64(&mut out, stats.recalibrations);
         }
         Frame::Busy { retry_hint_ms } => put_u32(&mut out, *retry_hint_ms),
         Frame::BudgetExhausted {
@@ -900,6 +927,20 @@ pub fn decode_payload(payload: &[u8]) -> Result<Envelope, FrameError> {
             served: r.u64()?,
             users: r.u64()?,
             spent_epsilon: r.f64()?,
+            monitor_noise_tests: r.u64()?,
+            monitor_noise_failures: r.u64()?,
+            drift_windows: r.u64()?,
+            drift_score: r.f64()?,
+            drifted: match r.u16()? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(FrameError::Malformed(format!(
+                        "drifted flag must be 0 or 1, found {other}"
+                    )))
+                }
+            },
+            recalibrations: r.u64()?,
         }),
         0x85 => Frame::Busy {
             retry_hint_ms: r.u32()?,
@@ -1006,6 +1047,12 @@ mod tests {
             served: 9,
             users: 10,
             spent_epsilon: 1.5,
+            monitor_noise_tests: 11,
+            monitor_noise_failures: 12,
+            drift_windows: 13,
+            drift_score: 0.75,
+            drifted: true,
+            recalibrations: 14,
         }));
         round_trip(Frame::Busy { retry_hint_ms: 2 });
         round_trip(Frame::BudgetExhausted {

@@ -176,6 +176,7 @@ impl QueryService {
             users: self.budget.users(),
             spent_epsilon: self.budget.total_spent(),
             snapshot: None,
+            monitor: None,
         }
     }
 }

@@ -77,6 +77,7 @@
 
 mod budget;
 mod error;
+mod observer;
 pub mod queue;
 mod service;
 mod stats;
@@ -84,8 +85,9 @@ mod stream;
 
 pub use budget::BudgetAccountant;
 pub use error::ServiceError;
+pub use observer::ReleaseObserver;
 pub use service::{ReleaseRequest, ReleaseService, ServiceConfig, Ticket};
-pub use stats::{ServiceStats, SnapshotInfo};
+pub use stats::{MonitorStats, ServiceStats, SnapshotInfo};
 pub use stream::{ContinualRelease, StreamBackend, StreamConfig, WindowRelease};
 
 /// Result alias for the serving layer.

@@ -16,7 +16,7 @@
 //! reason about atomically).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,7 +29,7 @@ use pufferfish_core::{
 use pufferfish_parallel::{Parallelism, WorkerPool};
 
 use crate::queue::{BoundedQueue, PushError};
-use crate::{BudgetAccountant, ServiceError, ServiceStats};
+use crate::{BudgetAccountant, ReleaseObserver, ServiceError, ServiceStats};
 
 /// One release request, self-contained and thread-portable.
 ///
@@ -274,7 +274,14 @@ impl Default for ServiceConfig {
 /// service.shutdown();
 /// ```
 pub struct ReleaseService {
-    engine: Arc<ReleaseEngine>,
+    /// The engine behind one level of indirection so
+    /// [`ReleaseService::swap_engine`] can replace it atomically while
+    /// requests are in flight. Workers clone the inner `Arc` out under the
+    /// read lock *once per request*, then serve entirely from that clone —
+    /// a request is always answered by exactly one engine's calibration,
+    /// never a torn mix of pre- and post-swap entries.
+    engine: Arc<RwLock<Arc<ReleaseEngine>>>,
+    observer: Arc<RwLock<Option<Arc<dyn ReleaseObserver>>>>,
     budget: Arc<BudgetAccountant>,
     queue: Arc<BoundedQueue<Job>>,
     pool: Option<WorkerPool>,
@@ -303,14 +310,27 @@ impl ReleaseService {
         let budget = Arc::new(BudgetAccountant::new(config.per_user_epsilon)?);
         let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(config.queue_capacity));
         let served = Arc::new(AtomicU64::new(0));
+        let engine = Arc::new(RwLock::new(engine));
+        let observer: Arc<RwLock<Option<Arc<dyn ReleaseObserver>>>> = Arc::new(RwLock::new(None));
 
         let pool = {
             let engine = Arc::clone(&engine);
+            let observer = Arc::clone(&observer);
             let queue = Arc::clone(&queue);
             let served = Arc::clone(&served);
             WorkerPool::spawn(config.workers, "pufferfish-release", move |_worker| {
                 while let Some(job) = queue.pop() {
-                    let response = Self::serve(&engine, &job.request);
+                    // One engine per request: the clone taken here outlives
+                    // any concurrent swap_engine, so the whole release is
+                    // served from a single consistent calibration.
+                    let current = Arc::clone(&engine.read().expect("engine lock poisoned"));
+                    let response = Self::serve(&current, &job.request);
+                    if let Ok(release) = &response {
+                        let watcher = observer.read().expect("observer lock poisoned").clone();
+                        if let Some(watcher) = watcher {
+                            watcher.observe_release(&job.request.database, release);
+                        }
+                    }
                     // Count before fulfilling: a submitter woken by the
                     // ticket must observe its own request in `served()`.
                     served.fetch_add(1, Ordering::Relaxed);
@@ -321,6 +341,7 @@ impl ReleaseService {
 
         Ok(ReleaseService {
             engine,
+            observer,
             budget,
             queue,
             pool: Some(pool),
@@ -382,7 +403,7 @@ impl ReleaseService {
     /// [`ServiceError::Mechanism`] wrapping
     /// [`pufferfish_core::SnapshotError::Io`] on filesystem failures.
     pub fn save_snapshot(&self, path: impl AsRef<std::path::Path>) -> Result<u64, ServiceError> {
-        Ok(self.engine.export_snapshot().write_to_file(path)?)
+        Ok(self.engine().export_snapshot().write_to_file(path)?)
     }
 
     /// One worker's handling of one request.
@@ -459,18 +480,52 @@ impl ReleaseService {
         self.submit(request)?.wait()
     }
 
-    /// The shared engine behind the service (cache stats live here).
-    pub fn engine(&self) -> &Arc<ReleaseEngine> {
-        &self.engine
+    /// The engine currently behind the service (cache stats live here).
+    ///
+    /// The returned `Arc` keeps that engine alive across a concurrent
+    /// [`ReleaseService::swap_engine`] — like the workers, callers see one
+    /// consistent engine, not a moving target.
+    pub fn engine(&self) -> Arc<ReleaseEngine> {
+        Arc::clone(&self.engine.read().expect("engine lock poisoned"))
+    }
+
+    /// Atomically replaces the engine serving future requests, returning the
+    /// previous one.
+    ///
+    /// In-flight requests finish on whichever engine they started with (each
+    /// worker clones the engine `Arc` once per request), so a swap is never
+    /// observable as a torn calibration — only as a clean before/after. This
+    /// is the commit point of the monitor crate's canary recalibration: the
+    /// new engine is built and calibrated *off-path*, then installed here in
+    /// one pointer swap.
+    pub fn swap_engine(&self, engine: Arc<ReleaseEngine>) -> Arc<ReleaseEngine> {
+        std::mem::replace(
+            &mut *self.engine.write().expect("engine lock poisoned"),
+            engine,
+        )
+    }
+
+    /// Attaches the observer that future releases are reported to (replacing
+    /// any previous one). Observation is on the worker release path; see
+    /// [`ReleaseObserver`] for the cost contract.
+    pub fn set_observer(&self, observer: Arc<dyn ReleaseObserver>) {
+        *self.observer.write().expect("observer lock poisoned") = Some(observer);
+    }
+
+    /// Detaches the current observer, returning the service to the unwatched
+    /// (zero-overhead) configuration.
+    pub fn clear_observer(&self) {
+        *self.observer.write().expect("observer lock poisoned") = None;
     }
 
     /// One observability snapshot of the whole service: engine cache
     /// counters, queue occupancy, fulfilment count and budget spend (see
     /// [`ServiceStats`] for the cross-field consistency contract).
     pub fn stats(&self) -> ServiceStats {
+        let engine = self.engine();
         ServiceStats {
-            cache: self.engine.stats(),
-            cached_calibrations: self.engine.len(),
+            cache: engine.stats(),
+            cached_calibrations: engine.len(),
             queue_depth: self.queue.len(),
             queue_capacity: self.queue.capacity(),
             queue_refusals: self.queue.refusals(),
@@ -483,6 +538,12 @@ impl ReleaseService {
                 entries: warm.entries,
                 bytes: warm.bytes,
             }),
+            monitor: self
+                .observer
+                .read()
+                .expect("observer lock poisoned")
+                .as_ref()
+                .map(|observer| observer.monitor_stats()),
         }
     }
 
@@ -523,7 +584,7 @@ impl Drop for ReleaseService {
 impl std::fmt::Debug for ReleaseService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReleaseService")
-            .field("engine", &self.engine)
+            .field("engine", &self.engine())
             .field("pending", &self.pending())
             .field("served", &self.served())
             .finish()

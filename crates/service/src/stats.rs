@@ -20,6 +20,28 @@ pub struct SnapshotInfo {
     pub bytes: u64,
 }
 
+/// Counters of an attached runtime monitor (see the `pufferfish-monitor`
+/// crate): the live sign/MAD noise tests, event-drift windows and canary
+/// recalibrations. `None` in [`ServiceStats::monitor`] when no observer is
+/// attached — the monitor-off service pays nothing for the field.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MonitorStats {
+    /// Sequential sign/MAD noise tests completed so far.
+    pub noise_tests: u64,
+    /// Noise tests that rejected (miscalibration verdicts).
+    pub noise_failures: u64,
+    /// Event windows the drift detector has scored.
+    pub drift_windows: u64,
+    /// The last window's drift score (max bound violation over transition
+    /// entries, in units of the detection slack; > 1 means the window
+    /// violated the calibrated class bounds).
+    pub drift_score: f64,
+    /// Whether the drift detector is currently tripped.
+    pub drifted: bool,
+    /// Canary recalibrations performed (engine swaps).
+    pub recalibrations: u64,
+}
+
 /// One self-contained snapshot of a serving front-end's observable state:
 /// calibration-cache counters, queue occupancy and budget spend, gathered
 /// into a single struct so dashboards, examples and the query layer can log
@@ -61,6 +83,9 @@ pub struct ServiceStats {
     /// The warm-start snapshot this front-end loaded, if any (see
     /// [`SnapshotInfo`]).
     pub snapshot: Option<SnapshotInfo>,
+    /// Counters of the attached runtime monitor, if any (see
+    /// [`MonitorStats`]).
+    pub monitor: Option<MonitorStats>,
 }
 
 impl ServiceStats {
@@ -104,6 +129,19 @@ impl std::fmt::Display for ServiceStats {
                 f,
                 ", warm-started from a {}-entry snapshot ({} bytes, {}s old)",
                 snapshot.entries, snapshot.bytes, snapshot.age_secs
+            )?;
+        }
+        if let Some(monitor) = &self.monitor {
+            write!(
+                f,
+                ", monitor: {} noise tests ({} failed), {} drift windows \
+                 (last score {:.2}{}), {} recalibrations",
+                monitor.noise_tests,
+                monitor.noise_failures,
+                monitor.drift_windows,
+                monitor.drift_score,
+                if monitor.drifted { ", DRIFTED" } else { "" },
+                monitor.recalibrations,
             )?;
         }
         Ok(())
@@ -150,5 +188,20 @@ mod tests {
         assert!(rendered.contains("7-entry snapshot"));
         assert!(rendered.contains("1024 bytes"));
         assert!(rendered.contains("120s old"));
+        assert!(!rendered.contains("monitor:"));
+
+        stats.monitor = Some(MonitorStats {
+            noise_tests: 12,
+            noise_failures: 1,
+            drift_windows: 30,
+            drift_score: 1.75,
+            drifted: true,
+            recalibrations: 2,
+        });
+        let rendered = stats.to_string();
+        assert!(rendered.contains("12 noise tests (1 failed)"));
+        assert!(rendered.contains("30 drift windows"));
+        assert!(rendered.contains("last score 1.75, DRIFTED"));
+        assert!(rendered.contains("2 recalibrations"));
     }
 }

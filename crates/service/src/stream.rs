@@ -269,6 +269,48 @@ impl ContinualRelease {
         }))
     }
 
+    /// Recalibrates the stream's backend for a new distribution class —
+    /// the stream-side commit point of a canary recalibration after drift.
+    ///
+    /// The window geometry, backend family, per-release ε and (crucially)
+    /// the budget accountant all carry over: recalibration changes *what
+    /// noise scale future windows pay*, never how much privacy budget has
+    /// already been spent or when the next release is due. The window
+    /// contents are preserved too, so the next due release answers over the
+    /// same events it would have without the swap. Returns `(old_scale,
+    /// new_scale)` so callers can log the scale shift the new class implies.
+    ///
+    /// # Errors
+    /// [`ServiceError::InvalidConfig`] when `class` has a different number
+    /// of states than the stream (the window events would be out of range);
+    /// [`ServiceError::Mechanism`] when the backend cannot calibrate for the
+    /// new class — the stream then keeps its current calibration.
+    pub fn recalibrate(&mut self, class: &MarkovChainClass) -> Result<(f64, f64), ServiceError> {
+        if class.num_states() != self.num_states {
+            return Err(ServiceError::InvalidConfig(format!(
+                "recalibration class has {} states but the stream has {}",
+                class.num_states(),
+                self.num_states
+            )));
+        }
+        let per_release = PrivacyBudget::new(self.config.epsilon_per_release)
+            .expect("per-release epsilon validated at construction");
+        let mechanism: Arc<dyn Mechanism> = match self.config.backend {
+            StreamBackend::MqmApprox => Arc::new(MqmApprox::calibrate(
+                class,
+                self.config.window,
+                per_release,
+                MqmApproxOptions::default(),
+            )?),
+            StreamBackend::Gk16 => {
+                Arc::new(Gk16::calibrate(class, self.config.window, per_release)?)
+            }
+        };
+        let old_scale = self.noise_scale();
+        self.mechanism = mechanism;
+        Ok((old_scale, self.noise_scale()))
+    }
+
     /// The stream's name (used in budget-exhaustion errors).
     pub fn name(&self) -> &str {
         &self.name
@@ -279,8 +321,8 @@ impl ContinualRelease {
         self.config.backend
     }
 
-    /// The Laplace scale each window release carries — constant for the
-    /// stream's lifetime, fixed at calibration.
+    /// The Laplace scale each window release carries — fixed at calibration
+    /// and changed only by [`ContinualRelease::recalibrate`].
     pub fn noise_scale(&self) -> f64 {
         self.mechanism.noise_scale_for(&self.query)
     }
@@ -450,6 +492,58 @@ mod tests {
         // Ingestion never stopped.
         assert_eq!(stream.events(), 30);
         assert!(stream.is_exhausted());
+    }
+
+    #[test]
+    fn recalibrate_swaps_the_scale_but_keeps_budget_and_schedule() {
+        let class = weak_class();
+        let mut stream =
+            ContinualRelease::new("recal", &class, config(StreamBackend::MqmApprox)).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for t in 0..22 {
+            stream.push(t % 2, &mut rng).unwrap();
+        }
+        assert_eq!(stream.releases(), 1);
+        let spent_before = stream.spent_epsilon();
+
+        // A stickier class costs a larger scale; budget/schedule untouched.
+        let sticky = IntervalClassBuilder::symmetric(0.2)
+            .grid_points(2)
+            .build()
+            .unwrap();
+        let (old_scale, new_scale) = stream.recalibrate(&sticky).unwrap();
+        assert!(new_scale > old_scale);
+        assert_eq!(stream.noise_scale(), new_scale);
+        assert_eq!(stream.spent_epsilon(), spent_before);
+        assert_eq!(stream.events(), 22);
+
+        // The next due release fires on schedule at event 25, at the new
+        // scale, over the preserved window.
+        let mut released = None;
+        for t in 22..25 {
+            released = stream.push(t % 2, &mut rng).unwrap();
+        }
+        let window = released.expect("release due at event 25");
+        assert_eq!(window.window_end, 25);
+        assert_eq!(window.release.scale, new_scale);
+
+        // Wrong state count is a typed config error, stream unchanged.
+        let three_state = MarkovChainClass::singleton(
+            pufferfish_markov::MarkovChain::new(
+                vec![0.4, 0.3, 0.3],
+                vec![
+                    vec![0.8, 0.1, 0.1],
+                    vec![0.1, 0.8, 0.1],
+                    vec![0.1, 0.1, 0.8],
+                ],
+            )
+            .unwrap(),
+        );
+        assert!(matches!(
+            stream.recalibrate(&three_state),
+            Err(ServiceError::InvalidConfig(_))
+        ));
+        assert_eq!(stream.noise_scale(), new_scale);
     }
 
     #[test]

@@ -112,6 +112,16 @@ fn main() {
         stats.queue_high_water,
         stats.queue_refusals
     );
+    println!(
+        "monitor: noise tests {} ({} failed), drift windows {} \
+         (score {:.2}, drifted {}), recalibrations {}",
+        stats.monitor_noise_tests,
+        stats.monitor_noise_failures,
+        stats.drift_windows,
+        stats.drift_score,
+        stats.drifted,
+        stats.recalibrations
+    );
 
     client.goodbye().expect("goodbye failed");
     println!("closed cleanly");

@@ -20,9 +20,10 @@ use std::time::Duration;
 use pufferfish_core::engine::{MqmApproxCalibrator, ReleaseEngine};
 use pufferfish_core::{MqmApproxOptions, Parallelism};
 use pufferfish_markov::IntervalClassBuilder;
+use pufferfish_monitor::{ClassBounds, MonitorConfig, ServiceMonitor};
 use pufferfish_net::{NetServer, NetServerConfig, QueryEndpoint};
 use pufferfish_query::{MechanismCatalog, QueryService, QueryServiceConfig, Table};
-use pufferfish_service::{ReleaseService, ServiceConfig};
+use pufferfish_service::{ReleaseObserver, ReleaseService, ServiceConfig};
 
 const CHAIN_LENGTH: usize = 60;
 
@@ -64,6 +65,16 @@ fn main() {
         )
         .expect("valid service config"),
     );
+
+    // Self-validation: a monitor watches every release (sequential noise
+    // test + windowed drift detection against a generous demo envelope),
+    // and its counters ride the STATS wire frame to every client.
+    let monitor = ServiceMonitor::new(
+        ClassBounds::new(vec![vec![0.05; 2]; 2], vec![vec![0.95; 2]; 2]),
+        MonitorConfig::default(),
+        8 * 1024,
+    );
+    service.set_observer(Arc::clone(&monitor) as Arc<dyn ReleaseObserver>);
 
     // A query endpoint with one demo table, so QUERY frames work too.
     let query_service = QueryService::start(

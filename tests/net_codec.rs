@@ -147,6 +147,12 @@ fn arbitrary_frame(rng: &mut TestRng) -> Frame {
             served: rng.gen(),
             users: rng.gen(),
             spent_epsilon: arbitrary_f64(rng),
+            monitor_noise_tests: rng.gen(),
+            monitor_noise_failures: rng.gen(),
+            drift_windows: rng.gen(),
+            drift_score: arbitrary_f64(rng),
+            drifted: rng.gen_range(0..2u8) == 1,
+            recalibrations: rng.gen(),
         }),
         9 => Frame::Busy {
             retry_hint_ms: rng.gen(),

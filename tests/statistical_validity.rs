@@ -1,28 +1,29 @@
 //! Statistical validity harness: released noise must actually *follow* the
-//! calibrated Laplace distribution.
+//! calibrated Laplace distribution — plus the drift suite that exercises the
+//! same statistics as a *runtime* monitor.
 //!
 //! Every other test in this repository is deterministic — bitwise replay,
 //! cache counters, typed errors. None of them would notice a mechanism that
 //! reports scale `b` but samples from `Lap(b/2)` (or from a Gaussian, or
 //! from a stream with the wrong sign bias): the privacy guarantee of every
 //! theorem in the paper is conditional on the noise *being* `Lap(b)` for the
-//! calibrated `b`. This suite closes that gap with seeded empirical checks:
-//!
-//! * the **mean absolute deviation** of `N` released noise samples must be
-//!   within a deterministic tolerance of the calibrated scale (for
-//!   `X ~ Lap(b)`, `E|X| = b` and the sample MAD has standard deviation
-//!   `b/√N`, so the `0.04·b` tolerance at `N = 20 000` is ≈ 5.7σ);
-//! * the **signed mean** must be near zero (sd `b·√2/√N`, tolerance ≈ 6σ) —
-//!   noise must not be biased;
-//! * roughly **half the samples** must be negative (binomial sd `0.5/√N`) —
-//!   a symmetry check the first two moments cannot see.
+//! calibrated `b`. The sign/MAD/mean math lives in
+//! [`pufferfish_monitor::testkit`] — one copy, shared with the runtime
+//! [`ReleaseMonitor`](pufferfish_monitor::ReleaseMonitor) — and this suite
+//! asserts it offline at the harness's historical tolerances (≈ 5.7σ / 6σ /
+//! 5.7σ at 20 000 samples: 0.04 / 0.06 / 0.02).
 //!
 //! The RNG seeds are fixed, so the suite is fully deterministic: a failure
 //! is a mechanism bug (or a tolerance bug), never flakiness.
 //!
-//! The same harness gates the calibration store: an engine warmed from an
-//! imported [`CalibrationSnapshot`](pufferfish_core::CalibrationSnapshot)
-//! must produce noise with the same statistics *without calibrating*.
+//! The **drift suite** at the bottom closes the remaining gap: a serving
+//! pipeline calibrated against a fitted class must *notice* when the event
+//! stream leaves that class. For two classes × two mechanism families
+//! (MQMApprox and GK16) it checks that an injected mid-stream transition
+//! shift trips the [`DriftDetector`](pufferfish_monitor::DriftDetector)
+//! within a bounded window count, that an unshifted control stream ten
+//! times longer never trips it, and that the canary recalibration restores
+//! sign/MAD health afterwards.
 
 use pufferfish_baselines::GroupDp;
 use pufferfish_core::engine::{MqmExactCalibrator, ReleaseEngine};
@@ -31,26 +32,25 @@ use pufferfish_core::{
     Mechanism, MqmApprox, MqmApproxOptions, MqmExact, MqmExactOptions, PrivacyBudget,
     WassersteinMechanism,
 };
-use pufferfish_markov::{IntervalClassBuilder, MarkovChain, MarkovChainClass};
+use pufferfish_datasets::EventStream;
+use pufferfish_markov::{
+    estimate_class, ClassEstimationOptions, FittedClass, IntervalClassBuilder, MarkovChain,
+    MarkovChainClass,
+};
+use pufferfish_monitor::testkit::{
+    assert_laplace, evaluate_laplace, LaplaceTolerances, LaplaceVerdict, NoiseAccumulator,
+    NoiseStats,
+};
+use pufferfish_monitor::{
+    ClassBounds, DriftConfig, MonitoredStream, ReleaseMonitorConfig, StreamMonitorConfig,
+};
+use pufferfish_service::{ContinualRelease, StreamBackend, StreamConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Samples per mechanism. Tolerances below are calibrated to this size.
+/// Samples per mechanism; [`LaplaceTolerances::harness`] at this size yields
+/// the suite's historical 0.04 / 0.06 / 0.02 constants.
 const SAMPLES: usize = 20_000;
-/// |MAD/b − 1| tolerance: ≈ 5.7 standard deviations of the sample MAD.
-const MAD_TOLERANCE: f64 = 0.04;
-/// |mean/b| tolerance: ≈ 6 standard deviations of the sample mean.
-const MEAN_TOLERANCE: f64 = 0.06;
-/// |negative fraction − 0.5| tolerance: ≈ 5.7 binomial standard deviations.
-const SIGN_TOLERANCE: f64 = 0.02;
-
-/// Empirical noise statistics of `SAMPLES` seeded releases.
-struct NoiseStats {
-    scale: f64,
-    mad: f64,
-    mean: f64,
-    negative_fraction: f64,
-}
 
 /// Releases `query` on `database` `SAMPLES` times and folds the noise
 /// (released − true, per coordinate) into summary statistics.
@@ -66,49 +66,18 @@ fn collect(
         "statistical checks need a positive calibrated scale, got {scale}"
     );
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut abs_sum = 0.0;
-    let mut sum = 0.0;
-    let mut negative = 0usize;
-    let mut count = 0usize;
+    let mut accumulator = NoiseAccumulator::new();
     for _ in 0..SAMPLES {
         let release = mechanism.release(query, database, &mut rng).unwrap();
         assert_eq!(release.scale.to_bits(), scale.to_bits());
-        for (noisy, exact) in release.values.iter().zip(&release.true_values) {
-            let noise = noisy - exact;
-            abs_sum += noise.abs();
-            sum += noise;
-            negative += usize::from(noise < 0.0);
-            count += 1;
-        }
+        accumulator.push_release(&release, scale);
     }
-    NoiseStats {
-        scale,
-        mad: abs_sum / count as f64,
-        mean: sum / count as f64,
-        negative_fraction: negative as f64 / count as f64,
-    }
+    accumulator.stats(scale).expect("SAMPLES > 0")
 }
 
-/// The shared assertion: the empirical noise matches `Lap(scale)`.
-fn assert_laplace(label: &str, stats: &NoiseStats) {
-    let mad_ratio = stats.mad / stats.scale;
-    assert!(
-        (mad_ratio - 1.0).abs() <= MAD_TOLERANCE,
-        "{label}: empirical MAD/scale = {mad_ratio} is outside 1 ± {MAD_TOLERANCE} \
-         (scale {}, MAD {})",
-        stats.scale,
-        stats.mad
-    );
-    let mean_ratio = stats.mean / stats.scale;
-    assert!(
-        mean_ratio.abs() <= MEAN_TOLERANCE,
-        "{label}: noise is biased — empirical mean/scale = {mean_ratio}"
-    );
-    assert!(
-        (stats.negative_fraction - 0.5).abs() <= SIGN_TOLERANCE,
-        "{label}: noise is asymmetric — negative fraction = {}",
-        stats.negative_fraction
-    );
+/// The shared assertion at the harness's σ-multiples.
+fn assert_harness(label: &str, stats: &NoiseStats) {
+    assert_laplace(label, stats, &LaplaceTolerances::harness(stats.samples));
 }
 
 fn chain_class() -> MarkovChainClass {
@@ -128,7 +97,7 @@ fn wasserstein_noise_follows_the_calibrated_scale() {
     let budget = PrivacyBudget::new(1.0).unwrap();
     let mechanism = WassersteinMechanism::calibrate(&framework, &query, budget).unwrap();
     let stats = collect(&mechanism, &query, &[1, 0, 1], 0xA11CE);
-    assert_laplace("wasserstein", &stats);
+    assert_harness("wasserstein", &stats);
 }
 
 #[test]
@@ -138,7 +107,7 @@ fn mqm_exact_noise_follows_the_calibrated_scale() {
         MqmExact::calibrate(&chain_class(), 60, budget, MqmExactOptions::default()).unwrap();
     let query = StateFrequencyQuery::new(1, 60);
     let stats = collect(&mechanism, &query, &binary_database(60), 0xB0B);
-    assert_laplace("mqm-exact", &stats);
+    assert_harness("mqm-exact", &stats);
 }
 
 #[test]
@@ -151,7 +120,7 @@ fn mqm_approx_noise_follows_the_calibrated_scale() {
     let mechanism = MqmApprox::calibrate(&class, 60, budget, MqmApproxOptions::default()).unwrap();
     let query = StateFrequencyQuery::new(0, 60);
     let stats = collect(&mechanism, &query, &binary_database(60), 0xCAB);
-    assert_laplace("mqm-approx", &stats);
+    assert_harness("mqm-approx", &stats);
 }
 
 #[test]
@@ -163,7 +132,7 @@ fn group_dp_noise_follows_the_calibrated_scale() {
     // ≈ 1" remark under Figure 4).
     assert!((Mechanism::noise_scale_for(&mechanism, &query) - 1.0).abs() < 1e-12);
     let stats = collect(&mechanism, &query, &binary_database(60), 0xD0E);
-    assert_laplace("group-dp", &stats);
+    assert_harness("group-dp", &stats);
 }
 
 /// The gate on the calibration store: a warm-started engine's noise must be
@@ -198,12 +167,13 @@ fn imported_snapshot_noise_follows_the_calibrated_scale_without_calibrating() {
 
     // Fresh seed → the warm noise stands on its own statistically.
     let stats = collect(&*warm_mechanism, &query, &database, 0xF00D);
-    assert_laplace("imported mqm-exact", &stats);
+    assert_harness("imported mqm-exact", &stats);
     assert_eq!(warm.cache_misses(), 0);
 }
 
 /// Control: the harness itself must *detect* a miscalibrated scale — a
-/// mechanism releasing noise at half its reported scale fails the MAD check.
+/// mechanism releasing noise at half its reported scale gets a typed
+/// [`LaplaceVerdict::Miscalibrated`] with the MAD ratio naming the lie.
 #[test]
 fn harness_detects_wrong_scales() {
     struct HalfScaleLier;
@@ -249,9 +219,240 @@ fn harness_detects_wrong_scales() {
 
     let query = StateCountQuery::new(1, 3);
     let stats = collect(&HalfScaleLier, &query, &[1, 0, 1], 0xBAD);
+    let verdict = evaluate_laplace(&stats, &LaplaceTolerances::harness(stats.samples));
+    match verdict {
+        LaplaceVerdict::Miscalibrated { mad_ratio, .. } => assert!(
+            (mad_ratio - 0.5).abs() < 0.05,
+            "the MAD ratio must expose the half-scale lie, got {mad_ratio}"
+        ),
+        LaplaceVerdict::Consistent => panic!("a half-scale mechanism must fail the MAD check"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drift suite: the runtime monitors over serving pipelines.
+// ---------------------------------------------------------------------------
+
+/// Two-state chain with the given per-state stay probabilities.
+fn two_state(stay0: f64, stay1: f64) -> MarkovChain {
+    MarkovChain::new(
+        vec![0.5, 0.5],
+        vec![vec![stay0, 1.0 - stay0], vec![1.0 - stay1, stay1]],
+    )
+    .unwrap()
+}
+
+/// Fits a confidence class from a long seeded trajectory of `truth`.
+fn fit(truth: &MarkovChain, seed: u64) -> FittedClass {
+    let log: Vec<usize> = EventStream::new(truth.clone(), seed).take(20_000).collect();
+    estimate_class(&[log], 2, ClassEstimationOptions::default()).unwrap()
+}
+
+/// Events per drift window in the suite. At α = 1e-4 the per-row Hoeffding
+/// slack is ≈ 0.10 at this size (≈ 512 visits per state row), so the ≥ 0.2
+/// transition shifts injected below clear it with several σ of margin while
+/// staying inside GK16's weak-correlation envelope.
+const WINDOW: usize = 1024;
+
+fn drift_config() -> DriftConfig {
+    DriftConfig {
+        window_events: WINDOW,
+        alpha: 1e-4,
+        consecutive: 2,
+        min_row_visits: 16,
+    }
+}
+
+/// A monitored continual-release pipeline calibrated against the fitted
+/// class of `truth`, manual recalibration.
+fn monitored_pipeline(
+    truth: &MarkovChain,
+    backend: StreamBackend,
+    noise_window: u64,
+    seed: u64,
+) -> MonitoredStream {
+    let fitted = fit(truth, seed);
+    let stream = ContinualRelease::new(
+        backend.name(),
+        &fitted.to_class().unwrap(),
+        StreamConfig {
+            window: 64,
+            slide: 32,
+            epsilon_per_release: 0.5,
+            stream_epsilon: 1e12,
+            backend,
+        },
+    )
+    .unwrap();
+    MonitoredStream::new(
+        stream,
+        ClassBounds::from_fitted(&fitted),
+        StreamMonitorConfig {
+            noise: ReleaseMonitorConfig {
+                window: noise_window,
+                fp_budget: 1e-3,
+            },
+            drift: drift_config(),
+            recent_capacity: 4096,
+            min_refit_events: 2048,
+            estimation: ClassEstimationOptions::default(),
+            auto_recalibrate: false,
+        },
+    )
+}
+
+/// The positive case: a mid-stream transition shift must trip the detector
+/// within a bounded number of windows, and the canary recalibration must
+/// restore sign/MAD health on the shifted regime.
+fn assert_shift_detected_and_recalibration_heals(
+    truth: MarkovChain,
+    shifted: MarkovChain,
+    backend: StreamBackend,
+    seed: u64,
+) {
+    let mut monitored = monitored_pipeline(&truth, backend, 256, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5151);
+    // An in-class prefix: no complaint.
+    for event in EventStream::new(truth, seed + 1).take(4 * WINDOW) {
+        monitored.push(event, &mut rng).unwrap();
+    }
     assert!(
-        (stats.mad / stats.scale - 1.0).abs() > MAD_TOLERANCE,
-        "a half-scale mechanism must fail the MAD check (got ratio {})",
-        stats.mad / stats.scale
+        monitored.healthy(),
+        "{}: in-class prefix must not trip",
+        backend.name()
     );
+    // The shift: bounded detection latency. The detector debounces over 2
+    // consecutive windows, so 6 windows of budget is already generous.
+    for event in EventStream::new(shifted.clone(), seed + 2).take(6 * WINDOW) {
+        monitored.push(event, &mut rng).unwrap();
+        if monitored.drifted() {
+            break;
+        }
+    }
+    assert!(
+        monitored.drifted(),
+        "{}: shift must trip within 6 windows",
+        backend.name()
+    );
+    // Let the refit buffer fill with post-shift events (at trip time it
+    // still blends both regimes), then run the canary recalibration: refit
+    // on the recent window, swap the stream's mechanism, rebase monitors.
+    for event in EventStream::new(shifted.clone(), seed + 4).take(4096) {
+        monitored.push(event, &mut rng).unwrap();
+    }
+    let done = monitored.recalibrate().unwrap();
+    assert!(done.old_scale > 0.0 && done.new_scale > 0.0);
+    assert!(monitored.healthy(), "{}: rebase heals", backend.name());
+    // Post-swap, the anchored sign/MAD test must pass on the new regime:
+    // push enough events for several complete noise-test windows.
+    for event in EventStream::new(shifted, seed + 3).take(16 * WINDOW) {
+        monitored.push(event, &mut rng).unwrap();
+    }
+    let stats = monitored.monitor_stats();
+    assert!(
+        stats.noise_tests >= 1,
+        "{}: the sequential noise test must have run post-swap (got {} tests)",
+        backend.name(),
+        stats.noise_tests
+    );
+    assert_eq!(
+        stats.noise_failures,
+        0,
+        "{}: recalibration must restore sign/MAD health",
+        backend.name()
+    );
+    assert!(
+        monitored.healthy(),
+        "{}: healthy on the shifted regime after recalibration",
+        backend.name()
+    );
+    assert_eq!(stats.recalibrations, 1);
+}
+
+/// The negative control: an unshifted stream **ten times** the detection
+/// budget must never trip the detector (α = 1e-4 per window, debounced over
+/// 2 consecutive windows — a false trip would be a tolerance bug).
+fn assert_control_never_trips(truth: MarkovChain, backend: StreamBackend, seed: u64) {
+    let mut monitored = monitored_pipeline(&truth, backend, 4096, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0);
+    for event in EventStream::new(truth, seed + 1).take(60 * WINDOW) {
+        let step = monitored.push(event, &mut rng).unwrap();
+        if let Some(verdict) = step.drift_verdict {
+            assert!(
+                !verdict.drifted,
+                "{}: control stream tripped at window {} (score {})",
+                backend.name(),
+                verdict.window_index,
+                verdict.score
+            );
+        }
+    }
+    let stats = monitored.monitor_stats();
+    assert_eq!(stats.drift_windows, 60);
+    assert!(!stats.drifted);
+    assert_eq!(stats.recalibrations, 0);
+}
+
+#[test]
+fn drift_sticky_class_mqm_approx_shift_detected() {
+    assert_shift_detected_and_recalibration_heals(
+        two_state(0.85, 0.7),
+        two_state(0.45, 0.7),
+        StreamBackend::MqmApprox,
+        0x1001,
+    );
+}
+
+#[test]
+fn drift_mixing_class_mqm_approx_shift_detected() {
+    assert_shift_detected_and_recalibration_heals(
+        two_state(0.6, 0.55),
+        two_state(0.3, 0.55),
+        StreamBackend::MqmApprox,
+        0x1002,
+    );
+}
+
+// GK16 only calibrates over weakly correlated chains (its influence-matrix
+// spectral norm must stay below 1), so its drift cases live near stay = 0.5
+// and shift a different row per class.
+
+#[test]
+fn drift_row0_class_gk16_shift_detected() {
+    assert_shift_detected_and_recalibration_heals(
+        two_state(0.62, 0.5),
+        two_state(0.38, 0.5),
+        StreamBackend::Gk16,
+        0x1003,
+    );
+}
+
+#[test]
+fn drift_row1_class_gk16_shift_detected() {
+    assert_shift_detected_and_recalibration_heals(
+        two_state(0.5, 0.62),
+        two_state(0.5, 0.38),
+        StreamBackend::Gk16,
+        0x1004,
+    );
+}
+
+#[test]
+fn drift_control_sticky_class_mqm_approx_never_trips() {
+    assert_control_never_trips(two_state(0.85, 0.7), StreamBackend::MqmApprox, 0x2001);
+}
+
+#[test]
+fn drift_control_mixing_class_mqm_approx_never_trips() {
+    assert_control_never_trips(two_state(0.6, 0.55), StreamBackend::MqmApprox, 0x2002);
+}
+
+#[test]
+fn drift_control_row0_class_gk16_never_trips() {
+    assert_control_never_trips(two_state(0.62, 0.5), StreamBackend::Gk16, 0x2003);
+}
+
+#[test]
+fn drift_control_row1_class_gk16_never_trips() {
+    assert_control_never_trips(two_state(0.5, 0.62), StreamBackend::Gk16, 0x2004);
 }
