@@ -1,0 +1,272 @@
+//! Warm-path overhead of the unified telemetry layer, emitting
+//! `BENCH_telemetry.json` at the workspace root.
+//!
+//! The same warm request stream is pushed end-to-end through a
+//! [`ReleaseService`] twice — once bare, once fully instrumented: a
+//! [`ServiceTelemetry`] (stage histograms, admission counters, queue-depth
+//! gauge, engine cache counters), a [`FlightRecorder`] watching for slow
+//! requests, and an [`EpsilonLedger`] receiving every budget event. The two
+//! modes are timed in interleaved slices and the overhead is the median of
+//! the per-pair ratios. The bench asserts the instrumented path stays within 3% of the
+//! bare path — the handles are resolved at construction, so the per-request
+//! cost is a handful of relaxed atomic adds and clock reads — and then
+//! audits the ledger **bitwise** against the live accountant, proving the
+//! observability layer never perturbs the ε-accounting it observes.
+//!
+//! The JSON schema is documented in the README ("BENCH_*.json schema").
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pufferfish_core::engine::{MqmExactCalibrator, ReleaseEngine};
+use pufferfish_core::queries::StateFrequencyQuery;
+use pufferfish_core::{MqmExactOptions, Parallelism, PrivacyBudget};
+use pufferfish_markov::{sample_trajectory, FittedClass, MarkovChain};
+use pufferfish_service::ServiceTelemetry;
+use pufferfish_service::{audit_ledger, ReleaseRequest, ReleaseService, ServiceConfig};
+use pufferfish_telemetry::{EpsilonLedger, FlightRecorder, Registry};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Request database length (one sliding window of events) — matched to the
+/// canonical serving workload in the `service_throughput` bench.
+const DB_LEN: usize = 150;
+/// Requests per timed run.
+const REQUESTS: usize = 30_000;
+/// Requests per interleaved timing slice.
+const SLICE: usize = 1_000;
+/// Slice-interleaved repetitions; more repetitions mean more paired slices
+/// under the median, so a jitter burst must outlast more of the run to
+/// move the estimate.
+const REPETITIONS: usize = 5;
+/// Maximum tolerated warm-path slowdown with full telemetry attached.
+const MAX_OVERHEAD_PERCENT: f64 = 3.0;
+
+fn fitted() -> FittedClass {
+    let truth = MarkovChain::new(vec![0.5, 0.5], vec![vec![0.85, 0.15], vec![0.3, 0.7]]).unwrap();
+    let log: Vec<usize> = pufferfish_datasets::EventStream::new(truth, 7)
+        .take(20_000)
+        .collect();
+    pufferfish_markov::estimate_class(&[log], 2, Default::default()).unwrap()
+}
+
+fn service(fit: &FittedClass) -> ReleaseService {
+    // The engine mirrors the warm-service phase of `service_throughput`
+    // (mqm-exact, chain length 150): the overhead is measured against the
+    // repo's canonical warm serving path, not a lighter stand-in.
+    let engine = ReleaseEngine::shared(MqmExactCalibrator::new(
+        fit.to_class().unwrap(),
+        DB_LEN,
+        MqmExactOptions {
+            max_quilt_width: Some(24),
+            search_middle_only: false,
+            parallelism: Parallelism::Serial,
+        },
+    ));
+    // Pre-warm the single cache key so every measured request is a hit.
+    let query = StateFrequencyQuery::new(1, DB_LEN);
+    let budget = PrivacyBudget::new(0.5).unwrap();
+    engine.mechanism(&query, budget).unwrap();
+    // One worker: the overhead question is instructions-per-request on the
+    // warm path, and a single submitter/worker pair answers it without the
+    // run-to-run scheduling noise a wider pool adds on small CI machines.
+    ReleaseService::start(
+        engine,
+        ServiceConfig {
+            workers: Parallelism::Threads(1),
+            queue_capacity: 1024,
+            per_user_epsilon: 1e12,
+        },
+    )
+    .unwrap()
+}
+
+/// Databases are pre-sampled so the timed loop measures serving, not RNG.
+fn databases(fit: &FittedClass, count: usize) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(11);
+    (0..count)
+        .map(|_| sample_trajectory(fit.chain(), DB_LEN, &mut rng).unwrap())
+        .collect()
+}
+
+/// One timed slice: `count` warm releases (request indices `start..`),
+/// tickets collected in batches.
+fn run(service: &ReleaseService, databases: &[Vec<usize>], start: usize, count: usize) -> f64 {
+    let begin = Instant::now();
+    let mut tickets = Vec::with_capacity(64);
+    for i in start..start + count {
+        let request = ReleaseRequest {
+            user: format!("user-{}", i % 8),
+            query: Arc::new(StateFrequencyQuery::new(1, DB_LEN)),
+            database: databases[i % databases.len()].clone(),
+            epsilon: 0.5,
+            seed: i as u64,
+        };
+        tickets.push(service.submit(request).unwrap());
+        if tickets.len() == 64 {
+            for ticket in tickets.drain(..) {
+                ticket.wait().unwrap();
+            }
+        }
+    }
+    for ticket in tickets {
+        ticket.wait().unwrap();
+    }
+    begin.elapsed().as_secs_f64()
+}
+
+fn main() {
+    println!("== telemetry ==");
+    let fit = fitted();
+    let databases = databases(&fit, 64);
+
+    let bare = service(&fit);
+    let instrumented = service(&fit);
+
+    // The full layer: registry + stage spans + flight recorder (1 ms slow
+    // threshold) + ε-ledger, all attached before the first request.
+    let registry = Arc::new(Registry::new());
+    let recorder = Arc::new(FlightRecorder::new(64, 1_000_000));
+    let ledger = Arc::new(EpsilonLedger::new());
+    instrumented.budget().attach_ledger(Arc::clone(&ledger));
+    instrumented.enable_telemetry(Arc::new(ServiceTelemetry::with_recorder(
+        Arc::clone(&registry),
+        Arc::clone(&recorder),
+    )));
+
+    // Warm both paths once (uncounted) before timing anything.
+    run(&bare, &databases, 0, REQUESTS);
+    run(&instrumented, &databases, 0, REQUESTS);
+
+    // A repetition interleaves the two modes slice by slice — 1 000
+    // requests bare, 1 000 instrumented, alternating which mode leads — so
+    // the two runs of a pair sit a few tens of milliseconds apart and any
+    // ambient disturbance (co-tenant load, thermal ramp) lands on both
+    // nearly identically. The overhead estimate is the **median** of the
+    // per-pair on/off time ratios across every repetition: a noise burst
+    // skews individual pairs (in either direction, since the lead mode
+    // alternates) but moves the median only if it outlasts half the
+    // pairs. The per-mode times reported alongside are the sums of
+    // per-slice minima across repetitions.
+    let slices = REQUESTS / SLICE;
+    let mut off_best = vec![f64::INFINITY; slices];
+    let mut on_best = vec![f64::INFINITY; slices];
+    let mut pair_ratios = Vec::with_capacity(REPETITIONS * slices);
+    for repetition in 0..REPETITIONS {
+        let mut off = 0.0;
+        let mut on = 0.0;
+        for slice in 0..slices {
+            let start = slice * SLICE;
+            let (off_slice, on_slice) = if slice % 2 == 0 {
+                let a = run(&bare, &databases, start, SLICE);
+                let b = run(&instrumented, &databases, start, SLICE);
+                (a, b)
+            } else {
+                let b = run(&instrumented, &databases, start, SLICE);
+                let a = run(&bare, &databases, start, SLICE);
+                (a, b)
+            };
+            off += off_slice;
+            on += on_slice;
+            off_best[slice] = off_best[slice].min(off_slice);
+            on_best[slice] = on_best[slice].min(on_slice);
+            pair_ratios.push(on_slice / off_slice);
+        }
+        println!("repetition {repetition}: telemetry-off {off:.3}s, telemetry-on {on:.3}s");
+    }
+    let off_seconds: f64 = off_best.iter().sum();
+    let on_seconds: f64 = on_best.iter().sum();
+    pair_ratios.sort_by(|a, b| a.partial_cmp(b).expect("slice times are finite"));
+    let median_ratio =
+        (pair_ratios[(pair_ratios.len() - 1) / 2] + pair_ratios[pair_ratios.len() / 2]) / 2.0;
+
+    let off_rps = REQUESTS as f64 / off_seconds;
+    let on_rps = REQUESTS as f64 / on_seconds;
+    let overhead_percent = (median_ratio - 1.0) * 100.0;
+    println!(
+        "telemetry-off {off_rps:.0} req/s, telemetry-on {on_rps:.0} req/s, \
+         overhead {overhead_percent:.2}% (median of {} paired slices)",
+        pair_ratios.len()
+    );
+
+    // The layer must have actually watched the traffic it was attached to:
+    // one warm pass plus one full instrumented pass per repetition.
+    let watched = ((REPETITIONS + 1) * REQUESTS) as u64;
+    let admitted = registry.counter("service_admitted_total").get();
+    assert_eq!(admitted, watched, "every request passes the admission span");
+    let engine_sample = registry
+        .snapshot()
+        .into_iter()
+        .find(|s| s.name == "stage_engine_ns")
+        .expect("stage family registered");
+    let engine_count = match engine_sample.value {
+        pufferfish_telemetry::MetricValue::Histogram(summary) => summary.count,
+        other => panic!("stage_engine_ns was {other:?}"),
+    };
+    assert_eq!(
+        engine_count, watched,
+        "every request crosses the engine span"
+    );
+
+    // The audit: replaying the ledger reconstructs the live accountant
+    // bitwise — observation never perturbed the accounting.
+    let report = audit_ledger(&ledger.to_bytes(), instrumented.budget())
+        .expect("ledger audit must pass after the full workload");
+    assert_eq!(report.events, watched);
+    assert_eq!(
+        report.total.to_bits(),
+        instrumented.budget().total_spent().to_bits()
+    );
+    println!(
+        "ledger audit passed: {} events, total ε {:.1} bitwise-equal",
+        report.events, report.total
+    );
+
+    assert!(
+        overhead_percent < MAX_OVERHEAD_PERCENT,
+        "instrumented warm path is {overhead_percent:.2}% slower than bare \
+         (budget {MAX_OVERHEAD_PERCENT}%)"
+    );
+
+    let json = [
+        "  \"bench\": \"telemetry\"".to_string(),
+        format!(
+            "  \"config\": {{\"mechanism\": \"mqm-exact\", \"db_len\": {DB_LEN}, \
+             \"requests\": {REQUESTS}, \"repetitions\": {REPETITIONS}, \"slice\": {SLICE}, \
+             \"workers\": 1, \"host_parallelism\": {}}}",
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        ),
+        format!(
+            "  \"warm_path\": [\n    {{\"mode\": \"telemetry-off\", \"requests\": {REQUESTS}, \
+             \"seconds\": {off_seconds:.6}, \"requests_per_sec\": {off_rps:.0}}},\n    \
+             {{\"mode\": \"telemetry-on\", \"requests\": {REQUESTS}, \"seconds\": {on_seconds:.6}, \
+             \"requests_per_sec\": {on_rps:.0}}}\n  ]"
+        ),
+        format!(
+            "  \"overhead_percent\": {overhead_percent:.3},\n  \
+             \"overhead_method\": \"median of {} interleaved slice-pair ratios\"",
+            pair_ratios.len()
+        ),
+        format!(
+            "  \"ledger_audit\": {{\"events\": {}, \"users\": {}, \"total_epsilon\": {:.6}, \
+             \"bitwise_equal\": true}}",
+            report.events,
+            report.per_user.len(),
+            report.total
+        ),
+        format!(
+            "  \"registry\": {{\"series\": {}, \"admitted\": {admitted}, \
+             \"slow_requests_captured\": {}}}",
+            registry.len(),
+            recorder.captured()
+        ),
+    ];
+
+    bare.shutdown();
+    instrumented.shutdown();
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
+    let contents = format!("{{\n{}\n}}\n", json.join(",\n"));
+    std::fs::write(path, &contents).expect("failed to write BENCH_telemetry.json");
+    println!("wrote {path}");
+}

@@ -28,9 +28,11 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 
 use rand::RngCore;
+
+use pufferfish_telemetry::{Counter, HistogramHandle, Registry};
 
 use pufferfish_markov::MarkovChainClass;
 use pufferfish_parallel::Parallelism;
@@ -429,6 +431,24 @@ pub struct ReleaseEngine {
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
+    /// Registered metric handles, set once by
+    /// [`ReleaseEngine::enable_telemetry`]. The disabled path costs one
+    /// `OnceLock` load per event; the enabled path adds one relaxed atomic
+    /// add per mirrored counter.
+    telemetry: OnceLock<EngineMetrics>,
+}
+
+/// Cached registry handles mirroring the engine's own counters, plus the
+/// release-side counters only telemetry tracks (per-family release count and
+/// noise-scale distribution).
+struct EngineMetrics {
+    hits: Counter,
+    misses: Counter,
+    coalesced: Counter,
+    releases: Counter,
+    /// Noise scales recorded in micro-units (`scale × 1e6` rounded), since
+    /// the histogram buckets integers.
+    noise_scale_micro: HistogramHandle,
 }
 
 impl ReleaseEngine {
@@ -452,6 +472,46 @@ impl ReleaseEngine {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            telemetry: OnceLock::new(),
+        }
+    }
+
+    /// Registers this engine's metrics in `registry` and starts mirroring
+    /// every cache event into them. Metric names are prefixed
+    /// `engine_{family}_` (the calibrator's kind with `-` mapped to `_`), so
+    /// distinct mechanism families coexist in one registry:
+    /// `…_cache_hits_total`, `…_cache_misses_total`,
+    /// `…_cache_coalesced_total`, `…_releases_total`,
+    /// `…_noise_scale_micro`.
+    ///
+    /// Idempotent per engine (the first registry wins); counters recorded
+    /// before enabling are not back-filled — handles are cached here once
+    /// and the hot path stays a relaxed atomic add.
+    pub fn enable_telemetry(&self, registry: &Registry) {
+        let family = self.kind().replace('-', "_");
+        let _ = self.telemetry.set(EngineMetrics {
+            hits: registry.counter(&format!("engine_{family}_cache_hits_total")),
+            misses: registry.counter(&format!("engine_{family}_cache_misses_total")),
+            coalesced: registry.counter(&format!("engine_{family}_cache_coalesced_total")),
+            releases: registry.counter(&format!("engine_{family}_releases_total")),
+            noise_scale_micro: registry.histogram(&format!("engine_{family}_noise_scale_micro")),
+        });
+    }
+
+    /// Records one served release (its Laplace scale) into the telemetry
+    /// registry; a no-op until [`ReleaseEngine::enable_telemetry`].
+    ///
+    /// [`ReleaseEngine::release`] and the batch entry points call this
+    /// themselves; callers that split the path manually — fetch the
+    /// mechanism via [`ReleaseEngine::mechanism`], then sample — call it
+    /// once per release they perform.
+    pub fn note_release(&self, scale: f64) {
+        if let Some(metrics) = self.telemetry.get() {
+            metrics.releases.inc();
+            let micro = (scale * 1e6).round();
+            if micro.is_finite() && micro >= 0.0 {
+                metrics.noise_scale_micro.record(micro as u64);
+            }
         }
     }
 
@@ -521,6 +581,9 @@ impl ReleaseEngine {
                 .get(&key)
             {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(metrics) = self.telemetry.get() {
+                    metrics.hits.inc();
+                }
                 return Ok(Arc::clone(mechanism));
             }
 
@@ -536,6 +599,9 @@ impl ReleaseEngine {
                     .get(&key)
                 {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(metrics) = self.telemetry.get() {
+                        metrics.hits.inc();
+                    }
                     return Ok(Arc::clone(mechanism));
                 }
                 match in_flight.get(&key) {
@@ -560,6 +626,9 @@ impl ReleaseEngine {
                             .expect("calibration cache poisoned")
                             .insert(key.clone(), Arc::clone(mechanism));
                         self.misses.fetch_add(1, Ordering::Relaxed);
+                        if let Some(metrics) = self.telemetry.get() {
+                            metrics.misses.inc();
+                        }
                     }
                     shard
                         .in_flight
@@ -573,6 +642,9 @@ impl ReleaseEngine {
                 }
                 MissRole::Waiter(guard) => {
                     self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    if let Some(metrics) = self.telemetry.get() {
+                        metrics.coalesced.inc();
+                    }
                     guard.wait();
                     // Loop: normally the next cache read hits (counted as a
                     // hit); if the leader failed, this thread retries and may
@@ -618,7 +690,11 @@ impl ReleaseEngine {
         budget: PrivacyBudget,
         rng: &mut dyn RngCore,
     ) -> Result<NoisyRelease> {
-        self.mechanism(query, budget)?.release(query, database, rng)
+        let release = self
+            .mechanism(query, budget)?
+            .release(query, database, rng)?;
+        self.note_release(release.scale);
+        Ok(release)
     }
 
     /// Releases a batch of databases through one (cached) calibration.
@@ -632,8 +708,13 @@ impl ReleaseEngine {
         budget: PrivacyBudget,
         rng: &mut dyn RngCore,
     ) -> Result<Vec<NoisyRelease>> {
-        self.mechanism(query, budget)?
-            .release_batch(query, databases, rng)
+        let releases = self
+            .mechanism(query, budget)?
+            .release_batch(query, databases, rng)?;
+        for release in &releases {
+            self.note_release(release.scale);
+        }
+        Ok(releases)
     }
 
     /// [`ReleaseEngine::release_batch`] over borrowed window slices — one
@@ -650,8 +731,13 @@ impl ReleaseEngine {
         budget: PrivacyBudget,
         rng: &mut dyn RngCore,
     ) -> Result<Vec<NoisyRelease>> {
-        self.mechanism(query, budget)?
-            .release_batch_refs(query, databases, rng)
+        let releases = self
+            .mechanism(query, budget)?
+            .release_batch_refs(query, databases, rng)?;
+        for release in &releases {
+            self.note_release(release.scale);
+        }
+        Ok(releases)
     }
 
     /// A snapshot of the hit/miss/coalesced counters (see [`CacheStats`] for
@@ -1174,6 +1260,45 @@ mod tests {
         assert_eq!(engine.cache_len(), 0);
         engine.release(&query, &data, budget, &mut rng).unwrap();
         assert_eq!(engine.cache_misses(), 3);
+    }
+
+    #[test]
+    fn telemetry_mirrors_cache_counters_and_tracks_releases() {
+        let engine = ReleaseEngine::new(MqmApproxCalibrator::new(
+            test_class(),
+            200,
+            MqmApproxOptions::default(),
+        ));
+        let registry = Registry::new();
+        let budget = PrivacyBudget::new(1.0).unwrap();
+        let query = RelativeFrequencyHistogram::new(2, 200).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = vec![0usize; 200];
+
+        // Before enabling, nothing is registered and releases cost no
+        // registry traffic.
+        engine.release(&query, &data, budget, &mut rng).unwrap();
+        assert_eq!(registry.len(), 0);
+
+        engine.enable_telemetry(&registry);
+        engine.release(&query, &data, budget, &mut rng).unwrap(); // hit
+        engine
+            .release_batch(&query, &[data.clone(), data.clone()], budget, &mut rng)
+            .unwrap(); // hit + 2 releases
+        let rendered = registry.render_text();
+        assert!(
+            rendered.contains("engine_mqm_approx_cache_hits_total counter 2"),
+            "unexpected exposition:\n{rendered}"
+        );
+        assert!(rendered.contains("engine_mqm_approx_releases_total counter 3"));
+        assert!(rendered.contains("engine_mqm_approx_noise_scale_micro histogram count=3"));
+        // The pre-enable miss was not back-filled.
+        assert!(rendered.contains("engine_mqm_approx_cache_misses_total counter 0"));
+        // Enabling twice is a no-op (first registry wins), and the engine's
+        // own counters are untouched by mirroring.
+        engine.enable_telemetry(&registry);
+        assert_eq!(engine.cache_hits(), 2);
+        assert_eq!(engine.cache_misses(), 1);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 
 use pufferfish_markov::{estimate_class, ClassEstimationOptions};
 use pufferfish_service::{ContinualRelease, MonitorStats, WindowRelease};
+use pufferfish_telemetry::{Counter, Registry};
 use rand::Rng;
 
 use crate::drift::{ClassBounds, DriftConfig, DriftDetector, DriftVerdict};
@@ -73,6 +74,17 @@ pub struct StreamStep {
     pub recalibration: Option<StreamRecalibration>,
 }
 
+/// Registry handles mirroring the monitor's lifetime counters — resolved
+/// once at [`MonitoredStream::enable_telemetry`] so the per-verdict cost is
+/// one relaxed atomic add, never a registry lookup.
+struct StreamTelemetry {
+    noise_tests: Counter,
+    noise_failures: Counter,
+    drift_windows: Counter,
+    drift_violations: Counter,
+    recalibrations: Counter,
+}
+
 /// A [`ContinualRelease`] pipeline that validates itself as it runs.
 ///
 /// Every ingested event feeds the [`DriftDetector`]; every window release's
@@ -90,6 +102,7 @@ pub struct MonitoredStream {
     config: StreamMonitorConfig,
     recent: VecDeque<usize>,
     recalibrations: u64,
+    telemetry: Option<StreamTelemetry>,
 }
 
 impl MonitoredStream {
@@ -106,7 +119,23 @@ impl MonitoredStream {
             config,
             recent: VecDeque::new(),
             recalibrations: 0,
+            telemetry: None,
         }
+    }
+
+    /// Mirrors the monitor's lifetime counters into `registry`:
+    /// `monitor_noise_tests_total`, `monitor_noise_failures_total`,
+    /// `monitor_drift_windows_total`, `monitor_drift_violations_total` and
+    /// `monitor_recalibrations_total`. Handles are resolved here, once;
+    /// verdicts already counted before enabling are not back-filled.
+    pub fn enable_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = Some(StreamTelemetry {
+            noise_tests: registry.counter("monitor_noise_tests_total"),
+            noise_failures: registry.counter("monitor_noise_failures_total"),
+            drift_windows: registry.counter("monitor_drift_windows_total"),
+            drift_violations: registry.counter("monitor_drift_violations_total"),
+            recalibrations: registry.counter("monitor_recalibrations_total"),
+        });
     }
 
     /// Ingests one event through the stream and both monitors; when
@@ -123,13 +152,32 @@ impl MonitoredStream {
             drift_verdict: self.drift.observe_event(event),
             ..StreamStep::default()
         };
+        if let (Some(telemetry), Some(verdict)) = (&self.telemetry, &step.drift_verdict) {
+            telemetry.drift_windows.inc();
+            if verdict.violating {
+                telemetry.drift_violations.inc();
+            }
+        }
         self.recent.push_back(event);
         while self.recent.len() > self.config.recent_capacity.max(1) {
             self.recent.pop_front();
         }
         let release = self.stream.push(event, rng).map_err(MonitorError::from)?;
         if let Some(window) = &release {
+            // One release can complete several test windows (`observe_release`
+            // only returns the last verdict), so mirror the lifetime totals
+            // by difference rather than counting returned verdicts.
+            let tests_before = self.noise.tests_run();
+            let failures_before = self.noise.failures();
             step.noise_verdict = self.noise.observe_release(&window.release);
+            if let Some(telemetry) = &self.telemetry {
+                telemetry
+                    .noise_tests
+                    .add(self.noise.tests_run() - tests_before);
+                telemetry
+                    .noise_failures
+                    .add(self.noise.failures() - failures_before);
+            }
         }
         step.release = release;
         if self.config.auto_recalibrate
@@ -163,6 +211,9 @@ impl MonitoredStream {
         self.drift.rebase(ClassBounds::from_fitted(&fitted));
         self.recent.clear();
         self.recalibrations += 1;
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.recalibrations.inc();
+        }
         Ok(StreamRecalibration {
             old_scale,
             new_scale,
@@ -352,6 +403,37 @@ mod tests {
         let done = monitored.recalibrate().unwrap();
         assert!(done.old_scale > 0.0 && done.new_scale > 0.0);
         assert!(monitored.healthy());
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_monitor_stats() {
+        let truth = chain(0.8, 0.7);
+        let fit = fitted(&truth, 61);
+        let stream = ContinualRelease::new("s", &fit.to_class().unwrap(), stream_config()).unwrap();
+        let mut monitored = MonitoredStream::new(
+            stream,
+            ClassBounds::from_fitted(&fit),
+            StreamMonitorConfig {
+                noise: ReleaseMonitorConfig {
+                    window: 64,
+                    fp_budget: 1e-3,
+                },
+                ..StreamMonitorConfig::default()
+            },
+        );
+        let registry = pufferfish_telemetry::Registry::new();
+        monitored.enable_telemetry(&registry);
+        let mut rng = StdRng::seed_from_u64(62);
+        for event in EventStream::new(truth, 63).take(512 * 6) {
+            monitored.push(event, &mut rng).unwrap();
+        }
+        let stats = monitored.monitor_stats();
+        assert!(stats.noise_tests > 0 && stats.drift_windows > 0);
+        let value = |name: &str| registry.counter(name).get();
+        assert_eq!(value("monitor_noise_tests_total"), stats.noise_tests);
+        assert_eq!(value("monitor_noise_failures_total"), stats.noise_failures);
+        assert_eq!(value("monitor_drift_windows_total"), stats.drift_windows);
+        assert_eq!(value("monitor_recalibrations_total"), stats.recalibrations);
     }
 
     #[test]

@@ -12,8 +12,8 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::frame::{
-    decode_payload, encode, Envelope, ErrorCode, Frame, FrameError, WireQuery, WireQueryResult,
-    WireStats, DEFAULT_MAX_FRAME_LEN, HEADER_LEN,
+    decode_payload, encode, Envelope, ErrorCode, Frame, FrameError, WireMetric, WireQuery,
+    WireQueryResult, WireStats, DEFAULT_MAX_FRAME_LEN, HEADER_LEN,
 };
 
 /// Typed client-side failures, separating transport problems from the
@@ -256,6 +256,24 @@ impl NetClient {
         match envelope.frame {
             Frame::StatsOk(stats) => Ok(stats),
             frame => Err(frame_to_error(frame, "STATS_OK")),
+        }
+    }
+
+    /// Fetches the server's full metrics registry snapshot — every counter,
+    /// gauge, and stage histogram the server's telemetry has registered.
+    /// Each [`WireMetric`] `Display`s one exposition line, identical to the
+    /// server-side `Registry::render_text` format.
+    ///
+    /// # Errors
+    /// As for [`NetClient::release`]; a server started without telemetry
+    /// answers with [`ErrorCode::Unsupported`], surfaced as
+    /// [`ClientError::Remote`].
+    pub fn metrics(&mut self) -> Result<Vec<WireMetric>, ClientError> {
+        let seq = self.send(Frame::Metrics)?;
+        let envelope = self.expect_seq(seq)?;
+        match envelope.frame {
+            Frame::MetricsOk(metrics) => Ok(metrics),
+            frame => Err(frame_to_error(frame, "METRICS_OK")),
         }
     }
 

@@ -334,6 +334,74 @@ impl From<ServiceStats> for WireStats {
     }
 }
 
+/// A metric's value inside a [`WireMetric`] — the wire image of the
+/// telemetry registry's counter / gauge / histogram-summary kinds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireMetricValue {
+    /// A monotonic counter.
+    Counter(u64),
+    /// A point-in-time gauge.
+    Gauge(u64),
+    /// A latency-histogram summary (nanoseconds).
+    Histogram {
+        /// Recorded samples.
+        count: u64,
+        /// Exact maximum sample.
+        max: u64,
+        /// Mean sample.
+        mean: f64,
+        /// 50th percentile.
+        p50: u64,
+        /// 99th percentile.
+        p99: u64,
+        /// 99.9th percentile.
+        p999: u64,
+    },
+}
+
+impl WireMetricValue {
+    fn tag(self) -> u8 {
+        match self {
+            WireMetricValue::Counter(_) => 0,
+            WireMetricValue::Gauge(_) => 1,
+            WireMetricValue::Histogram { .. } => 2,
+        }
+    }
+}
+
+/// One named metric inside a [`Frame::MetricsOk`] response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireMetric {
+    /// The registry name (e.g. `stage_engine_ns`).
+    pub name: String,
+    /// Its value at snapshot time.
+    pub value: WireMetricValue,
+}
+
+impl std::fmt::Display for WireMetric {
+    /// The same one-line text exposition the telemetry registry's
+    /// `MetricSample` renders, so server-side `render_text` and client-side
+    /// METRICS output grep identically.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.value {
+            WireMetricValue::Counter(v) => write!(f, "{} counter {v}", self.name),
+            WireMetricValue::Gauge(v) => write!(f, "{} gauge {v}", self.name),
+            WireMetricValue::Histogram {
+                count,
+                max,
+                mean,
+                p50,
+                p99,
+                p999,
+            } => write!(
+                f,
+                "{} histogram count={count} mean={mean:.1} p50={p50} p99={p99} p999={p999} max={max}",
+                self.name
+            ),
+        }
+    }
+}
+
 /// One window's released values inside a [`WireCell`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireWindow {
@@ -365,8 +433,8 @@ pub struct WireQueryResult {
     pub cells: Vec<WireCell>,
 }
 
-/// One protocol frame. Kinds `0x01–0x05` are requests (client → server),
-/// `0x81–0x87` are responses (server → client).
+/// One protocol frame. Kinds `0x01–0x06` are requests (client → server),
+/// `0x81–0x88` are responses (server → client).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Authenticates the connection under a tenant name. Must be the first
@@ -405,6 +473,10 @@ pub enum Frame {
     },
     /// Requests a [`Frame::StatsOk`] observability snapshot.
     Stats,
+    /// Requests a [`Frame::MetricsOk`] telemetry-registry snapshot. Servers
+    /// without telemetry attached answer [`Frame::Error`] with
+    /// [`ErrorCode::Unsupported`].
+    Metrics,
     /// Clean client-initiated close: the server finishes every in-flight
     /// response on this connection, then closes it.
     Goodbye,
@@ -428,6 +500,9 @@ pub enum Frame {
     QueryOk(WireQueryResult),
     /// The observability snapshot.
     StatsOk(WireStats),
+    /// The telemetry-registry snapshot: every registered metric, sorted by
+    /// name.
+    MetricsOk(Vec<WireMetric>),
     /// Admission control refused the request (queue full or the connection's
     /// pipeline limit reached). The request spent **no** budget; retry after
     /// the hint.
@@ -459,10 +534,12 @@ impl Frame {
             Frame::Query { .. } => 0x03,
             Frame::Stats => 0x04,
             Frame::Goodbye => 0x05,
+            Frame::Metrics => 0x06,
             Frame::HelloOk { .. } => 0x81,
             Frame::ReleaseOk { .. } => 0x82,
             Frame::QueryOk(_) => 0x83,
             Frame::StatsOk(_) => 0x84,
+            Frame::MetricsOk(_) => 0x88,
             Frame::Busy { .. } => 0x85,
             Frame::BudgetExhausted { .. } => 0x86,
             Frame::Error { .. } => 0x87,
@@ -615,7 +692,7 @@ pub fn encode(envelope: &Envelope, max_frame_len: u32) -> Result<Vec<u8>, FrameE
             put_str(&mut out, statement)?;
             put_u64(&mut out, *seed);
         }
-        Frame::Stats | Frame::Goodbye => {}
+        Frame::Stats | Frame::Goodbye | Frame::Metrics => {}
         Frame::HelloOk {
             max_pipeline,
             max_frame_len,
@@ -664,6 +741,35 @@ pub fn encode(envelope: &Envelope, max_frame_len: u32) -> Result<Vec<u8>, FrameE
             put_f64(&mut out, stats.drift_score);
             put_u16(&mut out, u16::from(stats.drifted));
             put_u64(&mut out, stats.recalibrations);
+        }
+        Frame::MetricsOk(metrics) => {
+            let count = u32::try_from(metrics.len())
+                .map_err(|_| FrameError::Unencodable(format!("{} metrics", metrics.len())))?;
+            put_u32(&mut out, count);
+            for metric in metrics {
+                put_str(&mut out, &metric.name)?;
+                out.push(metric.value.tag());
+                match metric.value {
+                    WireMetricValue::Counter(v) | WireMetricValue::Gauge(v) => {
+                        put_u64(&mut out, v);
+                    }
+                    WireMetricValue::Histogram {
+                        count,
+                        max,
+                        mean,
+                        p50,
+                        p99,
+                        p999,
+                    } => {
+                        put_u64(&mut out, count);
+                        put_u64(&mut out, max);
+                        put_f64(&mut out, mean);
+                        put_u64(&mut out, p50);
+                        put_u64(&mut out, p99);
+                        put_u64(&mut out, p999);
+                    }
+                }
+            }
         }
         Frame::Busy { retry_hint_ms } => put_u32(&mut out, *retry_hint_ms),
         Frame::BudgetExhausted {
@@ -880,6 +986,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<Envelope, FrameError> {
         },
         0x04 => Frame::Stats,
         0x05 => Frame::Goodbye,
+        0x06 => Frame::Metrics,
         0x81 => Frame::HelloOk {
             max_pipeline: r.u32()?,
             max_frame_len: r.u32()?,
@@ -945,6 +1052,36 @@ pub fn decode_payload(payload: &[u8]) -> Result<Envelope, FrameError> {
         0x85 => Frame::Busy {
             retry_hint_ms: r.u32()?,
         },
+        0x88 => {
+            // A metric is at least 13 bytes: empty name (4) + kind tag (1) +
+            // one u64 (8) — checked against the remaining payload before any
+            // allocation, like every other collection count.
+            let count = r.count(13, "metrics")?;
+            let mut metrics = Vec::with_capacity(count);
+            for _ in 0..count {
+                let name = r.string()?;
+                let tag = r.u8()?;
+                let value = match tag {
+                    0 => WireMetricValue::Counter(r.u64()?),
+                    1 => WireMetricValue::Gauge(r.u64()?),
+                    2 => WireMetricValue::Histogram {
+                        count: r.u64()?,
+                        max: r.u64()?,
+                        mean: r.f64()?,
+                        p50: r.u64()?,
+                        p99: r.u64()?,
+                        p999: r.u64()?,
+                    },
+                    other => {
+                        return Err(FrameError::Malformed(format!(
+                            "unknown metric kind {other}"
+                        )))
+                    }
+                };
+                metrics.push(WireMetric { name, value });
+            }
+            Frame::MetricsOk(metrics)
+        }
         0x86 => Frame::BudgetExhausted {
             requested: r.f64()?,
             remaining: r.f64()?,
@@ -1054,6 +1191,28 @@ mod tests {
             drifted: true,
             recalibrations: 14,
         }));
+        round_trip(Frame::Metrics);
+        round_trip(Frame::MetricsOk(vec![
+            WireMetric {
+                name: "engine_mqm_approx_cache_hits_total".to_string(),
+                value: WireMetricValue::Counter(17),
+            },
+            WireMetric {
+                name: "queue_depth".to_string(),
+                value: WireMetricValue::Gauge(3),
+            },
+            WireMetric {
+                name: "stage_engine_ns".to_string(),
+                value: WireMetricValue::Histogram {
+                    count: 1000,
+                    max: 90_000,
+                    mean: 1234.5,
+                    p50: 1100,
+                    p99: 44_000,
+                    p999: 88_000,
+                },
+            },
+        ]));
         round_trip(Frame::Busy { retry_hint_ms: 2 });
         round_trip(Frame::BudgetExhausted {
             requested: 0.5,

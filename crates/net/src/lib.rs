@@ -22,9 +22,12 @@
 //! * [`NetClient`] — a blocking client: raw pipelined send/recv plus
 //!   one-shot helpers mapping the typed refusal frames onto
 //!   [`ClientError`].
-//! * [`LatencyHistogram`] — an HDR-style log-linear histogram the
-//!   closed-loop load harness uses for p50/p95/p99/p999 over millions of
-//!   samples in 15 KiB.
+//! * Telemetry — re-exported from [`pufferfish_telemetry`]: the
+//!   [`LatencyHistogram`] the closed-loop load harness uses for
+//!   p50/p95/p99/p999 over millions of samples in 15 KiB, and (opt-in via
+//!   [`NetServer::bind_telemetry`]) per-connection byte counters, request
+//!   stage spans, a slow-request flight recorder, and a METRICS wire frame
+//!   exposing the whole registry to any client.
 //!
 //! Determinism survives the wire: a release is fully determined by
 //! `(user, query, ε, seed, database)`, so identical requests over any
@@ -90,13 +93,13 @@
 
 pub mod client;
 pub mod frame;
-pub mod histogram;
 pub mod server;
 
 pub use client::{ClientError, NetClient};
 pub use frame::{
-    decode, decode_payload, encode, Envelope, ErrorCode, Frame, FrameError, WireCell, WireQuery,
-    WireQueryResult, WireStats, WireWindow, DEFAULT_MAX_FRAME_LEN, MAGIC, VERSION,
+    decode, decode_payload, encode, Envelope, ErrorCode, Frame, FrameError, WireCell, WireMetric,
+    WireMetricValue, WireQuery, WireQueryResult, WireStats, WireWindow, DEFAULT_MAX_FRAME_LEN,
+    MAGIC, VERSION,
 };
-pub use histogram::LatencyHistogram;
-pub use server::{NetServer, NetServerConfig, QueryEndpoint};
+pub use pufferfish_telemetry::LatencyHistogram;
+pub use server::{NetServer, NetServerConfig, QueryEndpoint, TelemetryOptions};

@@ -35,11 +35,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pufferfish_query::{QueryError, QueryResult, QueryService, Table};
-use pufferfish_service::{ReleaseRequest, ReleaseService, ServiceError, Ticket};
+use pufferfish_service::{ReleaseRequest, ReleaseService, ServiceError, ServiceTelemetry, Ticket};
+use pufferfish_telemetry::{
+    Counter, FlightRecorder, MetricValue, Registry, RequestTrace, Stage, StageHistograms,
+};
 
 use crate::frame::{
-    decode, encode, Envelope, ErrorCode, Frame, FrameError, WireCell, WireQueryResult, WireStats,
-    WireWindow, DEFAULT_MAX_FRAME_LEN,
+    decode, encode, Envelope, ErrorCode, Frame, FrameError, WireCell, WireMetric, WireMetricValue,
+    WireQueryResult, WireStats, WireWindow, DEFAULT_MAX_FRAME_LEN,
 };
 
 /// Tuning for a [`NetServer`].
@@ -107,10 +110,52 @@ impl QueryEndpoint {
     }
 }
 
+/// What a telemetry-enabled server needs from its caller: the registry
+/// metrics land in (the caller keeps it to render, audit, or serve METRICS
+/// elsewhere) and an optional flight recorder for slow-request breakdowns.
+#[derive(Debug, Clone)]
+pub struct TelemetryOptions {
+    /// The registry every layer registers against. Passing the same
+    /// registry to multiple servers merges their metrics.
+    pub registry: Arc<Registry>,
+    /// Captures the stage breakdown of slow requests (see
+    /// [`FlightRecorder`]); `None` keeps histograms only.
+    pub recorder: Option<Arc<FlightRecorder>>,
+}
+
+impl TelemetryOptions {
+    /// Options with a fresh registry and no recorder.
+    pub fn new() -> Self {
+        TelemetryOptions {
+            registry: Arc::new(Registry::new()),
+            recorder: None,
+        }
+    }
+}
+
+impl Default for TelemetryOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The net layer's resolved metric handles: wire byte counters plus the
+/// decode/encode slices of the shared `stage_*_ns` family (the service
+/// records admission and the worker stages into the same histograms).
+#[derive(Clone)]
+struct NetTelemetry {
+    registry: Arc<Registry>,
+    rx_bytes: Counter,
+    tx_bytes: Counter,
+    stages: StageHistograms,
+    recorder: Option<Arc<FlightRecorder>>,
+}
+
 struct Inner {
     release: Arc<ReleaseService>,
     query: Option<QueryEndpoint>,
     config: NetServerConfig,
+    telemetry: Option<NetTelemetry>,
     shutdown: AtomicBool,
     active: AtomicUsize,
     total: AtomicU64,
@@ -161,7 +206,7 @@ impl NetServer {
         release: Arc<ReleaseService>,
         config: NetServerConfig,
     ) -> std::io::Result<NetServer> {
-        Self::launch(addr, release, None, config)
+        Self::launch(addr, release, None, config, None)
     }
 
     /// Binds a server that also answers QUERY frames via `query`.
@@ -174,7 +219,30 @@ impl NetServer {
         query: QueryEndpoint,
         config: NetServerConfig,
     ) -> std::io::Result<NetServer> {
-        Self::launch(addr, release, Some(query), config)
+        Self::launch(addr, release, Some(query), config, None)
+    }
+
+    /// Binds a fully instrumented server: wire byte counters, per-stage
+    /// latency histograms (decode through encode, shared with the release
+    /// service's worker stages in one `stage_*_ns` family), and the METRICS
+    /// frame answering from `telemetry.registry`.
+    ///
+    /// This is one-stop wiring — the shared `release` service (and the
+    /// engine behind it) has its telemetry enabled against the same
+    /// registry, so the stage pipeline and the engine's cache counters all
+    /// land in one place. Servers bound without this answer METRICS with a
+    /// typed [`ErrorCode::Unsupported`].
+    ///
+    /// # Errors
+    /// [`std::io::Error`] when the bind fails.
+    pub fn bind_telemetry<A: ToSocketAddrs>(
+        addr: A,
+        release: Arc<ReleaseService>,
+        query: Option<QueryEndpoint>,
+        config: NetServerConfig,
+        telemetry: TelemetryOptions,
+    ) -> std::io::Result<NetServer> {
+        Self::launch(addr, release, query, config, Some(telemetry))
     }
 
     fn launch<A: ToSocketAddrs>(
@@ -182,13 +250,32 @@ impl NetServer {
         release: Arc<ReleaseService>,
         query: Option<QueryEndpoint>,
         config: NetServerConfig,
+        telemetry: Option<TelemetryOptions>,
     ) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let telemetry = telemetry.map(|options| {
+            let service_telemetry = match &options.recorder {
+                Some(recorder) => ServiceTelemetry::with_recorder(
+                    Arc::clone(&options.registry),
+                    Arc::clone(recorder),
+                ),
+                None => ServiceTelemetry::new(Arc::clone(&options.registry)),
+            };
+            release.enable_telemetry(Arc::new(service_telemetry));
+            NetTelemetry {
+                rx_bytes: options.registry.counter("net_rx_bytes_total"),
+                tx_bytes: options.registry.counter("net_tx_bytes_total"),
+                stages: StageHistograms::register(&options.registry, "stage"),
+                recorder: options.recorder,
+                registry: options.registry,
+            }
+        });
         let inner = Arc::new(Inner {
             release,
             query,
             config,
+            telemetry,
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             total: AtomicU64::new(0),
@@ -307,10 +394,11 @@ fn refuse_connection(mut stream: TcpStream, max_frame_len: u32) {
 }
 
 /// What the reader hands the writer: a frame ready now, or a ticket whose
-/// frame will be ready when the worker pool fulfils it.
+/// frame will be ready when the worker pool fulfils it (carrying the
+/// request trace so the writer can record the encode stage and finish it).
 enum Outgoing {
     Now(u64, Frame),
-    Pending(u64, Ticket),
+    Pending(u64, Ticket, Option<Arc<RequestTrace>>),
 }
 
 fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
@@ -326,9 +414,18 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
     let inflight = Arc::new(AtomicUsize::new(0));
     let writer_inflight = Arc::clone(&inflight);
     let writer_config = config.clone();
+    let writer_telemetry = inner.telemetry.clone();
     let writer = std::thread::Builder::new()
         .name("pufferfish-net-write".to_string())
-        .spawn(move || writer_loop(write_stream, rx, &writer_inflight, &writer_config));
+        .spawn(move || {
+            writer_loop(
+                write_stream,
+                rx,
+                &writer_inflight,
+                &writer_config,
+                writer_telemetry.as_ref(),
+            )
+        });
     let Ok(writer) = writer else { return };
 
     read_loop(inner, stream, &tx, &inflight);
@@ -359,10 +456,19 @@ fn read_loop(
             if buffer.is_empty() {
                 break;
             }
+            // Decode is timed only when telemetry is attached — the
+            // uninstrumented reader never touches a clock.
+            let decode_started = inner.telemetry.as_ref().map(|_| Instant::now());
             match decode(&buffer, config.max_frame_len) {
                 Ok((envelope, consumed)) => {
+                    let decode_ns = decode_started.map(|started| {
+                        u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                    });
+                    if let (Some(watch), Some(ns)) = (&inner.telemetry, decode_ns) {
+                        watch.stages.record(Stage::Decode, ns);
+                    }
                     buffer.drain(..consumed);
-                    if !dispatch(inner, envelope, &mut tenant, tx, inflight) {
+                    if !dispatch(inner, envelope, &mut tenant, tx, inflight, decode_ns) {
                         return;
                     }
                 }
@@ -385,6 +491,9 @@ fn read_loop(
         match stream.read(&mut scratch) {
             Ok(0) => return,
             Ok(n) => {
+                if let Some(watch) = &inner.telemetry {
+                    watch.rx_bytes.add(n as u64);
+                }
                 buffer.extend_from_slice(&scratch[..n]);
                 last_activity = Instant::now();
             }
@@ -420,6 +529,7 @@ fn dispatch(
     tenant: &mut Option<String>,
     tx: &Sender<Outgoing>,
     inflight: &Arc<AtomicUsize>,
+    decode_ns: Option<u64>,
 ) -> bool {
     let config = &inner.config;
     let seq = envelope.seq;
@@ -484,10 +594,20 @@ fn dispatch(
                 epsilon,
                 seed,
             };
-            match inner.release.try_submit(request) {
+            // With telemetry on, the request carries a trace keyed by its
+            // wire seq: the decode time recorded here, admission and the
+            // worker stages by the service, encode by the writer.
+            let trace = inner.telemetry.as_ref().map(|_| {
+                let trace = Arc::new(RequestTrace::new(seq));
+                if let Some(ns) = decode_ns {
+                    trace.record(Stage::Decode, ns);
+                }
+                trace
+            });
+            match inner.release.try_submit_traced(request, trace.clone()) {
                 Ok(ticket) => {
                     inflight.fetch_add(1, Ordering::SeqCst);
-                    tx.send(Outgoing::Pending(seq, ticket)).is_ok()
+                    tx.send(Outgoing::Pending(seq, ticket, trace)).is_ok()
                 }
                 Err(ServiceError::QueueFull { .. }) => send_now(Frame::Busy {
                     retry_hint_ms: config.busy_retry_hint_ms,
@@ -542,6 +662,13 @@ fn dispatch(
             }
         }
         Frame::Stats => send_now(Frame::StatsOk(inner.stats())),
+        Frame::Metrics => match &inner.telemetry {
+            Some(watch) => send_now(Frame::MetricsOk(wire_metrics(&watch.registry))),
+            None => send_now(Frame::Error {
+                code: ErrorCode::Unsupported,
+                message: "this server has no telemetry attached".to_string(),
+            }),
+        },
         Frame::Goodbye => false,
         // Response kinds arriving at the server are a protocol violation.
         _ => {
@@ -585,6 +712,30 @@ fn wire_result(result: &QueryResult) -> WireQueryResult {
     }
 }
 
+/// Reduces a registry snapshot to its wire form, one [`WireMetric`] per
+/// registered metric in name order.
+fn wire_metrics(registry: &Registry) -> Vec<WireMetric> {
+    registry
+        .snapshot()
+        .into_iter()
+        .map(|sample| WireMetric {
+            name: sample.name,
+            value: match sample.value {
+                MetricValue::Counter(v) => WireMetricValue::Counter(v),
+                MetricValue::Gauge(v) => WireMetricValue::Gauge(v),
+                MetricValue::Histogram(h) => WireMetricValue::Histogram {
+                    count: h.count,
+                    max: h.max,
+                    mean: h.mean,
+                    p50: h.p50,
+                    p99: h.p99,
+                    p999: h.p999,
+                },
+            },
+        })
+        .collect()
+}
+
 fn query_error_frame(error: QueryError) -> Frame {
     match error {
         QueryError::Budget(ServiceError::BudgetExhausted {
@@ -624,9 +775,10 @@ fn writer_loop(
     rx: Receiver<Outgoing>,
     inflight: &Arc<AtomicUsize>,
     config: &NetServerConfig,
+    telemetry: Option<&NetTelemetry>,
 ) {
     let mut out = std::io::BufWriter::with_capacity(64 * 1024, stream);
-    let mut pending: VecDeque<(u64, Ticket)> = VecDeque::new();
+    let mut pending: VecDeque<(u64, Ticket, Option<Arc<RequestTrace>>)> = VecDeque::new();
     let mut open = true;
 
     'outer: while open || !pending.is_empty() {
@@ -634,21 +786,27 @@ fn writer_loop(
         if open {
             if pending.is_empty() {
                 match rx.recv() {
-                    Ok(outgoing) => pending_or_write(outgoing, &mut pending, &mut out, config),
+                    Ok(outgoing) => {
+                        pending_or_write(outgoing, &mut pending, &mut out, config, telemetry);
+                    }
                     Err(_) => open = false,
                 }
             } else {
                 // Park briefly so a worker completing a ticket is picked up
                 // promptly even when the channel stays quiet.
                 match rx.recv_timeout(Duration::from_micros(500)) {
-                    Ok(outgoing) => pending_or_write(outgoing, &mut pending, &mut out, config),
+                    Ok(outgoing) => {
+                        pending_or_write(outgoing, &mut pending, &mut out, config, telemetry);
+                    }
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => open = false,
                 }
             }
             loop {
                 match rx.try_recv() {
-                    Ok(outgoing) => pending_or_write(outgoing, &mut pending, &mut out, config),
+                    Ok(outgoing) => {
+                        pending_or_write(outgoing, &mut pending, &mut out, config, telemetry);
+                    }
                     Err(TryRecvError::Empty) => break,
                     Err(TryRecvError::Disconnected) => {
                         open = false;
@@ -673,7 +831,7 @@ fn writer_loop(
                     index += 1;
                 }
                 outcome => {
-                    let (seq, _ticket) = pending.remove(index).expect("index in bounds");
+                    let (seq, _ticket, trace) = pending.remove(index).expect("index in bounds");
                     inflight.fetch_sub(1, Ordering::SeqCst);
                     let frame = match outcome {
                         Ok(release) => Frame::ReleaseOk {
@@ -697,8 +855,22 @@ fn writer_loop(
                             message: error.to_string(),
                         },
                     };
-                    if !write_frame(&mut out, seq, frame, config) {
+                    // Encode + buffered write is the trace's final stage;
+                    // the finished trace then goes to the flight recorder.
+                    let encode_started = telemetry.map(|_| Instant::now());
+                    let Some(written) = write_frame(&mut out, seq, frame, config) else {
                         break 'outer;
+                    };
+                    if let (Some(watch), Some(started)) = (telemetry, encode_started) {
+                        let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        watch.stages.record(Stage::Encode, ns);
+                        watch.tx_bytes.add(written as u64);
+                        if let Some(trace) = &trace {
+                            trace.record(Stage::Encode, ns);
+                            if let Some(recorder) = &watch.recorder {
+                                recorder.observe(trace);
+                            }
+                        }
                     }
                 }
             }
@@ -716,27 +888,34 @@ fn writer_loop(
 /// the pending set.
 fn pending_or_write(
     outgoing: Outgoing,
-    pending: &mut VecDeque<(u64, Ticket)>,
+    pending: &mut VecDeque<(u64, Ticket, Option<Arc<RequestTrace>>)>,
     out: &mut std::io::BufWriter<TcpStream>,
     config: &NetServerConfig,
+    telemetry: Option<&NetTelemetry>,
 ) {
     match outgoing {
         Outgoing::Now(seq, frame) => {
-            let _ = write_frame(out, seq, frame, config);
+            if let Some(written) = write_frame(out, seq, frame, config) {
+                if let Some(watch) = telemetry {
+                    watch.tx_bytes.add(written as u64);
+                }
+            }
         }
-        Outgoing::Pending(seq, ticket) => pending.push_back((seq, ticket)),
+        Outgoing::Pending(seq, ticket, trace) => pending.push_back((seq, ticket, trace)),
     }
 }
 
+/// Encodes and writes one response frame, returning the bytes written
+/// (`None` when the socket is dead and the connection should close).
 fn write_frame(
     out: &mut std::io::BufWriter<TcpStream>,
     seq: u64,
     frame: Frame,
     config: &NetServerConfig,
-) -> bool {
+) -> Option<usize> {
     let envelope = Envelope { seq, frame };
     match encode(&envelope, config.max_frame_len) {
-        Ok(bytes) => out.write_all(&bytes).is_ok(),
+        Ok(bytes) => out.write_all(&bytes).ok().map(|()| bytes.len()),
         // An unencodable response (a release larger than max_frame_len)
         // still must answer the sequence number, or the client hangs.
         Err(error) => {
@@ -748,8 +927,8 @@ fn write_frame(
                 },
             };
             match encode(&fallback, config.max_frame_len) {
-                Ok(bytes) => out.write_all(&bytes).is_ok(),
-                Err(_) => false,
+                Ok(bytes) => out.write_all(&bytes).ok().map(|()| bytes.len()),
+                Err(_) => None,
             }
         }
     }

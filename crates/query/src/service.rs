@@ -4,7 +4,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pufferfish_parallel::Parallelism;
-use pufferfish_service::{BudgetAccountant, ServiceStats};
+use pufferfish_service::{BudgetAccountant, ServiceStats, SpendTag};
+use pufferfish_telemetry::query_signature;
 
 use crate::catalog::MechanismCatalog;
 use crate::exec::{execute_plan, QueryResult};
@@ -116,7 +117,10 @@ impl QueryService {
         seed: u64,
     ) -> Result<QueryResult, QueryError> {
         let plan = self.plan(text, table)?;
-        self.execute(user, &plan, seed)
+        // The raw statement text is the audit identity a ledger records for
+        // this charge — `execute` on a pre-built plan has no text and logs
+        // signature 0 instead.
+        self.execute_with_sig(user, &plan, seed, query_signature(text))
     }
 
     /// Admits and executes an already prepared plan (the two-step
@@ -131,14 +135,33 @@ impl QueryService {
         plan: &QueryPlan,
         seed: u64,
     ) -> Result<QueryResult, QueryError> {
-        self.budget.try_spend(user, plan.total_epsilon())?;
+        self.execute_with_sig(user, plan, seed, 0)
+    }
+
+    fn execute_with_sig(
+        &self,
+        user: &str,
+        plan: &QueryPlan,
+        seed: u64,
+        query_sig: u64,
+    ) -> Result<QueryResult, QueryError> {
+        // Charges (and execution-failure refunds) carry their audit tag into
+        // a ledger attached via `self.budget()`: which statement (by
+        // signature), which mechanism family the planner chose, which seed.
+        let tag = SpendTag {
+            query_sig,
+            family: plan.chosen().keyword(),
+            seq: seed,
+        };
+        self.budget
+            .try_spend_tagged(user, plan.total_epsilon(), tag)?;
         let result = execute_plan(plan, seed, self.parallelism);
         // Count every admitted execution, successful or not — the same
         // semantics as `ReleaseService::served`, so the shared
         // `ServiceStats.served` field means one thing across front-ends.
         self.executed.fetch_add(1, Ordering::Relaxed);
         if result.is_err() {
-            self.budget.refund(user, plan.total_epsilon());
+            self.budget.refund_tagged(user, plan.total_epsilon(), tag);
         }
         result
     }
@@ -177,6 +200,8 @@ impl QueryService {
             spent_epsilon: self.budget.total_spent(),
             snapshot: None,
             monitor: None,
+            // The query front-end has no admission queue or worker stages.
+            latency: None,
         }
     }
 }

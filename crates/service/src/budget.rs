@@ -8,12 +8,31 @@
 //! jointly overdraw the budget — the property the service stress tests
 //! hammer.
 
-use std::collections::HashMap;
-use std::sync::Mutex;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use pufferfish_core::CompositionAccountant;
+use pufferfish_telemetry::{EpsilonLedger, LedgerEventKind};
 
 use crate::ServiceError;
+
+/// Audit context a budget event carries into an attached
+/// [`EpsilonLedger`]: which query (by signature), which mechanism family,
+/// and which request seed/sequence number the spend belongs to.
+///
+/// The untagged entry points ([`BudgetAccountant::try_spend`],
+/// [`BudgetAccountant::refund`]) log with [`SpendTag::default`] — every
+/// budget event still reaches the ledger, just without provenance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpendTag<'a> {
+    /// FNV-1a signature of the query
+    /// ([`pufferfish_telemetry::query_signature`]).
+    pub query_sig: u64,
+    /// The mechanism family serving the release.
+    pub family: &'a str,
+    /// The request's noise seed / wire sequence number.
+    pub seq: u64,
+}
 
 /// Thread-safe per-user privacy-budget ledger with a common target ε.
 ///
@@ -34,7 +53,15 @@ use crate::ServiceError;
 #[derive(Debug)]
 pub struct BudgetAccountant {
     target_epsilon: f64,
-    users: Mutex<HashMap<String, CompositionAccountant>>,
+    // BTreeMap, not HashMap: aggregate views (`total_spent`,
+    // `per_user_spent`) iterate in a deterministic order, which is what lets
+    // an offline ledger replay reproduce the summed f64 *bitwise*.
+    users: Mutex<BTreeMap<String, CompositionAccountant>>,
+    /// Write-once: the audit log is attached before traffic and can never
+    /// be silently swapped mid-history (a replaced ledger could not replay
+    /// the events recorded before the swap). Write-once is also what makes
+    /// the per-event read one atomic load instead of a lock round-trip.
+    ledger: OnceLock<Arc<EpsilonLedger>>,
 }
 
 impl BudgetAccountant {
@@ -51,13 +78,42 @@ impl BudgetAccountant {
         }
         Ok(BudgetAccountant {
             target_epsilon,
-            users: Mutex::new(HashMap::new()),
+            users: Mutex::new(BTreeMap::new()),
+            ledger: OnceLock::new(),
         })
     }
 
     /// The per-user target ε.
     pub fn target_epsilon(&self) -> f64 {
         self.target_epsilon
+    }
+
+    /// Attaches an append-only audit ledger. From this point every budget
+    /// event — charge, refund, refusal — is recorded *while the user-table
+    /// lock is held*, so the ledger's per-user event order is exactly the
+    /// order the accountant applied the operations in. That ordering is what
+    /// makes [`EpsilonLedger::replay`] reproduce
+    /// [`BudgetAccountant::total_spent`] bitwise (f64 summation is
+    /// order-sensitive).
+    /// The slot is **write-once**: the first attach wins and later calls
+    /// return `false` without replacing it, so an audit trail can never be
+    /// silently truncated by re-attachment mid-history.
+    pub fn attach_ledger(&self, ledger: Arc<EpsilonLedger>) -> bool {
+        self.ledger.set(ledger).is_ok()
+    }
+
+    /// The attached audit ledger, if any.
+    pub fn ledger(&self) -> Option<Arc<EpsilonLedger>> {
+        self.ledger.get().cloned()
+    }
+
+    /// Records `kind` into the attached ledger (no-op without one). Callers
+    /// hold the users mutex, which is what serialises ledger order with
+    /// accountant order.
+    fn log(&self, kind: LedgerEventKind, user: &str, epsilon: f64, tag: SpendTag<'_>) {
+        if let Some(ledger) = self.ledger.get() {
+            ledger.record(kind, user, tag.query_sig, tag.family, epsilon, tag.seq);
+        }
     }
 
     /// Atomically checks and records a spend of `epsilon` for `user`.
@@ -76,6 +132,21 @@ impl BudgetAccountant {
     /// the spend would exceed the target; [`ServiceError::InvalidConfig`]
     /// for a non-positive or non-finite `epsilon`.
     pub fn try_spend(&self, user: &str, epsilon: f64) -> Result<f64, ServiceError> {
+        self.try_spend_tagged(user, epsilon, SpendTag::default())
+    }
+
+    /// [`BudgetAccountant::try_spend`] carrying audit context: when a ledger
+    /// is attached, the admitted charge (or the refusal) is recorded with
+    /// the tag's query signature, mechanism family, and sequence number.
+    ///
+    /// # Errors
+    /// As for [`BudgetAccountant::try_spend`].
+    pub fn try_spend_tagged(
+        &self,
+        user: &str,
+        epsilon: f64,
+        tag: SpendTag<'_>,
+    ) -> Result<f64, ServiceError> {
         if !epsilon.is_finite() || epsilon <= 0.0 {
             return Err(ServiceError::InvalidConfig(format!(
                 "per-release epsilon must be positive and finite, got {epsilon}"
@@ -89,6 +160,7 @@ impl BudgetAccountant {
         let composed = accountant.guaranteed_epsilon_with(epsilon);
         if composed > self.target_epsilon + 1e-12 {
             let remaining = (self.target_epsilon - accountant.guaranteed_epsilon()).max(0.0);
+            self.log(LedgerEventKind::Refusal, user, epsilon, tag);
             return Err(ServiceError::BudgetExhausted {
                 user: user.to_string(),
                 requested: epsilon,
@@ -96,6 +168,7 @@ impl BudgetAccountant {
             });
         }
         accountant.record(epsilon);
+        self.log(LedgerEventKind::Charge, user, epsilon, tag);
         Ok((self.target_epsilon - composed).max(0.0))
     }
 
@@ -108,12 +181,22 @@ impl BudgetAccountant {
     /// [`CompositionAccountant::unrecord`] for why removal by value is
     /// sound).
     pub fn refund(&self, user: &str, epsilon: f64) -> bool {
-        self.users
-            .lock()
-            .expect("budget ledger poisoned")
+        self.refund_tagged(user, epsilon, SpendTag::default())
+    }
+
+    /// [`BudgetAccountant::refund`] carrying audit context: a successful
+    /// rollback is recorded as a refund event in the attached ledger (a
+    /// failed match records nothing — the accountant did not change).
+    pub fn refund_tagged(&self, user: &str, epsilon: f64, tag: SpendTag<'_>) -> bool {
+        let mut users = self.users.lock().expect("budget ledger poisoned");
+        let refunded = users
             .get_mut(user)
             .map(|accountant| accountant.unrecord(epsilon))
-            .unwrap_or(false)
+            .unwrap_or(false);
+        if refunded {
+            self.log(LedgerEventKind::Refund, user, epsilon, tag);
+        }
+        refunded
     }
 
     /// The composed privacy loss recorded for `user` so far (0 for unknown
@@ -157,6 +240,17 @@ impl BudgetAccountant {
             .values()
             .map(CompositionAccountant::guaranteed_epsilon)
             .sum()
+    }
+
+    /// Every user's composed privacy loss, keyed by user in sorted order —
+    /// the live state an offline ledger replay is audited against.
+    pub fn per_user_spent(&self) -> BTreeMap<String, f64> {
+        self.users
+            .lock()
+            .expect("budget ledger poisoned")
+            .iter()
+            .map(|(user, accountant)| (user.clone(), accountant.guaranteed_epsilon()))
+            .collect()
     }
 }
 
@@ -252,5 +346,59 @@ mod tests {
         // 32 attempts at 0.1 against a target of 1.0: exactly 10 grants.
         assert_eq!(grants, 10);
         assert!((budget.spent("shared") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attached_ledger_sees_every_budget_event() {
+        use pufferfish_telemetry::query_signature;
+
+        let budget = BudgetAccountant::new(1.0).unwrap();
+        let ledger = Arc::new(EpsilonLedger::new());
+        budget.attach_ledger(Arc::clone(&ledger));
+        assert!(budget.ledger().is_some());
+
+        let tag = SpendTag {
+            query_sig: query_signature("state-frequency"),
+            family: "mqm-approx",
+            seq: 7,
+        };
+        budget.try_spend_tagged("t#a", 0.6, tag).unwrap();
+        // Refused: composed 2 × 0.6 = 1.2 > 1.0.
+        assert!(budget.try_spend_tagged("t#a", 0.6, tag).is_err());
+        assert!(budget.refund_tagged("t#a", 0.6, tag));
+        // A failed refund changes nothing and logs nothing.
+        assert!(!budget.refund_tagged("t#a", 0.6, tag));
+        // Untagged entry points still log, with a default tag.
+        budget.try_spend("t#b", 0.25).unwrap();
+
+        let events = EpsilonLedger::replay(&ledger.to_bytes()).unwrap();
+        let kinds: Vec<LedgerEventKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                LedgerEventKind::Charge,
+                LedgerEventKind::Refusal,
+                LedgerEventKind::Refund,
+                LedgerEventKind::Charge,
+            ]
+        );
+        assert_eq!(events[0].family, "mqm-approx");
+        assert_eq!(events[0].seq, 7);
+        assert_eq!(events[3].user, "t#b");
+        assert_eq!(events[3].family, "");
+
+        let spend = pufferfish_telemetry::replay_spend(&events).unwrap();
+        let live = budget.per_user_spent();
+        assert_eq!(live.len(), 2);
+        for (user, epsilons) in &spend {
+            let mut accountant = CompositionAccountant::new();
+            for &e in epsilons {
+                accountant.record(e);
+            }
+            assert_eq!(
+                accountant.guaranteed_epsilon().to_bits(),
+                live[user].to_bits()
+            );
+        }
     }
 }

@@ -25,6 +25,12 @@
 //!   enforced release by release.
 //! * [`queue::BoundedQueue`] — the underlying closable MPMC queue, exported
 //!   for callers building their own pipelines.
+//! * [`ServiceTelemetry`] + [`audit_ledger`] — the serving layer's slice of
+//!   the workspace telemetry: per-stage latency histograms and admission
+//!   counters ([`ReleaseService::enable_telemetry`]), audit-tagged budget
+//!   events into an append-only ε ledger
+//!   ([`BudgetAccountant::attach_ledger`]), and an offline audit proving
+//!   the ledger replays to the live accountant's spend **bitwise**.
 //!
 //! Everything is deterministic given request seeds: identical request
 //! streams produce identical noisy answers regardless of worker count or
@@ -75,6 +81,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod audit;
 mod budget;
 mod error;
 mod observer;
@@ -82,13 +89,16 @@ pub mod queue;
 mod service;
 mod stats;
 mod stream;
+mod telemetry;
 
-pub use budget::BudgetAccountant;
+pub use audit::{audit_ledger, AuditError, AuditReport};
+pub use budget::{BudgetAccountant, SpendTag};
 pub use error::ServiceError;
 pub use observer::ReleaseObserver;
 pub use service::{ReleaseRequest, ReleaseService, ServiceConfig, Ticket};
-pub use stats::{MonitorStats, ServiceStats, SnapshotInfo};
+pub use stats::{MonitorStats, ServiceStats, SnapshotInfo, StageLatencies};
 pub use stream::{ContinualRelease, StreamBackend, StreamConfig, WindowRelease};
+pub use telemetry::ServiceTelemetry;
 
 /// Result alias for the serving layer.
 pub type Result<T> = std::result::Result<T, ServiceError>;

@@ -8,6 +8,7 @@
 //! the remaining items before [`BoundedQueue::pop`] returns `None`.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// Why a push was refused.
@@ -54,6 +55,10 @@ pub struct BoundedQueue<T> {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    /// Lock-free mirror of `items.len()`, updated while the state mutex is
+    /// held — so telemetry (the `queue_depth` gauge on every served job) can
+    /// read the depth without contending with producers for the lock.
+    depth: AtomicUsize,
 }
 
 impl<T> BoundedQueue<T> {
@@ -70,6 +75,7 @@ impl<T> BoundedQueue<T> {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
+            depth: AtomicUsize::new(0),
         }
     }
 
@@ -81,6 +87,14 @@ impl<T> BoundedQueue<T> {
     /// Current number of queued items.
     pub fn len(&self) -> usize {
         self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// The queue depth without taking the lock: reads the atomic mirror
+    /// maintained by push/pop, so a telemetry gauge updated on every job
+    /// never contends with producers. May momentarily lag [`Self::len`] by
+    /// an in-flight push or pop.
+    pub fn approx_len(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
     }
 
     /// `true` when no items are queued.
@@ -118,6 +132,7 @@ impl<T> BoundedQueue<T> {
         }
         state.items.push_back(item);
         state.high_water = state.high_water.max(state.items.len());
+        self.depth.store(state.items.len(), Ordering::Relaxed);
         drop(state);
         self.not_empty.notify_one();
         Ok(())
@@ -136,6 +151,7 @@ impl<T> BoundedQueue<T> {
             if state.items.len() < self.capacity {
                 state.items.push_back(item);
                 state.high_water = state.high_water.max(state.items.len());
+                self.depth.store(state.items.len(), Ordering::Relaxed);
                 drop(state);
                 self.not_empty.notify_one();
                 return Ok(());
@@ -150,6 +166,7 @@ impl<T> BoundedQueue<T> {
         let mut state = self.state.lock().expect("queue poisoned");
         loop {
             if let Some(item) = state.items.pop_front() {
+                self.depth.store(state.items.len(), Ordering::Relaxed);
                 drop(state);
                 self.not_full.notify_one();
                 return Some(item);
@@ -225,6 +242,20 @@ mod tests {
         queue.close();
         assert_eq!(queue.try_push(5), Err(PushError::Closed(5)));
         assert_eq!(queue.refusals(), 2);
+    }
+
+    #[test]
+    fn approx_len_mirrors_len_at_rest() {
+        let queue = BoundedQueue::new(4);
+        assert_eq!(queue.approx_len(), 0);
+        queue.try_push(1).unwrap();
+        queue.push(2).unwrap();
+        assert_eq!(queue.approx_len(), queue.len());
+        assert_eq!(queue.approx_len(), 2);
+        queue.pop();
+        assert_eq!(queue.approx_len(), 1);
+        queue.pop();
+        assert_eq!(queue.approx_len(), 0);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,8 +28,11 @@ use pufferfish_core::{
     CalibrationSnapshot, NoisyRelease, PrivacyBudget, PufferfishError, ReleaseEngine,
 };
 use pufferfish_parallel::{Parallelism, WorkerPool};
+use pufferfish_telemetry::{query_signature, LedgerEventKind, RequestTrace, Stage};
 
+use crate::budget::SpendTag;
 use crate::queue::{BoundedQueue, PushError};
+use crate::telemetry::ServiceTelemetry;
 use crate::{BudgetAccountant, ReleaseObserver, ServiceError, ServiceStats};
 
 /// One release request, self-contained and thread-portable.
@@ -168,10 +172,23 @@ impl std::fmt::Debug for Ticket {
     }
 }
 
-/// A queued unit of work: the request plus the slot its response goes to.
+/// A queued unit of work: the request, the slot its response goes to, and
+/// the tracing context it carries through the worker pool.
 struct Job {
     request: ReleaseRequest,
     slot: Arc<ResponseSlot>,
+    /// When the job entered admission. Together with `admitted_at` the
+    /// worker derives the admission and queue-wait stages from these two
+    /// timestamps (the endpoints live on different threads, so an RAII
+    /// span cannot time either stage) — which keeps the warm admission
+    /// path free of any telemetry lookup at all.
+    submitted_at: Instant,
+    /// When admission accepted the job (the queue-wait clock start).
+    admitted_at: Instant,
+    /// The caller's request trace, when one rides along (the network
+    /// front-end threads one through so decode/encode on the connection
+    /// threads and the worker stages land in one breakdown).
+    trace: Option<Arc<RequestTrace>>,
 }
 
 impl Drop for Job {
@@ -282,6 +299,13 @@ pub struct ReleaseService {
     /// never a torn mix of pre- and post-swap entries.
     engine: Arc<RwLock<Arc<ReleaseEngine>>>,
     observer: Arc<RwLock<Option<Arc<dyn ReleaseObserver>>>>,
+    telemetry: Arc<RwLock<Option<Arc<ServiceTelemetry>>>>,
+    /// Bumped on every [`ReleaseService::enable_telemetry`]. Workers keep a
+    /// private clone of the telemetry handle and re-read the `RwLock` slot
+    /// only when this generation changes — the per-job fast path is one
+    /// relaxed atomic load instead of a lock acquisition plus two contended
+    /// `Arc` reference-count updates.
+    telemetry_epoch: Arc<AtomicU64>,
     budget: Arc<BudgetAccountant>,
     queue: Arc<BoundedQueue<Job>>,
     pool: Option<WorkerPool>,
@@ -312,19 +336,79 @@ impl ReleaseService {
         let served = Arc::new(AtomicU64::new(0));
         let engine = Arc::new(RwLock::new(engine));
         let observer: Arc<RwLock<Option<Arc<dyn ReleaseObserver>>>> = Arc::new(RwLock::new(None));
+        let telemetry: Arc<RwLock<Option<Arc<ServiceTelemetry>>>> = Arc::new(RwLock::new(None));
+        let telemetry_epoch = Arc::new(AtomicU64::new(0));
 
         let pool = {
             let engine = Arc::clone(&engine);
             let observer = Arc::clone(&observer);
+            let telemetry = Arc::clone(&telemetry);
+            let telemetry_epoch = Arc::clone(&telemetry_epoch);
             let queue = Arc::clone(&queue);
             let served = Arc::clone(&served);
             WorkerPool::spawn(config.workers, "pufferfish-release", move |_worker| {
+                // Worker-local telemetry cache, refreshed only when the
+                // service's epoch moves (i.e. after `enable_telemetry`):
+                // steady-state jobs never touch the lock or the `Arc`
+                // reference count.
+                let mut cached_epoch = 0u64;
+                let mut cached: Option<Arc<ServiceTelemetry>> = None;
                 while let Some(job) = queue.pop() {
+                    let epoch = telemetry_epoch.load(Ordering::Acquire);
+                    if epoch != cached_epoch {
+                        cached = telemetry.read().expect("telemetry lock poisoned").clone();
+                        cached_epoch = epoch;
+                    }
+                    let watch = &cached;
+                    // In-process submissions carry no trace of their own;
+                    // when a flight recorder is attached, the worker builds
+                    // one so the recorder still sees a stage breakdown. With
+                    // no recorder the per-request trace would be dropped
+                    // unread, so it is never built.
+                    let own_trace = match (&watch, &job.trace) {
+                        (Some(watch), None) if watch.recorder().is_some() => {
+                            Some(RequestTrace::new(job.request.seed))
+                        }
+                        _ => None,
+                    };
+                    let trace = job.trace.as_deref().or(own_trace.as_ref());
+                    // One clock read serves as both the queue-wait end and
+                    // the engine-stage start ("dequeued"): clock reads are
+                    // the bulk of the per-request telemetry cost.
+                    let dequeued = watch.as_ref().map(|watch| {
+                        let now = Instant::now();
+                        // The admission stage and counter are recorded here,
+                        // from the job's timestamps, rather than on the
+                        // submitter thread — the worker's cached handle makes
+                        // this the only place that pays a telemetry lookup.
+                        Self::record_stage(
+                            watch,
+                            trace,
+                            Stage::Admission,
+                            job.admitted_at.duration_since(job.submitted_at),
+                        );
+                        watch.admitted().inc();
+                        Self::record_stage(
+                            watch,
+                            trace,
+                            Stage::QueueWait,
+                            now.duration_since(job.admitted_at),
+                        );
+                        // The atomic mirror, not `len()`: re-locking the
+                        // queue here would contend with every submitter.
+                        watch.queue_depth().set(queue.approx_len() as u64);
+                        now
+                    });
                     // One engine per request: the clone taken here outlives
                     // any concurrent swap_engine, so the whole release is
                     // served from a single consistent calibration.
                     let current = Arc::clone(&engine.read().expect("engine lock poisoned"));
-                    let response = Self::serve(&current, &job.request);
+                    let response = match (&watch, dequeued) {
+                        (Some(watch), Some(dequeued)) => {
+                            Self::serve_traced(&current, &job.request, watch, trace, dequeued)
+                        }
+                        _ => Self::serve(&current, &job.request),
+                    };
                     if let Ok(release) = &response {
                         let watcher = observer.read().expect("observer lock poisoned").clone();
                         if let Some(watcher) = watcher {
@@ -335,6 +419,13 @@ impl ReleaseService {
                     // ticket must observe its own request in `served()`.
                     served.fetch_add(1, Ordering::Relaxed);
                     job.slot.fulfil(response);
+                    // A worker-built trace ends here; a caller-supplied one
+                    // is finished (and offered to a recorder) by its owner.
+                    if let (Some(watch), Some(trace)) = (&watch, &own_trace) {
+                        if let Some(recorder) = watch.recorder() {
+                            recorder.observe(trace);
+                        }
+                    }
                 }
             })
         };
@@ -342,6 +433,8 @@ impl ReleaseService {
         Ok(ReleaseService {
             engine,
             observer,
+            telemetry,
+            telemetry_epoch,
             budget,
             queue,
             pool: Some(pool),
@@ -407,6 +500,21 @@ impl ReleaseService {
     }
 
     /// One worker's handling of one request.
+    /// Records one finished stage into the registry histogram and, when the
+    /// request carries one, its per-request trace.
+    fn record_stage(
+        watch: &ServiceTelemetry,
+        trace: Option<&RequestTrace>,
+        stage: Stage,
+        span: Duration,
+    ) {
+        let nanos = u64::try_from(span.as_nanos()).unwrap_or(u64::MAX);
+        watch.stages().record(stage, nanos);
+        if let Some(trace) = trace {
+            trace.record(stage, nanos);
+        }
+    }
+
     fn serve(
         engine: &ReleaseEngine,
         request: &ReleaseRequest,
@@ -414,6 +522,39 @@ impl ReleaseService {
         let budget = PrivacyBudget::new(request.epsilon)?;
         let mut rng = StdRng::seed_from_u64(request.seed);
         Ok(engine.release(&*request.query, &request.database, budget, &mut rng)?)
+    }
+
+    /// [`ReleaseService::serve`] with the engine and mechanism stages timed
+    /// separately. Stage boundaries share single clock reads (dequeue →
+    /// engine-in-hand → release-in-hand), since clock reads dominate the
+    /// per-request telemetry cost: the engine stage is the cache probe
+    /// (plus calibration on a miss), the mechanism stage is RNG setup,
+    /// query evaluation and noise sampling. Stages are recorded on success;
+    /// a failed release records nothing past its failure point. Same noise
+    /// as the untraced path — the RNG sees the same draws.
+    fn serve_traced(
+        engine: &ReleaseEngine,
+        request: &ReleaseRequest,
+        telemetry: &ServiceTelemetry,
+        trace: Option<&RequestTrace>,
+        dequeued: Instant,
+    ) -> Result<NoisyRelease, ServiceError> {
+        let budget = PrivacyBudget::new(request.epsilon)?;
+        let mechanism = engine.mechanism(&*request.query, budget)?;
+        let engine_done = Instant::now();
+        Self::record_stage(
+            telemetry,
+            trace,
+            Stage::Engine,
+            engine_done.duration_since(dequeued),
+        );
+        let mut rng = StdRng::seed_from_u64(request.seed);
+        let release = mechanism.release(&*request.query, &request.database, &mut rng)?;
+        Self::record_stage(telemetry, trace, Stage::Mechanism, engine_done.elapsed());
+        // The split path samples outside `ReleaseEngine::release`, so the
+        // per-release telemetry is recorded here.
+        engine.note_release(release.scale);
+        Ok(release)
     }
 
     /// Non-blocking submission: admission control (budget, then queue) and
@@ -424,7 +565,24 @@ impl ReleaseService {
     /// [`ServiceError::QueueFull`] / [`ServiceError::ServiceClosed`] (budget
     /// spend rolled back).
     pub fn try_submit(&self, request: ReleaseRequest) -> Result<Ticket, ServiceError> {
-        self.admit(request, |queue, job| {
+        self.try_submit_traced(request, None)
+    }
+
+    /// [`ReleaseService::try_submit`] with a caller-owned request trace: the
+    /// admission and queue-wait stages are recorded into `trace` alongside
+    /// the registry histograms, and the worker's engine/mechanism stages
+    /// accumulate into the same trace. The network front-end threads its
+    /// per-request trace through here; the caller remains responsible for
+    /// offering the finished trace to a flight recorder.
+    ///
+    /// # Errors
+    /// As for [`ReleaseService::try_submit`].
+    pub fn try_submit_traced(
+        &self,
+        request: ReleaseRequest,
+        trace: Option<Arc<RequestTrace>>,
+    ) -> Result<Ticket, ServiceError> {
+        self.admit(request, trace, |queue, job| {
             queue.try_push(job).map_err(|refused| match refused {
                 PushError::Full(_) => ServiceError::QueueFull {
                     capacity: queue.capacity(),
@@ -440,7 +598,7 @@ impl ReleaseService {
     /// # Errors
     /// [`ServiceError::BudgetExhausted`] and [`ServiceError::ServiceClosed`].
     pub fn submit(&self, request: ReleaseRequest) -> Result<Ticket, ServiceError> {
-        self.admit(request, |queue, job| {
+        self.admit(request, None, |queue, job| {
             queue.push(job).map_err(|_| ServiceError::ServiceClosed)
         })
     }
@@ -448,24 +606,71 @@ impl ReleaseService {
     /// Shared admission path: spend the budget, enqueue via `enqueue`, and
     /// roll the spend back when the queue refuses (the refused job — and the
     /// ticket slot it carries — is simply dropped; no worker will ever see
-    /// it).
+    /// it). Every budget event carries its audit tag — query signature,
+    /// engine family, request seed — into an attached ε ledger.
     fn admit(
         &self,
         request: ReleaseRequest,
+        trace: Option<Arc<RequestTrace>>,
         enqueue: impl FnOnce(&BoundedQueue<Job>, Job) -> Result<(), ServiceError>,
     ) -> Result<Ticket, ServiceError> {
-        self.budget.try_spend(&request.user, request.epsilon)?;
+        // Every job is timestamped on arrival and on acceptance whether or
+        // not telemetry is attached — the worker (which already holds a
+        // cached telemetry handle) turns the two timestamps into the
+        // admission and queue-wait stages and counts the admission, so the
+        // warm path here never touches the telemetry slot. Time spent
+        // *inside* the enqueue call is part of the queue-wait stage.
+        let submitted_at = Instant::now();
+        let tag = SpendTag {
+            query_sig: query_signature(request.query.name()),
+            family: self.engine().kind(),
+            seq: request.seed,
+        };
+        if let Err(refused) = self
+            .budget
+            .try_spend_tagged(&request.user, request.epsilon, tag)
+        {
+            // Refusals never reach a worker, so this cold path looks the
+            // telemetry up itself.
+            let telemetry = self
+                .telemetry
+                .read()
+                .expect("telemetry lock poisoned")
+                .clone();
+            if let Some(watch) = &telemetry {
+                Self::record_stage(
+                    watch,
+                    trace.as_deref(),
+                    Stage::Admission,
+                    submitted_at.elapsed(),
+                );
+                watch.refused().inc();
+            }
+            return Err(refused);
+        }
         let user = request.user.clone();
         let epsilon = request.epsilon;
         let slot = Arc::new(ResponseSlot::new());
+        let admitted_at = Instant::now();
         let job = Job {
             request,
             slot: Arc::clone(&slot),
+            submitted_at,
+            admitted_at,
+            trace,
         };
         match enqueue(&self.queue, job) {
             Ok(()) => Ok(Ticket { slot }),
             Err(error) => {
-                self.budget.refund(&user, epsilon);
+                self.budget.refund_tagged(&user, epsilon, tag);
+                let telemetry = self
+                    .telemetry
+                    .read()
+                    .expect("telemetry lock poisoned")
+                    .clone();
+                if let Some(watch) = &telemetry {
+                    watch.refused().inc();
+                }
                 Err(error)
             }
         }
@@ -499,10 +704,48 @@ impl ReleaseService {
     /// new engine is built and calibrated *off-path*, then installed here in
     /// one pointer swap.
     pub fn swap_engine(&self, engine: Arc<ReleaseEngine>) -> Arc<ReleaseEngine> {
+        // The incoming engine inherits the service's instrumentation, and an
+        // attached ε ledger records the swap: an auditor replaying the ledger
+        // can see exactly which releases were served before and after a
+        // recalibration.
+        if let Some(watch) = self
+            .telemetry
+            .read()
+            .expect("telemetry lock poisoned")
+            .as_ref()
+        {
+            engine.enable_telemetry(watch.registry());
+        }
+        if let Some(ledger) = self.budget.ledger() {
+            ledger.record(LedgerEventKind::Recalibration, "", 0, engine.kind(), 0.0, 0);
+        }
         std::mem::replace(
             &mut *self.engine.write().expect("engine lock poisoned"),
             engine,
         )
+    }
+
+    /// Attaches live instrumentation: the engine's cache counters register
+    /// against the telemetry's registry, the admission path starts counting
+    /// and timing, and workers record queue-wait / engine / mechanism stage
+    /// latencies (plus flight-recorder traces when the telemetry carries a
+    /// recorder). Replaces any previous telemetry; events recorded before
+    /// enabling are not back-filled.
+    pub fn enable_telemetry(&self, telemetry: Arc<ServiceTelemetry>) {
+        self.engine().enable_telemetry(telemetry.registry());
+        *self.telemetry.write().expect("telemetry lock poisoned") = Some(telemetry);
+        // Publish *after* the slot is written: a worker that observes the
+        // new epoch re-reads the slot under the lock and must find the new
+        // handle there.
+        self.telemetry_epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// The attached telemetry, if any.
+    pub fn telemetry(&self) -> Option<Arc<ServiceTelemetry>> {
+        self.telemetry
+            .read()
+            .expect("telemetry lock poisoned")
+            .clone()
     }
 
     /// Attaches the observer that future releases are reported to (replacing
@@ -544,6 +787,12 @@ impl ReleaseService {
                 .expect("observer lock poisoned")
                 .as_ref()
                 .map(|observer| observer.monitor_stats()),
+            latency: self
+                .telemetry
+                .read()
+                .expect("telemetry lock poisoned")
+                .as_ref()
+                .map(|watch| watch.stage_latencies()),
         }
     }
 
@@ -893,6 +1142,107 @@ mod tests {
             )))
         ));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn telemetry_traces_stages_and_ledger_audits_bitwise() {
+        use crate::audit_ledger;
+        use pufferfish_telemetry::{EpsilonLedger, FlightRecorder, Registry};
+
+        let service = ReleaseService::start(
+            test_engine(),
+            ServiceConfig {
+                workers: Parallelism::Threads(2),
+                queue_capacity: 16,
+                per_user_epsilon: 1.0,
+            },
+        )
+        .unwrap();
+        let registry = Arc::new(Registry::new());
+        // Threshold 0: every request is "slow", so the recorder sees all.
+        let recorder = Arc::new(FlightRecorder::new(8, 0));
+        let telemetry = Arc::new(ServiceTelemetry::with_recorder(
+            Arc::clone(&registry),
+            Arc::clone(&recorder),
+        ));
+        service.enable_telemetry(Arc::clone(&telemetry));
+        let ledger = Arc::new(EpsilonLedger::new());
+        service.budget().attach_ledger(Arc::clone(&ledger));
+
+        // Two served releases, one budget refusal.
+        service.release(request("alice", 0.4, 1)).unwrap();
+        service.release(request("alice", 0.4, 2)).unwrap();
+        assert!(matches!(
+            service.submit(request("alice", 0.4, 3)),
+            Err(ServiceError::BudgetExhausted { .. })
+        ));
+
+        // Deterministic noise is unchanged by instrumentation: a fresh
+        // uninstrumented service answers the same request identically.
+        let plain = ReleaseService::start(test_engine(), ServiceConfig::default()).unwrap();
+        let reference = plain.release(request("ref", 0.4, 1)).unwrap();
+        let traced = service.release(request("bob", 0.4, 1)).unwrap();
+        assert_eq!(traced.values, reference.values);
+        plain.shutdown();
+
+        // Stage histograms: the worker recorded queue-wait, engine and
+        // mechanism for each of the three served releases.
+        let text = registry.render_text();
+        assert!(text.contains("stage_queue_wait_ns histogram count=3"));
+        assert!(text.contains("stage_engine_ns histogram count=3"));
+        assert!(text.contains("stage_mechanism_ns histogram count=3"));
+        assert!(text.contains("service_admitted_total counter 3"));
+        assert!(text.contains("service_refused_total counter 1"));
+        // The engine registered its counters against the same registry.
+        assert!(text.contains("engine_mqm_approx_cache_hits_total counter 2"));
+        assert!(text.contains("engine_mqm_approx_releases_total counter 3"));
+
+        // The flight recorder captured every in-process trace, with the
+        // worker stages filled in.
+        assert_eq!(recorder.observed(), 3);
+        let reports = recorder.reports();
+        assert_eq!(reports.len(), 3);
+        for report in &reports {
+            assert!(report.total_ns > 0);
+        }
+
+        // Stats surface the stage percentiles and render them.
+        let stats = service.stats();
+        let latency = stats.latency.expect("telemetry attached");
+        assert!(latency.engine_p999_ns >= latency.engine_p50_ns);
+        assert!(stats.to_string().contains("queue-wait p50/p99/p999"));
+
+        // The ledger audits bitwise against the live accountant: 3 charges,
+        // 1 refusal.
+        let report = audit_ledger(&ledger.to_bytes(), service.budget()).unwrap();
+        assert_eq!(report.events, 4);
+        assert_eq!(
+            report.total.to_bits(),
+            service.budget().total_spent().to_bits()
+        );
+        // The charges carry their audit tags.
+        let events = EpsilonLedger::replay(&ledger.to_bytes()).unwrap();
+        assert_eq!(events[0].family, "mqm-approx");
+        assert_eq!(
+            events[0].query_sig,
+            query_signature(request("alice", 0.4, 1).query.name())
+        );
+        assert_eq!(events[0].seq, 1);
+
+        // An engine swap is recorded as a recalibration event and the new
+        // engine inherits the instrumentation.
+        service.swap_engine(test_engine());
+        let events = EpsilonLedger::replay(&ledger.to_bytes()).unwrap();
+        let last = events.last().unwrap();
+        assert_eq!(last.kind, LedgerEventKind::Recalibration);
+        assert_eq!(last.family, "mqm-approx");
+        service.release(request("carol", 0.4, 9)).unwrap();
+        let text = registry.render_text();
+        // 2 misses now: one per engine (the swap emptied the cache).
+        assert!(text.contains("engine_mqm_approx_cache_misses_total counter 2"));
+        // The audit still passes across the swap.
+        audit_ledger(&ledger.to_bytes(), service.budget()).unwrap();
+        service.shutdown();
     }
 
     #[test]

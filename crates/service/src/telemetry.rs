@@ -1,0 +1,149 @@
+//! Live instrumentation for the serving front-end.
+//!
+//! A [`ServiceTelemetry`] bundles everything the service records per
+//! request: the shared `stage_*_ns` histogram family (the worker's
+//! queue-wait / engine / mechanism stages; the net layer registers the same
+//! prefix and fills decode / admission / encode), admission counters, the
+//! queue-depth gauge, and an optional flight recorder for slow requests.
+//! All handles are resolved once at construction — attaching telemetry to a
+//! running service adds one relaxed atomic op per recorded event to the hot
+//! path, nothing more (see the registry's cost contract).
+
+use std::sync::Arc;
+
+use pufferfish_telemetry::{Counter, FlightRecorder, Gauge, Registry, Stage, StageHistograms};
+
+use crate::stats::StageLatencies;
+
+/// The serving layer's resolved metric handles, shared by the admission
+/// path (refusals) and every worker (everything else — each admitted job
+/// is counted and staged by the worker that serves it, from timestamps the
+/// job carries).
+///
+/// Metric names: `service_admitted_total`, `service_refused_total` (budget
+/// *and* queue refusals — every submission a caller saw fail),
+/// `queue_depth`, and the six `stage_*_ns` histograms.
+#[derive(Debug)]
+pub struct ServiceTelemetry {
+    registry: Arc<Registry>,
+    stages: StageHistograms,
+    admitted: Counter,
+    refused: Counter,
+    queue_depth: Gauge,
+    recorder: Option<Arc<FlightRecorder>>,
+}
+
+impl ServiceTelemetry {
+    /// Resolves every handle against `registry`, without a flight recorder.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        Self::build(registry, None)
+    }
+
+    /// [`ServiceTelemetry::new`] plus a flight recorder: finished in-process
+    /// request traces are offered to it (the network front-end offers its
+    /// own traces after the encode stage instead).
+    pub fn with_recorder(registry: Arc<Registry>, recorder: Arc<FlightRecorder>) -> Self {
+        Self::build(registry, Some(recorder))
+    }
+
+    fn build(registry: Arc<Registry>, recorder: Option<Arc<FlightRecorder>>) -> Self {
+        let stages = StageHistograms::register(&registry, "stage");
+        let admitted = registry.counter("service_admitted_total");
+        let refused = registry.counter("service_refused_total");
+        let queue_depth = registry.gauge("queue_depth");
+        ServiceTelemetry {
+            registry,
+            stages,
+            admitted,
+            refused,
+            queue_depth,
+            recorder,
+        }
+    }
+
+    /// The registry the handles live in.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The shared `stage_*_ns` histogram family.
+    pub fn stages(&self) -> &StageHistograms {
+        &self.stages
+    }
+
+    /// Submissions that passed admission (budget and queue).
+    pub fn admitted(&self) -> &Counter {
+        &self.admitted
+    }
+
+    /// Submissions refused at admission — budget exhaustion or a full
+    /// queue, both of which a caller observed as an error.
+    pub fn refused(&self) -> &Counter {
+        &self.refused
+    }
+
+    /// Last observed admission-queue depth.
+    pub fn queue_depth(&self) -> &Gauge {
+        &self.queue_depth
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// The queue-wait and engine stage percentiles, reduced for
+    /// [`crate::ServiceStats`].
+    pub fn stage_latencies(&self) -> StageLatencies {
+        let queue_wait = self.stages.handle(Stage::QueueWait).snapshot();
+        let engine = self.stages.handle(Stage::Engine).snapshot();
+        StageLatencies {
+            queue_wait_p50_ns: queue_wait.percentile(50.0),
+            queue_wait_p99_ns: queue_wait.percentile(99.0),
+            queue_wait_p999_ns: queue_wait.percentile(99.9),
+            engine_p50_ns: engine.percentile(50.0),
+            engine_p99_ns: engine.percentile(99.0),
+            engine_p999_ns: engine.percentile(99.9),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_resolve_once_and_share_the_registry() {
+        let registry = Arc::new(Registry::new());
+        let telemetry = ServiceTelemetry::new(Arc::clone(&registry));
+        telemetry.admitted().inc();
+        telemetry.refused().inc();
+        telemetry.queue_depth().set(5);
+        telemetry.stages().record(Stage::QueueWait, 1_000);
+        telemetry.stages().record(Stage::Engine, 2_000);
+        // Six stage histograms + two counters + one gauge.
+        assert_eq!(registry.len(), Stage::COUNT + 3);
+        let text = registry.render_text();
+        assert!(text.contains("service_admitted_total counter 1"));
+        assert!(text.contains("service_refused_total counter 1"));
+        assert!(text.contains("queue_depth gauge 5"));
+        assert!(text.contains("stage_queue_wait_ns histogram count=1"));
+        assert!(telemetry.recorder().is_none());
+
+        let latencies = telemetry.stage_latencies();
+        assert!(latencies.queue_wait_p50_ns >= 1_000);
+        assert!(latencies.engine_p99_ns >= 2_000);
+        assert_eq!(latencies.queue_wait_p50_ns, latencies.queue_wait_p999_ns);
+    }
+
+    #[test]
+    fn recorder_attaches() {
+        let registry = Arc::new(Registry::new());
+        let recorder = Arc::new(FlightRecorder::new(4, 0));
+        let telemetry = ServiceTelemetry::with_recorder(registry, Arc::clone(&recorder));
+        assert!(Arc::ptr_eq(
+            telemetry.recorder().expect("recorder attached"),
+            &recorder
+        ));
+    }
+}

@@ -1,4 +1,5 @@
-//! A fixed-bucket, HDR-style latency histogram.
+//! Fixed-bucket, HDR-style latency histograms — a single-threaded
+//! [`LatencyHistogram`] and its lock-free counterpart [`AtomicHistogram`].
 //!
 //! The closed-loop load harness needs tail percentiles (p99, p999) over
 //! millions of samples without keeping them all, and without pulling in a
@@ -6,6 +7,8 @@
 //! are exact; above, each power-of-two octave is split into 32 linear
 //! sub-buckets, bounding relative quantisation error by `1/32 ≈ 3.1%` —
 //! plenty for latency reporting, at a flat 15 KiB per histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Sub-bucket resolution: each octave splits into `2^SUB_BITS` buckets.
 const SUB_BITS: u32 = 5;
@@ -20,7 +23,7 @@ const BUCKETS: usize = (SUB_COUNT + (64 - SUB_BITS) as u64 * SUB_COUNT) as usize
 /// # Example
 ///
 /// ```
-/// use pufferfish_net::LatencyHistogram;
+/// use pufferfish_telemetry::LatencyHistogram;
 ///
 /// let mut h = LatencyHistogram::new();
 /// for v in 1..=1000u64 {
@@ -47,6 +50,7 @@ impl Default for LatencyHistogram {
 
 impl LatencyHistogram {
     /// Creates an empty histogram.
+    #[must_use]
     pub fn new() -> Self {
         LatencyHistogram {
             buckets: vec![0; BUCKETS],
@@ -60,7 +64,7 @@ impl LatencyHistogram {
         if value < SUB_COUNT {
             return value as usize;
         }
-        let exponent = 63 - value.leading_zeros();
+        let exponent = value.ilog2();
         let sub = (value >> (exponent - SUB_BITS)) - SUB_COUNT;
         (SUB_COUNT as usize) + (exponent - SUB_BITS) as usize * SUB_COUNT as usize + sub as usize
     }
@@ -76,7 +80,7 @@ impl LatencyHistogram {
         let sub = (index - SUB_COUNT) % SUB_COUNT;
         // The very top sub-bucket's upper bound is 2^64 - 1; go through u128
         // so the shift cannot overflow.
-        let upper = ((SUB_COUNT + sub + 1) as u128) << octave;
+        let upper = u128::from(SUB_COUNT + sub + 1) << octave;
         u64::try_from(upper - 1).unwrap_or(u64::MAX)
     }
 
@@ -84,7 +88,7 @@ impl LatencyHistogram {
     pub fn record(&mut self, value: u64) {
         self.buckets[Self::index(value)] += 1;
         self.count += 1;
-        self.sum += value as u128;
+        self.sum += u128::from(value);
         self.max = self.max.max(value);
     }
 
@@ -99,16 +103,19 @@ impl LatencyHistogram {
     }
 
     /// Number of recorded samples.
+    #[must_use]
     pub fn count(&self) -> u64 {
         self.count
     }
 
     /// The exact largest recorded sample (0 when empty).
+    #[must_use]
     pub fn max(&self) -> u64 {
         self.max
     }
 
     /// Mean of all recorded samples (0.0 when empty).
+    #[must_use]
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -119,6 +126,7 @@ impl LatencyHistogram {
     /// The value at percentile `p` (0–100), as the upper bound of the bucket
     /// holding that rank — within ~3% above the true quantile. Returns 0 on
     /// an empty histogram; `p = 100` reports the exact maximum.
+    #[must_use]
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -135,6 +143,101 @@ impl LatencyHistogram {
             }
         }
         self.max
+    }
+}
+
+/// The lock-free sibling of [`LatencyHistogram`]: the exact same log-linear
+/// bucket layout, but every field is an atomic so any number of threads can
+/// [`record`](AtomicHistogram::record) concurrently — one relaxed
+/// `fetch_add` per field, no locks, no CAS loops.
+///
+/// Readers take a [`snapshot`](AtomicHistogram::snapshot) into an ordinary
+/// [`LatencyHistogram`] for percentile queries. Like the engine's cache
+/// counters, a snapshot taken while writers are active is not a cross-field
+/// transaction (the bucket counts may momentarily disagree with the sample
+/// sum by in-flight increments); quiescent values are exact.
+///
+/// # Example
+///
+/// ```
+/// use pufferfish_telemetry::AtomicHistogram;
+///
+/// let h = AtomicHistogram::new();
+/// std::thread::scope(|scope| {
+///     for _ in 0..4 {
+///         scope.spawn(|| {
+///             for v in 1..=250u64 {
+///                 h.record(v);
+///             }
+///         });
+///     }
+/// });
+/// let snapshot = h.snapshot();
+/// assert_eq!(snapshot.count(), 1000);
+/// assert_eq!(snapshot.max(), 250);
+/// ```
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: Box<[AtomicU64]>,
+    /// Wrapping sum of samples. `u64` nanoseconds wrap after ~584 years of
+    /// accumulated latency; the mean is meaningless long before that matters.
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        AtomicHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample: two relaxed atomic adds plus a load-guarded
+    /// maximum update, no locks — cheap enough to sit on the per-request
+    /// hot path. There is no separate sample counter: the count *is* the
+    /// sum of the buckets, recomputed on the (cold) read side instead of
+    /// paid on every record.
+    pub fn record(&self, value: u64) {
+        self.buckets[LatencyHistogram::index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        // After warm-up a new maximum is rare: a plain load guards the
+        // atomic read-modify-write so the common case pays no locked
+        // instruction. Racing writers both fall through to `fetch_max`,
+        // which keeps the larger value.
+        if value > self.max.load(Ordering::Relaxed) {
+            self.max.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of recorded samples (the sum over every bucket).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Copies the current state into a [`LatencyHistogram`] for percentile
+    /// queries and merging.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        LatencyHistogram {
+            count: buckets.iter().sum(),
+            buckets,
+            sum: u128::from(self.sum.load(Ordering::Relaxed)),
+            max: self.max.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -220,6 +323,42 @@ mod tests {
         assert_eq!(h.percentile(50.0), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.count(), 0);
-        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.mean().to_bits(), 0.0_f64.to_bits());
+    }
+
+    #[test]
+    fn atomic_histogram_snapshot_matches_sequential_recording() {
+        let atomic = AtomicHistogram::new();
+        let mut reference = LatencyHistogram::new();
+        for v in 0..50_000u64 {
+            let sample = v.wrapping_mul(2_654_435_761) % 10_000_000;
+            atomic.record(sample);
+            reference.record(sample);
+        }
+        let snapshot = atomic.snapshot();
+        assert_eq!(snapshot.count(), reference.count());
+        assert_eq!(snapshot.max(), reference.max());
+        assert_eq!(snapshot.mean().to_bits(), reference.mean().to_bits());
+        for p in [1.0, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(snapshot.percentile(p), reference.percentile(p));
+        }
+    }
+
+    #[test]
+    fn atomic_histogram_concurrent_records_all_land() {
+        let h = AtomicHistogram::new();
+        std::thread::scope(|scope| {
+            for worker in 0..8u64 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(worker * 1_000 + (i % 997));
+                    }
+                });
+            }
+        });
+        let snapshot = h.snapshot();
+        assert_eq!(snapshot.count(), 80_000);
+        assert_eq!(snapshot.max(), 7_000 + 996);
     }
 }

@@ -1,0 +1,408 @@
+//! The process-wide metrics registry: named counters, gauges and
+//! histograms, with handles cached at construction.
+//!
+//! The design splits the cost asymmetrically. **Registration** (looking a
+//! name up in the registry, creating the metric if absent) takes a mutex —
+//! it happens once, when a component is constructed. The returned handle is
+//! an `Arc` straight to the metric's atomics, so the **hot path** — a
+//! request incrementing a counter or recording a latency — is one relaxed
+//! atomic add with no lock, no hash lookup, no allocation. Components that
+//! instrument themselves are expected to resolve every handle up front and
+//! store it, never to call [`Registry::counter`] per request.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::histogram::{AtomicHistogram, LatencyHistogram};
+
+/// A monotonically increasing counter handle. Cloning is cheap (one `Arc`);
+/// all clones address the same underlying atomic.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge handle (queue depth, active connections).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, value: u64) {
+        self.cell.store(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A handle to a registered [`AtomicHistogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramHandle {
+    cell: Arc<AtomicHistogram>,
+}
+
+impl HistogramHandle {
+    /// Records one sample (conventionally nanoseconds).
+    pub fn record(&self, value: u64) {
+        self.cell.record(value);
+    }
+
+    /// Copies the current state out for percentile queries.
+    #[must_use]
+    pub fn snapshot(&self) -> LatencyHistogram {
+        self.cell.snapshot()
+    }
+}
+
+/// What a name resolves to inside the registry.
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<AtomicHistogram>),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The reduced, copyable image of one histogram inside a
+/// [`MetricSample`] — the percentiles dashboards and the METRICS wire
+/// frame carry, without the 15 KiB bucket array.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Exact largest recorded sample.
+    pub max: u64,
+    /// Mean of all samples.
+    pub mean: f64,
+    /// 50th percentile (bucket upper bound, ≤ ~3% above the true quantile).
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+impl HistogramSummary {
+    /// Reduces a full histogram to the summary form.
+    #[must_use]
+    pub fn of(histogram: &LatencyHistogram) -> Self {
+        HistogramSummary {
+            count: histogram.count(),
+            max: histogram.max(),
+            mean: histogram.mean(),
+            p50: histogram.percentile(50.0),
+            p99: histogram.percentile(99.0),
+            p999: histogram.percentile(99.9),
+        }
+    }
+}
+
+/// One metric's value inside a [`MetricSample`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic counter.
+    Counter(u64),
+    /// A last-value-wins gauge.
+    Gauge(u64),
+    /// A histogram, reduced to its summary statistics.
+    Histogram(HistogramSummary),
+}
+
+/// One named metric captured by [`Registry::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// The metric's registered name.
+    pub name: String,
+    /// Its value at snapshot time.
+    pub value: MetricValue,
+}
+
+impl std::fmt::Display for MetricSample {
+    /// One text-exposition line: `name kind value…` — the format the
+    /// METRICS wire frame renders and CI greps.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.value {
+            MetricValue::Counter(v) => write!(f, "{} counter {v}", self.name),
+            MetricValue::Gauge(v) => write!(f, "{} gauge {v}", self.name),
+            MetricValue::Histogram(h) => write!(
+                f,
+                "{} histogram count={} mean={:.1} p50={} p99={} p999={} max={}",
+                self.name, h.count, h.mean, h.p50, h.p99, h.p999, h.max
+            ),
+        }
+    }
+}
+
+/// A registry of named metrics.
+///
+/// Names are free-form, but the convention throughout the workspace is
+/// `snake_case` with a layer prefix and a unit suffix
+/// (`engine_mqm_approx_cache_hits_total`, `stage_queue_wait_ns`).
+/// Registration is get-or-create: two components asking for the same name
+/// share the same underlying metric — this is how the service's worker
+/// stages and the net layer's decode/encode stages land in one
+/// `stage_*_ns` histogram family.
+///
+/// # Example
+///
+/// ```
+/// use pufferfish_telemetry::Registry;
+///
+/// let registry = Registry::new();
+/// let hits = registry.counter("cache_hits_total");
+/// let latency = registry.histogram("request_ns");
+/// hits.inc();
+/// latency.record(1_250);
+/// let rendered = registry.render_text();
+/// assert!(rendered.contains("cache_hits_total counter 1"));
+/// assert!(rendered.contains("request_ns histogram count=1"));
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    slots: Mutex<BTreeMap<String, Slot>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The shared process-wide registry, for components without an obvious
+    /// owner to attach to. Created on first use; examples and benches that
+    /// want hermetic metrics construct their own [`Registry::new`] instead.
+    pub fn global() -> Arc<Registry> {
+        static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| Arc::new(Registry::new())))
+    }
+
+    /// Returns the counter registered under `name`, creating it if absent.
+    ///
+    /// # Panics
+    /// When `name` is already registered as a different metric kind — a
+    /// programming error (two components disagreeing about a name), caught
+    /// loudly at registration time rather than corrupting samples silently.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut slots = self.slots.lock().expect("metrics registry poisoned");
+        let slot = slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Counter(Arc::new(AtomicU64::new(0))));
+        match slot {
+            Slot::Counter(cell) => Counter {
+                cell: Arc::clone(cell),
+            },
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it if absent.
+    ///
+    /// # Panics
+    /// As for [`Registry::counter`], on a kind clash.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut slots = self.slots.lock().expect("metrics registry poisoned");
+        let slot = slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Gauge(Arc::new(AtomicU64::new(0))));
+        match slot {
+            Slot::Gauge(cell) => Gauge {
+                cell: Arc::clone(cell),
+            },
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it if absent.
+    ///
+    /// # Panics
+    /// As for [`Registry::counter`], on a kind clash.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut slots = self.slots.lock().expect("metrics registry poisoned");
+        let slot = slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Histogram(Arc::new(AtomicHistogram::new())));
+        match slot {
+            Slot::Histogram(cell) => HistogramHandle {
+                cell: Arc::clone(cell),
+            },
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("metrics registry poisoned").len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Captures every metric, sorted by name. Values are read relaxed per
+    /// metric; like every counter snapshot in the workspace, concurrent
+    /// writers make this a per-metric (not cross-metric) consistent view.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let slots = self.slots.lock().expect("metrics registry poisoned");
+        slots
+            .iter()
+            .map(|(name, slot)| MetricSample {
+                name: name.clone(),
+                value: match slot {
+                    Slot::Counter(cell) => MetricValue::Counter(cell.load(Ordering::Relaxed)),
+                    Slot::Gauge(cell) => MetricValue::Gauge(cell.load(Ordering::Relaxed)),
+                    Slot::Histogram(cell) => {
+                        MetricValue::Histogram(HistogramSummary::of(&cell.snapshot()))
+                    }
+                },
+            })
+            .collect()
+    }
+
+    /// Renders the whole registry as text exposition: one
+    /// [`MetricSample`] line per metric, sorted by name, newline-terminated.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for sample in self.snapshot() {
+            out.push_str(&sample.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_histograms_register_and_read_back() {
+        let registry = Registry::new();
+        let c = registry.counter("requests_total");
+        let g = registry.gauge("queue_depth");
+        let h = registry.histogram("latency_ns");
+        c.inc();
+        c.add(4);
+        g.set(17);
+        for v in 1..=100u64 {
+            h.record(v * 10);
+        }
+        assert_eq!(c.get(), 5);
+        assert_eq!(g.get(), 17);
+        assert_eq!(registry.len(), 3);
+        assert!(!registry.is_empty());
+
+        let samples = registry.snapshot();
+        // BTreeMap order: latency_ns, queue_depth, requests_total.
+        assert_eq!(samples[0].name, "latency_ns");
+        assert_eq!(samples[1].name, "queue_depth");
+        assert_eq!(samples[2].name, "requests_total");
+        assert_eq!(samples[2].value, MetricValue::Counter(5));
+        assert_eq!(samples[1].value, MetricValue::Gauge(17));
+        let MetricValue::Histogram(summary) = samples[0].value else {
+            panic!("latency_ns must be a histogram");
+        };
+        assert_eq!(summary.count, 100);
+        assert_eq!(summary.max, 1000);
+        assert!(summary.p50 >= 500 && summary.p50 <= 520);
+    }
+
+    #[test]
+    fn registration_is_get_or_create_sharing_one_metric() {
+        let registry = Registry::new();
+        let a = registry.counter("shared_total");
+        let b = registry.counter("shared_total");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(registry.len(), 1);
+        // Same for histograms: two registrants, one metric.
+        let h1 = registry.histogram("shared_ns");
+        let h2 = registry.histogram("shared_ns");
+        h1.record(1);
+        h2.record(2);
+        assert_eq!(h1.snapshot().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_clash_panics_at_registration() {
+        let registry = Registry::new();
+        registry.counter("clash");
+        registry.gauge("clash");
+    }
+
+    #[test]
+    fn render_text_is_one_greppable_line_per_metric() {
+        let registry = Registry::new();
+        registry.counter("hits_total").add(42);
+        registry.gauge("depth").set(3);
+        registry.histogram("ns").record(100);
+        let text = registry.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], "hits_total counter 42");
+        assert_eq!(lines[0], "depth gauge 3");
+        assert!(lines[2].starts_with("ns histogram count=1 "));
+        assert!(lines[2].contains("max=100"));
+    }
+
+    #[test]
+    fn global_registry_is_one_instance() {
+        let a = Registry::global();
+        let b = Registry::global();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn concurrent_handle_use_is_lossless() {
+        let registry = Registry::new();
+        let counter = registry.counter("contended_total");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let counter = counter.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 80_000);
+    }
+}

@@ -1,0 +1,396 @@
+//! Per-request tracing: RAII stage spans, cross-thread request traces, and
+//! a ring-buffer flight recorder for slow requests.
+//!
+//! A request's life through the serving stack is a fixed pipeline of
+//! [`Stage`]s: decode → admission → queue wait → engine → mechanism sample
+//! → encode. Each stage is timed by a [`Span`] (an RAII timer that records
+//! into the stage's registry histogram on drop) and, optionally, into a
+//! per-request [`RequestTrace`] — a small block of atomics that rides the
+//! request through the worker pool via the existing ticket plumbing, so no
+//! thread-local state can leak between requests that share a worker.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::registry::{HistogramHandle, Registry};
+
+/// The pipeline stages a request passes through, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Wire-frame decoding on the connection reader.
+    Decode,
+    /// Admission control: budget spend plus queue push.
+    Admission,
+    /// Time between admission and a worker picking the request up.
+    QueueWait,
+    /// Engine lookup: cache probe and (on a miss) calibration.
+    Engine,
+    /// Mechanism sampling: query evaluation plus Laplace noise.
+    Mechanism,
+    /// Response encoding and socket write on the connection writer.
+    Encode,
+}
+
+impl Stage {
+    /// Number of stages.
+    pub const COUNT: usize = 6;
+
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Decode,
+        Stage::Admission,
+        Stage::QueueWait,
+        Stage::Engine,
+        Stage::Mechanism,
+        Stage::Encode,
+    ];
+
+    /// The stage's metric-name segment.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Decode => "decode",
+            Stage::Admission => "admission",
+            Stage::QueueWait => "queue_wait",
+            Stage::Engine => "engine",
+            Stage::Mechanism => "mechanism",
+            Stage::Encode => "encode",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Decode => 0,
+            Stage::Admission => 1,
+            Stage::QueueWait => 2,
+            Stage::Engine => 3,
+            Stage::Mechanism => 4,
+            Stage::Encode => 5,
+        }
+    }
+}
+
+/// The six per-stage latency histograms of one pipeline, resolved once at
+/// construction (see the registry's hot-path contract).
+///
+/// Two components registering against the same registry and prefix share
+/// the same histograms — the service's worker records `queue_wait` /
+/// `engine` / `mechanism` and the net layer records `decode` / `admission`
+/// / `encode` into one `stage_*_ns` family.
+#[derive(Debug, Clone)]
+pub struct StageHistograms {
+    stages: [HistogramHandle; Stage::COUNT],
+}
+
+impl StageHistograms {
+    /// Registers (or resolves) the `{prefix}_{stage}_ns` histogram for every
+    /// stage.
+    pub fn register(registry: &Registry, prefix: &str) -> Self {
+        StageHistograms {
+            stages: Stage::ALL
+                .map(|stage| registry.histogram(&format!("{prefix}_{}_ns", stage.name()))),
+        }
+    }
+
+    /// Starts an RAII span over `stage`: the elapsed nanoseconds are
+    /// recorded into the stage histogram when the span drops.
+    #[must_use]
+    pub fn enter(&self, stage: Stage) -> Span<'_> {
+        self.enter_traced(stage, None)
+    }
+
+    /// [`StageHistograms::enter`], additionally recording into `trace` so
+    /// the flight recorder can reconstruct this request's breakdown.
+    #[must_use]
+    pub fn enter_traced<'a>(&'a self, stage: Stage, trace: Option<&'a RequestTrace>) -> Span<'a> {
+        Span {
+            histogram: &self.stages[stage.index()],
+            trace,
+            stage,
+            start: Instant::now(),
+        }
+    }
+
+    /// Records an externally measured duration (for stages whose endpoints
+    /// live on different threads, like queue wait).
+    pub fn record(&self, stage: Stage, nanos: u64) {
+        self.stages[stage.index()].record(nanos);
+    }
+
+    /// The histogram behind `stage`.
+    #[must_use]
+    pub fn handle(&self, stage: Stage) -> &HistogramHandle {
+        &self.stages[stage.index()]
+    }
+}
+
+/// An RAII timer over one [`Stage`]: created by
+/// [`StageHistograms::enter`], records on drop.
+#[derive(Debug)]
+pub struct Span<'a> {
+    histogram: &'a HistogramHandle,
+    trace: Option<&'a RequestTrace>,
+    stage: Stage,
+    start: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.histogram.record(nanos);
+        if let Some(trace) = self.trace {
+            trace.record(self.stage, nanos);
+        }
+    }
+}
+
+/// One request's per-stage timing, accumulated across threads.
+///
+/// The trace is a block of relaxed atomics: the reader thread records
+/// decode/admission, a worker records queue-wait/engine/mechanism, and the
+/// writer records encode — each into its own slot, so the trace needs no
+/// lock and is immune to the thread-local leakage a span stack would risk
+/// on a shared worker pool.
+#[derive(Debug)]
+pub struct RequestTrace {
+    seq: u64,
+    stages: [AtomicU64; Stage::COUNT],
+}
+
+impl RequestTrace {
+    /// Creates an empty trace for the request with wire sequence number (or
+    /// in-process seed) `seq`.
+    #[must_use]
+    pub fn new(seq: u64) -> Self {
+        RequestTrace {
+            seq,
+            stages: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The request identifier the trace was created with.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Adds `nanos` to `stage` (accumulating, so a retried stage sums).
+    ///
+    /// The trace travels *with* its request — connection thread, queue,
+    /// worker, response slot — so at any moment one thread owns the
+    /// recording side and the hand-offs already synchronize. A plain
+    /// load/store pair therefore replaces a locked read-modify-write on
+    /// the warm path; concurrent recording to the *same* stage is not a
+    /// supported use.
+    pub fn record(&self, stage: Stage, nanos: u64) {
+        let slot = &self.stages[stage.index()];
+        slot.store(
+            slot.load(Ordering::Relaxed).saturating_add(nanos),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The per-stage nanoseconds recorded so far, in [`Stage::ALL`] order.
+    pub fn stage_nanos(&self) -> [u64; Stage::COUNT] {
+        let mut out = [0u64; Stage::COUNT];
+        for (slot, stage) in out.iter_mut().zip(&self.stages) {
+            *slot = stage.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Total nanoseconds across every stage.
+    pub fn total_nanos(&self) -> u64 {
+        self.stage_nanos()
+            .iter()
+            .fold(0u64, |sum, &ns| sum.saturating_add(ns))
+    }
+}
+
+/// One finished trace, frozen for the flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceReport {
+    /// The request's wire sequence number (or in-process seed).
+    pub seq: u64,
+    /// Total nanoseconds across every stage.
+    pub total_ns: u64,
+    /// Per-stage nanoseconds, in [`Stage::ALL`] order.
+    pub stages: [u64; Stage::COUNT],
+}
+
+impl std::fmt::Display for TraceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seq={} total={}ns", self.seq, self.total_ns)?;
+        for (stage, ns) in Stage::ALL.iter().zip(&self.stages) {
+            write!(f, " {}={}ns", stage.name(), ns)?;
+        }
+        Ok(())
+    }
+}
+
+/// A ring buffer of the last N *slow* requests' stage breakdowns.
+///
+/// Every finished [`RequestTrace`] is offered via
+/// [`FlightRecorder::observe`]; traces whose total meets the threshold are
+/// kept (evicting the oldest beyond `capacity`), the rest cost one atomic
+/// increment. This answers the question percentiles cannot: *which* stage
+/// made this particular slow request slow.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    threshold_ns: u64,
+    capacity: usize,
+    observed: AtomicU64,
+    captured: AtomicU64,
+    slow: Mutex<VecDeque<TraceReport>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` traces at or above
+    /// `threshold_ns` total (capacity clamped to ≥ 1).
+    #[must_use]
+    pub fn new(capacity: usize, threshold_ns: u64) -> Self {
+        FlightRecorder {
+            threshold_ns,
+            capacity: capacity.max(1),
+            observed: AtomicU64::new(0),
+            captured: AtomicU64::new(0),
+            slow: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Offers one finished trace.
+    pub fn observe(&self, trace: &RequestTrace) {
+        self.observed.fetch_add(1, Ordering::Relaxed);
+        let total_ns = trace.total_nanos();
+        if total_ns < self.threshold_ns {
+            return;
+        }
+        self.captured.fetch_add(1, Ordering::Relaxed);
+        let report = TraceReport {
+            seq: trace.seq(),
+            total_ns,
+            stages: trace.stage_nanos(),
+        };
+        let mut slow = self.slow.lock().expect("flight recorder poisoned");
+        if slow.len() == self.capacity {
+            slow.pop_front();
+        }
+        slow.push_back(report);
+    }
+
+    /// Traces offered so far.
+    pub fn observed(&self) -> u64 {
+        self.observed.load(Ordering::Relaxed)
+    }
+
+    /// Traces that met the threshold (including ones since evicted).
+    pub fn captured(&self) -> u64 {
+        self.captured.load(Ordering::Relaxed)
+    }
+
+    /// The retained slow traces, oldest first.
+    pub fn reports(&self) -> Vec<TraceReport> {
+        self.slow
+            .lock()
+            .expect("flight recorder poisoned")
+            .iter()
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_into_stage_histograms() {
+        let registry = Registry::new();
+        let stages = StageHistograms::register(&registry, "stage");
+        {
+            let _span = stages.enter(Stage::Engine);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snapshot = stages.handle(Stage::Engine).snapshot();
+        assert_eq!(snapshot.count(), 1);
+        assert!(snapshot.max() >= 1_000_000, "max {} < 1ms", snapshot.max());
+        // Other stages untouched.
+        assert_eq!(stages.handle(Stage::Decode).snapshot().count(), 0);
+        // The registry sees all six under the prefix.
+        assert_eq!(registry.len(), Stage::COUNT);
+        assert!(registry.render_text().contains("stage_engine_ns histogram"));
+    }
+
+    #[test]
+    fn traced_spans_accumulate_into_the_request_trace() {
+        let registry = Registry::new();
+        let stages = StageHistograms::register(&registry, "stage");
+        let trace = RequestTrace::new(42);
+        drop(stages.enter_traced(Stage::Decode, Some(&trace)));
+        stages.record(Stage::QueueWait, 500);
+        trace.record(Stage::QueueWait, 500);
+        trace.record(Stage::QueueWait, 250);
+        let nanos = trace.stage_nanos();
+        assert_eq!(nanos[Stage::QueueWait.index()], 750);
+        assert_eq!(trace.seq(), 42);
+        assert_eq!(trace.total_nanos(), nanos.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn two_registrants_share_one_stage_family() {
+        let registry = Registry::new();
+        let worker_side = StageHistograms::register(&registry, "stage");
+        let net_side = StageHistograms::register(&registry, "stage");
+        worker_side.record(Stage::Engine, 100);
+        net_side.record(Stage::Engine, 200);
+        assert_eq!(worker_side.handle(Stage::Engine).snapshot().count(), 2);
+        assert_eq!(registry.len(), Stage::COUNT);
+    }
+
+    #[test]
+    fn flight_recorder_keeps_only_slow_traces_bounded() {
+        let recorder = FlightRecorder::new(3, 1_000);
+        for seq in 0..10u64 {
+            let trace = RequestTrace::new(seq);
+            // Even seqs are fast (below threshold), odd are slow.
+            let ns = if seq % 2 == 0 { 10 } else { 2_000 + seq };
+            trace.record(Stage::Mechanism, ns);
+            recorder.observe(&trace);
+        }
+        assert_eq!(recorder.observed(), 10);
+        assert_eq!(recorder.captured(), 5);
+        let reports = recorder.reports();
+        // Capacity 3: only the last three slow traces survive (seqs 5, 7, 9).
+        assert_eq!(reports.len(), 3);
+        assert_eq!(
+            reports.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![5, 7, 9]
+        );
+        for report in &reports {
+            assert!(report.total_ns >= 1_000);
+            let rendered = report.to_string();
+            assert!(rendered.contains("mechanism="));
+            assert!(rendered.starts_with(&format!("seq={}", report.seq)));
+        }
+    }
+
+    #[test]
+    fn stage_names_cover_the_pipeline_in_order() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "decode",
+                "admission",
+                "queue_wait",
+                "engine",
+                "mechanism",
+                "encode"
+            ]
+        );
+        for (position, stage) in Stage::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), position);
+        }
+    }
+}

@@ -9,16 +9,25 @@
 //! The client authenticates a tenant with HELLO, issues a few releases for
 //! distinct per-frame user ids (showing the budget is charged per
 //! `tenant#user`, not per connection), runs one declarative query against
-//! the server's demo table, and prints the server's STATS snapshot.
+//! the server's demo table, and prints the server's STATS snapshot. With
+//! `--telemetry` it additionally snapshots the server's full metrics
+//! registry over a METRICS frame and prints every exposition line (the
+//! server must have been started with `--telemetry` too).
 
 use pufferfish_net::{ClientError, NetClient, WireQuery};
 
 const CHAIN_LENGTH: usize = 60;
 
 fn main() {
-    let addr = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut telemetry = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--telemetry" {
+            telemetry = true;
+        } else {
+            addr = arg;
+        }
+    }
 
     let mut client = NetClient::connect(&addr as &str, "demo").expect("connect failed");
     println!(
@@ -122,6 +131,17 @@ fn main() {
         stats.drifted,
         stats.recalibrations
     );
+
+    if telemetry {
+        // The full registry over the wire: every line renders in the same
+        // text exposition format as the server-side `Registry::render_text`,
+        // so the output greps identically on either side.
+        let metrics = client.metrics().expect("metrics failed");
+        println!("server metrics ({} series):", metrics.len());
+        for metric in &metrics {
+            println!("  {metric}");
+        }
+    }
 
     client.goodbye().expect("goodbye failed");
     println!("closed cleanly");

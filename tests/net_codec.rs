@@ -14,8 +14,8 @@
 
 use proptest::prelude::*;
 use pufferfish_net::{
-    decode, encode, Envelope, ErrorCode, Frame, FrameError, WireCell, WireQuery, WireQueryResult,
-    WireStats, WireWindow, DEFAULT_MAX_FRAME_LEN, MAGIC, VERSION,
+    decode, encode, Envelope, ErrorCode, Frame, FrameError, WireCell, WireMetric, WireMetricValue,
+    WireQuery, WireQueryResult, WireStats, WireWindow, DEFAULT_MAX_FRAME_LEN, MAGIC, VERSION,
 };
 use rand::Rng;
 
@@ -87,9 +87,28 @@ const ERROR_CODES: [ErrorCode; 9] = [
     ErrorCode::Internal,
 ];
 
-/// Draws one frame of any of the twelve kinds with arbitrary field values.
+fn arbitrary_metric(rng: &mut TestRng) -> WireMetric {
+    let value = match rng.gen_range(0..3u32) {
+        0 => WireMetricValue::Counter(rng.gen()),
+        1 => WireMetricValue::Gauge(rng.gen()),
+        _ => WireMetricValue::Histogram {
+            count: rng.gen(),
+            max: rng.gen(),
+            mean: arbitrary_f64(rng),
+            p50: rng.gen(),
+            p99: rng.gen(),
+            p999: rng.gen(),
+        },
+    };
+    WireMetric {
+        name: arbitrary_string(rng),
+        value,
+    }
+}
+
+/// Draws one frame of any of the fourteen kinds with arbitrary field values.
 fn arbitrary_frame(rng: &mut TestRng) -> Frame {
-    match rng.gen_range(0..12u32) {
+    match rng.gen_range(0..14u32) {
         0 => Frame::Hello {
             tenant: arbitrary_string(rng),
         },
@@ -161,6 +180,12 @@ fn arbitrary_frame(rng: &mut TestRng) -> Frame {
             requested: arbitrary_f64(rng),
             remaining: arbitrary_f64(rng),
         },
+        11 => Frame::Metrics,
+        12 => Frame::MetricsOk(
+            (0..rng.gen_range(0..8usize))
+                .map(|_| arbitrary_metric(rng))
+                .collect(),
+        ),
         _ => Frame::Error {
             code: ERROR_CODES[rng.gen_range(0..ERROR_CODES.len())],
             message: arbitrary_string(rng),
@@ -333,6 +358,72 @@ fn unknown_kind_and_trailing_bytes_are_typed_errors() {
     assert!(matches!(
         decode(&bytes, DEFAULT_MAX_FRAME_LEN),
         Err(FrameError::Malformed(_))
+    ));
+}
+
+#[test]
+fn metrics_ok_adversarial_bodies_are_typed_errors() {
+    // A METRICS_OK declaring u32::MAX metrics inside an 8-byte tail: the
+    // 13-byte-per-metric floor must refuse the count before any allocation.
+    let mut body = Vec::new();
+    body.extend_from_slice(&u32::MAX.to_le_bytes());
+    body.extend_from_slice(&[0u8; 8]);
+    let mut bytes = header(0x88, body.len());
+    bytes.extend_from_slice(&body);
+    assert!(matches!(
+        decode(&bytes, DEFAULT_MAX_FRAME_LEN),
+        Err(FrameError::Malformed(_))
+    ));
+
+    // One metric with an unknown value-kind tag.
+    let mut body = Vec::new();
+    body.extend_from_slice(&1u32.to_le_bytes()); // one metric
+    body.extend_from_slice(&2u32.to_le_bytes()); // name length
+    body.extend_from_slice(b"ok");
+    body.push(9); // unknown kind tag
+    body.extend_from_slice(&0u64.to_le_bytes());
+    let mut bytes = header(0x88, body.len());
+    bytes.extend_from_slice(&body);
+    match decode(&bytes, DEFAULT_MAX_FRAME_LEN) {
+        Err(FrameError::Malformed(msg)) => assert!(msg.contains("unknown metric kind")),
+        other => panic!("expected a typed unknown-kind error, got {other:?}"),
+    }
+
+    // A metric name claiming u32::MAX bytes: refused by the string guard.
+    let mut body = Vec::new();
+    body.extend_from_slice(&1u32.to_le_bytes());
+    body.extend_from_slice(&u32::MAX.to_le_bytes()); // giant name length
+    body.extend_from_slice(&[0u8; 16]);
+    let mut bytes = header(0x88, body.len());
+    bytes.extend_from_slice(&body);
+    assert!(matches!(
+        decode(&bytes, DEFAULT_MAX_FRAME_LEN),
+        Err(FrameError::Malformed(_))
+    ));
+
+    // Truncated mid-histogram: the "read more" signal, not a misparse.
+    let histogram = Frame::MetricsOk(vec![WireMetric {
+        name: "stage_engine_ns".to_string(),
+        value: WireMetricValue::Histogram {
+            count: 10,
+            max: 900,
+            mean: 450.5,
+            p50: 400,
+            p99: 880,
+            p999: 900,
+        },
+    }]);
+    let bytes = encode(
+        &Envelope {
+            seq: 5,
+            frame: histogram,
+        },
+        DEFAULT_MAX_FRAME_LEN,
+    )
+    .unwrap();
+    assert!(matches!(
+        decode(&bytes[..bytes.len() - 6], DEFAULT_MAX_FRAME_LEN),
+        Err(FrameError::Truncated { .. })
     ));
 }
 

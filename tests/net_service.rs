@@ -27,10 +27,11 @@ use pufferfish_core::{MqmApproxOptions, Parallelism};
 use pufferfish_markov::IntervalClassBuilder;
 use pufferfish_net::{
     decode, encode, ClientError, Envelope, ErrorCode, Frame, NetClient, NetServer, NetServerConfig,
-    QueryEndpoint, WireQuery, DEFAULT_MAX_FRAME_LEN,
+    QueryEndpoint, TelemetryOptions, WireMetricValue, WireQuery, DEFAULT_MAX_FRAME_LEN,
 };
 use pufferfish_query::{MechanismCatalog, QueryService, QueryServiceConfig, Table};
-use pufferfish_service::{ReleaseRequest, ReleaseService, ServiceConfig};
+use pufferfish_service::{audit_ledger, ReleaseRequest, ReleaseService, ServiceConfig};
+use pufferfish_telemetry::{EpsilonLedger, FlightRecorder};
 
 const LENGTH: usize = 60;
 
@@ -470,6 +471,138 @@ fn connection_cap_refuses_with_a_typed_frame() {
     let readmitted = NetClient::connect(addr, "c").unwrap();
     readmitted.goodbye().unwrap();
     held_b.goodbye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn telemetry_server_exposes_metrics_traces_and_an_auditable_ledger() {
+    let service = service(64, 2, 100.0);
+    // Attach the ε-ledger before any traffic so the audit sees every event.
+    let ledger = Arc::new(EpsilonLedger::new());
+    service.budget().attach_ledger(Arc::clone(&ledger));
+
+    let mut options = TelemetryOptions::new();
+    // Threshold 0: every request is "slow", so the recorder captures all.
+    options.recorder = Some(Arc::new(FlightRecorder::new(16, 0)));
+    let recorder = options.recorder.clone().unwrap();
+    let server = NetServer::bind_telemetry(
+        ("127.0.0.1", 0),
+        Arc::clone(&service),
+        None,
+        NetServerConfig::default(),
+        options,
+    )
+    .unwrap();
+    let db = database(7);
+
+    let mut client = NetClient::connect(server.local_addr(), "obs").unwrap();
+    for seed in 0..3u64 {
+        client.release(1, test_query(), &db, 0.2, seed).unwrap();
+    }
+    // One budget refusal must land in the ledger as a Refusal event.
+    assert!(matches!(
+        client.release(1, test_query(), &db, 1000.0, 9),
+        Err(ClientError::BudgetExhausted { .. })
+    ));
+
+    let metrics = client.metrics().unwrap();
+    let lines: Vec<String> = metrics.iter().map(|m| m.to_string()).collect();
+    let find = |name: &str| {
+        metrics
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("metric {name} missing from {lines:#?}"))
+    };
+
+    // Every layer reported into the one registry: net byte counters, the
+    // six-stage span family, service admission counters, engine cache
+    // counters.
+    match find("net_rx_bytes_total").value {
+        WireMetricValue::Counter(n) => assert!(n > 0, "rx bytes must count"),
+        ref other => panic!("net_rx_bytes_total was {other:?}"),
+    }
+    match find("service_admitted_total").value {
+        WireMetricValue::Counter(n) => assert_eq!(n, 3),
+        ref other => panic!("service_admitted_total was {other:?}"),
+    }
+    match find("service_refused_total").value {
+        WireMetricValue::Counter(n) => assert_eq!(n, 1),
+        ref other => panic!("service_refused_total was {other:?}"),
+    }
+    for stage in [
+        "stage_decode_ns",
+        "stage_admission_ns",
+        "stage_queue_wait_ns",
+        "stage_engine_ns",
+        "stage_mechanism_ns",
+    ] {
+        match find(stage).value {
+            WireMetricValue::Histogram { count, .. } => {
+                assert!(count >= 3, "{stage} saw {count} < 3 samples")
+            }
+            ref other => panic!("{stage} was {other:?}"),
+        }
+    }
+    match find("engine_mqm_approx_releases_total").value {
+        WireMetricValue::Counter(n) => assert_eq!(n, 3),
+        ref other => panic!("releases_total was {other:?}"),
+    }
+    // The exposition lines render in the registry's canonical text format.
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.starts_with("stage_engine_ns histogram count=")),
+        "missing exposition line in {lines:#?}"
+    );
+
+    // tx bytes only settle after the responses were written; the METRICS
+    // response itself was answered, so the counter must be non-zero by now.
+    let metrics_again = client.metrics().unwrap();
+    let tx = metrics_again
+        .iter()
+        .find(|m| m.name == "net_tx_bytes_total")
+        .unwrap();
+    match tx.value {
+        WireMetricValue::Counter(n) => assert!(n > 0, "tx bytes must count"),
+        ref other => panic!("net_tx_bytes_total was {other:?}"),
+    }
+
+    // The flight recorder captured the wire-traced releases with a full
+    // decode → encode breakdown.
+    assert!(recorder.observed() >= 3);
+    let reports = recorder.reports();
+    assert!(!reports.is_empty());
+    assert!(reports.iter().all(|r| r.to_string().contains("decode=")));
+
+    // The ledger replays to bitwise equality with the live accountant:
+    // 3 charges + 1 refusal, all tenant-scoped.
+    let report = audit_ledger(&ledger.to_bytes(), service.budget()).unwrap();
+    assert_eq!(report.events, 4);
+    assert_eq!(report.per_user.len(), 1);
+    assert!(report.per_user.contains_key("obs#1"));
+
+    client.goodbye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn metrics_on_an_uninstrumented_server_is_a_typed_refusal() {
+    let service = service(16, 1, 10.0);
+    let server = NetServer::bind(
+        ("127.0.0.1", 0),
+        Arc::clone(&service),
+        NetServerConfig::default(),
+    )
+    .unwrap();
+    let mut client = NetClient::connect(server.local_addr(), "plain").unwrap();
+    match client.metrics() {
+        Err(ClientError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::Unsupported);
+            assert!(message.contains("telemetry"), "message was {message:?}");
+        }
+        other => panic!("expected a typed Unsupported refusal, got {other:?}"),
+    }
+    client.goodbye().unwrap();
     server.shutdown();
 }
 
