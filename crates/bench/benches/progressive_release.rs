@@ -1,0 +1,187 @@
+//! Scheduled vs uniform progressive refinement, emitting
+//! `BENCH_progressive.json` at the workspace root.
+//!
+//! The planner is handed the same anytime goal twice — a certified final
+//! error at a confidence, first answer within a deadline — and produces two
+//! schedules: the ε-optimal ladder from [`plan_refinement`] (prefix-doubling
+//! steps, one shared per-step ε minimised by bisection) and the naive
+//! [`plan_uniform`] baseline (a fixed slide, every step at the full-window
+//! ε). Both meet the same final error; the bench measures what the ladder
+//! saves in total ε under Theorem 4.4 composition, then drives the
+//! scheduled plan through a live [`ProgressiveRelease`] to time the first
+//! coarse answer against an equivalent one-shot release of the full window.
+//!
+//! Two facts are asserted in-bench, not just reported:
+//!
+//! * the scheduled ladder's total ε is strictly below the uniform
+//!   baseline's at the matched final error, and
+//! * the final refinement is **bitwise-identical** to the one-shot release
+//!   at the same seed and total ε — progressive delivery costs nothing in
+//!   answer fidelity.
+//!
+//! The JSON schema is documented in the README ("BENCH_*.json schema").
+
+use std::time::Instant;
+
+use pufferfish_markov::IntervalClassBuilder;
+use pufferfish_query::{plan_refinement, plan_uniform, MechanismCatalog, RefinementGoal};
+use pufferfish_service::{BudgetAccountant, ProgressiveRelease, StreamBackend};
+
+/// Full window length (events) the final answer covers.
+const WINDOW: usize = 128;
+/// Slide of the uniform baseline: a refinement every `SLIDE` events.
+const SLIDE: usize = 16;
+/// Certified sup-norm error the final answer must meet.
+const TARGET_ERROR: f64 = 0.25;
+/// Confidence every certified bound holds at.
+const CONFIDENCE: f64 = 0.9;
+/// The anytime deadline: first estimate within this many events.
+const FIRST_ANSWER_BY: usize = 16;
+/// Noise seed shared by the driver and the one-shot comparator.
+const SEED: u64 = 42;
+
+fn main() {
+    println!("== progressive_release ==");
+    let class = IntervalClassBuilder::symmetric(0.4)
+        .grid_points(2)
+        .build()
+        .unwrap();
+    let catalog = MechanismCatalog::new(class.clone());
+    let goal = RefinementGoal {
+        target_error: TARGET_ERROR,
+        confidence: CONFIDENCE,
+        first_answer_by: FIRST_ANSWER_BY,
+    };
+
+    // Plan both refinement strategies against the identical goal.
+    let plan_started = Instant::now();
+    let scheduled = plan_refinement(&catalog, StreamBackend::MqmApprox, WINDOW, goal).unwrap();
+    let scheduled_plan_ms = plan_started.elapsed().as_secs_f64() * 1e3;
+    let plan_started = Instant::now();
+    let uniform = plan_uniform(&catalog, StreamBackend::MqmApprox, WINDOW, SLIDE, goal).unwrap();
+    let uniform_plan_ms = plan_started.elapsed().as_secs_f64() * 1e3;
+
+    let scheduled_epsilon = scheduled.total_epsilon();
+    let uniform_epsilon = uniform.total_epsilon();
+    println!(
+        "scheduled: {} steps, total ε {scheduled_epsilon:.4}; uniform: {} steps, total ε {uniform_epsilon:.4}",
+        scheduled.steps().len(),
+        uniform.steps().len(),
+    );
+    assert!(
+        scheduled_epsilon < uniform_epsilon,
+        "the ε-optimal ladder (ε {scheduled_epsilon}) must beat uniform refinement \
+         (ε {uniform_epsilon}) at the matched final error {TARGET_ERROR}"
+    );
+    let savings_percent = (1.0 - scheduled_epsilon / uniform_epsilon) * 100.0;
+
+    // Drive the scheduled plan live and time the first coarse answer.
+    let database: Vec<usize> = (0..WINDOW).map(|t| (t / 3) % 2).collect();
+    let budget = BudgetAccountant::new(1e9).unwrap();
+    let drive_started = Instant::now();
+    let mut driver = ProgressiveRelease::begin(
+        "bench-progressive",
+        &class,
+        scheduled.clone(),
+        StreamBackend::MqmApprox,
+        &budget,
+        "bench",
+        SEED,
+    )
+    .unwrap();
+    let mut first_answer_ms = f64::NAN;
+    let mut updates = Vec::new();
+    for &event in &database {
+        if let Some(update) = driver.push(event).unwrap() {
+            if updates.is_empty() {
+                first_answer_ms = drive_started.elapsed().as_secs_f64() * 1e3;
+            }
+            updates.push(update);
+        }
+    }
+    let full_stream_ms = drive_started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(updates.len(), scheduled.steps().len());
+    assert!(updates.last().unwrap().is_final());
+    assert!(updates[0].prefix <= FIRST_ANSWER_BY, "anytime deadline met");
+    let spent: Vec<f64> = updates.iter().map(|u| u.spent_epsilon).collect();
+    assert!(
+        spent.windows(2).all(|w| w[0] < w[1]),
+        "ε-spend is monotone across the update stream"
+    );
+    assert_eq!(driver.spent_epsilon(), scheduled_epsilon);
+
+    // The one-shot comparator: the full window at the same seed and ε.
+    let one_shot_started = Instant::now();
+    let one_shot = ProgressiveRelease::one_shot(
+        "bench-progressive",
+        &class,
+        &scheduled,
+        StreamBackend::MqmApprox,
+        SEED,
+        &database,
+    )
+    .unwrap();
+    let one_shot_ms = one_shot_started.elapsed().as_secs_f64() * 1e3;
+
+    let final_update = updates.last().unwrap();
+    assert_eq!(final_update.release, one_shot.release);
+    let bitwise = final_update
+        .release
+        .values
+        .iter()
+        .zip(&one_shot.release.values)
+        .all(|(a, b)| a.to_bits() == b.to_bits())
+        && final_update.release.scale.to_bits() == one_shot.release.scale.to_bits();
+    assert!(
+        bitwise,
+        "the final refinement must be bitwise-identical to the one-shot release"
+    );
+    println!(
+        "first answer after {} events in {first_answer_ms:.2}ms; one-shot latency {one_shot_ms:.2}ms; \
+         ε savings {savings_percent:.1}%; final answer bitwise-equal to one-shot",
+        updates[0].prefix
+    );
+
+    let steps_json = scheduled
+        .steps()
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"prefix\": {}, \"epsilon\": {:.6}, \"error_bound\": {:.6}}}",
+                s.prefix, s.epsilon, s.error_bound
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = [
+        "  \"bench\": \"progressive_release\"".to_string(),
+        format!(
+            "  \"config\": {{\"mechanism\": \"mqm-approx\", \"window\": {WINDOW}, \
+             \"uniform_slide\": {SLIDE}, \"target_error\": {TARGET_ERROR}, \
+             \"confidence\": {CONFIDENCE}, \"first_answer_by\": {FIRST_ANSWER_BY}, \
+             \"seed\": {SEED}}}"
+        ),
+        format!("  \"scheduled_total_epsilon\": {scheduled_epsilon:.6}"),
+        format!("  \"uniform_total_epsilon\": {uniform_epsilon:.6}"),
+        format!("  \"epsilon_savings_percent\": {savings_percent:.2}"),
+        format!(
+            "  \"scheduled_steps\": [\n{steps_json}\n  ],\n  \"uniform_steps\": {}",
+            uniform.steps().len()
+        ),
+        format!(
+            "  \"planning_ms\": {{\"scheduled\": {scheduled_plan_ms:.3}, \
+             \"uniform\": {uniform_plan_ms:.3}}}"
+        ),
+        format!(
+            "  \"time_to_first_answer_ms\": {first_answer_ms:.3},\n  \
+             \"full_stream_ms\": {full_stream_ms:.3},\n  \
+             \"one_shot_latency_ms\": {one_shot_ms:.3}"
+        ),
+        "  \"bitwise_final_vs_oneshot\": true".to_string(),
+    ];
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_progressive.json");
+    let contents = format!("{{\n{}\n}}\n", json.join(",\n"));
+    std::fs::write(path, &contents).expect("failed to write BENCH_progressive.json");
+    println!("wrote {path}");
+}

@@ -90,6 +90,39 @@ impl Laplace {
     }
 }
 
+/// Certified simultaneous error bound for a `dims`-coordinate release with
+/// independent `Lap(scale)` noise per coordinate.
+///
+/// Each coordinate exceeds `t` in absolute value with probability
+/// `exp(-t/scale)` (the two-sided Laplace tail), so by the union bound all
+/// `dims` coordinates stay within `scale · ln(dims / (1 − confidence))`
+/// simultaneously with probability at least `confidence`. This is the bound
+/// a progressive release attaches to every refinement step: it certifies
+/// the *noise* error (true prefix value vs released value), which is the
+/// only error the mechanism controls.
+///
+/// # Errors
+/// [`PufferfishError::CannotCalibrate`] when `scale` is not positive and
+/// finite, `dims` is zero, or `confidence` is outside `(0, 1)`.
+pub fn laplace_error_bound(scale: f64, dims: usize, confidence: f64) -> Result<f64> {
+    if !scale.is_finite() || scale <= 0.0 {
+        return Err(PufferfishError::CannotCalibrate(format!(
+            "certified error bound needs a positive finite scale, got {scale}"
+        )));
+    }
+    if dims == 0 {
+        return Err(PufferfishError::CannotCalibrate(
+            "certified error bound needs at least one coordinate".to_string(),
+        ));
+    }
+    if !confidence.is_finite() || confidence <= 0.0 || confidence >= 1.0 {
+        return Err(PufferfishError::CannotCalibrate(format!(
+            "certified error bound confidence must lie in (0, 1), got {confidence}"
+        )));
+    }
+    Ok(scale * (dims as f64 / (1.0 - confidence)).ln())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +221,26 @@ mod tests {
         let mut via_into = vec![0.0; 10];
         lap.sample_into(&mut via_into, &mut into_rng);
         assert_eq!(via_vec, via_into);
+    }
+
+    #[test]
+    fn error_bound_is_the_union_tail_and_validates_inputs() {
+        // One coordinate at 95%: b · ln(20).
+        let one = laplace_error_bound(2.0, 1, 0.95).unwrap();
+        assert!((one - 2.0 * 20.0f64.ln()).abs() < 1e-12);
+        // More coordinates or more confidence only widen the bound.
+        assert!(laplace_error_bound(2.0, 4, 0.95).unwrap() > one);
+        assert!(laplace_error_bound(2.0, 1, 0.99).unwrap() > one);
+        // The bound actually covers the tail: P(|X| > bound) = (1-conf)/d.
+        let lap = Laplace::new(2.0).unwrap();
+        let miss = 1.0 - (lap.cdf(one) - lap.cdf(-one));
+        assert!((miss - 0.05).abs() < 1e-12, "tail mass {miss}");
+        // Invalid inputs are typed errors, never NaN bounds.
+        assert!(laplace_error_bound(0.0, 1, 0.9).is_err());
+        assert!(laplace_error_bound(f64::NAN, 1, 0.9).is_err());
+        assert!(laplace_error_bound(1.0, 0, 0.9).is_err());
+        assert!(laplace_error_bound(1.0, 1, 0.0).is_err());
+        assert!(laplace_error_bound(1.0, 1, 1.0).is_err());
     }
 
     #[test]

@@ -120,7 +120,7 @@ pub use composition::CompositionAccountant;
 pub use engine::{CacheStats, ReleaseEngine};
 pub use error::PufferfishError;
 pub use framework::{DiscretePufferfishFramework, DiscreteScenario, Secret};
-pub use laplace::Laplace;
+pub use laplace::{laplace_error_bound, Laplace};
 pub use mechanism::{l1_error, validate_query_length, Mechanism, NoisyRelease, PrivacyBudget};
 pub use mqm_approx::{MqmApprox, MqmApproxOptions, QuiltSearchStrategy};
 pub use mqm_chain_influence::{

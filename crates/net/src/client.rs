@@ -92,6 +92,28 @@ impl From<FrameError> for ClientError {
     }
 }
 
+/// One refinement received by [`NetClient::progressive`]: the payload of a
+/// [`Frame::RefineOk`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Refinement {
+    /// 1-based index of this step within the schedule.
+    pub step: u32,
+    /// Total steps in the schedule.
+    pub total_steps: u32,
+    /// Window-prefix length this estimate answers over.
+    pub prefix: u32,
+    /// Laplace scale applied to each coordinate.
+    pub scale: f64,
+    /// The ε this step spent.
+    pub epsilon: f64,
+    /// Certified error bound recomputed from the actual release scale.
+    pub certified_error: f64,
+    /// Cumulative ε the stream has consumed after this step.
+    pub spent_epsilon: f64,
+    /// The privatised answers for the prefix.
+    pub values: Vec<f64>,
+}
+
 /// A connected, authenticated protocol client.
 pub struct NetClient {
     reader: BufReader<TcpStream>,
@@ -243,6 +265,61 @@ impl NetClient {
         match envelope.frame {
             Frame::QueryOk(result) => Ok(result),
             frame => Err(frame_to_error(frame, "QUERY_OK")),
+        }
+    }
+
+    /// One progressive release, synchronously: sends the schedule and
+    /// blocks until the full refinement stream — one [`Frame::RefineOk`]
+    /// per step, coarse to fine — has arrived. Pipelined callers who want
+    /// to interleave other requests send [`Frame::progressive`] themselves
+    /// and match the shared sequence number on [`NetClient::recv`].
+    ///
+    /// `steps` are `(prefix, epsilon, error_bound)` triples, coarse to
+    /// fine; the last prefix is the full window and must equal
+    /// `database.len()`.
+    ///
+    /// # Errors
+    /// As for [`NetClient::release`]; an invalid schedule arrives as
+    /// [`ClientError::Remote`] with [`ErrorCode::Malformed`].
+    pub fn progressive(
+        &mut self,
+        user: u64,
+        confidence: f64,
+        seed: u64,
+        steps: &[(usize, f64, f64)],
+        database: &[usize],
+    ) -> Result<Vec<Refinement>, ClientError> {
+        let seq = self.send(Frame::progressive(user, confidence, seed, steps, database)?)?;
+        let mut refinements = Vec::new();
+        loop {
+            let envelope = self.expect_seq(seq)?;
+            match envelope.frame {
+                Frame::RefineOk {
+                    step,
+                    total_steps,
+                    prefix,
+                    scale,
+                    epsilon,
+                    certified_error,
+                    spent_epsilon,
+                    values,
+                } => {
+                    refinements.push(Refinement {
+                        step,
+                        total_steps,
+                        prefix,
+                        scale,
+                        epsilon,
+                        certified_error,
+                        spent_epsilon,
+                        values,
+                    });
+                    if step == total_steps {
+                        return Ok(refinements);
+                    }
+                }
+                frame => return Err(frame_to_error(frame, "REFINE_OK")),
+            }
         }
     }
 

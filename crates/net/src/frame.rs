@@ -433,8 +433,20 @@ pub struct WireQueryResult {
     pub cells: Vec<WireCell>,
 }
 
-/// One protocol frame. Kinds `0x01–0x06` are requests (client → server),
-/// `0x81–0x88` are responses (server → client).
+/// One refinement step of a [`Frame::Progressive`] request: the wire image
+/// of `pufferfish_service::RefinementStep`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireRefinementStep {
+    /// Window-prefix length this step answers over.
+    pub prefix: u32,
+    /// The ε this step spends.
+    pub epsilon: f64,
+    /// The planned error bound for this step.
+    pub error_bound: f64,
+}
+
+/// One protocol frame. Kinds `0x01–0x07` are requests (client → server),
+/// `0x81–0x89` are responses (server → client).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Authenticates the connection under a tenant name. Must be the first
@@ -471,6 +483,24 @@ pub enum Frame {
         /// Noise seed.
         seed: u64,
     },
+    /// One progressive release: the server streams one [`Frame::RefineOk`]
+    /// per schedule step — coarse prefix estimate first, refinements as the
+    /// schedule completes — all echoing this request's sequence number, so
+    /// they interleave freely with other pipelined traffic.
+    Progressive {
+        /// The user (within the tenant) each step's ε is charged to.
+        user: u64,
+        /// Confidence level the per-step error bounds are certified at.
+        confidence: f64,
+        /// Noise seed (the final refinement is bitwise-identical to a
+        /// one-shot release at this seed and the schedule's total ε).
+        seed: u64,
+        /// The refinement schedule, coarse to fine; the last step's prefix
+        /// is the full window.
+        steps: Vec<WireRefinementStep>,
+        /// The window: a state sequence, each state in `0..65536`.
+        database: Vec<u16>,
+    },
     /// Requests a [`Frame::StatsOk`] observability snapshot.
     Stats,
     /// Requests a [`Frame::MetricsOk`] telemetry-registry snapshot. Servers
@@ -498,6 +528,26 @@ pub enum Frame {
     },
     /// A successful declarative query.
     QueryOk(WireQueryResult),
+    /// One step of a [`Frame::Progressive`] answer stream. `step ==
+    /// total_steps` marks the final (full-window) refinement.
+    RefineOk {
+        /// 1-based index of this step within the schedule.
+        step: u32,
+        /// Total steps in the schedule.
+        total_steps: u32,
+        /// Window-prefix length this estimate answers over.
+        prefix: u32,
+        /// Laplace scale applied to each coordinate.
+        scale: f64,
+        /// The ε this step spent.
+        epsilon: f64,
+        /// Certified error bound recomputed from the actual release scale.
+        certified_error: f64,
+        /// Cumulative ε consumed by the stream so far (monotone).
+        spent_epsilon: f64,
+        /// The privatised answers for the prefix.
+        values: Vec<f64>,
+    },
     /// The observability snapshot.
     StatsOk(WireStats),
     /// The telemetry-registry snapshot: every registered metric, sorted by
@@ -532,12 +582,14 @@ impl Frame {
             Frame::Hello { .. } => 0x01,
             Frame::Release { .. } => 0x02,
             Frame::Query { .. } => 0x03,
+            Frame::Progressive { .. } => 0x07,
             Frame::Stats => 0x04,
             Frame::Goodbye => 0x05,
             Frame::Metrics => 0x06,
             Frame::HelloOk { .. } => 0x81,
             Frame::ReleaseOk { .. } => 0x82,
             Frame::QueryOk(_) => 0x83,
+            Frame::RefineOk { .. } => 0x89,
             Frame::StatsOk(_) => 0x84,
             Frame::MetricsOk(_) => 0x88,
             Frame::Busy { .. } => 0x85,
@@ -571,6 +623,50 @@ impl Frame {
             query,
             epsilon,
             seed,
+            database,
+        })
+    }
+
+    /// Builds a [`Frame::Progressive`] from `usize` prefixes and states,
+    /// checking each fits its wire representation (`u32` prefixes, `u16`
+    /// states).
+    ///
+    /// # Errors
+    /// [`FrameError::Unencodable`] when a prefix exceeds `u32::MAX` or a
+    /// state exceeds `u16::MAX`.
+    pub fn progressive(
+        user: u64,
+        confidence: f64,
+        seed: u64,
+        steps: &[(usize, f64, f64)],
+        database: &[usize],
+    ) -> Result<Frame, FrameError> {
+        let steps = steps
+            .iter()
+            .map(|&(prefix, epsilon, error_bound)| {
+                let prefix = u32::try_from(prefix).map_err(|_| {
+                    FrameError::Unencodable(format!("prefix {prefix} exceeds the wire maximum"))
+                })?;
+                Ok(WireRefinementStep {
+                    prefix,
+                    epsilon,
+                    error_bound,
+                })
+            })
+            .collect::<Result<Vec<WireRefinementStep>, FrameError>>()?;
+        let database = database
+            .iter()
+            .map(|&s| {
+                u16::try_from(s).map_err(|_| {
+                    FrameError::Unencodable(format!("state {s} exceeds the wire maximum 65535"))
+                })
+            })
+            .collect::<Result<Vec<u16>, FrameError>>()?;
+        Ok(Frame::Progressive {
+            user,
+            confidence,
+            seed,
+            steps,
             database,
         })
     }
@@ -692,6 +788,32 @@ pub fn encode(envelope: &Envelope, max_frame_len: u32) -> Result<Vec<u8>, FrameE
             put_str(&mut out, statement)?;
             put_u64(&mut out, *seed);
         }
+        Frame::Progressive {
+            user,
+            confidence,
+            seed,
+            steps,
+            database,
+        } => {
+            put_u64(&mut out, *user);
+            put_f64(&mut out, *confidence);
+            put_u64(&mut out, *seed);
+            let count = u32::try_from(steps.len())
+                .map_err(|_| FrameError::Unencodable(format!("{} steps", steps.len())))?;
+            put_u32(&mut out, count);
+            for step in steps {
+                put_u32(&mut out, step.prefix);
+                put_f64(&mut out, step.epsilon);
+                put_f64(&mut out, step.error_bound);
+            }
+            let len = u32::try_from(database.len()).map_err(|_| {
+                FrameError::Unencodable(format!("database of {} events", database.len()))
+            })?;
+            put_u32(&mut out, len);
+            for &state in database {
+                put_u16(&mut out, state);
+            }
+        }
         Frame::Stats | Frame::Goodbye | Frame::Metrics => {}
         Frame::HelloOk {
             max_pipeline,
@@ -722,6 +844,25 @@ pub fn encode(envelope: &Envelope, max_frame_len: u32) -> Result<Vec<u8>, FrameE
                     put_f64s(&mut out, &window.values)?;
                 }
             }
+        }
+        Frame::RefineOk {
+            step,
+            total_steps,
+            prefix,
+            scale,
+            epsilon,
+            certified_error,
+            spent_epsilon,
+            values,
+        } => {
+            put_u32(&mut out, *step);
+            put_u32(&mut out, *total_steps);
+            put_u32(&mut out, *prefix);
+            put_f64(&mut out, *scale);
+            put_f64(&mut out, *epsilon);
+            put_f64(&mut out, *certified_error);
+            put_f64(&mut out, *spent_epsilon);
+            put_f64s(&mut out, values)?;
         }
         Frame::StatsOk(stats) => {
             put_u64(&mut out, stats.hits);
@@ -987,6 +1128,30 @@ pub fn decode_payload(payload: &[u8]) -> Result<Envelope, FrameError> {
         0x04 => Frame::Stats,
         0x05 => Frame::Goodbye,
         0x06 => Frame::Metrics,
+        0x07 => {
+            let user = r.u64()?;
+            let confidence = r.f64()?;
+            let seed = r.u64()?;
+            // A step is 20 bytes: prefix (4) + epsilon (8) + error bound (8).
+            let step_count = r.count(20, "refinement steps")?;
+            let mut steps = Vec::with_capacity(step_count);
+            for _ in 0..step_count {
+                steps.push(WireRefinementStep {
+                    prefix: r.u32()?,
+                    epsilon: r.f64()?,
+                    error_bound: r.f64()?,
+                });
+            }
+            let count = r.count(2, "database")?;
+            let database = (0..count).map(|_| r.u16()).collect::<Result<_, _>>()?;
+            Frame::Progressive {
+                user,
+                confidence,
+                seed,
+                steps,
+                database,
+            }
+        }
         0x81 => Frame::HelloOk {
             max_pipeline: r.u32()?,
             max_frame_len: r.u32()?,
@@ -1051,6 +1216,16 @@ pub fn decode_payload(payload: &[u8]) -> Result<Envelope, FrameError> {
         }),
         0x85 => Frame::Busy {
             retry_hint_ms: r.u32()?,
+        },
+        0x89 => Frame::RefineOk {
+            step: r.u32()?,
+            total_steps: r.u32()?,
+            prefix: r.u32()?,
+            scale: r.f64()?,
+            epsilon: r.f64()?,
+            certified_error: r.f64()?,
+            spent_epsilon: r.f64()?,
+            values: r.f64s("refined values")?,
         },
         0x88 => {
             // A metric is at least 13 bytes: empty name (4) + kind tag (1) +
@@ -1144,6 +1319,16 @@ mod tests {
             statement: "HISTOGRAM WINDOW 30 EPSILON 0.2".to_string(),
             seed: 5,
         });
+        round_trip(
+            Frame::progressive(
+                9,
+                0.95,
+                77,
+                &[(8, 0.25, 4.0), (16, 0.25, 2.0)],
+                &[0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0, 0, 1, 0, 1, 1],
+            )
+            .unwrap(),
+        );
         round_trip(Frame::Stats);
         round_trip(Frame::Goodbye);
         round_trip(Frame::HelloOk {
@@ -1153,6 +1338,16 @@ mod tests {
         round_trip(Frame::ReleaseOk {
             scale: 1.25,
             values: vec![0.5, -0.25, 3.75],
+        });
+        round_trip(Frame::RefineOk {
+            step: 1,
+            total_steps: 2,
+            prefix: 8,
+            scale: 2.5,
+            epsilon: 0.25,
+            certified_error: 3.75,
+            spent_epsilon: 0.25,
+            values: vec![4.0, 4.5],
         });
         round_trip(Frame::QueryOk(WireQueryResult {
             mechanism: "mqm".to_string(),
@@ -1222,6 +1417,14 @@ mod tests {
             code: ErrorCode::Parse,
             message: "no".to_string(),
         });
+    }
+
+    #[test]
+    fn progressive_builder_refuses_unencodable_inputs() {
+        let err = Frame::progressive(0, 0.9, 1, &[(8, 0.1, 1.0)], &[70_000]).unwrap_err();
+        assert!(matches!(err, FrameError::Unencodable(_)));
+        let err = Frame::progressive(0, 0.9, 1, &[(1 << 40, 0.1, 1.0)], &[0, 1]).unwrap_err();
+        assert!(matches!(err, FrameError::Unencodable(_)));
     }
 
     #[test]

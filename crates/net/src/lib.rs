@@ -9,7 +9,8 @@
 //! crate puts it behind a wire:
 //!
 //! * [`frame`] — the length-prefixed binary protocol: magic + version +
-//!   typed request/response frames (RELEASE, QUERY, STATS) with a per-frame
+//!   typed request/response frames (RELEASE, QUERY, STATS, PROGRESSIVE)
+//!   with a per-frame
 //!   user id under a per-connection authenticated tenant, so the
 //!   [`pufferfish_service::BudgetAccountant`] charges the identity the
 //!   *connection* proved, not a string the caller made up.
@@ -95,11 +96,13 @@ pub mod client;
 pub mod frame;
 pub mod server;
 
-pub use client::{ClientError, NetClient};
+pub use client::{ClientError, NetClient, Refinement};
 pub use frame::{
     decode, decode_payload, encode, Envelope, ErrorCode, Frame, FrameError, WireCell, WireMetric,
-    WireMetricValue, WireQuery, WireQueryResult, WireStats, WireWindow, DEFAULT_MAX_FRAME_LEN,
-    MAGIC, VERSION,
+    WireMetricValue, WireQuery, WireQueryResult, WireRefinementStep, WireStats, WireWindow,
+    DEFAULT_MAX_FRAME_LEN, MAGIC, VERSION,
 };
 pub use pufferfish_telemetry::LatencyHistogram;
-pub use server::{NetServer, NetServerConfig, QueryEndpoint, TelemetryOptions};
+pub use server::{
+    NetServer, NetServerConfig, ProgressiveEndpoint, QueryEndpoint, TelemetryOptions,
+};

@@ -34,8 +34,12 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use pufferfish_markov::MarkovChainClass;
 use pufferfish_query::{QueryError, QueryResult, QueryService, Table};
-use pufferfish_service::{ReleaseRequest, ReleaseService, ServiceError, ServiceTelemetry, Ticket};
+use pufferfish_service::{
+    ProgressiveRelease, RefinementSchedule, RefinementStep, ReleaseRequest, ReleaseService,
+    ServiceError, ServiceTelemetry, StreamBackend, Ticket,
+};
 use pufferfish_telemetry::{
     Counter, FlightRecorder, MetricValue, Registry, RequestTrace, Stage, StageHistograms,
 };
@@ -110,6 +114,22 @@ impl QueryEndpoint {
     }
 }
 
+/// The anytime-release surface of a server: the restriction class and the
+/// stream mechanism PROGRESSIVE frames are answered with. Per-step budget is
+/// charged to the shared [`ReleaseService`]'s accountant under the same
+/// `tenant#user` identity RELEASE frames use.
+pub struct ProgressiveEndpoint {
+    class: MarkovChainClass,
+    backend: StreamBackend,
+}
+
+impl ProgressiveEndpoint {
+    /// An endpoint answering progressive releases for `class` via `backend`.
+    pub fn new(class: MarkovChainClass, backend: StreamBackend) -> Self {
+        ProgressiveEndpoint { class, backend }
+    }
+}
+
 /// What a telemetry-enabled server needs from its caller: the registry
 /// metrics land in (the caller keeps it to render, audit, or serve METRICS
 /// elsewhere) and an optional flight recorder for slow-request breakdowns.
@@ -154,6 +174,7 @@ struct NetTelemetry {
 struct Inner {
     release: Arc<ReleaseService>,
     query: Option<QueryEndpoint>,
+    progressive: Option<ProgressiveEndpoint>,
     config: NetServerConfig,
     telemetry: Option<NetTelemetry>,
     shutdown: AtomicBool,
@@ -206,7 +227,7 @@ impl NetServer {
         release: Arc<ReleaseService>,
         config: NetServerConfig,
     ) -> std::io::Result<NetServer> {
-        Self::launch(addr, release, None, config, None)
+        Self::launch(addr, release, None, None, config, None)
     }
 
     /// Binds a server that also answers QUERY frames via `query`.
@@ -219,7 +240,40 @@ impl NetServer {
         query: QueryEndpoint,
         config: NetServerConfig,
     ) -> std::io::Result<NetServer> {
-        Self::launch(addr, release, Some(query), config, None)
+        Self::launch(addr, release, Some(query), None, config, None)
+    }
+
+    /// Binds a server that also answers PROGRESSIVE frames via
+    /// `progressive`, streaming one [`Frame::RefineOk`] per schedule step —
+    /// all echoing the request's sequence number — interleaved with the
+    /// connection's other pipelined responses.
+    ///
+    /// # Errors
+    /// [`std::io::Error`] when the bind fails.
+    pub fn bind_with_progressive<A: ToSocketAddrs>(
+        addr: A,
+        release: Arc<ReleaseService>,
+        progressive: ProgressiveEndpoint,
+        config: NetServerConfig,
+    ) -> std::io::Result<NetServer> {
+        Self::launch(addr, release, None, Some(progressive), config, None)
+    }
+
+    /// Binds a server with every surface the caller provides: RELEASE
+    /// always, QUERY and PROGRESSIVE when their endpoints are given, and
+    /// full instrumentation when `telemetry` is given.
+    ///
+    /// # Errors
+    /// [`std::io::Error`] when the bind fails.
+    pub fn bind_full<A: ToSocketAddrs>(
+        addr: A,
+        release: Arc<ReleaseService>,
+        query: Option<QueryEndpoint>,
+        progressive: Option<ProgressiveEndpoint>,
+        config: NetServerConfig,
+        telemetry: Option<TelemetryOptions>,
+    ) -> std::io::Result<NetServer> {
+        Self::launch(addr, release, query, progressive, config, telemetry)
     }
 
     /// Binds a fully instrumented server: wire byte counters, per-stage
@@ -242,13 +296,14 @@ impl NetServer {
         config: NetServerConfig,
         telemetry: TelemetryOptions,
     ) -> std::io::Result<NetServer> {
-        Self::launch(addr, release, query, config, Some(telemetry))
+        Self::launch(addr, release, query, None, config, Some(telemetry))
     }
 
     fn launch<A: ToSocketAddrs>(
         addr: A,
         release: Arc<ReleaseService>,
         query: Option<QueryEndpoint>,
+        progressive: Option<ProgressiveEndpoint>,
         config: NetServerConfig,
         telemetry: Option<TelemetryOptions>,
     ) -> std::io::Result<NetServer> {
@@ -274,6 +329,7 @@ impl NetServer {
         let inner = Arc::new(Inner {
             release,
             query,
+            progressive,
             config,
             telemetry,
             shutdown: AtomicBool::new(false),
@@ -661,6 +717,96 @@ fn dispatch(
                 Err(error) => send_now(query_error_frame(error)),
             }
         }
+        Frame::Progressive {
+            user,
+            confidence,
+            seed,
+            steps,
+            database,
+        } => {
+            if inner.progressive.is_none() {
+                return send_now(Frame::Error {
+                    code: ErrorCode::Unsupported,
+                    message: "this server has no progressive endpoint".to_string(),
+                });
+            }
+            if inflight.load(Ordering::SeqCst) >= config.max_pipeline {
+                return send_now(Frame::Busy {
+                    retry_hint_ms: config.busy_retry_hint_ms,
+                });
+            }
+            // Re-validate the schedule server-side: the wire carries claims,
+            // the schedule invariants are what admission trusts.
+            let steps = steps
+                .into_iter()
+                .map(|step| RefinementStep {
+                    prefix: step.prefix as usize,
+                    epsilon: step.epsilon,
+                    error_bound: step.error_bound,
+                })
+                .collect();
+            let schedule = match RefinementSchedule::new(steps, confidence) {
+                Ok(schedule) => schedule,
+                Err(error) => {
+                    return send_now(Frame::Error {
+                        code: ErrorCode::Malformed,
+                        message: error.to_string(),
+                    });
+                }
+            };
+            if database.len() != schedule.window() {
+                return send_now(Frame::Error {
+                    code: ErrorCode::Malformed,
+                    message: format!(
+                        "progressive database has {} events but the schedule's window is {}",
+                        database.len(),
+                        schedule.window()
+                    ),
+                });
+            }
+            let user = scoped_user(tenant_name, user);
+            let database: Vec<usize> = database.into_iter().map(usize::from).collect();
+            let trace = inner.telemetry.as_ref().map(|_| {
+                let trace = Arc::new(RequestTrace::new(seq));
+                if let Some(ns) = decode_ns {
+                    trace.record(Stage::Decode, ns);
+                }
+                trace
+            });
+            // Each PROGRESSIVE request gets its own driver thread so its
+            // refinement stream interleaves with the connection's other
+            // pipelined traffic; it holds a writer-channel clone, so the
+            // writer drains every step before the connection closes.
+            inflight.fetch_add(1, Ordering::SeqCst);
+            let worker_inner = Arc::clone(inner);
+            let worker_tx = tx.clone();
+            let worker_inflight = Arc::clone(inflight);
+            let spawned = std::thread::Builder::new()
+                .name("pufferfish-net-progressive".to_string())
+                .spawn(move || {
+                    run_progressive(
+                        &worker_inner,
+                        &worker_tx,
+                        seq,
+                        user,
+                        schedule,
+                        seed,
+                        &database,
+                        trace,
+                    );
+                    worker_inflight.fetch_sub(1, Ordering::SeqCst);
+                });
+            match spawned {
+                Ok(_) => true,
+                Err(_) => {
+                    inflight.fetch_sub(1, Ordering::SeqCst);
+                    send_now(Frame::Error {
+                        code: ErrorCode::Internal,
+                        message: "spawning the progressive driver failed".to_string(),
+                    })
+                }
+            }
+        }
         Frame::Stats => send_now(Frame::StatsOk(inner.stats())),
         Frame::Metrics => match &inner.telemetry {
             Some(watch) => send_now(Frame::MetricsOk(wire_metrics(&watch.registry))),
@@ -684,6 +830,105 @@ fn dispatch(
 /// The budget identity a frame is charged to: `tenant#user-id-in-hex`.
 fn scoped_user(tenant: &str, user: u64) -> String {
     format!("{tenant}#{user:x}")
+}
+
+/// Drives one PROGRESSIVE request to completion on its own thread: admits
+/// the whole schedule against the shared accountant, replays the window
+/// through the driver, and ships each refinement as a seq-correlated
+/// [`Frame::RefineOk`] the moment it is ready. Every early return (budget
+/// refusal, mechanism failure, dead writer) drops the driver, whose guard
+/// refunds the unconsumed steps.
+#[allow(clippy::too_many_arguments)]
+fn run_progressive(
+    inner: &Arc<Inner>,
+    tx: &Sender<Outgoing>,
+    seq: u64,
+    user: String,
+    schedule: RefinementSchedule,
+    seed: u64,
+    database: &[usize],
+    trace: Option<Arc<RequestTrace>>,
+) {
+    let endpoint = inner
+        .progressive
+        .as_ref()
+        .expect("dispatch checked the endpoint exists");
+    let send_now = |frame: Frame| tx.send(Outgoing::Now(seq, frame)).is_ok();
+    let error_frame = |error: ServiceError| match error {
+        ServiceError::BudgetExhausted {
+            requested,
+            remaining,
+            ..
+        } => Frame::BudgetExhausted {
+            requested,
+            remaining,
+        },
+        ServiceError::InvalidConfig(_) => Frame::Error {
+            code: ErrorCode::Malformed,
+            message: error.to_string(),
+        },
+        ServiceError::Mechanism(_) => Frame::Error {
+            code: ErrorCode::Mechanism,
+            message: error.to_string(),
+        },
+        other => Frame::Error {
+            code: ErrorCode::Internal,
+            message: other.to_string(),
+        },
+    };
+
+    let started = inner.telemetry.as_ref().map(|_| Instant::now());
+    let mut driver = match ProgressiveRelease::begin(
+        "net-progressive",
+        &endpoint.class,
+        schedule,
+        endpoint.backend,
+        inner.release.budget(),
+        &user,
+        seed,
+    ) {
+        Ok(driver) => driver,
+        Err(error) => {
+            send_now(error_frame(error));
+            return;
+        }
+    };
+    for &event in database {
+        match driver.push(event) {
+            Ok(None) => {}
+            Ok(Some(update)) => {
+                let delivered = send_now(Frame::RefineOk {
+                    step: update.step as u32,
+                    total_steps: update.total_steps as u32,
+                    prefix: update.prefix as u32,
+                    scale: update.release.scale,
+                    epsilon: update.epsilon,
+                    certified_error: update.certified_error,
+                    spent_epsilon: update.spent_epsilon,
+                    values: update.release.values,
+                });
+                if !delivered {
+                    // The connection is gone; the driver's drop guard
+                    // refunds whatever the schedule had not yet consumed.
+                    return;
+                }
+            }
+            Err(error) => {
+                send_now(error_frame(error));
+                return;
+            }
+        }
+    }
+    if let (Some(watch), Some(started)) = (&inner.telemetry, started) {
+        let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        watch.stages.record(Stage::Progressive, ns);
+        if let Some(trace) = &trace {
+            trace.record(Stage::Progressive, ns);
+            if let Some(recorder) = &watch.recorder {
+                recorder.observe(trace);
+            }
+        }
+    }
 }
 
 fn wire_result(result: &QueryResult) -> WireQueryResult {

@@ -8,6 +8,7 @@
 //! cache).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use pufferfish_baselines::{Gk16, GroupDp};
@@ -53,6 +54,7 @@ pub struct MechanismCatalog {
     options: CatalogOptions,
     engines: Mutex<HashMap<(MechanismKind, usize), Arc<ReleaseEngine>>>,
     indexes: Mutex<HashMap<(MechanismKind, usize), Arc<ScaleIndex>>>,
+    indexed_probe_misses: AtomicU64,
 }
 
 impl MechanismCatalog {
@@ -69,6 +71,7 @@ impl MechanismCatalog {
             options,
             engines: Mutex::new(HashMap::new()),
             indexes: Mutex::new(HashMap::new()),
+            indexed_probe_misses: AtomicU64::new(0),
         }
     }
 
@@ -262,6 +265,23 @@ impl MechanismCatalog {
             .expect("scale-index registry poisoned")
             .get(&(kind, length))
             .map(Arc::clone)
+    }
+
+    /// Records one indexed-probe miss: an index **existed** for the probed
+    /// `(family, length)` but declined to answer (ε outside its grid, or a
+    /// query signature it was not built for), so the caller silently fell
+    /// back to an exact engine probe. Planner and refinement-schedule search
+    /// call this on every such fallback; probes against families that were
+    /// never indexed are *not* misses.
+    pub fn note_indexed_probe_miss(&self) {
+        self.indexed_probe_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Indexed-probe misses recorded so far (see
+    /// [`MechanismCatalog::note_indexed_probe_miss`]) — surfaced through
+    /// `QueryService::stats` so schedule-search degradation is observable.
+    pub fn indexed_probe_misses(&self) -> u64 {
+        self.indexed_probe_misses.load(Ordering::Relaxed)
     }
 
     /// Cache counters summed over every engine the catalog has built, plus

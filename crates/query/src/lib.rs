@@ -86,6 +86,7 @@ mod error;
 mod exec;
 mod parser;
 mod plan;
+mod refine;
 mod service;
 mod table;
 
@@ -96,6 +97,7 @@ pub use error::QueryError;
 pub use exec::{cell_seed, execute_plan, execute_plan_with, CellResult, ExecOptions, QueryResult};
 pub use parser::{parse_script, parse_statement};
 pub use plan::{plan_statement, MechanismProbe, ProbeSource, QueryPlan};
+pub use refine::{plan_refinement, plan_uniform, RefinementGoal};
 pub use service::{QueryService, QueryServiceConfig};
 pub use table::{Table, TableGroup};
 

@@ -259,11 +259,20 @@ pub fn plan_statement(
         // interpolation — zero calibrations. The index declines (`None`)
         // when the grid does not cover this ε or the family is
         // query-sensitive and this query's signature was not indexed; both
-        // fall back to the exact probe below. Exact calibration for the
+        // fall back to the exact probe below (counted per decline in the
+        // catalog's `indexed_probe_misses`, so silent degradation into full
+        // calibrations stays observable). Exact calibration for the
         // *chosen* family still happens lazily on the first real release.
-        let indexed = catalog
-            .scale_index_for(kind, length)
-            .and_then(|index| index.estimate(&*query, statement.epsilon));
+        let indexed = match catalog.scale_index_for(kind, length) {
+            Some(index) => {
+                let estimate = index.estimate(&*query, statement.epsilon);
+                if estimate.is_none() {
+                    catalog.note_indexed_probe_miss();
+                }
+                estimate
+            }
+            None => None,
+        };
         if let Some(estimate) = indexed {
             probes.push(MechanismProbe {
                 kind,
@@ -486,8 +495,11 @@ mod tests {
             .fold(f64::INFINITY, f64::min);
         assert_eq!(plan.noise_scale().to_bits(), min.to_bits());
 
+        // In-grid planning declined nothing: the miss counter is untouched.
+        assert_eq!(catalog.indexed_probe_misses(), 0);
+
         // Out-of-grid ε: the planner falls back to exact probes, which do
-        // calibrate.
+        // calibrate — and every index that declined is counted as a miss.
         let outside = parse_statement("HISTOGRAM EPSILON 5.0").unwrap();
         let plan = plan_statement(&catalog, &outside, &table).unwrap();
         assert!(plan
@@ -497,6 +509,11 @@ mod tests {
         assert!(
             catalog.cache_stats().0.misses > warm_misses,
             "exact fallback probes calibrate"
+        );
+        assert_eq!(
+            catalog.indexed_probe_misses(),
+            plan.probes().len() as u64,
+            "every declined index probe is a recorded miss"
         );
     }
 

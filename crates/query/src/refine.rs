@@ -1,0 +1,548 @@
+//! ε-optimal refinement-schedule search for progressive anytime releases.
+//!
+//! Given a target final error, a confidence level and an *anytime deadline*
+//! (the latest event by which a first coarse answer must land),
+//! [`plan_refinement`] searches candidate
+//! [`RefinementSchedule`]s for a window and picks the one spending the
+//! least total ε under Theorem 4.4 composition. Candidates are geometric
+//! ladders: `k` steps at prefixes `window/2^(k-1), …, window/2, window`,
+//! with per-step error targets halving toward the final target (each
+//! refinement certifiably twice as sharp as the last). For every
+//! `(prefix, bound)` pair the minimal ε achieving the bound is found by
+//! monotone bisection over certified noise-scale probes — served from the
+//! catalog's warmed [`ScaleIndex`](pufferfish_core::ScaleIndex) when one
+//! covers the searched ε (zero calibrations), and by exact engine probes
+//! otherwise. Every time an index *exists* for a probed `(family, prefix)`
+//! but cannot answer the search (ε beyond its grid, or a signature it was
+//! not built for) the catalog's `indexed_probe_misses` counter ticks once,
+//! so schedule-search degradation into exact calibration is observable in
+//! [`ServiceStats`](pufferfish_service::ServiceStats).
+//!
+//! Because schedule validation requires **bitwise-equal** per-step ε (the
+//! homogeneity that makes Theorem 4.4's composed guarantee collapse to the
+//! plain sum), each candidate ladder is homogenised at the maximum of its
+//! per-step minimal ε values; the ladder's total is then `k · ε*` exactly.
+//! [`plan_uniform`] builds the refine-every-`slide` baseline at the same
+//! final error for comparison: same final ε, one step per slide, which is
+//! what the scheduled search is measured against in the
+//! `progressive_release` bench.
+//!
+//! The probes certify against the catalog's engines; the schedules they
+//! produce are executed by
+//! [`ProgressiveRelease`](pufferfish_service::ProgressiveRelease), which
+//! calibrates the stream backends with their default options — keep the
+//! catalog's [`CatalogOptions`](crate::CatalogOptions) mechanism options at
+//! their defaults (and the released bounds are *recertified* from the
+//! actual calibrated scale at release time regardless).
+
+use pufferfish_core::queries::RelativeFrequencyHistogram;
+use pufferfish_core::{laplace_error_bound, PrivacyBudget};
+use pufferfish_service::{RefinementSchedule, RefinementStep, StreamBackend};
+
+use crate::ast::MechanismKind;
+use crate::catalog::MechanismCatalog;
+use crate::QueryError;
+
+/// Smallest ε the exact-probe bisection considers.
+const EPSILON_FLOOR: f64 = 1e-4;
+/// Largest ε the exact-probe bisection considers; a target unreachable even
+/// here is reported as a planning error.
+const EPSILON_CEILING: f64 = 256.0;
+/// Fixed bisection depth — determinism matters more than the last ULP.
+const BISECTION_ITERATIONS: usize = 40;
+/// Smallest prefix a ladder step may answer over: below this the histogram
+/// is too coarse to be a meaningful first answer.
+const MIN_PREFIX: usize = 4;
+/// Longest ladder considered (prefixes halve, so 8 steps already span a
+/// 128× window range).
+const MAX_STEPS: usize = 8;
+
+/// What a progressive release must deliver: how sharp the final answer is,
+/// at what confidence, and how soon the first coarse answer must arrive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefinementGoal {
+    /// Certified sup-norm error bound the *final* full-window answer must
+    /// meet.
+    pub target_error: f64,
+    /// Confidence level every certified bound holds at.
+    pub confidence: f64,
+    /// The anytime deadline: the first estimate must be released after at
+    /// most this many events (the reason to refine progressively at all —
+    /// without it the cheapest schedule is always the one-shot).
+    pub first_answer_by: usize,
+}
+
+impl RefinementGoal {
+    fn validate(&self, window: usize) -> Result<(), QueryError> {
+        if window == 0 {
+            return Err(QueryError::Plan(
+                "refinement planning needs a non-empty window".to_string(),
+            ));
+        }
+        if !self.target_error.is_finite() || self.target_error <= 0.0 {
+            return Err(QueryError::Plan(format!(
+                "refinement target error must be positive and finite, got {}",
+                self.target_error
+            )));
+        }
+        if !self.confidence.is_finite() || self.confidence <= 0.0 || self.confidence >= 1.0 {
+            return Err(QueryError::Plan(format!(
+                "refinement confidence must lie in (0, 1), got {}",
+                self.confidence
+            )));
+        }
+        if self.first_answer_by == 0 || self.first_answer_by > window {
+            return Err(QueryError::Plan(format!(
+                "the anytime deadline must lie in [1, window]: got {} for window {window}",
+                self.first_answer_by
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The catalog family a stream backend calibrates through.
+fn mechanism_kind(backend: StreamBackend) -> MechanismKind {
+    match backend {
+        StreamBackend::MqmApprox => MechanismKind::MqmApprox,
+        StreamBackend::Gk16 => MechanismKind::Gk16,
+    }
+}
+
+/// Deterministic log-space bisection for the smallest achieving ε.
+/// Precondition: `!achieved(lo) && achieved(hi)`; the return value is a
+/// point the predicate was actually evaluated (and achieved) at.
+fn bisect_log(mut lo: f64, mut hi: f64, achieved: &dyn Fn(f64) -> bool) -> f64 {
+    for _ in 0..BISECTION_ITERATIONS {
+        let mid = ((lo.ln() + hi.ln()) / 2.0).exp();
+        if mid <= lo || mid >= hi {
+            break;
+        }
+        if achieved(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// Noise-scale prober for one `(catalog, family)` pair: answers "what is
+/// the smallest ε at which a `prefix`-length histogram's certified error
+/// bound meets `target`?" through the index when possible, exactly when
+/// not.
+struct StepProber<'a> {
+    catalog: &'a MechanismCatalog,
+    kind: MechanismKind,
+    num_states: usize,
+    /// `laplace_error_bound(scale, dims, confidence) = scale · unit_bound`,
+    /// with `unit_bound` the bound at scale 1 — hoisted so the bisection
+    /// predicate is one multiply per probe.
+    unit_bound: f64,
+}
+
+impl<'a> StepProber<'a> {
+    fn new(
+        catalog: &'a MechanismCatalog,
+        backend: StreamBackend,
+        confidence: f64,
+    ) -> Result<Self, QueryError> {
+        let num_states = catalog.class().num_states();
+        let unit_bound = laplace_error_bound(1.0, num_states, confidence)?;
+        Ok(StepProber {
+            catalog,
+            kind: mechanism_kind(backend),
+            num_states,
+            unit_bound,
+        })
+    }
+
+    /// The smallest ε whose certified error bound over a `prefix`-length
+    /// window is at most `target`.
+    fn minimal_epsilon(&self, prefix: usize, target: f64) -> Result<f64, QueryError> {
+        let query = RelativeFrequencyHistogram::new(self.num_states, prefix)?;
+        if let Some(index) = self.catalog.scale_index_for(self.kind, prefix) {
+            let (grid_min, grid_max) = index.epsilon_range();
+            // The index answers pessimistically: the exact scale is within
+            // `error_bound` of the estimate, so certifying against
+            // `scale + error_bound` guarantees the planned bound holds at
+            // release time.
+            let achieved = |epsilon: f64| {
+                index
+                    .estimate(&query, epsilon)
+                    .is_some_and(|e| (e.scale + e.error_bound) * self.unit_bound <= target)
+            };
+            if achieved(grid_max) {
+                // The whole search stays inside the grid: zero calibrations.
+                if achieved(grid_min) {
+                    return Ok(grid_min);
+                }
+                return Ok(bisect_log(grid_min, grid_max, &achieved));
+            }
+            // An index exists for this (family, prefix) but cannot serve the
+            // search — ε beyond its grid, or a signature it was not built
+            // for. One observable miss, then the exact fallback.
+            self.catalog.note_indexed_probe_miss();
+        }
+        let engine = self.catalog.engine_for(self.kind, prefix)?;
+        let achieved = |epsilon: f64| {
+            // A calibration failure at small ε (e.g. the quilt's ε budget
+            // not clearing its influence term) means "not achievable here,
+            // go larger" — monotone-safe, like an over-target bound.
+            PrivacyBudget::new(epsilon)
+                .and_then(|budget| engine.noise_scale_estimate(&query, budget))
+                .is_ok_and(|scale| scale * self.unit_bound <= target)
+        };
+        if !achieved(EPSILON_CEILING) {
+            return Err(QueryError::Plan(format!(
+                "error bound {target} over a {prefix}-event window is unreachable for \
+                 '{}' even at epsilon {EPSILON_CEILING}",
+                self.kind.keyword()
+            )));
+        }
+        if achieved(EPSILON_FLOOR) {
+            return Ok(EPSILON_FLOOR);
+        }
+        Ok(bisect_log(EPSILON_FLOOR, EPSILON_CEILING, &achieved))
+    }
+
+    /// The certified (pessimistic) error bound of a `prefix`-length release
+    /// at `epsilon` — index-served when possible, exact otherwise.
+    fn bound_at(&self, prefix: usize, epsilon: f64) -> Result<f64, QueryError> {
+        let query = RelativeFrequencyHistogram::new(self.num_states, prefix)?;
+        if let Some(index) = self.catalog.scale_index_for(self.kind, prefix) {
+            if let Some(estimate) = index.estimate(&query, epsilon) {
+                return Ok((estimate.scale + estimate.error_bound) * self.unit_bound);
+            }
+            self.catalog.note_indexed_probe_miss();
+        }
+        let engine = self.catalog.engine_for(self.kind, prefix)?;
+        let scale = engine.noise_scale_estimate(&query, PrivacyBudget::new(epsilon)?)?;
+        Ok(scale * self.unit_bound)
+    }
+}
+
+/// Searches candidate refinement schedules for `window` and returns the one
+/// minimising total ε among those meeting `goal` — final bound
+/// `target_error`, per-step bounds halving toward it, first answer within
+/// `first_answer_by` events.
+///
+/// Candidates are the geometric ladders of 1 to 8 steps (the `k`-step
+/// ladder refines at `window/2^(k-1), …, window`, prefixes below 4
+/// excluded). Each ladder is homogenised at the maximum of
+/// its steps' minimal ε values, so the sum the schedule spends equals its
+/// Theorem 4.4 composed guarantee exactly; its total is then `k · ε*` and
+/// the cheapest feasible ladder wins (ties to fewer steps).
+///
+/// # Errors
+/// [`QueryError::Plan`] when the goal is malformed, when no ladder can
+/// answer within the deadline (window too small for a prefix below it), or
+/// when the target is unreachable at any searchable ε.
+pub fn plan_refinement(
+    catalog: &MechanismCatalog,
+    backend: StreamBackend,
+    window: usize,
+    goal: RefinementGoal,
+) -> Result<RefinementSchedule, QueryError> {
+    goal.validate(window)?;
+    let prober = StepProber::new(catalog, backend, goal.confidence)?;
+
+    // Ladder k's steps are exactly the pairs j = k-1 … 0, where pair j
+    // releases over prefix `window >> j` at error target `target · 2^j` —
+    // shared across ladders, so each pair's minimal ε is probed once.
+    let mut pairs: Vec<(usize, f64, f64)> = Vec::new(); // (prefix, bound, minimal ε)
+    for j in 0..MAX_STEPS {
+        let prefix = window >> j;
+        if j > 0 && (prefix < MIN_PREFIX || prefix == window >> (j - 1)) {
+            break;
+        }
+        let bound = goal.target_error * (1u64 << j) as f64;
+        let epsilon = prober.minimal_epsilon(prefix, bound)?;
+        pairs.push((prefix, bound, epsilon));
+    }
+
+    let mut best: Option<(usize, f64, f64)> = None; // (k, ε*, total)
+    for k in 1..=pairs.len() {
+        let (coarsest_prefix, _, _) = pairs[k - 1];
+        if coarsest_prefix > goal.first_answer_by {
+            continue; // this ladder's first answer lands too late
+        }
+        let epsilon_star = pairs[..k].iter().map(|p| p.2).fold(f64::MIN, f64::max);
+        let total = k as f64 * epsilon_star;
+        if best.is_none_or(|(_, _, t)| total < t) {
+            best = Some((k, epsilon_star, total));
+        }
+    }
+    let (k, epsilon_star, _) = best.ok_or_else(|| {
+        QueryError::Plan(format!(
+            "no candidate schedule answers within {} events over window {window}: the \
+             coarsest searchable prefix is {}",
+            goal.first_answer_by,
+            pairs.last().map_or(window, |p| p.0)
+        ))
+    })?;
+
+    let steps: Vec<RefinementStep> = pairs[..k]
+        .iter()
+        .rev()
+        .map(|&(prefix, bound, _)| RefinementStep {
+            prefix,
+            epsilon: epsilon_star,
+            error_bound: bound,
+        })
+        .collect();
+    RefinementSchedule::new(steps, goal.confidence)
+        .map_err(|e| QueryError::Plan(format!("planned schedule failed validation: {e}")))
+}
+
+/// The uniform baseline the scheduled search is measured against: refine at
+/// every `slide` events (plus a final step at `window` if `slide` does not
+/// divide it), every step at the minimal ε meeting `goal.target_error` on
+/// the full window. Same final error and final ε as [`plan_refinement`]'s
+/// answer, one step per slide — its total ε is what naive per-slide
+/// refinement spends.
+///
+/// Per-step recorded bounds are the certified bounds actually probed at the
+/// chosen ε, suffix-maxed so the schedule's bounds never tighten out of
+/// order (every recorded bound still over-covers its step's actual bound).
+///
+/// # Errors
+/// [`QueryError::Plan`] for a malformed goal or slide, or when the target
+/// is unreachable.
+pub fn plan_uniform(
+    catalog: &MechanismCatalog,
+    backend: StreamBackend,
+    window: usize,
+    slide: usize,
+    goal: RefinementGoal,
+) -> Result<RefinementSchedule, QueryError> {
+    goal.validate(window)?;
+    if slide == 0 || slide > window {
+        return Err(QueryError::Plan(format!(
+            "uniform refinement slide must lie in [1, window]: got {slide} for window {window}"
+        )));
+    }
+    let prober = StepProber::new(catalog, backend, goal.confidence)?;
+    let epsilon = prober.minimal_epsilon(window, goal.target_error)?;
+
+    let mut prefixes: Vec<usize> = (1..)
+        .map(|i| i * slide)
+        .take_while(|&p| p < window)
+        .collect();
+    prefixes.push(window);
+
+    let mut bounds = Vec::with_capacity(prefixes.len());
+    for &prefix in &prefixes {
+        bounds.push(prober.bound_at(prefix, epsilon)?);
+    }
+    // Suffix max: recorded bounds must be non-increasing, and loosening a
+    // recorded bound keeps it valid (it still over-covers the actual one).
+    for i in (0..bounds.len().saturating_sub(1)).rev() {
+        bounds[i] = bounds[i].max(bounds[i + 1]);
+    }
+
+    let steps: Vec<RefinementStep> = prefixes
+        .iter()
+        .zip(&bounds)
+        .map(|(&prefix, &error_bound)| RefinementStep {
+            prefix,
+            epsilon,
+            error_bound,
+        })
+        .collect();
+    RefinementSchedule::new(steps, goal.confidence)
+        .map_err(|e| QueryError::Plan(format!("uniform schedule failed validation: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogOptions;
+    use pufferfish_core::EpsilonGrid;
+    use pufferfish_markov::{IntervalClassBuilder, MarkovChainClass};
+
+    fn weak_class() -> MarkovChainClass {
+        IntervalClassBuilder::symmetric(0.45)
+            .grid_points(2)
+            .build()
+            .unwrap()
+    }
+
+    fn goal(target_error: f64, first_answer_by: usize) -> RefinementGoal {
+        RefinementGoal {
+            target_error,
+            confidence: 0.9,
+            first_answer_by,
+        }
+    }
+
+    #[test]
+    fn goal_and_slide_validation() {
+        let catalog = MechanismCatalog::new(weak_class());
+        let cases = [
+            (32, goal(0.0, 8)),
+            (32, goal(f64::NAN, 8)),
+            (32, goal(-1.0, 8)),
+            (32, goal(1.0, 0)),
+            (32, goal(1.0, 33)),
+            (0, goal(1.0, 1)),
+            (
+                32,
+                RefinementGoal {
+                    target_error: 1.0,
+                    confidence: 1.0,
+                    first_answer_by: 8,
+                },
+            ),
+        ];
+        for (window, bad) in cases {
+            assert!(matches!(
+                plan_refinement(&catalog, StreamBackend::MqmApprox, window, bad),
+                Err(QueryError::Plan(_))
+            ));
+        }
+        assert!(matches!(
+            plan_uniform(&catalog, StreamBackend::MqmApprox, 32, 0, goal(1.0, 8)),
+            Err(QueryError::Plan(_))
+        ));
+        assert!(matches!(
+            plan_uniform(&catalog, StreamBackend::MqmApprox, 32, 33, goal(1.0, 8)),
+            Err(QueryError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn scheduled_ladder_meets_the_deadline_and_beats_uniform() {
+        let catalog = MechanismCatalog::new(weak_class());
+        let the_goal = goal(1.0, 8);
+        let schedule = plan_refinement(&catalog, StreamBackend::MqmApprox, 32, the_goal).unwrap();
+
+        // Anytime deadline met, final step answers the full window.
+        assert!(schedule.steps()[0].prefix <= 8);
+        assert_eq!(schedule.window(), 32);
+        assert_eq!(schedule.confidence(), 0.9);
+        // Homogenised: one ε across steps, bitwise.
+        let bits = schedule.final_epsilon().to_bits();
+        assert!(schedule.steps().iter().all(|s| s.epsilon.to_bits() == bits));
+        // Per-step bounds halve toward the final target.
+        let k = schedule.steps().len();
+        for (i, step) in schedule.steps().iter().enumerate() {
+            let expected = the_goal.target_error * (1u64 << (k - 1 - i)) as f64;
+            assert_eq!(step.error_bound, expected);
+        }
+        assert_eq!(schedule.steps().last().unwrap().error_bound, 1.0);
+        // The planned ε actually achieves each step's bound (pessimistic
+        // probe at release scale).
+        let prober = StepProber::new(&catalog, StreamBackend::MqmApprox, 0.9).unwrap();
+        for step in schedule.steps() {
+            let achieved = prober.bound_at(step.prefix, step.epsilon).unwrap();
+            assert!(
+                achieved <= step.error_bound,
+                "prefix {}: certified {achieved} > planned {}",
+                step.prefix,
+                step.error_bound
+            );
+        }
+
+        // The per-slide baseline at the same final error and deadline
+        // spends strictly more total ε.
+        let uniform = plan_uniform(&catalog, StreamBackend::MqmApprox, 32, 4, the_goal).unwrap();
+        assert_eq!(uniform.steps().len(), 8);
+        assert_eq!(uniform.steps()[0].prefix, 4);
+        assert_eq!(uniform.window(), 32);
+        assert!(uniform.steps().last().unwrap().error_bound <= the_goal.target_error);
+        assert!(
+            schedule.total_epsilon() < uniform.total_epsilon(),
+            "scheduled {} vs uniform {}",
+            schedule.total_epsilon(),
+            uniform.total_epsilon()
+        );
+
+        // A deadline equal to the window admits the one-shot ladder, which
+        // is always cheapest.
+        let one_shot =
+            plan_refinement(&catalog, StreamBackend::MqmApprox, 32, goal(1.0, 32)).unwrap();
+        assert_eq!(one_shot.steps().len(), 1);
+        assert!(one_shot.total_epsilon() <= schedule.total_epsilon());
+
+        // Planning is deterministic.
+        let again = plan_refinement(&catalog, StreamBackend::MqmApprox, 32, the_goal).unwrap();
+        assert_eq!(schedule, again);
+    }
+
+    #[test]
+    fn infeasible_deadline_and_unreachable_target_are_planning_errors() {
+        let catalog = MechanismCatalog::new(weak_class());
+        // The coarsest ladder prefix is MIN_PREFIX; a deadline below it is
+        // infeasible.
+        assert!(matches!(
+            plan_refinement(&catalog, StreamBackend::MqmApprox, 256, goal(1.0, 2)),
+            Err(QueryError::Plan(_))
+        ));
+        // No ε in the searched range certifies a 1e-12 bound.
+        assert!(matches!(
+            plan_refinement(&catalog, StreamBackend::MqmApprox, 32, goal(1e-12, 8)),
+            Err(QueryError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn warmed_indexes_serve_the_search_without_calibrating() {
+        let grid = EpsilonGrid::log_spaced(0.01, 64.0, 7).unwrap();
+        let catalog = MechanismCatalog::with_options(
+            weak_class(),
+            CatalogOptions {
+                scale_grid: Some(grid),
+                ..CatalogOptions::default()
+            },
+        );
+        // Warm every prefix the window-16 ladder search probes: 16, 8, 4.
+        for prefix in [16usize, 8, 4] {
+            let query = RelativeFrequencyHistogram::new(2, prefix).unwrap();
+            assert!(catalog.warm_scale_index(prefix, &query).unwrap() >= 1);
+        }
+        let (warm_stats, _) = catalog.cache_stats();
+
+        let schedule =
+            plan_refinement(&catalog, StreamBackend::MqmApprox, 16, goal(2.0, 4)).unwrap();
+        assert_eq!(schedule.window(), 16);
+        // The entire bisection ran inside the grids: no fallback was
+        // recorded and no calibration was paid beyond warming.
+        assert_eq!(catalog.indexed_probe_misses(), 0);
+        let (stats, _) = catalog.cache_stats();
+        assert_eq!(stats.misses, warm_stats.misses);
+    }
+
+    #[test]
+    fn out_of_grid_searches_count_one_miss_per_probe_and_still_plan() {
+        // A grid pinned at tiny ε cannot certify the target at its top end,
+        // so every pair's search falls back to exact probes — one counted
+        // miss each, and the plan still succeeds.
+        let grid = EpsilonGrid::log_spaced(1e-4, 2e-4, 3).unwrap();
+        let catalog = MechanismCatalog::with_options(
+            weak_class(),
+            CatalogOptions {
+                scale_grid: Some(grid),
+                ..CatalogOptions::default()
+            },
+        );
+        for prefix in [16usize, 8, 4] {
+            let query = RelativeFrequencyHistogram::new(2, prefix).unwrap();
+            catalog.warm_scale_index(prefix, &query).unwrap();
+        }
+        let schedule =
+            plan_refinement(&catalog, StreamBackend::MqmApprox, 16, goal(2.0, 4)).unwrap();
+        assert_eq!(schedule.window(), 16);
+        // Three (prefix, bound) pairs were searched; each had an index that
+        // could not reach the target.
+        assert_eq!(catalog.indexed_probe_misses(), 3);
+    }
+
+    #[test]
+    fn gk16_schedules_plan_too() {
+        let catalog = MechanismCatalog::new(weak_class());
+        let schedule = plan_refinement(&catalog, StreamBackend::Gk16, 32, goal(1.0, 8)).unwrap();
+        assert_eq!(schedule.window(), 32);
+        assert!(schedule.steps()[0].prefix <= 8);
+    }
+}

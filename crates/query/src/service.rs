@@ -198,6 +198,7 @@ impl QueryService {
             served: self.executed(),
             users: self.budget.users(),
             spent_epsilon: self.budget.total_spent(),
+            indexed_probe_misses: self.catalog.indexed_probe_misses(),
             snapshot: None,
             monitor: None,
             // The query front-end has no admission queue or worker stages.

@@ -23,6 +23,10 @@
 //!   histogram queries over event streams, with the mechanism family (Markov
 //!   Quilt vs the GK16 baseline) selectable per stream and the stream budget
 //!   enforced release by release.
+//! * [`ProgressiveRelease`] — anytime answers over one window: a validated
+//!   [`RefinementSchedule`] of coarse-to-fine estimates, each charged
+//!   through the accountant and certified with an error bound, with the
+//!   final refinement bitwise-identical to the equivalent one-shot release.
 //! * [`queue::BoundedQueue`] — the underlying closable MPMC queue, exported
 //!   for callers building their own pipelines.
 //! * [`ServiceTelemetry`] + [`audit_ledger`] — the serving layer's slice of
@@ -85,6 +89,7 @@ mod audit;
 mod budget;
 mod error;
 mod observer;
+mod progressive;
 pub mod queue;
 mod service;
 mod stats;
@@ -95,6 +100,7 @@ pub use audit::{audit_ledger, AuditError, AuditReport};
 pub use budget::{BudgetAccountant, SpendTag};
 pub use error::ServiceError;
 pub use observer::ReleaseObserver;
+pub use progressive::{ProgressiveRelease, ProgressiveUpdate, RefinementSchedule, RefinementStep};
 pub use service::{ReleaseRequest, ReleaseService, ServiceConfig, Ticket};
 pub use stats::{MonitorStats, ServiceStats, SnapshotInfo, StageLatencies};
 pub use stream::{ContinualRelease, StreamBackend, StreamConfig, WindowRelease};

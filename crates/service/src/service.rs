@@ -776,6 +776,8 @@ impl ReleaseService {
             served: self.served(),
             users: self.budget.users(),
             spent_epsilon: self.budget.total_spent(),
+            // The release front-end never probes a scale index.
+            indexed_probe_misses: 0,
             snapshot: self.warm_start.map(|warm| crate::SnapshotInfo {
                 age_secs: unix_now().saturating_sub(warm.created_unix_secs),
                 entries: warm.entries,

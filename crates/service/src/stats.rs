@@ -102,6 +102,13 @@ pub struct ServiceStats {
     /// guarantee, then summed — an aggregate load signal, not itself a
     /// privacy guarantee).
     pub spent_epsilon: f64,
+    /// ε-grid scale-index probes that found an index for the query shape but
+    /// got no estimate back (ε outside the grid, or a different query
+    /// signature than the index was built for). Every miss silently fell
+    /// back to an exact engine probe — cheap schedule search degrading into
+    /// full calibrations — so a growing count is the signal to widen the
+    /// grid. Zero for front-ends that never probe an index.
+    pub indexed_probe_misses: u64,
     /// The warm-start snapshot this front-end loaded, if any (see
     /// [`SnapshotInfo`]).
     pub snapshot: Option<SnapshotInfo>,
@@ -149,6 +156,13 @@ impl std::fmt::Display for ServiceStats {
             self.users,
             self.spent_epsilon,
         )?;
+        if self.indexed_probe_misses > 0 {
+            write!(
+                f,
+                ", {} indexed-probe misses (exact fallback)",
+                self.indexed_probe_misses
+            )?;
+        }
         if let Some(snapshot) = &self.snapshot {
             write!(
                 f,
@@ -215,6 +229,13 @@ mod tests {
         assert!(rendered.contains("refused 9"));
         assert!(rendered.contains("2 users"));
         assert!(!rendered.contains("warm-started"));
+        // The indexed-probe counter renders only once a miss happened, so
+        // index-free front-ends keep their historical one-line form.
+        assert!(!rendered.contains("indexed-probe"));
+        stats.indexed_probe_misses = 5;
+        assert!(stats
+            .to_string()
+            .contains("5 indexed-probe misses (exact fallback)"));
 
         stats.snapshot = Some(SnapshotInfo {
             age_secs: 120,

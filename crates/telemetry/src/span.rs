@@ -31,13 +31,18 @@ pub enum Stage {
     Mechanism,
     /// Response encoding and socket write on the connection writer.
     Encode,
+    /// Progressive-release refinement: one scheduled refinement step of an
+    /// anytime answer stream (calibration + release of a window prefix).
+    Progressive,
 }
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
-    /// Every stage, in pipeline order.
+    /// Every stage, in pipeline order. [`Stage::Progressive`] sits last:
+    /// it is an out-of-band stage (refinements run beside the pipeline, not
+    /// inside it), so appending keeps every existing stage index stable.
     pub const ALL: [Stage; Stage::COUNT] = [
         Stage::Decode,
         Stage::Admission,
@@ -45,6 +50,7 @@ impl Stage {
         Stage::Engine,
         Stage::Mechanism,
         Stage::Encode,
+        Stage::Progressive,
     ];
 
     /// The stage's metric-name segment.
@@ -57,6 +63,7 @@ impl Stage {
             Stage::Engine => "engine",
             Stage::Mechanism => "mechanism",
             Stage::Encode => "encode",
+            Stage::Progressive => "progressive",
         }
     }
 
@@ -68,6 +75,7 @@ impl Stage {
             Stage::Engine => 3,
             Stage::Mechanism => 4,
             Stage::Encode => 5,
+            Stage::Progressive => 6,
         }
     }
 }
@@ -386,7 +394,8 @@ mod tests {
                 "queue_wait",
                 "engine",
                 "mechanism",
-                "encode"
+                "encode",
+                "progressive"
             ]
         );
         for (position, stage) in Stage::ALL.iter().enumerate() {

@@ -15,7 +15,8 @@
 use proptest::prelude::*;
 use pufferfish_net::{
     decode, encode, Envelope, ErrorCode, Frame, FrameError, WireCell, WireMetric, WireMetricValue,
-    WireQuery, WireQueryResult, WireStats, WireWindow, DEFAULT_MAX_FRAME_LEN, MAGIC, VERSION,
+    WireQuery, WireQueryResult, WireRefinementStep, WireStats, WireWindow, DEFAULT_MAX_FRAME_LEN,
+    MAGIC, VERSION,
 };
 use rand::Rng;
 
@@ -106,9 +107,9 @@ fn arbitrary_metric(rng: &mut TestRng) -> WireMetric {
     }
 }
 
-/// Draws one frame of any of the fourteen kinds with arbitrary field values.
+/// Draws one frame of any of the sixteen kinds with arbitrary field values.
 fn arbitrary_frame(rng: &mut TestRng) -> Frame {
-    match rng.gen_range(0..14u32) {
+    match rng.gen_range(0..16u32) {
         0 => Frame::Hello {
             tenant: arbitrary_string(rng),
         },
@@ -186,6 +187,31 @@ fn arbitrary_frame(rng: &mut TestRng) -> Frame {
                 .map(|_| arbitrary_metric(rng))
                 .collect(),
         ),
+        13 => Frame::Progressive {
+            user: rng.gen(),
+            confidence: rng.gen_range(0.5..0.999),
+            seed: rng.gen(),
+            steps: (0..rng.gen_range(0..6usize))
+                .map(|_| WireRefinementStep {
+                    prefix: rng.gen_range(0..10_000u32),
+                    epsilon: arbitrary_f64(rng),
+                    error_bound: arbitrary_f64(rng),
+                })
+                .collect(),
+            database: (0..rng.gen_range(0..100usize))
+                .map(|_| rng.gen_range(0..1000u16))
+                .collect(),
+        },
+        14 => Frame::RefineOk {
+            step: rng.gen(),
+            total_steps: rng.gen(),
+            prefix: rng.gen(),
+            scale: arbitrary_f64(rng),
+            epsilon: arbitrary_f64(rng),
+            certified_error: arbitrary_f64(rng),
+            spent_epsilon: arbitrary_f64(rng),
+            values: arbitrary_values(rng, 32),
+        },
         _ => Frame::Error {
             code: ERROR_CODES[rng.gen_range(0..ERROR_CODES.len())],
             message: arbitrary_string(rng),
@@ -421,6 +447,75 @@ fn metrics_ok_adversarial_bodies_are_typed_errors() {
         DEFAULT_MAX_FRAME_LEN,
     )
     .unwrap();
+    assert!(matches!(
+        decode(&bytes[..bytes.len() - 6], DEFAULT_MAX_FRAME_LEN),
+        Err(FrameError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn progressive_adversarial_bodies_are_typed_errors() {
+    // A PROGRESSIVE declaring u32::MAX refinement steps inside an 8-byte
+    // tail: the 20-byte-per-step floor must refuse the count before any
+    // allocation.
+    let mut body = Vec::new();
+    body.extend_from_slice(&1u64.to_le_bytes()); // user
+    body.extend_from_slice(&0.9f64.to_le_bytes()); // confidence
+    body.extend_from_slice(&7u64.to_le_bytes()); // seed
+    body.extend_from_slice(&u32::MAX.to_le_bytes()); // step count
+    body.extend_from_slice(&[0u8; 8]); // ...but only 8 bytes of data
+    let mut bytes = header(0x07, body.len());
+    bytes.extend_from_slice(&body);
+    assert!(matches!(
+        decode(&bytes, DEFAULT_MAX_FRAME_LEN),
+        Err(FrameError::Malformed(_))
+    ));
+
+    // Trailing garbage inside a valid PROGRESSIVE's declared length.
+    let frame = Frame::progressive(1, 0.9, 7, &[(8, 0.5, 2.0)], &[0, 1, 0, 1, 0, 1, 0, 1]).unwrap();
+    let mut bytes = encode(&Envelope { seq: 2, frame }, DEFAULT_MAX_FRAME_LEN).unwrap();
+    // The declared length excludes the 4-byte prefix itself.
+    let padded = u32::try_from(bytes.len() - 4 + 2).unwrap();
+    bytes[..4].copy_from_slice(&padded.to_le_bytes());
+    bytes.extend_from_slice(&[0xAA, 0xBB]);
+    assert!(matches!(
+        decode(&bytes, DEFAULT_MAX_FRAME_LEN),
+        Err(FrameError::Malformed(_))
+    ));
+}
+
+#[test]
+fn refine_ok_adversarial_bodies_are_typed_errors() {
+    // A REFINE_OK declaring u32::MAX refined values inside an 8-byte tail.
+    let mut body = Vec::new();
+    body.extend_from_slice(&1u32.to_le_bytes()); // step
+    body.extend_from_slice(&2u32.to_le_bytes()); // total_steps
+    body.extend_from_slice(&8u32.to_le_bytes()); // prefix
+    body.extend_from_slice(&1.0f64.to_le_bytes()); // scale
+    body.extend_from_slice(&0.5f64.to_le_bytes()); // epsilon
+    body.extend_from_slice(&3.0f64.to_le_bytes()); // certified_error
+    body.extend_from_slice(&0.5f64.to_le_bytes()); // spent_epsilon
+    body.extend_from_slice(&u32::MAX.to_le_bytes()); // value count
+    body.extend_from_slice(&[0u8; 8]);
+    let mut bytes = header(0x89, body.len());
+    bytes.extend_from_slice(&body);
+    assert!(matches!(
+        decode(&bytes, DEFAULT_MAX_FRAME_LEN),
+        Err(FrameError::Malformed(_))
+    ));
+
+    // Truncated mid-values: the "read more" signal, not a misparse.
+    let frame = Frame::RefineOk {
+        step: 1,
+        total_steps: 3,
+        prefix: 16,
+        scale: 2.0,
+        epsilon: 0.5,
+        certified_error: 6.0,
+        spent_epsilon: 0.5,
+        values: vec![0.25, 0.75],
+    };
+    let bytes = encode(&Envelope { seq: 5, frame }, DEFAULT_MAX_FRAME_LEN).unwrap();
     assert!(matches!(
         decode(&bytes[..bytes.len() - 6], DEFAULT_MAX_FRAME_LEN),
         Err(FrameError::Truncated { .. })

@@ -27,10 +27,14 @@ use pufferfish_core::{MqmApproxOptions, Parallelism};
 use pufferfish_markov::IntervalClassBuilder;
 use pufferfish_net::{
     decode, encode, ClientError, Envelope, ErrorCode, Frame, NetClient, NetServer, NetServerConfig,
-    QueryEndpoint, TelemetryOptions, WireMetricValue, WireQuery, DEFAULT_MAX_FRAME_LEN,
+    ProgressiveEndpoint, QueryEndpoint, TelemetryOptions, WireMetricValue, WireQuery,
+    DEFAULT_MAX_FRAME_LEN,
 };
 use pufferfish_query::{MechanismCatalog, QueryService, QueryServiceConfig, Table};
-use pufferfish_service::{audit_ledger, ReleaseRequest, ReleaseService, ServiceConfig};
+use pufferfish_service::{
+    audit_ledger, ProgressiveRelease, RefinementSchedule, RefinementStep, ReleaseRequest,
+    ReleaseService, ServiceConfig, StreamBackend,
+};
 use pufferfish_telemetry::{EpsilonLedger, FlightRecorder};
 
 const LENGTH: usize = 60;
@@ -359,6 +363,188 @@ fn query_frames_execute_and_miss_typed() {
     match client.query(5, "sensor", "FROBNICATE EVERYTHING", 1) {
         Err(ClientError::Remote { code, .. }) => assert_eq!(code, ErrorCode::Parse),
         other => panic!("expected Parse, got {other:?}"),
+    }
+    client.goodbye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn progressive_streams_interleave_with_pipelined_traffic_and_charge_per_refinement() {
+    let class = IntervalClassBuilder::symmetric(0.4)
+        .grid_points(2)
+        .build()
+        .unwrap();
+    let service = service(64, 2, 100.0);
+    let server = NetServer::bind_full(
+        ("127.0.0.1", 0),
+        Arc::clone(&service),
+        None,
+        Some(ProgressiveEndpoint::new(
+            class.clone(),
+            StreamBackend::MqmApprox,
+        )),
+        NetServerConfig::default(),
+        None,
+    )
+    .unwrap();
+    let mut client = NetClient::connect(server.local_addr(), "prog").unwrap();
+
+    let window = 16usize;
+    let steps = [(8usize, 0.5f64, 4.0f64), (16, 0.5, 2.0)];
+    let stream_db: Vec<usize> = (0..window).map(|t| (t * 5 + 1) % 7 % 2).collect();
+    let release_db = database(3);
+
+    // One PROGRESSIVE in the middle of ordinary pipelined RELEASE traffic,
+    // all in flight before the first recv: its refinements must stream back
+    // seq-correlated and in step order, interleaved however completion
+    // order falls with the surrounding RELEASE_OK frames.
+    let mut release_seqs = std::collections::HashSet::new();
+    for i in 0..4u64 {
+        release_seqs.insert(
+            client
+                .send(Frame::release(i, test_query(), &release_db, 0.1, i).unwrap())
+                .unwrap(),
+        );
+    }
+    let prog_seq = client
+        .send(Frame::progressive(9, 0.9, 42, &steps, &stream_db).unwrap())
+        .unwrap();
+    for i in 4..8u64 {
+        release_seqs.insert(
+            client
+                .send(Frame::release(i, test_query(), &release_db, 0.1, i).unwrap())
+                .unwrap(),
+        );
+    }
+
+    let mut refinements: Vec<(u32, u32, f64, Vec<f64>)> = Vec::new();
+    let mut releases = 0usize;
+    while releases < 8 || refinements.len() < steps.len() {
+        let Envelope { seq, frame } = client.recv().unwrap();
+        match frame {
+            Frame::ReleaseOk { .. } => {
+                assert!(release_seqs.remove(&seq), "unknown release seq {seq}");
+                releases += 1;
+            }
+            Frame::RefineOk {
+                step,
+                total_steps,
+                prefix,
+                spent_epsilon,
+                values,
+                ..
+            } => {
+                assert_eq!(seq, prog_seq, "refinements correlate by request seq");
+                assert_eq!(total_steps, steps.len() as u32);
+                refinements.push((step, prefix, spent_epsilon, values));
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert!(release_seqs.is_empty());
+
+    // Step order and prefixes are the schedule's, ε-spend is monotone and
+    // settles on the schedule's sum — charged per refinement against the
+    // *tenant-scoped* budget the connection proved.
+    assert_eq!(
+        refinements.iter().map(|r| r.0).collect::<Vec<_>>(),
+        vec![1, 2]
+    );
+    assert_eq!(
+        refinements.iter().map(|r| r.1).collect::<Vec<_>>(),
+        vec![8, 16]
+    );
+    assert!(refinements[0].2 < refinements[1].2, "ε-spend is monotone");
+    let schedule = RefinementSchedule::new(
+        steps
+            .iter()
+            .map(|&(prefix, epsilon, error_bound)| RefinementStep {
+                prefix,
+                epsilon,
+                error_bound,
+            })
+            .collect(),
+        0.9,
+    )
+    .unwrap();
+    assert_eq!(
+        refinements[1].2.to_bits(),
+        schedule.total_epsilon().to_bits()
+    );
+    assert_eq!(
+        service.budget().spent("prog#9").to_bits(),
+        schedule.total_epsilon().to_bits(),
+        "the stream's ε lands on the tenant-scoped user"
+    );
+
+    // The final refinement over the wire is bitwise-identical to the
+    // in-process one-shot release at the same seed and total ε.
+    let one_shot = ProgressiveRelease::one_shot(
+        "net-progressive",
+        &class,
+        &schedule,
+        StreamBackend::MqmApprox,
+        42,
+        &stream_db,
+    )
+    .unwrap();
+    assert_eq!(
+        refinements[1]
+            .3
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        one_shot
+            .release
+            .values
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        "a wire refinement diverged from the in-process release"
+    );
+
+    // The blocking client helper drives the same stream end to end, under
+    // its own user — charged separately.
+    let refined = client.progressive(11, 0.9, 43, &steps, &stream_db).unwrap();
+    assert_eq!(refined.len(), steps.len());
+    assert!(refined[0].certified_error > refined[1].certified_error);
+    assert_eq!(
+        service.budget().spent("prog#b").to_bits(),
+        schedule.total_epsilon().to_bits()
+    );
+
+    // A schedule whose window disagrees with the shipped database is a
+    // typed Malformed refusal, not a stream.
+    match client.progressive(7, 0.9, 1, &steps, &stream_db[..10]) {
+        Err(ClientError::Remote { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    // So is an empty schedule.
+    match client.progressive(7, 0.9, 1, &[], &stream_db) {
+        Err(ClientError::Remote { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    client.goodbye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn progressive_without_an_endpoint_is_a_typed_refusal() {
+    let service = service(16, 1, 10.0);
+    let server = NetServer::bind(
+        ("127.0.0.1", 0),
+        Arc::clone(&service),
+        NetServerConfig::default(),
+    )
+    .unwrap();
+    let mut client = NetClient::connect(server.local_addr(), "plain").unwrap();
+    let db: Vec<usize> = (0..16).map(|t| t % 2).collect();
+    match client.progressive(1, 0.9, 7, &[(8, 0.5, 2.0), (16, 0.5, 1.0)], &db) {
+        Err(ClientError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::Unsupported);
+            assert!(message.contains("progressive"), "message was {message:?}");
+        }
+        other => panic!("expected a typed Unsupported refusal, got {other:?}"),
     }
     client.goodbye().unwrap();
     server.shutdown();
